@@ -1,0 +1,360 @@
+//! A sequential B+tree map (`u64` keys, values at the leaves, leaf-linked) —
+//! the building block of the Masstree analog and a structural counterpoint
+//! to the classic B-trees elsewhere in this workspace (elements only in
+//! leaves; inner nodes are pure routing).
+
+const MAX_KEYS: usize = 16;
+
+enum Node<V> {
+    Leaf {
+        keys: Vec<u64>,
+        values: Vec<V>,
+        /// Arena index of the next leaf (leaf links enable O(1) scans).
+        next: u32,
+    },
+    Inner {
+        keys: Vec<u64>,
+        children: Vec<u32>,
+    },
+}
+
+const NONE: u32 = u32::MAX;
+
+/// A map from `u64` to `V` backed by a leaf-linked B+tree over an index
+/// arena.
+///
+/// ```
+/// use baselines::bplus::BPlusMap;
+///
+/// let mut m = BPlusMap::new();
+/// assert!(m.insert(3, "three").is_none());
+/// assert_eq!(m.insert(3, "still three"), Some("three"));
+/// assert_eq!(m.get(&3), Some(&"still three"));
+/// assert_eq!(m.iter().count(), 1);
+/// ```
+pub struct BPlusMap<V> {
+    nodes: Vec<Node<V>>,
+    root: u32,
+    len: usize,
+}
+
+impl<V> Default for BPlusMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+enum InsertOutcome<V> {
+    Replaced(V),
+    Inserted,
+    /// The child split: (separator, new right sibling index).
+    Split(u64, u32),
+}
+
+impl<V> BPlusMap<V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            root: NONE,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `key → value`, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        if self.root == NONE {
+            self.nodes.push(Node::Leaf {
+                keys: vec![key],
+                values: vec![value],
+                next: NONE,
+            });
+            self.root = 0;
+            self.len = 1;
+            return None;
+        }
+        match self.insert_rec(self.root, key, value) {
+            InsertOutcome::Replaced(v) => Some(v),
+            InsertOutcome::Inserted => {
+                self.len += 1;
+                None
+            }
+            InsertOutcome::Split(sep, right) => {
+                let new_root = self.nodes.len() as u32;
+                let old_root = self.root;
+                self.nodes.push(Node::Inner {
+                    keys: vec![sep],
+                    children: vec![old_root, right],
+                });
+                self.root = new_root;
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, node: u32, key: u64, value: V) -> InsertOutcome<V> {
+        match &mut self.nodes[node as usize] {
+            Node::Leaf { keys, values, .. } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => InsertOutcome::Replaced(std::mem::replace(&mut values[i], value)),
+                    Err(i) => {
+                        keys.insert(i, key);
+                        values.insert(i, value);
+                        if keys.len() > MAX_KEYS {
+                            // Split the leaf: the separator is COPIED up
+                            // (B+tree), the right half keeps its entries.
+                            let mid = keys.len() / 2;
+                            let right_keys = keys.split_off(mid);
+                            let sep = right_keys[0];
+                            let (right_values, old_next) = {
+                                let Node::Leaf { values, next, .. } =
+                                    &mut self.nodes[node as usize]
+                                else {
+                                    unreachable!()
+                                };
+                                (values.split_off(mid), *next)
+                            };
+                            let right = self.nodes.len() as u32;
+                            self.nodes.push(Node::Leaf {
+                                keys: right_keys,
+                                values: right_values,
+                                next: old_next,
+                            });
+                            let Node::Leaf { next, .. } = &mut self.nodes[node as usize] else {
+                                unreachable!()
+                            };
+                            *next = right;
+                            InsertOutcome::Split(sep, right)
+                        } else {
+                            InsertOutcome::Inserted
+                        }
+                    }
+                }
+            }
+            Node::Inner { keys, children } => {
+                // Route: child i holds keys < keys[i]... standard B+ routing
+                // (first separator strictly greater than the key).
+                let idx = keys.partition_point(|k| *k <= key);
+                let child = children[idx];
+                match self.insert_rec(child, key, value) {
+                    InsertOutcome::Split(sep, right) => {
+                        let Node::Inner { keys, children } = &mut self.nodes[node as usize] else {
+                            unreachable!()
+                        };
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() > MAX_KEYS {
+                            let mid = keys.len() / 2;
+                            let right_keys = keys.split_off(mid + 1);
+                            let sep_up = keys.pop().expect("separator");
+                            let right_children = children.split_off(mid + 1);
+                            let right = self.nodes.len() as u32;
+                            self.nodes.push(Node::Inner {
+                                keys: right_keys,
+                                children: right_children,
+                            });
+                            InsertOutcome::Split(sep_up, right)
+                        } else {
+                            InsertOutcome::Inserted
+                        }
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    fn find_leaf(&self, key: u64) -> Option<u32> {
+        if self.root == NONE {
+            return None;
+        }
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur as usize] {
+                Node::Leaf { .. } => return Some(cur),
+                Node::Inner { keys, children } => {
+                    let idx = keys.partition_point(|k| *k <= key);
+                    cur = children[idx];
+                }
+            }
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &u64) -> Option<&V> {
+        let leaf = self.find_leaf(*key)?;
+        let Node::Leaf { keys, values, .. } = &self.nodes[leaf as usize] else {
+            unreachable!()
+        };
+        keys.binary_search(key).ok().map(|i| &values[i])
+    }
+
+    /// Looks up `key` mutably.
+    pub fn get_mut(&mut self, key: &u64) -> Option<&mut V> {
+        let leaf = self.find_leaf(*key)?;
+        let Node::Leaf { keys, .. } = &self.nodes[leaf as usize] else {
+            unreachable!()
+        };
+        let i = keys.binary_search(key).ok()?;
+        let Node::Leaf { values, .. } = &mut self.nodes[leaf as usize] else {
+            unreachable!()
+        };
+        Some(&mut values[i])
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterates entries ascending by key, following leaf links.
+    pub fn iter(&self) -> BPlusIter<'_, V> {
+        // Find the leftmost leaf.
+        let mut cur = self.root;
+        if cur != NONE {
+            loop {
+                match &self.nodes[cur as usize] {
+                    Node::Leaf { .. } => break,
+                    Node::Inner { children, .. } => cur = children[0],
+                }
+            }
+        }
+        BPlusIter {
+            map: self,
+            leaf: cur,
+            pos: 0,
+        }
+    }
+
+    /// Verifies routing and ordering invariants (test helper).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Leaf-chain order equals global order, and every key routes back
+        // to the leaf that stores it.
+        let collected: Vec<u64> = self.iter().map(|(k, _)| k).collect();
+        if collected.len() != self.len {
+            return Err(format!(
+                "leaf chain yields {} entries, len says {}",
+                collected.len(),
+                self.len
+            ));
+        }
+        if !collected.windows(2).all(|w| w[0] < w[1]) {
+            return Err("leaf chain out of order".into());
+        }
+        for k in &collected {
+            if !self.contains_key(k) {
+                return Err(format!("key {k} in chain but not routable"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Ascending iterator over a [`BPlusMap`] (walks the leaf chain).
+pub struct BPlusIter<'a, V> {
+    map: &'a BPlusMap<V>,
+    leaf: u32,
+    pos: usize,
+}
+
+impl<'a, V> Iterator for BPlusIter<'a, V> {
+    type Item = (u64, &'a V);
+
+    fn next(&mut self) -> Option<(u64, &'a V)> {
+        loop {
+            if self.leaf == NONE {
+                return None;
+            }
+            let Node::Leaf { keys, values, next } = &self.map.nodes[self.leaf as usize] else {
+                unreachable!()
+            };
+            if self.pos < keys.len() {
+                let item = (keys[self.pos], &values[self.pos]);
+                self.pos += 1;
+                return Some(item);
+            }
+            self.leaf = *next;
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Model;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn empty() {
+        let m: BPlusMap<u64> = BPlusMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&0), None);
+        assert_eq!(m.iter().count(), 0);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut m = BPlusMap::new();
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.insert(1, 11), Some(10));
+        assert_eq!(m.get(&1), Some(&11));
+        assert_eq!(m.len(), 1);
+        *m.get_mut(&1).unwrap() = 12;
+        assert_eq!(m.get(&1), Some(&12));
+    }
+
+    #[test]
+    fn ordered_and_random_match_model() {
+        for ordered in [true, false] {
+            let mut m = BPlusMap::new();
+            let mut model = Model::new();
+            let mut rng = 4u64;
+            for i in 0..20_000u64 {
+                let k = if ordered {
+                    i
+                } else {
+                    splitmix(&mut rng) % 8_000
+                };
+                assert_eq!(m.insert(k, k * 2), model.insert(k, k * 2));
+            }
+            m.check_invariants().unwrap();
+            assert_eq!(m.len(), model.len());
+            let ours: Vec<_> = m.iter().map(|(k, v)| (k, *v)).collect();
+            let theirs: Vec<_> = model.iter().map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(ours, theirs);
+        }
+    }
+
+    #[test]
+    fn boundary_keys() {
+        let mut m = BPlusMap::new();
+        m.insert(0, 'a');
+        m.insert(u64::MAX, 'b');
+        m.insert(u64::MAX - 1, 'c');
+        assert_eq!(m.get(&0), Some(&'a'));
+        assert_eq!(m.get(&u64::MAX), Some(&'b'));
+        m.check_invariants().unwrap();
+    }
+}

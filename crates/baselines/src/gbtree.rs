@@ -1,0 +1,521 @@
+//! An independent sequential B-tree — the stand-in for Google's C++ B-tree
+//! container ("google btree" in the paper's Table 1).
+//!
+//! Deliberately engineered differently from `specbtree`: `Vec`-backed nodes
+//! sized to a ~256-byte key block (Google's design target), recursive
+//! insertion with split propagation by return value, a stack-based iterator,
+//! and no parent pointers, no hints, no synchronization. Its role in the
+//! evaluation is "state-of-the-art *thread-unsafe* sequential B-tree": the
+//! quality bar the specialized tree's sequential performance is measured
+//! against, and the substrate for the `global_lock` and `reduction`
+//! parallelization strategies.
+
+use std::cmp::Ordering;
+
+/// Target size in bytes of a node's key block (Google's B-tree targets
+/// 256-byte nodes).
+const TARGET_NODE_BYTES: usize = 256;
+
+fn default_max_keys<T>() -> usize {
+    (TARGET_NODE_BYTES / std::mem::size_of::<T>().max(1)).clamp(4, 64)
+}
+
+// `Box<Node>` children are deliberate: each node is its own heap
+// allocation, mirroring Google's B-tree (clippy would inline them).
+#[allow(clippy::vec_box)]
+enum Node<T> {
+    Leaf {
+        keys: Vec<T>,
+    },
+    Inner {
+        keys: Vec<T>,
+        children: Vec<Box<Node<T>>>,
+    },
+}
+
+impl<T: Ord + Copy> Node<T> {
+    fn keys(&self) -> &[T] {
+        match self {
+            Node::Leaf { keys } | Node::Inner { keys, .. } => keys,
+        }
+    }
+
+    /// `(index of first key >= t, exact?)`.
+    fn search(&self, t: &T) -> (usize, bool) {
+        let keys = self.keys();
+        let (mut lo, mut hi) = (0usize, keys.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match keys[mid].cmp(t) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Equal => return (mid, true),
+                Ordering::Greater => hi = mid,
+            }
+        }
+        (lo, false)
+    }
+}
+
+enum InsertOutcome<T> {
+    Duplicate,
+    Done,
+    Split(T, Box<Node<T>>),
+}
+
+/// A sequential ordered set backed by a Vec-node B-tree.
+///
+/// ```
+/// use baselines::gbtree::GBTreeSet;
+///
+/// let mut s = GBTreeSet::new();
+/// for i in (0..100u64).rev() {
+///     s.insert(i);
+/// }
+/// assert_eq!(s.len(), 100);
+/// assert_eq!(s.lower_bound(&42).next(), Some(42));
+/// ```
+pub struct GBTreeSet<T> {
+    root: Option<Box<Node<T>>>,
+    max_keys: usize,
+    len: usize,
+}
+
+impl<T: Ord + Copy> Default for GBTreeSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Ord + Copy> GBTreeSet<T> {
+    /// Creates an empty set with the default (256-byte-block) node size.
+    pub fn new() -> Self {
+        Self::with_max_keys(default_max_keys::<T>())
+    }
+
+    /// Creates an empty set with an explicit per-node key capacity.
+    pub fn with_max_keys(max_keys: usize) -> Self {
+        assert!(max_keys >= 3, "B-tree needs at least 3 keys per node");
+        Self {
+            root: None,
+            max_keys,
+            len: 0,
+        }
+    }
+
+    /// Number of stored elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `key`, returning `true` if it was not present.
+    pub fn insert(&mut self, key: T) -> bool {
+        let max = self.max_keys;
+        match &mut self.root {
+            None => {
+                self.root = Some(Box::new(Node::Leaf { keys: vec![key] }));
+                self.len = 1;
+                true
+            }
+            Some(root) => match Self::insert_rec(root, key, max) {
+                InsertOutcome::Duplicate => false,
+                InsertOutcome::Done => {
+                    self.len += 1;
+                    true
+                }
+                InsertOutcome::Split(median, right) => {
+                    let old_root = self.root.take().expect("root exists");
+                    self.root = Some(Box::new(Node::Inner {
+                        keys: vec![median],
+                        children: vec![old_root, right],
+                    }));
+                    self.len += 1;
+                    true
+                }
+            },
+        }
+    }
+
+    fn insert_rec(node: &mut Node<T>, key: T, max: usize) -> InsertOutcome<T> {
+        let (idx, found) = node.search(&key);
+        if found {
+            return InsertOutcome::Duplicate;
+        }
+        match node {
+            Node::Leaf { keys } => {
+                keys.insert(idx, key);
+                if keys.len() > max {
+                    let mid = keys.len() / 2;
+                    let right_keys = keys.split_off(mid + 1);
+                    let median = keys.pop().expect("median");
+                    InsertOutcome::Split(median, Box::new(Node::Leaf { keys: right_keys }))
+                } else {
+                    InsertOutcome::Done
+                }
+            }
+            Node::Inner { keys, children } => {
+                match Self::insert_rec(&mut children[idx], key, max) {
+                    InsertOutcome::Split(median, right) => {
+                        keys.insert(idx, median);
+                        children.insert(idx + 1, right);
+                        if keys.len() > max {
+                            let mid = keys.len() / 2;
+                            let right_keys = keys.split_off(mid + 1);
+                            let median = keys.pop().expect("median");
+                            let right_children = children.split_off(mid + 1);
+                            InsertOutcome::Split(
+                                median,
+                                Box::new(Node::Inner {
+                                    keys: right_keys,
+                                    children: right_children,
+                                }),
+                            )
+                        } else {
+                            InsertOutcome::Done
+                        }
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: &T) -> bool {
+        let mut node = match &self.root {
+            None => return false,
+            Some(r) => r.as_ref(),
+        };
+        loop {
+            let (idx, found) = node.search(key);
+            if found {
+                return true;
+            }
+            match node {
+                Node::Leaf { .. } => return false,
+                Node::Inner { children, .. } => node = children[idx].as_ref(),
+            }
+        }
+    }
+
+    /// In-order iterator over all elements.
+    pub fn iter(&self) -> GBIter<'_, T> {
+        let mut it = GBIter { stack: Vec::new() };
+        if let Some(root) = &self.root {
+            it.stack.push(Frame {
+                node: root.as_ref(),
+                idx: 0,
+            });
+        }
+        it
+    }
+
+    /// Cursor at the first element `>= key`.
+    pub fn lower_bound(&self, key: &T) -> GBIter<'_, T> {
+        self.bound(key, false)
+    }
+
+    /// Cursor at the first element `> key`.
+    pub fn upper_bound(&self, key: &T) -> GBIter<'_, T> {
+        self.bound(key, true)
+    }
+
+    fn bound(&self, key: &T, strict: bool) -> GBIter<'_, T> {
+        let mut it = GBIter { stack: Vec::new() };
+        let mut node = match &self.root {
+            None => return it,
+            Some(r) => r.as_ref(),
+        };
+        loop {
+            let (idx, found) = node.search(key);
+            let idx = if found && strict { idx + 1 } else { idx };
+            let found = found && !strict;
+            match node {
+                Node::Leaf { .. } => {
+                    it.stack.push(Frame { node, idx });
+                    return it;
+                }
+                Node::Inner { children, .. } => {
+                    if found {
+                        // Yield this key next; do not descend.
+                        it.stack.push(Frame {
+                            node,
+                            idx: 2 * idx + 1,
+                        });
+                        return it;
+                    }
+                    // After the child is exhausted, yield key `idx`.
+                    it.stack.push(Frame {
+                        node,
+                        idx: 2 * idx + 1,
+                    });
+                    node = children[idx].as_ref();
+                }
+            }
+        }
+    }
+
+    /// All elements in `[lower, upper)`.
+    pub fn range<'a>(&'a self, lower: &T, upper: &T) -> impl Iterator<Item = T> + 'a {
+        let upper = *upper;
+        self.lower_bound(lower).take_while(move |k| *k < upper)
+    }
+
+    /// Merges all elements of `other` into `self` (used by the
+    /// `reduction` parallelization strategy).
+    pub fn merge_from(&mut self, other: &GBTreeSet<T>) {
+        for k in other.iter() {
+            self.insert(k);
+        }
+    }
+
+    /// Verifies ordering, fanout and uniform depth (test helper).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn rec<T: Ord + Copy>(
+            node: &Node<T>,
+            lo: Option<T>,
+            hi: Option<T>,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+            max: usize,
+        ) -> Result<(), String> {
+            let keys = node.keys();
+            if keys.len() > max {
+                return Err(format!("node overfull: {} > {max}", keys.len()));
+            }
+            for w in keys.windows(2) {
+                if w[0] >= w[1] {
+                    return Err("keys not strictly ascending".into());
+                }
+            }
+            if let (Some(lo), Some(first)) = (lo, keys.first()) {
+                if *first <= lo {
+                    return Err("separator violated (lo)".into());
+                }
+            }
+            if let (Some(hi), Some(last)) = (hi, keys.last()) {
+                if *last >= hi {
+                    return Err("separator violated (hi)".into());
+                }
+            }
+            match node {
+                Node::Leaf { .. } => match leaf_depth {
+                    None => {
+                        *leaf_depth = Some(depth);
+                        Ok(())
+                    }
+                    Some(d) if *d == depth => Ok(()),
+                    _ => Err("leaves at different depths".into()),
+                },
+                Node::Inner { keys, children } => {
+                    if children.len() != keys.len() + 1 {
+                        return Err("child count != keys + 1".into());
+                    }
+                    for (i, c) in children.iter().enumerate() {
+                        let clo = if i == 0 { lo } else { Some(keys[i - 1]) };
+                        let chi = if i == keys.len() { hi } else { Some(keys[i]) };
+                        rec(c, clo, chi, depth + 1, leaf_depth, max)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        match &self.root {
+            None => Ok(()),
+            Some(r) => rec(r, None, None, 1, &mut None, self.max_keys),
+        }
+    }
+}
+
+impl<T: Ord + Copy> Extend<T> for GBTreeSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for k in iter {
+            self.insert(k);
+        }
+    }
+}
+
+impl<T: Ord + Copy> FromIterator<T> for GBTreeSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+struct Frame<'a, T> {
+    node: &'a Node<T>,
+    /// Leaf frames: next key index. Inner frames: half-step counter —
+    /// even `2i` = descend into child `i`, odd `2i+1` = yield key `i`.
+    idx: usize,
+}
+
+/// Stack-based in-order cursor over a [`GBTreeSet`].
+pub struct GBIter<'a, T> {
+    stack: Vec<Frame<'a, T>>,
+}
+
+impl<'a, T: Ord + Copy> Iterator for GBIter<'a, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        loop {
+            let top = self.stack.last_mut()?;
+            match top.node {
+                Node::Leaf { keys } => {
+                    if top.idx < keys.len() {
+                        let k = keys[top.idx];
+                        top.idx += 1;
+                        return Some(k);
+                    }
+                    self.stack.pop();
+                }
+                Node::Inner { keys, children } => {
+                    if top.idx % 2 == 0 {
+                        let child = children[top.idx / 2].as_ref();
+                        top.idx += 1;
+                        self.stack.push(Frame {
+                            node: child,
+                            idx: 0,
+                        });
+                    } else {
+                        let i = top.idx / 2;
+                        if i < keys.len() {
+                            let k = keys[i];
+                            top.idx += 1;
+                            return Some(k);
+                        }
+                        self.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet as Model;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn empty() {
+        let s: GBTreeSet<u64> = GBTreeSet::new();
+        assert!(s.is_empty());
+        assert!(!s.contains(&5));
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.lower_bound(&5).next(), None);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn node_size_targets_256_bytes() {
+        assert_eq!(default_max_keys::<u64>(), 32);
+        assert_eq!(default_max_keys::<[u64; 2]>(), 16);
+        assert_eq!(default_max_keys::<[u64; 8]>(), 4);
+    }
+
+    #[test]
+    fn ordered_and_random_match_model() {
+        for ordered in [true, false] {
+            let mut s = GBTreeSet::new();
+            let mut model = Model::new();
+            let mut rng = 3u64;
+            for i in 0..20_000u64 {
+                let k = if ordered {
+                    i
+                } else {
+                    splitmix(&mut rng) % 8_000
+                };
+                assert_eq!(s.insert(k), model.insert(k));
+            }
+            s.check_invariants().unwrap();
+            assert_eq!(s.len(), model.len());
+            let ours: Vec<_> = s.iter().collect();
+            let theirs: Vec<_> = model.iter().copied().collect();
+            assert_eq!(ours, theirs);
+        }
+    }
+
+    #[test]
+    fn bounds_match_model() {
+        let mut s = GBTreeSet::with_max_keys(4);
+        let mut model = Model::new();
+        let mut rng = 9u64;
+        for _ in 0..4_000 {
+            let k = splitmix(&mut rng) % 1_000;
+            s.insert(k);
+            model.insert(k);
+        }
+        for probe in 0..1_001u64 {
+            assert_eq!(
+                s.lower_bound(&probe).next(),
+                model.range(probe..).next().copied(),
+                "lower_bound({probe})"
+            );
+            assert_eq!(
+                s.upper_bound(&probe).next(),
+                model
+                    .range((std::ops::Bound::Excluded(probe), std::ops::Bound::Unbounded))
+                    .next()
+                    .copied(),
+                "upper_bound({probe})"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_iterates_across_node_boundaries() {
+        let mut s = GBTreeSet::with_max_keys(4);
+        for i in 0..500u64 {
+            s.insert(i * 2);
+        }
+        let collected: Vec<_> = s.lower_bound(&499).collect();
+        assert_eq!(collected.len(), 250);
+        assert_eq!(collected[0], 500);
+        assert_eq!(*collected.last().unwrap(), 998);
+        assert!(collected.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn range_half_open() {
+        let s: GBTreeSet<u64> = (0..100u64).collect();
+        let r: Vec<_> = s.range(&10, &15).collect();
+        assert_eq!(r, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn merge_from_unions() {
+        let mut a: GBTreeSet<u64> = (0..100u64).collect();
+        let b: GBTreeSet<u64> = (50..150u64).collect();
+        a.merge_from(&b);
+        assert_eq!(a.len(), 150);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tuple_keys() {
+        let mut s: GBTreeSet<[u64; 2]> = GBTreeSet::new();
+        for i in (0..5_000u64).rev() {
+            s.insert([i % 71, i / 71]);
+        }
+        s.check_invariants().unwrap();
+        let v: Vec<_> = s.iter().collect();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(v.len(), 5_000);
+    }
+}

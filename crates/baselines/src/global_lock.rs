@@ -1,0 +1,80 @@
+//! A global-lock wrapper: the simplest way to make any sequential set
+//! thread-safe, and the paper's "google btree (global lock)" configuration
+//! in the parallel experiments (Figures 4 and 5) — the configuration that,
+//! predictably, fails to scale on write-heavy workloads.
+
+use parking_lot::Mutex;
+
+/// Wraps a sequential container in a single global mutex, exposing `&self`
+/// operations through a closure interface.
+///
+/// ```
+/// use baselines::global_lock::GlobalLock;
+/// use baselines::gbtree::GBTreeSet;
+///
+/// let s: GlobalLock<GBTreeSet<u64>> = GlobalLock::new(GBTreeSet::new());
+/// std::thread::scope(|scope| {
+///     for t in 0..4u64 {
+///         let s = &s;
+///         scope.spawn(move || {
+///             for i in 0..100 {
+///                 s.with(|set| set.insert(t * 1_000 + i));
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(s.with(|set| set.len()), 400);
+/// ```
+pub struct GlobalLock<S> {
+    inner: Mutex<S>,
+}
+
+impl<S> GlobalLock<S> {
+    /// Wraps `inner` behind a global mutex.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner: Mutex::new(inner),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the wrapped container.
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Unwraps the container.
+    pub fn into_inner(self) -> S {
+        self.inner.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gbtree::GBTreeSet;
+
+    #[test]
+    fn serializes_concurrent_inserts() {
+        let s = GlobalLock::new(GBTreeSet::new());
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..2_000 {
+                        s.with(|set| set.insert(t * 10_000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.with(|set| set.len()), 16_000);
+        s.with(|set| set.check_invariants()).unwrap();
+    }
+
+    #[test]
+    fn into_inner_returns_contents() {
+        let s = GlobalLock::new(GBTreeSet::new());
+        s.with(|set| set.insert(1u64));
+        let inner = s.into_inner();
+        assert!(inner.contains(&1));
+    }
+}

@@ -1,0 +1,479 @@
+//! A node-based chained hash set with the exact layout of libstdc++'s
+//! `std::unordered_set` — the paper's "STL hashset" baseline (Table 1).
+//!
+//! Faithfulness matters here, because the paper's Figure 3 shape rests on
+//! this container's memory behaviour, not its asymptotics:
+//!
+//! * **one heap allocation per element** (`Box`ed nodes, like `new`ed
+//!   `_Hash_node`s);
+//! * **a single global singly-linked list** holding every element, with
+//!   each bucket owning a contiguous run of it. Buckets store the node
+//!   *before* their first element (libstdc++'s `_M_before_begin` trick) so
+//!   insertion splices in O(1);
+//! * iteration therefore walks a **dependent pointer chain** through
+//!   scattered nodes — one serialized cache miss after another, which is
+//!   why hash sets lose full-range scans to B-trees at scale;
+//! * point lookups pay hash + chain walk: O(1) probes, each a pointer
+//!   chase.
+//!
+//! Rehashing doubles the bucket array at load factor 1.0 (the STL default)
+//! and relinks nodes without moving them.
+
+const NONE: u32 = u32::MAX;
+/// Sentinel "node index" for the position before the global list head.
+const BEFORE_BEGIN: u32 = u32::MAX - 1;
+
+/// Hashable fixed-size keys: anything reducible to a single `u64` word.
+pub trait HashKey: Copy + Eq {
+    /// Folds the key into a single 64-bit hash input.
+    fn fold(&self) -> u64;
+}
+
+impl HashKey for u64 {
+    #[inline]
+    fn fold(&self) -> u64 {
+        *self
+    }
+}
+
+impl HashKey for u32 {
+    #[inline]
+    fn fold(&self) -> u64 {
+        *self as u64
+    }
+}
+
+impl<const K: usize> HashKey for [u64; K] {
+    #[inline]
+    fn fold(&self) -> u64 {
+        let mut acc = 0xcbf29ce484222325u64; // FNV offset basis
+        for w in self {
+            acc = (acc ^ w).wrapping_mul(0x100000001b3);
+            acc ^= acc >> 29;
+        }
+        acc
+    }
+}
+
+#[inline]
+fn finalize(h: u64) -> u64 {
+    // Multiplicative scrambling (splitmix-style finalizer).
+    let mut z = h.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^ (z >> 31)
+}
+
+struct Node<T> {
+    key: T,
+    /// Cached hash (libstdc++ caches it to avoid rehashing on resize).
+    hash: u64,
+    /// Next node in the **global** list.
+    next: u32,
+}
+
+/// An unordered set with `std::unordered_set`'s node-based layout.
+///
+/// ```
+/// use baselines::hashset::HashSet;
+///
+/// let mut s = HashSet::new();
+/// assert!(s.insert(7u64));
+/// assert!(!s.insert(7u64));
+/// assert!(s.contains(&7));
+/// assert_eq!(s.len(), 1);
+/// ```
+pub struct HashSet<T> {
+    /// `buckets[b]` = index of the node *before* bucket `b`'s first node
+    /// (`BEFORE_BEGIN` when that node is the global head), or `NONE` for an
+    /// empty bucket.
+    buckets: Vec<u32>,
+    /// One `Box` per element — the per-node allocation of the STL design.
+    nodes: Vec<Box<Node<T>>>,
+    /// First node of the global list.
+    head: u32,
+    mask: usize,
+}
+
+impl<T: HashKey> Default for HashSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: HashKey> HashSet<T> {
+    const INITIAL_BUCKETS: usize = 16;
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![NONE; Self::INITIAL_BUCKETS],
+            nodes: Vec::new(),
+            head: NONE,
+            mask: Self::INITIAL_BUCKETS - 1,
+        }
+    }
+
+    /// Creates an empty set with room for `cap` elements before the first
+    /// rehash (load factor 1.0, as in the STL).
+    pub fn with_capacity(cap: usize) -> Self {
+        let size = cap.max(Self::INITIAL_BUCKETS).next_power_of_two();
+        Self {
+            buckets: vec![NONE; size],
+            nodes: Vec::with_capacity(cap),
+            head: NONE,
+            mask: size - 1,
+        }
+    }
+
+    /// Number of stored elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of buckets (diagnostic; mirrors `bucket_count()`).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    #[inline]
+    fn node(&self, i: u32) -> &Node<T> {
+        &self.nodes[i as usize]
+    }
+
+    /// First node of bucket `b`, resolving the before-pointer.
+    #[inline]
+    fn bucket_first(&self, b: usize) -> u32 {
+        match self.buckets[b] {
+            NONE => NONE,
+            BEFORE_BEGIN => self.head,
+            before => self.node(before).next,
+        }
+    }
+
+    /// Inserts `key`, returning `true` if it was not present.
+    pub fn insert(&mut self, key: T) -> bool {
+        if self.nodes.len() >= self.buckets.len() {
+            self.rehash();
+        }
+        let hash = finalize(key.fold());
+        let b = (hash as usize) & self.mask;
+
+        // Walk the bucket's run of the global list for a duplicate.
+        let mut cur = self.bucket_first(b);
+        while cur != NONE {
+            let n = self.node(cur);
+            if (n.hash as usize) & self.mask != b {
+                break; // left this bucket's run
+            }
+            if n.key == key {
+                return false;
+            }
+            cur = n.next;
+        }
+
+        // Allocate the node (one Box per element, like the STL).
+        let id = self.nodes.len() as u32;
+        if self.buckets[b] == NONE {
+            // Empty bucket: splice at the global front; the displaced head
+            // node's bucket must re-point its before-pointer at us.
+            let old_head = self.head;
+            self.nodes.push(Box::new(Node {
+                key,
+                hash,
+                next: old_head,
+            }));
+            self.head = id;
+            self.buckets[b] = BEFORE_BEGIN;
+            if old_head != NONE {
+                let ob = (self.node(old_head).hash as usize) & self.mask;
+                if ob != b {
+                    self.buckets[ob] = id;
+                }
+            }
+        } else {
+            // Non-empty bucket: splice right after the before-node.
+            let before = self.buckets[b];
+            let (pos, next) = if before == BEFORE_BEGIN {
+                (NONE, self.head)
+            } else {
+                (before, self.node(before).next)
+            };
+            self.nodes.push(Box::new(Node { key, hash, next }));
+            if pos == NONE {
+                self.head = id;
+            } else {
+                self.nodes[pos as usize].next = id;
+            }
+        }
+        true
+    }
+
+    /// Membership test: hash, then chase the bucket chain.
+    pub fn contains(&self, key: &T) -> bool {
+        let hash = finalize(key.fold());
+        let b = (hash as usize) & self.mask;
+        let mut cur = self.bucket_first(b);
+        while cur != NONE {
+            let n = self.node(cur);
+            if (n.hash as usize) & self.mask != b {
+                return false;
+            }
+            if n.key == *key {
+                return true;
+            }
+            cur = n.next;
+        }
+        false
+    }
+
+    /// Iterates all elements by walking the global linked list — the
+    /// dependent pointer chain `std::unordered_set` iteration performs,
+    /// and the reason hash sets have neither fast scans at scale nor
+    /// ordered range queries (the structural deficiency the paper's
+    /// comparison rests on).
+    pub fn iter(&self) -> HashIter<'_, T> {
+        HashIter {
+            set: self,
+            cur: self.head,
+        }
+    }
+
+    /// Doubles the bucket array and relinks every node (`rehash`), using
+    /// the cached hashes; nodes do not move.
+    fn rehash(&mut self) {
+        let new_size = self.buckets.len() * 2;
+        self.mask = new_size - 1;
+        self.buckets = vec![NONE; new_size];
+        // Rebuild the global list bucket-run by bucket-run.
+        let order: Vec<u32> = {
+            let mut v = Vec::with_capacity(self.nodes.len());
+            let mut cur = self.head;
+            while cur != NONE {
+                v.push(cur);
+                cur = self.node(cur).next;
+            }
+            v
+        };
+        self.head = NONE;
+        for &id in order.iter().rev() {
+            // Re-splice each node at the front of its new bucket (cheap
+            // variant of the insert splice; visiting in reverse keeps
+            // relative order stable).
+            let hash = self.node(id).hash;
+            let b = (hash as usize) & self.mask;
+            if self.buckets[b] == NONE {
+                let old_head = self.head;
+                self.nodes[id as usize].next = old_head;
+                self.head = id;
+                self.buckets[b] = BEFORE_BEGIN;
+                if old_head != NONE {
+                    let ob = (self.node(old_head).hash as usize) & self.mask;
+                    if ob != b {
+                        self.buckets[ob] = id;
+                    }
+                }
+            } else {
+                let before = self.buckets[b];
+                let (pos, next) = if before == BEFORE_BEGIN {
+                    (NONE, self.head)
+                } else {
+                    (before, self.node(before).next)
+                };
+                self.nodes[id as usize].next = next;
+                if pos == NONE {
+                    self.head = id;
+                } else {
+                    self.nodes[pos as usize].next = id;
+                }
+            }
+        }
+    }
+}
+
+/// Global-list iterator over a [`HashSet`] (unordered).
+pub struct HashIter<'a, T> {
+    set: &'a HashSet<T>,
+    cur: u32,
+}
+
+impl<'a, T: HashKey> Iterator for HashIter<'a, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.cur == NONE {
+            return None;
+        }
+        let n = self.set.node(self.cur);
+        self.cur = n.next;
+        Some(n.key)
+    }
+}
+
+impl<T: HashKey> Extend<T> for HashSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for k in iter {
+            self.insert(k);
+        }
+    }
+}
+
+impl<T: HashKey> FromIterator<T> for HashSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet as Model;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn empty() {
+        let s: HashSet<u64> = HashSet::new();
+        assert!(s.is_empty());
+        assert!(!s.contains(&0));
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_dedup_and_contains() {
+        let mut s = HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(s.insert(i * 3));
+        }
+        for i in 0..10_000u64 {
+            assert!(!s.insert(i * 3));
+            assert!(s.contains(&(i * 3)));
+            assert!(!s.contains(&(i * 3 + 1)));
+        }
+        assert_eq!(s.len(), 10_000);
+    }
+
+    #[test]
+    fn random_workload_matches_std() {
+        let mut s = HashSet::new();
+        let mut model = Model::new();
+        let mut rng = 5u64;
+        for _ in 0..50_000 {
+            let k = splitmix(&mut rng) % 10_000;
+            assert_eq!(s.insert(k), model.insert(k));
+        }
+        assert_eq!(s.len(), model.len());
+        let mut ours: Vec<_> = s.iter().collect();
+        let mut theirs: Vec<_> = model.into_iter().collect();
+        ours.sort_unstable();
+        theirs.sort_unstable();
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn tuple_keys() {
+        let mut s: HashSet<[u64; 2]> = HashSet::new();
+        for a in 0..100u64 {
+            for b in 0..100u64 {
+                assert!(s.insert([a, b]));
+            }
+        }
+        assert_eq!(s.len(), 10_000);
+        assert!(s.contains(&[57, 93]));
+        assert!(!s.contains(&[57, 100]));
+    }
+
+    #[test]
+    fn adversarial_same_low_bits() {
+        // Keys differing only in high bits still disperse thanks to the
+        // multiplicative finalizer.
+        let mut s = HashSet::new();
+        for i in 0..5_000u64 {
+            assert!(s.insert(i << 32));
+        }
+        for i in 0..5_000u64 {
+            assert!(s.contains(&(i << 32)));
+        }
+    }
+
+    #[test]
+    fn with_capacity_avoids_early_rehash() {
+        let mut s: HashSet<u64> = HashSet::with_capacity(1_000);
+        let buckets_before = s.bucket_count();
+        for i in 0..1_000u64 {
+            s.insert(i);
+        }
+        assert_eq!(
+            s.bucket_count(),
+            buckets_before,
+            "rehashed despite reservation"
+        );
+    }
+
+    #[test]
+    fn rehash_preserves_contents_and_chain() {
+        let mut s: HashSet<u64> = HashSet::new(); // 16 buckets
+        for i in 0..1_000u64 {
+            s.insert(i);
+        }
+        assert!(s.bucket_count() >= 1_000, "load factor 1.0 exceeded");
+        for i in 0..1_000u64 {
+            assert!(s.contains(&i), "{i} lost in rehash");
+        }
+        // The global chain still visits every node exactly once.
+        let mut seen: Vec<u64> = s.iter().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 1_000);
+    }
+
+    #[test]
+    fn iteration_visits_each_exactly_once() {
+        let mut s = HashSet::new();
+        for i in 0..777u64 {
+            s.insert(i * 13);
+        }
+        let mut seen: Vec<u64> = s.iter().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 777);
+    }
+
+    #[test]
+    fn bucket_runs_are_contiguous_in_the_global_chain() {
+        // Structural check of the libstdc++ layout: walking the global
+        // list, each bucket's nodes appear as one contiguous run.
+        let mut s = HashSet::new();
+        let mut rng = 9u64;
+        for _ in 0..5_000 {
+            s.insert(splitmix(&mut rng));
+        }
+        let mask = s.bucket_count() - 1;
+        let mut cur = s.head;
+        let mut seen_buckets = std::collections::HashSet::new();
+        let mut last_bucket = usize::MAX;
+        while cur != NONE {
+            let n = &s.nodes[cur as usize];
+            let b = (n.hash as usize) & mask;
+            if b != last_bucket {
+                assert!(seen_buckets.insert(b), "bucket {b} split into two runs");
+                last_bucket = b;
+            }
+            cur = n.next;
+        }
+    }
+}

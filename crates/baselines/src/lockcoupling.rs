@@ -1,0 +1,418 @@
+//! A pessimistic lock-coupling B-tree — the classical fine-grained
+//! alternative the paper's optimistic scheme is designed to beat (§3.1's
+//! survey: "approaches range from globally locking the entire tree, over
+//! fine-grained mutex based locking, fine-grained read/write lock based
+//! locking...").
+//!
+//! Every node carries a read-write lock. Operations descend with *lock
+//! coupling* (crab walking): acquire the child's lock before releasing the
+//! parent's. Readers couple read locks; writers couple write locks,
+//! releasing ancestors early when the child is *safe* (not full, so no
+//! split can propagate above it). The cost the paper's argument rests on is
+//! structural: **every** traversal — even a pure lookup — performs two
+//! atomic read-modify-writes per level (lock + unlock), invalidating the
+//! lock's cache line for every other thread, with the root's lock touched
+//! by every single operation. The optimistic tree's read path does no
+//! store at all.
+//!
+//! Used by the `fig4` harness as an ablation contestant.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+const MAX_KEYS: usize = 16;
+
+struct Inner<T> {
+    keys: Vec<T>,
+    children: Vec<Arc<RwLock<NodeBody<T>>>>,
+}
+
+enum NodeBody<T> {
+    Leaf { keys: Vec<T> },
+    Inner(Inner<T>),
+}
+
+impl<T: Ord + Copy> NodeBody<T> {
+    fn keys(&self) -> &[T] {
+        match self {
+            NodeBody::Leaf { keys } => keys,
+            NodeBody::Inner(i) => &i.keys,
+        }
+    }
+
+    fn is_safe(&self) -> bool {
+        self.keys().len() < MAX_KEYS
+    }
+
+    fn search(&self, t: &T) -> (usize, bool) {
+        let keys = self.keys();
+        match keys.binary_search(t) {
+            Ok(i) => (i, true),
+            Err(i) => (i, false),
+        }
+    }
+}
+
+type NodeRef<T> = Arc<RwLock<NodeBody<T>>>;
+
+/// A thread-safe ordered set with per-node read-write locks and top-down
+/// lock coupling.
+///
+/// ```
+/// use baselines::lockcoupling::LockCouplingBTree;
+///
+/// let t = LockCouplingBTree::new();
+/// std::thread::scope(|s| {
+///     for w in 0..4u64 {
+///         let t = &t;
+///         s.spawn(move || {
+///             for i in 0..500 {
+///                 t.insert(w * 1_000 + i);
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(t.len(), 2_000);
+/// assert!(t.contains(&1_499));
+/// ```
+pub struct LockCouplingBTree<T> {
+    /// The root pointer itself is guarded — its lock is the one every
+    /// operation must touch (the paper: "the lock protecting the root
+    /// node... introduces a performance penalty for all operations").
+    root: RwLock<Option<NodeRef<T>>>,
+    len: std::sync::atomic::AtomicUsize,
+}
+
+impl<T: Ord + Copy> Default for LockCouplingBTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+enum SplitResult<T> {
+    Done(bool),
+    /// (median, right sibling, inserted?) to install in the parent. The
+    /// flag is false when the key turned out to be a duplicate deeper in
+    /// the split subtree.
+    Split(T, NodeRef<T>, bool),
+}
+
+impl<T: Ord + Copy> LockCouplingBTree<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self {
+            root: RwLock::new(None),
+            len: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test with read-lock coupling.
+    pub fn contains(&self, t: &T) -> bool {
+        let root_guard = self.root.read();
+        let Some(root) = root_guard.as_ref() else {
+            return false;
+        };
+        let mut node = Arc::clone(root);
+        let mut guard = RwLock::read_arc(&node);
+        drop(root_guard); // coupled: child locked before parent released
+        loop {
+            let (idx, found) = guard.search(t);
+            if found {
+                return true;
+            }
+            match &*guard {
+                NodeBody::Leaf { .. } => return false,
+                NodeBody::Inner(inner) => {
+                    let child = Arc::clone(&inner.children[idx]);
+                    let child_guard = RwLock::read_arc(&child);
+                    drop(guard);
+                    node = child;
+                    let _ = &node; // keep the Arc alive alongside its guard
+                    guard = child_guard;
+                }
+            }
+        }
+    }
+
+    /// Inserts `t`, returning `true` if it was not present. Write-lock
+    /// coupling: ancestors stay locked until the child is safe.
+    pub fn insert(&self, t: T) -> bool {
+        // Root handling: lock the root pointer for write; once the root
+        // node itself is write-locked and safe, the pointer lock drops.
+        let mut root_guard = self.root.write();
+        let root = match root_guard.as_ref() {
+            Some(r) => Arc::clone(r),
+            None => {
+                let leaf: NodeRef<T> = Arc::new(RwLock::new(NodeBody::Leaf { keys: vec![t] }));
+                *root_guard = Some(leaf);
+                self.len.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return true;
+            }
+        };
+        let guard = RwLock::write_arc(&root);
+        if guard.is_safe() {
+            drop(root_guard);
+            let inserted = Self::insert_locked(guard, t);
+            if inserted {
+                self.len.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            inserted
+        } else {
+            // Unsafe root: it may split, so the pointer lock is held
+            // through the split (the pessimistic scheme's choke point).
+            match Self::insert_unsafe_top(guard, t) {
+                SplitResult::Done(inserted) => {
+                    if inserted {
+                        self.len.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    inserted
+                }
+                SplitResult::Split(median, right, inserted) => {
+                    let new_root: NodeRef<T> = Arc::new(RwLock::new(NodeBody::Inner(Inner {
+                        keys: vec![median],
+                        children: vec![Arc::clone(&root), right],
+                    })));
+                    *root_guard = Some(new_root);
+                    if inserted {
+                        self.len.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    inserted
+                }
+            }
+        }
+    }
+
+    /// Descends from a write-locked *safe* node, coupling write locks and
+    /// resolving child splits locally (the parent has room by invariant).
+    fn insert_locked(
+        mut guard: parking_lot::lock_api::ArcRwLockWriteGuard<parking_lot::RawRwLock, NodeBody<T>>,
+        t: T,
+    ) -> bool {
+        loop {
+            let (idx, found) = guard.search(&t);
+            if found {
+                return false;
+            }
+            match &mut *guard {
+                NodeBody::Leaf { keys } => {
+                    debug_assert!(keys.len() < MAX_KEYS);
+                    keys.insert(idx, t);
+                    return true;
+                }
+                NodeBody::Inner(inner) => {
+                    let child = Arc::clone(&inner.children[idx]);
+                    let child_guard = RwLock::write_arc(&child);
+                    if child_guard.is_safe() {
+                        drop(guard); // child safe: release the parent
+                        guard = child_guard;
+                        continue;
+                    }
+                    // Unsafe child: keep the parent locked, split below.
+                    match Self::insert_unsafe_top(child_guard, t) {
+                        SplitResult::Done(inserted) => return inserted,
+                        SplitResult::Split(median, right, inserted) => {
+                            let NodeBody::Inner(inner) = &mut *guard else {
+                                unreachable!()
+                            };
+                            inner.keys.insert(idx, median);
+                            inner.children.insert(idx + 1, right);
+                            return inserted;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inserts into a write-locked *full* node: splits it first, then
+    /// continues into the proper half. The caller installs the returned
+    /// median/sibling.
+    fn insert_unsafe_top(
+        mut guard: parking_lot::lock_api::ArcRwLockWriteGuard<parking_lot::RawRwLock, NodeBody<T>>,
+        t: T,
+    ) -> SplitResult<T> {
+        // Duplicate already present in this node?
+        let (_, found) = guard.search(&t);
+        if found {
+            return SplitResult::Done(false);
+        }
+        // Split the node in place.
+        let (median, right): (T, NodeRef<T>) = match &mut *guard {
+            NodeBody::Leaf { keys } => {
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid + 1);
+                let median = keys.pop().expect("median");
+                (
+                    median,
+                    Arc::new(RwLock::new(NodeBody::Leaf { keys: right_keys })),
+                )
+            }
+            NodeBody::Inner(inner) => {
+                let mid = inner.keys.len() / 2;
+                let right_keys = inner.keys.split_off(mid + 1);
+                let median = inner.keys.pop().expect("median");
+                let right_children = inner.children.split_off(mid + 1);
+                (
+                    median,
+                    Arc::new(RwLock::new(NodeBody::Inner(Inner {
+                        keys: right_keys,
+                        children: right_children,
+                    }))),
+                )
+            }
+        };
+        // Insert into the correct half (both halves are now safe). The key
+        // may still be a duplicate deeper in the subtree.
+        let inserted = if t < median {
+            Self::insert_locked(guard, t)
+        } else if t == median {
+            false
+        } else {
+            let right_guard = RwLock::write_arc(&right);
+            drop(guard);
+            Self::insert_locked(right_guard, t)
+        };
+        SplitResult::Split(median, right, inserted)
+    }
+
+    /// Snapshots all elements in ascending order. Quiescent phases only.
+    pub fn snapshot_sorted(&self) -> Vec<T> {
+        fn rec<T: Ord + Copy>(node: &NodeRef<T>, out: &mut Vec<T>) {
+            let guard = node.read();
+            match &*guard {
+                NodeBody::Leaf { keys } => out.extend_from_slice(keys),
+                NodeBody::Inner(inner) => {
+                    for (i, c) in inner.children.iter().enumerate() {
+                        rec(c, out);
+                        if i < inner.keys.len() {
+                            out.push(inner.keys[i]);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(self.len());
+        if let Some(root) = self.root.read().as_ref() {
+            rec(root, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet as Model;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn empty() {
+        let t: LockCouplingBTree<u64> = LockCouplingBTree::new();
+        assert!(t.is_empty());
+        assert!(!t.contains(&1));
+        assert!(t.snapshot_sorted().is_empty());
+    }
+
+    #[test]
+    fn sequential_ordered_and_random_match_model() {
+        for ordered in [true, false] {
+            let t = LockCouplingBTree::new();
+            let mut m = Model::new();
+            let mut rng = 3u64;
+            for i in 0..20_000u64 {
+                let k = if ordered {
+                    i
+                } else {
+                    splitmix(&mut rng) % 8_000
+                };
+                assert_eq!(t.insert(k), m.insert(k), "key {k}");
+            }
+            assert_eq!(t.len(), m.len());
+            assert_eq!(t.snapshot_sorted(), m.iter().copied().collect::<Vec<_>>());
+            for probe in (0..8_000u64).step_by(13) {
+                assert_eq!(t.contains(&probe), m.contains(&probe));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let t = LockCouplingBTree::new();
+        std::thread::scope(|s| {
+            for w in 0..8u64 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..3_000 {
+                        assert!(t.insert(w * 100_000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 24_000);
+        let snap = t.snapshot_sorted();
+        assert!(snap.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn concurrent_overlapping_inserts_count_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+        let t = LockCouplingBTree::new();
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let t = &t;
+                let wins = &wins;
+                s.spawn(move || {
+                    for i in 0..4_000u64 {
+                        if t.insert(i % 2_000) {
+                            wins.fetch_add(1, Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Relaxed), 2_000);
+        assert_eq!(t.len(), 2_000);
+    }
+
+    #[test]
+    fn concurrent_reads_during_writes() {
+        let t = LockCouplingBTree::new();
+        for i in 0..2_000u64 {
+            t.insert(i * 2 + 1);
+        }
+        std::thread::scope(|s| {
+            for w in 0..3u64 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        t.insert(i * 6 + w * 2);
+                    }
+                });
+            }
+            let t = &t;
+            s.spawn(move || {
+                for i in 0..2_000u64 {
+                    assert!(t.contains(&(i * 2 + 1)), "stable key vanished");
+                }
+            });
+        });
+    }
+}

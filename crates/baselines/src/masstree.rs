@@ -1,0 +1,208 @@
+//! A Masstree-style layered tree — the stand-in for Masstree in the paper's
+//! §4.4 comparison (Table 3).
+//!
+//! **Substitution note** (see DESIGN.md): Masstree (Mao, Kohler, Morris;
+//! EuroSys 2012) is a trie of B+trees: each trie layer indexes one 8-byte
+//! key slice with a B+tree; keys longer than 8 bytes continue into
+//! sub-layers. Its client/server deployment and string-key orientation are
+//! what made it awkward for Soufflé (the paper benchmarked it through its
+//! bundled utility). This analog keeps the defining structure — a layered
+//! B+tree over 8-byte slices, here the `u64` words of a tuple — in-process,
+//! with hash-sharded locking standing in for Masstree's fine-grained
+//! per-node versioning (preserving the "scales with threads, slower per
+//! operation than the specialized B-tree" profile of Table 3).
+
+use crate::bplus::BPlusMap;
+use parking_lot::Mutex;
+
+const SHARDS: usize = 64;
+
+/// One trie layer: a B+tree over one key word. The value is the next layer
+/// (`Some`) for non-final words or a terminal marker (`None`).
+struct Layer {
+    map: BPlusMap<Option<Box<Layer>>>,
+}
+
+impl Layer {
+    fn new() -> Self {
+        Self {
+            map: BPlusMap::new(),
+        }
+    }
+
+    /// Inserts the key suffix `words`; returns true if newly inserted.
+    fn insert(&mut self, words: &[u64]) -> bool {
+        debug_assert!(!words.is_empty());
+        let (first, rest) = (words[0], &words[1..]);
+        if rest.is_empty() {
+            if self.map.contains_key(&first) {
+                return false;
+            }
+            self.map.insert(first, None);
+            true
+        } else {
+            match self.map.get_mut(&first) {
+                Some(Some(sub)) => sub.insert(rest),
+                Some(None) => unreachable!("fixed arity: terminal met mid-key"),
+                None => {
+                    let mut sub = Box::new(Layer::new());
+                    sub.insert(rest);
+                    self.map.insert(first, Some(sub));
+                    true
+                }
+            }
+        }
+    }
+
+    fn contains(&self, words: &[u64]) -> bool {
+        debug_assert!(!words.is_empty());
+        let (first, rest) = (words[0], &words[1..]);
+        match self.map.get(&first) {
+            None => false,
+            Some(None) => rest.is_empty(),
+            Some(Some(sub)) => !rest.is_empty() && sub.contains(rest),
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.map
+            .iter()
+            .map(|(_, v)| match v {
+                None => 1,
+                Some(sub) => sub.count(),
+            })
+            .sum()
+    }
+}
+
+/// A thread-safe layered tree over `K`-word tuple keys.
+///
+/// ```
+/// use baselines::masstree::MasstreeAnalog;
+///
+/// let t: MasstreeAnalog<2> = MasstreeAnalog::new();
+/// assert!(t.insert([1, 2]));
+/// assert!(!t.insert([1, 2]));
+/// assert!(t.contains(&[1, 2]));
+/// assert!(!t.contains(&[1, 3]));
+/// ```
+pub struct MasstreeAnalog<const K: usize> {
+    shards: Vec<Mutex<Layer>>,
+}
+
+impl<const K: usize> Default for MasstreeAnalog<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const K: usize> MasstreeAnalog<K> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        assert!(K >= 1);
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Layer::new())).collect(),
+        }
+    }
+
+    #[inline]
+    fn shard_of(key: &[u64; K]) -> usize {
+        let mut z = key[0].wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        ((z ^ (z >> 31)) >> 58) as usize & (SHARDS - 1)
+    }
+
+    /// Inserts `key`, returning `true` if it was not present. Thread-safe.
+    pub fn insert(&self, key: [u64; K]) -> bool {
+        self.shards[Self::shard_of(&key)].lock().insert(&key)
+    }
+
+    /// Membership test. Thread-safe.
+    pub fn contains(&self, key: &[u64; K]) -> bool {
+        self.shards[Self::shard_of(key)].lock().contains(key)
+    }
+
+    /// Total element count. Quiescent phases only.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().count()).sum()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn single_word_keys() {
+        let t: MasstreeAnalog<1> = MasstreeAnalog::new();
+        for i in 0..10_000u64 {
+            assert!(t.insert([i * 7]));
+        }
+        for i in 0..10_000u64 {
+            assert!(!t.insert([i * 7]));
+            assert!(t.contains(&[i * 7]));
+            assert!(!t.contains(&[i * 7 + 1]));
+        }
+        assert_eq!(t.len(), 10_000);
+    }
+
+    #[test]
+    fn multi_word_keys_descend_layers() {
+        let t: MasstreeAnalog<3> = MasstreeAnalog::new();
+        let mut rng = 2u64;
+        let mut model = std::collections::BTreeSet::new();
+        for _ in 0..10_000 {
+            let k = [
+                splitmix(&mut rng) % 20,
+                splitmix(&mut rng) % 20,
+                splitmix(&mut rng) % 20,
+            ];
+            assert_eq!(t.insert(k), model.insert(k), "{k:?}");
+        }
+        assert_eq!(t.len(), model.len());
+        for k in &model {
+            assert!(t.contains(k));
+        }
+    }
+
+    #[test]
+    fn shared_prefixes_dont_collide() {
+        let t: MasstreeAnalog<2> = MasstreeAnalog::new();
+        assert!(t.insert([7, 1]));
+        assert!(t.insert([7, 2]));
+        assert!(t.insert([8, 1]));
+        assert!(t.contains(&[7, 1]));
+        assert!(t.contains(&[7, 2]));
+        assert!(!t.contains(&[7, 3]));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        let t: MasstreeAnalog<2> = MasstreeAnalog::new();
+        std::thread::scope(|s| {
+            for p in 0..8u64 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..2_000 {
+                        t.insert([p, i]);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 16_000);
+    }
+}

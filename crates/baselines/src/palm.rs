@@ -1,0 +1,215 @@
+//! A PALM-style batch-processing tree — the stand-in for the PALM tree in
+//! the paper's §4.4 comparison (Table 3).
+//!
+//! **Substitution note** (see DESIGN.md): PALM (Sewall et al., VLDB 2011) is
+//! a latch-free B+tree in which client threads never touch the tree;
+//! operations are enqueued and an internal engine processes them in sorted
+//! batches. Its AVX-accelerated node search is irrelevant to the comparison
+//! shape — what Table 3 exercises is the *architecture*: per-operation
+//! queuing overhead dominates small-operation throughput, which is why PALM
+//! posts ~0.4 M inserts/s regardless of thread count. This analog reproduces
+//! that architecture: producers stage operations under a lock, a dedicated
+//! worker thread drains, sorts, and applies batches to an internal B-tree.
+
+use crate::gbtree::GBTreeSet;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+
+struct Shared<T: Ord + Copy> {
+    staging: Mutex<Vec<T>>,
+    work_ready: Condvar,
+    /// Signalled whenever the worker finishes a batch and the staging
+    /// buffer is empty (flush waiters listen here).
+    drained: Condvar,
+    /// True while the worker is applying a batch.
+    busy: Mutex<bool>,
+    shutdown: AtomicBool,
+    tree: Mutex<GBTreeSet<T>>,
+}
+
+/// A set with PALM-style internal batch synchronization.
+///
+/// Reads ([`contains`](Self::contains), [`len`](Self::len)) implicitly
+/// [`flush`](Self::flush) first, mirroring PALM's batch boundaries acting as
+/// synchronization points.
+///
+/// ```
+/// use baselines::palm::PalmTree;
+///
+/// let t = PalmTree::new();
+/// for i in 0..1_000u64 {
+///     t.insert(i);
+/// }
+/// t.flush();
+/// assert_eq!(t.len(), 1_000);
+/// assert!(t.contains(&999));
+/// ```
+pub struct PalmTree<T: Ord + Copy + Send + 'static> {
+    shared: Arc<Shared<T>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T: Ord + Copy + Send + 'static> Default for PalmTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Ord + Copy + Send + 'static> PalmTree<T> {
+    /// Creates an empty tree and starts its internal worker thread.
+    pub fn new() -> Self {
+        let shared = Arc::new(Shared {
+            staging: Mutex::new(Vec::new()),
+            work_ready: Condvar::new(),
+            drained: Condvar::new(),
+            busy: Mutex::new(false),
+            shutdown: AtomicBool::new(false),
+            tree: Mutex::new(GBTreeSet::new()),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::spawn(move || Self::worker_loop(&worker_shared));
+        Self {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    fn worker_loop(shared: &Shared<T>) {
+        loop {
+            let mut batch = {
+                let mut staging = shared.staging.lock();
+                while staging.is_empty() && !shared.shutdown.load(Relaxed) {
+                    shared.work_ready.wait(&mut staging);
+                }
+                if staging.is_empty() {
+                    return; // shutdown with nothing left to do
+                }
+                *shared.busy.lock() = true;
+                std::mem::take(&mut *staging)
+            };
+            // PALM sorts each batch so tree modifications proceed in key
+            // order (enabling its latch-free partitioning; here it keeps
+            // the analog's application phase cache-friendly).
+            batch.sort_unstable();
+            batch.dedup();
+            {
+                let mut tree = shared.tree.lock();
+                for op in batch {
+                    tree.insert(op);
+                }
+            }
+            let mut busy = shared.busy.lock();
+            *busy = false;
+            if shared.staging.lock().is_empty() {
+                shared.drained.notify_all();
+            }
+        }
+    }
+
+    /// Enqueues an insertion. The effect becomes visible at the next batch
+    /// boundary; thread-safe.
+    pub fn insert(&self, key: T) {
+        let mut staging = self.shared.staging.lock();
+        staging.push(key);
+        drop(staging);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// Blocks until every previously enqueued operation has been applied.
+    pub fn flush(&self) {
+        let mut busy = self.shared.busy.lock();
+        while *busy || !self.shared.staging.lock().is_empty() {
+            self.shared.work_ready.notify_one();
+            self.shared
+                .drained
+                .wait_for(&mut busy, std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Membership test at a batch boundary (flushes first).
+    pub fn contains(&self, key: &T) -> bool {
+        self.flush();
+        self.shared.tree.lock().contains(key)
+    }
+
+    /// Element count at a batch boundary (flushes first).
+    pub fn len(&self) -> usize {
+        self.flush();
+        self.shared.tree.lock().len()
+    }
+
+    /// Whether the set is empty at a batch boundary.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshots all elements in ascending order (flushes first).
+    pub fn snapshot(&self) -> Vec<T> {
+        self.flush();
+        self.shared.tree.lock().iter().collect()
+    }
+}
+
+impl<T: Ord + Copy + Send + 'static> Drop for PalmTree<T> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Relaxed);
+        self.shared.work_ready.notify_all();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_flush_then_read() {
+        let t = PalmTree::new();
+        for i in 0..5_000u64 {
+            t.insert(i % 1_000);
+        }
+        t.flush();
+        assert_eq!(t.len(), 1_000);
+        for i in 0..1_000u64 {
+            assert!(t.contains(&i));
+        }
+        assert!(!t.contains(&1_000));
+    }
+
+    #[test]
+    fn concurrent_producers() {
+        let t = PalmTree::new();
+        std::thread::scope(|s| {
+            for p in 0..8u64 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..2_000 {
+                        t.insert(p * 100_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 16_000);
+        let snap = t.snapshot();
+        assert!(snap.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn flush_on_empty_tree_returns() {
+        let t: PalmTree<u64> = PalmTree::new();
+        t.flush();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn drop_with_pending_work_does_not_hang() {
+        let t = PalmTree::new();
+        for i in 0..100u64 {
+            t.insert(i);
+        }
+        drop(t); // must not deadlock
+    }
+}

@@ -1,0 +1,480 @@
+//! A red-black tree set — the stand-in for C++ `std::set` ("STL rbtset" in
+//! the paper's Table 1).
+//!
+//! Every mainstream C++ standard library implements `std::set` as a
+//! red-black tree of individually allocated nodes; the defining performance
+//! characteristics are O(log n) pointer-chasing operations with one node per
+//! element (poor cache locality compared to B-trees). This implementation
+//! reproduces that profile with a classic CLRS insert-fixup over an index
+//! arena (indices instead of raw pointers keep the module safe; each node is
+//! still an individual ~40-byte entity reached by chasing links).
+
+use std::cmp::Ordering;
+
+const NONE: u32 = u32::MAX;
+
+struct Node<T> {
+    key: T,
+    left: u32,
+    right: u32,
+    parent: u32,
+    red: bool,
+}
+
+/// An ordered set backed by a red-black tree.
+///
+/// ```
+/// use baselines::rbtree::RbTreeSet;
+///
+/// let mut s = RbTreeSet::new();
+/// assert!(s.insert(3));
+/// assert!(s.insert(1));
+/// assert!(!s.insert(3));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3]);
+/// ```
+pub struct RbTreeSet<T> {
+    nodes: Vec<Node<T>>,
+    root: u32,
+    len: usize,
+}
+
+impl<T: Ord + Copy> Default for RbTreeSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Ord + Copy> RbTreeSet<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            root: NONE,
+            len: 0,
+        }
+    }
+
+    /// Number of stored elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `key`, returning `true` if it was not present.
+    pub fn insert(&mut self, key: T) -> bool {
+        // Standard BST descent.
+        let mut parent = NONE;
+        let mut cur = self.root;
+        let mut went_left = false;
+        while cur != NONE {
+            parent = cur;
+            match key.cmp(&self.nodes[cur as usize].key) {
+                Ordering::Less => {
+                    cur = self.nodes[cur as usize].left;
+                    went_left = true;
+                }
+                Ordering::Greater => {
+                    cur = self.nodes[cur as usize].right;
+                    went_left = false;
+                }
+                Ordering::Equal => return false,
+            }
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            key,
+            left: NONE,
+            right: NONE,
+            parent,
+            red: true,
+        });
+        if parent == NONE {
+            self.root = id;
+        } else if went_left {
+            self.nodes[parent as usize].left = id;
+        } else {
+            self.nodes[parent as usize].right = id;
+        }
+        self.len += 1;
+        self.insert_fixup(id);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: &T) -> bool {
+        let mut cur = self.root;
+        while cur != NONE {
+            match key.cmp(&self.nodes[cur as usize].key) {
+                Ordering::Less => cur = self.nodes[cur as usize].left,
+                Ordering::Greater => cur = self.nodes[cur as usize].right,
+                Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// First element `>= key`, if any, as a cursor.
+    pub fn lower_bound(&self, key: &T) -> RbIter<'_, T> {
+        let mut cur = self.root;
+        let mut candidate = NONE;
+        while cur != NONE {
+            match self.nodes[cur as usize].key.cmp(key) {
+                Ordering::Less => cur = self.nodes[cur as usize].right,
+                _ => {
+                    candidate = cur;
+                    cur = self.nodes[cur as usize].left;
+                }
+            }
+        }
+        RbIter {
+            set: self,
+            cur: candidate,
+        }
+    }
+
+    /// First element `> key`, if any, as a cursor.
+    pub fn upper_bound(&self, key: &T) -> RbIter<'_, T> {
+        let mut cur = self.root;
+        let mut candidate = NONE;
+        while cur != NONE {
+            if self.nodes[cur as usize].key.cmp(key) == Ordering::Greater {
+                candidate = cur;
+                cur = self.nodes[cur as usize].left;
+            } else {
+                cur = self.nodes[cur as usize].right;
+            }
+        }
+        RbIter {
+            set: self,
+            cur: candidate,
+        }
+    }
+
+    /// In-order iterator over all elements.
+    pub fn iter(&self) -> RbIter<'_, T> {
+        let mut cur = self.root;
+        if cur != NONE {
+            while self.nodes[cur as usize].left != NONE {
+                cur = self.nodes[cur as usize].left;
+            }
+        }
+        RbIter { set: self, cur }
+    }
+
+    /// All elements in `[lower, upper)`.
+    pub fn range<'a>(&'a self, lower: &T, upper: &T) -> impl Iterator<Item = T> + 'a {
+        let upper = *upper;
+        self.lower_bound(lower).take_while(move |k| *k < upper)
+    }
+
+    fn rotate_left(&mut self, x: u32) {
+        let y = self.nodes[x as usize].right;
+        debug_assert_ne!(y, NONE);
+        let y_left = self.nodes[y as usize].left;
+        self.nodes[x as usize].right = y_left;
+        if y_left != NONE {
+            self.nodes[y_left as usize].parent = x;
+        }
+        let xp = self.nodes[x as usize].parent;
+        self.nodes[y as usize].parent = xp;
+        if xp == NONE {
+            self.root = y;
+        } else if self.nodes[xp as usize].left == x {
+            self.nodes[xp as usize].left = y;
+        } else {
+            self.nodes[xp as usize].right = y;
+        }
+        self.nodes[y as usize].left = x;
+        self.nodes[x as usize].parent = y;
+    }
+
+    fn rotate_right(&mut self, x: u32) {
+        let y = self.nodes[x as usize].left;
+        debug_assert_ne!(y, NONE);
+        let y_right = self.nodes[y as usize].right;
+        self.nodes[x as usize].left = y_right;
+        if y_right != NONE {
+            self.nodes[y_right as usize].parent = x;
+        }
+        let xp = self.nodes[x as usize].parent;
+        self.nodes[y as usize].parent = xp;
+        if xp == NONE {
+            self.root = y;
+        } else if self.nodes[xp as usize].right == x {
+            self.nodes[xp as usize].right = y;
+        } else {
+            self.nodes[xp as usize].left = y;
+        }
+        self.nodes[y as usize].right = x;
+        self.nodes[x as usize].parent = y;
+    }
+
+    fn is_red(&self, n: u32) -> bool {
+        n != NONE && self.nodes[n as usize].red
+    }
+
+    /// CLRS RB-INSERT-FIXUP.
+    fn insert_fixup(&mut self, mut z: u32) {
+        while self.is_red(self.nodes[z as usize].parent) {
+            let p = self.nodes[z as usize].parent;
+            let g = self.nodes[p as usize].parent; // grandparent exists: p is red, root is black
+            if p == self.nodes[g as usize].left {
+                let uncle = self.nodes[g as usize].right;
+                if self.is_red(uncle) {
+                    self.nodes[p as usize].red = false;
+                    self.nodes[uncle as usize].red = false;
+                    self.nodes[g as usize].red = true;
+                    z = g;
+                } else {
+                    if z == self.nodes[p as usize].right {
+                        z = p;
+                        self.rotate_left(z);
+                    }
+                    let p = self.nodes[z as usize].parent;
+                    let g = self.nodes[p as usize].parent;
+                    self.nodes[p as usize].red = false;
+                    self.nodes[g as usize].red = true;
+                    self.rotate_right(g);
+                }
+            } else {
+                let uncle = self.nodes[g as usize].left;
+                if self.is_red(uncle) {
+                    self.nodes[p as usize].red = false;
+                    self.nodes[uncle as usize].red = false;
+                    self.nodes[g as usize].red = true;
+                    z = g;
+                } else {
+                    if z == self.nodes[p as usize].left {
+                        z = p;
+                        self.rotate_right(z);
+                    }
+                    let p = self.nodes[z as usize].parent;
+                    let g = self.nodes[p as usize].parent;
+                    self.nodes[p as usize].red = false;
+                    self.nodes[g as usize].red = true;
+                    self.rotate_left(g);
+                }
+            }
+        }
+        let root = self.root;
+        self.nodes[root as usize].red = false;
+    }
+
+    /// Verifies the red-black invariants (test helper): root is black, no
+    /// red node has a red child, and every root-to-leaf path carries the
+    /// same number of black nodes. Returns the black height.
+    pub fn check_invariants(&self) -> Result<usize, String> {
+        if self.root == NONE {
+            return Ok(0);
+        }
+        if self.nodes[self.root as usize].red {
+            return Err("root is red".into());
+        }
+        self.check_node(self.root, None, None)
+    }
+
+    fn check_node(&self, n: u32, min: Option<T>, max: Option<T>) -> Result<usize, String> {
+        if n == NONE {
+            return Ok(1);
+        }
+        let node = &self.nodes[n as usize];
+        if let Some(m) = min {
+            if node.key <= m {
+                return Err("BST order violated (min)".into());
+            }
+        }
+        if let Some(m) = max {
+            if node.key >= m {
+                return Err("BST order violated (max)".into());
+            }
+        }
+        if node.red && (self.is_red(node.left) || self.is_red(node.right)) {
+            return Err("red node with red child".into());
+        }
+        let lh = self.check_node(node.left, min, Some(node.key))?;
+        let rh = self.check_node(node.right, Some(node.key), max)?;
+        if lh != rh {
+            return Err(format!("black height mismatch: {lh} vs {rh}"));
+        }
+        Ok(lh + usize::from(!node.red))
+    }
+}
+
+impl<T: Ord + Copy> Extend<T> for RbTreeSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for k in iter {
+            self.insert(k);
+        }
+    }
+}
+
+impl<T: Ord + Copy> FromIterator<T> for RbTreeSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// In-order cursor over an [`RbTreeSet`] (successor walks via parent links,
+/// like `std::set` iterators).
+pub struct RbIter<'a, T> {
+    set: &'a RbTreeSet<T>,
+    cur: u32,
+}
+
+impl<'a, T: Ord + Copy> Iterator for RbIter<'a, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.cur == NONE {
+            return None;
+        }
+        let item = self.set.nodes[self.cur as usize].key;
+        // Successor.
+        let mut n = self.cur;
+        let right = self.set.nodes[n as usize].right;
+        if right != NONE {
+            let mut cur = right;
+            while self.set.nodes[cur as usize].left != NONE {
+                cur = self.set.nodes[cur as usize].left;
+            }
+            self.cur = cur;
+        } else {
+            loop {
+                let p = self.set.nodes[n as usize].parent;
+                if p == NONE {
+                    self.cur = NONE;
+                    break;
+                }
+                if self.set.nodes[p as usize].left == n {
+                    self.cur = p;
+                    break;
+                }
+                n = p;
+            }
+        }
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet as Model;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn empty() {
+        let s: RbTreeSet<u64> = RbTreeSet::new();
+        assert!(s.is_empty());
+        assert!(!s.contains(&1));
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.check_invariants().unwrap(), 0);
+    }
+
+    #[test]
+    fn ordered_inserts_stay_balanced() {
+        let mut s = RbTreeSet::new();
+        for i in 0..10_000u64 {
+            assert!(s.insert(i));
+        }
+        let bh = s.check_invariants().unwrap();
+        // Black height of a 10k-element RB tree is at most ~log2(n)+1.
+        assert!(bh <= 16, "black height {bh}");
+        assert_eq!(s.len(), 10_000);
+        let v: Vec<_> = s.iter().collect();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(v.len(), 10_000);
+    }
+
+    #[test]
+    fn random_inserts_match_model() {
+        let mut s = RbTreeSet::new();
+        let mut model = Model::new();
+        let mut rng = 11u64;
+        for _ in 0..20_000 {
+            let k = splitmix(&mut rng) % 5_000;
+            assert_eq!(s.insert(k), model.insert(k));
+        }
+        s.check_invariants().unwrap();
+        assert_eq!(s.len(), model.len());
+        let ours: Vec<_> = s.iter().collect();
+        let theirs: Vec<_> = model.iter().copied().collect();
+        assert_eq!(ours, theirs);
+        for probe in 0..5_000u64 {
+            assert_eq!(s.contains(&probe), model.contains(&probe));
+        }
+    }
+
+    #[test]
+    fn bounds_match_model() {
+        let mut s = RbTreeSet::new();
+        let mut model = Model::new();
+        let mut rng = 22u64;
+        for _ in 0..3_000 {
+            let k = splitmix(&mut rng) % 1_000;
+            s.insert(k);
+            model.insert(k);
+        }
+        for probe in 0..1_001u64 {
+            assert_eq!(
+                s.lower_bound(&probe).next(),
+                model.range(probe..).next().copied(),
+                "lower_bound({probe})"
+            );
+            assert_eq!(
+                s.upper_bound(&probe).next(),
+                model
+                    .range((std::ops::Bound::Excluded(probe), std::ops::Bound::Unbounded))
+                    .next()
+                    .copied(),
+                "upper_bound({probe})"
+            );
+        }
+    }
+
+    #[test]
+    fn tuple_keys_work() {
+        let mut s: RbTreeSet<[u64; 2]> = RbTreeSet::new();
+        for i in 0..1_000u64 {
+            s.insert([i % 97, i / 97]);
+        }
+        s.check_invariants().unwrap();
+        let r: Vec<_> = s.range(&[5, 0], &[6, 0]).collect();
+        assert!(r.iter().all(|t| t[0] == 5));
+        assert_eq!(r.len(), 1_000 / 97 + usize::from(5 < 1_000 % 97));
+    }
+
+    #[test]
+    fn reverse_and_zigzag_insertion_orders() {
+        for pattern in 0..3 {
+            let mut s = RbTreeSet::new();
+            let keys: Vec<u64> = match pattern {
+                0 => (0..2_000).rev().collect(),
+                1 => (0..2_000)
+                    .map(|i| if i % 2 == 0 { i } else { 4_000 - i })
+                    .collect(),
+                _ => (0..2_000).map(|i| i * 7 % 2_000).collect(),
+            };
+            for k in keys {
+                s.insert(k);
+            }
+            s.check_invariants()
+                .unwrap_or_else(|e| panic!("pattern {pattern}: {e}"));
+        }
+    }
+}

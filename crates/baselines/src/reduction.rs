@@ -1,0 +1,127 @@
+//! Parallel-reduction insertion — the paper's "reduction btree"
+//! configuration: every thread inserts into a thread-private sequential set,
+//! and the private sets are then combined in a parallel reduction step
+//! (the analog of OpenMP user-defined reductions over Google's B-tree).
+//!
+//! The strategy wins when per-thread insertion work dominates the final
+//! merge (large random workloads, few threads) and degrades as the merge —
+//! inherently ~serial in total work — grows relative to the parallel part
+//! (ordered workloads, many threads). The paper's Figure 4 shows exactly
+//! this crossover, and the `fig4` harness reproduces it.
+
+use crate::gbtree::GBTreeSet;
+
+/// Inserts each batch into a thread-private [`GBTreeSet`] on its own thread,
+/// then merges the per-thread sets pairwise in parallel rounds (a reduction
+/// tree), returning the union.
+pub fn reduce_insert<T: Ord + Copy + Send>(batches: Vec<Vec<T>>) -> GBTreeSet<T> {
+    // Phase 1: thread-private insertion.
+    let mut sets: Vec<GBTreeSet<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| {
+                s.spawn(move || {
+                    let mut set = GBTreeSet::new();
+                    for k in batch {
+                        set.insert(k);
+                    }
+                    set
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Phase 2: pairwise parallel reduction rounds.
+    while sets.len() > 1 {
+        let mut next: Vec<GBTreeSet<T>> = Vec::with_capacity(sets.len().div_ceil(2));
+        let mut drain = sets.into_iter();
+        let mut pairs = Vec::new();
+        while let Some(a) = drain.next() {
+            match drain.next() {
+                Some(b) => pairs.push((a, b)),
+                None => next.push(a), // odd one out advances unmerged
+            }
+        }
+        let merged: Vec<GBTreeSet<T>> = std::thread::scope(|s| {
+            let handles: Vec<_> = pairs
+                .into_iter()
+                .map(|(mut a, b)| {
+                    s.spawn(move || {
+                        // Merge the smaller set into the larger one.
+                        if a.len() < b.len() {
+                            let mut b = b;
+                            b.merge_from(&a);
+                            b
+                        } else {
+                            a.merge_from(&b);
+                            a
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        next.extend(merged);
+        sets = next;
+    }
+    sets.pop().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        let set: GBTreeSet<u64> = reduce_insert(vec![]);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn single_batch() {
+        let set = reduce_insert(vec![(0..1_000u64).collect()]);
+        assert_eq!(set.len(), 1_000);
+        set.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn disjoint_batches_union() {
+        let batches: Vec<Vec<u64>> = (0..7u64)
+            .map(|t| (0..1_000).map(|i| t * 10_000 + i).collect())
+            .collect();
+        let set = reduce_insert(batches);
+        assert_eq!(set.len(), 7_000);
+        set.check_invariants().unwrap();
+        let v: Vec<_> = set.iter().collect();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn overlapping_batches_dedupe() {
+        let batches: Vec<Vec<u64>> = (0..4).map(|_| (0..2_000u64).collect()).collect();
+        let set = reduce_insert(batches);
+        assert_eq!(set.len(), 2_000);
+    }
+
+    #[test]
+    fn odd_batch_counts() {
+        for n in [1usize, 3, 5] {
+            let batches: Vec<Vec<u64>> = (0..n as u64)
+                .map(|t| (0..500).map(|i| t * 1_000 + i).collect())
+                .collect();
+            let set = reduce_insert(batches);
+            assert_eq!(set.len(), n * 500, "n={n}");
+        }
+    }
+
+    #[test]
+    fn tuple_batches() {
+        let batches: Vec<Vec<[u64; 2]>> = (0..4u64)
+            .map(|t| (0..500).map(|i| [t, i]).collect())
+            .collect();
+        let set = reduce_insert(batches);
+        assert_eq!(set.len(), 2_000);
+        set.check_invariants().unwrap();
+    }
+}

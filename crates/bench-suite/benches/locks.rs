@@ -1,0 +1,128 @@
+//! Lock micro-benchmarks backing the paper's §3.1 argument: an optimistic
+//! read lease performs **no store**, so its read path stays cheap where
+//! classical read-write locks pay an atomic RMW to register the reader
+//! (and, on multi-socket hardware, a cache-line invalidation — not
+//! measurable here, but the instruction-path difference is).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use optlock::{OptimisticRwLock, SeqCell};
+use parking_lot::{Mutex, RwLock};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+const READS: u64 = 10_000;
+
+fn read_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_read_path");
+    group.throughput(Throughput::Elements(READS));
+
+    let opt = OptimisticRwLock::new();
+    let data = AtomicU64::new(42);
+    group.bench_function("optimistic lease (no store)", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for _ in 0..READS {
+                loop {
+                    let lease = opt.start_read();
+                    let v = data.load(Relaxed);
+                    if opt.end_read(lease) {
+                        sum = sum.wrapping_add(v);
+                        break;
+                    }
+                }
+            }
+            black_box(sum)
+        })
+    });
+
+    let rw = RwLock::new(42u64);
+    group.bench_function("parking_lot RwLock::read", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for _ in 0..READS {
+                sum = sum.wrapping_add(*rw.read());
+            }
+            black_box(sum)
+        })
+    });
+
+    let mutex = Mutex::new(42u64);
+    group.bench_function("parking_lot Mutex::lock", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for _ in 0..READS {
+                sum = sum.wrapping_add(*mutex.lock());
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn write_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_write_path");
+    group.throughput(Throughput::Elements(READS));
+
+    let cell: SeqCell<2> = SeqCell::new([0, 0]);
+    group.bench_function("optimistic write (2 words)", |b| {
+        b.iter(|| {
+            for i in 0..READS {
+                cell.write([i, i]);
+            }
+            black_box(cell.read())
+        })
+    });
+
+    let rw = RwLock::new([0u64, 0]);
+    group.bench_function("parking_lot RwLock::write (2 words)", |b| {
+        b.iter(|| {
+            for i in 0..READS {
+                *rw.write() = [i, i];
+            }
+            black_box(*rw.read())
+        })
+    });
+    group.finish();
+}
+
+fn upgrade_path(c: &mut Criterion) {
+    // The read-potential-write pattern (§3.1): inspect, then upgrade.
+    let mut group = c.benchmark_group("lock_read_then_upgrade");
+    group.throughput(Throughput::Elements(READS));
+
+    let cell: SeqCell<1> = SeqCell::new([0]);
+    group.bench_function("optimistic upgrade", |b| {
+        b.iter(|| {
+            for _ in 0..READS {
+                cell.update(|[v]| [v.wrapping_add(1)]);
+            }
+            black_box(cell.read())
+        })
+    });
+
+    let mutex = Mutex::new(0u64);
+    group.bench_function("mutex (pessimistic)", |b| {
+        b.iter(|| {
+            for _ in 0..READS {
+                let mut g = mutex.lock();
+                *g = g.wrapping_add(1);
+            }
+            black_box(*mutex.lock())
+        })
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = read_paths, write_paths, upgrade_path
+}
+criterion_main!(benches);

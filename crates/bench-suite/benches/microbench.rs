@@ -1,0 +1,179 @@
+//! Criterion micro-benchmarks mirroring the paper's Figures 3 and 4 at
+//! CI-friendly sizes (the `fig3`/`fig4` binaries run the full paper-style
+//! sweeps and print the figures' tables).
+
+use baselines::gbtree::GBTreeSet;
+use baselines::global_lock::GlobalLock;
+use baselines::splitorder::SplitOrderedSet;
+use bench_suite::Contestant;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use specbtree::BTreeSet;
+use std::hint::black_box;
+use workloads::points::{partition_batches, points_2d, query_sequence};
+
+const SIDE: u64 = 100; // 10_000 elements per run
+
+fn seq_insert(c: &mut Criterion) {
+    for ordered in [true, false] {
+        let name = if ordered {
+            "fig3a_seq_insert_ordered"
+        } else {
+            "fig3b_seq_insert_random"
+        };
+        let mut group = c.benchmark_group(name);
+        group.throughput(Throughput::Elements(SIDE * SIDE));
+        let pts = points_2d(SIDE, ordered, 42);
+        for contestant in Contestant::ALL {
+            group.bench_function(BenchmarkId::from_parameter(contestant.label()), |b| {
+                b.iter(|| {
+                    let mut set = contestant.create();
+                    for t in &pts {
+                        set.insert(black_box(*t));
+                    }
+                    black_box(set.scan_count())
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn membership(c: &mut Criterion) {
+    for ordered in [true, false] {
+        let name = if ordered {
+            "fig3c_membership_ordered"
+        } else {
+            "fig3d_membership_random"
+        };
+        let mut group = c.benchmark_group(name);
+        group.throughput(Throughput::Elements(SIDE * SIDE));
+        let pts = points_2d(SIDE, ordered, 42);
+        let queries = query_sequence(SIDE, ordered, 42);
+        for contestant in Contestant::ALL {
+            let mut set = contestant.create();
+            for t in &pts {
+                set.insert(*t);
+            }
+            group.bench_function(BenchmarkId::from_parameter(contestant.label()), |b| {
+                b.iter(|| {
+                    let mut found = 0usize;
+                    for q in &queries {
+                        found += usize::from(set.contains(black_box(q)));
+                    }
+                    black_box(found)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn full_scan(c: &mut Criterion) {
+    for ordered in [true, false] {
+        let name = if ordered {
+            "fig3e_scan_after_ordered"
+        } else {
+            "fig3f_scan_after_random"
+        };
+        let mut group = c.benchmark_group(name);
+        group.throughput(Throughput::Elements(SIDE * SIDE));
+        let pts = points_2d(SIDE, ordered, 42);
+        for contestant in [
+            Contestant::GoogleBTree,
+            Contestant::SeqBTree,
+            Contestant::BTree,
+            Contestant::StlRbtset,
+            Contestant::StlHashset,
+            Contestant::TbbHashset,
+        ] {
+            let mut set = contestant.create();
+            for t in &pts {
+                set.insert(*t);
+            }
+            group.bench_function(BenchmarkId::from_parameter(contestant.label()), |b| {
+                b.iter(|| black_box(set.scan_count()))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn parallel_insert(c: &mut Criterion) {
+    let threads = 4usize;
+    for ordered in [true, false] {
+        let name = if ordered {
+            "fig4_parallel_insert_ordered"
+        } else {
+            "fig4_parallel_insert_random"
+        };
+        let mut group = c.benchmark_group(name);
+        group.throughput(Throughput::Elements(SIDE * SIDE));
+        let pts = points_2d(SIDE, ordered, 42);
+        let batches = partition_batches(&pts, threads);
+
+        group.bench_function("btree", |b| {
+            b.iter(|| {
+                let tree: BTreeSet<2> = BTreeSet::new();
+                std::thread::scope(|s| {
+                    for batch in &batches {
+                        let tree = &tree;
+                        s.spawn(move || {
+                            let mut h = tree.create_hints();
+                            for t in batch {
+                                tree.insert_hinted(*t, &mut h);
+                            }
+                        });
+                    }
+                });
+                black_box(tree.is_empty())
+            })
+        });
+        group.bench_function("google btree (lock)", |b| {
+            b.iter(|| {
+                let tree = GlobalLock::new(GBTreeSet::new());
+                std::thread::scope(|s| {
+                    for batch in &batches {
+                        let tree = &tree;
+                        s.spawn(move || {
+                            for t in batch {
+                                tree.with(|set| set.insert(*t));
+                            }
+                        });
+                    }
+                });
+                black_box(tree.with(|s| s.len()))
+            })
+        });
+        group.bench_function("TBB hashset", |b| {
+            b.iter(|| {
+                let set: SplitOrderedSet<[u64; 2]> = SplitOrderedSet::new();
+                std::thread::scope(|s| {
+                    for batch in &batches {
+                        let set = &set;
+                        s.spawn(move || {
+                            for t in batch {
+                                set.insert(*t);
+                            }
+                        });
+                    }
+                });
+                black_box(set.len())
+            })
+        });
+        group.finish();
+    }
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = seq_insert, membership, full_scan, parallel_insert
+}
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Figure 3 — sequential performance of performance-critical set
+//! operations (paper §4.1).
+//!
+//! Parts: (a) insertion ordered, (b) insertion random, (c) membership
+//! ordered, (d) membership random, (e) full-range scan after ordered
+//! insert, (f) full-range scan after random insert. Rows are data
+//! structures, columns are element counts; cells are throughput in million
+//! operations per second.
+//!
+//! `--scale S` sets the largest grid side to `S` (default 320, i.e. up to
+//! ~102k elements; the paper sweeps 1000²–10000² — pass `--scale 1000` or
+//! more to approach it). Sides sweep `S/8, S/4, S/2, S` mirroring the
+//! paper's four sizes.
+
+use bench_suite::{fmt_mops, print_row, Args, Contestant};
+use workloads::points::{points_2d, query_sequence};
+use workloads::Stopwatch;
+
+fn sides(scale: usize) -> Vec<u64> {
+    let top = if scale == 0 { 320 } else { scale } as u64;
+    [8u64, 4, 2, 1].iter().map(|d| (top / d).max(2)).collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let sides = sides(args.scale);
+
+    for (part, ordered, what) in [
+        ("a", true, "sequential insertion (ordered) [M inserts/s]"),
+        (
+            "b",
+            false,
+            "sequential insertion (random order) [M inserts/s]",
+        ),
+    ] {
+        if !args.wants_part(part) {
+            continue;
+        }
+        header(&args, part, what, &sides);
+        for c in Contestant::ALL {
+            let mut cells = Vec::new();
+            for &side in &sides {
+                let pts = points_2d(side, ordered, args.seed);
+                let mut set = c.create();
+                let sw = Stopwatch::start();
+                for t in &pts {
+                    set.insert(*t);
+                }
+                cells.push(fmt_mops(sw.mops(pts.len())));
+            }
+            print_row(args.csv, c.label(), &cells);
+        }
+    }
+
+    for (part, ordered, what) in [
+        ("c", true, "membership test (ordered) [M queries/s]"),
+        ("d", false, "membership test (random order) [M queries/s]"),
+    ] {
+        if !args.wants_part(part) {
+            continue;
+        }
+        header(&args, part, what, &sides);
+        for c in Contestant::ALL {
+            let mut cells = Vec::new();
+            for &side in &sides {
+                let pts = points_2d(side, ordered, args.seed);
+                let queries = query_sequence(side, ordered, args.seed);
+                let mut set = c.create();
+                for t in &pts {
+                    set.insert(*t);
+                }
+                let sw = Stopwatch::start();
+                let mut found = 0usize;
+                for q in &queries {
+                    found += usize::from(set.contains(q));
+                }
+                assert_eq!(found, queries.len(), "all probes are members");
+                cells.push(fmt_mops(sw.mops(queries.len())));
+            }
+            print_row(args.csv, c.label(), &cells);
+        }
+    }
+
+    for (part, ordered, what) in [
+        (
+            "e",
+            true,
+            "full-range scan (after ordered insert) [M entries/s]",
+        ),
+        (
+            "f",
+            false,
+            "full-range scan (after random insert) [M entries/s]",
+        ),
+    ] {
+        if !args.wants_part(part) {
+            continue;
+        }
+        header(&args, part, what, &sides);
+        // The paper's scan plots omit the no-hint variants (hints don't
+        // apply to iteration).
+        for c in [
+            Contestant::GoogleBTree,
+            Contestant::SeqBTree,
+            Contestant::BTree,
+            Contestant::StlRbtset,
+            Contestant::StlHashset,
+            Contestant::TbbHashset,
+        ] {
+            let mut cells = Vec::new();
+            for &side in &sides {
+                let pts = points_2d(side, ordered, args.seed);
+                let mut set = c.create();
+                for t in &pts {
+                    set.insert(*t);
+                }
+                // Scan repeatedly so tiny sets measure more than timer noise.
+                let repeats = (1_000_000 / pts.len()).clamp(1, 50);
+                let sw = Stopwatch::start();
+                let mut total = 0usize;
+                for _ in 0..repeats {
+                    total += set.scan_count();
+                }
+                assert_eq!(total, pts.len() * repeats);
+                cells.push(fmt_mops(sw.mops(total)));
+            }
+            print_row(args.csv, c.label(), &cells);
+        }
+    }
+}
+
+fn header(args: &Args, part: &str, what: &str, sides: &[u64]) {
+    println!("\n== Figure 3{part}: {what}");
+    let cols: Vec<String> = sides.iter().map(|s| format!("{s}^2")).collect();
+    print_row(args.csv, "elements", &cols);
+}

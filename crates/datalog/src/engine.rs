@@ -1,0 +1,519 @@
+//! The top-level engine: program loading, fact insertion, stratified
+//! semi-naive evaluation, and result/statistics extraction.
+
+use crate::ast::Program;
+use crate::eval::{
+    compile_versions, eval_plan, fill, materialize, merge_new, CtxSet, Plan, StorageEnv,
+};
+use crate::storage::{pad, CountingStorage, OpCounters, RelationStorage, StorageKind};
+use crate::strat::{stratify, StratError, Stratification};
+use specbtree::HintStats;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An error raised while building or running an engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Stratification or safety failure.
+    Strat(StratError),
+    /// A fact or query referenced an unknown relation.
+    UnknownRelation(String),
+    /// A fact had the wrong number of columns.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Expected arity.
+        expected: usize,
+        /// Provided arity.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Strat(e) => write!(f, "{e}"),
+            EngineError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            EngineError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(f, "{relation}: expected arity {expected}, got {got}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StratError> for EngineError {
+    fn from(e: StratError) -> Self {
+        EngineError::Strat(e)
+    }
+}
+
+/// Aggregate statistics of one evaluation run — the quantities the paper's
+/// Table 2 reports ("Evaluation Statistics") plus hint effectiveness
+/// (§4.3's hint hit rates).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalStats {
+    /// Total `insert` calls on relation storages.
+    pub inserts: u64,
+    /// Total membership tests.
+    pub membership_tests: u64,
+    /// Total `lower_bound` calls.
+    pub lower_bound_calls: u64,
+    /// Total `upper_bound` calls.
+    pub upper_bound_calls: u64,
+    /// Tuples loaded as input facts.
+    pub input_tuples: u64,
+    /// Tuples derived by rules (net growth of all relations).
+    pub produced_tuples: u64,
+    /// Semi-naive fixpoint iterations across all strata.
+    pub iterations: u64,
+    /// Aggregated operation-hint statistics (specialized B-tree only).
+    pub hints: HintStats,
+}
+
+/// Per-rule evaluation profile (one entry per rule, summed over its
+/// semi-naive versions) — the engine's analog of Soufflé's profiler.
+#[derive(Debug, Clone)]
+pub struct RuleProfile {
+    /// The rule, rendered.
+    pub rule: String,
+    /// Plan-version evaluations performed (versions × iterations).
+    pub evaluations: u64,
+    /// Wall-clock seconds spent evaluating this rule's plans.
+    pub seconds: f64,
+}
+
+/// A Datalog engine over pluggable relation storage.
+///
+/// ```
+/// use datalog::{parse, Engine, StorageKind};
+///
+/// let program = parse(r#"
+///     .decl edge(x: number, y: number)
+///     .decl path(x: number, y: number)
+///     .output path
+///     edge(1, 2). edge(2, 3). edge(3, 4).
+///     path(x, y) :- edge(x, y).
+///     path(x, z) :- path(x, y), edge(y, z).
+/// "#).unwrap();
+///
+/// let mut engine = Engine::new(&program, StorageKind::SpecBTree, 2).unwrap();
+/// engine.run().unwrap();
+/// assert_eq!(engine.relation("path").unwrap().len(), 6);
+/// ```
+pub struct Engine {
+    program: Program,
+    strat: Stratification,
+    kind: StorageKind,
+    threads: usize,
+    rels: Vec<Box<dyn RelationStorage>>,
+    counters: Arc<OpCounters>,
+    stats: EvalStats,
+    /// Per-rule (by rule index) evaluation counts and time.
+    profile: HashMap<usize, (u64, f64)>,
+}
+
+impl Engine {
+    /// Builds an engine for `program` with relations backed by `kind`,
+    /// evaluating rules with `threads` worker threads. Program facts are
+    /// loaded immediately.
+    pub fn new(program: &Program, kind: StorageKind, threads: usize) -> Result<Self, EngineError> {
+        let strat = stratify(program)?;
+        let counters = Arc::new(OpCounters::default());
+        let rels: Vec<Box<dyn RelationStorage>> = program
+            .decls
+            .iter()
+            .map(|_| {
+                Box::new(CountingStorage::new(kind.create(), Arc::clone(&counters)))
+                    as Box<dyn RelationStorage>
+            })
+            .collect();
+        let mut engine = Self {
+            program: program.clone(),
+            strat,
+            kind,
+            threads: threads.max(1),
+            rels,
+            counters,
+            stats: EvalStats::default(),
+            profile: HashMap::new(),
+        };
+        for (name, tuple) in &engine.program.facts.clone() {
+            engine.add_fact(name, tuple)?;
+        }
+        Ok(engine)
+    }
+
+    /// The storage kind backing this engine's relations.
+    pub fn storage_kind(&self) -> StorageKind {
+        self.kind
+    }
+
+    /// Adds an input fact before (or between) runs.
+    pub fn add_fact(&mut self, relation: &str, tuple: &[u64]) -> Result<(), EngineError> {
+        let &rel = self
+            .strat
+            .rel_ids
+            .get(relation)
+            .ok_or_else(|| EngineError::UnknownRelation(relation.to_string()))?;
+        let expected = self.program.decls[rel].arity;
+        if tuple.len() != expected {
+            return Err(EngineError::ArityMismatch {
+                relation: relation.to_string(),
+                expected,
+                got: tuple.len(),
+            });
+        }
+        let storage = self.rels[rel].as_ref();
+        let mut ctx = storage.make_ctx();
+        if storage.insert(&pad(tuple), &mut ctx) {
+            self.stats.input_tuples += 1;
+        }
+        Ok(())
+    }
+
+    /// Bulk-adds facts (convenience for workload generators).
+    pub fn add_facts(
+        &mut self,
+        relation: &str,
+        tuples: impl IntoIterator<Item = Vec<u64>>,
+    ) -> Result<(), EngineError> {
+        let &rel = self
+            .strat
+            .rel_ids
+            .get(relation)
+            .ok_or_else(|| EngineError::UnknownRelation(relation.to_string()))?;
+        let expected = self.program.decls[rel].arity;
+        let storage = self.rels[rel].as_ref();
+        let mut ctx = storage.make_ctx();
+        for tuple in tuples {
+            if tuple.len() != expected {
+                return Err(EngineError::ArityMismatch {
+                    relation: relation.to_string(),
+                    expected,
+                    got: tuple.len(),
+                });
+            }
+            if storage.insert(&pad(&tuple), &mut ctx) {
+                self.stats.input_tuples += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the stratified semi-naive evaluation to fixpoint.
+    pub fn run(&mut self) -> Result<(), EngineError> {
+        self.profile.clear();
+        let size_before: usize = self.rels.iter().map(|r| r.len()).sum();
+
+        // Persistent per-worker operation-hint contexts (paper §3.2:
+        // thread-local hints, kept across rules and fixpoint iterations).
+        let mut pools: Vec<CtxSet> = (0..self.threads).map(|_| CtxSet::new()).collect();
+        let mut next_plan_id = 0usize;
+
+        for stratum in self.strat.strata.clone() {
+            // Split the stratum's rules into non-recursive and recursive,
+            // remembering each plan's source rule for profiling.
+            let mut base_plans: Vec<(usize, Plan)> = Vec::new();
+            let mut rec_plans: Vec<(usize, Plan)> = Vec::new();
+            for &ri in &stratum.rules {
+                let rule = &self.program.rules[ri];
+                let is_recursive = rule.body.iter().any(|l| {
+                    !l.negated
+                        && stratum
+                            .relations
+                            .contains(&self.strat.rel_ids[&l.atom.relation])
+                });
+                let mut plans = compile_versions(rule, &self.strat.rel_ids, &stratum.relations);
+                for plan in &mut plans {
+                    plan.id = next_plan_id;
+                    next_plan_id += 1;
+                }
+                if is_recursive {
+                    rec_plans.extend(plans.into_iter().map(|p| (ri, p)));
+                } else {
+                    base_plans.extend(plans.into_iter().map(|p| (ri, p)));
+                }
+            }
+
+            // Fresh delta/new relations for this stratum.
+            let make_side_tables = |engine: &Engine| -> HashMap<usize, Box<dyn RelationStorage>> {
+                stratum
+                    .relations
+                    .iter()
+                    .map(|&r| {
+                        (
+                            r,
+                            Box::new(CountingStorage::new(
+                                engine.kind.create(),
+                                Arc::clone(&engine.counters),
+                            )) as Box<dyn RelationStorage>,
+                        )
+                    })
+                    .collect()
+            };
+
+            // Phase 1: non-recursive rules derive directly into `new`, then
+            // merge.
+            {
+                let delta = make_side_tables(self);
+                let new = make_side_tables(self);
+                let env = StorageEnv {
+                    full: &self.rels,
+                    delta: &delta,
+                    new: &new,
+                };
+                for (ri, plan) in &base_plans {
+                    let t0 = std::time::Instant::now();
+                    eval_plan(plan, &env, &mut pools);
+                    let entry = self.profile.entry(*ri).or_insert((0, 0.0));
+                    entry.0 += 1;
+                    entry.1 += t0.elapsed().as_secs_f64();
+                }
+                for (&r, new_rel) in &new {
+                    let ctx = pools[0].ctx(self.rels[r].as_ref(), r, 0, usize::MAX);
+                    merge_new(self.rels[r].as_ref(), new_rel.as_ref(), ctx);
+                }
+            }
+
+            if !stratum.recursive || rec_plans.is_empty() {
+                continue;
+            }
+
+            // Phase 2: the semi-naive fixpoint. Delta starts as the full
+            // current contents of the stratum's relations.
+            let mut delta = make_side_tables(self);
+            for &r in &stratum.relations {
+                let tuples = materialize(self.rels[r].as_ref());
+                fill(delta[&r].as_ref(), &tuples);
+            }
+
+            loop {
+                self.stats.iterations += 1;
+                let new = make_side_tables(self);
+                {
+                    let env = StorageEnv {
+                        full: &self.rels,
+                        delta: &delta,
+                        new: &new,
+                    };
+                    for (ri, plan) in &rec_plans {
+                        let t0 = std::time::Instant::now();
+                        eval_plan(plan, &env, &mut pools);
+                        let entry = self.profile.entry(*ri).or_insert((0, 0.0));
+                        entry.0 += 1;
+                        entry.1 += t0.elapsed().as_secs_f64();
+                    }
+                }
+                let mut any = false;
+                for (&r, new_rel) in &new {
+                    let ctx = pools[0].ctx(self.rels[r].as_ref(), r, 0, usize::MAX);
+                    if merge_new(self.rels[r].as_ref(), new_rel.as_ref(), ctx) > 0 {
+                        any = true;
+                    }
+                }
+                if !any {
+                    break;
+                }
+                delta = new;
+            }
+        }
+
+        for pool in &pools {
+            self.stats.hints.merge(&pool.hint_stats(&self.rels));
+        }
+
+        let size_after: usize = self.rels.iter().map(|r| r.len()).sum();
+        self.stats.produced_tuples += (size_after - size_before) as u64;
+        let (ins, mem, lb, ub) = self.counters.snapshot();
+        self.stats.inserts = ins;
+        self.stats.membership_tests = mem;
+        self.stats.lower_bound_calls = lb;
+        self.stats.upper_bound_calls = ub;
+        Ok(())
+    }
+
+    /// The contents of a relation, unpadded to its declared arity, sorted.
+    pub fn relation(&self, name: &str) -> Result<Vec<Vec<u64>>, EngineError> {
+        let &rel = self
+            .strat
+            .rel_ids
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownRelation(name.to_string()))?;
+        let arity = self.program.decls[rel].arity;
+        let mut out = Vec::with_capacity(self.rels[rel].len());
+        self.rels[rel].for_each(&mut |t| out.push(t[..arity].to_vec()));
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Number of tuples in a relation.
+    pub fn relation_len(&self, name: &str) -> Result<usize, EngineError> {
+        let &rel = self
+            .strat
+            .rel_ids
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownRelation(name.to_string()))?;
+        Ok(self.rels[rel].len())
+    }
+
+    /// The contents of a relation rendered for humans: symbol columns are
+    /// resolved through the program's symbol table, number columns are
+    /// printed as integers.
+    pub fn relation_display(&self, name: &str) -> Result<Vec<Vec<String>>, EngineError> {
+        let &rel = self
+            .strat
+            .rel_ids
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownRelation(name.to_string()))?;
+        let decl = &self.program.decls[rel];
+        let rows = self.relation(name)?;
+        Ok(rows
+            .into_iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&decl.col_types)
+                    .map(|(v, ty)| match ty {
+                        crate::ast::ColType::Symbol => self
+                            .program
+                            .symbols
+                            .resolve(*v)
+                            .map(|s| s.to_string())
+                            .unwrap_or_else(|| v.to_string()),
+                        crate::ast::ColType::Number => v.to_string(),
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// The program's symbol table (string constants interned at parse
+    /// time).
+    pub fn symbols(&self) -> &crate::ast::SymbolTable {
+        &self.program.symbols
+    }
+
+    /// Per-rule evaluation profile of the last run, hottest rules first —
+    /// the engine's analog of Soufflé's profiler output.
+    pub fn profile(&self) -> Vec<RuleProfile> {
+        let mut out: Vec<RuleProfile> = self
+            .profile
+            .iter()
+            .map(|(&ri, &(evals, secs))| RuleProfile {
+                rule: self.program.rules[ri].to_string(),
+                evaluations: evals,
+                seconds: secs,
+            })
+            .collect();
+        out.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
+        out
+    }
+
+    /// Statistics of the last [`run`](Self::run).
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
+    }
+
+    /// Number of declared relations.
+    pub fn relation_count(&self) -> usize {
+        self.program.decls.len()
+    }
+
+    /// Number of rules.
+    pub fn rule_count(&self) -> usize {
+        self.program.rules.len()
+    }
+
+    /// Tuples of `relation` whose leading columns equal `prefix`, sorted
+    /// (a point/range query against the evaluated database).
+    pub fn query(&self, relation: &str, prefix: &[u64]) -> Result<Vec<Vec<u64>>, EngineError> {
+        let &rel = self
+            .strat
+            .rel_ids
+            .get(relation)
+            .ok_or_else(|| EngineError::UnknownRelation(relation.to_string()))?;
+        let arity = self.program.decls[rel].arity;
+        if prefix.len() > arity {
+            return Err(EngineError::ArityMismatch {
+                relation: relation.to_string(),
+                expected: arity,
+                got: prefix.len(),
+            });
+        }
+        let storage = self.rels[rel].as_ref();
+        let mut ctx = storage.make_ctx();
+        let mut out = Vec::new();
+        storage.scan_prefix(prefix, &mut ctx, &mut |t| out.push(t[..arity].to_vec()));
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// `(name, tuple count)` for every relation, sorted descending by size
+    /// — the "produced tuples concentrate in one relation" property the
+    /// paper's Table 2 discussion highlights.
+    pub fn relation_sizes(&self) -> Vec<(String, usize)> {
+        let mut sizes: Vec<(String, usize)> = self
+            .program
+            .decls
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.clone(), self.rels[i].len()))
+            .collect();
+        sizes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        sizes
+    }
+
+    /// Names of the relations declared `.input`.
+    pub fn input_relations(&self) -> Vec<String> {
+        self.program
+            .decls
+            .iter()
+            .filter(|d| d.is_input)
+            .map(|d| d.name.clone())
+            .collect()
+    }
+
+    /// Names of the relations declared `.output`.
+    pub fn output_relations(&self) -> Vec<String> {
+        self.program
+            .decls
+            .iter()
+            .filter(|d| d.is_output)
+            .map(|d| d.name.clone())
+            .collect()
+    }
+
+    /// Renders the evaluation strategy: strata in execution order and, for
+    /// every rule, each compiled semi-naive plan version — the engine's
+    /// `EXPLAIN` facility.
+    pub fn explain(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let names: Vec<&str> = self.program.decls.iter().map(|d| d.name.as_str()).collect();
+        for (si, stratum) in self.strat.strata.iter().enumerate() {
+            let rels: Vec<&str> = stratum.relations.iter().map(|&r| names[r]).collect();
+            let _ = writeln!(
+                out,
+                "stratum {si} ({}): defines {}",
+                if stratum.recursive {
+                    "recursive"
+                } else {
+                    "non-recursive"
+                },
+                rels.join(", ")
+            );
+            for &ri in &stratum.rules {
+                let rule = &self.program.rules[ri];
+                let _ = writeln!(out, "  rule {ri}: {rule}");
+                let plans = compile_versions(rule, &self.strat.rel_ids, &stratum.relations);
+                for (vi, plan) in plans.iter().enumerate() {
+                    let _ = writeln!(out, "    version {vi}: {}", plan.describe(&names));
+                }
+            }
+        }
+        out
+    }
+}

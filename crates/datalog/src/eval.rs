@@ -1,0 +1,763 @@
+//! Rule compilation and parallel semi-naive evaluation.
+//!
+//! Each rule is compiled into nested-loop-join *plans* mirroring the code
+//! Soufflé synthesizes (paper Figure 1): body literals become steps that
+//! either **scan** a relation with a bound leading prefix (a
+//! `lower_bound`/`upper_bound` range query) or **check** a fully bound
+//! tuple (a membership test). For recursive rules one plan *version* per
+//! recursive body literal is generated, with that literal reading the
+//! delta relation and hoisted to the outermost loop — the standard
+//! semi-naive transformation.
+//!
+//! Parallel evaluation follows the paper's strategy: the outermost loop of
+//! each plan is partitioned across worker threads; every worker owns
+//! private storage contexts (operation hints) and inserts into the shared
+//! `new` relation through the concurrent storage API. Reads (scans over
+//! stable relations) and writes (inserts into `new`) never target the same
+//! structure — the two-phase property (§2) the B-tree's synchronization is
+//! specialized for.
+
+use crate::ast::{CmpOp, Rule, Term, MAX_ARITY};
+use crate::storage::{RelationStorage, StorageCtx, TupleBuf};
+use specbtree::HintStats;
+use std::collections::HashMap;
+
+/// A compiled term: a constant or a slot in the variable environment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Slot {
+    Const(u64),
+    Var(usize),
+}
+
+impl Slot {
+    #[inline]
+    fn value(&self, env: &[u64]) -> u64 {
+        match self {
+            Slot::Const(c) => *c,
+            Slot::Var(v) => env[*v],
+        }
+    }
+}
+
+/// One step of a compiled plan.
+#[derive(Clone, Debug)]
+pub(crate) enum Step {
+    /// Scan a relation with the leading `prefix` bound; `checks` are
+    /// equality constraints on later columns; `binds` assign columns to
+    /// fresh variables.
+    Scan {
+        rel: usize,
+        delta: bool,
+        prefix: Vec<Slot>,
+        checks: Vec<(usize, Slot)>,
+        binds: Vec<(usize, usize)>,
+    },
+    /// Membership test of a fully bound tuple (possibly negated).
+    Check {
+        rel: usize,
+        delta: bool,
+        terms: Vec<Slot>,
+        negated: bool,
+    },
+    /// A comparison constraint over bound slots (e.g. `v0 < v2`).
+    Filter { op: CmpOp, lhs: Slot, rhs: Slot },
+}
+
+/// A compiled plan version of one rule.
+#[derive(Clone, Debug)]
+pub(crate) struct Plan {
+    /// Unique id across all plans of a run (assigned by the engine); used
+    /// to give every operation site its own hint context, as Soufflé's
+    /// generated code does.
+    pub id: usize,
+    pub head_rel: usize,
+    pub head_slots: Vec<Slot>,
+    pub steps: Vec<Step>,
+    pub nvars: usize,
+}
+
+/// Compiles all semi-naive versions of `rule`.
+///
+/// `stratum_rels` are the relation ids defined in the current stratum; one
+/// version is emitted per body occurrence of a stratum relation (that
+/// occurrence reads the delta and becomes the outermost loop). A rule
+/// without stratum-relation occurrences yields a single non-delta version.
+pub(crate) fn compile_versions(
+    rule: &Rule,
+    rel_ids: &HashMap<String, usize>,
+    stratum_rels: &[usize],
+) -> Vec<Plan> {
+    let recursive_positions: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.negated && stratum_rels.contains(&rel_ids[&l.atom.relation]))
+        .map(|(i, _)| i)
+        .collect();
+
+    if recursive_positions.is_empty() {
+        return vec![compile_one(rule, rel_ids, None)];
+    }
+    recursive_positions
+        .iter()
+        .map(|&p| compile_one(rule, rel_ids, Some(p)))
+        .collect()
+}
+
+/// Compiles one version; `delta_pos` marks the body literal that reads the
+/// delta relation and is hoisted to the front.
+fn compile_one(rule: &Rule, rel_ids: &HashMap<String, usize>, delta_pos: Option<usize>) -> Plan {
+    // Literal evaluation order: delta literal first, others in source order.
+    let mut order: Vec<usize> = (0..rule.body.len()).collect();
+    if let Some(p) = delta_pos {
+        order.retain(|&i| i != p);
+        order.insert(0, p);
+    }
+
+    let mut var_ids: HashMap<String, usize> = HashMap::new();
+    let mut bound: Vec<bool> = Vec::new();
+    fn var_of(var_ids: &mut HashMap<String, usize>, bound: &mut Vec<bool>, name: &str) -> usize {
+        if let Some(&id) = var_ids.get(name) {
+            id
+        } else {
+            let id = bound.len();
+            var_ids.insert(name.to_string(), id);
+            bound.push(false);
+            id
+        }
+    }
+
+    let mut steps = Vec::with_capacity(rule.body.len());
+    for &li in &order {
+        let lit = &rule.body[li];
+        let rel = rel_ids[&lit.atom.relation];
+        let delta = delta_pos == Some(li);
+
+        // Fully bound (or negated, which safety guarantees is fully bound)?
+        let fully_bound = lit.atom.terms.iter().all(|t| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => var_ids
+                .get(v.as_str())
+                .map(|&id| bound[id])
+                .unwrap_or(false),
+            Term::Wildcard => false,
+        });
+        if fully_bound || lit.negated {
+            let terms: Vec<Slot> = lit
+                .atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Slot::Const(*c),
+                    Term::Var(v) => Slot::Var(var_of(&mut var_ids, &mut bound, v)),
+                    Term::Wildcard => unreachable!("wildcards are never fully bound"),
+                })
+                .collect();
+            steps.push(Step::Check {
+                rel,
+                delta,
+                terms,
+                negated: lit.negated,
+            });
+            continue;
+        }
+
+        // Scan: longest bound prefix, then checks/binds column by column.
+        let mut prefix = Vec::new();
+        let mut checks = Vec::new();
+        let mut binds = Vec::new();
+        let mut in_prefix = true;
+        for (col, t) in lit.atom.terms.iter().enumerate() {
+            let slot_if_bound = match t {
+                Term::Const(c) => Some(Slot::Const(*c)),
+                Term::Var(v) => {
+                    let id = var_of(&mut var_ids, &mut bound, v);
+                    if bound[id] {
+                        Some(Slot::Var(id))
+                    } else {
+                        None
+                    }
+                }
+                Term::Wildcard => None,
+            };
+            match slot_if_bound {
+                Some(slot) if in_prefix => prefix.push(slot),
+                Some(slot) => checks.push((col, slot)),
+                None => {
+                    in_prefix = false;
+                    match t {
+                        Term::Var(v) => {
+                            let id = var_of(&mut var_ids, &mut bound, v);
+                            binds.push((col, id));
+                            bound[id] = true; // later occurrences become checks
+                        }
+                        Term::Wildcard => {}
+                        Term::Const(_) => unreachable!(),
+                    }
+                }
+            }
+        }
+        steps.push(Step::Scan {
+            rel,
+            delta,
+            prefix,
+            checks,
+            binds,
+        });
+    }
+
+    // Comparison constraints become filter steps placed immediately after
+    // the earliest step at which both operands are bound (pruning the join
+    // as early as possible).
+    {
+        // Which step first binds each variable.
+        let mut bound_at = vec![0usize; bound.len()];
+        for (si, step) in steps.iter().enumerate() {
+            if let Step::Scan { binds, .. } = step {
+                for (_, v) in binds {
+                    bound_at[*v] = bound_at[*v].max(si + 1).max(si + 1);
+                    // (vars are bound exactly once; the max keeps this
+                    //  robust if that ever changes)
+                }
+            }
+        }
+        let mut filters: Vec<(usize, Step)> = Vec::new();
+        for c in &rule.constraints {
+            let slot_and_pos = |t: &Term| -> (Slot, usize) {
+                match t {
+                    Term::Const(v) => (Slot::Const(*v), 0),
+                    Term::Var(name) => {
+                        let id = var_ids[name.as_str()];
+                        (Slot::Var(id), bound_at[id])
+                    }
+                    Term::Wildcard => unreachable!("checked during stratification"),
+                }
+            };
+            let (lhs, lpos) = slot_and_pos(&c.lhs);
+            let (rhs, rpos) = slot_and_pos(&c.rhs);
+            filters.push((lpos.max(rpos), Step::Filter { op: c.op, lhs, rhs }));
+        }
+        // Insert from the back so earlier positions stay valid.
+        filters.sort_by_key(|(pos, _)| std::cmp::Reverse(*pos));
+        for (pos, f) in filters {
+            steps.insert(pos, f);
+        }
+    }
+
+    let head_slots: Vec<Slot> = rule
+        .head
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Slot::Const(*c),
+            Term::Var(v) => Slot::Var(var_ids[v.as_str()]),
+            Term::Wildcard => unreachable!("checked during stratification"),
+        })
+        .collect();
+
+    Plan {
+        id: 0, // assigned by the engine
+        head_rel: rel_ids[&rule.head.relation],
+        head_slots,
+        steps,
+        nvars: bound.len(),
+    }
+}
+
+impl Plan {
+    /// Renders the plan as a one-line pipeline description for `EXPLAIN`
+    /// output; `names` maps relation ids to names.
+    pub(crate) fn describe(&self, names: &[&str]) -> String {
+        let slot = |s: &Slot| match s {
+            Slot::Const(c) => c.to_string(),
+            Slot::Var(v) => format!("v{v}"),
+        };
+        let mut parts = Vec::new();
+        for step in &self.steps {
+            match step {
+                Step::Scan {
+                    rel,
+                    delta,
+                    prefix,
+                    checks,
+                    binds,
+                } => {
+                    let src = if *delta {
+                        format!("Δ{}", names[*rel])
+                    } else {
+                        names[*rel].to_string()
+                    };
+                    let mut detail = Vec::new();
+                    if !prefix.is_empty() {
+                        detail.push(format!(
+                            "prefix=({})",
+                            prefix.iter().map(slot).collect::<Vec<_>>().join(",")
+                        ));
+                    }
+                    if !checks.is_empty() {
+                        detail.push(format!(
+                            "check=({})",
+                            checks
+                                .iter()
+                                .map(|(c, s)| format!("#{c}={}", slot(s)))
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        ));
+                    }
+                    if !binds.is_empty() {
+                        detail.push(format!(
+                            "bind=({})",
+                            binds
+                                .iter()
+                                .map(|(c, v)| format!("#{c}→v{v}"))
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        ));
+                    }
+                    let kind = if prefix.is_empty() { "scan" } else { "range" };
+                    parts.push(format!("{kind} {src} {}", detail.join(" ")));
+                }
+                Step::Check {
+                    rel,
+                    delta,
+                    terms,
+                    negated,
+                } => {
+                    let src = if *delta {
+                        format!("Δ{}", names[*rel])
+                    } else {
+                        names[*rel].to_string()
+                    };
+                    let neg = if *negated { "!" } else { "" };
+                    parts.push(format!(
+                        "probe {neg}{src}({})",
+                        terms.iter().map(slot).collect::<Vec<_>>().join(",")
+                    ));
+                }
+                Step::Filter { op, lhs, rhs } => {
+                    parts.push(format!("filter {} {op} {}", slot(lhs), slot(rhs)));
+                }
+            }
+        }
+        parts.push(format!(
+            "emit {}({})",
+            names[self.head_rel],
+            self.head_slots
+                .iter()
+                .map(slot)
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        parts.join(" ⋈ ")
+    }
+}
+
+/// Resolves `delta` flags to concrete storages for one evaluation round.
+pub(crate) struct StorageEnv<'a> {
+    /// Full contents of every relation (indexed by relation id).
+    pub full: &'a [Box<dyn RelationStorage>],
+    /// Delta relations of the current stratum (relation id → storage).
+    pub delta: &'a HashMap<usize, Box<dyn RelationStorage>>,
+    /// The `new` relations tuples are derived into.
+    pub new: &'a HashMap<usize, Box<dyn RelationStorage>>,
+}
+
+impl<'a> StorageEnv<'a> {
+    fn source(&self, rel: usize, delta: bool) -> &dyn RelationStorage {
+        if delta {
+            self.delta[&rel].as_ref()
+        } else {
+            self.full[rel].as_ref()
+        }
+    }
+}
+
+/// Per-thread contexts for every storage a plan touches, plus hint-stat
+/// aggregation on drop-out.
+///
+/// Contexts are keyed by *operation site* in addition to the relation and
+/// role: distinct scan/probe sites have distinct access streams, and
+/// sharing one hint between them makes each evict the other's cached leaf
+/// (Soufflé likewise creates one operation context per call site in its
+/// generated code).
+pub(crate) struct CtxSet {
+    /// Context per (relation id, role, site) where role 0 = full,
+    /// 1 = delta, 2 = new.
+    ctxs: HashMap<(usize, u8, usize), StorageCtx>,
+}
+
+impl CtxSet {
+    pub(crate) fn new() -> Self {
+        Self {
+            ctxs: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn ctx(
+        &mut self,
+        storage: &dyn RelationStorage,
+        rel: usize,
+        role: u8,
+        site: usize,
+    ) -> &mut StorageCtx {
+        self.ctxs
+            .entry((rel, role, site))
+            .or_insert_with(|| storage.make_ctx())
+    }
+
+    /// Sums hint statistics over all contexts. The full relations serve as
+    /// the interpreter for every role — all roles share one storage kind,
+    /// and reading a context's statistics only inspects the context — so
+    /// stats survive the per-iteration replacement of delta/new relations.
+    pub(crate) fn hint_stats(&self, full: &[Box<dyn RelationStorage>]) -> HintStats {
+        let mut total = HintStats::default();
+        for (&(rel, _role, _site), ctx) in &self.ctxs {
+            if let Some(s) = full[rel].hint_stats(ctx) {
+                total.merge(&s);
+            }
+        }
+        total
+    }
+}
+
+/// Evaluates one plan over `env`, deriving tuples into `env.new`.
+///
+/// `pools` are persistent per-worker context sets (operation hints): they
+/// live across rules and fixpoint iterations, exactly like the paper's
+/// thread-local hints. Contexts created for a previous iteration's delta
+/// relation rebind automatically through the hint branding when the delta
+/// is replaced.
+pub(crate) fn eval_plan(plan: &Plan, env: &StorageEnv<'_>, pools: &mut [CtxSet]) {
+    // Materialize the outermost loop, then partition it across workers.
+    let outer: Vec<TupleBuf> = match plan.steps.first() {
+        Some(Step::Scan {
+            rel, delta, prefix, ..
+        }) => {
+            debug_assert!(
+                prefix.iter().all(|s| matches!(s, Slot::Const(_))),
+                "outermost prefix can only contain constants"
+            );
+            let consts: Vec<u64> = prefix.iter().map(|s| s.value(&[])).collect();
+            let storage = env.source(*rel, *delta);
+            let mut ctx = storage.make_ctx();
+            let mut out = Vec::new();
+            storage.scan_prefix(&consts, &mut ctx, &mut |t| out.push(*t));
+            out
+        }
+        _ => Vec::new(),
+    };
+
+    if plan.steps.is_empty() || !matches!(plan.steps.first(), Some(Step::Scan { .. })) {
+        // Degenerate plan (starts with a check): evaluate sequentially.
+        let mut evaluator = Evaluator {
+            plan,
+            env,
+            ctxs: &mut pools[0],
+        };
+        let mut vars = vec![0u64; plan.nvars];
+        evaluator.run_from(0, &mut vars);
+        return;
+    }
+
+    if outer.is_empty() {
+        return;
+    }
+
+    let threads = pools.len().max(1).min(outer.len());
+    let chunk_size = outer.len().div_ceil(threads);
+    let chunks: Vec<&[TupleBuf]> = outer.chunks(chunk_size).collect();
+
+    std::thread::scope(|s| {
+        for (chunk, ctxs) in chunks.into_iter().zip(pools.iter_mut()) {
+            s.spawn(move || {
+                let mut evaluator = Evaluator { plan, env, ctxs };
+                let mut vars = vec![0u64; plan.nvars];
+                for t in chunk {
+                    evaluator.seed_and_run(t, &mut vars);
+                }
+            });
+        }
+    });
+}
+
+struct Evaluator<'p, 'e, 'c> {
+    plan: &'p Plan,
+    env: &'e StorageEnv<'e>,
+    ctxs: &'c mut CtxSet,
+}
+
+impl Evaluator<'_, '_, '_> {
+    /// Applies the outermost scan's checks/binds to a pre-materialized
+    /// tuple, then runs the remaining steps.
+    fn seed_and_run(&mut self, t: &TupleBuf, vars: &mut [u64]) {
+        let Step::Scan { checks, binds, .. } = &self.plan.steps[0] else {
+            unreachable!("seed_and_run only used for scan-headed plans")
+        };
+        // Binds first: a check may reference a variable bound by an earlier
+        // column of this very atom (repeated variables, e.g. `e(X, X)`).
+        // Binds and checks never target the same variable, so this order is
+        // always safe.
+        for (col, var) in binds {
+            vars[*var] = t[*col];
+        }
+        for (col, slot) in checks {
+            if t[*col] != slot.value(vars) {
+                return;
+            }
+        }
+        self.run_from(1, vars);
+    }
+
+    fn run_from(&mut self, si: usize, vars: &mut [u64]) {
+        if si == self.plan.steps.len() {
+            self.emit(vars);
+            return;
+        }
+        match &self.plan.steps[si] {
+            Step::Filter { op, lhs, rhs } => {
+                if op.eval(lhs.value(vars), rhs.value(vars)) {
+                    self.run_from(si + 1, vars);
+                }
+            }
+            Step::Check {
+                rel,
+                delta,
+                terms,
+                negated,
+            } => {
+                let mut t = [0u64; MAX_ARITY];
+                for (i, slot) in terms.iter().enumerate() {
+                    t[i] = slot.value(vars);
+                }
+                let storage = self.env.source(*rel, *delta);
+                let role = u8::from(*delta);
+                let site = (self.plan.id << 8) | si;
+                let ctx = self.ctxs.ctx(storage, *rel, role, site);
+                let present = storage.contains(&t, ctx);
+                if present != *negated {
+                    self.run_from(si + 1, vars);
+                }
+            }
+            Step::Scan {
+                rel,
+                delta,
+                prefix,
+                checks,
+                binds,
+            } => {
+                let consts: Vec<u64> = prefix.iter().map(|s| s.value(vars)).collect();
+                let storage = self.env.source(*rel, *delta);
+                let role = u8::from(*delta);
+                // Materialize matches first: the scan holds the storage
+                // context mutably, and deeper steps need other contexts.
+                let mut matches: Vec<TupleBuf> = Vec::new();
+                {
+                    let site = (self.plan.id << 8) | si;
+                    let ctx = self.ctxs.ctx(storage, *rel, role, site);
+                    storage.scan_prefix(&consts, ctx, &mut |t| {
+                        matches.push(*t);
+                    });
+                }
+                'tuples: for t in &matches {
+                    // Binds before checks (see `seed_and_run`).
+                    for (col, var) in binds {
+                        vars[*var] = t[*col];
+                    }
+                    for (col, slot) in checks {
+                        if t[*col] != slot.value(vars) {
+                            continue 'tuples;
+                        }
+                    }
+                    self.run_from(si + 1, vars);
+                }
+            }
+        }
+    }
+
+    /// Emits the head tuple: the Figure 1 pattern — check the full
+    /// relation, insert into `new` when unseen.
+    fn emit(&mut self, vars: &[u64]) {
+        let mut t = [0u64; MAX_ARITY];
+        for (i, slot) in self.plan.head_slots.iter().enumerate() {
+            t[i] = slot.value(vars);
+        }
+        let site = (self.plan.id << 8) | 0xFF;
+        let full = self.env.full[self.plan.head_rel].as_ref();
+        let known = {
+            let ctx = self.ctxs.ctx(full, self.plan.head_rel, 0, site);
+            full.contains(&t, ctx)
+        };
+        if !known {
+            let new = self.env.new[&self.plan.head_rel].as_ref();
+            let ctx = self.ctxs.ctx(new, self.plan.head_rel, 2, site);
+            new.insert(&t, ctx);
+        }
+    }
+}
+
+/// Merges `new` into `full` (Figure 1 line 17), returning how many tuples
+/// were actually added.
+pub(crate) fn merge_new(
+    full: &dyn RelationStorage,
+    new: &dyn RelationStorage,
+    ctx: &mut StorageCtx,
+) -> u64 {
+    let mut added = 0u64;
+    new.for_each(&mut |t| {
+        if full.insert(t, ctx) {
+            added += 1;
+        }
+    });
+    added
+}
+
+/// Copies every tuple of `src` into a [`TupleBuf`] vector.
+pub(crate) fn materialize(src: &dyn RelationStorage) -> Vec<TupleBuf> {
+    let mut out = Vec::with_capacity(src.len());
+    src.for_each(&mut |t| out.push(*t));
+    out
+}
+
+/// Seeds a storage with tuples (used for delta initialization).
+pub(crate) fn fill(dst: &dyn RelationStorage, tuples: &[TupleBuf]) {
+    let mut ctx = dst.make_ctx();
+    for t in tuples {
+        dst.insert(t, &mut ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn rel_ids(names: &[&str]) -> HashMap<String, usize> {
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.to_string(), i))
+            .collect()
+    }
+
+    #[test]
+    fn compile_nonrecursive_single_version() {
+        let p =
+            parse(".decl edge(x:n, y:n)\n.decl path(x:n, y:n)\npath(X,Y) :- edge(X,Y).").unwrap();
+        let ids = rel_ids(&["edge", "path"]);
+        let plans = compile_versions(&p.rules[0], &ids, &[1]);
+        assert_eq!(plans.len(), 1);
+        let plan = &plans[0];
+        assert_eq!(plan.nvars, 2);
+        assert!(matches!(
+            &plan.steps[0],
+            Step::Scan { rel: 0, delta: false, prefix, binds, .. }
+                if prefix.is_empty() && binds.len() == 2
+        ));
+    }
+
+    #[test]
+    fn compile_recursive_versions_hoist_delta() {
+        let p = parse(
+            ".decl edge(x:n, y:n)\n.decl path(x:n, y:n)\n\
+             path(X,Z) :- path(X,Y), edge(Y,Z).",
+        )
+        .unwrap();
+        let ids = rel_ids(&["edge", "path"]);
+        let plans = compile_versions(&p.rules[0], &ids, &[1]);
+        assert_eq!(plans.len(), 1, "one recursive occurrence, one version");
+        let plan = &plans[0];
+        // Step 0: delta scan of path; step 1: edge scan with bound prefix Y.
+        assert!(matches!(
+            &plan.steps[0],
+            Step::Scan {
+                rel: 1,
+                delta: true,
+                ..
+            }
+        ));
+        match &plan.steps[1] {
+            Step::Scan {
+                rel: 0,
+                delta: false,
+                prefix,
+                ..
+            } => assert_eq!(prefix.len(), 1, "Y binds edge's first column"),
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compile_two_recursive_occurrences_two_versions() {
+        let p = parse(".decl p(x:n, y:n)\np(X,Z) :- p(X,Y), p(Y,Z).").unwrap();
+        let ids = rel_ids(&["p"]);
+        let plans = compile_versions(&p.rules[0], &ids, &[0]);
+        assert_eq!(plans.len(), 2);
+        assert!(matches!(&plans[0].steps[0], Step::Scan { delta: true, .. }));
+        assert!(matches!(&plans[1].steps[0], Step::Scan { delta: true, .. }));
+    }
+
+    #[test]
+    fn compile_constant_prefix_and_checks() {
+        let p = parse(".decl r(a:n, b:n, c:n)\n.decl out(x:n)\nout(X) :- r(7, X, 7).").unwrap();
+        let ids = rel_ids(&["r", "out"]);
+        let plans = compile_versions(&p.rules[0], &ids, &[1]);
+        match &plans[0].steps[0] {
+            Step::Scan {
+                prefix,
+                checks,
+                binds,
+                ..
+            } => {
+                assert_eq!(prefix, &vec![Slot::Const(7)]);
+                assert_eq!(checks, &vec![(2, Slot::Const(7))]);
+                assert_eq!(binds, &vec![(1, 0)]);
+            }
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compile_repeated_variable_becomes_check() {
+        let p = parse(".decl r(a:n, b:n)\n.decl out(x:n)\nout(X) :- r(X, X).").unwrap();
+        let ids = rel_ids(&["r", "out"]);
+        let plans = compile_versions(&p.rules[0], &ids, &[1]);
+        match &plans[0].steps[0] {
+            Step::Scan { checks, binds, .. } => {
+                assert_eq!(binds, &vec![(0, 0)]);
+                assert_eq!(checks, &vec![(1, Slot::Var(0))]);
+            }
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compile_negated_literal_is_check() {
+        let p =
+            parse(".decl a(x:n)\n.decl b(x:n)\n.decl out(x:n)\nout(X) :- a(X), !b(X).").unwrap();
+        let ids = rel_ids(&["a", "b", "out"]);
+        let plans = compile_versions(&p.rules[0], &ids, &[2]);
+        assert!(matches!(
+            &plans[0].steps[1],
+            Step::Check {
+                rel: 1,
+                negated: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn compile_fully_bound_positive_is_check() {
+        let p = parse(".decl a(x:n)\n.decl b(x:n)\n.decl out(x:n)\nout(X) :- a(X), b(X).").unwrap();
+        let ids = rel_ids(&["a", "b", "out"]);
+        let plans = compile_versions(&p.rules[0], &ids, &[2]);
+        assert!(matches!(
+            &plans[0].steps[1],
+            Step::Check {
+                rel: 1,
+                negated: false,
+                ..
+            }
+        ));
+    }
+}

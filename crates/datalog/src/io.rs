@@ -1,0 +1,202 @@
+//! Soufflé-style fact file I/O: tab-separated values, one tuple per line —
+//! the interchange format production Datalog engines use for `.facts`
+//! (input) and `.csv` (output) files.
+
+use crate::engine::{Engine, EngineError};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// An error reading or writing fact files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// Engine-level failure (unknown relation, arity mismatch).
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            IoError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<EngineError> for IoError {
+    fn from(e: EngineError) -> Self {
+        IoError::Engine(e)
+    }
+}
+
+/// Parses tab-separated tuples from a reader. Empty lines are skipped.
+pub fn read_tsv(reader: impl Read) -> Result<Vec<Vec<u64>>, IoError> {
+    let mut out = Vec::new();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tuple = Vec::new();
+        for field in line.split('\t') {
+            let v: u64 = field.trim().parse().map_err(|_| IoError::Parse {
+                line: i + 1,
+                message: format!("not an unsigned integer: {field:?}"),
+            })?;
+            tuple.push(v);
+        }
+        out.push(tuple);
+    }
+    Ok(out)
+}
+
+/// Writes tuples as tab-separated lines.
+pub fn write_tsv(mut writer: impl Write, tuples: &[Vec<u64>]) -> Result<(), IoError> {
+    let mut w = BufWriter::new(&mut writer);
+    for t in tuples {
+        let cells: Vec<String> = t.iter().map(u64::to_string).collect();
+        writeln!(w, "{}", cells.join("\t"))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+impl Engine {
+    /// Loads `<relation>.facts` from `dir` for every declared `.input`
+    /// relation (missing files are treated as empty relations, matching
+    /// Soufflé). Returns the number of tuples loaded.
+    pub fn load_input_facts(&mut self, dir: impl AsRef<Path>) -> Result<usize, IoError> {
+        let dir = dir.as_ref();
+        let inputs: Vec<String> = self
+            .input_relations()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut loaded = 0usize;
+        for name in inputs {
+            let path = dir.join(format!("{name}.facts"));
+            if !path.exists() {
+                continue;
+            }
+            let tuples = read_tsv(std::fs::File::open(&path)?)?;
+            loaded += tuples.len();
+            self.add_facts(&name, tuples)?;
+        }
+        Ok(loaded)
+    }
+
+    /// Writes `<relation>.csv` into `dir` for every declared `.output`
+    /// relation.
+    pub fn write_output_relations(&self, dir: impl AsRef<Path>) -> Result<(), IoError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        for name in self.output_relations() {
+            let tuples = self.relation(&name)?;
+            let file = std::fs::File::create(dir.join(format!("{name}.csv")))?;
+            write_tsv(file, &tuples)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, StorageKind};
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("datalog-io-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let tuples = vec![vec![1, 2], vec![18446744073709551615, 0]];
+        let mut buf = Vec::new();
+        write_tsv(&mut buf, &tuples).unwrap();
+        assert_eq!(read_tsv(&buf[..]).unwrap(), tuples);
+    }
+
+    #[test]
+    fn tsv_skips_blank_lines_and_reports_errors() {
+        let src = b"1\t2\n\n3\t4\n".to_vec();
+        assert_eq!(read_tsv(&src[..]).unwrap().len(), 2);
+        let bad = b"1\tx\n".to_vec();
+        let err = read_tsv(&bad[..]).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn engine_facts_roundtrip_through_files() {
+        let dir = tempdir("roundtrip");
+        std::fs::write(dir.join("edge.facts"), "1\t2\n2\t3\n3\t4\n").unwrap();
+
+        let program = parse(
+            r#"
+            .decl edge(x: number, y: number)
+            .decl path(x: number, y: number)
+            .input edge
+            .output path
+            path(x, y) :- edge(x, y).
+            path(x, z) :- path(x, y), edge(y, z).
+            "#,
+        )
+        .unwrap();
+        let mut engine = Engine::new(&program, StorageKind::SpecBTree, 2).unwrap();
+        assert_eq!(engine.load_input_facts(&dir).unwrap(), 3);
+        engine.run().unwrap();
+        engine.write_output_relations(&dir).unwrap();
+
+        let out = std::fs::read_to_string(dir.join("path.csv")).unwrap();
+        let rows: Vec<&str> = out.lines().collect();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0], "1\t2");
+        assert!(out.contains("1\t4"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_facts_file_is_empty_relation() {
+        let dir = tempdir("missing");
+        let program =
+            parse(".decl edge(x:n, y:n)\n.input edge\n.decl out(x:n)\nout(X) :- edge(X, _).")
+                .unwrap();
+        let mut engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+        assert_eq!(engine.load_input_facts(&dir).unwrap(), 0);
+        engine.run().unwrap();
+        assert_eq!(engine.relation_len("out").unwrap(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_arity_in_facts_file_is_reported() {
+        let dir = tempdir("badarity");
+        std::fs::write(dir.join("edge.facts"), "1\t2\t3\n").unwrap();
+        let program = parse(".decl edge(x:n, y:n)\n.input edge").unwrap();
+        let mut engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+        let err = engine.load_input_facts(&dir).unwrap_err();
+        assert!(matches!(err, IoError::Engine(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

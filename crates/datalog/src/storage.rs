@@ -1,0 +1,582 @@
+//! Pluggable relation storage.
+//!
+//! The engine stores every relation through the [`RelationStorage`] trait,
+//! mirroring how §4.3 of the paper swaps the data structure underneath the
+//! Soufflé engine. Tuples are padded to a fixed [`MAX_ARITY`]-word buffer
+//! (padding zeros never affect equality or lexicographic prefix order).
+//!
+//! Operations take a per-thread *context* created by
+//! [`RelationStorage::make_ctx`]; the specialized B-tree keeps its operation
+//! hints there (the paper's thread-local hints), other backends use a unit
+//! context. Contexts are type-erased (`dyn Any`) so the evaluator stays
+//! storage-agnostic.
+
+use crate::ast::MAX_ARITY;
+use baselines::gbtree::GBTreeSet;
+use baselines::global_lock::GlobalLock;
+use baselines::hashset::HashSet as OaHashSet;
+use baselines::rbtree::RbTreeSet;
+use baselines::splitorder::SplitOrderedSet;
+use specbtree::{BTreeHints, BTreeSet, HintStats};
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// A tuple padded to the maximum arity.
+pub type TupleBuf = [u64; MAX_ARITY];
+
+/// Pads a tuple slice to a [`TupleBuf`].
+pub fn pad(t: &[u64]) -> TupleBuf {
+    let mut out = [0u64; MAX_ARITY];
+    out[..t.len()].copy_from_slice(t);
+    out
+}
+
+/// A per-thread operation context (hints for the specialized B-tree, unit
+/// for everything else).
+pub type StorageCtx = Box<dyn Any + Send>;
+
+/// Thread-safe tuple storage for one relation.
+pub trait RelationStorage: Send + Sync {
+    /// Creates a fresh per-thread context.
+    fn make_ctx(&self) -> StorageCtx;
+
+    /// Inserts `t`, returning `true` if newly inserted. Safe to call
+    /// concurrently from many threads (each with its own context).
+    fn insert(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool;
+
+    /// Membership test. Safe under concurrency for tuples not being
+    /// concurrently inserted.
+    fn contains(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool;
+
+    /// Calls `f` for every tuple whose leading words equal `prefix`.
+    /// Quiescent phases only (the two-phase Datalog contract).
+    fn scan_prefix(&self, prefix: &[u64], ctx: &mut StorageCtx, f: &mut dyn FnMut(&TupleBuf));
+
+    /// Calls `f` for every stored tuple. Quiescent phases only.
+    fn for_each(&self, f: &mut dyn FnMut(&TupleBuf));
+
+    /// Number of stored tuples. Quiescent phases only.
+    fn len(&self) -> usize;
+
+    /// Whether the relation is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hint statistics accumulated in `ctx`, if this backend keeps any.
+    fn hint_stats(&self, _ctx: &StorageCtx) -> Option<HintStats> {
+        None
+    }
+}
+
+/// Which data structure backs each relation — the engine-level analog of
+/// the paper's Table 1 contestants in the §4.3 experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageKind {
+    /// The specialized concurrent B-tree with operation hints (`btree`).
+    SpecBTree,
+    /// The specialized concurrent B-tree without hints (`btree (n/h)`).
+    SpecBTreeNoHints,
+    /// Red-black tree behind a global lock (`STL rbtset`).
+    RbTreeLocked,
+    /// Open-addressing hash set behind a global lock (`STL hashset`).
+    HashSetLocked,
+    /// The sequential Vec-node B-tree behind a global lock (`google btree`).
+    GBTreeLocked,
+    /// The lock-free split-ordered hash set (`TBB hashset`).
+    ConcurrentHashSet,
+}
+
+impl StorageKind {
+    /// All kinds, in the order the paper's Figure 5 legend lists them.
+    pub const ALL: [StorageKind; 6] = [
+        StorageKind::SpecBTree,
+        StorageKind::SpecBTreeNoHints,
+        StorageKind::RbTreeLocked,
+        StorageKind::HashSetLocked,
+        StorageKind::GBTreeLocked,
+        StorageKind::ConcurrentHashSet,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StorageKind::SpecBTree => "btree",
+            StorageKind::SpecBTreeNoHints => "btree (n/h)",
+            StorageKind::RbTreeLocked => "STL rbtset",
+            StorageKind::HashSetLocked => "STL hashset",
+            StorageKind::GBTreeLocked => "google btree",
+            StorageKind::ConcurrentHashSet => "TBB hashset",
+        }
+    }
+
+    /// Creates an empty relation of this kind.
+    pub fn create(&self) -> Box<dyn RelationStorage> {
+        match self {
+            StorageKind::SpecBTree => Box::new(SpecBTreeStorage {
+                tree: BTreeSet::new(),
+                hints: true,
+            }),
+            StorageKind::SpecBTreeNoHints => Box::new(SpecBTreeStorage {
+                tree: BTreeSet::new(),
+                hints: false,
+            }),
+            StorageKind::RbTreeLocked => Box::new(RbTreeStorage(GlobalLock::new(RbTreeSet::new()))),
+            StorageKind::HashSetLocked => {
+                Box::new(HashSetStorage(GlobalLock::new(OaHashSet::new())))
+            }
+            StorageKind::GBTreeLocked => Box::new(GBTreeStorage(GlobalLock::new(GBTreeSet::new()))),
+            StorageKind::ConcurrentHashSet => Box::new(ConcHashStorage(SplitOrderedSet::new())),
+        }
+    }
+}
+
+/// Computes the exclusive upper bound of a prefix range, or `None` when the
+/// prefix is empty or saturated (scan to the end).
+fn prefix_upper(prefix: &[u64]) -> Option<TupleBuf> {
+    if prefix.is_empty() {
+        return None;
+    }
+    let mut hi = pad(prefix);
+    for i in (0..prefix.len()).rev() {
+        let (v, overflow) = hi[i].overflowing_add(1);
+        hi[i] = v;
+        if !overflow {
+            for w in hi[i + 1..].iter_mut() {
+                *w = 0;
+            }
+            return Some(hi);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Specialized B-tree backend
+// ---------------------------------------------------------------------
+
+struct SpecBTreeStorage {
+    tree: BTreeSet<MAX_ARITY>,
+    hints: bool,
+}
+
+impl RelationStorage for SpecBTreeStorage {
+    fn make_ctx(&self) -> StorageCtx {
+        Box::new(self.tree.create_hints())
+    }
+
+    fn insert(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool {
+        if self.hints {
+            let hints: &mut BTreeHints<MAX_ARITY> = ctx.downcast_mut().expect("spec btree ctx");
+            self.tree.insert_hinted(*t, hints)
+        } else {
+            self.tree.insert(*t)
+        }
+    }
+
+    fn contains(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool {
+        if self.hints {
+            let hints: &mut BTreeHints<MAX_ARITY> = ctx.downcast_mut().expect("spec btree ctx");
+            self.tree.contains_hinted(t, hints)
+        } else {
+            self.tree.contains(t)
+        }
+    }
+
+    fn scan_prefix(&self, prefix: &[u64], ctx: &mut StorageCtx, f: &mut dyn FnMut(&TupleBuf)) {
+        let lo = pad(prefix);
+        let hi = prefix_upper(prefix);
+        if self.hints {
+            let hints: &mut BTreeHints<MAX_ARITY> = ctx.downcast_mut().expect("spec btree ctx");
+            let it = self.tree.lower_bound_hinted(&lo, hints);
+            // The explicit upper-bound probe mirrors Figure 1's synthesized
+            // code (`upper_bound({t1[1]+1, 0})`) and keeps the Table 2
+            // operation counts comparable.
+            if let Some(hi) = &hi {
+                let _ = self.tree.upper_bound_hinted(hi, hints);
+            }
+            for t in it {
+                if let Some(hi) = &hi {
+                    if specbtree::cmp3(&t, hi) != std::cmp::Ordering::Less {
+                        break;
+                    }
+                }
+                f(&t);
+            }
+        } else {
+            let it = self.tree.lower_bound(&lo);
+            if let Some(hi) = &hi {
+                let _ = self.tree.upper_bound(hi);
+            }
+            for t in it {
+                if let Some(hi) = &hi {
+                    if specbtree::cmp3(&t, hi) != std::cmp::Ordering::Less {
+                        break;
+                    }
+                }
+                f(&t);
+            }
+        }
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&TupleBuf)) {
+        for t in self.tree.iter() {
+            f(&t);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    fn hint_stats(&self, ctx: &StorageCtx) -> Option<HintStats> {
+        ctx.downcast_ref::<BTreeHints<MAX_ARITY>>().map(|h| h.stats)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Globally locked sequential backends
+// ---------------------------------------------------------------------
+
+struct RbTreeStorage(GlobalLock<RbTreeSet<TupleBuf>>);
+
+impl RelationStorage for RbTreeStorage {
+    fn make_ctx(&self) -> StorageCtx {
+        Box::new(())
+    }
+
+    fn insert(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
+        self.0.with(|s| s.insert(*t))
+    }
+
+    fn contains(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
+        self.0.with(|s| s.contains(t))
+    }
+
+    fn scan_prefix(&self, prefix: &[u64], _ctx: &mut StorageCtx, f: &mut dyn FnMut(&TupleBuf)) {
+        let lo = pad(prefix);
+        let hi = prefix_upper(prefix);
+        self.0.with(|s| {
+            for t in s.lower_bound(&lo) {
+                if let Some(hi) = &hi {
+                    if t >= *hi {
+                        break;
+                    }
+                }
+                f(&t);
+            }
+        });
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&TupleBuf)) {
+        self.0.with(|s| {
+            for t in s.iter() {
+                f(&t);
+            }
+        });
+    }
+
+    fn len(&self) -> usize {
+        self.0.with(|s| s.len())
+    }
+}
+
+struct GBTreeStorage(GlobalLock<GBTreeSet<TupleBuf>>);
+
+impl RelationStorage for GBTreeStorage {
+    fn make_ctx(&self) -> StorageCtx {
+        Box::new(())
+    }
+
+    fn insert(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
+        self.0.with(|s| s.insert(*t))
+    }
+
+    fn contains(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
+        self.0.with(|s| s.contains(t))
+    }
+
+    fn scan_prefix(&self, prefix: &[u64], _ctx: &mut StorageCtx, f: &mut dyn FnMut(&TupleBuf)) {
+        let lo = pad(prefix);
+        let hi = prefix_upper(prefix);
+        self.0.with(|s| {
+            for t in s.lower_bound(&lo) {
+                if let Some(hi) = &hi {
+                    if t >= *hi {
+                        break;
+                    }
+                }
+                f(&t);
+            }
+        });
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&TupleBuf)) {
+        self.0.with(|s| {
+            for t in s.iter() {
+                f(&t);
+            }
+        });
+    }
+
+    fn len(&self) -> usize {
+        self.0.with(|s| s.len())
+    }
+}
+
+struct HashSetStorage(GlobalLock<OaHashSet<TupleBuf>>);
+
+impl RelationStorage for HashSetStorage {
+    fn make_ctx(&self) -> StorageCtx {
+        Box::new(())
+    }
+
+    fn insert(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
+        self.0.with(|s| s.insert(*t))
+    }
+
+    fn contains(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
+        self.0.with(|s| s.contains(t))
+    }
+
+    fn scan_prefix(&self, prefix: &[u64], _ctx: &mut StorageCtx, f: &mut dyn FnMut(&TupleBuf)) {
+        // Hash sets cannot answer range queries: full scan + filter — the
+        // structural deficiency the paper's comparison highlights.
+        let plen = prefix.len();
+        self.0.with(|s| {
+            for t in s.iter() {
+                if t[..plen] == *prefix {
+                    f(&t);
+                }
+            }
+        });
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&TupleBuf)) {
+        self.0.with(|s| {
+            for t in s.iter() {
+                f(&t);
+            }
+        });
+    }
+
+    fn len(&self) -> usize {
+        self.0.with(|s| s.len())
+    }
+}
+
+struct ConcHashStorage(SplitOrderedSet<TupleBuf>);
+
+impl RelationStorage for ConcHashStorage {
+    fn make_ctx(&self) -> StorageCtx {
+        Box::new(())
+    }
+
+    fn insert(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
+        self.0.insert(*t)
+    }
+
+    fn contains(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
+        self.0.contains(t)
+    }
+
+    fn scan_prefix(&self, prefix: &[u64], _ctx: &mut StorageCtx, f: &mut dyn FnMut(&TupleBuf)) {
+        // Unordered structure: range queries degrade to a full scan.
+        let plen = prefix.len();
+        self.0.for_each(|t| {
+            if t[..plen] == *prefix {
+                f(t);
+            }
+        });
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&TupleBuf)) {
+        self.0.for_each(|t| f(t));
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Operation counting (Table 2's "Evaluation Statistics")
+// ---------------------------------------------------------------------
+
+/// Shared operation counters, aggregated across all relations of an engine.
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    /// `insert` calls.
+    pub inserts: AtomicU64,
+    /// `contains` calls (membership tests).
+    pub membership: AtomicU64,
+    /// `lower_bound` calls (one per prefix scan).
+    pub lower_bound: AtomicU64,
+    /// `upper_bound` calls (one per prefix scan).
+    pub upper_bound: AtomicU64,
+}
+
+impl OpCounters {
+    /// Snapshot as plain numbers: `(inserts, membership, lower, upper)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.inserts.load(Relaxed),
+            self.membership.load(Relaxed),
+            self.lower_bound.load(Relaxed),
+            self.upper_bound.load(Relaxed),
+        )
+    }
+}
+
+/// Wraps a storage backend, counting every operation into shared
+/// [`OpCounters`].
+pub struct CountingStorage {
+    inner: Box<dyn RelationStorage>,
+    counters: Arc<OpCounters>,
+}
+
+impl CountingStorage {
+    /// Wraps `inner`, accumulating into `counters`.
+    pub fn new(inner: Box<dyn RelationStorage>, counters: Arc<OpCounters>) -> Self {
+        Self { inner, counters }
+    }
+}
+
+impl RelationStorage for CountingStorage {
+    fn make_ctx(&self) -> StorageCtx {
+        self.inner.make_ctx()
+    }
+
+    fn insert(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool {
+        self.counters.inserts.fetch_add(1, Relaxed);
+        self.inner.insert(t, ctx)
+    }
+
+    fn contains(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool {
+        self.counters.membership.fetch_add(1, Relaxed);
+        self.inner.contains(t, ctx)
+    }
+
+    fn scan_prefix(&self, prefix: &[u64], ctx: &mut StorageCtx, f: &mut dyn FnMut(&TupleBuf)) {
+        self.counters.lower_bound.fetch_add(1, Relaxed);
+        // Bounded prefixes issue an explicit upper_bound probe (Figure 1);
+        // empty prefixes are plain full iterations.
+        if !prefix.is_empty() {
+            self.counters.upper_bound.fetch_add(1, Relaxed);
+        }
+        self.inner.scan_prefix(prefix, ctx, f)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&TupleBuf)) {
+        self.inner.for_each(f)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn hint_stats(&self, ctx: &StorageCtx) -> Option<HintStats> {
+        self.inner.hint_stats(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(kind: StorageKind) {
+        let s = kind.create();
+        let mut ctx = s.make_ctx();
+        assert!(s.is_empty());
+        assert!(s.insert(&pad(&[1, 2]), &mut ctx));
+        assert!(!s.insert(&pad(&[1, 2]), &mut ctx));
+        assert!(s.insert(&pad(&[1, 3]), &mut ctx));
+        assert!(s.insert(&pad(&[2, 1]), &mut ctx));
+        assert!(s.contains(&pad(&[1, 2]), &mut ctx));
+        assert!(!s.contains(&pad(&[9, 9]), &mut ctx));
+        assert_eq!(s.len(), 3);
+
+        // Prefix scan for leading column 1.
+        let mut got = Vec::new();
+        s.scan_prefix(&[1], &mut ctx, &mut |t| got.push(*t));
+        got.sort_unstable();
+        assert_eq!(got, vec![pad(&[1, 2]), pad(&[1, 3])], "{}", kind.label());
+
+        let mut all = Vec::new();
+        s.for_each(&mut |t| all.push(*t));
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn all_backends_conform() {
+        for kind in StorageKind::ALL {
+            exercise(kind);
+        }
+    }
+
+    #[test]
+    fn prefix_upper_handles_saturation() {
+        assert_eq!(prefix_upper(&[]), None);
+        assert_eq!(prefix_upper(&[3]).map(|t| t[0]), Some(4));
+        assert_eq!(prefix_upper(&[u64::MAX]), None);
+        // Carry into the previous word.
+        let hi = prefix_upper(&[7, u64::MAX]).unwrap();
+        assert_eq!(hi[0], 8);
+        assert_eq!(hi[1], 0);
+    }
+
+    #[test]
+    fn counting_storage_counts() {
+        let counters = Arc::new(OpCounters::default());
+        let s = CountingStorage::new(StorageKind::SpecBTree.create(), Arc::clone(&counters));
+        let mut ctx = s.make_ctx();
+        s.insert(&pad(&[1]), &mut ctx);
+        s.insert(&pad(&[2]), &mut ctx);
+        s.contains(&pad(&[1]), &mut ctx);
+        s.scan_prefix(&[1], &mut ctx, &mut |_| {});
+        let (ins, mem, lb, ub) = counters.snapshot();
+        assert_eq!((ins, mem, lb, ub), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn spec_btree_reports_hint_stats() {
+        let s = StorageKind::SpecBTree.create();
+        let mut ctx = s.make_ctx();
+        for i in 0..100u64 {
+            s.insert(&pad(&[0, i * 2]), &mut ctx);
+        }
+        for i in 0..99u64 {
+            s.insert(&pad(&[0, i * 2 + 1]), &mut ctx);
+        }
+        let stats = s.hint_stats(&ctx).expect("spec btree keeps hints");
+        assert!(stats.insert_hits > 0);
+        assert!(StorageKind::RbTreeLocked
+            .create()
+            .hint_stats(&StorageKind::RbTreeLocked.create().make_ctx())
+            .is_none());
+    }
+
+    #[test]
+    fn concurrent_inserts_through_trait() {
+        for kind in [StorageKind::SpecBTree, StorageKind::ConcurrentHashSet] {
+            let s = kind.create();
+            std::thread::scope(|scope| {
+                for t in 0..4u64 {
+                    let s = &s;
+                    scope.spawn(move || {
+                        let mut ctx = s.make_ctx();
+                        for i in 0..1_000 {
+                            s.insert(&pad(&[t, i]), &mut ctx);
+                        }
+                    });
+                }
+            });
+            assert_eq!(s.len(), 4_000, "{}", kind.label());
+        }
+    }
+}

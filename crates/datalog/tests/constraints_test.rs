@@ -1,0 +1,186 @@
+//! Tests of comparison constraints (`<`, `<=`, `>`, `>=`, `=`, `!=`) in
+//! rule bodies — parsing, safety checking, plan placement, and evaluation.
+
+use datalog::{parse, Engine, StorageKind};
+
+#[test]
+fn parse_all_operators() {
+    let p = parse(
+        r#"
+        .decl e(a: number, b: number)
+        .decl out(a: number, b: number)
+        out(X, Y) :- e(X, Y), X < Y.
+        out(X, Y) :- e(X, Y), X <= Y.
+        out(X, Y) :- e(X, Y), X > Y.
+        out(X, Y) :- e(X, Y), X >= Y.
+        out(X, Y) :- e(X, Y), X = 5.
+        out(X, Y) :- e(X, Y), X != Y.
+        "#,
+    )
+    .unwrap();
+    assert_eq!(p.rules.len(), 6);
+    for r in &p.rules {
+        assert_eq!(r.constraints.len(), 1, "{r}");
+    }
+    assert_eq!(p.rules[5].to_string(), "out(X, Y) :- e(X, Y), X != Y.");
+}
+
+#[test]
+fn constraints_can_appear_anywhere_in_the_body() {
+    let p = parse(
+        r#"
+        .decl e(a: number, b: number)
+        .decl out(a: number)
+        out(X) :- X > 2, e(X, Y), Y < 10, e(Y, X).
+        "#,
+    )
+    .unwrap();
+    assert_eq!(p.rules[0].body.len(), 2);
+    assert_eq!(p.rules[0].constraints.len(), 2);
+}
+
+#[test]
+fn constant_only_constraints_parse() {
+    let p = parse(".decl e(a: number)\n.decl out(a: number)\nout(X) :- e(X), 1 < 2.").unwrap();
+    assert_eq!(p.rules[0].constraints.len(), 1);
+}
+
+#[test]
+fn wildcard_in_constraint_rejected() {
+    let err = parse(".decl e(a: number)\n.decl o(a: number)\no(X) :- e(X), _ < 3.").unwrap_err();
+    assert!(err.message.contains("wildcard"), "{err}");
+}
+
+#[test]
+fn unbound_constraint_variable_rejected_by_safety() {
+    let p = parse(".decl e(a: number)\n.decl o(a: number)\no(X) :- e(X), Y < 3.").unwrap();
+    let err = datalog::stratify(&p).unwrap_err();
+    assert!(err.0.contains("comparison"), "{err}");
+}
+
+fn run(src: &str, edges: &[(u64, u64)], out: &str) -> Vec<Vec<u64>> {
+    let program = parse(src).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 2).unwrap();
+    engine
+        .add_facts("e", edges.iter().map(|&(a, b)| vec![a, b]))
+        .unwrap();
+    engine.run().unwrap();
+    engine.relation(out).unwrap()
+}
+
+const EDGES: &[(u64, u64)] = &[(1, 2), (2, 1), (3, 3), (4, 7), (7, 4), (5, 5)];
+
+#[test]
+fn less_than_filters_pairs() {
+    let got = run(
+        ".decl e(a:n, b:n)\n.decl o(a:n, b:n)\n.output o\no(X, Y) :- e(X, Y), X < Y.",
+        EDGES,
+        "o",
+    );
+    assert_eq!(got, vec![vec![1, 2], vec![4, 7]]);
+}
+
+#[test]
+fn not_equal_removes_loops() {
+    let got = run(
+        ".decl e(a:n, b:n)\n.decl o(a:n, b:n)\n.output o\no(X, Y) :- e(X, Y), X != Y.",
+        EDGES,
+        "o",
+    );
+    assert_eq!(got.len(), 4);
+    assert!(got.iter().all(|t| t[0] != t[1]));
+}
+
+#[test]
+fn equality_with_constant() {
+    let got = run(
+        ".decl e(a:n, b:n)\n.decl o(b:n)\n.output o\no(Y) :- e(X, Y), X = 4.",
+        EDGES,
+        "o",
+    );
+    assert_eq!(got, vec![vec![7]]);
+}
+
+#[test]
+fn greater_equal_boundaries() {
+    let got = run(
+        ".decl e(a:n, b:n)\n.decl o(a:n, b:n)\n.output o\no(X, Y) :- e(X, Y), X >= Y.",
+        EDGES,
+        "o",
+    );
+    assert_eq!(got, vec![vec![2, 1], vec![3, 3], vec![5, 5], vec![7, 4]]);
+}
+
+#[test]
+fn constraints_in_recursive_rules() {
+    // Monotone paths: only travel to strictly larger node ids.
+    let src = r#"
+        .decl e(a: number, b: number)
+        .decl up(a: number, b: number)
+        .output up
+        up(X, Y) :- e(X, Y), X < Y.
+        up(X, Z) :- up(X, Y), e(Y, Z), Y < Z.
+    "#;
+    let edges = &[(1u64, 2u64), (2, 3), (3, 1), (3, 4), (4, 2)];
+    let got = run(src, edges, "up");
+    // Increasing chains: 1-2, 2-3, 3-4, 1-3, 2-4, 1-4.
+    let expect: Vec<Vec<u64>> = vec![
+        vec![1, 2],
+        vec![1, 3],
+        vec![1, 4],
+        vec![2, 3],
+        vec![2, 4],
+        vec![3, 4],
+    ];
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn always_false_constant_constraint_yields_nothing() {
+    let got = run(
+        ".decl e(a:n, b:n)\n.decl o(a:n)\n.output o\no(X) :- e(X, _), 2 < 1.",
+        EDGES,
+        "o",
+    );
+    assert!(got.is_empty());
+}
+
+#[test]
+fn explain_shows_filter_placement() {
+    let program = parse(
+        r#"
+        .decl e(a: number, b: number)
+        .decl o(a: number, b: number)
+        o(X, Y) :- e(X, Y), X < Y.
+        "#,
+    )
+    .unwrap();
+    let engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    let plan = engine.explain();
+    assert!(plan.contains("filter v0 < v1"), "{plan}");
+    // The filter must run after the scan that binds both variables and
+    // before emission.
+    let scan = plan.find("scan e").unwrap();
+    let filter = plan.find("filter").unwrap();
+    let emit = plan.find("emit o").unwrap();
+    assert!(scan < filter && filter < emit, "{plan}");
+}
+
+#[test]
+fn all_backends_agree_with_constraints() {
+    let src = ".decl e(a:n, b:n)\n.decl o(a:n, b:n)\n.output o\no(X, Y) :- e(X, Y), X != Y, X < 6.";
+    let mut reference: Option<Vec<Vec<u64>>> = None;
+    for kind in StorageKind::ALL {
+        let program = parse(src).unwrap();
+        let mut engine = Engine::new(&program, kind, 2).unwrap();
+        engine
+            .add_facts("e", EDGES.iter().map(|&(a, b)| vec![a, b]))
+            .unwrap();
+        engine.run().unwrap();
+        let got = engine.relation("o").unwrap();
+        match &reference {
+            None => reference = Some(got),
+            Some(r) => assert_eq!(&got, r, "{}", kind.label()),
+        }
+    }
+}

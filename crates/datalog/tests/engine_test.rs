@@ -1,0 +1,390 @@
+//! End-to-end engine tests: known programs with independently computed
+//! expected results, run across every storage backend and several thread
+//! counts — the cross-product §4.3 of the paper exercises.
+
+use datalog::{parse, Engine, StorageKind};
+use std::collections::BTreeSet;
+
+/// Reference transitive closure via repeated squaring over a set.
+fn tc_reference(edges: &[(u64, u64)]) -> BTreeSet<(u64, u64)> {
+    let mut path: BTreeSet<(u64, u64)> = edges.iter().copied().collect();
+    loop {
+        let mut next = path.clone();
+        for &(x, y) in &path {
+            for &(a, b) in edges {
+                if a == y {
+                    next.insert((x, b));
+                }
+            }
+        }
+        if next.len() == path.len() {
+            return path;
+        }
+        path = next;
+    }
+}
+
+const TC_PROGRAM: &str = r#"
+    .decl edge(x: number, y: number)
+    .decl path(x: number, y: number)
+    .input edge
+    .output path
+    path(x, y) :- edge(x, y).
+    path(x, z) :- path(x, y), edge(y, z).
+"#;
+
+fn run_tc(edges: &[(u64, u64)], kind: StorageKind, threads: usize) -> BTreeSet<(u64, u64)> {
+    let program = parse(TC_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, kind, threads).unwrap();
+    engine
+        .add_facts("edge", edges.iter().map(|&(a, b)| vec![a, b]))
+        .unwrap();
+    engine.run().unwrap();
+    engine
+        .relation("path")
+        .unwrap()
+        .into_iter()
+        .map(|t| (t[0], t[1]))
+        .collect()
+}
+
+#[test]
+fn transitive_closure_chain() {
+    let edges: Vec<(u64, u64)> = (0..20).map(|i| (i, i + 1)).collect();
+    let expect = tc_reference(&edges);
+    assert_eq!(expect.len(), 20 * 21 / 2);
+    assert_eq!(run_tc(&edges, StorageKind::SpecBTree, 1), expect);
+}
+
+#[test]
+fn transitive_closure_cycle() {
+    let edges: Vec<(u64, u64)> = (0..6).map(|i| (i, (i + 1) % 6)).collect();
+    let expect = tc_reference(&edges);
+    assert_eq!(expect.len(), 36, "cycle closure is complete");
+    assert_eq!(run_tc(&edges, StorageKind::SpecBTree, 2), expect);
+}
+
+#[test]
+fn transitive_closure_all_backends_agree() {
+    // Random-ish sparse graph.
+    let mut edges = Vec::new();
+    let mut x = 12345u64;
+    for _ in 0..60 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        edges.push(((x >> 33) % 25, (x >> 13) % 25));
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let expect = tc_reference(&edges);
+    for kind in StorageKind::ALL {
+        for threads in [1, 3] {
+            let got = run_tc(&edges, kind, threads);
+            assert_eq!(got, expect, "{} with {threads} threads", kind.label());
+        }
+    }
+}
+
+#[test]
+fn empty_input_relation() {
+    let got = run_tc(&[], StorageKind::SpecBTree, 2);
+    assert!(got.is_empty());
+}
+
+#[test]
+fn self_loop() {
+    let got = run_tc(&[(5, 5)], StorageKind::SpecBTree, 1);
+    assert_eq!(got, BTreeSet::from([(5, 5)]));
+}
+
+#[test]
+fn same_generation_mutual_recursion() {
+    // sg(X,Y) :- flat pairs at the same depth of a tree.
+    let program = parse(
+        r#"
+        .decl parent(x: number, y: number)
+        .decl sg(x: number, y: number)
+        .output sg
+        sg(x, y) :- parent(p, x), parent(p, y).
+        sg(x, y) :- parent(a, x), sg(a, b), parent(b, y).
+        "#,
+    )
+    .unwrap();
+    // Perfect binary tree of depth 3: node i has children 2i and 2i+1.
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 2).unwrap();
+    for i in 1u64..8 {
+        engine.add_fact("parent", &[i, 2 * i]).unwrap();
+        engine.add_fact("parent", &[i, 2 * i + 1]).unwrap();
+    }
+    engine.run().unwrap();
+    let sg = engine.relation("sg").unwrap();
+    // Same-generation pairs: level 1 (2 nodes): 4 pairs; level 2 (4): 16;
+    // level 3 (8): 64.
+    assert_eq!(sg.len(), 4 + 16 + 64);
+    // Symmetry.
+    let set: BTreeSet<(u64, u64)> = sg.iter().map(|t| (t[0], t[1])).collect();
+    for &(a, b) in &set {
+        assert!(set.contains(&(b, a)), "asymmetric pair ({a},{b})");
+    }
+}
+
+#[test]
+fn stratified_negation_unreachable_pairs() {
+    let program = parse(
+        r#"
+        .decl edge(x: number, y: number)
+        .decl node(x: number)
+        .decl path(x: number, y: number)
+        .decl unreachable(x: number, y: number)
+        .output unreachable
+        node(x) :- edge(x, _).
+        node(y) :- edge(_, y).
+        path(x, y) :- edge(x, y).
+        path(x, z) :- path(x, y), edge(y, z).
+        unreachable(x, y) :- node(x), node(y), !path(x, y).
+        "#,
+    )
+    .unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 2).unwrap();
+    // Two disconnected components: 1->2, 3->4.
+    engine.add_fact("edge", &[1, 2]).unwrap();
+    engine.add_fact("edge", &[3, 4]).unwrap();
+    engine.run().unwrap();
+    let unreachable: BTreeSet<(u64, u64)> = engine
+        .relation("unreachable")
+        .unwrap()
+        .into_iter()
+        .map(|t| (t[0], t[1]))
+        .collect();
+    // 4 nodes, 16 ordered pairs, reachable: (1,2) and (3,4).
+    assert_eq!(unreachable.len(), 14);
+    assert!(!unreachable.contains(&(1, 2)));
+    assert!(!unreachable.contains(&(3, 4)));
+    assert!(unreachable.contains(&(2, 1)));
+    assert!(unreachable.contains(&(1, 4)));
+}
+
+#[test]
+fn constants_and_wildcards_in_rules() {
+    let program = parse(
+        r#"
+        .decl r(a: number, b: number, c: number)
+        .decl hits(x: number)
+        .output hits
+        hits(b) :- r(7, b, _).
+        "#,
+    )
+    .unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    engine.add_fact("r", &[7, 1, 100]).unwrap();
+    engine.add_fact("r", &[7, 2, 200]).unwrap();
+    engine.add_fact("r", &[8, 3, 300]).unwrap();
+    engine.run().unwrap();
+    assert_eq!(engine.relation("hits").unwrap(), vec![vec![1], vec![2]]);
+}
+
+#[test]
+fn repeated_variable_join() {
+    let program = parse(
+        r#"
+        .decl e(a: number, b: number)
+        .decl loops(x: number)
+        .output loops
+        loops(x) :- e(x, x).
+        "#,
+    )
+    .unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    engine.add_fact("e", &[1, 1]).unwrap();
+    engine.add_fact("e", &[1, 2]).unwrap();
+    engine.add_fact("e", &[3, 3]).unwrap();
+    engine.run().unwrap();
+    assert_eq!(engine.relation("loops").unwrap(), vec![vec![1], vec![3]]);
+}
+
+#[test]
+fn facts_in_program_text() {
+    let program = parse(
+        r#"
+        .decl edge(x: number, y: number)
+        .decl path(x: number, y: number)
+        edge(1, 2). edge(2, 3).
+        path(x, y) :- edge(x, y).
+        path(x, z) :- path(x, y), edge(y, z).
+        "#,
+    )
+    .unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    engine.run().unwrap();
+    assert_eq!(engine.relation("path").unwrap().len(), 3);
+    assert_eq!(engine.stats().input_tuples, 2);
+}
+
+#[test]
+fn idb_relation_with_seed_facts() {
+    // Facts for a derived relation participate in the fixpoint.
+    let program = parse(
+        r#"
+        .decl edge(x: number, y: number)
+        .decl path(x: number, y: number)
+        path(10, 11).
+        edge(11, 12).
+        path(x, z) :- path(x, y), edge(y, z).
+        "#,
+    )
+    .unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    engine.run().unwrap();
+    let path = engine.relation("path").unwrap();
+    assert_eq!(path, vec![vec![10, 11], vec![10, 12]]);
+}
+
+#[test]
+fn multi_stratum_pipeline() {
+    let program = parse(
+        r#"
+        .decl raw(x: number)
+        .decl doubledigit(x: number)
+        .decl big(x: number)
+        .output big
+        doubledigit(x) :- raw(x), !small(x).
+        .decl small(x: number)
+        small(x) :- raw(x), bound(x).
+        .decl bound(x: number)
+        bound(1). bound(2). bound(3).
+        big(x) :- doubledigit(x).
+        "#,
+    )
+    .unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 2).unwrap();
+    for i in 1..=5 {
+        engine.add_fact("raw", &[i]).unwrap();
+    }
+    engine.run().unwrap();
+    assert_eq!(engine.relation("big").unwrap(), vec![vec![4], vec![5]]);
+}
+
+#[test]
+fn stats_reflect_workload() {
+    let edges: Vec<(u64, u64)> = (0..50).map(|i| (i, i + 1)).collect();
+    let program = parse(TC_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 2).unwrap();
+    engine
+        .add_facts("edge", edges.iter().map(|&(a, b)| vec![a, b]))
+        .unwrap();
+    engine.run().unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.input_tuples, 50);
+    assert_eq!(stats.produced_tuples, (50 * 51 / 2) as u64);
+    assert!(
+        stats.inserts > stats.produced_tuples,
+        "merge re-inserts count"
+    );
+    assert!(stats.membership_tests > 0);
+    assert!(stats.lower_bound_calls > 0);
+    // Bounded scans issue paired lower/upper probes; unbounded (empty
+    // prefix) scans only a lower_bound.
+    assert!(stats.upper_bound_calls <= stats.lower_bound_calls);
+    assert!(stats.upper_bound_calls > 0);
+    assert!(stats.iterations >= 50, "chain needs ~n iterations");
+    // The recursive scan pattern is highly ordered: hints must hit.
+    assert!(stats.hints.hits() > 0);
+}
+
+#[test]
+fn hint_rates_higher_for_spec_btree_than_absent_for_others() {
+    let edges: Vec<(u64, u64)> = (0..30).map(|i| (i, i + 1)).collect();
+    let program = parse(TC_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::RbTreeLocked, 2).unwrap();
+    engine
+        .add_facts("edge", edges.iter().map(|&(a, b)| vec![a, b]))
+        .unwrap();
+    engine.run().unwrap();
+    assert_eq!(
+        engine.stats().hints.hits() + engine.stats().hints.misses(),
+        0
+    );
+}
+
+#[test]
+fn rerun_after_adding_facts_reaches_new_fixpoint() {
+    let program = parse(TC_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    engine.add_fact("edge", &[1, 2]).unwrap();
+    engine.run().unwrap();
+    assert_eq!(engine.relation_len("path").unwrap(), 1);
+    engine.add_fact("edge", &[2, 3]).unwrap();
+    engine.run().unwrap();
+    assert_eq!(engine.relation_len("path").unwrap(), 3);
+}
+
+#[test]
+fn unknown_relation_errors() {
+    let program = parse(TC_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    assert!(engine.add_fact("ghost", &[1]).is_err());
+    assert!(engine.relation("ghost").is_err());
+}
+
+#[test]
+fn arity_mismatch_errors() {
+    let program = parse(TC_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    assert!(engine.add_fact("edge", &[1]).is_err());
+    assert!(engine.add_fact("edge", &[1, 2, 3]).is_err());
+}
+
+#[test]
+fn larger_graph_parallel_equals_sequential() {
+    let mut edges = Vec::new();
+    let mut x = 7u64;
+    for _ in 0..400 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        edges.push(((x >> 33) % 80, (x >> 13) % 80));
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let seq = run_tc(&edges, StorageKind::SpecBTree, 1);
+    let par = run_tc(&edges, StorageKind::SpecBTree, 4);
+    assert_eq!(seq, par);
+    assert_eq!(seq, tc_reference(&edges));
+}
+
+#[test]
+fn query_returns_prefix_matches() {
+    let program = parse(TC_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    for i in 0..10u64 {
+        engine.add_fact("edge", &[i / 3, i]).unwrap();
+    }
+    engine.run().unwrap();
+    // All paths out of node 0.
+    let out = engine.query("path", &[0]).unwrap();
+    assert!(!out.is_empty());
+    assert!(out.iter().all(|t| t[0] == 0));
+    assert!(out.windows(2).all(|w| w[0] < w[1]));
+    // Full-prefix query = point lookup.
+    let hit = engine.query("path", &[0, 1]).unwrap();
+    assert_eq!(hit, vec![vec![0, 1]]);
+    // Over-long prefix errors.
+    assert!(engine.query("path", &[0, 1, 2]).is_err());
+    assert!(engine.query("ghost", &[]).is_err());
+}
+
+#[test]
+fn relation_sizes_sorted_descending() {
+    let program = parse(TC_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    for i in 0..20u64 {
+        engine.add_fact("edge", &[i, i + 1]).unwrap();
+    }
+    engine.run().unwrap();
+    let sizes = engine.relation_sizes();
+    assert_eq!(sizes.len(), 2);
+    assert_eq!(sizes[0].0, "path");
+    assert_eq!(sizes[0].1, 20 * 21 / 2);
+    assert_eq!(sizes[1], ("edge".to_string(), 20));
+}

@@ -1,0 +1,132 @@
+//! Tests of the EXPLAIN facility: strata ordering and compiled plan shapes
+//! visible in the rendered strategy.
+
+use datalog::{parse, Engine, StorageKind};
+
+#[test]
+fn explain_shows_strata_and_delta_versions() {
+    let program = parse(
+        r#"
+        .decl edge(x: number, y: number)
+        .decl path(x: number, y: number)
+        path(x, y) :- edge(x, y).
+        path(x, z) :- path(x, y), edge(y, z).
+        "#,
+    )
+    .unwrap();
+    let engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    let plan = engine.explain();
+    assert!(
+        plan.contains("stratum 0 (recursive): defines path"),
+        "{plan}"
+    );
+    assert!(plan.contains("Δpath"), "delta scan missing:\n{plan}");
+    assert!(
+        plan.contains("range edge prefix=(v"),
+        "bound prefix missing:\n{plan}"
+    );
+    assert!(plan.contains("emit path(v0,v2)"), "{plan}");
+}
+
+#[test]
+fn explain_shows_negated_probes() {
+    let program = parse(
+        r#"
+        .decl a(x: number)
+        .decl b(x: number)
+        .decl out(x: number)
+        out(x) :- a(x), !b(x).
+        "#,
+    )
+    .unwrap();
+    let engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    let plan = engine.explain();
+    assert!(plan.contains("probe !b(v0)"), "{plan}");
+}
+
+#[test]
+fn explain_orders_strata_bottom_up() {
+    let program = parse(
+        r#"
+        .decl base(x: number)
+        .decl mid(x: number)
+        .decl top(x: number)
+        mid(x) :- base(x).
+        top(x) :- mid(x).
+        "#,
+    )
+    .unwrap();
+    let engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    let plan = engine.explain();
+    let mid = plan.find("defines mid").expect("mid stratum");
+    let top = plan.find("defines top").expect("top stratum");
+    assert!(mid < top, "{plan}");
+}
+
+#[test]
+fn explain_shows_two_versions_for_double_recursion() {
+    let program = parse(
+        r#"
+        .decl p(x: number, y: number)
+        p(1, 2).
+        p(x, z) :- p(x, y), p(y, z).
+        "#,
+    )
+    .unwrap();
+    let engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    let plan = engine.explain();
+    assert!(plan.contains("version 0"), "{plan}");
+    assert!(plan.contains("version 1"), "{plan}");
+}
+
+#[test]
+fn input_and_output_relation_lists() {
+    let program = parse(
+        r#"
+        .decl a(x: number)
+        .decl b(x: number)
+        .decl c(x: number)
+        .input a
+        .output b
+        .output c
+        b(x) :- a(x).
+        c(x) :- b(x).
+        "#,
+    )
+    .unwrap();
+    let engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    assert_eq!(engine.input_relations(), vec!["a"]);
+    assert_eq!(engine.output_relations(), vec!["b", "c"]);
+}
+
+#[test]
+fn profile_reports_rule_times() {
+    let program = parse(
+        r#"
+        .decl edge(x: number, y: number)
+        .decl path(x: number, y: number)
+        edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 5).
+        path(x, y) :- edge(x, y).
+        path(x, z) :- path(x, y), edge(y, z).
+        "#,
+    )
+    .unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    assert!(engine.profile().is_empty(), "no profile before running");
+    engine.run().unwrap();
+    let profile = engine.profile();
+    assert_eq!(profile.len(), 2, "one entry per rule");
+    // The recursive rule runs once per fixpoint iteration, the base rule
+    // once.
+    let base = profile
+        .iter()
+        .find(|p| !p.rule.contains("path(x, y), edge"))
+        .unwrap();
+    let rec = profile
+        .iter()
+        .find(|p| p.rule.contains("path(x, y), edge"))
+        .unwrap();
+    assert_eq!(base.evaluations, 1);
+    assert!(rec.evaluations >= 3, "{rec:?}");
+    assert!(profile.windows(2).all(|w| w[0].seconds >= w[1].seconds));
+}

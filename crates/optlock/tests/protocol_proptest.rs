@@ -1,0 +1,104 @@
+//! Property-based tests of the lock protocol as a state machine: arbitrary
+//! single-threaded operation sequences must preserve the version-word
+//! invariants (parity encodes the lock state; committed writes advance the
+//! version by exactly 2; aborted writes restore it exactly).
+
+use optlock::{Lease, OptimisticRwLock};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    StartRead,
+    Validate,
+    TryUpgrade,
+    TryStartWrite,
+    EndWrite,
+    AbortWrite,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::StartRead),
+        Just(Op::Validate),
+        Just(Op::TryUpgrade),
+        Just(Op::TryStartWrite),
+        Just(Op::EndWrite),
+        Just(Op::AbortWrite),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn protocol_state_machine(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let lock = OptimisticRwLock::new();
+        let mut lease: Option<Lease> = None;
+        let mut write_held = false;
+        let mut commits = 0u64;
+
+        for op in ops {
+            match op {
+                Op::StartRead => {
+                    if !write_held {
+                        // Would spin forever against our own write lock.
+                        let l = lock.start_read();
+                        prop_assert_eq!(l.version() % 2, 0);
+                        lease = Some(l);
+                    }
+                }
+                Op::Validate => {
+                    if let Some(l) = lease {
+                        let ok = lock.validate(l);
+                        // Valid iff no write started since the lease.
+                        prop_assert_eq!(ok, lock.raw_version() == l.version());
+                    }
+                }
+                Op::TryUpgrade => {
+                    if let Some(l) = lease {
+                        let ok = lock.try_upgrade_to_write(l);
+                        if ok {
+                            prop_assert!(!write_held, "double write lock");
+                            write_held = true;
+                        }
+                        // Upgrade can only succeed on a still-current lease.
+                        if ok {
+                            prop_assert_eq!(lock.raw_version(), l.version() + 1);
+                        }
+                        lease = None;
+                    }
+                }
+                Op::TryStartWrite => {
+                    let ok = lock.try_start_write();
+                    prop_assert_eq!(ok, !write_held, "single-threaded: free iff we don't hold it");
+                    if ok {
+                        write_held = true;
+                    }
+                }
+                Op::EndWrite => {
+                    if write_held {
+                        lock.end_write();
+                        write_held = false;
+                        commits += 1;
+                    }
+                }
+                Op::AbortWrite => {
+                    if write_held {
+                        lock.abort_write();
+                        write_held = false;
+                    }
+                }
+            }
+            // Global invariant: parity encodes the lock state.
+            prop_assert_eq!(lock.raw_version() % 2 == 1, write_held);
+            prop_assert_eq!(lock.is_write_locked(), write_held);
+        }
+        if write_held {
+            lock.end_write();
+            commits += 1;
+        }
+        // Every committed write advanced the version by exactly 2; aborts
+        // net zero.
+        prop_assert_eq!(lock.raw_version(), commits * 2);
+    }
+}

@@ -1,0 +1,254 @@
+//! Operation hints (paper §3.2).
+//!
+//! Datalog evaluation touches relations in lexicographic order, so
+//! consecutive operations almost always land in the same leaf. A
+//! [`BTreeHints`] object caches, per operation kind, the leaf most recently
+//! accessed; the next operation first checks whether that leaf *covers* the
+//! requested tuple and, if so, skips the root-to-leaf traversal (and all its
+//! lock interactions) entirely.
+//!
+//! Hints are held in thread-local fashion by convention: each worker thread
+//! obtains one from [`BTreeSet::create_hints`] and threads it through its
+//! operations, exactly as the paper describes. Because tree nodes are never
+//! deleted or moved, a cached leaf pointer can never dangle *while its tree
+//! is alive*; to make the API safe even across tree lifetimes each hint is
+//! **branded** with the unique id of the tree it was created for, and a tree
+//! only dereferences hints carrying its own brand.
+//!
+//! Hit/miss statistics are recorded for every hinted operation — the paper
+//! reports these rates (54% for the Doop analysis, 77% for the security
+//! analysis, §4.3) and the `table2` harness reproduces them.
+//!
+//! [`BTreeSet::create_hints`]: crate::BTreeSet::create_hints
+
+use crate::node::NodePtr;
+
+/// Hit/miss counters per hinted operation kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HintStats {
+    /// Hinted inserts that reused the cached leaf.
+    pub insert_hits: u64,
+    /// Hinted inserts that fell back to a full traversal.
+    pub insert_misses: u64,
+    /// Hinted membership tests that reused the cached leaf.
+    pub contains_hits: u64,
+    /// Hinted membership tests that fell back to a full traversal.
+    pub contains_misses: u64,
+    /// Hinted lower-bound queries that reused the cached leaf.
+    pub lower_hits: u64,
+    /// Hinted lower-bound queries that fell back to a full traversal.
+    pub lower_misses: u64,
+    /// Hinted upper-bound queries that reused the cached leaf.
+    pub upper_hits: u64,
+    /// Hinted upper-bound queries that fell back to a full traversal.
+    pub upper_misses: u64,
+}
+
+impl HintStats {
+    /// Total hits across all operation kinds.
+    pub fn hits(&self) -> u64 {
+        self.insert_hits + self.contains_hits + self.lower_hits + self.upper_hits
+    }
+
+    /// Total misses across all operation kinds.
+    pub fn misses(&self) -> u64 {
+        self.insert_misses + self.contains_misses + self.lower_misses + self.upper_misses
+    }
+
+    /// Overall hit rate in `[0, 1]`; `0` when no hinted operation ran.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another thread's statistics into this one.
+    pub fn merge(&mut self, other: &HintStats) {
+        self.insert_hits += other.insert_hits;
+        self.insert_misses += other.insert_misses;
+        self.contains_hits += other.contains_hits;
+        self.contains_misses += other.contains_misses;
+        self.lower_hits += other.lower_hits;
+        self.lower_misses += other.lower_misses;
+        self.upper_hits += other.upper_hits;
+        self.upper_misses += other.upper_misses;
+    }
+}
+
+/// Per-thread operation hints for one [`BTreeSet`](crate::BTreeSet).
+///
+/// Obtained from [`BTreeSet::create_hints`](crate::BTreeSet::create_hints);
+/// pass `&mut` to the `_hinted` operation variants. Using hints created for
+/// a different tree is safe: the brand check simply treats every access as
+/// a miss and rebinds the hints to the new tree.
+pub struct BTreeHints<const K: usize, const C: usize = { crate::DEFAULT_NODE_CAPACITY }> {
+    tree_id: u64,
+    insert_leaf: NodePtr<K, C>,
+    contains_leaf: NodePtr<K, C>,
+    lower_leaf: NodePtr<K, C>,
+    upper_leaf: NodePtr<K, C>,
+    /// Hit/miss statistics for this hint object (i.e. this thread).
+    pub stats: HintStats,
+}
+
+// SAFETY: the raw pointers are only dereferenced by tree methods after the
+// brand check proves they belong to the (alive, borrowed) tree; moving the
+// hint object to another thread is fine because every hinted access is
+// re-validated through the optimistic lock protocol.
+unsafe impl<const K: usize, const C: usize> Send for BTreeHints<K, C> {}
+
+impl<const K: usize, const C: usize> BTreeHints<K, C> {
+    pub(crate) fn new(tree_id: u64) -> Self {
+        Self {
+            tree_id,
+            insert_leaf: std::ptr::null_mut(),
+            contains_leaf: std::ptr::null_mut(),
+            lower_leaf: std::ptr::null_mut(),
+            upper_leaf: std::ptr::null_mut(),
+            stats: HintStats::default(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn tree_id(&self) -> u64 {
+        self.tree_id
+    }
+
+    /// Re-brands the hints for a different tree, clearing all cached leaves
+    /// (the statistics are kept — they belong to the thread, not the tree).
+    pub(crate) fn rebind(&mut self, tree_id: u64) {
+        self.tree_id = tree_id;
+        self.insert_leaf = std::ptr::null_mut();
+        self.contains_leaf = std::ptr::null_mut();
+        self.lower_leaf = std::ptr::null_mut();
+        self.upper_leaf = std::ptr::null_mut();
+    }
+
+    #[inline]
+    pub(crate) fn insert_leaf(&self) -> NodePtr<K, C> {
+        self.insert_leaf
+    }
+
+    #[inline]
+    pub(crate) fn contains_leaf(&self) -> NodePtr<K, C> {
+        self.contains_leaf
+    }
+
+    #[inline]
+    pub(crate) fn lower_leaf(&self) -> NodePtr<K, C> {
+        self.lower_leaf
+    }
+
+    #[inline]
+    pub(crate) fn upper_leaf(&self) -> NodePtr<K, C> {
+        self.upper_leaf
+    }
+
+    /// Records the outcome of a hinted insert. Only leaves are cached.
+    #[inline]
+    pub(crate) fn record_insert(&mut self, hit: bool, node: NodePtr<K, C>) {
+        if hit {
+            self.stats.insert_hits += 1;
+        } else {
+            self.stats.insert_misses += 1;
+        }
+        if !node.is_null() && !unsafe { &*node }.is_inner() {
+            self.insert_leaf = node;
+        }
+    }
+
+    /// Records the outcome of a hinted membership test.
+    #[inline]
+    pub(crate) fn record_contains(&mut self, hit: bool, node: NodePtr<K, C>) {
+        if hit {
+            self.stats.contains_hits += 1;
+        } else {
+            self.stats.contains_misses += 1;
+        }
+        if !node.is_null() && !unsafe { &*node }.is_inner() {
+            self.contains_leaf = node;
+        }
+    }
+
+    /// Records the outcome of a hinted lower-bound query.
+    #[inline]
+    pub(crate) fn record_lower(&mut self, hit: bool, node: NodePtr<K, C>) {
+        if hit {
+            self.stats.lower_hits += 1;
+        } else {
+            self.stats.lower_misses += 1;
+        }
+        if !node.is_null() && !unsafe { &*node }.is_inner() {
+            self.lower_leaf = node;
+        }
+    }
+
+    /// Records the outcome of a hinted upper-bound query.
+    #[inline]
+    pub(crate) fn record_upper(&mut self, hit: bool, node: NodePtr<K, C>) {
+        if hit {
+            self.stats.upper_hits += 1;
+        } else {
+            self.stats.upper_misses += 1;
+        }
+        if !node.is_null() && !unsafe { &*node }.is_inner() {
+            self.upper_leaf = node;
+        }
+    }
+}
+
+impl<const K: usize, const C: usize> std::fmt::Debug for BTreeHints<K, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BTreeHints")
+            .field("tree_id", &self.tree_id)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut s = HintStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.insert_hits = 3;
+        s.insert_misses = 1;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.hits(), 3);
+        assert_eq!(s.misses(), 1);
+    }
+
+    #[test]
+    fn stats_merge_accumulates_all_fields() {
+        let mut a = HintStats {
+            insert_hits: 1,
+            insert_misses: 2,
+            contains_hits: 3,
+            contains_misses: 4,
+            lower_hits: 5,
+            lower_misses: 6,
+            upper_hits: 7,
+            upper_misses: 8,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.hits(), 2 * b.hits());
+        assert_eq!(a.misses(), 2 * b.misses());
+    }
+
+    #[test]
+    fn rebind_clears_leaves_but_keeps_stats() {
+        let mut h: BTreeHints<2, 8> = BTreeHints::new(7);
+        h.stats.insert_hits = 5;
+        h.rebind(9);
+        assert_eq!(h.tree_id(), 9);
+        assert!(h.insert_leaf().is_null());
+        assert_eq!(h.stats.insert_hits, 5);
+    }
+}

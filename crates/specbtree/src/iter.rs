@@ -1,0 +1,404 @@
+//! Ordered iteration, bound queries and range scans.
+//!
+//! The tree is a classic B-tree: elements live in inner nodes too, so the
+//! iterator is a `(node, position)` cursor that descends into subtrees after
+//! visiting an inner key and climbs via parent links when a leaf is
+//! exhausted — the same cursor the Soufflé implementation uses.
+//!
+//! Iteration is *phase-concurrent* (see the [`tree`](crate::tree) module
+//! docs): correct results require that no insert runs concurrently, which
+//! semi-naive Datalog evaluation guarantees. Racing an iterator against
+//! inserts is memory-safe (all accesses are atomics, all indices clamped)
+//! but yields an unspecified element sequence.
+
+use crate::hints::BTreeHints;
+use crate::node::{cmp3, NodePtr, Tuple};
+use crate::tree::BTreeSet;
+use std::cmp::Ordering;
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering::Relaxed;
+
+/// An in-order cursor over a [`BTreeSet`], yielding tuples ascending.
+pub struct Iter<'a, const K: usize, const C: usize> {
+    /// Current node; null means the iterator is exhausted.
+    node: NodePtr<K, C>,
+    /// Index of the key to yield next within `node`.
+    pos: usize,
+    _tree: PhantomData<&'a BTreeSet<K, C>>,
+}
+
+impl<'a, const K: usize, const C: usize> Iter<'a, K, C> {
+    pub(crate) fn new(node: NodePtr<K, C>, pos: usize) -> Self {
+        Self {
+            node,
+            pos,
+            _tree: PhantomData,
+        }
+    }
+
+    pub(crate) fn exhausted() -> Self {
+        Self::new(std::ptr::null_mut(), 0)
+    }
+
+    /// The tuple the cursor currently points at, without advancing.
+    pub fn peek(&self) -> Option<Tuple<K>> {
+        if self.node.is_null() {
+            return None;
+        }
+        // SAFETY: non-null cursor nodes are live tree nodes.
+        let n = unsafe { &*self.node };
+        if self.pos < n.num_clamped() {
+            Some(n.key(self.pos))
+        } else {
+            None
+        }
+    }
+
+    /// Descends to the leftmost leaf of the subtree rooted at `node`.
+    fn leftmost(mut node: NodePtr<K, C>) -> NodePtr<K, C> {
+        loop {
+            if node.is_null() {
+                return node;
+            }
+            // SAFETY: live tree node.
+            let n = unsafe { &*node };
+            if !n.is_inner() {
+                return node;
+            }
+            // SAFETY: kind checked above.
+            node = unsafe { n.as_inner() }.child(0);
+        }
+    }
+}
+
+impl<'a, const K: usize, const C: usize> Iterator for Iter<'a, K, C> {
+    type Item = Tuple<K>;
+
+    fn next(&mut self) -> Option<Tuple<K>> {
+        if self.node.is_null() {
+            return None;
+        }
+        // SAFETY: live tree node.
+        let n = unsafe { &*self.node };
+        let num = n.num_clamped();
+        if self.pos >= num {
+            // Defensive: only reachable when racing inserts (clamped
+            // counters) — treat as exhausted rather than index out of range.
+            self.node = std::ptr::null_mut();
+            return None;
+        }
+        let item = n.key(self.pos);
+
+        // Advance to the in-order successor.
+        if n.is_inner() {
+            // SAFETY: kind checked.
+            let child = unsafe { n.as_inner() }.child(self.pos + 1);
+            self.node = Iter::<K, C>::leftmost(child);
+            self.pos = 0;
+        } else {
+            self.pos += 1;
+            if self.pos >= num {
+                // Climb until we come up from a non-last child.
+                let mut cur = self.node;
+                loop {
+                    // SAFETY: live tree node.
+                    let cn = unsafe { &*cur };
+                    let parent = cn.parent.load(Relaxed);
+                    if parent.is_null() {
+                        self.node = std::ptr::null_mut();
+                        break;
+                    }
+                    // SAFETY: parent links reference live nodes.
+                    let pn = unsafe { &*parent };
+                    let pnum = pn.num_clamped();
+                    let i = (cn.position.load(Relaxed) as usize).min(pnum);
+                    if i < pnum {
+                        self.node = parent;
+                        self.pos = i;
+                        break;
+                    }
+                    cur = parent;
+                }
+            }
+        }
+        Some(item)
+    }
+}
+
+/// An in-order cursor bounded by an exclusive upper tuple.
+pub struct RangeIter<'a, const K: usize, const C: usize> {
+    inner: Iter<'a, K, C>,
+    /// Exclusive upper bound; `None` = run to the end of the set.
+    end: Option<Tuple<K>>,
+}
+
+impl<'a, const K: usize, const C: usize> RangeIter<'a, K, C> {
+    pub(crate) fn new(inner: Iter<'a, K, C>, end: Option<Tuple<K>>) -> Self {
+        Self { inner, end }
+    }
+}
+
+impl<'a, const K: usize, const C: usize> Iterator for RangeIter<'a, K, C> {
+    type Item = Tuple<K>;
+
+    fn next(&mut self) -> Option<Tuple<K>> {
+        let t = self.inner.peek()?;
+        if let Some(end) = &self.end {
+            if cmp3(&t, end) != Ordering::Less {
+                return None;
+            }
+        }
+        self.inner.next()
+    }
+}
+
+/// A half-open tuple interval `[lower, upper)` produced by
+/// [`BTreeSet::partition`]; `None` bounds are unbounded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RangeChunk<const K: usize> {
+    /// Inclusive lower bound (`None` = from the smallest tuple).
+    pub lower: Option<Tuple<K>>,
+    /// Exclusive upper bound (`None` = to the largest tuple).
+    pub upper: Option<Tuple<K>>,
+}
+
+impl<const K: usize, const C: usize> BTreeSet<K, C> {
+    /// The smallest stored tuple. Phase-concurrent.
+    pub fn first(&self) -> Option<Tuple<K>> {
+        self.iter().next()
+    }
+
+    /// The largest stored tuple. Phase-concurrent (O(depth): descends the
+    /// rightmost spine).
+    pub fn last(&self) -> Option<Tuple<K>> {
+        let mut node = self.root.load(Relaxed);
+        if node.is_null() {
+            return None;
+        }
+        loop {
+            // SAFETY: live tree node.
+            let n = unsafe { &*node };
+            let num = n.num_clamped();
+            if num == 0 {
+                return None; // empty root leaf
+            }
+            if !n.is_inner() {
+                return Some(n.key(num - 1));
+            }
+            // SAFETY: kind checked.
+            let child = unsafe { n.as_inner() }.child(num);
+            if child.is_null() {
+                return None; // only under racing writers; defensive
+            }
+            node = child;
+        }
+    }
+
+    /// An iterator over all tuples in ascending lexicographic order.
+    /// Phase-concurrent (no concurrent inserts).
+    pub fn iter(&self) -> Iter<'_, K, C> {
+        let root = self.root.load(Relaxed);
+        if root.is_null() {
+            return Iter::exhausted();
+        }
+        let leaf = Iter::<K, C>::leftmost(root);
+        if leaf.is_null() || unsafe { &*leaf }.num_clamped() == 0 {
+            return Iter::exhausted();
+        }
+        Iter::new(leaf, 0)
+    }
+
+    /// Cursor at the first tuple `>= t` (C++ `lower_bound` semantics); the
+    /// returned iterator runs to the end of the set.
+    pub fn lower_bound(&self, t: &Tuple<K>) -> Iter<'_, K, C> {
+        match self.lower_bound_pos(t) {
+            Some((node, pos)) => Iter::new(node, pos),
+            None => Iter::exhausted(),
+        }
+    }
+
+    /// Cursor at the first tuple `> t` (C++ `upper_bound` semantics).
+    pub fn upper_bound(&self, t: &Tuple<K>) -> Iter<'_, K, C> {
+        match self.upper_bound_pos(t) {
+            Some((node, pos)) => Iter::new(node, pos),
+            None => Iter::exhausted(),
+        }
+    }
+
+    /// Hinted variant of [`lower_bound`](Self::lower_bound).
+    pub fn lower_bound_hinted(&self, t: &Tuple<K>, hints: &mut BTreeHints<K, C>) -> Iter<'_, K, C> {
+        if hints.tree_id() == self.id {
+            let leaf = hints.lower_leaf();
+            if !leaf.is_null() {
+                if let Some(res) = self.try_hinted_bound(leaf, t, false) {
+                    hints.record_lower(true, leaf);
+                    return match res {
+                        Some((node, pos)) => Iter::new(node, pos),
+                        None => Iter::exhausted(),
+                    };
+                }
+            }
+        }
+        let res = self.lower_bound_pos(t);
+        let node = res.map(|(n, _)| n).unwrap_or(std::ptr::null_mut());
+        hints.record_lower(false, node);
+        match res {
+            Some((node, pos)) => Iter::new(node, pos),
+            None => Iter::exhausted(),
+        }
+    }
+
+    /// Hinted variant of [`upper_bound`](Self::upper_bound).
+    pub fn upper_bound_hinted(&self, t: &Tuple<K>, hints: &mut BTreeHints<K, C>) -> Iter<'_, K, C> {
+        if hints.tree_id() == self.id {
+            let leaf = hints.upper_leaf();
+            if !leaf.is_null() {
+                if let Some(res) = self.try_hinted_bound(leaf, t, true) {
+                    hints.record_upper(true, leaf);
+                    return match res {
+                        Some((node, pos)) => Iter::new(node, pos),
+                        None => Iter::exhausted(),
+                    };
+                }
+            }
+        }
+        let res = self.upper_bound_pos(t);
+        let node = res.map(|(n, _)| n).unwrap_or(std::ptr::null_mut());
+        hints.record_upper(false, node);
+        match res {
+            Some((node, pos)) => Iter::new(node, pos),
+            None => Iter::exhausted(),
+        }
+    }
+
+    /// All tuples in `[lower, upper)`.
+    pub fn range(&self, lower: &Tuple<K>, upper: &Tuple<K>) -> RangeIter<'_, K, C> {
+        RangeIter::new(self.lower_bound(lower), Some(*upper))
+    }
+
+    /// All tuples whose first `prefix.len()` words equal `prefix` — the
+    /// range query pattern of Datalog joins (Figure 1 of the paper: bind
+    /// the leading columns, scan the rest).
+    ///
+    /// # Panics
+    /// If `prefix.len() > K`.
+    pub fn prefix_range(&self, prefix: &[u64]) -> RangeIter<'_, K, C> {
+        assert!(prefix.len() <= K, "prefix longer than tuple arity");
+        let mut lower = [0u64; K];
+        lower[..prefix.len()].copy_from_slice(prefix);
+        // The exclusive upper bound is the prefix incremented at its last
+        // word, padded with zeros; if the prefix is all-max, no upper bound
+        // exists.
+        let mut upper = lower;
+        let mut carry = true;
+        for w in upper[..prefix.len()].iter_mut().rev() {
+            if !carry {
+                break;
+            }
+            let (v, overflow) = w.overflowing_add(1);
+            *w = v;
+            carry = overflow;
+        }
+        for w in upper[prefix.len()..].iter_mut() {
+            *w = 0;
+        }
+        let end = if carry || prefix.is_empty() {
+            None
+        } else {
+            Some(upper)
+        };
+        RangeIter::new(self.lower_bound(&lower), end)
+    }
+
+    /// All tuples of a [`RangeChunk`] produced by
+    /// [`partition`](Self::partition).
+    pub fn chunk_range(&self, chunk: &RangeChunk<K>) -> RangeIter<'_, K, C> {
+        let start = match &chunk.lower {
+            Some(lo) => self.lower_bound(lo),
+            None => self.iter(),
+        };
+        RangeIter::new(start, chunk.upper)
+    }
+
+    /// Splits the key space into at most `n` contiguous chunks of roughly
+    /// equal size for parallel scans — the analog of the chunk interface
+    /// the C++ implementation exposes to OpenMP. Quiescent phases only.
+    ///
+    /// Always returns at least one chunk (the full range).
+    pub fn partition(&self, n: usize) -> Vec<RangeChunk<K>> {
+        let full = vec![RangeChunk {
+            lower: None,
+            upper: None,
+        }];
+        if n <= 1 {
+            return full;
+        }
+        let root = self.root.load(Relaxed);
+        if root.is_null() {
+            return full;
+        }
+
+        // Gather separator keys level by level until we have enough.
+        // Keys of all nodes at one level, scanned left-to-right, are sorted.
+        let mut level: Vec<NodePtr<K, C>> = vec![root];
+        let mut seps: Vec<Tuple<K>> = Vec::new();
+        loop {
+            seps.clear();
+            for &p in &level {
+                // SAFETY: live tree nodes collected below.
+                let node = unsafe { &*p };
+                let num = node.num_clamped();
+                for i in 0..num {
+                    seps.push(node.key(i));
+                }
+            }
+            if seps.len() >= n - 1 {
+                break;
+            }
+            // SAFETY: level nodes are live; kind checked before widening.
+            let first = unsafe { &*level[0] };
+            if !first.is_inner() {
+                break; // leaf level reached; use what we have
+            }
+            let mut next = Vec::with_capacity(level.len() * (C + 1));
+            for &p in &level {
+                let node = unsafe { &*p };
+                let inner = unsafe { node.as_inner() };
+                for i in 0..=node.num_clamped() {
+                    let c = inner.child(i);
+                    if !c.is_null() {
+                        next.push(c);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            level = next;
+        }
+        if seps.is_empty() {
+            return full;
+        }
+
+        // Pick at most n-1 evenly spaced separators.
+        let want = (n - 1).min(seps.len());
+        let mut chosen = Vec::with_capacity(want);
+        for i in 1..=want {
+            let idx = i * seps.len() / (want + 1);
+            chosen.push(seps[idx.min(seps.len() - 1)]);
+        }
+        chosen.dedup();
+
+        let mut chunks = Vec::with_capacity(chosen.len() + 1);
+        let mut lower: Option<Tuple<K>> = None;
+        for s in chosen {
+            chunks.push(RangeChunk {
+                lower,
+                upper: Some(s),
+            });
+            lower = Some(s);
+        }
+        chunks.push(RangeChunk { lower, upper: None });
+        chunks
+    }
+}

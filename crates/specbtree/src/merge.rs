@@ -1,0 +1,265 @@
+//! Structure-aware merging and bulk loading (paper §3.3, "a specialized
+//! merge operation which leverages the structure in one B-tree when merged
+//! into another").
+//!
+//! Semi-naive evaluation merges the freshly derived `new` relation into the
+//! full relation after every iteration (`path.insert(newPath.begin(),
+//! newPath.end())` in the paper's Figure 1). Two specializations make this
+//! cheap:
+//!
+//! 1. The source is iterated in order and inserted **with hints**, so
+//!    consecutive tuples land in the same target leaf and skip traversals.
+//! 2. When the target is still empty, the sorted source is **bulk-loaded**
+//!    into a fully packed tree in O(n) without any per-element descent.
+
+use crate::node::{cmp3, InnerNode, LeafNode, NodePtr, Tuple};
+use crate::tree::BTreeSet;
+use std::cmp::Ordering;
+use std::sync::atomic::Ordering::Relaxed;
+
+impl<const K: usize, const C: usize> BTreeSet<K, C> {
+    /// Merges every tuple of `other` into `self`.
+    ///
+    /// Concurrency-safe on the target (multiple threads may `insert_all`
+    /// disjoint sources into the same target); the source must be quiescent
+    /// (it is iterated).
+    pub fn insert_all(&self, other: &BTreeSet<K, C>) {
+        if other.is_empty() {
+            return;
+        }
+        // Fast path: an empty target adopts a bulk-loaded copy wholesale.
+        if self.root.load(Relaxed).is_null() {
+            let built = build_from_sorted::<K, C>(other.iter());
+            if !built.is_null() {
+                if self.root_lock.try_start_write() {
+                    if self.root.load(Relaxed).is_null() {
+                        self.root.store(built, Relaxed);
+                        self.root_lock.end_write();
+                        return;
+                    }
+                    self.root_lock.end_write();
+                }
+                // Lost the race: discard the prebuilt copy, insert normally.
+                // SAFETY: `built` is a private subtree we just constructed.
+                unsafe { LeafNode::free_subtree(built) };
+            }
+        }
+        let mut hints = self.create_hints();
+        for t in other.iter() {
+            self.insert_hinted(t, &mut hints);
+        }
+    }
+
+    /// Builds a fully packed tree from an ascending, duplicate-free tuple
+    /// sequence in O(n).
+    ///
+    /// # Panics
+    /// In debug builds, panics if the input is not strictly ascending.
+    pub fn from_sorted<I: IntoIterator<Item = Tuple<K>>>(items: I) -> Self {
+        let set = Self::new();
+        let root = build_from_sorted::<K, C>(items.into_iter());
+        if !root.is_null() {
+            set.root.store(root, Relaxed);
+        }
+        set
+    }
+}
+
+/// Builds a packed subtree from a sorted stream; returns null for an empty
+/// stream. Leaves are filled to capacity (maximum compactness — the shape
+/// in-order insertion converges towards, taken to its limit).
+fn build_from_sorted<const K: usize, const C: usize>(
+    items: impl Iterator<Item = Tuple<K>>,
+) -> NodePtr<K, C> {
+    let items: Vec<Tuple<K>> = items.collect();
+    if items.is_empty() {
+        return std::ptr::null_mut();
+    }
+    if cfg!(debug_assertions) {
+        for w in items.windows(2) {
+            debug_assert!(
+                cmp3(&w[0], &w[1]) == Ordering::Less,
+                "from_sorted requires strictly ascending input"
+            );
+        }
+    }
+
+    // Level 0: pack items into full leaves, pulling one separator out of
+    // the stream between consecutive leaves.
+    let n = items.len();
+    let mut leaves: Vec<NodePtr<K, C>> = Vec::new();
+    let mut seps: Vec<Tuple<K>> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let mut take = C.min(n - i);
+        // A separator needs at least one element after it; shrink this leaf
+        // by one when exactly one element would be stranded.
+        if n - i - take == 1 && take > 1 {
+            take -= 1;
+        }
+        let leaf = LeafNode::<K, C>::alloc();
+        // SAFETY: freshly allocated, private.
+        let ln = unsafe { &*leaf };
+        for (slot, item) in items[i..i + take].iter().enumerate() {
+            ln.set_key(slot, item);
+        }
+        ln.set_num(take);
+        leaves.push(leaf);
+        i += take;
+        if i < n {
+            debug_assert!(n - i >= 2, "separator without a following leaf");
+            seps.push(items[i]);
+            i += 1;
+        }
+    }
+
+    // Upper levels: group child nodes under inner nodes until one remains.
+    let mut nodes = leaves;
+    let mut level_seps = seps;
+    while nodes.len() > 1 {
+        debug_assert_eq!(level_seps.len() + 1, nodes.len());
+        let mut new_nodes: Vec<NodePtr<K, C>> = Vec::new();
+        let mut new_seps: Vec<Tuple<K>> = Vec::new();
+        let mut ni = 0;
+        let mut si = 0;
+        while ni < nodes.len() {
+            let mut group = (C + 1).min(nodes.len() - ni);
+            // A group of one child has no keys, which is invalid; donate one
+            // child from this group to avoid a stranded single.
+            if nodes.len() - ni - group == 1 && group > 1 {
+                group -= 1;
+            }
+            debug_assert!(group >= 2 || nodes.len() == 1);
+            let inner = InnerNode::<K, C>::alloc();
+            // SAFETY: freshly allocated, private.
+            let pn = unsafe { &*inner };
+            let pi = unsafe { pn.as_inner() };
+            for (slot, key) in level_seps[si..si + group - 1].iter().enumerate() {
+                pn.set_key(slot, key);
+            }
+            pn.set_num(group - 1);
+            for (slot, &child) in nodes[ni..ni + group].iter().enumerate() {
+                pi.set_child(slot, child);
+                // SAFETY: children were allocated by this builder.
+                let cn = unsafe { &*child };
+                cn.parent.store(inner, Relaxed);
+                cn.position.store(slot as u16, Relaxed);
+            }
+            ni += group;
+            si += group - 1;
+            if ni < nodes.len() {
+                new_seps.push(level_seps[si]);
+                si += 1;
+            }
+            new_nodes.push(inner);
+        }
+        nodes = new_nodes;
+        level_seps = new_seps;
+    }
+    nodes[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Set = BTreeSet<2, 8>;
+
+    fn pairs(n: u64) -> Vec<Tuple<2>> {
+        (0..n).map(|i| [i / 10, i % 10]).collect()
+    }
+
+    #[test]
+    fn from_sorted_empty() {
+        let s = Set::from_sorted(std::iter::empty());
+        assert!(s.is_empty());
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_sorted_single() {
+        let s = Set::from_sorted([[5, 5]]);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&[5, 5]));
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_sorted_various_sizes_roundtrip() {
+        for n in [1u64, 2, 7, 8, 9, 16, 17, 63, 64, 65, 200, 1000] {
+            let input = pairs(n);
+            let s = Set::from_sorted(input.clone());
+            s.check_invariants()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            let out: Vec<_> = s.iter().collect();
+            assert_eq!(out, input, "n={n}");
+        }
+    }
+
+    #[test]
+    fn from_sorted_is_compact() {
+        let s = Set::from_sorted(pairs(1000));
+        let shape = s.shape();
+        assert!(
+            shape.fill_grade(8) > 0.9,
+            "bulk-loaded tree should be packed, got {}",
+            shape.fill_grade(8)
+        );
+    }
+
+    #[test]
+    fn bulk_loaded_tree_accepts_further_inserts() {
+        let s = Set::from_sorted(pairs(500));
+        assert!(s.insert([999, 999]));
+        assert!(!s.insert([0, 0])); // already present
+        assert!(s.insert([0, 99]));
+        s.check_invariants().unwrap();
+        assert_eq!(s.len(), 502);
+    }
+
+    #[test]
+    fn insert_all_into_empty_takes_bulk_path() {
+        let src = Set::from_sorted(pairs(300));
+        let dst = Set::new();
+        dst.insert_all(&src);
+        assert_eq!(dst.len(), 300);
+        dst.check_invariants().unwrap();
+        assert!(dst.shape().fill_grade(8) > 0.9, "bulk path not taken?");
+    }
+
+    #[test]
+    fn insert_all_merges_overlapping_sets() {
+        let a = Set::from_sorted(pairs(100));
+        let b = Set::from_sorted((50..150).map(|i| [i / 10, i % 10]));
+        a.insert_all(&b);
+        assert_eq!(a.len(), 150);
+        a.check_invariants().unwrap();
+        for t in pairs(150) {
+            assert!(a.contains(&t), "{t:?} missing after merge");
+        }
+    }
+
+    #[test]
+    fn insert_all_empty_source_is_noop() {
+        let a = Set::from_sorted(pairs(10));
+        let b = Set::new();
+        a.insert_all(&b);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn concurrent_insert_all_into_shared_target() {
+        let target = Set::new();
+        let sources: Vec<Set> = (0..4)
+            .map(|t| Set::from_sorted((0..250u64).map(|i| [t as u64, i])))
+            .collect();
+        std::thread::scope(|s| {
+            for src in &sources {
+                let target = &target;
+                s.spawn(move || target.insert_all(src));
+            }
+        });
+        assert_eq!(target.len(), 1000);
+        target.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,444 @@
+//! In-memory node layout of the specialized B-tree.
+//!
+//! The tree is a classic B-tree (elements live in inner nodes too, not a
+//! B+tree), mirroring the Soufflé implementation the paper describes. Two
+//! node kinds exist: leaf nodes and inner nodes. An inner node *extends* a
+//! leaf node with a child-pointer array; thanks to `#[repr(C)]` an
+//! `InnerNode` pointer can always be reinterpreted as a pointer to its
+//! `LeafNode` prefix — the same `node`/`inner_node` cast the C++ original
+//! performs.
+//!
+//! # Why every field is an atomic
+//!
+//! The optimistic locking protocol (paper §3.1) lets readers traverse nodes
+//! *while* a writer mutates them; the read is validated against the node's
+//! version lock afterwards and retried if a write intervened. In the C++
+//! implementation this intentional data race is made well-defined by
+//! wrapping every field in `std::atomic` and accessing it with
+//! `memory_order_relaxed` (Boehm's seqlock recipe). This module does exactly
+//! the same with Rust atomics: key words are `AtomicU64`, counters are
+//! `AtomicU16`, and pointers are `AtomicPtr`. Optimistically-read values may
+//! be stale or mutually inconsistent — never undefined behaviour — and the
+//! lease validation decides whether they can be used.
+//!
+//! # Safety invariants
+//!
+//! * Nodes are allocated with `Box` and **never freed or moved** while the
+//!   tree is alive (Datalog relations only grow). Dereferencing any pointer
+//!   ever published inside the tree is therefore memory-safe; only the
+//!   *values* read may be stale.
+//! * A node's kind (leaf/inner) is fixed at allocation and never changes.
+//! * `num_elements` read optimistically is clamped to the node capacity
+//!   before being used as an index bound.
+
+use optlock::OptimisticRwLock;
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicPtr, AtomicU16, Ordering::Relaxed};
+
+/// A Datalog tuple: a fixed-arity array of `u64` words.
+pub type Tuple<const K: usize> = [u64; K];
+
+/// Atomic storage for one tuple (one key slot of a node).
+pub(crate) type KeySlot<const K: usize> = [std::sync::atomic::AtomicU64; K];
+
+/// Three-way lexicographic tuple comparator (paper §3.3, "custom 3-way
+/// comparator"): decides `<` / `=` / `>` in a single pass instead of the two
+/// `less()` probes a generic comparator-based search would perform.
+#[inline]
+pub fn cmp3<const K: usize>(a: &Tuple<K>, b: &Tuple<K>) -> Ordering {
+    for i in 0..K {
+        if a[i] != b[i] {
+            return if a[i] < b[i] {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            };
+        }
+    }
+    Ordering::Equal
+}
+
+/// A type-erased node pointer. Both node kinds start with the `LeafNode`
+/// layout, so this is the canonical way to address any node; consult
+/// [`LeafNode::is_inner`] before widening to [`InnerNode`].
+pub(crate) type NodePtr<const K: usize, const C: usize> = *mut LeafNode<K, C>;
+
+/// The common prefix of every node — and the entire layout of a leaf.
+///
+/// `C` is the key capacity of a node; a node holding `C` keys is full and
+/// splits on the next insertion routed to it.
+#[repr(C)]
+pub(crate) struct LeafNode<const K: usize, const C: usize> {
+    /// Version lock protecting this node's keys, counters and child array.
+    pub lock: OptimisticRwLock,
+    /// The parent node (always an inner node), or null for the root.
+    /// Covered by the *parent's* lock (or the tree's root lock for the
+    /// root node), per the paper's locking rules.
+    pub parent: AtomicPtr<LeafNode<K, C>>,
+    /// Index of this node within `parent`'s child array. Covered like
+    /// `parent`.
+    pub position: AtomicU16,
+    /// Number of keys currently stored. Optimistic readers must clamp
+    /// (use [`num_clamped`](Self::num_clamped)).
+    pub num_elements: AtomicU16,
+    /// `0` = leaf, `1` = inner. Written once before publication; atomic so
+    /// optimistic readers racing with node publication stay well-defined.
+    pub inner_flag: AtomicU16,
+    /// The keys, each a `K`-word tuple, sorted ascending. Slots `>= num`
+    /// are stale garbage.
+    pub keys: [KeySlot<K>; C],
+}
+
+/// An inner node: a leaf prefix plus `C + 1` child pointers.
+///
+/// Children are split across a `C`-element array plus a dedicated
+/// `last_child` slot because `[T; C + 1]` needs unstable
+/// `generic_const_exprs`; [`child`](Self::child)/[`set_child`](Self::set_child)
+/// hide the seam.
+#[repr(C)]
+pub(crate) struct InnerNode<const K: usize, const C: usize> {
+    pub base: LeafNode<K, C>,
+    children: [AtomicPtr<LeafNode<K, C>>; C],
+    last_child: AtomicPtr<LeafNode<K, C>>,
+}
+
+impl<const K: usize, const C: usize> LeafNode<K, C> {
+    /// Allocates a fresh leaf node. All-zero is a valid initial state
+    /// (unlocked lock, null parent, zero elements, leaf kind), so the
+    /// allocation is a single zeroed `Box`.
+    pub fn alloc() -> NodePtr<K, C> {
+        // SAFETY: every field of `LeafNode` is valid at the all-zero bit
+        // pattern: atomics of integers are plain integers, `AtomicPtr` null
+        // is the zero pattern, and `OptimisticRwLock` documents version 0 as
+        // a valid unlocked state.
+        let boxed: Box<LeafNode<K, C>> = unsafe { Box::new_zeroed().assume_init() };
+        Box::into_raw(boxed)
+    }
+
+    /// Whether this node is an inner node (and may be widened with
+    /// [`as_inner`](Self::as_inner)).
+    #[inline]
+    pub fn is_inner(&self) -> bool {
+        self.inner_flag.load(Relaxed) != 0
+    }
+
+    /// Widens to the inner-node view.
+    ///
+    /// # Safety
+    /// `self.is_inner()` must be true, i.e. the node must have been
+    /// allocated by [`InnerNode::alloc`].
+    #[inline]
+    pub unsafe fn as_inner(&self) -> &InnerNode<K, C> {
+        debug_assert!(self.is_inner());
+        // SAFETY: caller guarantees this node was allocated as an
+        // `InnerNode`, whose first field is a `LeafNode` (`repr(C)`), so the
+        // widening cast is layout-correct.
+        unsafe { &*(self as *const Self as *const InnerNode<K, C>) }
+    }
+
+    /// The element count clamped to the capacity. Optimistic readers may
+    /// observe a torn/stale counter; clamping keeps all derived indexing in
+    /// bounds (the subsequent lease validation rejects the garbage values).
+    #[inline]
+    pub fn num_clamped(&self) -> usize {
+        (self.num_elements.load(Relaxed) as usize).min(C)
+    }
+
+    /// The exact element count. Only meaningful under the node's write lock
+    /// or in a quiescent (read-only) phase.
+    #[inline]
+    pub fn num(&self) -> usize {
+        self.num_elements.load(Relaxed) as usize
+    }
+
+    #[inline]
+    pub fn set_num(&self, n: usize) {
+        debug_assert!(n <= C);
+        self.num_elements.store(n as u16, Relaxed);
+    }
+
+    /// Loads the key at `i` word by word (relaxed).
+    #[inline]
+    pub fn key(&self, i: usize) -> Tuple<K> {
+        debug_assert!(i < C);
+        let mut out = [0u64; K];
+        for (w, slot) in out.iter_mut().zip(self.keys[i].iter()) {
+            *w = slot.load(Relaxed);
+        }
+        out
+    }
+
+    /// Stores the key at `i` word by word (relaxed). Caller must hold the
+    /// node's write lock.
+    #[inline]
+    pub fn set_key(&self, i: usize, t: &Tuple<K>) {
+        debug_assert!(i < C);
+        for (w, slot) in t.iter().zip(self.keys[i].iter()) {
+            slot.store(*w, Relaxed);
+        }
+    }
+
+    /// Copies the key at `from` to slot `to` (both within this node).
+    #[inline]
+    pub fn copy_key_within(&self, from: usize, to: usize) {
+        let k = self.key(from);
+        self.set_key(to, &k);
+    }
+
+    /// Binary search for `t` among the first `n` keys.
+    ///
+    /// Returns `(idx, found)` where `idx` is the index of the first key
+    /// `>= t` (i.e. the lower bound, `n` if all keys are smaller) and
+    /// `found` says whether the key at `idx` equals `t`.
+    ///
+    /// Under optimistic reads the result may be garbage; it only becomes
+    /// trustworthy after the caller validates its lease.
+    #[inline]
+    pub fn search(&self, t: &Tuple<K>, n: usize) -> (usize, bool) {
+        debug_assert!(n <= C);
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match cmp3(&self.key(mid), t) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Equal => return (mid, true),
+                Ordering::Greater => hi = mid,
+            }
+        }
+        (lo, false)
+    }
+
+    /// Index of the first key strictly greater than `t` among the first `n`
+    /// keys (`n` if none).
+    #[inline]
+    pub fn search_upper(&self, t: &Tuple<K>, n: usize) -> usize {
+        debug_assert!(n <= C);
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if cmp3(&self.key(mid), t) == Ordering::Greater {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// Frees this node and (recursively, via an explicit stack) all its
+    /// descendants.
+    ///
+    /// # Safety
+    /// `node` must be a valid tree node pointer, exclusively owned (the
+    /// tree is being dropped or cleared: `&mut` access, no concurrent
+    /// operations, no outstanding iterators).
+    pub unsafe fn free_subtree(node: NodePtr<K, C>) {
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            // SAFETY (for the whole body): the caller owns the subtree
+            // exclusively; every reachable pointer is a live node allocated
+            // by `LeafNode::alloc`/`InnerNode::alloc` and is freed exactly
+            // once with the matching type.
+            unsafe {
+                let leaf = &*n;
+                if leaf.is_inner() {
+                    let inner = leaf.as_inner();
+                    for i in 0..=leaf.num() {
+                        let c = inner.child(i);
+                        if !c.is_null() {
+                            stack.push(c);
+                        }
+                    }
+                    drop(Box::from_raw(n as *mut InnerNode<K, C>));
+                } else {
+                    drop(Box::from_raw(n));
+                }
+            }
+        }
+    }
+}
+
+impl<const K: usize, const C: usize> InnerNode<K, C> {
+    /// Allocates a fresh inner node (zeroed, kind flag set).
+    pub fn alloc() -> NodePtr<K, C> {
+        // SAFETY: as in `LeafNode::alloc`; `InnerNode` adds only atomic
+        // pointers, which are valid when zeroed (null).
+        let boxed: Box<InnerNode<K, C>> = unsafe { Box::new_zeroed().assume_init() };
+        boxed.base.inner_flag.store(1, Relaxed);
+        Box::into_raw(boxed) as NodePtr<K, C>
+    }
+
+    /// The `i`-th child pointer (`0 ..= num`). `i` must be `<= C`; the value
+    /// may be stale or null under optimistic reads.
+    #[inline]
+    pub fn child(&self, i: usize) -> NodePtr<K, C> {
+        debug_assert!(i <= C);
+        if i < C {
+            self.children[i].load(Relaxed)
+        } else {
+            self.last_child.load(Relaxed)
+        }
+    }
+
+    #[inline]
+    pub fn set_child(&self, i: usize, p: NodePtr<K, C>) {
+        debug_assert!(i <= C);
+        if i < C {
+            self.children[i].store(p, Relaxed);
+        } else {
+            self.last_child.store(p, Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Leaf = LeafNode<2, 8>;
+    type Inner = InnerNode<2, 8>;
+
+    fn free_leaf(p: NodePtr<2, 8>) {
+        unsafe { drop(Box::from_raw(p)) }
+    }
+
+    fn free_inner(p: NodePtr<2, 8>) {
+        unsafe { drop(Box::from_raw(p as *mut Inner)) }
+    }
+
+    #[test]
+    fn cmp3_is_lexicographic() {
+        assert_eq!(cmp3(&[1, 2], &[1, 2]), Ordering::Equal);
+        assert_eq!(cmp3(&[1, 2], &[1, 3]), Ordering::Less);
+        assert_eq!(cmp3(&[1, 9], &[2, 0]), Ordering::Less);
+        assert_eq!(cmp3(&[2, 0], &[1, 9]), Ordering::Greater);
+        assert_eq!(cmp3::<0>(&[], &[]), Ordering::Equal);
+    }
+
+    #[test]
+    fn cmp3_matches_derived_ord() {
+        let vals: [[u64; 2]; 5] = [[0, 0], [0, 1], [1, 0], [u64::MAX, 0], [1, u64::MAX]];
+        for a in &vals {
+            for b in &vals {
+                assert_eq!(cmp3(a, b), a.cmp(b), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_leaf_is_empty_unlocked_leaf() {
+        let p = Leaf::alloc();
+        let leaf = unsafe { &*p };
+        assert!(!leaf.is_inner());
+        assert_eq!(leaf.num(), 0);
+        assert!(!leaf.lock.is_write_locked());
+        assert!(leaf.parent.load(Relaxed).is_null());
+        free_leaf(p);
+    }
+
+    #[test]
+    fn fresh_inner_has_kind_flag_and_null_children() {
+        let p = Inner::alloc();
+        let leaf = unsafe { &*p };
+        assert!(leaf.is_inner());
+        let inner = unsafe { leaf.as_inner() };
+        for i in 0..=8 {
+            assert!(inner.child(i).is_null());
+        }
+        free_inner(p);
+    }
+
+    #[test]
+    fn key_roundtrip() {
+        let p = Leaf::alloc();
+        let leaf = unsafe { &*p };
+        leaf.set_key(3, &[7, u64::MAX]);
+        assert_eq!(leaf.key(3), [7, u64::MAX]);
+        leaf.copy_key_within(3, 0);
+        assert_eq!(leaf.key(0), [7, u64::MAX]);
+        free_leaf(p);
+    }
+
+    #[test]
+    fn child_slot_seam_at_capacity() {
+        let p = Inner::alloc();
+        let inner = unsafe { (&*p).as_inner() };
+        let kid = Leaf::alloc();
+        inner.set_child(8, kid); // last_child slot
+        assert_eq!(inner.child(8), kid);
+        assert!(inner.child(7).is_null());
+        inner.set_child(0, kid);
+        assert_eq!(inner.child(0), kid);
+        free_leaf(kid);
+        free_inner(p);
+    }
+
+    #[test]
+    fn num_clamped_bounds_garbage_counters() {
+        let p = Leaf::alloc();
+        let leaf = unsafe { &*p };
+        leaf.num_elements.store(u16::MAX, Relaxed);
+        assert_eq!(leaf.num_clamped(), 8);
+        leaf.num_elements.store(3, Relaxed);
+        assert_eq!(leaf.num_clamped(), 3);
+        free_leaf(p);
+    }
+
+    #[test]
+    fn search_finds_lower_bound_and_exact() {
+        let p = Leaf::alloc();
+        let leaf = unsafe { &*p };
+        for (i, v) in [[1u64, 0], [3, 0], [5, 0], [7, 0]].iter().enumerate() {
+            leaf.set_key(i, v);
+        }
+        leaf.set_num(4);
+        assert_eq!(leaf.search(&[0, 0], 4), (0, false));
+        assert_eq!(leaf.search(&[1, 0], 4), (0, true));
+        assert_eq!(leaf.search(&[2, 0], 4), (1, false));
+        assert_eq!(leaf.search(&[7, 0], 4), (3, true));
+        assert_eq!(leaf.search(&[8, 0], 4), (4, false));
+        free_leaf(p);
+    }
+
+    #[test]
+    fn search_upper_is_strict() {
+        let p = Leaf::alloc();
+        let leaf = unsafe { &*p };
+        for (i, v) in [[1u64, 0], [3, 0], [3, 5], [7, 0]].iter().enumerate() {
+            leaf.set_key(i, v);
+        }
+        leaf.set_num(4);
+        assert_eq!(leaf.search_upper(&[0, 0], 4), 0);
+        assert_eq!(leaf.search_upper(&[1, 0], 4), 1);
+        assert_eq!(leaf.search_upper(&[3, 0], 4), 2);
+        assert_eq!(leaf.search_upper(&[3, 5], 4), 3);
+        assert_eq!(leaf.search_upper(&[7, 0], 4), 4);
+        free_leaf(p);
+    }
+
+    #[test]
+    fn search_on_empty_prefix() {
+        let p = Leaf::alloc();
+        let leaf = unsafe { &*p };
+        assert_eq!(leaf.search(&[1, 1], 0), (0, false));
+        assert_eq!(leaf.search_upper(&[1, 1], 0), 0);
+        free_leaf(p);
+    }
+
+    #[test]
+    fn free_subtree_handles_multi_level_tree() {
+        // Build a 2-level tree by hand, then free it; run under Miri/ASan to
+        // catch leaks or double frees.
+        let root = Inner::alloc();
+        let l0 = Leaf::alloc();
+        let l1 = Leaf::alloc();
+        unsafe {
+            let r = &*root;
+            r.set_key(0, &[10, 0]);
+            r.set_num(1);
+            r.as_inner().set_child(0, l0);
+            r.as_inner().set_child(1, l1);
+            Leaf::free_subtree(root);
+        }
+    }
+}

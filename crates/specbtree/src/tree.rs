@@ -1,0 +1,755 @@
+//! The specialized concurrent B-tree set (paper §3).
+//!
+//! [`BTreeSet`] stores fixed-arity integer tuples (`[u64; K]`) in
+//! lexicographic order and supports exactly the operations parallel
+//! semi-naive Datalog evaluation needs (paper §2): concurrent duplicate-free
+//! `insert`, `contains`, `lower_bound` / `upper_bound` range queries and
+//! ordered iteration. There is **no delete** — Datalog relations only grow —
+//! and that restriction is what makes the optimistic protocol simple: nodes
+//! are never freed or moved while the tree is alive, so stale pointers
+//! always reference live memory and operation hints can never dangle.
+//!
+//! * `insert` is a direct port of the paper's **Algorithm 1** (optimistic
+//!   root acquisition, validated hand-over-hand descent, lease upgrade at
+//!   the leaf).
+//! * Node splitting is a direct port of **Algorithm 2** (bottom-up
+//!   write-locking of the full path, split, top-down unlock).
+//!
+//! Concurrency contract, matching the paper's use of the structure:
+//!
+//! * `insert` / `insert_hinted` / `contains` / `contains_hinted` are safe
+//!   and linearizable under full concurrency (any mix, any threads).
+//! * Ordered iteration and the `lower_bound` / `upper_bound` iterators are
+//!   *phase-concurrent*: they are only guaranteed to return correct results
+//!   while no concurrent insert runs (the semi-naive evaluation guarantees
+//!   this [51]). Running them concurrently with inserts is still
+//!   **memory-safe** — every field access is an atomic and every index is
+//!   clamped — but the sequence of elements observed is unspecified.
+
+use crate::hints::BTreeHints;
+use crate::node::{cmp3, InnerNode, LeafNode, NodePtr, Tuple};
+use optlock::OptimisticRwLock;
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::Relaxed};
+
+/// Default node capacity (keys per node).
+///
+/// Chosen so that a leaf of binary tuples occupies a handful of cache
+/// lines, the regime the paper's evaluation identifies as most effective;
+/// the `ablation` bench sweeps this parameter.
+pub const DEFAULT_NODE_CAPACITY: usize = 24;
+
+/// Source of unique tree identities used to brand operation hints.
+static TREE_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// A concurrent ordered set of `K`-ary integer tuples backed by the
+/// specialized B-tree.
+///
+/// `C` is the per-node key capacity (see [`DEFAULT_NODE_CAPACITY`]).
+///
+/// # Example
+///
+/// ```
+/// use specbtree::BTreeSet;
+///
+/// let set: BTreeSet<2> = BTreeSet::new();
+/// assert!(set.insert([1, 2]));
+/// assert!(!set.insert([1, 2])); // duplicate
+/// assert!(set.contains(&[1, 2]));
+///
+/// // Concurrent insertion needs no external lock:
+/// std::thread::scope(|s| {
+///     for t in 1..5u64 {
+///         let set = &set;
+///         s.spawn(move || {
+///             for i in 100..200 {
+///                 set.insert([t, i]);
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(set.len(), 401);
+/// ```
+pub struct BTreeSet<const K: usize, const C: usize = DEFAULT_NODE_CAPACITY> {
+    /// The root node; null until the first insertion.
+    pub(crate) root: AtomicPtr<LeafNode<K, C>>,
+    /// Protects the root *pointer* (and the root node's parent link), per
+    /// the paper's locking rules.
+    pub(crate) root_lock: OptimisticRwLock,
+    /// Unique identity used to brand [`BTreeHints`] (see `hints` module).
+    pub(crate) id: u64,
+}
+
+// SAFETY: the tree owns its nodes; tuples are plain integers. All shared
+// mutation happens through atomics under the optimistic locking protocol.
+unsafe impl<const K: usize, const C: usize> Send for BTreeSet<K, C> {}
+unsafe impl<const K: usize, const C: usize> Sync for BTreeSet<K, C> {}
+
+/// Outcome of a descent that located (or inserted) a tuple.
+pub(crate) struct Located<const K: usize, const C: usize> {
+    /// Whether a new tuple was inserted (false: it was already present).
+    pub inserted: bool,
+    /// The node where the tuple lives. May be an inner node when a
+    /// duplicate was detected above leaf level.
+    pub node: NodePtr<K, C>,
+}
+
+impl<const K: usize, const C: usize> Default for BTreeSet<K, C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const K: usize, const C: usize> BTreeSet<K, C> {
+    /// Compile-time sanity of the geometry parameters.
+    const GEOMETRY_OK: () = assert!(K >= 1 && C >= 4, "BTreeSet requires K >= 1 and C >= 4");
+
+    /// Creates an empty set. No nodes are allocated until the first insert.
+    pub fn new() -> Self {
+        #[allow(clippy::let_unit_value)]
+        let _ = Self::GEOMETRY_OK;
+        Self {
+            root: AtomicPtr::new(std::ptr::null_mut()),
+            root_lock: OptimisticRwLock::new(),
+            id: TREE_IDS.fetch_add(1, Relaxed),
+        }
+    }
+
+    /// Creates a hint container for this tree (the paper's "factory
+    /// function for initial operation hints"). Each thread keeps its own.
+    pub fn create_hints(&self) -> BTreeHints<K, C> {
+        BTreeHints::new(self.id)
+    }
+
+    /// Whether the set contains no tuples. O(1); safe under concurrency
+    /// (may race with in-flight inserts, like any size query).
+    pub fn is_empty(&self) -> bool {
+        let root = self.root.load(Relaxed);
+        if root.is_null() {
+            return true;
+        }
+        // A root that is an inner node always has elements beneath it; a
+        // root leaf may still be empty right after creation.
+        let node = unsafe { &*root };
+        !node.is_inner() && node.num_clamped() == 0
+    }
+
+    /// Number of stored tuples. O(n) — the structure deliberately maintains
+    /// no shared counter, which would serialize concurrent inserts on a
+    /// single contended cache line. Quiescent phases only.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Inserts `t`, returning `true` if it was not yet present.
+    /// Thread-safe; lock-free for readers of other parts of the tree.
+    pub fn insert(&self, t: Tuple<K>) -> bool {
+        self.insert_located(&t).inserted
+    }
+
+    /// Inserts `t` using (and updating) thread-local operation hints
+    /// (paper §3.2). On sorted workloads this skips the root-to-leaf
+    /// descent almost always.
+    pub fn insert_hinted(&self, t: Tuple<K>, hints: &mut BTreeHints<K, C>) -> bool {
+        if hints.tree_id() == self.id {
+            let leaf = hints.insert_leaf();
+            if !leaf.is_null() {
+                if let Some(res) = self.try_hinted_insert(leaf, &t) {
+                    hints.record_insert(true, res.node);
+                    return res.inserted;
+                }
+            }
+        } else {
+            hints.rebind(self.id);
+        }
+        let res = self.insert_located(&t);
+        hints.record_insert(false, res.node);
+        res.inserted
+    }
+
+    /// Membership test. Thread-safe and linearizable under concurrency.
+    pub fn contains(&self, t: &Tuple<K>) -> bool {
+        self.locate(t).is_some()
+    }
+
+    /// Membership test with operation hints.
+    pub fn contains_hinted(&self, t: &Tuple<K>, hints: &mut BTreeHints<K, C>) -> bool {
+        if hints.tree_id() == self.id {
+            let leaf = hints.contains_leaf();
+            if !leaf.is_null() {
+                if let Some(found) = self.try_hinted_contains(leaf, t) {
+                    hints.record_contains(true, leaf);
+                    return found;
+                }
+            }
+        } else {
+            hints.rebind(self.id);
+        }
+        let res = self.locate_full(t);
+        hints.record_contains(false, res.1);
+        res.0.is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 1: optimistic insertion
+    // ------------------------------------------------------------------
+
+    /// Ensures the tree has a root node (Algorithm 1, lines 2–9).
+    fn ensure_root(&self) {
+        while self.root.load(Relaxed).is_null() {
+            if !self.root_lock.try_start_write() {
+                std::hint::spin_loop();
+                continue;
+            }
+            if self.root.load(Relaxed).is_null() {
+                self.root.store(LeafNode::<K, C>::alloc(), Relaxed);
+            }
+            self.root_lock.end_write();
+        }
+    }
+
+    /// Obtains the current root together with a read lease on it
+    /// (Algorithm 1, lines 13–17). The root must exist.
+    #[inline]
+    fn read_root(&self) -> (NodePtr<K, C>, optlock::Lease) {
+        loop {
+            let root_lease = self.root_lock.start_read();
+            let root = self.root.load(Relaxed);
+            if root.is_null() {
+                // Only possible before the first insert; callers that can
+                // see an empty tree handle null themselves.
+                std::hint::spin_loop();
+                continue;
+            }
+            // SAFETY: nodes are never freed while the tree is alive, so
+            // even a stale root pointer references a live node.
+            let lease = unsafe { &*root }.lock.start_read();
+            if self.root_lock.end_read(root_lease) {
+                return (root, lease);
+            }
+        }
+    }
+
+    /// Full optimistic insertion (Algorithm 1).
+    pub(crate) fn insert_located(&self, val: &Tuple<K>) -> Located<K, C> {
+        self.ensure_root();
+
+        'restart: loop {
+            // Lines 13–17: root node + lease.
+            let (mut cur, mut cur_lease) = self.read_root();
+
+            // Lines 20–49: descend.
+            loop {
+                // SAFETY: live node (nodes are never freed).
+                let node = unsafe { &*cur };
+                let n = node.num_clamped();
+                let (idx, found) = node.search(val, n);
+
+                // Line 22: value already present => done.
+                if found {
+                    if node.lock.validate(cur_lease) {
+                        return Located {
+                            inserted: false,
+                            node: cur,
+                        };
+                    }
+                    continue 'restart;
+                }
+
+                // Lines 25–33: inner node — move down.
+                if node.is_inner() {
+                    // SAFETY: is_inner just checked; kind never changes.
+                    let next = unsafe { node.as_inner() }.child(idx);
+                    if !node.lock.validate(cur_lease) {
+                        continue 'restart; // line 27
+                    }
+                    if next.is_null() {
+                        // Inconsistent snapshot that nevertheless validated
+                        // cannot happen; defensive restart.
+                        continue 'restart;
+                    }
+                    // SAFETY: `next` was read under a validated lease, so it
+                    // was a genuine child: a live, never-freed node.
+                    let next_lease = unsafe { &*next }.lock.start_read(); // line 28
+                    if !node.lock.validate(cur_lease) {
+                        continue 'restart; // line 29
+                    }
+                    cur = next;
+                    cur_lease = next_lease;
+                    continue;
+                }
+
+                // Lines 35–36: request write access to the located leaf.
+                if !node.lock.try_upgrade_to_write(cur_lease) {
+                    continue 'restart;
+                }
+
+                // Lines 39–43: make space if necessary.
+                if n == C {
+                    self.split(cur); // Algorithm 2
+                    node.lock.end_write();
+                    continue 'restart;
+                }
+
+                // Lines 45–48: insert into this leaf.
+                for j in (idx..n).rev() {
+                    node.copy_key_within(j, j + 1);
+                }
+                node.set_key(idx, val);
+                node.set_num(n + 1);
+                node.lock.end_write();
+                return Located {
+                    inserted: true,
+                    node: cur,
+                };
+            }
+        }
+    }
+
+    /// Hinted fast path: try to insert directly into a previously located
+    /// leaf, walking upwards only if it must split (paper §3.2 — this is
+    /// precisely why write locks are acquired bottom-up).
+    ///
+    /// Returns `None` when the hint does not apply (wrong leaf, lost race),
+    /// in which case the caller falls back to the full descent.
+    fn try_hinted_insert(&self, leaf: NodePtr<K, C>, val: &Tuple<K>) -> Option<Located<K, C>> {
+        // SAFETY: hints are branded with the tree id, so `leaf` is a node of
+        // *this* tree: live memory for as long as `&self` exists.
+        let node = unsafe { &*leaf };
+        if node.is_inner() {
+            return None; // hints only ever cache leaves; defensive
+        }
+        loop {
+            let lease = node.lock.start_read();
+            let n = node.num_clamped();
+            if n == 0 {
+                return None;
+            }
+            // The leaf covers `val` iff first <= val <= last: every tree key
+            // in that closed interval lives in this very leaf.
+            let covered = cmp3(&node.key(0), val) != Ordering::Greater
+                && cmp3(val, &node.key(n - 1)) != Ordering::Greater;
+            let (idx, found) = node.search(val, n);
+            if !node.lock.validate(lease) {
+                return None; // lost a race; let the slow path sort it out
+            }
+            if !covered {
+                return None; // genuine hint miss
+            }
+            if found {
+                return Some(Located {
+                    inserted: false,
+                    node: leaf,
+                });
+            }
+            if !node.lock.try_upgrade_to_write(lease) {
+                return None;
+            }
+            if n == C {
+                // Full: split bottom-up right from the leaf, then retry the
+                // hint (the leaf kept the lower half of its keys, so `val`
+                // may still be covered).
+                self.split(leaf);
+                node.lock.end_write();
+                continue;
+            }
+            for j in (idx..n).rev() {
+                node.copy_key_within(j, j + 1);
+            }
+            node.set_key(idx, val);
+            node.set_num(n + 1);
+            node.lock.end_write();
+            return Some(Located {
+                inserted: true,
+                node: leaf,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 2: optimistic node splitting
+    // ------------------------------------------------------------------
+
+    /// Splits the full, write-locked `node`, propagating splits to parents
+    /// as required. On return `node` is still write-locked by the caller
+    /// (its lock is *not* released here); all path locks acquired inside
+    /// are released.
+    pub(crate) fn split(&self, node: NodePtr<K, C>) {
+        // Phase 1 (lines 2–23): write-lock the path bottom-up, stopping at
+        // the first non-full ancestor or at the root lock.
+        let mut path: Vec<NodePtr<K, C>> = Vec::new();
+        let mut holds_root_lock = false;
+        let mut cur = node;
+        loop {
+            let parent = unsafe { &*cur }.parent.load(Relaxed);
+            if parent.is_null() {
+                // `cur` is the root (we hold its write lock, so nobody can
+                // re-root it underneath us): take the tree's root lock.
+                self.root_lock.start_write();
+                debug_assert_eq!(self.root.load(Relaxed), cur);
+                holds_root_lock = true;
+                break;
+            }
+            // Lines 8–13: lock the parent, re-checking that it still *is*
+            // the parent (a concurrent split may have re-homed `cur`).
+            let mut p = parent;
+            loop {
+                // SAFETY: parent pointers always reference live nodes.
+                unsafe { &*p }.lock.start_write();
+                let now = unsafe { &*cur }.parent.load(Relaxed);
+                if now == p {
+                    break;
+                }
+                unsafe { &*p }.lock.abort_write();
+                debug_assert!(!now.is_null(), "a node never becomes the root");
+                p = now;
+            }
+            path.push(p);
+            // Line 20: stop at a non-full ancestor.
+            if unsafe { &*p }.num() < C {
+                break;
+            }
+            cur = p;
+        }
+
+        // Phase 2 (line 26): split the chain of full nodes top-down, so
+        // each split inserts its median into a parent that already has room
+        // (the stopper, or a node the previous iteration just halved).
+        let full_ancestors = if holds_root_lock {
+            path.len() // every locked ancestor is full
+        } else {
+            path.len() - 1 // the last entry is the non-full stopper
+        };
+        for i in (0..full_ancestors).rev() {
+            self.split_one(path[i]);
+        }
+        self.split_one(node);
+
+        // Phase 3 (lines 28–35): release the path locks top-down.
+        if holds_root_lock {
+            self.root_lock.end_write();
+        }
+        for p in path.iter().rev() {
+            unsafe { &**p }.lock.end_write();
+        }
+    }
+
+    /// Splits a single full node whose own write lock and whose (current)
+    /// parent's write lock — or the root lock — are held. Creates the
+    /// sibling, moves the upper half across, and pushes the median key into
+    /// the parent (growing the tree by one level for a root split).
+    fn split_one(&self, x: NodePtr<K, C>) {
+        let xn = unsafe { &*x };
+        let n = xn.num();
+        debug_assert_eq!(n, C, "only full nodes split");
+        let m = C / 2; // median index: lower half [0, m), median, upper half (m, C)
+        let median = xn.key(m);
+
+        let sib = if xn.is_inner() {
+            InnerNode::<K, C>::alloc()
+        } else {
+            LeafNode::<K, C>::alloc()
+        };
+        // SAFETY: freshly allocated, private to us until published below.
+        let sn = unsafe { &*sib };
+
+        // Move the upper half of the keys.
+        for (j, i) in (m + 1..C).enumerate() {
+            let k = xn.key(i);
+            sn.set_key(j, &k);
+        }
+        sn.set_num(C - m - 1);
+
+        // Move the corresponding children (inner nodes only), re-homing
+        // each moved child. The children themselves are not locked: their
+        // `parent`/`position` fields are covered by the parent's lock,
+        // which we hold for `x`, and `sib` is unpublished.
+        if xn.is_inner() {
+            let xi = unsafe { xn.as_inner() };
+            let si = unsafe { sn.as_inner() };
+            for (j, i) in (m + 1..=C).enumerate() {
+                let ch = xi.child(i);
+                debug_assert!(!ch.is_null());
+                si.set_child(j, ch);
+                let chn = unsafe { &*ch };
+                chn.parent.store(sib, Relaxed);
+                chn.position.store(j as u16, Relaxed);
+            }
+        }
+        xn.set_num(m);
+
+        let parent = xn.parent.load(Relaxed);
+        if parent.is_null() {
+            // Root split (root lock held): grow the tree by one level.
+            let new_root = InnerNode::<K, C>::alloc();
+            let rn = unsafe { &*new_root };
+            rn.set_key(0, &median);
+            rn.set_num(1);
+            let ri = unsafe { rn.as_inner() };
+            ri.set_child(0, x);
+            ri.set_child(1, sib);
+            xn.parent.store(new_root, Relaxed);
+            xn.position.store(0, Relaxed);
+            sn.parent.store(new_root, Relaxed);
+            sn.position.store(1, Relaxed);
+            self.root.store(new_root, Relaxed);
+        } else {
+            // SAFETY: the parent is write-locked (phase 1) or is a fresh
+            // sibling created by a previous `split_one`, unreachable by any
+            // validated read until the path locks are released.
+            let pn = unsafe { &*parent };
+            let pi = unsafe { pn.as_inner() };
+            let pnum = pn.num();
+            debug_assert!(pnum < C, "the parent of a splitting node has room");
+            let pos = xn.position.load(Relaxed) as usize;
+            debug_assert_eq!(pi.child(pos), x, "position link out of date");
+
+            for j in (pos..pnum).rev() {
+                pn.copy_key_within(j, j + 1);
+            }
+            for j in ((pos + 1)..=pnum).rev() {
+                let ch = pi.child(j);
+                pi.set_child(j + 1, ch);
+                unsafe { &*ch }.position.store((j + 1) as u16, Relaxed);
+            }
+            pn.set_key(pos, &median);
+            pi.set_child(pos + 1, sib);
+            sn.parent.store(parent, Relaxed);
+            sn.position.store((pos + 1) as u16, Relaxed);
+            pn.set_num(pnum + 1);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lookups
+    // ------------------------------------------------------------------
+
+    /// Locates `t`, returning its position if present.
+    pub(crate) fn locate(&self, t: &Tuple<K>) -> Option<(NodePtr<K, C>, usize)> {
+        self.locate_full(t).0
+    }
+
+    /// Like [`locate`](Self::locate), additionally reporting the last node
+    /// visited (the leaf the search ended in when the tuple is absent) so
+    /// hinted lookups can cache it.
+    fn locate_full(&self, t: &Tuple<K>) -> (Option<(NodePtr<K, C>, usize)>, NodePtr<K, C>) {
+        if self.root.load(Relaxed).is_null() {
+            return (None, std::ptr::null_mut());
+        }
+        'restart: loop {
+            let (mut cur, mut cur_lease) = self.read_root();
+            loop {
+                let node = unsafe { &*cur };
+                let n = node.num_clamped();
+                let (idx, found) = node.search(t, n);
+                if found {
+                    if node.lock.validate(cur_lease) {
+                        return (Some((cur, idx)), cur);
+                    }
+                    continue 'restart;
+                }
+                if !node.is_inner() {
+                    if node.lock.validate(cur_lease) {
+                        return (None, cur);
+                    }
+                    continue 'restart;
+                }
+                let next = unsafe { node.as_inner() }.child(idx);
+                if !node.lock.validate(cur_lease) {
+                    continue 'restart;
+                }
+                if next.is_null() {
+                    continue 'restart;
+                }
+                let next_lease = unsafe { &*next }.lock.start_read();
+                if !node.lock.validate(cur_lease) {
+                    continue 'restart;
+                }
+                cur = next;
+                cur_lease = next_lease;
+            }
+        }
+    }
+
+    /// Hinted membership fast path; `None` = hint not applicable.
+    fn try_hinted_contains(&self, leaf: NodePtr<K, C>, t: &Tuple<K>) -> Option<bool> {
+        let node = unsafe { &*leaf };
+        if node.is_inner() {
+            return None;
+        }
+        let lease = node.lock.start_read();
+        let n = node.num_clamped();
+        if n == 0 {
+            return None;
+        }
+        let covered = cmp3(&node.key(0), t) != Ordering::Greater
+            && cmp3(t, &node.key(n - 1)) != Ordering::Greater;
+        let (_, found) = node.search(t, n);
+        if !node.lock.validate(lease) {
+            return None;
+        }
+        if !covered {
+            return None;
+        }
+        Some(found)
+    }
+
+    /// Position of the first tuple `>= t` (`None` if all are smaller).
+    /// Also used by [`lower_bound`](Self::lower_bound).
+    pub(crate) fn lower_bound_pos(&self, t: &Tuple<K>) -> Option<(NodePtr<K, C>, usize)> {
+        self.bound_pos(t, /*strict=*/ false)
+    }
+
+    /// Position of the first tuple `> t`.
+    pub(crate) fn upper_bound_pos(&self, t: &Tuple<K>) -> Option<(NodePtr<K, C>, usize)> {
+        self.bound_pos(t, /*strict=*/ true)
+    }
+
+    fn bound_pos(&self, t: &Tuple<K>, strict: bool) -> Option<(NodePtr<K, C>, usize)> {
+        if self.root.load(Relaxed).is_null() {
+            return None;
+        }
+        'restart: loop {
+            let (mut cur, mut cur_lease) = self.read_root();
+            // Closest enclosing key `>=`/`>` `t` seen on the descent: the
+            // answer when the final leaf holds only smaller keys.
+            let mut candidate: Option<(NodePtr<K, C>, usize)> = None;
+            loop {
+                let node = unsafe { &*cur };
+                let n = node.num_clamped();
+                let idx = if strict {
+                    node.search_upper(t, n)
+                } else {
+                    let (idx, found) = node.search(t, n);
+                    if found {
+                        if node.lock.validate(cur_lease) {
+                            return Some((cur, idx));
+                        }
+                        continue 'restart;
+                    }
+                    idx
+                };
+                if !node.is_inner() {
+                    let res = if idx < n { Some((cur, idx)) } else { candidate };
+                    if node.lock.validate(cur_lease) {
+                        return res;
+                    }
+                    continue 'restart;
+                }
+                let next = unsafe { node.as_inner() }.child(idx);
+                if !node.lock.validate(cur_lease) {
+                    continue 'restart;
+                }
+                if next.is_null() {
+                    continue 'restart;
+                }
+                if idx < n {
+                    candidate = Some((cur, idx));
+                }
+                let next_lease = unsafe { &*next }.lock.start_read();
+                if !node.lock.validate(cur_lease) {
+                    continue 'restart;
+                }
+                cur = next;
+                cur_lease = next_lease;
+            }
+        }
+    }
+
+    /// Hinted bound fast path shared by lower/upper bound: applies when the
+    /// hinted leaf's key range strictly encloses the answer.
+    pub(crate) fn try_hinted_bound(
+        &self,
+        leaf: NodePtr<K, C>,
+        t: &Tuple<K>,
+        strict: bool,
+    ) -> Option<Option<(NodePtr<K, C>, usize)>> {
+        let node = unsafe { &*leaf };
+        if node.is_inner() {
+            return None;
+        }
+        let lease = node.lock.start_read();
+        let n = node.num_clamped();
+        if n == 0 {
+            return None;
+        }
+        let first = node.key(0);
+        let last = node.key(n - 1);
+        // For a non-strict bound the answer lies in this leaf when
+        // first <= t <= last; for a strict bound we need t < last so a
+        // greater element exists locally.
+        let covered = cmp3(&first, t) != Ordering::Greater
+            && if strict {
+                cmp3(t, &last) == Ordering::Less
+            } else {
+                cmp3(t, &last) != Ordering::Greater
+            };
+        let idx = if strict {
+            node.search_upper(t, n)
+        } else {
+            node.search(t, n).0
+        };
+        if !node.lock.validate(lease) {
+            return None;
+        }
+        if !covered {
+            return None;
+        }
+        debug_assert!(idx < n);
+        Some(Some((leaf, idx)))
+    }
+}
+
+impl<const K: usize, const C: usize> BTreeSet<K, C> {
+    /// Removes every tuple, freeing all nodes. Requires exclusive access —
+    /// the only "shrinking" operation, and exactly as in the paper's
+    /// engine, only available between evaluation phases.
+    ///
+    /// Clearing re-brands the tree: hints created before the `clear` are
+    /// safely treated as misses afterwards (their cached leaves were
+    /// freed), never dereferenced.
+    pub fn clear(&mut self) {
+        let root = *self.root.get_mut();
+        if !root.is_null() {
+            // SAFETY: `&mut self` gives exclusive access; see `Drop`.
+            unsafe { LeafNode::free_subtree(root) };
+            *self.root.get_mut() = std::ptr::null_mut();
+        }
+        self.id = TREE_IDS.fetch_add(1, Relaxed);
+    }
+}
+
+impl<const K: usize, const C: usize> Drop for BTreeSet<K, C> {
+    fn drop(&mut self) {
+        let root = *self.root.get_mut();
+        if !root.is_null() {
+            // SAFETY: `&mut self` guarantees exclusive access; all nodes
+            // reachable from the root were allocated by this tree and are
+            // freed exactly once.
+            unsafe { LeafNode::free_subtree(root) };
+        }
+    }
+}
+
+impl<const K: usize, const C: usize> Extend<Tuple<K>> for BTreeSet<K, C> {
+    fn extend<I: IntoIterator<Item = Tuple<K>>>(&mut self, iter: I) {
+        let mut hints = self.create_hints();
+        for t in iter {
+            self.insert_hinted(t, &mut hints);
+        }
+    }
+}
+
+impl<const K: usize, const C: usize> FromIterator<Tuple<K>> for BTreeSet<K, C> {
+    fn from_iter<I: IntoIterator<Item = Tuple<K>>>(iter: I) -> Self {
+        let mut set = Self::new();
+        set.extend(iter);
+        set
+    }
+}
+
+impl<const K: usize, const C: usize> std::fmt::Debug for BTreeSet<K, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}

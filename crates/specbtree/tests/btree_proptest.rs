@@ -1,0 +1,210 @@
+//! Property-based tests: the concurrent and sequential trees must behave
+//! identically to `std::collections::BTreeSet` on arbitrary operation
+//! sequences, and all structural invariants must hold at every point.
+
+use proptest::prelude::*;
+use specbtree::seq::{SeqBTreeSet, SeqHints};
+use specbtree::BTreeSet;
+use std::collections::BTreeSet as Model;
+
+/// Keys from a smallish domain so that duplicates and dense leaves occur.
+fn key_strategy() -> impl Strategy<Value = [u64; 2]> {
+    (0u64..64, 0u64..64).prop_map(|(a, b)| [a, b])
+}
+
+/// Keys spanning the full u64 domain, hitting boundary arithmetic.
+fn wide_key_strategy() -> impl Strategy<Value = [u64; 2]> {
+    (any::<u64>(), any::<u64>()).prop_map(|(a, b)| [a, b])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn insert_sequence_matches_model(keys in prop::collection::vec(key_strategy(), 0..800)) {
+        let tree: BTreeSet<2, 4> = BTreeSet::new();
+        let mut model = Model::new();
+        for k in &keys {
+            prop_assert_eq!(tree.insert(*k), model.insert(*k));
+        }
+        tree.check_invariants().unwrap();
+        prop_assert_eq!(tree.len(), model.len());
+        let ours: Vec<_> = tree.iter().collect();
+        let theirs: Vec<_> = model.iter().copied().collect();
+        prop_assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn hinted_insert_sequence_matches_model(keys in prop::collection::vec(key_strategy(), 0..800)) {
+        let tree: BTreeSet<2, 4> = BTreeSet::new();
+        let mut hints = tree.create_hints();
+        let mut model = Model::new();
+        for k in &keys {
+            prop_assert_eq!(tree.insert_hinted(*k, &mut hints), model.insert(*k));
+        }
+        tree.check_invariants().unwrap();
+        let ours: Vec<_> = tree.iter().collect();
+        let theirs: Vec<_> = model.iter().copied().collect();
+        prop_assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn wide_domain_keys_roundtrip(keys in prop::collection::vec(wide_key_strategy(), 0..300)) {
+        let tree: BTreeSet<2, 6> = BTreeSet::new();
+        let mut model = Model::new();
+        for k in &keys {
+            prop_assert_eq!(tree.insert(*k), model.insert(*k));
+        }
+        tree.check_invariants().unwrap();
+        for k in &keys {
+            prop_assert!(tree.contains(k));
+        }
+    }
+
+    #[test]
+    fn bounds_match_model(
+        keys in prop::collection::vec(key_strategy(), 1..400),
+        probes in prop::collection::vec(key_strategy(), 1..50),
+    ) {
+        let tree: BTreeSet<2, 4> = BTreeSet::new();
+        let mut model = Model::new();
+        for k in &keys {
+            tree.insert(*k);
+            model.insert(*k);
+        }
+        for p in &probes {
+            let lb = tree.lower_bound(p).next();
+            let expect = model.range(*p..).next().copied();
+            prop_assert_eq!(lb, expect, "lower_bound({:?})", p);
+            let ub = tree.upper_bound(p).next();
+            let expect = model
+                .range((std::ops::Bound::Excluded(*p), std::ops::Bound::Unbounded))
+                .next()
+                .copied();
+            prop_assert_eq!(ub, expect, "upper_bound({:?})", p);
+        }
+    }
+
+    #[test]
+    fn range_scans_match_model(
+        keys in prop::collection::vec(key_strategy(), 1..400),
+        lo in key_strategy(),
+        hi in key_strategy(),
+    ) {
+        let tree: BTreeSet<2, 4> = BTreeSet::new();
+        let mut model = Model::new();
+        for k in &keys {
+            tree.insert(*k);
+            model.insert(*k);
+        }
+        let ours: Vec<_> = tree.range(&lo, &hi).collect();
+        if lo > hi {
+            // std's range() panics on inverted bounds; ours yields nothing.
+            prop_assert!(ours.is_empty());
+        } else {
+            let theirs: Vec<_> = model.range(lo..hi).copied().collect();
+            prop_assert_eq!(ours, theirs);
+        }
+    }
+
+    #[test]
+    fn prefix_range_matches_filter(
+        keys in prop::collection::vec(key_strategy(), 1..400),
+        prefix in 0u64..64,
+    ) {
+        let tree: BTreeSet<2, 4> = BTreeSet::new();
+        let mut model = Model::new();
+        for k in &keys {
+            tree.insert(*k);
+            model.insert(*k);
+        }
+        let ours: Vec<_> = tree.prefix_range(&[prefix]).collect();
+        let theirs: Vec<_> = model.iter().filter(|t| t[0] == prefix).copied().collect();
+        prop_assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn partition_is_a_partition(
+        keys in prop::collection::vec(key_strategy(), 0..500),
+        n in 1usize..12,
+    ) {
+        let tree: BTreeSet<2, 4> = BTreeSet::new();
+        for k in &keys {
+            tree.insert(*k);
+        }
+        let chunks = tree.partition(n);
+        let mut all = Vec::new();
+        for c in &chunks {
+            all.extend(tree.chunk_range(c));
+        }
+        let direct: Vec<_> = tree.iter().collect();
+        prop_assert_eq!(all, direct);
+    }
+
+    #[test]
+    fn from_sorted_equals_incremental(keys in prop::collection::vec(key_strategy(), 0..500)) {
+        let mut sorted: Vec<_> = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let bulk: BTreeSet<2, 4> = BTreeSet::from_sorted(sorted.iter().copied());
+        bulk.check_invariants().unwrap();
+        let incremental: BTreeSet<2, 4> = BTreeSet::new();
+        for k in &keys {
+            incremental.insert(*k);
+        }
+        prop_assert_eq!(bulk.iter().collect::<Vec<_>>(), incremental.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn insert_all_is_set_union(
+        a in prop::collection::vec(key_strategy(), 0..300),
+        b in prop::collection::vec(key_strategy(), 0..300),
+    ) {
+        let ta: BTreeSet<2, 4> = BTreeSet::new();
+        for k in &a { ta.insert(*k); }
+        let tb: BTreeSet<2, 4> = BTreeSet::new();
+        for k in &b { tb.insert(*k); }
+        ta.insert_all(&tb);
+        ta.check_invariants().unwrap();
+        let expect: Model<[u64; 2]> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(ta.iter().collect::<Vec<_>>(), expect.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seq_tree_matches_model(keys in prop::collection::vec(key_strategy(), 0..800)) {
+        let mut tree: SeqBTreeSet<2, 4> = SeqBTreeSet::new();
+        let mut hints = SeqHints::new();
+        let mut model = Model::new();
+        for (i, k) in keys.iter().enumerate() {
+            // Alternate hinted and unhinted inserts.
+            let inserted = if i % 2 == 0 {
+                tree.insert(*k)
+            } else {
+                tree.insert_hinted(*k, &mut hints)
+            };
+            prop_assert_eq!(inserted, model.insert(*k));
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        let ours: Vec<_> = tree.iter().collect();
+        let theirs: Vec<_> = model.iter().copied().collect();
+        prop_assert_eq!(ours, theirs);
+        for p in &keys {
+            prop_assert_eq!(tree.contains(p), model.contains(p));
+        }
+    }
+
+    #[test]
+    fn seq_and_concurrent_trees_agree(keys in prop::collection::vec(key_strategy(), 0..500)) {
+        let conc: BTreeSet<2, 6> = BTreeSet::new();
+        let mut seq: SeqBTreeSet<2, 6> = SeqBTreeSet::new();
+        for k in &keys {
+            prop_assert_eq!(conc.insert(*k), seq.insert(*k));
+        }
+        prop_assert_eq!(conc.iter().collect::<Vec<_>>(), seq.iter().collect::<Vec<_>>());
+        // Bound queries agree too.
+        for p in keys.iter().take(30) {
+            prop_assert_eq!(conc.lower_bound(p).next(), seq.lower_bound(p).next());
+            prop_assert_eq!(conc.upper_bound(p).next(), seq.upper_bound(p).next());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Graph generators for transitive-closure-style Datalog workloads.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A simple directed chain `0 → 1 → … → n`.
+pub fn chain(n: u64) -> Vec<(u64, u64)> {
+    (0..n).map(|i| (i, i + 1)).collect()
+}
+
+/// A directed cycle over `n` nodes.
+pub fn cycle(n: u64) -> Vec<(u64, u64)> {
+    (0..n).map(|i| (i, (i + 1) % n)).collect()
+}
+
+/// A 2D grid with edges right and down (acyclic, quadratic closure).
+pub fn grid(side: u64) -> Vec<(u64, u64)> {
+    let id = |r: u64, c: u64| r * side + c;
+    let mut edges = Vec::new();
+    for r in 0..side {
+        for c in 0..side {
+            if c + 1 < side {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < side {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    edges
+}
+
+/// A perfect binary tree of the given depth (node 1 is the root; node `i`
+/// has children `2i` and `2i+1`). Returns `parent → child` edges.
+pub fn binary_tree(depth: u32) -> Vec<(u64, u64)> {
+    let mut edges = Vec::new();
+    let internal = (1u64 << depth) - 1;
+    for i in 1..=internal {
+        edges.push((i, 2 * i));
+        edges.push((i, 2 * i + 1));
+    }
+    edges
+}
+
+/// A random directed graph: `n` nodes, each with `out_degree` random
+/// successors (duplicates removed). Deterministic per seed.
+pub fn random_graph(n: u64, out_degree: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n as usize * out_degree);
+    for v in 0..n {
+        for _ in 0..out_degree {
+            edges.push((v, rng.gen_range(0..n)));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// A layered DAG: `layers` layers of `width` nodes; every node connects to
+/// `fanout` random nodes of the next layer. Mimics call-graph-like shapes
+/// (bounded depth, wide closure).
+pub fn layered_dag(layers: u64, width: u64, fanout: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for l in 0..layers.saturating_sub(1) {
+        for w in 0..width {
+            let from = l * width + w;
+            for _ in 0..fanout {
+                let to = (l + 1) * width + rng.gen_range(0..width);
+                edges.push((from, to));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// Reference transitive closure (semi-naive over std sets) for verifying
+/// engine output on any generated graph.
+pub fn reference_tc(edges: &[(u64, u64)]) -> std::collections::BTreeSet<(u64, u64)> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut succ: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for &(a, b) in edges {
+        succ.entry(a).or_default().push(b);
+    }
+    let mut path: BTreeSet<(u64, u64)> = edges.iter().copied().collect();
+    let mut delta: Vec<(u64, u64)> = edges.to_vec();
+    while !delta.is_empty() {
+        let mut new = Vec::new();
+        for &(x, y) in &delta {
+            if let Some(nexts) = succ.get(&y) {
+                for &z in nexts {
+                    if path.insert((x, z)) {
+                        new.push((x, z));
+                    }
+                }
+            }
+        }
+        delta = new;
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_and_cycle_shapes() {
+        assert_eq!(chain(3), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(cycle(3), vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        // side*side nodes, 2*side*(side-1) edges.
+        assert_eq!(grid(4).len(), 2 * 4 * 3);
+    }
+
+    #[test]
+    fn binary_tree_edges() {
+        let e = binary_tree(3);
+        assert_eq!(e.len(), 2 * 7);
+        assert!(e.contains(&(1, 2)));
+        assert!(e.contains(&(7, 15)));
+    }
+
+    #[test]
+    fn random_graph_deterministic_and_in_range() {
+        let a = random_graph(50, 3, 9);
+        let b = random_graph(50, 3, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&(x, y)| x < 50 && y < 50));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn layered_dag_only_goes_forward() {
+        let e = layered_dag(4, 5, 2, 1);
+        for &(a, b) in &e {
+            assert_eq!(a / 5 + 1, b / 5, "edge {a}->{b} skips layers");
+        }
+    }
+
+    #[test]
+    fn reference_tc_on_chain() {
+        let tc = reference_tc(&chain(5));
+        assert_eq!(tc.len(), 5 * 6 / 2);
+        assert!(tc.contains(&(0, 5)));
+        assert!(!tc.contains(&(5, 0)));
+    }
+
+    #[test]
+    fn reference_tc_on_cycle_is_complete() {
+        let tc = reference_tc(&cycle(4));
+        assert_eq!(tc.len(), 16);
+    }
+}

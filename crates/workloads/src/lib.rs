@@ -1,0 +1,63 @@
+//! # workloads — inputs for every experiment in the evaluation
+//!
+//! Deterministic (seeded) generators for the paper's benchmark inputs:
+//!
+//! * [`points`] — 2D-point insertion/query/scan sequences (Figures 3–4) and
+//!   32-bit integer keys (Table 3);
+//! * [`graphs`] — graph families for transitive-closure workloads, with a
+//!   reference closure for validation;
+//! * [`pointsto`] — a synthetic Andersen-style points-to analysis standing
+//!   in for the Doop/DaCapo benchmark (Figure 5a, Table 2);
+//! * [`network`] — a synthetic cloud-network security analysis standing in
+//!   for the Amazon EC2 benchmark (Figure 5b, Table 2).
+//!
+//! Substitution rationales live in DESIGN.md and in the module docs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod graphs;
+pub mod network;
+pub mod points;
+pub mod pointsto;
+
+/// A simple wall-clock stopwatch used by the benchmark harnesses.
+#[derive(Debug)]
+pub struct Stopwatch(std::time::Instant);
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    pub fn start() -> Self {
+        Self(std::time::Instant::now())
+    }
+
+    /// Seconds elapsed since start.
+    pub fn secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+
+    /// Throughput in million operations per second for `ops` operations
+    /// performed since start.
+    pub fn mops(&self, ops: usize) -> f64 {
+        ops as f64 / self.secs() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_time() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(sw.secs() >= 0.009);
+        assert!(sw.mops(1_000_000) > 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! 2D-point and integer-key workload generators for the micro-benchmarks
+//! (paper §4.1, §4.2, §4.4).
+//!
+//! The paper inserts N² two-dimensional points — "2D data is the most
+//! relevant case in many Datalog queries" — either in lexicographic order
+//! or in a seeded random permutation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A 2D point workload: all points of a `side × side` grid.
+///
+/// `ordered` yields them in lexicographic order (the paper's *ordered*
+/// case); otherwise a deterministic shuffle of the given `seed` is applied
+/// (the *random order* case).
+pub fn points_2d(side: u64, ordered: bool, seed: u64) -> Vec<[u64; 2]> {
+    let mut pts: Vec<[u64; 2]> = Vec::with_capacity((side * side) as usize);
+    for a in 0..side {
+        for b in 0..side {
+            pts.push([a, b]);
+        }
+    }
+    if !ordered {
+        pts.shuffle(&mut StdRng::seed_from_u64(seed));
+    }
+    pts
+}
+
+/// The membership-query sequence of the paper's Figure 3c/3d: every element
+/// of the set probed exactly once, in order or shuffled.
+pub fn query_sequence(side: u64, ordered: bool, seed: u64) -> Vec<[u64; 2]> {
+    // Distinct seed domain from the insert shuffle so the two permutations
+    // differ.
+    points_2d(side, ordered, seed ^ 0xABCD_EF01)
+}
+
+/// 32-bit integer keys for the §4.4 comparison (Table 3 inserts 10M fixed
+/// size 32-bit integers, ordered or random).
+pub fn keys_u32(n: usize, ordered: bool, seed: u64) -> Vec<u32> {
+    let mut keys: Vec<u32> = (0..n as u32).collect();
+    if !ordered {
+        keys.shuffle(&mut StdRng::seed_from_u64(seed));
+    }
+    keys
+}
+
+/// Splits `items` into `threads` nearly equal contiguous batches — the
+/// strong-scaling partitioning of the paper's Figure 4 ("partitioning of
+/// the elements to be inserted among the threads").
+pub fn partition_batches<T: Clone>(items: &[T], threads: usize) -> Vec<Vec<T>> {
+    let threads = threads.max(1);
+    let chunk = items.len().div_ceil(threads);
+    items.chunks(chunk.max(1)).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_points_are_sorted_and_complete() {
+        let pts = points_2d(10, true, 0);
+        assert_eq!(pts.len(), 100);
+        assert!(pts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(pts[0], [0, 0]);
+        assert_eq!(pts[99], [9, 9]);
+    }
+
+    #[test]
+    fn random_points_are_a_permutation() {
+        let mut pts = points_2d(10, false, 42);
+        assert_ne!(pts, points_2d(10, true, 42), "shuffle happened");
+        pts.sort_unstable();
+        assert_eq!(pts, points_2d(10, true, 0));
+    }
+
+    #[test]
+    fn shuffles_are_deterministic_per_seed() {
+        assert_eq!(points_2d(20, false, 7), points_2d(20, false, 7));
+        assert_ne!(points_2d(20, false, 7), points_2d(20, false, 8));
+    }
+
+    #[test]
+    fn query_sequence_differs_from_insert_shuffle() {
+        assert_ne!(points_2d(20, false, 7), query_sequence(20, false, 7));
+    }
+
+    #[test]
+    fn u32_keys() {
+        let ordered = keys_u32(1000, true, 0);
+        assert!(ordered.windows(2).all(|w| w[0] < w[1]));
+        let mut random = keys_u32(1000, false, 3);
+        assert_ne!(random, ordered);
+        random.sort_unstable();
+        assert_eq!(random, ordered);
+    }
+
+    #[test]
+    fn partitioning_covers_everything() {
+        let items: Vec<u64> = (0..103).collect();
+        for t in [1, 2, 7, 16] {
+            let batches = partition_batches(&items, t);
+            assert!(batches.len() <= t);
+            let total: usize = batches.iter().map(|b| b.len()).sum();
+            assert_eq!(total, 103, "t={t}");
+        }
+        assert_eq!(partition_batches(&items[..0], 4).len(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # concurrent-datalog-btree
+//!
+//! A Rust reproduction of *"A Specialized B-tree for Concurrent Datalog
+//! Evaluation"* (Jordan, Subotić, Zhao, Scholz; PPoPP 2019): the
+//! optimistic-lock concurrent B-tree the Soufflé Datalog engine uses for
+//! its relations, together with every substrate the paper's evaluation
+//! needs — a parallel semi-naive Datalog engine, all baseline data
+//! structures, workload generators, and a benchmark harness reproducing
+//! each figure and table.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`optlock`] — the optimistic read-write lock (extended seqlock, §3.1);
+//! * [`specbtree`] — the specialized concurrent B-tree with operation
+//!   hints (§3), plus its sequential twin;
+//! * [`baselines`] — the comparator data structures of Table 1 and §4.4;
+//! * [`datalog`] — the parallel Datalog engine of §4.3;
+//! * [`workloads`] — deterministic experiment inputs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use concurrent_datalog_btree::specbtree::BTreeSet;
+//!
+//! let relation: BTreeSet<2> = BTreeSet::new();
+//! std::thread::scope(|s| {
+//!     for t in 0..4u64 {
+//!         let relation = &relation;
+//!         s.spawn(move || {
+//!             let mut hints = relation.create_hints();
+//!             for i in 0..1000 {
+//!                 relation.insert_hinted([i, t], &mut hints);
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(relation.len(), 4000);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use baselines;
+pub use datalog;
+pub use optlock;
+pub use specbtree;
+pub use workloads;

@@ -1,0 +1,181 @@
+//! Workspace-level concurrency stress: heavier adversarial scenarios than
+//! the per-crate tests, combining the lock, the tree, merging, and the
+//! two-phase usage pattern at scale.
+
+use concurrent_datalog_btree::specbtree::BTreeSet;
+use std::collections::BTreeSet as Model;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn duplicate_insert_races_count_exactly_once() {
+    // Every key inserted by every thread; the number of successful inserts
+    // across all threads must equal the number of distinct keys.
+    let tree: BTreeSet<2, 6> = BTreeSet::new();
+    let wins = AtomicUsize::new(0);
+    const KEYS: u64 = 4_000;
+    std::thread::scope(|s| {
+        for t in 0..6u64 {
+            let tree = &tree;
+            let wins = &wins;
+            s.spawn(move || {
+                let mut hints = tree.create_hints();
+                // Each thread walks the keys in a different stride pattern.
+                for i in 0..KEYS {
+                    let k = (i * (t + 1)) % KEYS;
+                    if tree.insert_hinted([k / 50, k % 50], &mut hints) {
+                        wins.fetch_add(1, Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    tree.check_invariants().unwrap();
+    assert_eq!(wins.load(Relaxed), KEYS as usize);
+    assert_eq!(tree.len(), KEYS as usize);
+}
+
+#[test]
+fn semi_naive_phases_at_scale() {
+    // Simulates the engine's phase pattern directly on the tree: rounds of
+    // (parallel read of delta + parallel insert into new) then merge.
+    let full: BTreeSet<2> = BTreeSet::new();
+    let mut model = Model::new();
+
+    let mut delta: Vec<[u64; 2]> = (0..512u64).map(|i| [i, i]).collect();
+    for t in &delta {
+        full.insert(*t);
+        model.insert(*t);
+    }
+
+    for _round in 0..6 {
+        let new: BTreeSet<2> = BTreeSet::new();
+        // Parallel phase: derive successors of delta, insert into new.
+        let chunks: Vec<&[[u64; 2]]> = delta.chunks(delta.len().div_ceil(4).max(1)).collect();
+        std::thread::scope(|s| {
+            for chunk in chunks {
+                let new = &new;
+                let full = &full;
+                s.spawn(move || {
+                    let mut hints = new.create_hints();
+                    for t in chunk {
+                        let derived = [t[0].wrapping_mul(31) % 1_000, t[1] % 977];
+                        if !full.contains(&derived) {
+                            new.insert_hinted(derived, &mut hints);
+                        }
+                    }
+                });
+            }
+        });
+        // Merge phase (single-threaded here; insert_all is exercised in
+        // the crate tests).
+        delta = new.iter().collect();
+        for t in &delta {
+            full.insert(*t);
+        }
+        // Model mirror.
+        let model_delta: Vec<[u64; 2]> = delta.clone();
+        for t in model_delta {
+            model.insert(t);
+        }
+        full.check_invariants().unwrap();
+        if delta.is_empty() {
+            break;
+        }
+    }
+    let ours: Vec<[u64; 2]> = full.iter().collect();
+    let theirs: Vec<[u64; 2]> = model.into_iter().collect();
+    assert_eq!(ours, theirs);
+}
+
+#[test]
+fn heavy_random_contention_with_invariant_audit() {
+    let tree: BTreeSet<2, 4> = BTreeSet::new();
+    let all: Vec<Vec<[u64; 2]>> = (0..8u64)
+        .map(|t| {
+            let mut rng = t * 7 + 1;
+            (0..8_000)
+                .map(|_| [splitmix(&mut rng) % 256, splitmix(&mut rng) % 256])
+                .collect()
+        })
+        .collect();
+    std::thread::scope(|s| {
+        for batch in &all {
+            let tree = &tree;
+            s.spawn(move || {
+                let mut hints = tree.create_hints();
+                for t in batch {
+                    tree.insert_hinted(*t, &mut hints);
+                }
+            });
+        }
+    });
+    let model: Model<[u64; 2]> = all.into_iter().flatten().collect();
+    tree.check_invariants().unwrap();
+    assert_eq!(tree.len(), model.len());
+    let ours: Vec<[u64; 2]> = tree.iter().collect();
+    let theirs: Vec<[u64; 2]> = model.into_iter().collect();
+    assert_eq!(ours, theirs);
+}
+
+#[test]
+fn bulk_merge_races_with_point_inserts() {
+    let target: BTreeSet<2> = BTreeSet::new();
+    let src_a: BTreeSet<2> = BTreeSet::from_sorted((0..3_000u64).map(|i| [i, 0]));
+    let src_b: BTreeSet<2> = BTreeSet::from_sorted((0..3_000u64).map(|i| [i, 1]));
+    std::thread::scope(|s| {
+        let t = &target;
+        s.spawn(move || t.insert_all(&src_a));
+        s.spawn(move || t.insert_all(&src_b));
+        s.spawn(move || {
+            for i in 0..3_000u64 {
+                t.insert([i, 2]);
+            }
+        });
+    });
+    target.check_invariants().unwrap();
+    assert_eq!(target.len(), 9_000);
+}
+
+#[test]
+fn read_phase_after_each_write_phase_is_fully_consistent() {
+    let tree: BTreeSet<1, 8> = BTreeSet::new();
+    let mut inserted = 0u64;
+    for phase in 0..10u64 {
+        // Write phase.
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let tree = &tree;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        tree.insert([phase * 10_000 + t * 500 + i]);
+                    }
+                });
+            }
+        });
+        inserted += 2_000;
+        // Read phase: parallel verification of everything inserted so far.
+        std::thread::scope(|s| {
+            for reader in 0..3 {
+                let tree = &tree;
+                s.spawn(move || {
+                    let mut hints = tree.create_hints();
+                    for p in 0..=phase {
+                        for i in (reader..2_000u64).step_by(3) {
+                            assert!(tree.contains_hinted(&[p * 10_000 + i], &mut hints));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(tree.len(), inserted as usize);
+    }
+    tree.check_invariants().unwrap();
+}
