@@ -1,0 +1,247 @@
+//! Scheduler study: chunk-driven work stealing vs materialize-then-split.
+//!
+//! Runs transitive closure over ≥2 workload graphs with both parallel
+//! scheduling strategies at several thread counts, reporting wall time,
+//! chunks claimed, per-worker load, scheduler imbalance (max/mean tuples
+//! scanned) and operation-hint hit rates. Also writes a machine-readable
+//! snapshot to `BENCH_sched.json` in the current directory.
+//!
+//! Flags: `--scale N` (graph size multiplier, default 1), `--threads
+//! 1,2,4,8`, `--seed N`, `--csv`, `--quick` (CI smoke: tiny graphs, one
+//! repetition).
+
+use bench_suite::{print_row, Args};
+use datalog::{parse, Engine, ParallelStrategy, StorageKind};
+use std::fmt::Write as _;
+use std::time::Instant;
+use workloads::graphs;
+
+const TC_PROGRAM: &str = r#"
+    .decl edge(x: number, y: number)
+    .decl path(x: number, y: number)
+    .output path
+    path(x, y) :- edge(x, y).
+    path(x, z) :- path(x, y), edge(y, z).
+"#;
+
+/// One measured configuration.
+struct Sample {
+    strategy: ParallelStrategy,
+    threads: usize,
+    seconds: f64,
+    path_len: usize,
+    chunks_claimed: u64,
+    tuples_scanned: u64,
+    tuples_emitted: u64,
+    imbalance: f64,
+    hint_hit_rate: f64,
+    /// `(chunks_claimed, tuples_scanned)` per worker, from the timed run.
+    per_worker: Vec<(u64, u64)>,
+}
+
+fn strategy_name(s: ParallelStrategy) -> &'static str {
+    match s {
+        ParallelStrategy::ChunkStealing => "chunk_stealing",
+        ParallelStrategy::MaterializeSplit => "materialize_split",
+    }
+}
+
+fn run_once(edges: &[(u64, u64)], strategy: ParallelStrategy, threads: usize) -> (f64, Engine) {
+    let program = parse(TC_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, threads).unwrap();
+    engine.set_parallel_strategy(strategy);
+    engine
+        .add_facts("edge", edges.iter().map(|&(a, b)| vec![a, b]))
+        .unwrap();
+    let t0 = Instant::now();
+    engine.run().unwrap();
+    (t0.elapsed().as_secs_f64(), engine)
+}
+
+fn measure(
+    edges: &[(u64, u64)],
+    strategy: ParallelStrategy,
+    threads: usize,
+    reps: usize,
+) -> Sample {
+    let mut best: Option<(f64, Engine)> = None;
+    for _ in 0..reps.max(1) {
+        let (secs, engine) = run_once(edges, strategy, threads);
+        if best.as_ref().is_none_or(|(b, _)| secs < *b) {
+            best = Some((secs, engine));
+        }
+    }
+    let (seconds, engine) = best.unwrap();
+    let stats = *engine.stats();
+    Sample {
+        strategy,
+        threads,
+        seconds,
+        path_len: engine.relation_len("path").unwrap(),
+        chunks_claimed: stats.chunks_claimed,
+        tuples_scanned: stats.tuples_scanned,
+        tuples_emitted: stats.tuples_emitted,
+        imbalance: stats.sched_imbalance,
+        hint_hit_rate: stats.hints.hit_rate(),
+        per_worker: engine
+            .worker_stats()
+            .iter()
+            .map(|w| (w.chunks_claimed, w.tuples_scanned))
+            .collect(),
+    }
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Workload names are ASCII identifiers; assert rather than escape.
+    assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    name
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = if args.scale == 0 { 1 } else { args.scale };
+    let threads = if args.threads.is_empty() {
+        vec![1, 2, 4, 8]
+    } else {
+        args.threads.clone()
+    };
+    let reps = if args.quick { 1 } else { 3 };
+
+    // Three regimes: a long chain (hundreds of iterations, tiny deltas —
+    // the scheduler's fixed costs dominate), an acyclic grid (many
+    // iterations, medium deltas) and a cyclic random graph (few
+    // iterations, fat deltas — join work dominates).
+    let workloads: Vec<(&str, Vec<(u64, u64)>)> = if args.quick {
+        vec![
+            ("chain_tc", graphs::chain(64)),
+            ("grid_tc", graphs::grid(8)),
+            ("random_tc", graphs::random_graph(60, 2, args.seed)),
+        ]
+    } else {
+        vec![
+            ("chain_tc", graphs::chain(320 * scale as u64)),
+            ("grid_tc", graphs::grid(14 * scale as u64)),
+            (
+                "random_tc",
+                graphs::random_graph(220 * scale as u64, 2, args.seed),
+            ),
+        ]
+    };
+
+    let mut json = String::from("{\n  \"bench\": \"sched\",\n");
+    let _ = writeln!(json, "  \"quick\": {},", args.quick);
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"chunks_per_worker\": {},",
+        datalog::CHUNKS_PER_WORKER
+    );
+    json.push_str("  \"workloads\": [\n");
+
+    for (wi, (name, edges)) in workloads.iter().enumerate() {
+        println!("== {name}: {} edges ==", edges.len());
+        print_row(
+            args.csv,
+            "strategy/threads",
+            &[
+                "ms".into(),
+                "chunks".into(),
+                "scanned".into(),
+                "imbal".into(),
+                "hints%".into(),
+            ],
+        );
+
+        let mut samples: Vec<Sample> = Vec::new();
+        for &strategy in &[
+            ParallelStrategy::MaterializeSplit,
+            ParallelStrategy::ChunkStealing,
+        ] {
+            for &t in &threads {
+                let s = measure(edges, strategy, t, reps);
+                print_row(
+                    args.csv,
+                    &format!("{}/{t}", strategy_name(strategy)),
+                    &[
+                        format!("{:.2}", s.seconds * 1e3),
+                        s.chunks_claimed.to_string(),
+                        s.tuples_scanned.to_string(),
+                        format!("{:.2}", s.imbalance),
+                        format!("{:.1}", s.hint_hit_rate * 100.0),
+                    ],
+                );
+                samples.push(s);
+            }
+        }
+
+        // All configurations must agree on the closure size.
+        let expect = samples[0].path_len;
+        assert!(
+            samples.iter().all(|s| s.path_len == expect),
+            "{name}: schedulers disagree on closure size"
+        );
+
+        // Speedup of chunk stealing over materialize-then-split at the
+        // highest measured thread count.
+        let top = *threads.iter().max().unwrap();
+        let mat = samples
+            .iter()
+            .find(|s| s.strategy == ParallelStrategy::MaterializeSplit && s.threads == top)
+            .unwrap();
+        let chk = samples
+            .iter()
+            .find(|s| s.strategy == ParallelStrategy::ChunkStealing && s.threads == top)
+            .unwrap();
+        let speedup = mat.seconds / chk.seconds;
+        println!(
+            "-- {name}: chunk-stealing speedup at {top} threads: {speedup:.2}x \
+             (imbalance {:.2}, per-worker chunks {:?})\n",
+            chk.imbalance,
+            chk.per_worker.iter().map(|w| w.0).collect::<Vec<_>>()
+        );
+
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", json_escape_free(name));
+        let _ = writeln!(json, "      \"edges\": {},", edges.len());
+        let _ = writeln!(json, "      \"closure\": {expect},");
+        let _ = writeln!(
+            json,
+            "      \"speedup_chunk_vs_materialize_at_{top}_threads\": {speedup:.4},"
+        );
+        json.push_str("      \"results\": [\n");
+        for (i, s) in samples.iter().enumerate() {
+            let workers: Vec<String> = s
+                .per_worker
+                .iter()
+                .map(|&(c, n)| format!("{{\"chunks\": {c}, \"scanned\": {n}}}"))
+                .collect();
+            let _ = write!(
+                json,
+                "        {{\"strategy\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, \
+                 \"chunks_claimed\": {}, \"tuples_scanned\": {}, \"tuples_emitted\": {}, \
+                 \"imbalance\": {:.4}, \"hint_hit_rate\": {:.4}, \"workers\": [{}]}}",
+                strategy_name(s.strategy),
+                s.threads,
+                s.seconds,
+                s.chunks_claimed,
+                s.tuples_scanned,
+                s.tuples_emitted,
+                s.imbalance,
+                s.hint_hit_rate,
+                workers.join(", ")
+            );
+            json.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("      ]\n");
+        json.push_str(if wi + 1 < workloads.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+
+    json.push_str("  ]\n}\n");
+    let out = "BENCH_sched.json";
+    std::fs::write(out, &json).expect("write BENCH_sched.json");
+    println!("wrote {out}");
+}

@@ -10,6 +10,7 @@
 //! | `fig5` | Figure 5 (a–b): Datalog engine end-to-end |
 //! | `table2` | Table 2: workload properties & operation statistics |
 //! | `table3` | Table 3: 32-bit integer insertion vs PALM/Masstree/B-slack |
+//! | `sched` | scheduler study: chunk stealing vs materialize-then-split |
 //!
 //! All binaries accept `--scale`, `--threads` and `--seed` flags (see
 //! [`Args`]); defaults are scaled down from the paper's 100M-element runs
@@ -40,6 +41,8 @@ pub struct Args {
     pub part: Option<String>,
     /// Emit machine-readable CSV instead of aligned tables.
     pub csv: bool,
+    /// Shrink workloads to CI-smoke size (`--quick`).
+    pub quick: bool,
 }
 
 impl Default for Args {
@@ -50,6 +53,7 @@ impl Default for Args {
             seed: 42,
             part: None,
             csv: false,
+            quick: false,
         }
     }
 }
@@ -69,6 +73,7 @@ impl Args {
                 "--seed" => out.seed = take("--seed").parse().expect("--seed: integer"),
                 "--part" => out.part = Some(take("--part")),
                 "--csv" => out.csv = true,
+                "--quick" => out.quick = true,
                 "--threads" => {
                     out.threads = take("--threads")
                         .split(',')
@@ -80,7 +85,9 @@ impl Args {
                         .collect()
                 }
                 "--help" | "-h" => {
-                    eprintln!("flags: --scale N  --threads 1,2,4  --seed N  --part a  --csv");
+                    eprintln!(
+                        "flags: --scale N  --threads 1,2,4  --seed N  --part a  --csv  --quick"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other} (try --help)"),

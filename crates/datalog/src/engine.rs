@@ -3,7 +3,8 @@
 
 use crate::ast::Program;
 use crate::eval::{
-    compile_versions, eval_plan, fill, materialize, merge_new, CtxSet, Plan, StorageEnv,
+    compile_versions, eval_plan, fill, materialize, merge_new, CtxSet, ParallelStrategy, Plan,
+    StorageEnv, WorkerStats,
 };
 use crate::storage::{pad, CountingStorage, OpCounters, RelationStorage, StorageKind};
 use crate::strat::{stratify, StratError, Stratification};
@@ -70,6 +71,16 @@ pub struct EvalStats {
     pub produced_tuples: u64,
     /// Semi-naive fixpoint iterations across all strata.
     pub iterations: u64,
+    /// Chunks claimed by workers off the shared cursor (chunk-driven
+    /// scheduling only; one per plan under materialize-then-split).
+    pub chunks_claimed: u64,
+    /// Tuples scanned by outer and inner scans across all workers.
+    pub tuples_scanned: u64,
+    /// Tuples emitted into `new` relations across all workers.
+    pub tuples_emitted: u64,
+    /// Scheduler imbalance: max over workers of tuples scanned, divided
+    /// by the mean (1.0 = perfectly balanced; meaningful with ≥2 threads).
+    pub sched_imbalance: f64,
     /// Aggregated operation-hint statistics (specialized B-tree only).
     pub hints: HintStats,
 }
@@ -112,6 +123,9 @@ pub struct Engine {
     rels: Vec<Box<dyn RelationStorage>>,
     counters: Arc<OpCounters>,
     stats: EvalStats,
+    strategy: ParallelStrategy,
+    /// Per-worker scheduler counters from the last run.
+    worker_stats: Vec<WorkerStats>,
     /// Per-rule (by rule index) evaluation counts and time.
     profile: HashMap<usize, (u64, f64)>,
 }
@@ -139,6 +153,8 @@ impl Engine {
             rels,
             counters,
             stats: EvalStats::default(),
+            strategy: ParallelStrategy::default(),
+            worker_stats: Vec::new(),
             profile: HashMap::new(),
         };
         for (name, tuple) in &engine.program.facts.clone() {
@@ -150,6 +166,23 @@ impl Engine {
     /// The storage kind backing this engine's relations.
     pub fn storage_kind(&self) -> StorageKind {
         self.kind
+    }
+
+    /// Selects how recursive-rule evaluation is parallelised (default:
+    /// [`ParallelStrategy::ChunkStealing`]).
+    pub fn set_parallel_strategy(&mut self, strategy: ParallelStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The parallel scheduling strategy in effect.
+    pub fn parallel_strategy(&self) -> ParallelStrategy {
+        self.strategy
+    }
+
+    /// Per-worker scheduler counters from the last [`run`](Self::run)
+    /// (index = worker id; empty before the first run).
+    pub fn worker_stats(&self) -> &[WorkerStats] {
+        &self.worker_stats
     }
 
     /// Adds an input fact before (or between) runs.
@@ -210,8 +243,10 @@ impl Engine {
         let size_before: usize = self.rels.iter().map(|r| r.len()).sum();
 
         // Persistent per-worker operation-hint contexts (paper §3.2:
-        // thread-local hints, kept across rules and fixpoint iterations).
+        // thread-local hints, kept across rules and fixpoint iterations)
+        // and per-worker scheduler counters.
         let mut pools: Vec<CtxSet> = (0..self.threads).map(|_| CtxSet::new()).collect();
+        let mut wstats: Vec<WorkerStats> = vec![WorkerStats::default(); self.threads];
         let mut next_plan_id = 0usize;
 
         for stratum in self.strat.strata.clone() {
@@ -268,7 +303,7 @@ impl Engine {
                 };
                 for (ri, plan) in &base_plans {
                     let t0 = std::time::Instant::now();
-                    eval_plan(plan, &env, &mut pools);
+                    eval_plan(plan, &env, &mut pools, &mut wstats, self.strategy);
                     let entry = self.profile.entry(*ri).or_insert((0, 0.0));
                     entry.0 += 1;
                     entry.1 += t0.elapsed().as_secs_f64();
@@ -302,7 +337,7 @@ impl Engine {
                     };
                     for (ri, plan) in &rec_plans {
                         let t0 = std::time::Instant::now();
-                        eval_plan(plan, &env, &mut pools);
+                        eval_plan(plan, &env, &mut pools, &mut wstats, self.strategy);
                         let entry = self.profile.entry(*ri).or_insert((0, 0.0));
                         entry.0 += 1;
                         entry.1 += t0.elapsed().as_secs_f64();
@@ -325,6 +360,23 @@ impl Engine {
         for pool in &pools {
             self.stats.hints.merge(&pool.hint_stats(&self.rels));
         }
+
+        // Aggregate scheduler counters and compute the load-imbalance
+        // figure (max/mean of tuples scanned across workers).
+        for w in &wstats {
+            self.stats.chunks_claimed += w.chunks_claimed;
+            self.stats.tuples_scanned += w.tuples_scanned;
+            self.stats.tuples_emitted += w.tuples_emitted;
+        }
+        let active = wstats.iter().filter(|w| w.chunks_claimed > 0).count();
+        self.stats.sched_imbalance = if active > 0 && self.stats.tuples_scanned > 0 {
+            let mean = self.stats.tuples_scanned as f64 / self.threads as f64;
+            let max = wstats.iter().map(|w| w.tuples_scanned).max().unwrap_or(0);
+            max as f64 / mean
+        } else {
+            1.0
+        };
+        self.worker_stats = wstats;
 
         let size_after: usize = self.rels.iter().map(|r| r.len()).sum();
         self.stats.produced_tuples += (size_after - size_before) as u64;

@@ -10,17 +10,62 @@
 //! semi-naive transformation.
 //!
 //! Parallel evaluation follows the paper's strategy: the outermost loop of
-//! each plan is partitioned across worker threads; every worker owns
-//! private storage contexts (operation hints) and inserts into the shared
-//! `new` relation through the concurrent storage API. Reads (scans over
-//! stable relations) and writes (inserts into `new`) never target the same
-//! structure — the two-phase property (§2) the B-tree's synchronization is
-//! specialized for.
+//! each plan is *chunk-driven* — the storage backend splits its own key
+//! space into many more chunks than workers
+//! ([`RelationStorage::partition`]), and workers claim chunks off a shared
+//! atomic cursor, walking each chunk directly in the tree
+//! ([`RelationStorage::scan_chunk`]) with no intermediate tuple buffer.
+//! Every worker owns private storage contexts (operation hints) and
+//! inserts into the shared `new` relation through the concurrent storage
+//! API. Reads (scans over stable relations) and writes (inserts into
+//! `new`) never target the same structure — the two-phase property (§2)
+//! the B-tree's synchronization is specialized for.
 
 use crate::ast::{CmpOp, Rule, Term, MAX_ARITY};
-use crate::storage::{RelationStorage, StorageCtx, TupleBuf};
+use crate::storage::{RelationStorage, StorageChunk, StorageCtx, TupleBuf};
 use specbtree::HintStats;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+/// Oversplit factor: each plan's outer scan is partitioned into
+/// `CHUNKS_PER_WORKER ×` the worker count so the shared cursor can smooth
+/// out skew (a worker stuck on a dense chunk simply claims fewer).
+pub const CHUNKS_PER_WORKER: usize = 8;
+
+/// How the outermost loop of each plan is distributed across workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ParallelStrategy {
+    /// Partition the storage's key space into many chunks and let workers
+    /// claim them dynamically off a shared cursor (the default).
+    #[default]
+    ChunkStealing,
+    /// The pre-chunking behavior: copy the outer scan into a `Vec` and
+    /// split it statically into one slice per worker. Kept for A/B
+    /// benchmarking (`bench-suite`'s `sched` binary).
+    MaterializeSplit,
+}
+
+/// Per-worker scheduler counters, accumulated across plans and iterations
+/// of one engine run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStats {
+    /// Outer-loop chunks this worker claimed.
+    pub chunks_claimed: u64,
+    /// Tuples the worker's scans produced (outer chunks plus inner range
+    /// scans).
+    pub tuples_scanned: u64,
+    /// Tuples the worker inserted into `new` relations.
+    pub tuples_emitted: u64,
+}
+
+impl WorkerStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.chunks_claimed += other.chunks_claimed;
+        self.tuples_scanned += other.tuples_scanned;
+        self.tuples_emitted += other.tuples_emitted;
+    }
+}
 
 /// A compiled term: a constant or a slot in the variable environment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -405,6 +450,27 @@ impl CtxSet {
             .or_insert_with(|| storage.make_ctx())
     }
 
+    /// Removes the context for a site so it can be used while the rest of
+    /// the set is borrowed elsewhere (the outer chunk scan holds its
+    /// context across deeper steps that need other contexts). Pair with
+    /// [`put_ctx`](Self::put_ctx) to preserve hint locality.
+    pub(crate) fn take_ctx(
+        &mut self,
+        storage: &dyn RelationStorage,
+        rel: usize,
+        role: u8,
+        site: usize,
+    ) -> StorageCtx {
+        self.ctxs
+            .remove(&(rel, role, site))
+            .unwrap_or_else(|| storage.make_ctx())
+    }
+
+    /// Returns a context taken with [`take_ctx`](Self::take_ctx).
+    pub(crate) fn put_ctx(&mut self, rel: usize, role: u8, site: usize, ctx: StorageCtx) {
+        self.ctxs.insert((rel, role, site), ctx);
+    }
+
     /// Sums hint statistics over all contexts. The full relations serve as
     /// the interpreter for every role — all roles share one storage kind,
     /// and reading a context's statistics only inspects the context — so
@@ -427,63 +493,161 @@ impl CtxSet {
 /// thread-local hints. Contexts created for a previous iteration's delta
 /// relation rebind automatically through the hint branding when the delta
 /// is replaced.
-pub(crate) fn eval_plan(plan: &Plan, env: &StorageEnv<'_>, pools: &mut [CtxSet]) {
-    // Materialize the outermost loop, then partition it across workers.
-    let outer: Vec<TupleBuf> = match plan.steps.first() {
-        Some(Step::Scan {
-            rel, delta, prefix, ..
-        }) => {
-            debug_assert!(
-                prefix.iter().all(|s| matches!(s, Slot::Const(_))),
-                "outermost prefix can only contain constants"
-            );
-            let consts: Vec<u64> = prefix.iter().map(|s| s.value(&[])).collect();
-            let storage = env.source(*rel, *delta);
-            let mut ctx = storage.make_ctx();
-            let mut out = Vec::new();
-            storage.scan_prefix(&consts, &mut ctx, &mut |t| out.push(*t));
-            out
-        }
-        _ => Vec::new(),
-    };
-
+pub(crate) fn eval_plan(
+    plan: &Plan,
+    env: &StorageEnv<'_>,
+    pools: &mut [CtxSet],
+    stats: &mut [WorkerStats],
+    strategy: ParallelStrategy,
+) {
+    debug_assert_eq!(pools.len(), stats.len());
     if plan.steps.is_empty() || !matches!(plan.steps.first(), Some(Step::Scan { .. })) {
         // Degenerate plan (starts with a check): evaluate sequentially.
         let mut evaluator = Evaluator {
             plan,
             env,
             ctxs: &mut pools[0],
+            stats: &mut stats[0],
         };
         let mut vars = vec![0u64; plan.nvars];
         evaluator.run_from(0, &mut vars);
         return;
     }
+    let Some(Step::Scan {
+        rel, delta, prefix, ..
+    }) = plan.steps.first()
+    else {
+        unreachable!("scan-headed checked above")
+    };
+    debug_assert!(
+        prefix.iter().all(|s| matches!(s, Slot::Const(_))),
+        "outermost prefix can only contain constants"
+    );
+    let consts: Vec<u64> = prefix.iter().map(|s| s.value(&[])).collect();
+    let (rel, delta) = (*rel, *delta);
+    let storage = env.source(rel, delta);
 
-    if outer.is_empty() {
-        return;
-    }
-
-    let threads = pools.len().max(1).min(outer.len());
-    let chunk_size = outer.len().div_ceil(threads);
-    let chunks: Vec<&[TupleBuf]> = outer.chunks(chunk_size).collect();
-
-    std::thread::scope(|s| {
-        for (chunk, ctxs) in chunks.into_iter().zip(pools.iter_mut()) {
-            s.spawn(move || {
-                let mut evaluator = Evaluator { plan, env, ctxs };
-                let mut vars = vec![0u64; plan.nvars];
-                for t in chunk {
-                    evaluator.seed_and_run(t, &mut vars);
+    match strategy {
+        ParallelStrategy::ChunkStealing => {
+            let workers = pools.len().max(1);
+            let chunks = storage.partition(workers * CHUNKS_PER_WORKER, &consts);
+            if chunks.is_empty() {
+                return;
+            }
+            let cursor = AtomicUsize::new(0);
+            if workers == 1 || chunks.len() == 1 {
+                // Nothing to distribute: run inline, skipping the spawn
+                // cost (it recurs once per plan per fixpoint iteration).
+                run_worker(
+                    plan,
+                    env,
+                    storage,
+                    rel,
+                    delta,
+                    &chunks,
+                    &cursor,
+                    &mut pools[0],
+                    &mut stats[0],
+                );
+                return;
+            }
+            // Never spawn more workers than there are chunks to claim —
+            // surplus workers would only pay the spawn cost and exit.
+            let active = workers.min(chunks.len());
+            std::thread::scope(|s| {
+                for (ctxs, wstats) in pools.iter_mut().zip(stats.iter_mut()).take(active) {
+                    let (cursor, chunks) = (&cursor, &chunks);
+                    s.spawn(move || {
+                        run_worker(plan, env, storage, rel, delta, chunks, cursor, ctxs, wstats);
+                    });
                 }
             });
         }
-    });
+        ParallelStrategy::MaterializeSplit => {
+            // Pre-chunking scheduler: copy the whole outer scan, then hand
+            // each worker one static slice.
+            let mut ctx = storage.make_ctx();
+            let mut outer: Vec<TupleBuf> = Vec::new();
+            storage.scan_prefix(&consts, &mut ctx, &mut |t| outer.push(*t));
+            if outer.is_empty() {
+                return;
+            }
+            let threads = pools.len().max(1).min(outer.len());
+            let chunk_size = outer.len().div_ceil(threads);
+            let chunks: Vec<&[TupleBuf]> = outer.chunks(chunk_size).collect();
+
+            std::thread::scope(|s| {
+                for ((chunk, ctxs), wstats) in chunks
+                    .into_iter()
+                    .zip(pools.iter_mut())
+                    .zip(stats.iter_mut())
+                {
+                    s.spawn(move || {
+                        let mut evaluator = Evaluator {
+                            plan,
+                            env,
+                            ctxs,
+                            stats: wstats,
+                        };
+                        evaluator.stats.chunks_claimed += 1;
+                        evaluator.stats.tuples_scanned += chunk.len() as u64;
+                        let mut vars = vec![0u64; plan.nvars];
+                        for t in chunk {
+                            evaluator.seed_and_run(t, &mut vars);
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// One worker's claim loop: grab the next unclaimed chunk off the shared
+/// cursor, stream it straight out of the storage, repeat until none left.
+/// The outer scan's context is taken out of the `CtxSet` for the whole
+/// loop (deeper steps borrow the set for their own contexts) and restored
+/// afterwards so its hints stay warm across plans and iterations.
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    plan: &Plan,
+    env: &StorageEnv<'_>,
+    storage: &dyn RelationStorage,
+    rel: usize,
+    delta: bool,
+    chunks: &[StorageChunk],
+    cursor: &AtomicUsize,
+    ctxs: &mut CtxSet,
+    stats: &mut WorkerStats,
+) {
+    let role = u8::from(delta);
+    let outer_site = plan.id << 8; // step index 0
+    let mut outer_ctx = ctxs.take_ctx(storage, rel, role, outer_site);
+    let mut evaluator = Evaluator {
+        plan,
+        env,
+        ctxs,
+        stats,
+    };
+    let mut vars = vec![0u64; plan.nvars];
+    loop {
+        let i = cursor.fetch_add(1, Relaxed);
+        if i >= chunks.len() {
+            break;
+        }
+        evaluator.stats.chunks_claimed += 1;
+        storage.scan_chunk(&chunks[i], &mut outer_ctx, &mut |t| {
+            evaluator.stats.tuples_scanned += 1;
+            evaluator.seed_and_run(t, &mut vars);
+        });
+    }
+    evaluator.ctxs.put_ctx(rel, role, outer_site, outer_ctx);
 }
 
 struct Evaluator<'p, 'e, 'c> {
     plan: &'p Plan,
     env: &'e StorageEnv<'e>,
     ctxs: &'c mut CtxSet,
+    stats: &'c mut WorkerStats,
 }
 
 impl Evaluator<'_, '_, '_> {
@@ -558,6 +722,7 @@ impl Evaluator<'_, '_, '_> {
                         matches.push(*t);
                     });
                 }
+                self.stats.tuples_scanned += matches.len() as u64;
                 'tuples: for t in &matches {
                     // Binds before checks (see `seed_and_run`).
                     for (col, var) in binds {
@@ -590,7 +755,9 @@ impl Evaluator<'_, '_, '_> {
         if !known {
             let new = self.env.new[&self.plan.head_rel].as_ref();
             let ctx = self.ctxs.ctx(new, self.plan.head_rel, 2, site);
-            new.insert(&t, ctx);
+            if new.insert(&t, ctx) {
+                self.stats.tuples_emitted += 1;
+            }
         }
     }
 }

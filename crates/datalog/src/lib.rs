@@ -10,8 +10,10 @@
 //!
 //! Pipeline: [`parse`] (or the [`ast::build`] API) → [`stratify`]
 //! (dependency analysis, SCC condensation, safety checks) → [`Engine::run`]
-//! (per-stratum semi-naive fixpoint with compiled nested-loop-join plans,
-//! the outermost loop partitioned across worker threads).
+//! (per-stratum semi-naive fixpoint with compiled nested-loop-join plans;
+//! the outer relation is partitioned into range chunks that worker threads
+//! claim dynamically off a shared cursor — no materialized copy on the
+//! B-tree path).
 //!
 //! The dialect supports stratified negation (`!atom`), comparison
 //! constraints (`X < Y`, `A != "b"`), interned string symbols
@@ -49,6 +51,7 @@ mod strat;
 
 pub use ast::{Program, MAX_ARITY};
 pub use engine::{Engine, EngineError, EvalStats, RuleProfile};
+pub use eval::{ParallelStrategy, WorkerStats, CHUNKS_PER_WORKER};
 pub use io::IoError;
 pub use parser::{parse, ParseError};
 pub use storage::StorageKind;

@@ -36,6 +36,36 @@ pub fn pad(t: &[u64]) -> TupleBuf {
 /// for everything else).
 pub type StorageCtx = Box<dyn Any + Send>;
 
+/// One unit of parallel scan work handed out by
+/// [`RelationStorage::partition`] and consumed by
+/// [`RelationStorage::scan_chunk`].
+#[derive(Clone, Debug)]
+pub enum StorageChunk {
+    /// A half-open tuple interval `[lower, upper)` walked directly in an
+    /// ordered backend (`None` bounds are unbounded). Produced natively by
+    /// the specialized B-tree from its separator keys — no tuples are
+    /// copied to build it.
+    Range {
+        /// Inclusive lower bound.
+        lower: Option<TupleBuf>,
+        /// Exclusive upper bound.
+        upper: Option<TupleBuf>,
+    },
+    /// Fallback for backends without ordered range cursors: an index slice
+    /// of a snapshot materialized once per `partition` call. The snapshot
+    /// is shared (`Arc`), so workers scan it without re-entering the
+    /// backend — important for globally locked backends whose callbacks
+    /// would otherwise run under the lock.
+    Materialized {
+        /// The snapshot shared by all chunks of one `partition` call.
+        tuples: Arc<Vec<TupleBuf>>,
+        /// First index of this chunk's slice.
+        start: usize,
+        /// One past the last index of this chunk's slice.
+        end: usize,
+    },
+}
+
 /// Thread-safe tuple storage for one relation.
 pub trait RelationStorage: Send + Sync {
     /// Creates a fresh per-thread context.
@@ -52,6 +82,60 @@ pub trait RelationStorage: Send + Sync {
     /// Calls `f` for every tuple whose leading words equal `prefix`.
     /// Quiescent phases only (the two-phase Datalog contract).
     fn scan_prefix(&self, prefix: &[u64], ctx: &mut StorageCtx, f: &mut dyn FnMut(&TupleBuf));
+
+    /// Splits the tuples matching `prefix` into at most `n` chunks for
+    /// parallel scanning via [`scan_chunk`](Self::scan_chunk). Returns an
+    /// empty vector when nothing matches. Quiescent phases only.
+    ///
+    /// Ordered backends split the key space itself (no tuples copied);
+    /// this default materializes the prefix scan once into a shared
+    /// snapshot and slices it — the pre-refactor behavior, kept for
+    /// backends without ordered cursors.
+    fn partition(&self, n: usize, prefix: &[u64]) -> Vec<StorageChunk> {
+        let mut all = Vec::new();
+        let mut ctx = self.make_ctx();
+        self.scan_prefix(prefix, &mut ctx, &mut |t| all.push(*t));
+        if all.is_empty() {
+            return Vec::new();
+        }
+        let n = n.clamp(1, all.len());
+        let tuples = Arc::new(all);
+        let per = tuples.len().div_ceil(n);
+        (0..n)
+            .map(|i| StorageChunk::Materialized {
+                tuples: Arc::clone(&tuples),
+                start: i * per,
+                end: ((i + 1) * per).min(tuples.len()),
+            })
+            .filter(|c| matches!(c, StorageChunk::Materialized { start, end, .. } if start < end))
+            .collect()
+    }
+
+    /// Calls `f` for every tuple in `chunk`, in backend order. Quiescent
+    /// phases only. `ctx` keeps per-thread state (B-tree hints) warm
+    /// across the many chunks one worker claims.
+    fn scan_chunk(
+        &self,
+        chunk: &StorageChunk,
+        _ctx: &mut StorageCtx,
+        f: &mut dyn FnMut(&TupleBuf),
+    ) {
+        match chunk {
+            StorageChunk::Materialized { tuples, start, end } => {
+                for t in &tuples[*start..*end] {
+                    f(t);
+                }
+            }
+            // Generic backends never produce `Range` chunks, but honor one
+            // robustly: full scan filtered to the interval.
+            StorageChunk::Range { lower, upper } => self.for_each(&mut |t| {
+                if lower.as_ref().is_none_or(|lo| t >= lo) && upper.as_ref().is_none_or(|hi| t < hi)
+                {
+                    f(t);
+                }
+            }),
+        }
+    }
 
     /// Calls `f` for every stored tuple. Quiescent phases only.
     fn for_each(&self, f: &mut dyn FnMut(&TupleBuf));
@@ -217,6 +301,57 @@ impl RelationStorage for SpecBTreeStorage {
                 }
                 f(&t);
             }
+        }
+    }
+
+    fn partition(&self, n: usize, prefix: &[u64]) -> Vec<StorageChunk> {
+        if self.tree.is_empty() {
+            return Vec::new();
+        }
+        let chunks = if prefix.is_empty() {
+            self.tree.partition(n)
+        } else {
+            let lo = pad(prefix);
+            let hi = prefix_upper(prefix);
+            self.tree.partition_range(n, Some(&lo), hi.as_ref())
+        };
+        chunks
+            .into_iter()
+            .map(|c| StorageChunk::Range {
+                lower: c.lower,
+                upper: c.upper,
+            })
+            .collect()
+    }
+
+    fn scan_chunk(&self, chunk: &StorageChunk, ctx: &mut StorageCtx, f: &mut dyn FnMut(&TupleBuf)) {
+        let StorageChunk::Range { lower, upper } = chunk else {
+            // Snapshot chunks carry their own tuples; no tree access needed.
+            if let StorageChunk::Materialized { tuples, start, end } = chunk {
+                for t in &tuples[*start..*end] {
+                    f(t);
+                }
+            }
+            return;
+        };
+        let it = match (lower, self.hints) {
+            (Some(lo), true) => {
+                let hints: &mut BTreeHints<MAX_ARITY> = ctx.downcast_mut().expect("spec btree ctx");
+                self.tree.lower_bound_hinted(lo, hints)
+            }
+            (Some(lo), false) => self.tree.lower_bound(lo),
+            (None, _) => self.tree.iter(),
+        };
+        // No upper_bound probe here: chunk boundaries come from
+        // `partition`'s separators, not from a synthesized range query, so
+        // probing would distort the Table 2 operation counts.
+        for t in it {
+            if let Some(hi) = upper {
+                if specbtree::cmp3(&t, hi) != std::cmp::Ordering::Less {
+                    break;
+                }
+            }
+            f(&t);
         }
     }
 
@@ -472,6 +607,21 @@ impl RelationStorage for CountingStorage {
         self.inner.scan_prefix(prefix, ctx, f)
     }
 
+    fn partition(&self, n: usize, prefix: &[u64]) -> Vec<StorageChunk> {
+        // `partition` itself reads only separator keys (or materializes a
+        // snapshot); the bound queries are counted when chunks are scanned.
+        self.inner.partition(n, prefix)
+    }
+
+    fn scan_chunk(&self, chunk: &StorageChunk, ctx: &mut StorageCtx, f: &mut dyn FnMut(&TupleBuf)) {
+        // Each ordered chunk scan starts with one lower_bound descent
+        // (hinted or not); snapshot chunks touch no index structure.
+        if matches!(chunk, StorageChunk::Range { .. }) {
+            self.counters.lower_bound.fetch_add(1, Relaxed);
+        }
+        self.inner.scan_chunk(chunk, ctx, f)
+    }
+
     fn for_each(&self, f: &mut dyn FnMut(&TupleBuf)) {
         self.inner.for_each(f)
     }
@@ -559,6 +709,89 @@ mod tests {
             .create()
             .hint_stats(&StorageKind::RbTreeLocked.create().make_ctx())
             .is_none());
+    }
+
+    fn chunk_scan_matches_prefix_scan(kind: StorageKind, prefix: &[u64]) {
+        let s = kind.create();
+        let mut ctx = s.make_ctx();
+        for a in 0..8u64 {
+            for b in 0..100u64 {
+                s.insert(&pad(&[a, b]), &mut ctx);
+            }
+        }
+        let mut want = Vec::new();
+        s.scan_prefix(prefix, &mut ctx, &mut |t| want.push(*t));
+        want.sort_unstable();
+        for n in [1usize, 3, 8, 64] {
+            let chunks = s.partition(n, prefix);
+            let mut got = Vec::new();
+            for c in &chunks {
+                s.scan_chunk(c, &mut ctx, &mut |t| got.push(*t));
+            }
+            got.sort_unstable();
+            assert_eq!(got, want, "{} n={n} prefix={prefix:?}", kind.label());
+        }
+    }
+
+    #[test]
+    fn partition_scan_equals_prefix_scan_on_all_backends() {
+        for kind in StorageKind::ALL {
+            chunk_scan_matches_prefix_scan(kind, &[]);
+            chunk_scan_matches_prefix_scan(kind, &[3]);
+            chunk_scan_matches_prefix_scan(kind, &[9]); // matches nothing
+        }
+    }
+
+    #[test]
+    fn spec_btree_partition_emits_range_chunks() {
+        let s = StorageKind::SpecBTree.create();
+        let mut ctx = s.make_ctx();
+        for i in 0..5_000u64 {
+            s.insert(&pad(&[i / 100, i % 100]), &mut ctx);
+        }
+        let chunks = s.partition(8, &[]);
+        assert!(chunks.len() > 1, "a deep tree should split");
+        assert!(chunks
+            .iter()
+            .all(|c| matches!(c, StorageChunk::Range { .. })));
+        // Empty relations partition to no chunks at all.
+        assert!(StorageKind::SpecBTree.create().partition(8, &[]).is_empty());
+    }
+
+    #[test]
+    fn fallback_partition_materializes_once_and_slices() {
+        let s = StorageKind::HashSetLocked.create();
+        let mut ctx = s.make_ctx();
+        for i in 0..100u64 {
+            s.insert(&pad(&[i]), &mut ctx);
+        }
+        let chunks = s.partition(4, &[]);
+        assert!(!chunks.is_empty());
+        let total: usize = chunks
+            .iter()
+            .map(|c| match c {
+                StorageChunk::Materialized { start, end, .. } => end - start,
+                StorageChunk::Range { .. } => panic!("hash backend cannot emit ranges"),
+            })
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn counting_storage_counts_chunk_scans() {
+        let counters = Arc::new(OpCounters::default());
+        let s = CountingStorage::new(StorageKind::SpecBTree.create(), Arc::clone(&counters));
+        let mut ctx = s.make_ctx();
+        for i in 0..3_000u64 {
+            s.insert(&pad(&[i]), &mut ctx);
+        }
+        let before = counters.snapshot().2;
+        let chunks = s.partition(4, &[]);
+        for c in &chunks {
+            s.scan_chunk(c, &mut ctx, &mut |_| {});
+        }
+        let after = counters.snapshot().2;
+        assert_eq!(after - before, chunks.len() as u64);
     }
 
     #[test]

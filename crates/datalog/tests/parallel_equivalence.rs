@@ -1,0 +1,137 @@
+//! Differential test for the chunk-driven parallel scheduler: on every
+//! storage backend and at several thread counts, work-stealing evaluation
+//! must produce byte-identical relation contents to sequential evaluation
+//! (and to an independent reference closure computed over std sets).
+
+use datalog::{parse, Engine, ParallelStrategy, StorageKind};
+use workloads::graphs;
+
+const TC_PROGRAM: &str = r#"
+    .decl edge(x: number, y: number)
+    .decl path(x: number, y: number)
+    .output path
+    path(x, y) :- edge(x, y).
+    path(x, z) :- path(x, y), edge(y, z).
+"#;
+
+/// Thread counts to exercise. `DATALOG_TEST_THREADS` (used by the CI smoke
+/// matrix) appends an extra count.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4, 8];
+    if let Ok(extra) = std::env::var("DATALOG_TEST_THREADS") {
+        if let Ok(n) = extra.trim().parse::<usize>() {
+            if !counts.contains(&n) {
+                counts.push(n);
+            }
+        }
+    }
+    counts
+}
+
+fn run_tc(
+    edges: &[(u64, u64)],
+    kind: StorageKind,
+    threads: usize,
+    strategy: ParallelStrategy,
+) -> Vec<Vec<u64>> {
+    let program = parse(TC_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, kind, threads).unwrap();
+    engine.set_parallel_strategy(strategy);
+    engine
+        .add_facts("edge", edges.iter().map(|&(a, b)| vec![a, b]))
+        .unwrap();
+    engine.run().unwrap();
+    engine.relation("path").unwrap()
+}
+
+fn check_workload(name: &str, edges: Vec<(u64, u64)>) {
+    // Independent reference: semi-naive closure over std sets.
+    let expect: Vec<Vec<u64>> = graphs::reference_tc(&edges)
+        .into_iter()
+        .map(|(a, b)| vec![a, b])
+        .collect();
+
+    for kind in StorageKind::ALL {
+        // Sequential baseline on this backend (legacy scheduler, 1 thread).
+        let sequential = run_tc(&edges, kind, 1, ParallelStrategy::MaterializeSplit);
+        assert_eq!(
+            sequential, expect,
+            "{name}: sequential {kind:?} disagrees with reference closure"
+        );
+
+        for threads in thread_counts() {
+            let chunked = run_tc(&edges, kind, threads, ParallelStrategy::ChunkStealing);
+            assert_eq!(
+                chunked, sequential,
+                "{name}: chunk-driven {kind:?} at {threads} threads diverges from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn chain_closure_is_schedule_independent() {
+    check_workload("chain(30)", graphs::chain(30));
+}
+
+#[test]
+fn grid_closure_is_schedule_independent() {
+    check_workload("grid(6)", graphs::grid(6));
+}
+
+#[test]
+fn random_graph_closure_is_schedule_independent() {
+    check_workload("random_graph(48,2,7)", graphs::random_graph(48, 2, 7));
+}
+
+#[test]
+fn layered_dag_closure_is_schedule_independent() {
+    check_workload("layered_dag(5,8,2,3)", graphs::layered_dag(5, 8, 2, 3));
+}
+
+/// The legacy materialize-then-split scheduler must also stay correct at
+/// every thread count (it remains selectable as the benchmark baseline).
+#[test]
+fn materialize_split_matches_at_all_thread_counts() {
+    let edges = graphs::random_graph(40, 2, 11);
+    let expect: Vec<Vec<u64>> = graphs::reference_tc(&edges)
+        .into_iter()
+        .map(|(a, b)| vec![a, b])
+        .collect();
+    for kind in [StorageKind::SpecBTree, StorageKind::HashSetLocked] {
+        for threads in thread_counts() {
+            let got = run_tc(&edges, kind, threads, ParallelStrategy::MaterializeSplit);
+            assert_eq!(
+                got, expect,
+                "materialize-split {kind:?} at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Scheduler observability: a multi-threaded chunk-driven run reports
+/// claimed chunks, scanned/emitted tuples, and a finite imbalance figure.
+#[test]
+fn worker_stats_are_populated() {
+    let edges = graphs::grid(6);
+    let program = parse(TC_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 4).unwrap();
+    engine.set_parallel_strategy(ParallelStrategy::ChunkStealing);
+    engine
+        .add_facts("edge", edges.iter().map(|&(a, b)| vec![a, b]))
+        .unwrap();
+    engine.run().unwrap();
+
+    let stats = engine.stats();
+    assert!(stats.chunks_claimed > 0, "no chunks claimed");
+    assert!(stats.tuples_scanned > 0, "no tuples scanned");
+    assert!(stats.tuples_emitted > 0, "no tuples emitted");
+    assert!(
+        stats.sched_imbalance.is_finite() && stats.sched_imbalance >= 1.0,
+        "imbalance should be a finite max/mean ratio, got {}",
+        stats.sched_imbalance
+    );
+    assert_eq!(engine.worker_stats().len(), 4);
+    let total: u64 = engine.worker_stats().iter().map(|w| w.chunks_claimed).sum();
+    assert_eq!(total, stats.chunks_claimed);
+}

@@ -324,11 +324,31 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
     /// equal size for parallel scans — the analog of the chunk interface
     /// the C++ implementation exposes to OpenMP. Quiescent phases only.
     ///
-    /// Always returns at least one chunk (the full range).
+    /// Always returns at least one chunk (the full range). Trees of depth
+    /// 0 or 1 yield a single chunk: a couple of leaves is cheaper to scan
+    /// sequentially than to coordinate over, and shallow trees have too
+    /// few separators to balance.
     pub fn partition(&self, n: usize) -> Vec<RangeChunk<K>> {
+        self.partition_range(n, None, None)
+    }
+
+    /// [`partition`](Self::partition) restricted to the half-open tuple
+    /// interval `[lower, upper)` — the shape a prefix-bound Datalog scan
+    /// needs (bind the leading columns, split the rest across workers).
+    ///
+    /// Every returned chunk lies within the requested bounds, the chunks
+    /// tile the interval exactly, and chunk boundaries are strictly
+    /// increasing (repeated separator keys are deduplicated, so no chunk
+    /// is the empty interval). Quiescent phases only.
+    pub fn partition_range(
+        &self,
+        n: usize,
+        lower: Option<&Tuple<K>>,
+        upper: Option<&Tuple<K>>,
+    ) -> Vec<RangeChunk<K>> {
         let full = vec![RangeChunk {
-            lower: None,
-            upper: None,
+            lower: lower.copied(),
+            upper: upper.copied(),
         }];
         if n <= 1 {
             return full;
@@ -337,9 +357,32 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         if root.is_null() {
             return full;
         }
+        {
+            // Depth 0 (root leaf) or depth 1 (root over leaves): one chunk.
+            // SAFETY: the root pointer references a live tree node.
+            let r = unsafe { &*root };
+            if !r.is_inner() {
+                return full;
+            }
+            // SAFETY: kind checked above.
+            let c0 = unsafe { r.as_inner() }.child(0);
+            // SAFETY: non-null children of live inner nodes are live.
+            if c0.is_null() || !unsafe { &*c0 }.is_inner() {
+                return full;
+            }
+        }
+
+        // A separator is usable only strictly inside (lower, upper): a
+        // separator equal to a bound would produce an empty edge chunk.
+        let in_range = |t: &Tuple<K>| {
+            lower.is_none_or(|lo| cmp3(t, lo) == Ordering::Greater)
+                && upper.is_none_or(|hi| cmp3(t, hi) == Ordering::Less)
+        };
 
         // Gather separator keys level by level until we have enough.
-        // Keys of all nodes at one level, scanned left-to-right, are sorted.
+        // Keys of all nodes at one level, scanned left-to-right, are
+        // sorted; subtrees entirely outside the bounds are pruned so a
+        // narrow prefix partition never walks the whole level.
         let mut level: Vec<NodePtr<K, C>> = vec![root];
         let mut seps: Vec<Tuple<K>> = Vec::new();
         loop {
@@ -349,7 +392,10 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 let node = unsafe { &*p };
                 let num = node.num_clamped();
                 for i in 0..num {
-                    seps.push(node.key(i));
+                    let k = node.key(i);
+                    if in_range(&k) {
+                        seps.push(k);
+                    }
                 }
             }
             if seps.len() >= n - 1 {
@@ -364,11 +410,29 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             for &p in &level {
                 let node = unsafe { &*p };
                 let inner = unsafe { node.as_inner() };
-                for i in 0..=node.num_clamped() {
+                let num = node.num_clamped();
+                for i in 0..=num {
                     let c = inner.child(i);
-                    if !c.is_null() {
-                        next.push(c);
+                    if c.is_null() {
+                        continue;
                     }
+                    // Child i subtends keys in (key(i-1), key(i)); skip
+                    // subtrees that cannot intersect [lower, upper).
+                    if i > 0 {
+                        if let Some(hi) = upper {
+                            if cmp3(&node.key(i - 1), hi) != Ordering::Less {
+                                continue;
+                            }
+                        }
+                    }
+                    if i < num {
+                        if let Some(lo) = lower {
+                            if cmp3(&node.key(i), lo) != Ordering::Greater {
+                                continue;
+                            }
+                        }
+                    }
+                    next.push(c);
                 }
             }
             if next.is_empty() {
@@ -380,25 +444,165 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             return full;
         }
 
-        // Pick at most n-1 evenly spaced separators.
-        let want = (n - 1).min(seps.len());
+        // Pick at most n-1 evenly spaced separators. The smallest in-range
+        // key is excluded from candidacy: it guarantees the first chunk
+        // `[lower, chosen[0])` contains it, and since every separator is
+        // itself an in-range element, every later chunk `[s, next)`
+        // contains `s` — no chunk is ever empty. `dedup` guards against a
+        // repeated pick.
+        let candidates = &seps[1..];
+        if candidates.is_empty() {
+            return full;
+        }
+        let want = (n - 1).min(candidates.len());
         let mut chosen = Vec::with_capacity(want);
         for i in 1..=want {
-            let idx = i * seps.len() / (want + 1);
-            chosen.push(seps[idx.min(seps.len() - 1)]);
+            let idx = i * candidates.len() / (want + 1);
+            chosen.push(candidates[idx.min(candidates.len() - 1)]);
         }
         chosen.dedup();
 
         let mut chunks = Vec::with_capacity(chosen.len() + 1);
-        let mut lower: Option<Tuple<K>> = None;
+        let mut lo = lower.copied();
         for s in chosen {
             chunks.push(RangeChunk {
-                lower,
+                lower: lo,
                 upper: Some(s),
             });
-            lower = Some(s);
+            lo = Some(s);
         }
-        chunks.push(RangeChunk { lower, upper: None });
+        chunks.push(RangeChunk {
+            lower: lo,
+            upper: upper.copied(),
+        });
         chunks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RangeChunk;
+    use crate::tree::BTreeSet;
+
+    /// A tree with small node capacity so modest key counts produce depth.
+    type SmallTree = BTreeSet<1, 4>;
+
+    fn tree_with(n: u64) -> SmallTree {
+        let t = SmallTree::new();
+        for i in 0..n {
+            t.insert([i]);
+        }
+        t
+    }
+
+    fn collect(t: &SmallTree, chunks: &[RangeChunk<1>]) -> Vec<[u64; 1]> {
+        let mut all = Vec::new();
+        for c in chunks {
+            all.extend(t.chunk_range(c));
+        }
+        all
+    }
+
+    #[test]
+    fn empty_and_depth0_and_depth1_trees_yield_one_chunk() {
+        // Empty tree.
+        let t = SmallTree::new();
+        assert_eq!(t.partition(8).len(), 1);
+        // Depth 0: a single root leaf (capacity 4).
+        let t = tree_with(3);
+        assert_eq!(t.partition(8).len(), 1);
+        // Depth 1: root over leaves (> capacity forces one split).
+        let t = tree_with(10);
+        assert_eq!(t.partition(8).len(), 1);
+        assert_eq!(collect(&t, &t.partition(8)).len(), 10);
+    }
+
+    #[test]
+    fn oversized_n_never_yields_empty_chunks() {
+        let t = tree_with(200);
+        // Ask for far more chunks than there are separators.
+        for n in [2usize, 7, 64, 1000] {
+            let chunks = t.partition(n);
+            assert!(chunks.len() <= n);
+            for c in &chunks {
+                assert!(
+                    t.chunk_range(c).next().is_some(),
+                    "empty chunk {c:?} for n={n}"
+                );
+                if let (Some(lo), Some(hi)) = (&c.lower, &c.upper) {
+                    assert!(lo < hi, "inverted chunk {c:?}");
+                }
+            }
+            let got = collect(&t, &chunks);
+            assert_eq!(got, (0..200).map(|i| [i]).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn partition_range_tiles_the_bounds_exactly() {
+        let t = tree_with(500);
+        let lo = [120u64];
+        let hi = [380u64];
+        for n in [1usize, 2, 5, 16] {
+            let chunks = t.partition_range(n, Some(&lo), Some(&hi));
+            assert_eq!(chunks.first().unwrap().lower, Some(lo));
+            assert_eq!(chunks.last().unwrap().upper, Some(hi));
+            // Adjacent chunks share boundaries and stay inside [lo, hi).
+            for w in chunks.windows(2) {
+                assert_eq!(w[0].upper, w[1].lower);
+                let s = w[0].upper.unwrap();
+                assert!(s > lo && s < hi, "separator {s:?} outside bounds");
+            }
+            let got = collect(&t, &chunks);
+            assert_eq!(got, (120..380).map(|i| [i]).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn partition_range_with_open_ends() {
+        let t = tree_with(300);
+        let lo = [250u64];
+        let chunks = t.partition_range(8, Some(&lo), None);
+        assert_eq!(
+            collect(&t, &chunks),
+            (250..300).map(|i| [i]).collect::<Vec<_>>()
+        );
+        let hi = [40u64];
+        let chunks = t.partition_range(8, None, Some(&hi));
+        assert_eq!(
+            collect(&t, &chunks),
+            (0..40).map(|i| [i]).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn partition_range_on_empty_interval_is_harmless() {
+        let t = tree_with(100);
+        // Bounds beyond the data: chunks must exist but scan nothing.
+        let lo = [600u64];
+        let hi = [700u64];
+        let chunks = t.partition_range(4, Some(&lo), Some(&hi));
+        assert!(!chunks.is_empty());
+        assert!(collect(&t, &chunks).is_empty());
+    }
+
+    #[test]
+    fn multi_column_prefix_partition_splits_within_prefix() {
+        // Two-column tuples: prefix-bound scans fix column 0.
+        let t: BTreeSet<2, 4> = BTreeSet::new();
+        for a in 0..4u64 {
+            for b in 0..64u64 {
+                t.insert([a, b]);
+            }
+        }
+        let lo = [2u64, 0];
+        let hi = [3u64, 0];
+        let chunks = t.partition_range(4, Some(&lo), Some(&hi));
+        assert!(chunks.len() > 1, "a 64-tuple prefix should split");
+        let mut all = Vec::new();
+        for c in &chunks {
+            all.extend(t.chunk_range(c));
+        }
+        assert_eq!(all, (0..64).map(|b| [2, b]).collect::<Vec<_>>());
     }
 }

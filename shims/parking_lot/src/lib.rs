@@ -1,0 +1,458 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build container has no registry access, so the workspace wires this
+//! local shim in via a path dependency (see the root `Cargo.toml`). It
+//! exposes the subset of the parking_lot API the workspace uses — `Mutex`
+//! (guards returned infallibly), `Condvar` (`wait`/`wait_for` on a
+//! `MutexGuard`), and `RwLock` including the `arc_lock` owned guards
+//! (`RwLock::read_arc` / `RwLock::write_arc` and the
+//! `lock_api::ArcRwLock*Guard` types) — implemented over `std::sync`
+//! primitives. Contention behavior differs from the real crate (these are
+//! correctness shims, not fairness-tuned locks), which is acceptable for
+//! the baseline comparisons that use them.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Mutex + Condvar
+// ---------------------------------------------------------------------------
+
+/// A mutual-exclusion lock whose `lock` never returns a poison error.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+///
+/// Wraps the std guard in an `Option` so [`Condvar::wait`] can temporarily
+/// take ownership (std's condvar consumes and returns the guard).
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Panics in the
+    /// protected region do not poison the lock (parking_lot semantics).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let g = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { inner: Some(g) }
+    }
+
+    /// Tries to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// Result of [`Condvar::wait_for`]; mirrors parking_lot's type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`] in place
+/// (parking_lot-style `wait(&mut guard)` instead of std's by-value wait).
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's lock and blocks until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard present outside wait");
+        let g = match self.inner.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(g);
+    }
+
+    /// [`wait`](Self::wait) with a timeout.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present outside wait");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, res)) => (g, res),
+            Err(p) => {
+                let (g, res) = p.into_inner();
+                (g, res)
+            }
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all blocked waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock (with arc_lock owned guards)
+// ---------------------------------------------------------------------------
+
+/// The raw reader–writer lock state behind [`RwLock`], named so call sites
+/// can spell guard types as `lock_api::ArcRwLockWriteGuard<RawRwLock, T>`.
+///
+/// State: `-1` = one writer, `0` = free, `n > 0` = `n` readers.
+pub struct RawRwLock {
+    state: std::sync::Mutex<isize>,
+    cond: std::sync::Condvar,
+}
+
+impl RawRwLock {
+    fn lock_shared(&self) {
+        let mut s = self.state.lock().expect("rwlock state");
+        while *s < 0 {
+            s = self.cond.wait(s).expect("rwlock state");
+        }
+        *s += 1;
+    }
+
+    fn unlock_shared(&self) {
+        let mut s = self.state.lock().expect("rwlock state");
+        *s -= 1;
+        if *s == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    fn lock_exclusive(&self) {
+        let mut s = self.state.lock().expect("rwlock state");
+        while *s != 0 {
+            s = self.cond.wait(s).expect("rwlock state");
+        }
+        *s = -1;
+    }
+
+    fn unlock_exclusive(&self) {
+        let mut s = self.state.lock().expect("rwlock state");
+        *s = 0;
+        self.cond.notify_all();
+    }
+}
+
+/// A reader–writer lock with infallible `read`/`write` and owned
+/// (`Arc`-holding) guard constructors.
+pub struct RwLock<T: ?Sized> {
+    raw: RawRwLock,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the raw lock serializes access to `data` exactly like
+// std::sync::RwLock; the bounds mirror std's.
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+// SAFETY: readers share `&T` (needs Sync) and writers move `&mut T`
+// across threads (needs Send), same as std::sync::RwLock.
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Creates a lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            raw: RawRwLock {
+                state: std::sync::Mutex::new(0),
+                cond: std::sync::Condvar::new(),
+            },
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.raw.lock_shared();
+        RwLockReadGuard { lock: self }
+    }
+
+    /// Acquires exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.raw.lock_exclusive();
+        RwLockWriteGuard { lock: self }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    /// Shared access through an owned guard keeping the `Arc` alive
+    /// (parking_lot's `arc_lock` feature).
+    pub fn read_arc(this: &Arc<Self>) -> lock_api::ArcRwLockReadGuard<RawRwLock, T>
+    where
+        T: Sized,
+    {
+        this.raw.lock_shared();
+        lock_api::ArcRwLockReadGuard {
+            lock: Arc::clone(this),
+            _raw: std::marker::PhantomData,
+        }
+    }
+
+    /// Exclusive access through an owned guard keeping the `Arc` alive.
+    pub fn write_arc(this: &Arc<Self>) -> lock_api::ArcRwLockWriteGuard<RawRwLock, T>
+    where
+        T: Sized,
+    {
+        this.raw.lock_exclusive();
+        lock_api::ArcRwLockWriteGuard {
+            lock: Arc::clone(this),
+            _raw: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// Borrowed shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: shared lock held for the guard's lifetime.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.raw.unlock_shared();
+    }
+}
+
+/// Borrowed exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: exclusive lock held for the guard's lifetime.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: exclusive lock held for the guard's lifetime.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.raw.unlock_exclusive();
+    }
+}
+
+/// Owned-guard types under the same path the real crate re-exports them.
+pub mod lock_api {
+    use super::{RawRwLock, RwLock};
+    use std::marker::PhantomData;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::Arc;
+
+    /// Owned shared guard: keeps the `Arc<RwLock<T>>` alive while held.
+    pub struct ArcRwLockReadGuard<R, T> {
+        pub(crate) lock: Arc<RwLock<T>>,
+        pub(crate) _raw: PhantomData<R>,
+    }
+
+    impl<T> Deref for ArcRwLockReadGuard<RawRwLock, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            // SAFETY: shared lock held for the guard's lifetime.
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<R, T> Drop for ArcRwLockReadGuard<R, T> {
+        fn drop(&mut self) {
+            self.lock.raw.unlock_shared();
+        }
+    }
+
+    /// Owned exclusive guard: keeps the `Arc<RwLock<T>>` alive while held.
+    pub struct ArcRwLockWriteGuard<R, T> {
+        pub(crate) lock: Arc<RwLock<T>>,
+        pub(crate) _raw: PhantomData<R>,
+    }
+
+    impl<T> Deref for ArcRwLockWriteGuard<RawRwLock, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            // SAFETY: exclusive lock held for the guard's lifetime.
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<T> DerefMut for ArcRwLockWriteGuard<RawRwLock, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: exclusive lock held for the guard's lifetime.
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    impl<R, T> Drop for ArcRwLockWriteGuard<R, T> {
+        fn drop(&mut self) {
+            self.lock.raw.unlock_exclusive();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_condvar() {
+        let m = Arc::new(Mutex::new(0u64));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let h = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            while *g == 0 {
+                cv2.wait(&mut g);
+            }
+            *g
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        *m.lock() = 7;
+        cv.notify_all();
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let rw = Arc::new(RwLock::new(vec![1, 2, 3]));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rw = Arc::clone(&rw);
+                s.spawn(move || assert_eq!(rw.read().len(), 3));
+            }
+        });
+        rw.write().push(4);
+        assert_eq!(rw.read().len(), 4);
+    }
+
+    #[test]
+    fn arc_guards() {
+        let rw = Arc::new(RwLock::new(5u64));
+        {
+            let g = RwLock::read_arc(&rw);
+            assert_eq!(*g, 5);
+        }
+        {
+            let mut g = RwLock::write_arc(&rw);
+            *g = 6;
+        }
+        assert_eq!(*rw.read(), 6);
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(res.timed_out());
+    }
+}
