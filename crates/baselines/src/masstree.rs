@@ -137,13 +137,7 @@ impl<const K: usize> MasstreeAnalog<K> {
 mod tests {
     use super::*;
 
-    fn splitmix(state: &mut u64) -> u64 {
-        *state = state.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = *state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    }
+    use workloads::rng::splitmix;
 
     #[test]
     fn single_word_keys() {

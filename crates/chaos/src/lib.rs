@@ -1,0 +1,274 @@
+//! # chaos — deterministic schedule exploration for the lock & B-tree protocol
+//!
+//! The paper's correctness claims are about *all* interleavings of the
+//! optimistic lock (Fig. 2) and the B-tree insertion protocol
+//! (Algorithms 1–2); wall-clock stress tests sample a vanishing,
+//! nondeterministic slice of that space and cannot replay a failure. This
+//! crate is a from-scratch, registry-free mini-[loom]: a cooperative
+//! scheduler that serializes "virtual threads" and decides, at every shared
+//! memory access, which thread runs next — from a seeded PRNG, so any seed
+//! replays its exact interleaving.
+//!
+//! Three pieces:
+//!
+//! * [`sync`] — drop-in atomics (`chaos::sync::AtomicU64`, ...) that are
+//!   plain std aliases normally and scheduler-instrumented under
+//!   `--cfg chaos` (set `RUSTFLAGS="--cfg chaos"`, like loom);
+//! * [`model`] — the virtual-thread executor: runs a closure once per seed,
+//!   panics with the failing seed (and replay instructions) on any
+//!   assertion failure, deadlock or livelock;
+//! * [`linearize`] — a small-history linearizability checker for set
+//!   operations, used by the B-tree model tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use chaos::sync::{AtomicU64, Ordering::Relaxed};
+//! use std::sync::Arc;
+//!
+//! chaos::model(0..16, || {
+//!     let c = Arc::new(AtomicU64::new(0));
+//!     let c2 = c.clone();
+//!     let t = chaos::thread::spawn(move || {
+//!         c2.fetch_add(1, Relaxed);
+//!     });
+//!     c.fetch_add(1, Relaxed);
+//!     t.join();
+//!     assert_eq!(c.load(Relaxed), 2);
+//! });
+//! ```
+//!
+//! Without `--cfg chaos` the same test still runs, but interleaves only at
+//! spawn/join granularity; the CI `chaos` job runs the instrumented build
+//! across a seed matrix.
+//!
+//! [loom]: https://github.com/tokio-rs/loom
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod linearize;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use std::ops::Range;
+use std::sync::Arc;
+
+pub use rt::MAX_THREADS;
+
+/// Scheduling strategy for a model run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Uniformly random choice among runnable threads at every yield point.
+    /// Fair in expectation, which optimistic spin loops need.
+    Random,
+    /// PCT-style bounded preemption (Burckhardt et al., ASPLOS 2010):
+    /// random thread priorities, the highest-priority runnable thread runs,
+    /// and at `depth` random change points the running thread is demoted.
+    /// Spin hints also demote, so seqlock-style spinners cannot starve the
+    /// writer they wait for.
+    Pct {
+        /// Number of priority change points (the PCT "depth" parameter
+        /// `d`); bugs needing `d` preemptions are found with probability
+        /// `>= 1/(n * k^(d-1))` per seed.
+        depth: u32,
+    },
+}
+
+/// Configuration of a model run.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// How the scheduler picks the next thread at each yield point.
+    pub strategy: Strategy,
+    /// Abort a run (reporting a failure) after this many scheduling steps —
+    /// the livelock/starvation backstop.
+    pub max_steps: u64,
+    /// Expected schedule length used to place PCT change points.
+    pub pct_expected_steps: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::Random,
+            max_steps: 500_000,
+            pct_expected_steps: 1_000,
+        }
+    }
+}
+
+impl Config {
+    /// The default random-walk configuration.
+    pub fn random() -> Self {
+        Self::default()
+    }
+
+    /// A PCT configuration with the given preemption depth.
+    pub fn pct(depth: u32) -> Self {
+        Self {
+            strategy: Strategy::Pct { depth },
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of checking one seed.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The seed that produced this execution.
+    pub seed: u64,
+    /// Hash of the complete schedule trace (thread choices + event kinds).
+    /// Identical seeds produce identical hashes — the determinism contract.
+    pub trace_hash: u64,
+    /// Number of scheduling steps the execution took.
+    pub steps: u64,
+    /// Number of virtual threads the execution spawned (including the root).
+    pub threads: usize,
+    /// The failure message, if the execution failed (assertion panic,
+    /// deadlock, or exhausted step budget).
+    pub failure: Option<String>,
+}
+
+/// Explores every seed in `seeds`, panicking on the first failing one with
+/// a message naming the seed (re-run `model(seed..seed + 1, ...)` to replay
+/// that exact interleaving).
+///
+/// The closure runs once per seed as virtual thread 0; it typically spawns
+/// further threads with [`thread::spawn`] and joins them. State must be
+/// created *inside* the closure (shared via `Arc`), so every seed starts
+/// fresh.
+pub fn model<F>(seeds: Range<u64>, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(&Config::default(), seeds, f);
+}
+
+/// [`model`] with an explicit [`Config`].
+pub fn model_with<F>(cfg: &Config, seeds: Range<u64>, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    for seed in seeds {
+        let out = rt::run_one(cfg, seed, f.clone());
+        if let Some(msg) = out.failure {
+            panic!(
+                "chaos model failed at seed {seed} (trace {:#018x}, {} steps, \
+                 {} threads):\n{msg}\nreplay deterministically with \
+                 chaos::model({seed}..{}, ...)",
+                out.trace_hash,
+                out.steps,
+                out.threads,
+                seed + 1,
+            );
+        }
+    }
+}
+
+/// Runs a single seed and reports its [`Outcome`] instead of panicking.
+/// This is the building block for determinism tests (compare
+/// [`Outcome::trace_hash`] across runs) and for the harness self-test.
+pub fn check<F>(cfg: &Config, seed: u64, f: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    rt::run_one(cfg, seed, Arc::new(f))
+}
+
+/// Explores `seeds` and returns the outcome of the first failing seed, or
+/// `None` when every seed passes. Used by the `chaos-inject-bug` self-test
+/// ("the harness must catch the planted bug within this seed budget").
+pub fn find_failure<F>(cfg: &Config, seeds: Range<u64>, f: F) -> Option<Outcome>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    for seed in seeds {
+        let out = rt::run_one(cfg, seed, f.clone());
+        if out.failure.is_some() {
+            return Some(out);
+        }
+    }
+    None
+}
+
+/// An explicit, labeled protocol yield point.
+///
+/// The protocol crates mark their algorithmic decision points with this
+/// (lease validation, write escalation, split, root swap); under
+/// `--cfg chaos` each call is a scheduling opportunity whose label is
+/// folded into the trace hash. In normal builds it compiles to nothing.
+#[cfg(chaos)]
+#[inline]
+pub fn checkpoint(label: &'static str) {
+    rt::checkpoint_labeled(label);
+}
+
+/// An explicit, labeled protocol yield point (no-op: not a chaos build).
+#[cfg(not(chaos))]
+#[inline(always)]
+pub fn checkpoint(_label: &'static str) {}
+
+/// Spin-loop hints that participate in scheduling.
+pub mod hint {
+    /// Inside a model run: a yield point that deprioritizes the spinner
+    /// (under PCT), letting the thread it waits for make progress. Outside:
+    /// [`std::hint::spin_loop`].
+    #[inline]
+    pub fn spin_loop() {
+        if crate::rt::in_model() {
+            crate::rt::yield_point(crate::rt::YieldKind::Spin);
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Whether the caller is executing inside a model run. Lets shared test
+/// helpers pick model-appropriate workload sizes.
+pub fn is_modeling() -> bool {
+    rt::in_model()
+}
+
+/// The seed range for model tests: `CHAOS_SEED_START` / `CHAOS_SEED_COUNT`
+/// environment variables when set (how the CI seed matrix shards work),
+/// `default` otherwise.
+pub fn seeds_from_env(default: Range<u64>) -> Range<u64> {
+    let parse = |name: &str| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+    };
+    match (parse("CHAOS_SEED_START"), parse("CHAOS_SEED_COUNT")) {
+        (Some(start), Some(count)) => start..start + count,
+        (Some(start), None) => {
+            let len = default.end.saturating_sub(default.start);
+            start..start + len
+        }
+        (None, Some(count)) => default.start..default.start + count,
+        (None, None) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_from_env_defaults_when_unset() {
+        // Tests run in one process; avoid mutating the environment and only
+        // exercise the default path here (the CI job exercises the rest).
+        if std::env::var("CHAOS_SEED_START").is_err() && std::env::var("CHAOS_SEED_COUNT").is_err()
+        {
+            assert_eq!(seeds_from_env(3..9), 3..9);
+        }
+    }
+
+    #[test]
+    fn config_constructors() {
+        assert_eq!(Config::random().strategy, Strategy::Random);
+        assert_eq!(Config::pct(3).strategy, Strategy::Pct { depth: 3 });
+    }
+}

@@ -1,0 +1,262 @@
+//! A small-history linearizability checker for set operations.
+//!
+//! Model tests record every `insert`/`contains` a virtual thread performs —
+//! with schedule-step timestamps — into a [`Recorder`], then ask
+//! [`check_set_history`] whether the completed history is linearizable
+//! against the obvious sequential set semantics (`std::collections::BTreeSet`
+//! as the reference model): is there a total order of the operations,
+//! consistent with real-time precedence, under which every returned value is
+//! what the sequential set would have returned?
+//!
+//! The checker is the classic Wing & Gong search, memoized on the set of
+//! already-linearized operations (sound here because a set's state is the
+//! union of the inserted keys, independent of their order). Intended for
+//! histories of 2–4 threads and a couple of operations each — exactly the
+//! regime where exhaustive schedule exploration is feasible too.
+
+use std::collections::{BTreeSet, HashSet};
+use std::sync::Mutex;
+
+/// One completed set operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual thread that performed the operation.
+    pub thread: usize,
+    /// The operation and its key.
+    pub op: Op,
+    /// The value the implementation returned.
+    pub returned: bool,
+    /// Schedule step at invocation (before the call).
+    pub invoke: u64,
+    /// Schedule step at response (after the call returned).
+    pub ret: u64,
+}
+
+/// A set operation on an integer-tuple key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `insert(key)` returning "was absent".
+    Insert(Vec<u64>),
+    /// `contains(key)`.
+    Contains(Vec<u64>),
+}
+
+/// The current logical time for history timestamps: the schedule step count
+/// inside a model run, a global monotonic counter outside.
+pub fn timestamp() -> u64 {
+    crate::rt::current_steps().unwrap_or_else(crate::rt::global_clock)
+}
+
+/// Thread-safe event log for one model execution.
+///
+/// Locking is uncontended by construction: inside a model run only one
+/// virtual thread executes at a time.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` as operation `op` on behalf of `thread`, recording
+    /// invocation/response timestamps around it, and returns `f`'s result.
+    pub fn run(&self, thread: usize, op: Op, f: impl FnOnce() -> bool) -> bool {
+        let invoke = timestamp();
+        let returned = f();
+        let ret = timestamp();
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Event {
+                thread,
+                op,
+                returned,
+                invoke,
+                ret,
+            });
+        returned
+    }
+
+    /// Consumes the recorder, returning the recorded history.
+    pub fn into_history(self) -> Vec<Event> {
+        self.events.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Checks that `history` is linearizable with respect to sequential set
+/// semantics. Returns `Err` with a human-readable explanation otherwise.
+pub fn check_set_history(history: &[Event]) -> Result<(), String> {
+    assert!(
+        history.len() <= 24,
+        "history of {} events is too large for exhaustive linearization",
+        history.len()
+    );
+    let n = history.len();
+    if n == 0 {
+        return Ok(());
+    }
+    let all: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut contents: BTreeSet<Vec<u64>> = BTreeSet::new();
+    let mut dead: HashSet<u32> = HashSet::new();
+    if dfs(history, 0, all, &mut contents, &mut dead) {
+        Ok(())
+    } else {
+        let mut msg = String::from("history is not linearizable:\n");
+        for e in history {
+            let (name, key) = match &e.op {
+                Op::Insert(k) => ("insert", k),
+                Op::Contains(k) => ("contains", k),
+            };
+            msg.push_str(&format!(
+                "  thread {} {} {:?} -> {} [{}..{}]\n",
+                e.thread, name, key, e.returned, e.invoke, e.ret
+            ));
+        }
+        Err(msg)
+    }
+}
+
+fn dfs(
+    history: &[Event],
+    done: u32,
+    all: u32,
+    contents: &mut BTreeSet<Vec<u64>>,
+    dead: &mut HashSet<u32>,
+) -> bool {
+    if done == all {
+        return true;
+    }
+    if dead.contains(&done) {
+        return false;
+    }
+    // The earliest response among pending operations bounds which of them
+    // may linearize next: anything invoked after that response must wait.
+    let min_pending_ret = history
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| done & (1 << i) == 0)
+        .map(|(_, e)| e.ret)
+        .min()
+        .expect("pending operation exists");
+    for i in 0..history.len() {
+        if done & (1 << i) != 0 {
+            continue;
+        }
+        let e = &history[i];
+        if e.invoke > min_pending_ret {
+            continue; // strictly after some pending op completed
+        }
+        let (expected, inserted) = match &e.op {
+            Op::Insert(k) => {
+                let absent = !contents.contains(k);
+                (absent, absent.then(|| k.clone()))
+            }
+            Op::Contains(k) => (contents.contains(k), None),
+        };
+        if expected != e.returned {
+            continue;
+        }
+        if let Some(k) = &inserted {
+            contents.insert(k.clone());
+        }
+        if dfs(history, done | (1 << i), all, contents, dead) {
+            return true;
+        }
+        if let Some(k) = &inserted {
+            contents.remove(k);
+        }
+    }
+    dead.insert(done);
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(thread: usize, k: u64, returned: bool, invoke: u64, ret: u64) -> Event {
+        Event {
+            thread,
+            op: Op::Insert(vec![k]),
+            returned,
+            invoke,
+            ret,
+        }
+    }
+
+    fn has(thread: usize, k: u64, returned: bool, invoke: u64, ret: u64) -> Event {
+        Event {
+            thread,
+            op: Op::Contains(vec![k]),
+            returned,
+            invoke,
+            ret,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(check_set_history(&[]).is_ok());
+    }
+
+    #[test]
+    fn sequential_history_checks() {
+        let h = vec![
+            ins(0, 1, true, 0, 1),
+            has(0, 1, true, 2, 3),
+            ins(0, 1, false, 4, 5),
+        ];
+        assert!(check_set_history(&h).is_ok());
+    }
+
+    #[test]
+    fn duplicate_insert_race_one_winner_is_linearizable() {
+        // Two overlapping inserts of the same key: exactly one may win.
+        let h = vec![ins(0, 7, true, 0, 10), ins(1, 7, false, 1, 9)];
+        assert!(check_set_history(&h).is_ok());
+    }
+
+    #[test]
+    fn duplicate_insert_race_two_winners_is_not() {
+        let h = vec![ins(0, 7, true, 0, 10), ins(1, 7, true, 1, 9)];
+        assert!(check_set_history(&h).is_err());
+    }
+
+    #[test]
+    fn contains_must_observe_preceding_insert() {
+        // insert completed strictly before contains was invoked, yet
+        // contains returned false: a real-time violation.
+        let h = vec![ins(0, 3, true, 0, 1), has(1, 3, false, 5, 6)];
+        assert!(check_set_history(&h).is_err());
+    }
+
+    #[test]
+    fn concurrent_contains_may_miss_overlapping_insert() {
+        let h = vec![ins(0, 3, true, 0, 10), has(1, 3, false, 2, 4)];
+        assert!(check_set_history(&h).is_ok());
+    }
+
+    #[test]
+    fn three_thread_mixed_history() {
+        let h = vec![
+            ins(0, 1, true, 0, 4),
+            ins(1, 1, false, 1, 5),
+            has(2, 1, true, 6, 7),
+            ins(2, 2, true, 8, 9),
+            has(0, 2, true, 10, 12),
+            has(1, 9, false, 10, 11),
+        ];
+        assert!(check_set_history(&h).is_ok());
+    }
+
+    #[test]
+    fn lost_update_shape_is_rejected() {
+        // Both inserts claim to have inserted, sequentially: impossible.
+        let h = vec![ins(0, 5, true, 0, 1), ins(1, 5, true, 2, 3)];
+        assert!(check_set_history(&h).is_err());
+    }
+}

@@ -1,0 +1,549 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! # How determinism is achieved
+//!
+//! Every *virtual thread* of a model run is backed by a real OS thread, but
+//! at most one of them executes user code at any instant: all others are
+//! parked on a condition variable waiting for the scheduler's baton. At
+//! every *yield point* — each instrumented atomic access, fence, explicit
+//! [`crate::checkpoint`], spawn, join and thread exit — the running thread
+//! hands the baton back, the scheduler folds the event into a running
+//! schedule-trace hash, picks the next runnable thread from a seeded PRNG
+//! (or PCT priorities, see [`crate::Strategy`]) and wakes it.
+//!
+//! Because user code is fully serialized, every scheduling decision is a
+//! pure function of the seed and the program's own (now deterministic)
+//! behaviour: replaying a seed replays the identical interleaving, which is
+//! what makes a failing schedule reproducible in CI and on a laptop alike.
+//!
+//! The scheduler is compiled unconditionally; what `--cfg chaos` controls
+//! is only how many yield points exist (see [`crate::sync`]). Without the
+//! cfg, model runs still work but interleave only at spawn/join/yield
+//! granularity.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::{Config, Outcome, Strategy};
+
+/// Hard cap on virtual threads per model run (histories beyond a handful of
+/// threads are intractable to explore anyway).
+pub const MAX_THREADS: usize = 16;
+
+/// What kind of event a yield point reports; folded into the trace hash.
+// Most variants are only constructed by the instrumented (`--cfg chaos`)
+// atomics in `crate::sync`.
+#[cfg_attr(not(chaos), allow(dead_code))]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum YieldKind {
+    /// An atomic load.
+    Load = 1,
+    /// An atomic store.
+    Store = 2,
+    /// An atomic read-modify-write (CAS, swap, fetch-add, ...).
+    Rmw = 3,
+    /// A memory fence.
+    Fence = 4,
+    /// A spin-loop hint / `yield_now`: strategies may deprioritize the
+    /// spinner so the thread it waits for gets to run.
+    Spin = 5,
+    /// An explicit labeled protocol checkpoint.
+    Checkpoint = 6,
+    /// A `chaos::thread::spawn`.
+    Spawn = 7,
+    /// A `JoinHandle::join`.
+    Join = 8,
+}
+
+/// Scheduling status of one virtual thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Waiting for the thread with the given id to finish.
+    Blocked(usize),
+    Finished,
+}
+
+/// Panic payload used to unwind virtual threads when a run aborts (another
+/// thread failed, or the step budget was exhausted). Recognized — and not
+/// reported as a user failure — by the virtual-thread trampoline.
+pub(crate) struct ChaosAbort;
+
+struct SchedState {
+    status: Vec<Status>,
+    /// The thread currently holding the baton (`None` once the run ended).
+    active: Option<usize>,
+    /// splitmix64 state; all scheduling randomness comes from here.
+    rng: u64,
+    strategy: Strategy,
+    /// PCT priorities (higher runs first); unused by `Strategy::Random`.
+    priorities: Vec<u64>,
+    /// PCT change points: step numbers at which the running thread's
+    /// priority drops below everything seen so far.
+    change_points: Vec<u64>,
+    /// Water mark handed out on deprioritization; strictly decreasing.
+    low_water: u64,
+    steps: u64,
+    max_steps: u64,
+    trace: u64,
+    /// First failure observed (a user panic, deadlock or budget blow-up).
+    failure: Option<String>,
+    abort: bool,
+    unfinished: usize,
+}
+
+impl SchedState {
+    fn next_rand(&mut self) -> u64 {
+        // splitmix64; private to the scheduler (test workloads use
+        // `workloads::rng` instead).
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn fold_trace(&mut self, x: u64) {
+        self.trace = (self.trace ^ x)
+            .wrapping_mul(0x100_0000_01B3)
+            .rotate_left(17);
+    }
+
+    /// Picks the next thread to grant the baton to, or `None` when nothing
+    /// is runnable. Does not itself detect deadlock — callers decide what a
+    /// `None` means in their context.
+    fn pick_next(&mut self, kind: YieldKind, me: usize) -> Option<usize> {
+        match self.strategy {
+            Strategy::Random => {
+                let runnable: Vec<usize> = (0..self.status.len())
+                    .filter(|&t| self.status[t] == Status::Runnable)
+                    .collect();
+                if runnable.is_empty() {
+                    return None;
+                }
+                Some(runnable[(self.next_rand() % runnable.len() as u64) as usize])
+            }
+            Strategy::Pct { .. } => {
+                // Priority-based (PCT): the highest-priority runnable thread
+                // runs, except that change points and spin hints demote the
+                // current thread below everything else (the latter keeps
+                // optimistic spin loops from starving their release).
+                if self.change_points.binary_search(&self.steps).is_ok() || kind == YieldKind::Spin
+                {
+                    self.low_water -= 1;
+                    if me < self.priorities.len() {
+                        self.priorities[me] = self.low_water;
+                    }
+                }
+                (0..self.status.len())
+                    .filter(|&t| self.status[t] == Status::Runnable)
+                    .max_by_key(|&t| self.priorities[t])
+            }
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    /// OS-thread handles of every virtual thread, joined by `run_one`.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// The identity of the virtual thread executing on this OS thread, if any.
+struct Ctx {
+    shared: Arc<Shared>,
+    id: usize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Whether the calling thread is a virtual thread of an active model run.
+pub fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn with_current<R>(f: impl FnOnce(&Ctx) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().as_ref().map(f))
+}
+
+/// The current schedule step count, if inside a model run. Used for
+/// history timestamps (see [`crate::linearize`]).
+pub(crate) fn current_steps() -> Option<u64> {
+    with_current(|ctx| ctx.shared.lock_state().steps)
+}
+
+/// Monotonic fallback clock for history timestamps outside model runs.
+pub(crate) fn global_clock() -> u64 {
+    static CLOCK: AtomicU64 = AtomicU64::new(0);
+    CLOCK.fetch_add(1, Relaxed)
+}
+
+/// A yield point: hand the baton to the scheduler. No-op outside model runs.
+#[inline]
+pub fn yield_point(kind: YieldKind) {
+    yield_labeled(kind, 0);
+}
+
+/// A yield point carrying a label (hashed into the schedule trace).
+#[inline]
+pub fn yield_labeled(kind: YieldKind, label: u64) {
+    // Destructors running during unwinding (e.g. an iterator dropped by a
+    // failing assertion) may touch instrumented atomics; re-entering the
+    // scheduler there would raise a second panic inside a Drop and abort
+    // the process. Let the original panic propagate instead.
+    if std::thread::panicking() {
+        return;
+    }
+    let ctx = CURRENT.with(|c| c.borrow().as_ref().map(|ctx| (ctx.shared.clone(), ctx.id)));
+    if let Some((shared, id)) = ctx {
+        shared.switch(id, kind, label);
+    }
+}
+
+#[cfg_attr(not(chaos), allow(dead_code))]
+fn hash_label(label: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in label.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Labeled protocol checkpoint (used by `chaos::checkpoint`).
+#[cfg_attr(not(chaos), allow(dead_code))]
+#[inline]
+pub fn checkpoint_labeled(label: &str) {
+    if in_model() {
+        yield_labeled(YieldKind::Checkpoint, hash_label(label));
+    }
+}
+
+impl Shared {
+    fn lock_state(&self) -> MutexGuard<'_, SchedState> {
+        // The scheduler mutex only ever guards scheduler bookkeeping;
+        // tolerate poisoning (a panicking virtual thread never holds it
+        // while unwinding user code, but be defensive).
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Core baton hand-off: fold the event, pick a successor, wait until
+    /// this thread is granted again. Panics with [`ChaosAbort`] when the
+    /// run is being torn down.
+    fn switch(self: &Arc<Self>, me: usize, kind: YieldKind, label: u64) {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(ChaosAbort);
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let msg = format!(
+                "schedule budget exceeded after {} steps (possible livelock or \
+                 unbounded spin loop)",
+                st.steps - 1
+            );
+            self.fail_locked(&mut st, msg);
+            drop(st);
+            std::panic::panic_any(ChaosAbort);
+        }
+        st.fold_trace((me as u64) << 8 | kind as u64);
+        if label != 0 {
+            st.fold_trace(label);
+        }
+        // `me` is runnable, so a successor always exists.
+        let next = st.pick_next(kind, me).expect("runnable thread exists");
+        st.fold_trace(next as u64);
+        st.active = Some(next);
+        if next != me {
+            self.cv.notify_all();
+            while st.active != Some(me) && !st.abort {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(ChaosAbort);
+            }
+        }
+    }
+
+    /// Records the first failure and wakes every parked thread for teardown.
+    fn fail_locked(&self, st: &mut SchedState, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        st.active = None;
+        self.cv.notify_all();
+    }
+
+    /// Blocks `me` until the virtual thread `target` finishes.
+    fn join_wait(self: &Arc<Self>, me: usize, target: usize) {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(ChaosAbort);
+        }
+        st.steps += 1;
+        st.fold_trace((me as u64) << 8 | YieldKind::Join as u64);
+        if st.status[target] != Status::Finished {
+            st.status[me] = Status::Blocked(target);
+            match st.pick_next(YieldKind::Join, me) {
+                Some(next) => {
+                    st.fold_trace(next as u64);
+                    st.active = Some(next);
+                    self.cv.notify_all();
+                }
+                None => {
+                    let msg = format!(
+                        "deadlock: thread {me} joined thread {target} but no \
+                         thread is runnable"
+                    );
+                    self.fail_locked(&mut st, msg);
+                    drop(st);
+                    std::panic::panic_any(ChaosAbort);
+                }
+            }
+            while st.active != Some(me) && !st.abort {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(ChaosAbort);
+            }
+        }
+    }
+
+    /// Registers a new virtual thread; returns its id.
+    fn register(&self) -> usize {
+        let mut st = self.lock_state();
+        let id = st.status.len();
+        assert!(
+            id < MAX_THREADS,
+            "chaos model exceeded {MAX_THREADS} virtual threads"
+        );
+        st.status.push(Status::Runnable);
+        let p = st.next_rand();
+        st.priorities.push(p | (1 << 62)); // well above any low-water mark
+        st.unfinished += 1;
+        id
+    }
+
+    /// Marks `me` finished, unblocks joiners, passes the baton on.
+    fn finish(self: &Arc<Self>, me: usize) {
+        let mut st = self.lock_state();
+        st.status[me] = Status::Finished;
+        st.unfinished -= 1;
+        for t in 0..st.status.len() {
+            if st.status[t] == Status::Blocked(me) {
+                st.status[t] = Status::Runnable;
+            }
+        }
+        if st.abort || st.unfinished == 0 {
+            st.active = None;
+            self.cv.notify_all();
+            return;
+        }
+        match st.pick_next(YieldKind::Join, me) {
+            Some(next) => {
+                st.fold_trace(0xF1A1 ^ (me as u64) << 8);
+                st.fold_trace(next as u64);
+                st.active = Some(next);
+                self.cv.notify_all();
+            }
+            None => {
+                let blocked: Vec<usize> = (0..st.status.len())
+                    .filter(|&t| matches!(st.status[t], Status::Blocked(_)))
+                    .collect();
+                let msg = format!(
+                    "deadlock: thread {me} finished but threads {blocked:?} \
+                     remain blocked with nothing runnable"
+                );
+                self.fail_locked(&mut st, msg);
+            }
+        }
+    }
+
+    fn fail_and_finish(self: &Arc<Self>, me: usize, msg: String) {
+        {
+            let mut st = self.lock_state();
+            self.fail_locked(&mut st, format!("thread {me} panicked: {msg}"));
+        }
+        self.finish(me);
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Trampoline every virtual thread's OS thread runs: wait for the first
+/// baton grant, install the thread-local identity, run the body, tear down.
+fn vthread_main(shared: Arc<Shared>, id: usize, body: impl FnOnce()) {
+    {
+        let mut st = shared.lock_state();
+        while st.active != Some(id) && !st.abort {
+            st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.abort {
+            drop(st);
+            shared.finish(id);
+            return;
+        }
+    }
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            shared: shared.clone(),
+            id,
+        })
+    });
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    match res {
+        Ok(()) => shared.finish(id),
+        Err(p) if p.is::<ChaosAbort>() => shared.finish(id),
+        Err(p) => shared.fail_and_finish(id, panic_message(p)),
+    }
+}
+
+/// The result slot a virtual thread writes its return value into.
+pub(crate) type ResultSlot<T> = Arc<Mutex<Option<T>>>;
+
+/// Spawns a virtual thread inside the current model run.
+pub(crate) fn spawn_vthread<T: Send + 'static>(
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Option<(Arc<Shared>, usize, ResultSlot<T>)> {
+    let ctx = CURRENT.with(|c| c.borrow().as_ref().map(|ctx| (ctx.shared.clone(), ctx.id)));
+    let (shared, me) = ctx?;
+    let id = shared.register();
+    let slot = Arc::new(Mutex::new(None));
+    let (sh, sl) = (shared.clone(), slot.clone());
+    let handle = std::thread::Builder::new()
+        .name(format!("chaos-vt-{id}"))
+        .spawn(move || {
+            let sl2 = sl.clone();
+            vthread_main(sh, id, move || {
+                let v = f();
+                *sl2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+            })
+        })
+        .expect("failed to spawn chaos virtual thread");
+    shared
+        .handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(handle);
+    // Give the scheduler the chance to run the child right away (or not):
+    // spawn itself is an interleaving decision.
+    shared.switch(me, YieldKind::Spawn, id as u64);
+    Some((shared, id, slot))
+}
+
+/// Scheduler-aware join used by `chaos::thread::JoinHandle`.
+pub(crate) fn join_vthread(shared: &Arc<Shared>, me_target: usize) {
+    let me = with_current(|ctx| ctx.id).expect("join of a virtual thread outside its model run");
+    shared.join_wait(me, me_target);
+}
+
+/// Runs `f` once under `seed` and returns the outcome. The body runs as
+/// virtual thread 0; the calling thread only orchestrates.
+pub(crate) fn run_one(cfg: &Config, seed: u64, f: Arc<dyn Fn() + Send + Sync>) -> Outcome {
+    assert!(
+        !in_model(),
+        "chaos::model may not be nested inside another model run"
+    );
+    let change_points = {
+        // Pre-draw PCT change points from their own stream so they do not
+        // perturb the per-step randomness.
+        let mut s = SchedState {
+            status: Vec::new(),
+            active: None,
+            rng: seed ^ 0xD6E8_FEB8_6659_FD93,
+            strategy: cfg.strategy,
+            priorities: Vec::new(),
+            change_points: Vec::new(),
+            low_water: 1 << 32,
+            steps: 0,
+            max_steps: 0,
+            trace: 0,
+            failure: None,
+            abort: false,
+            unfinished: 0,
+        };
+        let mut cps: Vec<u64> = match cfg.strategy {
+            Strategy::Random => Vec::new(),
+            Strategy::Pct { depth } => (0..depth)
+                .map(|_| 1 + s.next_rand() % cfg.pct_expected_steps.max(1))
+                .collect(),
+        };
+        cps.sort_unstable();
+        cps
+    };
+    let shared = Arc::new(Shared {
+        state: Mutex::new(SchedState {
+            status: Vec::new(),
+            active: None,
+            rng: seed,
+            strategy: cfg.strategy,
+            priorities: Vec::new(),
+            change_points,
+            low_water: 1 << 32,
+            steps: 0,
+            max_steps: cfg.max_steps,
+            trace: seed ^ 0x9E37_79B9_7F4A_7C15,
+            failure: None,
+            abort: false,
+            unfinished: 0,
+        }),
+        cv: Condvar::new(),
+        handles: Mutex::new(Vec::new()),
+    });
+
+    let root = shared.register();
+    debug_assert_eq!(root, 0);
+    shared.lock_state().active = Some(root);
+    let sh = shared.clone();
+    let handle = std::thread::Builder::new()
+        .name("chaos-vt-0".into())
+        .spawn(move || vthread_main(sh, root, move || f()))
+        .expect("failed to spawn chaos root thread");
+    shared
+        .handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(handle);
+
+    // Join every OS thread; the list can grow while we drain it (virtual
+    // threads spawn more virtual threads), so loop until it stays empty.
+    loop {
+        let batch: Vec<_> = {
+            let mut hs = shared.handles.lock().unwrap_or_else(|e| e.into_inner());
+            hs.drain(..).collect()
+        };
+        if batch.is_empty() {
+            break;
+        }
+        for h in batch {
+            let _ = h.join();
+        }
+    }
+
+    let st = shared.lock_state();
+    Outcome {
+        seed,
+        trace_hash: st.trace,
+        steps: st.steps,
+        threads: st.status.len(),
+        failure: st.failure.clone(),
+    }
+}

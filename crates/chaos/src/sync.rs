@@ -1,0 +1,271 @@
+//! Instrumented drop-in replacements for `std::sync::atomic`.
+//!
+//! Protocol crates (`optlock`, `specbtree`) declare their shared state with
+//! these types. In a normal build they are literal type aliases of the std
+//! atomics — zero overhead, identical layout. Under `--cfg chaos` each type
+//! becomes a `#[repr(transparent)]` wrapper that reports a scheduler yield
+//! point before every load/store/RMW, which is what lets [`crate::model`]
+//! interleave threads *between* any two shared-memory accesses.
+//!
+//! # Layout contract
+//!
+//! Every wrapper is `#[repr(transparent)]` over its std atomic and adds no
+//! fields. Downstream `unsafe` code relies on this: `specbtree` allocates
+//! zeroed nodes (`Box::new_zeroed`) whose fields include these types, which
+//! is only sound while the all-zero bit pattern stays valid — i.e. while
+//! the wrapper is exactly the std atomic.
+//!
+//! Only the method subset the workspace uses is mirrored; extend as needed.
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(not(chaos))]
+mod imp {
+    /// Passthrough alias (instrumented under `--cfg chaos`).
+    pub type AtomicBool = std::sync::atomic::AtomicBool;
+    /// Passthrough alias (instrumented under `--cfg chaos`).
+    pub type AtomicU16 = std::sync::atomic::AtomicU16;
+    /// Passthrough alias (instrumented under `--cfg chaos`).
+    pub type AtomicU32 = std::sync::atomic::AtomicU32;
+    /// Passthrough alias (instrumented under `--cfg chaos`).
+    pub type AtomicU64 = std::sync::atomic::AtomicU64;
+    /// Passthrough alias (instrumented under `--cfg chaos`).
+    pub type AtomicUsize = std::sync::atomic::AtomicUsize;
+    /// Passthrough alias (instrumented under `--cfg chaos`).
+    pub type AtomicPtr<T> = std::sync::atomic::AtomicPtr<T>;
+
+    /// Passthrough to [`std::sync::atomic::fence`].
+    #[inline(always)]
+    pub fn fence(order: super::Ordering) {
+        std::sync::atomic::fence(order);
+    }
+}
+
+#[cfg(chaos)]
+mod imp {
+    use super::Ordering;
+    use crate::rt::{yield_point, YieldKind};
+
+    macro_rules! int_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ty, $int:ty) => {
+            $(#[$doc])*
+            #[repr(transparent)]
+            #[derive(Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Creates a new atomic holding `v`.
+                #[inline]
+                pub const fn new(v: $int) -> Self {
+                    Self { inner: <$std>::new(v) }
+                }
+
+                /// Instrumented [`load`](std::sync::atomic::AtomicU64::load).
+                #[inline]
+                pub fn load(&self, order: Ordering) -> $int {
+                    yield_point(YieldKind::Load);
+                    self.inner.load(order)
+                }
+
+                /// Instrumented [`store`](std::sync::atomic::AtomicU64::store).
+                #[inline]
+                pub fn store(&self, v: $int, order: Ordering) {
+                    yield_point(YieldKind::Store);
+                    self.inner.store(v, order)
+                }
+
+                /// Instrumented [`swap`](std::sync::atomic::AtomicU64::swap).
+                #[inline]
+                pub fn swap(&self, v: $int, order: Ordering) -> $int {
+                    yield_point(YieldKind::Rmw);
+                    self.inner.swap(v, order)
+                }
+
+                /// Instrumented
+                /// [`compare_exchange`](std::sync::atomic::AtomicU64::compare_exchange).
+                #[inline]
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    yield_point(YieldKind::Rmw);
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Instrumented
+                /// [`compare_exchange_weak`](std::sync::atomic::AtomicU64::compare_exchange_weak).
+                #[inline]
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    yield_point(YieldKind::Rmw);
+                    self.inner.compare_exchange_weak(current, new, success, failure)
+                }
+
+                /// Non-instrumented exclusive access (no concurrency).
+                #[inline]
+                pub fn get_mut(&mut self) -> &mut $int {
+                    self.inner.get_mut()
+                }
+
+                /// Consumes the atomic, returning the value.
+                #[inline]
+                pub fn into_inner(self) -> $int {
+                    self.inner.into_inner()
+                }
+            }
+
+            impl From<$int> for $name {
+                fn from(v: $int) -> Self {
+                    Self::new(v)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    // No yield: Debug is diagnostic, not protocol.
+                    self.inner.fmt(f)
+                }
+            }
+        };
+    }
+
+    /// Adds the integer-only read-modify-write ops (`AtomicBool` has none).
+    macro_rules! int_atomic_arith {
+        ($name:ident, $int:ty) => {
+            impl $name {
+                /// Instrumented
+                /// [`fetch_add`](std::sync::atomic::AtomicU64::fetch_add).
+                #[inline]
+                pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                    yield_point(YieldKind::Rmw);
+                    self.inner.fetch_add(v, order)
+                }
+
+                /// Instrumented
+                /// [`fetch_sub`](std::sync::atomic::AtomicU64::fetch_sub).
+                #[inline]
+                pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                    yield_point(YieldKind::Rmw);
+                    self.inner.fetch_sub(v, order)
+                }
+            }
+        };
+    }
+
+    int_atomic!(
+        /// Instrumented [`std::sync::atomic::AtomicBool`].
+        AtomicBool,
+        std::sync::atomic::AtomicBool,
+        bool
+    );
+    int_atomic!(
+        /// Instrumented [`std::sync::atomic::AtomicU16`].
+        AtomicU16,
+        std::sync::atomic::AtomicU16,
+        u16
+    );
+    int_atomic!(
+        /// Instrumented [`std::sync::atomic::AtomicU32`].
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32
+    );
+    int_atomic!(
+        /// Instrumented [`std::sync::atomic::AtomicU64`].
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    int_atomic!(
+        /// Instrumented [`std::sync::atomic::AtomicUsize`].
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+
+    int_atomic_arith!(AtomicU16, u16);
+    int_atomic_arith!(AtomicU32, u32);
+    int_atomic_arith!(AtomicU64, u64);
+    int_atomic_arith!(AtomicUsize, usize);
+
+    /// Instrumented [`std::sync::atomic::AtomicPtr`].
+    #[repr(transparent)]
+    pub struct AtomicPtr<T> {
+        inner: std::sync::atomic::AtomicPtr<T>,
+    }
+
+    impl<T> AtomicPtr<T> {
+        /// Creates a new atomic pointer.
+        #[inline]
+        pub const fn new(p: *mut T) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicPtr::new(p),
+            }
+        }
+
+        /// Instrumented [`load`](std::sync::atomic::AtomicPtr::load).
+        #[inline]
+        pub fn load(&self, order: Ordering) -> *mut T {
+            yield_point(YieldKind::Load);
+            self.inner.load(order)
+        }
+
+        /// Instrumented [`store`](std::sync::atomic::AtomicPtr::store).
+        #[inline]
+        pub fn store(&self, p: *mut T, order: Ordering) {
+            yield_point(YieldKind::Store);
+            self.inner.store(p, order)
+        }
+
+        /// Instrumented
+        /// [`compare_exchange`](std::sync::atomic::AtomicPtr::compare_exchange).
+        #[inline]
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            yield_point(YieldKind::Rmw);
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+
+        /// Non-instrumented exclusive access (no concurrency).
+        #[inline]
+        pub fn get_mut(&mut self) -> &mut *mut T {
+            self.inner.get_mut()
+        }
+    }
+
+    impl<T> Default for AtomicPtr<T> {
+        fn default() -> Self {
+            Self::new(std::ptr::null_mut())
+        }
+    }
+
+    impl<T> std::fmt::Debug for AtomicPtr<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    /// Instrumented [`std::sync::atomic::fence`].
+    #[inline]
+    pub fn fence(order: Ordering) {
+        yield_point(YieldKind::Fence);
+        std::sync::atomic::fence(order);
+    }
+}
+
+pub use imp::{fence, AtomicBool, AtomicPtr, AtomicU16, AtomicU32, AtomicU64, AtomicUsize};

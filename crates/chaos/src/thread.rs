@@ -1,0 +1,85 @@
+//! Virtual threads: `spawn`/`join` that route through the chaos scheduler
+//! inside a model run and fall back to real `std::thread`s outside one.
+//!
+//! Model-test bodies use this module exclusively, so the same test code
+//! works in all three execution modes (instrumented model run, degenerate
+//! model run without `--cfg chaos`, plain test process).
+
+use std::sync::{Arc, Mutex};
+
+use crate::rt;
+
+/// Handle to a thread started with [`spawn`].
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    /// A real OS thread (spawned outside any model run).
+    Std(std::thread::JoinHandle<T>),
+    /// A virtual thread of a model run.
+    Virtual {
+        shared: Arc<rt::Shared>,
+        id: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// Inside a model run this blocks *virtually*: the scheduler simply
+    /// stops granting this thread until the target finishes, so a join is
+    /// itself an explored scheduling event. Panics of the joined thread
+    /// abort the model run (and are reported with the failing seed).
+    pub fn join(self) -> T {
+        match self.inner {
+            Inner::Std(h) => match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            },
+            Inner::Virtual { shared, id, slot } => {
+                rt::join_vthread(&shared, id);
+                let v = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+                match v {
+                    Some(v) => v,
+                    // The child finished without a value: it panicked and
+                    // the run is aborting — unwind this thread too.
+                    None => std::panic::panic_any(crate::rt::ChaosAbort),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model run this creates a *virtual* thread
+/// whose every instrumented memory access is a scheduling decision;
+/// outside, it is `std::thread::spawn`.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    if rt::in_model() {
+        let (shared, id, slot) = rt::spawn_vthread(f).expect("in_model checked");
+        JoinHandle {
+            inner: Inner::Virtual { shared, id, slot },
+        }
+    } else {
+        JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        }
+    }
+}
+
+/// Cooperative yield: a scheduling point inside a model run (flagged as a
+/// spin so PCT-style strategies deprioritize the yielder), a plain
+/// [`std::thread::yield_now`] outside.
+#[inline]
+pub fn yield_now() {
+    if rt::in_model() {
+        rt::yield_point(rt::YieldKind::Spin);
+    } else {
+        std::thread::yield_now();
+    }
+}

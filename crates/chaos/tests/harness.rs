@@ -1,0 +1,186 @@
+//! Self-tests of the schedule-exploration harness itself: determinism of
+//! the trace hash, seed-to-seed schedule diversity, the executor's ability
+//! to find a planted atomicity bug, and livelock/budget detection.
+//!
+//! Tests marked `#[cfg(chaos)]` need the instrumented atomics
+//! (`RUSTFLAGS="--cfg chaos"`); the rest also run in plain builds, where
+//! model runs degenerate to spawn/join-granularity interleaving.
+
+use std::sync::Arc;
+
+#[cfg(chaos)]
+use chaos::find_failure;
+use chaos::sync::{AtomicU64, Ordering::Relaxed};
+use chaos::{check, Config};
+
+/// A two-thread workload with enough shared accesses for schedules to vary.
+fn contended_counter_body() {
+    let c = Arc::new(AtomicU64::new(0));
+    let c2 = c.clone();
+    let t = chaos::thread::spawn(move || {
+        for _ in 0..4 {
+            c2.fetch_add(1, Relaxed);
+        }
+    });
+    for _ in 0..4 {
+        c.fetch_add(1, Relaxed);
+    }
+    t.join();
+    assert_eq!(c.load(Relaxed), 8);
+}
+
+#[test]
+fn same_seed_same_trace_hash() {
+    let cfg = Config::default();
+    for seed in 0..8 {
+        let a = check(&cfg, seed, contended_counter_body);
+        let b = check(&cfg, seed, contended_counter_body);
+        assert!(a.failure.is_none(), "unexpected failure: {:?}", a.failure);
+        assert_eq!(
+            (a.trace_hash, a.steps, a.threads),
+            (b.trace_hash, b.steps, b.threads),
+            "seed {seed} must replay the identical schedule"
+        );
+    }
+}
+
+#[cfg(chaos)]
+#[test]
+fn different_seeds_explore_different_schedules() {
+    let cfg = Config::default();
+    let hashes: std::collections::HashSet<u64> = (0..32)
+        .map(|seed| check(&cfg, seed, contended_counter_body).trace_hash)
+        .collect();
+    // With 8 interleaved fetch_adds there are far more than 32 schedules;
+    // the seeded PRNG must not collapse them onto a handful.
+    assert!(
+        hashes.len() >= 16,
+        "expected schedule diversity across seeds, got {} distinct \
+         traces out of 32",
+        hashes.len()
+    );
+}
+
+/// The canonical lost-update bug: `load` then `store` instead of an atomic
+/// RMW. Only an unlucky interleaving loses an increment, so finding it
+/// proves the executor actually explores interleavings between atomic ops.
+#[cfg(chaos)]
+#[test]
+fn finds_lost_update_in_nonatomic_increment() {
+    let failing = find_failure(&Config::default(), 0..64, || {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = c.clone();
+        let t = chaos::thread::spawn(move || {
+            let v = c2.load(Relaxed);
+            c2.store(v + 1, Relaxed);
+        });
+        let v = c.load(Relaxed);
+        c.store(v + 1, Relaxed);
+        t.join();
+        assert_eq!(c.load(Relaxed), 2, "lost update");
+    });
+    let out = failing.expect("the load/store race must be caught within 64 seeds");
+    assert!(
+        out.failure.as_deref().unwrap_or("").contains("lost update"),
+        "failure should come from the workload assertion: {:?}",
+        out.failure
+    );
+    // The failing seed must replay: same failure, same trace.
+    let replay = check(&Config::default(), out.seed, || {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = c.clone();
+        let t = chaos::thread::spawn(move || {
+            let v = c2.load(Relaxed);
+            c2.store(v + 1, Relaxed);
+        });
+        let v = c.load(Relaxed);
+        c.store(v + 1, Relaxed);
+        t.join();
+        assert_eq!(c.load(Relaxed), 2, "lost update");
+    });
+    assert_eq!(replay.trace_hash, out.trace_hash);
+    assert!(replay.failure.is_some());
+}
+
+#[test]
+fn join_returns_the_thread_value() {
+    chaos::model(0..4, || {
+        let t = chaos::thread::spawn(|| 41 + 1);
+        assert_eq!(t.join(), 42);
+    });
+}
+
+#[test]
+fn nested_spawn_and_join() {
+    chaos::model(0..8, || {
+        let outer = chaos::thread::spawn(|| {
+            let inner = chaos::thread::spawn(|| 7u64);
+            inner.join() * 6
+        });
+        assert_eq!(outer.join(), 42);
+    });
+}
+
+#[cfg(chaos)]
+#[test]
+fn step_budget_catches_livelock() {
+    let cfg = Config {
+        max_steps: 200,
+        ..Config::default()
+    };
+    let out = check(&cfg, 0, || {
+        let flag = Arc::new(AtomicU64::new(0));
+        // Nobody ever sets the flag: an unbounded spin must trip the budget
+        // instead of hanging the test process.
+        while flag.load(Relaxed) == 0 {
+            chaos::hint::spin_loop();
+        }
+    });
+    let msg = out.failure.expect("livelock must be reported");
+    assert!(
+        msg.contains("schedule budget"),
+        "unexpected failure message: {msg}"
+    );
+}
+
+#[test]
+fn model_panic_names_the_seed() {
+    let res = std::panic::catch_unwind(|| {
+        chaos::model(17..18, || {
+            panic!("intentional workload failure");
+        });
+    });
+    let err = res.expect_err("model must propagate the failure");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("seed 17"), "missing seed in: {msg}");
+    assert!(
+        msg.contains("intentional workload failure"),
+        "missing workload message in: {msg}"
+    );
+    assert!(msg.contains("replay"), "missing replay hint in: {msg}");
+}
+
+#[test]
+fn pct_strategy_runs_clean_workloads() {
+    chaos::model_with(&Config::pct(3), 0..16, contended_counter_body);
+}
+
+#[cfg(chaos)]
+#[test]
+fn seqlock_spinners_do_not_starve_the_writer_under_pct() {
+    // A reader spinning on an odd version must eventually see the writer's
+    // release: PCT demotes spinners, Random is fair in expectation.
+    for cfg in [Config::random(), Config::pct(2)] {
+        chaos::model_with(&cfg, 0..16, || {
+            let v = Arc::new(AtomicU64::new(1)); // starts "locked" (odd)
+            let v2 = v.clone();
+            let writer = chaos::thread::spawn(move || {
+                v2.store(2, Relaxed); // release
+            });
+            while v.load(Relaxed) & 1 == 1 {
+                chaos::hint::spin_loop();
+            }
+            writer.join();
+        });
+    }
+}

@@ -8,7 +8,7 @@
 //! decides whether a snapshot is consistent.
 
 use crate::OptimisticRwLock;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use chaos::sync::{AtomicU64, Ordering::Relaxed};
 
 /// A `WORDS × u64` value with seqlock-consistent reads and writes.
 ///

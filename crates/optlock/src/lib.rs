@@ -84,7 +84,11 @@ mod cell;
 pub use cell::SeqCell;
 
 use std::fmt;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+// The version word goes through `chaos::sync` so the schedule-exploration
+// harness (crates/chaos) can interleave threads between any two protocol
+// steps. In normal builds these are literal std::sync::atomic aliases.
+use chaos::sync::{fence, AtomicU64, Ordering};
 
 /// A read lease: the version number observed when a read phase started.
 ///
@@ -146,6 +150,7 @@ impl OptimisticRwLock {
     /// each other's cache lines.
     #[inline]
     pub fn start_read(&self) -> Lease {
+        chaos::checkpoint("optlock::start_read");
         let mut backoff = Backoff::new();
         loop {
             let v = self.version.load(Ordering::Acquire);
@@ -165,6 +170,7 @@ impl OptimisticRwLock {
     #[inline]
     #[must_use = "an invalidated read must be retried"]
     pub fn validate(&self, lease: Lease) -> bool {
+        chaos::checkpoint("optlock::validate");
         fence(Ordering::Acquire);
         self.version.load(Ordering::Relaxed) == lease.0
     }
@@ -186,6 +192,7 @@ impl OptimisticRwLock {
     #[must_use = "on failure the operation must be restarted"]
     pub fn try_upgrade_to_write(&self, lease: Lease) -> bool {
         debug_assert_eq!(lease.0 & 1, 0, "leases always hold even versions");
+        chaos::checkpoint("optlock::upgrade");
         self.version
             .compare_exchange(lease.0, lease.0 + 1, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
@@ -197,6 +204,7 @@ impl OptimisticRwLock {
     #[inline]
     #[must_use = "on failure the operation must be restarted or retried"]
     pub fn try_start_write(&self) -> bool {
+        chaos::checkpoint("optlock::try_start_write");
         let v = self.version.load(Ordering::Relaxed);
         v & 1 == 0
             && self
@@ -222,15 +230,25 @@ impl OptimisticRwLock {
     /// to the next even number, invalidating every outstanding lease.
     #[inline]
     pub fn end_write(&self) {
+        chaos::checkpoint("optlock::end_write");
         let v = self.version.load(Ordering::Relaxed);
         debug_assert_eq!(v & 1, 1, "end_write without an active write phase");
-        self.version.store(v + 1, Ordering::Release);
+        // Planted bug for the harness self-test (see the `chaos-inject-bug`
+        // feature): releasing without the version bump makes a committed
+        // write indistinguishable from an abort, so leases taken before it
+        // still validate and updates are silently lost.
+        #[cfg(all(chaos, feature = "chaos-inject-bug"))]
+        let next = v - 1;
+        #[cfg(not(all(chaos, feature = "chaos-inject-bug")))]
+        let next = v + 1;
+        self.version.store(next, Ordering::Release);
     }
 
     /// Ends a write phase in which **no modification took place**, restoring
     /// the pre-write version so that concurrent read leases remain valid.
     #[inline]
     pub fn abort_write(&self) {
+        chaos::checkpoint("optlock::abort_write");
         let v = self.version.load(Ordering::Relaxed);
         debug_assert_eq!(v & 1, 1, "abort_write without an active write phase");
         self.version.store(v - 1, Ordering::Release);
@@ -270,12 +288,16 @@ impl Backoff {
 
     #[inline]
     fn spin(&mut self) {
+        // `chaos::hint::spin_loop` / `chaos::thread::yield_now` are
+        // `std::hint::spin_loop` / `std::thread::yield_now` outside model
+        // runs; inside one, each is a scheduling decision that lets the
+        // lock holder run (so model-checked spin loops terminate).
         if self.step <= Self::SPIN_LIMIT {
             for _ in 0..1u32 << self.step {
-                std::hint::spin_loop();
+                chaos::hint::spin_loop();
             }
         } else {
-            std::thread::yield_now();
+            chaos::thread::yield_now();
         }
         if self.step <= Self::YIELD_LIMIT {
             self.step += 1;

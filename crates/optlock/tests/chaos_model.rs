@@ -1,0 +1,172 @@
+//! Model-checked protocol tests for the optimistic lock: every schedule the
+//! chaos harness explores must preserve the lock's atomicity guarantees.
+//!
+//! Without `RUSTFLAGS="--cfg chaos"` these still run, degenerated to
+//! spawn/join-granularity interleaving; the CI `chaos` job runs them
+//! instrumented across a seed matrix. The `planted_version_bug_is_caught`
+//! self-test needs `--features chaos-inject-bug` *and* the cfg.
+
+// With `chaos-inject-bug` on but without `--cfg chaos` every test in this
+// file is compiled out (the unmutated tests refuse the mutation, the
+// self-test needs the instrumentation), so gate the imports accordingly.
+#[cfg(any(not(feature = "chaos-inject-bug"), chaos))]
+use std::sync::Arc;
+
+#[cfg(any(not(feature = "chaos-inject-bug"), chaos))]
+use chaos::sync::{AtomicU64, Ordering::Relaxed};
+#[cfg(any(not(feature = "chaos-inject-bug"), chaos))]
+use optlock::OptimisticRwLock;
+// Only the unmutated protocol tests exercise the seqlock cell; with the
+// planted bug compiled in they are cfg'd out along with this import.
+#[cfg(not(feature = "chaos-inject-bug"))]
+use optlock::SeqCell;
+
+/// Read-validate-upgrade increments from several threads: the paper's
+/// read-potential-write pattern. Under the (unmutated) protocol no schedule
+/// may lose an update.
+#[cfg(not(feature = "chaos-inject-bug"))]
+#[test]
+fn upgrade_counter_is_atomic_in_every_schedule() {
+    const THREADS: usize = 3;
+    const PER_THREAD: u64 = 2;
+    chaos::model(chaos::seeds_from_env(0..64), || {
+        let lock = Arc::new(OptimisticRwLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (lock, counter) = (lock.clone(), counter.clone());
+                chaos::thread::spawn(move || {
+                    let mut done = 0;
+                    while done < PER_THREAD {
+                        let lease = lock.start_read();
+                        let seen = counter.load(Relaxed);
+                        if !lock.validate(lease) {
+                            continue;
+                        }
+                        if lock.try_upgrade_to_write(lease) {
+                            counter.store(seen + 1, Relaxed);
+                            lock.end_write();
+                            done += 1;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(
+            counter.load(Relaxed),
+            THREADS as u64 * PER_THREAD,
+            "lost update"
+        );
+    });
+}
+
+/// Seqlock readers must never observe a torn multi-word value, in any
+/// schedule the model explores.
+#[cfg(not(feature = "chaos-inject-bug"))]
+#[test]
+fn seqcell_readers_never_tear() {
+    chaos::model(chaos::seeds_from_env(0..64), || {
+        let cell: Arc<SeqCell<3>> = Arc::new(SeqCell::default());
+        let writer = {
+            let cell = cell.clone();
+            chaos::thread::spawn(move || {
+                for i in 1..=2u64 {
+                    cell.write([i; 3]);
+                }
+            })
+        };
+        let reader = {
+            let cell = cell.clone();
+            chaos::thread::spawn(move || {
+                for _ in 0..2 {
+                    let snap = cell.read();
+                    assert!(snap.iter().all(|&x| x == snap[0]), "torn read: {snap:?}");
+                }
+            })
+        };
+        writer.join();
+        reader.join();
+        assert_eq!(cell.read(), [2; 3]);
+    });
+}
+
+/// An aborted write must leave concurrent leases valid; a committed write
+/// must invalidate them — in every interleaving of the two.
+#[cfg(not(feature = "chaos-inject-bug"))]
+#[test]
+fn abort_preserves_leases_commit_invalidates() {
+    chaos::model(chaos::seeds_from_env(0..32), || {
+        let lock = Arc::new(OptimisticRwLock::new());
+        let writer = {
+            let lock = lock.clone();
+            chaos::thread::spawn(move || {
+                lock.start_write();
+                lock.abort_write(); // no modification: readers stay valid
+                lock.start_write();
+                lock.end_write(); // modification: version moves to 2
+            })
+        };
+        // A reader that validates has seen version 0 or 2, never 1.
+        let lease = lock.start_read();
+        assert_eq!(lease.version() & 1, 0);
+        let _ = lock.validate(lease);
+        writer.join();
+        assert_eq!(lock.raw_version(), 2);
+        let lease = lock.start_read();
+        assert!(lock.validate(lease), "quiescent lease must validate");
+    });
+}
+
+/// Mutation self-test: with the planted `chaos-inject-bug` defect compiled
+/// in (end_write restores the version instead of bumping it), the harness
+/// must catch a lost update within a bounded seed budget — proving the
+/// model checker actually has the power to see protocol violations.
+#[cfg(all(chaos, feature = "chaos-inject-bug"))]
+#[test]
+fn planted_version_bug_is_caught() {
+    const THREADS: usize = 3;
+    let out = chaos::find_failure(&chaos::Config::default(), 0..256, || {
+        let lock = Arc::new(OptimisticRwLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (lock, counter) = (lock.clone(), counter.clone());
+                chaos::thread::spawn(move || {
+                    let mut done = 0;
+                    while done < 2 {
+                        let lease = lock.start_read();
+                        let seen = counter.load(Relaxed);
+                        if !lock.validate(lease) {
+                            continue;
+                        }
+                        if lock.try_upgrade_to_write(lease) {
+                            counter.store(seen + 1, Relaxed);
+                            lock.end_write();
+                            done += 1;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(counter.load(Relaxed), 2 * THREADS as u64, "lost update");
+    });
+    let out = out.expect(
+        "the planted end_write bug must be caught within 256 seeds; \
+         if this fails the harness has lost its bug-finding power",
+    );
+    assert!(
+        out.failure.as_deref().unwrap_or("").contains("lost update"),
+        "expected a lost update, got: {:?}",
+        out.failure
+    );
+    println!(
+        "planted bug caught at seed {} after {} steps (trace {:#018x})",
+        out.seed, out.steps, out.trace_hash
+    );
+}

@@ -33,13 +33,19 @@
 
 use optlock::OptimisticRwLock;
 use std::cmp::Ordering;
-use std::sync::atomic::{AtomicPtr, AtomicU16, Ordering::Relaxed};
+
+// Node fields go through `chaos::sync` so the schedule-exploration harness
+// can interleave threads between any two field accesses. In normal builds
+// these are literal `std::sync::atomic` aliases; under `--cfg chaos` they
+// are `#[repr(transparent)]` wrappers, so the zeroed-allocation reasoning
+// in `alloc()` holds in both modes.
+use chaos::sync::{AtomicPtr, AtomicU16, AtomicU64, Ordering::Relaxed};
 
 /// A Datalog tuple: a fixed-arity array of `u64` words.
 pub type Tuple<const K: usize> = [u64; K];
 
 /// Atomic storage for one tuple (one key slot of a node).
-pub(crate) type KeySlot<const K: usize> = [std::sync::atomic::AtomicU64; K];
+pub(crate) type KeySlot<const K: usize> = [AtomicU64; K];
 
 /// Three-way lexicographic tuple comparator (paper §3.3, "custom 3-way
 /// comparator"): decides `<` / `=` / `>` in a single pass instead of the two

@@ -12,6 +12,7 @@
 //! `unsafe` and gives the allocator-friendly contiguous layout a tuned
 //! sequential structure would use.
 
+use crate::check::{InvariantViolation, TreeShape};
 use crate::node::{cmp3, Tuple};
 use std::cmp::Ordering;
 
@@ -553,6 +554,129 @@ impl<const K: usize, const C: usize> SeqBTreeSet<K, C> {
         self.lower_bound(&lower)
             .take_while(move |t| t[..plen] == lower[..plen])
     }
+
+    /// Verifies the structural invariants of the tree — the sequential twin
+    /// of [`BTreeSet::check_invariants`](crate::BTreeSet::check_invariants),
+    /// checking the same properties (there are no locks to check here):
+    ///
+    /// 1. keys within each node are strictly ascending,
+    /// 2. every key lies within the separator interval inherited from its
+    ///    ancestors,
+    /// 3. inner nodes have exactly `num + 1` valid children,
+    /// 4. every child's `parent`/`position` back-links are exact,
+    /// 5. all leaves sit at the same depth,
+    /// 6. the eager `len` counter matches the number of stored keys.
+    ///
+    /// Returns the tree shape on success.
+    pub fn check_invariants(&self) -> Result<TreeShape, InvariantViolation> {
+        let mut shape = TreeShape::default();
+        if self.root == NONE {
+            if self.len != 0 {
+                return Err(InvariantViolation(format!(
+                    "empty tree reports len {}",
+                    self.len
+                )));
+            }
+            return Ok(shape);
+        }
+        if self.nodes[self.root as usize].parent != NONE {
+            return Err(InvariantViolation("root has a parent link".into()));
+        }
+        let mut leaf_depth = None;
+        self.check_node(self.root, None, None, 1, &mut leaf_depth, &mut shape)?;
+        shape.depth = leaf_depth.unwrap_or(0);
+        if shape.keys != self.len {
+            return Err(InvariantViolation(format!(
+                "len counter {} disagrees with stored keys {}",
+                self.len, shape.keys
+            )));
+        }
+        Ok(shape)
+    }
+
+    /// The tree's aggregate shape (see [`TreeShape`]); panics on a corrupt
+    /// tree.
+    pub fn shape(&self) -> TreeShape {
+        self.check_invariants()
+            .expect("structural invariant violated")
+    }
+
+    fn check_node(
+        &self,
+        id: u32,
+        lower: Option<Tuple<K>>,
+        upper: Option<Tuple<K>>,
+        depth: usize,
+        leaf_depth: &mut Option<usize>,
+        shape: &mut TreeShape,
+    ) -> Result<(), InvariantViolation> {
+        let node = &self.nodes[id as usize];
+        let n = node.num as usize;
+        if n > C {
+            return Err(InvariantViolation(format!(
+                "node {id} claims {n} keys, capacity is {C}"
+            )));
+        }
+        shape.nodes += 1;
+        shape.keys += n;
+        for i in 0..n {
+            let k = &node.keys[i];
+            if i > 0 && cmp3(&node.keys[i - 1], k) != Ordering::Less {
+                return Err(InvariantViolation(format!(
+                    "node {id}: keys not strictly ascending at {i}"
+                )));
+            }
+            if let Some(lo) = &lower {
+                if cmp3(k, lo) != Ordering::Greater {
+                    return Err(InvariantViolation(format!(
+                        "node {id}: key {i} below its separator interval"
+                    )));
+                }
+            }
+            if let Some(hi) = &upper {
+                if cmp3(k, hi) != Ordering::Less {
+                    return Err(InvariantViolation(format!(
+                        "node {id}: key {i} above its separator interval"
+                    )));
+                }
+            }
+        }
+        if !node.inner {
+            shape.leaves += 1;
+            match *leaf_depth {
+                None => *leaf_depth = Some(depth),
+                Some(d) if d != depth => {
+                    return Err(InvariantViolation(format!(
+                        "leaf {id} at depth {depth}, expected {d}"
+                    )));
+                }
+                Some(_) => {}
+            }
+            return Ok(());
+        }
+        for i in 0..=n {
+            let ch = node.child(i);
+            if ch == NONE || ch as usize >= self.nodes.len() {
+                return Err(InvariantViolation(format!(
+                    "inner node {id}: child {i} missing or out of range"
+                )));
+            }
+            let chn = &self.nodes[ch as usize];
+            if chn.parent != id || chn.position as usize != i {
+                return Err(InvariantViolation(format!(
+                    "child {ch} of node {id} has stale parent/position links"
+                )));
+            }
+            let lo = if i == 0 {
+                lower
+            } else {
+                Some(node.keys[i - 1])
+            };
+            let hi = if i == n { upper } else { Some(node.keys[i]) };
+            self.check_node(ch, lo, hi, depth + 1, leaf_depth, shape)?;
+        }
+        Ok(())
+    }
 }
 
 impl<const K: usize, const C: usize> Extend<Tuple<K>> for SeqBTreeSet<K, C> {
@@ -639,6 +763,7 @@ mod tests {
         assert_eq!(s.len(), 0);
         assert_eq!(s.iter().count(), 0);
         assert!(!s.contains(&[0, 0]));
+        assert_eq!(s.shape(), crate::TreeShape::default());
     }
 
     #[test]
@@ -651,6 +776,7 @@ mod tests {
         assert_eq!(s.len(), 3);
         let v: Vec<_> = s.iter().collect();
         assert_eq!(v, vec![[1, 1], [2, 2], [3, 3]]);
+        s.check_invariants().unwrap();
     }
 
     #[test]
@@ -667,6 +793,9 @@ mod tests {
             assert!(s.contains(&[i / 50, i % 50]));
         }
         assert!(!s.contains(&[999, 999]));
+        let shape = s.check_invariants().unwrap();
+        assert_eq!(shape.keys, 2000);
+        assert!(shape.depth >= 3, "2000 keys at capacity 8 must be deep");
     }
 
     #[test]
@@ -686,6 +815,29 @@ mod tests {
         let ours: Vec<_> = s.iter().collect();
         let theirs: Vec<_> = model.into_iter().collect();
         assert_eq!(ours, theirs);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn shape_statistics_are_consistent() {
+        let mut s = Set::new();
+        for i in 0..500u64 {
+            s.insert([i, i]);
+        }
+        let shape = s.check_invariants().unwrap();
+        assert_eq!(shape.keys, 500);
+        assert!(shape.leaves <= shape.nodes);
+        assert!(
+            shape.fill_grade(8) > 0.4,
+            "median splits fill at least half"
+        );
+        // Parity with the concurrent tree: same geometry, same invariants,
+        // same shape accounting.
+        let conc: crate::BTreeSet<2, 8> = (0..500u64).map(|i| [i, i]).collect();
+        let cshape = conc.check_invariants().unwrap();
+        assert_eq!(shape.keys, cshape.keys);
+        assert_eq!(shape.depth, cshape.depth);
+        assert_eq!(shape.nodes, cshape.nodes);
     }
 
     #[test]

@@ -30,7 +30,13 @@ use crate::hints::BTreeHints;
 use crate::node::{cmp3, InnerNode, LeafNode, NodePtr, Tuple};
 use optlock::OptimisticRwLock;
 use std::cmp::Ordering;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::Relaxed};
+// The root pointer participates in the optimistic protocol, so it goes
+// through `chaos::sync` (instrumented under `--cfg chaos`, a std alias
+// otherwise).
+use chaos::sync::{AtomicPtr, Ordering::Relaxed};
+// Tree-id allocation is bookkeeping, not protocol state: keep it on plain
+// std atomics so it never appears in explored schedules.
+use std::sync::atomic::AtomicU64;
 
 /// Default node capacity (keys per node).
 ///
@@ -196,9 +202,10 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
 
     /// Ensures the tree has a root node (Algorithm 1, lines 2–9).
     fn ensure_root(&self) {
+        chaos::checkpoint("btree::ensure_root");
         while self.root.load(Relaxed).is_null() {
             if !self.root_lock.try_start_write() {
-                std::hint::spin_loop();
+                chaos::hint::spin_loop();
                 continue;
             }
             if self.root.load(Relaxed).is_null() {
@@ -218,7 +225,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             if root.is_null() {
                 // Only possible before the first insert; callers that can
                 // see an empty tree handle null themselves.
-                std::hint::spin_loop();
+                chaos::hint::spin_loop();
                 continue;
             }
             // SAFETY: nodes are never freed while the tree is alive, so
@@ -235,6 +242,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         self.ensure_root();
 
         'restart: loop {
+            chaos::checkpoint("btree::insert::descend");
             // Lines 13–17: root node + lease.
             let (mut cur, mut cur_lease) = self.read_root();
 
@@ -280,6 +288,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 }
 
                 // Lines 35–36: request write access to the located leaf.
+                chaos::checkpoint("btree::insert::leaf_upgrade");
                 if !node.lock.try_upgrade_to_write(cur_lease) {
                     continue 'restart;
                 }
@@ -375,6 +384,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
     /// (its lock is *not* released here); all path locks acquired inside
     /// are released.
     pub(crate) fn split(&self, node: NodePtr<K, C>) {
+        chaos::checkpoint("btree::split");
         // Phase 1 (lines 2–23): write-lock the path bottom-up, stopping at
         // the first non-full ancestor or at the root lock.
         let mut path: Vec<NodePtr<K, C>> = Vec::new();
@@ -492,6 +502,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             xn.position.store(0, Relaxed);
             sn.parent.store(new_root, Relaxed);
             sn.position.store(1, Relaxed);
+            chaos::checkpoint("btree::root_swap");
             self.root.store(new_root, Relaxed);
         } else {
             // SAFETY: the parent is write-locked (phase 1) or is a fresh

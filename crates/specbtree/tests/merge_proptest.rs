@@ -1,0 +1,137 @@
+//! Property tests for `specbtree::merge`: bulk `insert_all` must behave as
+//! set union against a `std::collections::BTreeSet` model on adversarial
+//! input shapes — duplicate-heavy, fully overlapping, and the empty-target
+//! path that takes the `build_from_sorted` bulk-build shortcut — with the
+//! structural invariants intact afterwards.
+
+use proptest::prelude::*;
+use specbtree::BTreeSet;
+use std::collections::BTreeSet as Model;
+
+/// A deliberately tiny key domain so random vectors are saturated with
+/// duplicates and both trees fight over the same handful of leaves.
+fn dup_heavy_key() -> impl Strategy<Value = [u64; 2]> {
+    (0u64..8, 0u64..8).prop_map(|(a, b)| [a, b])
+}
+
+/// A moderate domain for shapes where we want overlap but also fresh keys.
+fn key() -> impl Strategy<Value = [u64; 2]> {
+    (0u64..64, 0u64..64).prop_map(|(a, b)| [a, b])
+}
+
+fn build<const C: usize>(keys: &[[u64; 2]]) -> BTreeSet<2, C> {
+    let t = BTreeSet::new();
+    for k in keys {
+        t.insert(*k);
+    }
+    t
+}
+
+fn model(keys: &[[u64; 2]]) -> Model<[u64; 2]> {
+    keys.iter().copied().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Duplicate-heavy inputs: most keys collide, both within each source
+    /// and across the two trees. The union must still be exact and deduped.
+    #[test]
+    fn duplicate_heavy_merge_is_set_union(
+        a in prop::collection::vec(dup_heavy_key(), 0..200),
+        b in prop::collection::vec(dup_heavy_key(), 0..200),
+    ) {
+        let ta: BTreeSet<2, 4> = build(&a);
+        let tb: BTreeSet<2, 4> = build(&b);
+        ta.insert_all(&tb);
+        let shape = ta.check_invariants().unwrap();
+        let expect: Model<[u64; 2]> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(shape.keys, expect.len());
+        prop_assert_eq!(
+            ta.iter().collect::<Vec<_>>(),
+            expect.iter().copied().collect::<Vec<_>>()
+        );
+        // The source must be untouched by the merge.
+        prop_assert_eq!(tb.iter().collect::<Vec<_>>(), model(&b).into_iter().collect::<Vec<_>>());
+    }
+
+    /// Fully-overlapping inputs: target and source hold exactly the same
+    /// key set, so every single insert during the merge is a duplicate hit.
+    /// The target must come out unchanged.
+    #[test]
+    fn fully_overlapping_merge_is_identity(keys in prop::collection::vec(key(), 0..300)) {
+        let ta: BTreeSet<2, 4> = build(&keys);
+        let tb: BTreeSet<2, 4> = build(&keys);
+        let before: Vec<_> = ta.iter().collect();
+        ta.insert_all(&tb);
+        ta.check_invariants().unwrap();
+        prop_assert_eq!(ta.iter().collect::<Vec<_>>(), before);
+        prop_assert_eq!(ta.len(), model(&keys).len());
+    }
+
+    /// Merging into an empty target takes the `build_from_sorted` bulk path;
+    /// the result must be indistinguishable from element-wise insertion.
+    #[test]
+    fn empty_target_bulk_path_matches_model(keys in prop::collection::vec(key(), 0..400)) {
+        let dst: BTreeSet<2, 4> = BTreeSet::new();
+        let src: BTreeSet<2, 4> = build(&keys);
+        dst.insert_all(&src);
+        let shape = dst.check_invariants().unwrap();
+        let expect = model(&keys);
+        prop_assert_eq!(shape.keys, expect.len());
+        prop_assert_eq!(
+            dst.iter().collect::<Vec<_>>(),
+            expect.into_iter().collect::<Vec<_>>()
+        );
+        // Bulk-built trees must answer point queries like incremental ones.
+        for k in keys.iter().take(30) {
+            prop_assert!(dst.contains(k));
+        }
+    }
+
+    /// insert_all is idempotent and commutative up to set semantics:
+    /// (a ∪ b) ∪ b == a ∪ b, and merging in either order yields the same set.
+    #[test]
+    fn merge_is_idempotent_and_order_insensitive(
+        a in prop::collection::vec(dup_heavy_key(), 0..150),
+        b in prop::collection::vec(key(), 0..150),
+    ) {
+        let left: BTreeSet<2, 4> = build(&a);
+        let tb: BTreeSet<2, 4> = build(&b);
+        left.insert_all(&tb);
+        left.insert_all(&tb); // second merge must be a no-op
+        left.check_invariants().unwrap();
+
+        let right: BTreeSet<2, 4> = build(&b);
+        let ta: BTreeSet<2, 4> = build(&a);
+        right.insert_all(&ta);
+        right.check_invariants().unwrap();
+
+        prop_assert_eq!(
+            left.iter().collect::<Vec<_>>(),
+            right.iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// A chain of merges from many small deltas — the semi-naive evaluation
+    /// pattern — must equal one big union, at a capacity that forces deep
+    /// trees so splits happen mid-merge.
+    #[test]
+    fn chained_delta_merges_match_one_union(
+        deltas in prop::collection::vec(prop::collection::vec(key(), 0..60), 0..6),
+    ) {
+        let acc: BTreeSet<2, 4> = BTreeSet::new();
+        let mut expect = Model::new();
+        for delta in &deltas {
+            let d: BTreeSet<2, 4> = build(delta);
+            acc.insert_all(&d);
+            expect.extend(delta.iter().copied());
+            acc.check_invariants().unwrap();
+            prop_assert_eq!(acc.len(), expect.len());
+        }
+        prop_assert_eq!(
+            acc.iter().collect::<Vec<_>>(),
+            expect.into_iter().collect::<Vec<_>>()
+        );
+    }
+}

@@ -20,6 +20,7 @@ pub mod graphs;
 pub mod network;
 pub mod points;
 pub mod pointsto;
+pub mod rng;
 
 /// A simple wall-clock stopwatch used by the benchmark harnesses.
 #[derive(Debug)]

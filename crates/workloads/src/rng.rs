@@ -1,0 +1,68 @@
+//! The workspace's shared test/benchmark PRNG.
+//!
+//! Every crate's tests used to carry a private copy of this splitmix64
+//! routine; they all call this one now so seeds mean the same thing
+//! everywhere (and so chaos model tests, which must not consume scheduler
+//! randomness, have a deterministic data source of their own).
+
+/// One step of splitmix64 (Steele, Lea & Flood, OOPSLA 2014): advances
+/// `state` and returns a well-mixed 64-bit value. Passes BigCrush when used
+/// as a stream; trivially seedable from any `u64`.
+#[inline]
+pub fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateful wrapper around [`splitmix`] for call sites that prefer a
+/// generator object to a `&mut u64`.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// The next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix(&mut self.0)
+    }
+
+    /// A value uniform in `0..bound` (`bound` must be nonzero). Uses simple
+    /// modulo — fine for tests, where the tiny modulo bias is irrelevant.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_mixed() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let x = splitmix(&mut a);
+        assert_eq!(x, splitmix(&mut b), "same seed, same stream");
+        assert_ne!(splitmix(&mut a), x, "stream advances");
+    }
+
+    #[test]
+    fn wrapper_matches_free_function() {
+        let mut state = 7u64;
+        let mut gen = SplitMix64::new(7);
+        for _ in 0..10 {
+            assert_eq!(gen.next_u64(), splitmix(&mut state));
+        }
+        assert!(gen.below(10) < 10);
+    }
+}

@@ -6,15 +6,10 @@ use concurrent_datalog_btree::specbtree::BTreeSet;
 use std::collections::BTreeSet as Model;
 use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 
-fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E3779B97F4A7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
+use workloads::rng::splitmix;
 
 #[test]
+#[ignore = "heavy native soak; chaos-model port in tests/chaos_stress.rs covers schedules"]
 fn duplicate_insert_races_count_exactly_once() {
     // Every key inserted by every thread; the number of successful inserts
     // across all threads must equal the number of distinct keys.
@@ -96,6 +91,7 @@ fn semi_naive_phases_at_scale() {
 }
 
 #[test]
+#[ignore = "heavy native soak; chaos-model port in tests/chaos_stress.rs covers schedules"]
 fn heavy_random_contention_with_invariant_audit() {
     let tree: BTreeSet<2, 4> = BTreeSet::new();
     let all: Vec<Vec<[u64; 2]>> = (0..8u64)
@@ -145,6 +141,7 @@ fn bulk_merge_races_with_point_inserts() {
 }
 
 #[test]
+#[ignore = "heavy native soak; chaos-model port in tests/chaos_stress.rs covers schedules"]
 fn read_phase_after_each_write_phase_is_fully_consistent() {
     let tree: BTreeSet<1, 8> = BTreeSet::new();
     let mut inserted = 0u64;
