@@ -12,7 +12,7 @@
 //! more to approach it). Sides sweep `S/8, S/4, S/2, S` mirroring the
 //! paper's four sizes.
 
-use bench_suite::{fmt_mops, print_row, Args, Contestant};
+use bench_suite::{emit_telemetry, fmt_mops, print_row, Args, Contestant};
 use workloads::points::{points_2d, query_sequence};
 use workloads::Stopwatch;
 
@@ -127,6 +127,8 @@ fn main() {
             print_row(args.csv, c.label(), &cells);
         }
     }
+
+    emit_telemetry("fig3");
 }
 
 fn header(args: &Args, part: &str, what: &str, sides: &[u64]) {

@@ -22,7 +22,7 @@ use baselines::global_lock::GlobalLock;
 use baselines::lockcoupling::LockCouplingBTree;
 use baselines::reduction::reduce_insert;
 use baselines::splitorder::SplitOrderedSet;
-use bench_suite::{fmt_mops, print_row, Args};
+use bench_suite::{emit_telemetry, fmt_mops, print_row, Args};
 use specbtree::BTreeSet;
 use workloads::points::{partition_batches, points_2d};
 use workloads::Stopwatch;
@@ -173,4 +173,6 @@ fn main() {
             print_row(args.csv, name, &cells);
         }
     }
+
+    emit_telemetry("fig4");
 }

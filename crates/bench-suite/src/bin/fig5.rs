@@ -9,7 +9,7 @@
 //! `--scale N` scales the generated fact bases (default 6). `--threads`
 //! overrides the sweep (default 1,2,4,8).
 
-use bench_suite::{print_row, Args};
+use bench_suite::{emit_telemetry, print_row, Args};
 use datalog::{Engine, StorageKind};
 use workloads::network::{self, NetworkConfig};
 use workloads::pointsto::{self, PointsToConfig};
@@ -94,4 +94,6 @@ fn main() {
             print_row(args.csv, kind.label(), &cells);
         }
     }
+
+    emit_telemetry("fig5");
 }

@@ -10,9 +10,9 @@
 //! 1,2,4,8`, `--seed N`, `--csv`, `--quick` (CI smoke: tiny graphs, one
 //! repetition).
 
-use bench_suite::{print_row, Args};
+use bench_suite::json::JsonWriter;
+use bench_suite::{emit_telemetry, print_row, Args};
 use datalog::{parse, Engine, ParallelStrategy, StorageKind};
-use std::fmt::Write as _;
 use std::time::Instant;
 use workloads::graphs;
 
@@ -91,12 +91,6 @@ fn measure(
     }
 }
 
-fn json_escape_free(name: &str) -> &str {
-    // Workload names are ASCII identifiers; assert rather than escape.
-    assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
-    name
-}
-
 fn main() {
     let args = Args::parse();
     let scale = if args.scale == 0 { 1 } else { args.scale };
@@ -128,17 +122,15 @@ fn main() {
         ]
     };
 
-    let mut json = String::from("{\n  \"bench\": \"sched\",\n");
-    let _ = writeln!(json, "  \"quick\": {},", args.quick);
-    let _ = writeln!(json, "  \"reps\": {reps},");
-    let _ = writeln!(
-        json,
-        "  \"chunks_per_worker\": {},",
-        datalog::CHUNKS_PER_WORKER
-    );
-    json.push_str("  \"workloads\": [\n");
+    let mut json = JsonWriter::new();
+    json.begin_object();
+    json.field_str("bench", "sched");
+    json.field_bool("quick", args.quick);
+    json.field_u64("reps", reps as u64);
+    json.field_u64("chunks_per_worker", datalog::CHUNKS_PER_WORKER as u64);
+    json.begin_array_field("workloads");
 
-    for (wi, (name, edges)) in workloads.iter().enumerate() {
+    for (name, edges) in &workloads {
         println!("== {name}: {} edges ==", edges.len());
         print_row(
             args.csv,
@@ -200,48 +192,41 @@ fn main() {
             chk.per_worker.iter().map(|w| w.0).collect::<Vec<_>>()
         );
 
-        let _ = writeln!(json, "    {{");
-        let _ = writeln!(json, "      \"name\": \"{}\",", json_escape_free(name));
-        let _ = writeln!(json, "      \"edges\": {},", edges.len());
-        let _ = writeln!(json, "      \"closure\": {expect},");
-        let _ = writeln!(
-            json,
-            "      \"speedup_chunk_vs_materialize_at_{top}_threads\": {speedup:.4},"
+        json.begin_object();
+        json.field_str("name", name);
+        json.field_u64("edges", edges.len() as u64);
+        json.field_u64("closure", expect as u64);
+        json.field_f64(
+            &format!("speedup_chunk_vs_materialize_at_{top}_threads"),
+            speedup,
+            4,
         );
-        json.push_str("      \"results\": [\n");
-        for (i, s) in samples.iter().enumerate() {
-            let workers: Vec<String> = s
-                .per_worker
-                .iter()
-                .map(|&(c, n)| format!("{{\"chunks\": {c}, \"scanned\": {n}}}"))
-                .collect();
-            let _ = write!(
-                json,
-                "        {{\"strategy\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, \
-                 \"chunks_claimed\": {}, \"tuples_scanned\": {}, \"tuples_emitted\": {}, \
-                 \"imbalance\": {:.4}, \"hint_hit_rate\": {:.4}, \"workers\": [{}]}}",
-                strategy_name(s.strategy),
-                s.threads,
-                s.seconds,
-                s.chunks_claimed,
-                s.tuples_scanned,
-                s.tuples_emitted,
-                s.imbalance,
-                s.hint_hit_rate,
-                workers.join(", ")
-            );
-            json.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+        json.begin_array_field("results");
+        for s in &samples {
+            json.begin_object();
+            json.field_str("strategy", strategy_name(s.strategy));
+            json.field_u64("threads", s.threads as u64);
+            json.field_f64("seconds", s.seconds, 6);
+            json.field_u64("chunks_claimed", s.chunks_claimed);
+            json.field_u64("tuples_scanned", s.tuples_scanned);
+            json.field_u64("tuples_emitted", s.tuples_emitted);
+            json.field_f64("imbalance", s.imbalance, 4);
+            json.field_f64("hint_hit_rate", s.hint_hit_rate, 4);
+            json.begin_array_field("workers");
+            for &(c, n) in &s.per_worker {
+                json.item_raw(&format!("{{\"chunks\": {c}, \"scanned\": {n}}}"));
+            }
+            json.end_array();
+            json.end_object();
         }
-        json.push_str("      ]\n");
-        json.push_str(if wi + 1 < workloads.len() {
-            "    },\n"
-        } else {
-            "    }\n"
-        });
+        json.end_array();
+        json.end_object();
     }
 
-    json.push_str("  ]\n}\n");
+    json.end_array();
+    json.end_object();
     let out = "BENCH_sched.json";
-    std::fs::write(out, &json).expect("write BENCH_sched.json");
+    std::fs::write(out, json.finish()).expect("write BENCH_sched.json");
     println!("wrote {out}");
+    emit_telemetry("sched");
 }

@@ -6,7 +6,7 @@
 //! (single value; default 1) selects the worker count whose hint rates are
 //! reported — the paper quotes both the 1-thread and 16-thread rates.
 
-use bench_suite::{print_row, Args};
+use bench_suite::{emit_telemetry, print_row, Args};
 use datalog::{Engine, EvalStats, StorageKind};
 use workloads::network::{self, NetworkConfig};
 use workloads::pointsto::{self, PointsToConfig};
@@ -147,4 +147,6 @@ fn main() {
     );
     println!("  Doop/DaCapo: 8.3e7 inserts, 1.5e8 membership, 2.1e8 lower/upper, 8.3e6 in, 2.5e7 out, 54% hints");
     println!("  EC2:         2.1e7 inserts, 4.2e9 membership, 2.5e9 lower/upper, 3.5e3 in, 1.6e7 out, 77% hints");
+
+    emit_telemetry("table2");
 }

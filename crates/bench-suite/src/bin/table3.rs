@@ -10,7 +10,7 @@
 use baselines::bslack::BSlackTree;
 use baselines::masstree::MasstreeAnalog;
 use baselines::palm::PalmTree;
-use bench_suite::{fmt_mops, print_row, Args};
+use bench_suite::{emit_telemetry, fmt_mops, print_row, Args};
 use specbtree::BTreeSet;
 use workloads::points::{keys_u32, partition_batches};
 use workloads::Stopwatch;
@@ -129,4 +129,6 @@ fn main() {
         }
         print_row(args.csv, &t.to_string(), &cells);
     }
+
+    emit_telemetry("table3");
 }

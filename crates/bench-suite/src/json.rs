@@ -1,0 +1,218 @@
+//! The shared hand-rolled JSON writer behind every `BENCH_*.json` /
+//! `TELEMETRY_*.json` report (the workspace has no serde; see DESIGN.md's
+//! dependency policy). Pretty-prints with two-space indentation and keeps
+//! a container stack so commas and closing brackets cannot be mismatched.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An incremental, indenting JSON document builder.
+///
+/// ```
+/// use bench_suite::json::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.field_str("bench", "demo");
+/// w.begin_array_field("results");
+/// w.item_raw("{\"threads\": 1}");
+/// w.end_array();
+/// w.end_object();
+/// assert!(w.finish().contains("\"bench\": \"demo\""));
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// One `bool` per open container: whether it already holds an element.
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer; start with [`begin_object`](Self::begin_object).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn newline_indent(&mut self) {
+        self.buf.push('\n');
+        for _ in 0..self.stack.len() {
+            self.buf.push_str("  ");
+        }
+    }
+
+    /// Opens the next element slot in the current container (comma,
+    /// newline, indentation). At the root this is a no-op.
+    fn slot(&mut self) {
+        if let Some(has) = self.stack.last_mut() {
+            if *has {
+                self.buf.push(',');
+            }
+            *has = true;
+            self.newline_indent();
+        }
+    }
+
+    fn keyed(&mut self, key: &str) {
+        self.slot();
+        let _ = write!(self.buf, "\"{}\": ", escape(key));
+    }
+
+    /// Opens an object as an array element (or as the document root).
+    pub fn begin_object(&mut self) {
+        self.slot();
+        self.buf.push('{');
+        self.stack.push(false);
+    }
+
+    /// Opens an object-valued field of the current object.
+    pub fn begin_object_field(&mut self, key: &str) {
+        self.keyed(key);
+        self.buf.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        let had = self.stack.pop().expect("end_object without begin_object");
+        if had {
+            self.newline_indent();
+        }
+        self.buf.push('}');
+    }
+
+    /// Opens an array-valued field of the current object.
+    pub fn begin_array_field(&mut self, key: &str) {
+        self.keyed(key);
+        self.buf.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        let had = self.stack.pop().expect("end_array without begin_array");
+        if had {
+            self.newline_indent();
+        }
+        self.buf.push(']');
+    }
+
+    /// A string-valued field (escaped).
+    pub fn field_str(&mut self, key: &str, v: &str) {
+        self.keyed(key);
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+    }
+
+    /// An integer-valued field.
+    pub fn field_u64(&mut self, key: &str, v: u64) {
+        self.keyed(key);
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// A float-valued field with a fixed number of decimals.
+    pub fn field_f64(&mut self, key: &str, v: f64, decimals: usize) {
+        self.keyed(key);
+        let _ = write!(self.buf, "{v:.decimals$}");
+    }
+
+    /// A boolean-valued field.
+    pub fn field_bool(&mut self, key: &str, v: bool) {
+        self.keyed(key);
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// A field whose value is already-serialized JSON (e.g. the
+    /// `to_json()` output of `EvalStats`, `HintStats`, `RuleProfile` or a
+    /// telemetry `Snapshot`).
+    pub fn field_raw(&mut self, key: &str, raw: &str) {
+        self.keyed(key);
+        self.buf.push_str(raw);
+    }
+
+    /// An array element holding already-serialized JSON.
+    pub fn item_raw(&mut self, raw: &str) {
+        self.slot();
+        self.buf.push_str(raw);
+    }
+
+    /// Returns the finished document (with trailing newline), panicking if
+    /// any container is still open.
+    pub fn finish(mut self) -> String {
+        assert!(self.stack.is_empty(), "unbalanced JSON writer");
+        self.buf.push('\n');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny\t"), "x\\ny\\t");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn writer_builds_nested_document() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("bench", "unit \"test\"");
+        w.field_u64("reps", 3);
+        w.field_f64("seconds", 0.5, 4);
+        w.field_bool("quick", true);
+        w.begin_array_field("workloads");
+        for i in 0..2u64 {
+            w.begin_object();
+            w.field_u64("i", i);
+            w.begin_array_field("workers");
+            w.item_raw(&format!("{{\"id\": {i}}}"));
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.begin_object_field("nested");
+        w.field_raw("inner", "{\"k\": 1}");
+        w.end_object();
+        w.begin_array_field("empty");
+        w.end_array();
+        w.end_object();
+        let doc = w.finish();
+        assert!(doc.contains("\"bench\": \"unit \\\"test\\\"\""), "{doc}");
+        assert!(doc.contains("\"seconds\": 0.5000"), "{doc}");
+        assert!(doc.contains("\"empty\": []"), "{doc}");
+        assert!(doc.contains("\"inner\": {\"k\": 1}"), "{doc}");
+        assert!(doc.ends_with("}\n"), "{doc}");
+        // Structural sanity: balanced brackets, one comma per sibling.
+        let opens = doc.matches(['{', '[']).count();
+        let closes = doc.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_writer_panics() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        let _ = w.finish();
+    }
+}

@@ -28,6 +28,24 @@ use baselines::splitorder::SplitOrderedSet;
 use specbtree::seq::{SeqBTreeSet, SeqHints};
 use specbtree::{BTreeHints, BTreeSet};
 
+pub mod json;
+
+/// Writes the merged telemetry snapshot next to a bin's `BENCH_*.json`
+/// (as `TELEMETRY_<name>.json`) and prints the human-readable table.
+/// Silent no-op when the `telemetry` feature is off, so every bin can call
+/// it unconditionally.
+pub fn emit_telemetry(name: &str) {
+    let snap = telemetry::snapshot();
+    if !snap.enabled {
+        return;
+    }
+    let path = format!("TELEMETRY_{name}.json");
+    std::fs::write(&path, snap.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("-- telemetry ({name}) --");
+    print!("{}", snap.to_table());
+    println!("wrote {path}");
+}
+
 /// Minimal command-line arguments shared by the harness binaries.
 #[derive(Debug, Clone)]
 pub struct Args {

@@ -52,9 +52,18 @@ impl From<StratError> for EngineError {
     }
 }
 
-/// Aggregate statistics of one evaluation run — the quantities the paper's
-/// Table 2 reports ("Evaluation Statistics") plus hint effectiveness
-/// (§4.3's hint hit rates).
+/// Aggregate evaluation statistics — the quantities the paper's Table 2
+/// reports ("Evaluation Statistics") plus hint effectiveness (§4.3's hint
+/// hit rates).
+///
+/// # Semantics across runs
+///
+/// Every counter **accumulates** for the lifetime of the engine: repeated
+/// [`Engine::run`] calls (incremental evaluation) keep adding to the same
+/// totals, and [`Engine::reset_stats`] restarts all of them from zero.
+/// The one exception is [`sched_imbalance`](Self::sched_imbalance), which
+/// — like [`Engine::worker_stats`] and [`Engine::profile`] — describes
+/// only the most recent run (a ratio cannot meaningfully accumulate).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EvalStats {
     /// Total `insert` calls on relation storages.
@@ -85,6 +94,36 @@ pub struct EvalStats {
     pub hints: HintStats,
 }
 
+impl EvalStats {
+    /// Serializes every field as one JSON object (hand-rolled,
+    /// dependency-free; the `hints` field nests
+    /// [`HintStats::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"inserts\": {}, \"membership_tests\": {}, ",
+                "\"lower_bound_calls\": {}, \"upper_bound_calls\": {}, ",
+                "\"input_tuples\": {}, \"produced_tuples\": {}, ",
+                "\"iterations\": {}, \"chunks_claimed\": {}, ",
+                "\"tuples_scanned\": {}, \"tuples_emitted\": {}, ",
+                "\"sched_imbalance\": {:.6}, \"hints\": {}}}"
+            ),
+            self.inserts,
+            self.membership_tests,
+            self.lower_bound_calls,
+            self.upper_bound_calls,
+            self.input_tuples,
+            self.produced_tuples,
+            self.iterations,
+            self.chunks_claimed,
+            self.tuples_scanned,
+            self.tuples_emitted,
+            self.sched_imbalance,
+            self.hints.to_json()
+        )
+    }
+}
+
 /// Per-rule evaluation profile (one entry per rule, summed over its
 /// semi-naive versions) — the engine's analog of Soufflé's profiler.
 #[derive(Debug, Clone)]
@@ -95,6 +134,35 @@ pub struct RuleProfile {
     pub evaluations: u64,
     /// Wall-clock seconds spent evaluating this rule's plans.
     pub seconds: f64,
+}
+
+impl RuleProfile {
+    /// Serializes the entry as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\": \"{}\", \"evaluations\": {}, \"seconds\": {:.6}}}",
+            json_escape(&self.rule),
+            self.evaluations,
+            self.seconds
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A Datalog engine over pluggable relation storage.
@@ -250,6 +318,7 @@ impl Engine {
         let mut next_plan_id = 0usize;
 
         for stratum in self.strat.strata.clone() {
+            let stratum_timer = telemetry::start_timer();
             // Split the stratum's rules into non-recursive and recursive,
             // remembering each plan's source rule for profiling.
             let mut base_plans: Vec<(usize, Plan)> = Vec::new();
@@ -315,6 +384,7 @@ impl Engine {
             }
 
             if !stratum.recursive || rec_plans.is_empty() {
+                stratum_timer.observe(telemetry::Hist::EvalStratumNanos);
                 continue;
             }
 
@@ -328,6 +398,11 @@ impl Engine {
 
             loop {
                 self.stats.iterations += 1;
+                telemetry::count(telemetry::Counter::EvalIterations);
+                if telemetry::ENABLED {
+                    let delta_size: usize = delta.values().map(|d| d.len()).sum();
+                    telemetry::record(telemetry::Hist::EvalDeltaTuples, delta_size as u64);
+                }
                 let new = make_side_tables(self);
                 {
                     let env = StorageEnv {
@@ -355,6 +430,7 @@ impl Engine {
                 }
                 delta = new;
             }
+            stratum_timer.observe(telemetry::Hist::EvalStratumNanos);
         }
 
         for pool in &pools {
@@ -464,9 +540,22 @@ impl Engine {
         out
     }
 
-    /// Statistics of the last [`run`](Self::run).
+    /// Accumulated statistics (see [`EvalStats`] for the exact semantics
+    /// across repeated runs).
     pub fn stats(&self) -> &EvalStats {
         &self.stats
+    }
+
+    /// Zeroes the accumulated [`EvalStats`] — including the shared
+    /// operation counters feeding `inserts` / `membership_tests` /
+    /// `lower_bound_calls` / `upper_bound_calls` — along with the
+    /// per-worker scheduler counters and the per-rule profile. Call
+    /// between runs, never during one.
+    pub fn reset_stats(&mut self) {
+        self.stats = EvalStats::default();
+        self.counters.reset();
+        self.worker_stats.clear();
+        self.profile.clear();
     }
 
     /// Number of declared relations.

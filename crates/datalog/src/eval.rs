@@ -635,10 +635,12 @@ fn run_worker(
             break;
         }
         evaluator.stats.chunks_claimed += 1;
+        let chunk_timer = telemetry::start_timer();
         storage.scan_chunk(&chunks[i], &mut outer_ctx, &mut |t| {
             evaluator.stats.tuples_scanned += 1;
             evaluator.seed_and_run(t, &mut vars);
         });
+        chunk_timer.observe(telemetry::Hist::EvalChunkNanos);
     }
     evaluator.ctxs.put_ctx(rel, role, outer_site, outer_ctx);
 }

@@ -566,6 +566,15 @@ impl OpCounters {
             self.upper_bound.load(Relaxed),
         )
     }
+
+    /// Zeroes every counter. Quiescent callers only (no evaluation in
+    /// flight); used by `Engine::reset_stats`.
+    pub fn reset(&self) {
+        self.inserts.store(0, Relaxed);
+        self.membership.store(0, Relaxed);
+        self.lower_bound.store(0, Relaxed);
+        self.upper_bound.store(0, Relaxed);
+    }
 }
 
 /// Wraps a storage backend, counting every operation into shared

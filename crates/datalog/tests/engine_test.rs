@@ -388,3 +388,83 @@ fn relation_sizes_sorted_descending() {
     assert_eq!(sizes[0].1, 20 * 21 / 2);
     assert_eq!(sizes[1], ("edge".to_string(), 20));
 }
+
+// ---------------------------------------------------------------------
+// EvalStats semantics: accumulate across runs, reset on demand
+// ---------------------------------------------------------------------
+
+#[test]
+fn stats_accumulate_across_runs_and_reset() {
+    let program = parse(TC_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    engine
+        .add_facts("edge", (0..8u64).map(|i| vec![i, i + 1]))
+        .unwrap();
+    engine.run().unwrap();
+    let first = *engine.stats();
+    assert!(first.iterations > 0);
+    assert!(first.inserts > 0);
+    assert!(first.membership_tests > 0);
+    assert_eq!(first.input_tuples, 8);
+    assert_eq!(first.produced_tuples, 9 * 8 / 2);
+
+    // A second run re-derives everything already present: every counter
+    // keeps growing (accumulate semantics), including the storage-level
+    // ones that come from the shared OpCounters snapshot.
+    engine.run().unwrap();
+    let second = *engine.stats();
+    assert!(second.iterations > first.iterations, "{second:?}");
+    assert!(second.inserts > first.inserts, "{second:?}");
+    assert!(second.membership_tests > first.membership_tests);
+    assert!(second.tuples_scanned > first.tuples_scanned);
+    // Fixpoint was already reached: no net growth on the re-run.
+    assert_eq!(second.produced_tuples, first.produced_tuples);
+    assert_eq!(second.input_tuples, first.input_tuples);
+
+    // reset_stats restarts every accumulator from zero...
+    engine.reset_stats();
+    let zeroed = *engine.stats();
+    assert_eq!(zeroed.iterations, 0);
+    assert_eq!(zeroed.inserts, 0);
+    assert_eq!(zeroed.membership_tests, 0);
+    assert_eq!(zeroed.input_tuples, 0);
+    assert_eq!(zeroed.produced_tuples, 0);
+    assert_eq!(zeroed.hints.hits() + zeroed.hints.misses(), 0);
+    assert!(engine.worker_stats().is_empty());
+    assert!(engine.profile().is_empty());
+
+    // ...and a third run counts only itself (comparable to the second).
+    engine.run().unwrap();
+    let third = *engine.stats();
+    assert_eq!(third.iterations, second.iterations - first.iterations);
+    assert_eq!(third.produced_tuples, 0);
+    assert!(third.inserts > 0);
+    assert!(third.inserts < second.inserts);
+}
+
+#[test]
+fn eval_stats_to_json_shape() {
+    let program = parse(TC_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 2).unwrap();
+    engine
+        .add_facts("edge", (0..6u64).map(|i| vec![i, i + 1]))
+        .unwrap();
+    engine.run().unwrap();
+    let json = engine.stats().to_json();
+    for key in [
+        "\"inserts\"",
+        "\"membership_tests\"",
+        "\"lower_bound_calls\"",
+        "\"upper_bound_calls\"",
+        "\"input_tuples\": 6",
+        "\"produced_tuples\": 21",
+        "\"iterations\"",
+        "\"chunks_claimed\"",
+        "\"tuples_scanned\"",
+        "\"tuples_emitted\"",
+        "\"sched_imbalance\"",
+        "\"hints\": {\"insert_hits\"",
+    ] {
+        assert!(json.contains(key), "{key} missing in {json}");
+    }
+}

@@ -130,3 +130,91 @@ fn profile_reports_rule_times() {
     assert!(rec.evaluations >= 3, "{rec:?}");
     assert!(profile.windows(2).all(|w| w[0].seconds >= w[1].seconds));
 }
+
+/// Fixed 10-node chain transitive closure used by the stability tests
+/// below: iteration counts and rule attribution must not depend on the
+/// worker count.
+const STABLE_TC: &str = r#"
+    .decl edge(x: number, y: number)
+    .decl path(x: number, y: number)
+    .output path
+    edge(0, 1). edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 5).
+    edge(5, 6). edge(6, 7). edge(7, 8). edge(8, 9).
+    path(x, y) :- edge(x, y).
+    path(x, z) :- path(x, y), edge(y, z).
+"#;
+
+#[test]
+fn profile_attribution_is_stable_across_thread_counts() {
+    let program = parse(STABLE_TC).unwrap();
+    let mut profiles = Vec::new();
+    let mut iterations = Vec::new();
+    for threads in [1usize, 4] {
+        let mut engine = Engine::new(&program, StorageKind::SpecBTree, threads).unwrap();
+        engine.run().unwrap();
+        assert_eq!(engine.relation_len("path").unwrap(), 9 * 10 / 2);
+        let mut profile = engine.profile();
+        profile.sort_by(|a, b| a.rule.cmp(&b.rule));
+        profiles.push(profile);
+        iterations.push(engine.stats().iterations);
+    }
+    // Semi-naive iteration count is a property of the program and data,
+    // not of the scheduler: identical sequentially and with 4 workers.
+    assert_eq!(iterations[0], iterations[1]);
+    let [seq, par] = &profiles[..] else {
+        unreachable!()
+    };
+    assert_eq!(seq.len(), 2, "one entry per rule");
+    assert_eq!(par.len(), 2);
+    for (s, p) in seq.iter().zip(par) {
+        assert_eq!(s.rule, p.rule, "rule attribution must match");
+        assert_eq!(
+            s.evaluations, p.evaluations,
+            "evaluation counts must match for {}",
+            s.rule
+        );
+        assert!(s.seconds >= 0.0 && p.seconds >= 0.0);
+    }
+    // The recursive rule runs every fixpoint iteration; the base rule once.
+    let rec = seq
+        .iter()
+        .find(|p| p.rule.contains("path(x, y), edge"))
+        .unwrap();
+    let base = seq
+        .iter()
+        .find(|p| !p.rule.contains("path(x, y), edge"))
+        .unwrap();
+    assert_eq!(base.evaluations, 1);
+    assert_eq!(rec.evaluations, iterations[0]);
+}
+
+#[test]
+fn explain_is_stable_across_thread_counts_and_runs() {
+    let program = parse(STABLE_TC).unwrap();
+    let mut engine1 = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    let mut engine4 = Engine::new(&program, StorageKind::SpecBTree, 4).unwrap();
+    let before = engine1.explain();
+    assert_eq!(before, engine4.explain(), "explain is thread-agnostic");
+    engine1.run().unwrap();
+    engine4.run().unwrap();
+    assert_eq!(engine1.explain(), before, "explain is run-invariant");
+    assert_eq!(engine4.explain(), before);
+    assert!(before.contains("rule 0"), "{before}");
+    assert!(before.contains("rule 1"), "{before}");
+    assert!(before.contains("Δpath"), "{before}");
+}
+
+#[test]
+fn rule_profile_to_json_shape() {
+    let program = parse(STABLE_TC).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+    engine.run().unwrap();
+    for entry in engine.profile() {
+        let json = entry.to_json();
+        assert!(json.starts_with("{\"rule\": \""), "{json}");
+        assert!(json.contains("\"evaluations\": "), "{json}");
+        assert!(json.contains("\"seconds\": "), "{json}");
+        assert!(json.ends_with('}'), "{json}");
+        assert!(!json.contains('\n'));
+    }
+}

@@ -172,7 +172,12 @@ impl OptimisticRwLock {
     pub fn validate(&self, lease: Lease) -> bool {
         chaos::checkpoint("optlock::validate");
         fence(Ordering::Acquire);
-        self.version.load(Ordering::Relaxed) == lease.0
+        let ok = self.version.load(Ordering::Relaxed) == lease.0;
+        telemetry::count(telemetry::Counter::LockReadValidations);
+        if !ok {
+            telemetry::count(telemetry::Counter::LockValidationFailures);
+        }
+        ok
     }
 
     /// Ends a read phase. Identical to [`validate`](Self::validate); provided
@@ -193,9 +198,17 @@ impl OptimisticRwLock {
     pub fn try_upgrade_to_write(&self, lease: Lease) -> bool {
         debug_assert_eq!(lease.0 & 1, 0, "leases always hold even versions");
         chaos::checkpoint("optlock::upgrade");
-        self.version
+        telemetry::count(telemetry::Counter::LockUpgradeAttempts);
+        let ok = self
+            .version
             .compare_exchange(lease.0, lease.0 + 1, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
+            .is_ok();
+        if ok {
+            telemetry::count(telemetry::Counter::LockWriteAcquisitions);
+        } else {
+            telemetry::count(telemetry::Counter::LockUpgradeFailures);
+        }
+        ok
     }
 
     /// Attempts to enter a write phase directly (without a prior read
@@ -206,11 +219,15 @@ impl OptimisticRwLock {
     pub fn try_start_write(&self) -> bool {
         chaos::checkpoint("optlock::try_start_write");
         let v = self.version.load(Ordering::Relaxed);
-        v & 1 == 0
+        let ok = v & 1 == 0
             && self
                 .version
                 .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
-                .is_ok()
+                .is_ok();
+        if ok {
+            telemetry::count(telemetry::Counter::LockWriteAcquisitions);
+        }
+        ok
     }
 
     /// Enters a write phase, spinning until the lock is acquired. This is the
@@ -288,6 +305,7 @@ impl Backoff {
 
     #[inline]
     fn spin(&mut self) {
+        telemetry::count(telemetry::Counter::LockSpinIterations);
         // `chaos::hint::spin_loop` / `chaos::thread::yield_now` are
         // `std::hint::spin_loop` / `std::thread::yield_now` outside model
         // runs; inside one, each is a scheduling decision that lets the

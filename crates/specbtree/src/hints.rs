@@ -65,6 +65,29 @@ impl HintStats {
         }
     }
 
+    /// Serializes the counters (plus the derived hit rate) as one JSON
+    /// object, dependency-free like all JSON in this workspace.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"insert_hits\": {}, \"insert_misses\": {}, ",
+                "\"contains_hits\": {}, \"contains_misses\": {}, ",
+                "\"lower_hits\": {}, \"lower_misses\": {}, ",
+                "\"upper_hits\": {}, \"upper_misses\": {}, ",
+                "\"hit_rate\": {:.6}}}"
+            ),
+            self.insert_hits,
+            self.insert_misses,
+            self.contains_hits,
+            self.contains_misses,
+            self.lower_hits,
+            self.lower_misses,
+            self.upper_hits,
+            self.upper_misses,
+            self.hit_rate()
+        )
+    }
+
     /// Accumulates another thread's statistics into this one.
     pub fn merge(&mut self, other: &HintStats) {
         self.insert_hits += other.insert_hits;
@@ -240,6 +263,29 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.hits(), 2 * b.hits());
         assert_eq!(a.misses(), 2 * b.misses());
+    }
+
+    #[test]
+    fn stats_to_json_has_every_field() {
+        let s = HintStats {
+            insert_hits: 3,
+            insert_misses: 1,
+            ..Default::default()
+        };
+        let json = s.to_json();
+        for field in [
+            "\"insert_hits\": 3",
+            "\"insert_misses\": 1",
+            "\"contains_hits\": 0",
+            "\"contains_misses\": 0",
+            "\"lower_hits\": 0",
+            "\"lower_misses\": 0",
+            "\"upper_hits\": 0",
+            "\"upper_misses\": 0",
+            "\"hit_rate\": 0.750000",
+        ] {
+            assert!(json.contains(field), "{field} missing in {json}");
+        }
     }
 
     #[test]

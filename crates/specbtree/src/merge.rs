@@ -35,6 +35,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                     if self.root.load(Relaxed).is_null() {
                         self.root.store(built, Relaxed);
                         self.root_lock.end_write();
+                        telemetry::count(telemetry::Counter::BtreeMergeBulkLoad);
                         return;
                     }
                     self.root_lock.end_write();
@@ -44,6 +45,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 unsafe { LeafNode::free_subtree(built) };
             }
         }
+        telemetry::count(telemetry::Counter::BtreeMergePerTuple);
         let mut hints = self.create_hints();
         for t in other.iter() {
             self.insert_hinted(t, &mut hints);

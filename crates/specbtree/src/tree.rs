@@ -48,6 +48,27 @@ pub const DEFAULT_NODE_CAPACITY: usize = 24;
 /// Source of unique tree identities used to brand operation hints.
 static TREE_IDS: AtomicU64 = AtomicU64::new(1);
 
+/// Records one Algorithm 1 restart: the aggregate and per-cause counters,
+/// a flight-recorder event naming the node we restarted from, and — when
+/// the operation's restart count crosses the budget — a one-shot flight
+/// dump. Everything here compiles away without the `telemetry` feature
+/// (the budget is then `u64::MAX`, so the dump branch is unreachable).
+#[inline]
+fn note_insert_restart(
+    cause: telemetry::Counter,
+    label: &'static str,
+    node: usize,
+    restarts: &mut u64,
+) {
+    *restarts += 1;
+    telemetry::count(telemetry::Counter::BtreeInsertRestarts);
+    telemetry::count(cause);
+    telemetry::flight::event(label, node as u64, *restarts);
+    if *restarts == telemetry::restart_budget().saturating_add(1) {
+        telemetry::flight::dump("btree insert exceeded its restart budget");
+    }
+}
+
 /// A concurrent ordered set of `K`-ary integer tuples backed by the
 /// specialized B-tree.
 ///
@@ -241,6 +262,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
     pub(crate) fn insert_located(&self, val: &Tuple<K>) -> Located<K, C> {
         self.ensure_root();
 
+        let mut restarts = 0u64;
         'restart: loop {
             chaos::checkpoint("btree::insert::descend");
             // Lines 13–17: root node + lease.
@@ -256,11 +278,18 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 // Line 22: value already present => done.
                 if found {
                     if node.lock.validate(cur_lease) {
+                        telemetry::record(telemetry::Hist::BtreeInsertRestartsPerOp, restarts);
                         return Located {
                             inserted: false,
                             node: cur,
                         };
                     }
+                    note_insert_restart(
+                        telemetry::Counter::BtreeRestartDescend,
+                        "btree::insert::restart::found_validate",
+                        cur as usize,
+                        &mut restarts,
+                    );
                     continue 'restart;
                 }
 
@@ -269,17 +298,35 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                     // SAFETY: is_inner just checked; kind never changes.
                     let next = unsafe { node.as_inner() }.child(idx);
                     if !node.lock.validate(cur_lease) {
+                        note_insert_restart(
+                            telemetry::Counter::BtreeRestartDescend,
+                            "btree::insert::restart::descend_validate",
+                            cur as usize,
+                            &mut restarts,
+                        );
                         continue 'restart; // line 27
                     }
                     if next.is_null() {
                         // Inconsistent snapshot that nevertheless validated
                         // cannot happen; defensive restart.
+                        note_insert_restart(
+                            telemetry::Counter::BtreeRestartDescend,
+                            "btree::insert::restart::null_child",
+                            cur as usize,
+                            &mut restarts,
+                        );
                         continue 'restart;
                     }
                     // SAFETY: `next` was read under a validated lease, so it
                     // was a genuine child: a live, never-freed node.
                     let next_lease = unsafe { &*next }.lock.start_read(); // line 28
                     if !node.lock.validate(cur_lease) {
+                        note_insert_restart(
+                            telemetry::Counter::BtreeRestartDescend,
+                            "btree::insert::restart::child_validate",
+                            cur as usize,
+                            &mut restarts,
+                        );
                         continue 'restart; // line 29
                     }
                     cur = next;
@@ -290,6 +337,12 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 // Lines 35–36: request write access to the located leaf.
                 chaos::checkpoint("btree::insert::leaf_upgrade");
                 if !node.lock.try_upgrade_to_write(cur_lease) {
+                    note_insert_restart(
+                        telemetry::Counter::BtreeRestartLeafUpgrade,
+                        "btree::insert::restart::leaf_upgrade",
+                        cur as usize,
+                        &mut restarts,
+                    );
                     continue 'restart;
                 }
 
@@ -297,6 +350,12 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 if n == C {
                     self.split(cur); // Algorithm 2
                     node.lock.end_write();
+                    note_insert_restart(
+                        telemetry::Counter::BtreeRestartSplitRetry,
+                        "btree::insert::restart::split_retry",
+                        cur as usize,
+                        &mut restarts,
+                    );
                     continue 'restart;
                 }
 
@@ -307,6 +366,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 node.set_key(idx, val);
                 node.set_num(n + 1);
                 node.lock.end_write();
+                telemetry::record(telemetry::Hist::BtreeInsertRestartsPerOp, restarts);
                 return Located {
                     inserted: true,
                     node: cur,
@@ -328,11 +388,23 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         if node.is_inner() {
             return None; // hints only ever cache leaves; defensive
         }
+        // Restarts (hinted split retries) are tallied even when we end up
+        // bailing to the slow path: every `BtreeInsertRestarts` increment
+        // must land in some `BtreeInsertRestartsPerOp` record so the
+        // histogram sum and the counter stay equal (a probe invariant the
+        // CI telemetry job checks).
+        let mut restarts = 0u64;
+        let bail = |restarts: u64| {
+            if restarts > 0 {
+                telemetry::record(telemetry::Hist::BtreeInsertRestartsPerOp, restarts);
+            }
+            None
+        };
         loop {
             let lease = node.lock.start_read();
             let n = node.num_clamped();
             if n == 0 {
-                return None;
+                return bail(restarts);
             }
             // The leaf covers `val` iff first <= val <= last: every tree key
             // in that closed interval lives in this very leaf.
@@ -340,19 +412,20 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 && cmp3(val, &node.key(n - 1)) != Ordering::Greater;
             let (idx, found) = node.search(val, n);
             if !node.lock.validate(lease) {
-                return None; // lost a race; let the slow path sort it out
+                return bail(restarts); // lost a race; let the slow path sort it out
             }
             if !covered {
-                return None; // genuine hint miss
+                return bail(restarts); // genuine hint miss
             }
             if found {
+                telemetry::record(telemetry::Hist::BtreeInsertRestartsPerOp, restarts);
                 return Some(Located {
                     inserted: false,
                     node: leaf,
                 });
             }
             if !node.lock.try_upgrade_to_write(lease) {
-                return None;
+                return bail(restarts);
             }
             if n == C {
                 // Full: split bottom-up right from the leaf, then retry the
@@ -360,6 +433,12 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 // may still be covered).
                 self.split(leaf);
                 node.lock.end_write();
+                note_insert_restart(
+                    telemetry::Counter::BtreeRestartSplitRetry,
+                    "btree::insert::hinted_split_retry",
+                    leaf as usize,
+                    &mut restarts,
+                );
                 continue;
             }
             for j in (idx..n).rev() {
@@ -368,6 +447,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             node.set_key(idx, val);
             node.set_num(n + 1);
             node.lock.end_write();
+            telemetry::record(telemetry::Hist::BtreeInsertRestartsPerOp, restarts);
             return Some(Located {
                 inserted: true,
                 node: leaf,
@@ -456,8 +536,10 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         let median = xn.key(m);
 
         let sib = if xn.is_inner() {
+            telemetry::count(telemetry::Counter::BtreeInnerSplits);
             InnerNode::<K, C>::alloc()
         } else {
+            telemetry::count(telemetry::Counter::BtreeLeafSplits);
             LeafNode::<K, C>::alloc()
         };
         // SAFETY: freshly allocated, private to us until published below.
@@ -502,6 +584,8 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             xn.position.store(0, Relaxed);
             sn.parent.store(new_root, Relaxed);
             sn.position.store(1, Relaxed);
+            telemetry::count(telemetry::Counter::BtreeRootGrowth);
+            telemetry::flight::event("btree::root_swap", new_root as u64, 0);
             chaos::checkpoint("btree::root_swap");
             self.root.store(new_root, Relaxed);
         } else {
@@ -547,7 +631,12 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         if self.root.load(Relaxed).is_null() {
             return (None, std::ptr::null_mut());
         }
+        let mut attempts = 0u64;
         'restart: loop {
+            if attempts > 0 {
+                telemetry::count(telemetry::Counter::BtreeLookupRestarts);
+            }
+            attempts += 1;
             let (mut cur, mut cur_lease) = self.read_root();
             loop {
                 let node = unsafe { &*cur };
@@ -620,7 +709,12 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         if self.root.load(Relaxed).is_null() {
             return None;
         }
+        let mut attempts = 0u64;
         'restart: loop {
+            if attempts > 0 {
+                telemetry::count(telemetry::Counter::BtreeLookupRestarts);
+            }
+            attempts += 1;
             let (mut cur, mut cur_lease) = self.read_root();
             // Closest enclosing key `>=`/`>` `t` seen on the descent: the
             // answer when the final leaf holds only smaller keys.

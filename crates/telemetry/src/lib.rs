@@ -1,0 +1,992 @@
+//! # telemetry — the workspace's shared measurement substrate
+//!
+//! The paper's performance story rests on events that are invisible from
+//! the outside: optimistic-read validation failures, write-lock
+//! escalations, Algorithm 1/2 restarts, node splits. This crate gives every
+//! layer (`optlock`, `specbtree`, `datalog`) one place to count them —
+//! without ever slowing the hot path down when observability is not asked
+//! for.
+//!
+//! Three instruments:
+//!
+//! * **Counters** ([`count`]/[`add`]): named monotone event counts, sharded
+//!   across cache-line-padded slots so concurrent increments from different
+//!   threads do not contend. Each increment is a single `Relaxed`
+//!   `fetch_add` on the thread's own shard.
+//! * **Histograms** ([`record`], [`Timer`]): log2-bucketed value
+//!   distributions (restart counts per operation, chunk scan latencies,
+//!   stratum fixpoint times), same sharding.
+//! * **Flight recorder** ([`flight`]): a fixed-size per-thread ring buffer
+//!   of recent labelled events (protocol step, node id, cause). When an
+//!   operation exceeds the [restart budget](restart_budget), the layer
+//!   dumps the ring — the diagnostic analog of the chaos harness's
+//!   schedule traces, but for production runs.
+//!
+//! # Zero cost when off
+//!
+//! Everything is gated on the `enabled` cargo feature (consumer crates
+//! forward their own `telemetry` feature here). With the feature **off**
+//! every probe is an empty `#[inline(always)]` function, [`Timer`] and
+//! [`flight::Event`] are zero-sized, and no static storage exists — the
+//! `no_op_path` test module asserts this, and CI builds both ways. With it
+//! **on**, the cost of a probe is one thread-local read plus one relaxed
+//! atomic add.
+//!
+//! # Reading the numbers
+//!
+//! [`snapshot`] merges all shards into a [`Snapshot`] that renders as an
+//! aligned human-readable table ([`Snapshot::to_table`]) or a
+//! machine-readable JSON report ([`Snapshot::to_json`]). [`reset`] zeroes
+//! everything (between benchmark phases; quiescent callers only).
+//!
+//! ```
+//! telemetry::count(telemetry::Counter::BtreeInsertRestarts);
+//! telemetry::record(telemetry::Hist::EvalDeltaTuples, 37);
+//! let snap = telemetry::snapshot();
+//! // With the `enabled` feature the counter reads back ≥ 1; without it the
+//! // snapshot is empty and reports itself disabled.
+//! assert_eq!(snap.enabled, telemetry::ENABLED);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+/// Whether the `enabled` feature was compiled in.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+// ---------------------------------------------------------------------
+// The taxonomy: every counter and histogram in the workspace, by layer.
+// Keeping the full list here (rather than string-keyed registration at
+// each site) makes snapshots allocation-free on the hot path and gives
+// DESIGN.md a single table to document.
+// ---------------------------------------------------------------------
+
+/// Every event counter in the workspace. Names are `layer.event`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// `optlock`: read-lease validations performed (`validate`/`end_read`).
+    LockReadValidations,
+    /// `optlock`: validations that failed (a writer intervened).
+    LockValidationFailures,
+    /// `optlock`: lease-to-write upgrade attempts.
+    LockUpgradeAttempts,
+    /// `optlock`: upgrade attempts that lost the race.
+    LockUpgradeFailures,
+    /// `optlock`: successful direct write acquisitions (`try_start_write`).
+    LockWriteAcquisitions,
+    /// `optlock`: backoff spin-loop rounds while waiting on a writer.
+    LockSpinIterations,
+    /// `specbtree`: Algorithm 1 insert restarts (all causes).
+    BtreeInsertRestarts,
+    /// `specbtree`: restarts caused by a failed validation during descent.
+    BtreeRestartDescend,
+    /// `specbtree`: restarts caused by a failed leaf write upgrade.
+    BtreeRestartLeafUpgrade,
+    /// `specbtree`: restarts after splitting a full leaf (the insert
+    /// re-descends into the halved tree).
+    BtreeRestartSplitRetry,
+    /// `specbtree`: lookup/bound descents restarted by concurrent writes.
+    BtreeLookupRestarts,
+    /// `specbtree`: leaf node splits (Algorithm 2).
+    BtreeLeafSplits,
+    /// `specbtree`: inner node splits (Algorithm 2, propagated).
+    BtreeInnerSplits,
+    /// `specbtree`: root splits growing the tree by one level.
+    BtreeRootGrowth,
+    /// `specbtree`: `insert_all` merges served by the empty-target bulk
+    /// load fast path.
+    BtreeMergeBulkLoad,
+    /// `specbtree`: `insert_all` merges that fell back to hinted per-tuple
+    /// insertion.
+    BtreeMergePerTuple,
+    /// `datalog`: semi-naive fixpoint iterations across all strata.
+    EvalIterations,
+    /// `telemetry`: flight-recorder dumps emitted (restart budget
+    /// exceeded).
+    FlightDumps,
+}
+
+impl Counter {
+    /// Number of counters (array dimension).
+    pub const COUNT: usize = 18;
+
+    /// All counters, in declaration order.
+    pub const ALL: [Counter; Self::COUNT] = [
+        Counter::LockReadValidations,
+        Counter::LockValidationFailures,
+        Counter::LockUpgradeAttempts,
+        Counter::LockUpgradeFailures,
+        Counter::LockWriteAcquisitions,
+        Counter::LockSpinIterations,
+        Counter::BtreeInsertRestarts,
+        Counter::BtreeRestartDescend,
+        Counter::BtreeRestartLeafUpgrade,
+        Counter::BtreeRestartSplitRetry,
+        Counter::BtreeLookupRestarts,
+        Counter::BtreeLeafSplits,
+        Counter::BtreeInnerSplits,
+        Counter::BtreeRootGrowth,
+        Counter::BtreeMergeBulkLoad,
+        Counter::BtreeMergePerTuple,
+        Counter::EvalIterations,
+        Counter::FlightDumps,
+    ];
+
+    /// The dotted `layer.event` name used in reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::LockReadValidations => "optlock.read_validations",
+            Counter::LockValidationFailures => "optlock.validation_failures",
+            Counter::LockUpgradeAttempts => "optlock.upgrade_attempts",
+            Counter::LockUpgradeFailures => "optlock.upgrade_failures",
+            Counter::LockWriteAcquisitions => "optlock.write_acquisitions",
+            Counter::LockSpinIterations => "optlock.spin_iterations",
+            Counter::BtreeInsertRestarts => "specbtree.insert_restarts",
+            Counter::BtreeRestartDescend => "specbtree.restart_descend",
+            Counter::BtreeRestartLeafUpgrade => "specbtree.restart_leaf_upgrade",
+            Counter::BtreeRestartSplitRetry => "specbtree.restart_split_retry",
+            Counter::BtreeLookupRestarts => "specbtree.lookup_restarts",
+            Counter::BtreeLeafSplits => "specbtree.leaf_splits",
+            Counter::BtreeInnerSplits => "specbtree.inner_splits",
+            Counter::BtreeRootGrowth => "specbtree.root_growth",
+            Counter::BtreeMergeBulkLoad => "specbtree.merge_bulk_load",
+            Counter::BtreeMergePerTuple => "specbtree.merge_per_tuple",
+            Counter::EvalIterations => "datalog.iterations",
+            Counter::FlightDumps => "telemetry.flight_dumps",
+        }
+    }
+}
+
+/// Every log2-bucket histogram in the workspace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// `specbtree`: restarts of one insert operation (0 = clean first try).
+    BtreeInsertRestartsPerOp,
+    /// `datalog`: delta-relation sizes per fixpoint iteration (tuples).
+    EvalDeltaTuples,
+    /// `datalog`: wall time from claiming an outer-scan chunk to finishing
+    /// it (nanoseconds).
+    EvalChunkNanos,
+    /// `datalog`: wall time of one stratum's full fixpoint (nanoseconds).
+    EvalStratumNanos,
+}
+
+impl Hist {
+    /// Number of histograms (array dimension).
+    pub const COUNT: usize = 4;
+
+    /// All histograms, in declaration order.
+    pub const ALL: [Hist; Self::COUNT] = [
+        Hist::BtreeInsertRestartsPerOp,
+        Hist::EvalDeltaTuples,
+        Hist::EvalChunkNanos,
+        Hist::EvalStratumNanos,
+    ];
+
+    /// The dotted `layer.metric` name used in reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Hist::BtreeInsertRestartsPerOp => "specbtree.insert_restarts_per_op",
+            Hist::EvalDeltaTuples => "datalog.delta_tuples",
+            Hist::EvalChunkNanos => "datalog.chunk_nanos",
+            Hist::EvalStratumNanos => "datalog.stratum_nanos",
+        }
+    }
+}
+
+/// Log2 bucket count: bucket 0 holds the value 0, bucket `b > 0` holds
+/// values in `[2^(b-1), 2^b)`; `u64::MAX` lands in bucket 64.
+pub const HIST_BUCKETS: usize = 65;
+
+/// The bucket index `value` falls into.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of histogram bucket `b`.
+#[inline]
+pub fn bucket_lo(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live implementation (feature `enabled`)
+// ---------------------------------------------------------------------
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{Counter, Hist, HIST_BUCKETS};
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+
+    /// Number of independent shards counters are spread over. Threads hash
+    /// onto shards round-robin; 32 keeps two threads off the same cache
+    /// line up to moderately large worker counts.
+    const SHARDS: usize = 32;
+
+    /// One shard's worth of every counter, padded so two shards never
+    /// share a cache line.
+    #[repr(align(128))]
+    struct CounterShard([AtomicU64; Counter::COUNT]);
+
+    #[repr(align(128))]
+    struct HistShard {
+        buckets: [[AtomicU64; HIST_BUCKETS]; Hist::COUNT],
+        sum: [AtomicU64; Hist::COUNT],
+        max: [AtomicU64; Hist::COUNT],
+    }
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO_ROW: [AtomicU64; HIST_BUCKETS] = [ZERO; HIST_BUCKETS];
+
+    static COUNTERS: [CounterShard; SHARDS] =
+        [const { CounterShard([ZERO; Counter::COUNT]) }; SHARDS];
+    static HISTS: [HistShard; SHARDS] = [const {
+        HistShard {
+            buckets: [ZERO_ROW; Hist::COUNT],
+            sum: [ZERO; Hist::COUNT],
+            max: [ZERO; Hist::COUNT],
+        }
+    }; SHARDS];
+
+    static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+    thread_local! {
+        static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+
+    #[inline]
+    fn shard() -> usize {
+        MY_SHARD.with(|s| {
+            let v = s.get();
+            if v != usize::MAX {
+                v
+            } else {
+                let v = NEXT_SHARD.fetch_add(1, Relaxed) % SHARDS;
+                s.set(v);
+                v
+            }
+        })
+    }
+
+    #[inline]
+    pub fn add(c: Counter, n: u64) {
+        COUNTERS[shard()].0[c as usize].fetch_add(n, Relaxed);
+    }
+
+    #[inline]
+    pub fn record(h: Hist, value: u64) {
+        let s = &HISTS[shard()];
+        s.buckets[h as usize][super::bucket_of(value)].fetch_add(1, Relaxed);
+        s.sum[h as usize].fetch_add(value, Relaxed);
+        s.max[h as usize].fetch_max(value, Relaxed);
+    }
+
+    pub fn counter_value(c: Counter) -> u64 {
+        COUNTERS.iter().map(|s| s.0[c as usize].load(Relaxed)).sum()
+    }
+
+    pub fn hist_merge(h: Hist) -> ([u64; HIST_BUCKETS], u64, u64) {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        let (mut sum, mut max) = (0u64, 0u64);
+        for s in &HISTS {
+            for (b, src) in buckets.iter_mut().zip(&s.buckets[h as usize]) {
+                *b += src.load(Relaxed);
+            }
+            sum += s.sum[h as usize].load(Relaxed);
+            max = max.max(s.max[h as usize].load(Relaxed));
+        }
+        (buckets, sum, max)
+    }
+
+    pub fn reset() {
+        for s in &COUNTERS {
+            for c in &s.0 {
+                c.store(0, Relaxed);
+            }
+        }
+        for s in &HISTS {
+            for h in &s.buckets {
+                for b in h {
+                    b.store(0, Relaxed);
+                }
+            }
+            for v in s.sum.iter().chain(s.max.iter()) {
+                v.store(0, Relaxed);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public probe API (no-ops without the feature)
+// ---------------------------------------------------------------------
+
+/// Increments `c` by one.
+#[inline(always)]
+pub fn count(c: Counter) {
+    add(c, 1);
+}
+
+/// Increments `c` by `n`.
+#[cfg(feature = "enabled")]
+#[inline]
+pub fn add(c: Counter, n: u64) {
+    imp::add(c, n);
+}
+
+/// Increments `c` by `n` (no-op: telemetry disabled).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn add(_c: Counter, _n: u64) {}
+
+/// Records `value` into histogram `h`.
+#[cfg(feature = "enabled")]
+#[inline]
+pub fn record(h: Hist, value: u64) {
+    imp::record(h, value);
+}
+
+/// Records `value` into histogram `h` (no-op: telemetry disabled).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn record(_h: Hist, _value: u64) {}
+
+/// Resets every counter and histogram to zero. Callers must be quiescent
+/// (no concurrent probes) for the zeros to be meaningful.
+pub fn reset() {
+    #[cfg(feature = "enabled")]
+    imp::reset();
+    flight::clear();
+}
+
+/// A started wall-clock measurement; [`observe`](Timer::observe) records
+/// the elapsed nanoseconds into a histogram. Zero-sized (and clock-free)
+/// when telemetry is disabled.
+#[derive(Debug)]
+pub struct Timer(#[cfg(feature = "enabled")] std::time::Instant);
+
+/// Starts a [`Timer`]. Reads no clock when telemetry is disabled.
+#[inline(always)]
+pub fn start_timer() -> Timer {
+    Timer(
+        #[cfg(feature = "enabled")]
+        std::time::Instant::now(),
+    )
+}
+
+impl Timer {
+    /// Nanoseconds since the timer started (0 when disabled).
+    #[inline(always)]
+    pub fn elapsed_nanos(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+
+    /// Records the elapsed nanoseconds into `h`.
+    #[inline(always)]
+    pub fn observe(self, h: Hist) {
+        record(h, self.elapsed_nanos());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Restart budget
+// ---------------------------------------------------------------------
+
+/// Default restart budget: an operation restarting this many times in a
+/// row is considered pathological and triggers a flight-recorder dump.
+pub const DEFAULT_RESTART_BUDGET: u64 = 64;
+
+#[cfg(feature = "enabled")]
+mod budget {
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+    use std::sync::OnceLock;
+
+    // 0 is a valid budget ("dump on the first restart"), so the unset
+    // state is encoded as u64::MAX and resolved lazily from the env.
+    static BUDGET: AtomicU64 = AtomicU64::new(u64::MAX);
+    static ENV_DEFAULT: OnceLock<u64> = OnceLock::new();
+
+    pub fn get() -> u64 {
+        let v = BUDGET.load(Relaxed);
+        if v != u64::MAX {
+            return v;
+        }
+        *ENV_DEFAULT.get_or_init(|| {
+            std::env::var("TELEMETRY_RESTART_BUDGET")
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(super::DEFAULT_RESTART_BUDGET)
+        })
+    }
+
+    pub fn set(v: u64) {
+        BUDGET.store(v, Relaxed);
+    }
+}
+
+/// The restart budget: operations restarting more often than this dump the
+/// flight recorder. Defaults to [`DEFAULT_RESTART_BUDGET`], overridable via
+/// the `TELEMETRY_RESTART_BUDGET` environment variable or
+/// [`set_restart_budget`]. Effectively infinite when telemetry is disabled.
+#[inline(always)]
+pub fn restart_budget() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        budget::get()
+    }
+    #[cfg(not(feature = "enabled"))]
+    u64::MAX
+}
+
+/// Overrides the restart budget (`u64::MAX` restores the env/default
+/// resolution). No-op when telemetry is disabled.
+pub fn set_restart_budget(_budget: u64) {
+    #[cfg(feature = "enabled")]
+    budget::set(_budget);
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+/// The per-thread flight recorder: a fixed-size ring buffer of recent
+/// labelled events, dumped when an operation exceeds the restart budget.
+pub mod flight {
+    /// Ring capacity per thread (events kept before overwriting).
+    pub const CAPACITY: usize = 256;
+
+    /// One recorded event. Zero-sized storage when telemetry is disabled.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Event {
+        /// The protocol step or decision point (`"btree::insert::restart"`).
+        pub label: &'static str,
+        /// Primary operand — by convention a node id (pointer address).
+        pub a: u64,
+        /// Secondary operand — by convention a cause code or count.
+        pub b: u64,
+        /// Monotone per-thread sequence number.
+        pub seq: u64,
+    }
+
+    #[cfg(feature = "enabled")]
+    mod ring {
+        use super::{Event, CAPACITY};
+        use std::cell::RefCell;
+        use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+        struct Ring {
+            events: Vec<Event>,
+            next: usize,
+            seq: u64,
+        }
+
+        thread_local! {
+            static RING: RefCell<Ring> = RefCell::new(Ring {
+                events: Vec::with_capacity(CAPACITY),
+                next: 0,
+                seq: 0,
+            });
+        }
+
+        /// Dumps remaining before stderr output is suppressed (floods of
+        /// pathological operations should not bury the first traces).
+        static DUMPS_LEFT: AtomicU64 = AtomicU64::new(8);
+
+        pub fn event(label: &'static str, a: u64, b: u64) {
+            RING.with(|r| {
+                let mut r = r.borrow_mut();
+                let seq = r.seq;
+                r.seq += 1;
+                let ev = Event { label, a, b, seq };
+                if r.events.len() < CAPACITY {
+                    r.events.push(ev);
+                } else {
+                    let slot = r.next;
+                    r.events[slot] = ev;
+                }
+                r.next = (r.next + 1) % CAPACITY;
+            });
+        }
+
+        pub fn clear() {
+            RING.with(|r| {
+                let mut r = r.borrow_mut();
+                r.events.clear();
+                r.next = 0;
+                r.seq = 0;
+            });
+        }
+
+        pub fn snapshot() -> Vec<Event> {
+            RING.with(|r| {
+                let r = r.borrow();
+                let mut out = Vec::with_capacity(r.events.len());
+                if r.events.len() == CAPACITY {
+                    out.extend_from_slice(&r.events[r.next..]);
+                    out.extend_from_slice(&r.events[..r.next]);
+                } else {
+                    out.extend_from_slice(&r.events);
+                }
+                out
+            })
+        }
+
+        pub fn try_take_dump_slot() -> bool {
+            DUMPS_LEFT
+                .fetch_update(Relaxed, Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+        }
+
+        pub fn set_dump_limit(n: u64) {
+            DUMPS_LEFT.store(n, Relaxed);
+        }
+    }
+
+    /// Appends an event to the calling thread's ring.
+    #[cfg(feature = "enabled")]
+    #[inline]
+    pub fn event(label: &'static str, a: u64, b: u64) {
+        ring::event(label, a, b);
+    }
+
+    /// Appends an event to the calling thread's ring (no-op: disabled).
+    #[cfg(not(feature = "enabled"))]
+    #[inline(always)]
+    pub fn event(_label: &'static str, _a: u64, _b: u64) {}
+
+    /// The calling thread's recorded events, oldest first. Empty when
+    /// telemetry is disabled.
+    pub fn events() -> Vec<Event> {
+        #[cfg(feature = "enabled")]
+        {
+            ring::snapshot()
+        }
+        #[cfg(not(feature = "enabled"))]
+        Vec::new()
+    }
+
+    /// Clears the calling thread's ring.
+    pub fn clear() {
+        #[cfg(feature = "enabled")]
+        ring::clear();
+    }
+
+    /// Formats the calling thread's ring, newest last, and writes it to
+    /// stderr (rate-limited by [`set_dump_limit`]). Returns the rendered
+    /// dump, or `None` when telemetry is disabled, the ring is empty, or
+    /// the dump limit is exhausted. Increments
+    /// [`Counter::FlightDumps`](crate::Counter::FlightDumps).
+    pub fn dump(reason: &str) -> Option<String> {
+        let evs = events();
+        if evs.is_empty() {
+            return None;
+        }
+        #[cfg(feature = "enabled")]
+        if !ring::try_take_dump_slot() {
+            return None;
+        }
+        crate::count(crate::Counter::FlightDumps);
+        let mut out = format!(
+            "=== telemetry flight recorder: {reason} (thread {:?}, {} events) ===\n",
+            std::thread::current().id(),
+            evs.len()
+        );
+        for ev in &evs {
+            let _ = writeln!(
+                out,
+                "  #{:<8} {:<36} a={:#018x} b={}",
+                ev.seq, ev.label, ev.a, ev.b
+            );
+        }
+        eprint!("{out}");
+        Some(out)
+    }
+
+    /// Sets how many dumps may still be written to stderr (default 8 per
+    /// process). No-op when telemetry is disabled.
+    pub fn set_dump_limit(_n: u64) {
+        #[cfg(feature = "enabled")]
+        ring::set_dump_limit(_n);
+    }
+
+    use std::fmt::Write as _;
+}
+
+// ---------------------------------------------------------------------
+// Snapshot: merge + render
+// ---------------------------------------------------------------------
+
+/// Merged view of one histogram.
+#[derive(Clone, Debug)]
+pub struct HistSnapshot {
+    /// Dotted metric name.
+    pub name: &'static str,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Non-empty buckets as `(bucket index, sample count)`; the bucket's
+    /// value range is `[bucket_lo(i), 2 * bucket_lo(i))` (`{0}` for 0).
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistSnapshot {
+    /// Mean recorded value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time merge of every shard of every counter and histogram.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Whether the `enabled` feature was compiled in (false ⇒ all zeros).
+    pub enabled: bool,
+    /// `(name, value)` for every counter, in taxonomy order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Merged histograms, in taxonomy order.
+    pub hists: Vec<HistSnapshot>,
+}
+
+/// Merges all shards into a [`Snapshot`]. Cheap enough to call between
+/// benchmark phases; values are `Relaxed` reads (exact once quiescent).
+pub fn snapshot() -> Snapshot {
+    #[cfg(feature = "enabled")]
+    {
+        let counters = Counter::ALL
+            .iter()
+            .map(|&c| (c.name(), imp::counter_value(c)))
+            .collect();
+        let hists = Hist::ALL
+            .iter()
+            .map(|&h| {
+                let (buckets, sum, max) = imp::hist_merge(h);
+                HistSnapshot {
+                    name: h.name(),
+                    count: buckets.iter().sum(),
+                    sum,
+                    max,
+                    buckets: buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &n)| n > 0)
+                        .map(|(i, &n)| (i, n))
+                        .collect(),
+                }
+            })
+            .collect();
+        Snapshot {
+            enabled: true,
+            counters,
+            hists,
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    Snapshot {
+        enabled: false,
+        counters: Vec::new(),
+        hists: Vec::new(),
+    }
+}
+
+impl Snapshot {
+    /// The value of the counter named `name` (0 when absent/disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// The merged histogram named `name`, if present.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+
+    /// The `n` largest non-zero counters, descending — "what restarted or
+    /// contended the most".
+    pub fn top(&self, n: usize) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<_> = self
+            .counters
+            .iter()
+            .filter(|(_, val)| *val > 0)
+            .copied()
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Renders an aligned human-readable table (zero rows omitted).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        if !self.enabled {
+            out.push_str("telemetry disabled (build with --features telemetry)\n");
+            return out;
+        }
+        out.push_str("counter                                   value\n");
+        for (name, v) in &self.counters {
+            if *v > 0 {
+                let _ = writeln!(out, "{name:<40} {v:>10}");
+            }
+        }
+        for h in &self.hists {
+            if h.count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<40} n={} mean={:.1} max={}",
+                h.name,
+                h.count,
+                h.mean(),
+                h.max
+            );
+            for &(b, n) in &h.buckets {
+                let _ = writeln!(out, "  [{:>20} ..] {n:>10}", bucket_lo(b));
+            }
+        }
+        out
+    }
+
+    /// Renders the machine-readable JSON report: `{"enabled": bool,
+    /// "counters": {name: value, ...}, "histograms": {name: {"count": ..,
+    /// "sum": .., "max": .., "buckets": [[lo, n], ...]}, ...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"enabled\": {},", self.enabled);
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i + 1 < self.counters.len() { "," } else { "" };
+            let _ = write!(out, "\n    \"{name}\": {v}{sep}");
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"histograms\": {");
+        for (i, h) in self.hists.iter().enumerate() {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|&(b, n)| format!("[{}, {n}]", bucket_lo(b)))
+                .collect();
+            let sep = if i + 1 < self.hists.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [{}]}}{sep}",
+                h.name,
+                h.count,
+                h.sum,
+                h.max,
+                buckets.join(", ")
+            );
+        }
+        out.push_str(if self.hists.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------
+
+#[cfg(test)]
+mod taxonomy_tests {
+    use super::*;
+
+    #[test]
+    fn counter_all_matches_count_and_names_are_unique() {
+        assert_eq!(Counter::ALL.len(), Counter::COUNT);
+        let mut names: Vec<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.extend(Hist::ALL.iter().map(|h| h.name()));
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate metric name");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "ALL order must match discriminants");
+        }
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            assert_eq!(*h as usize, i);
+        }
+    }
+
+    #[test]
+    fn bucket_math() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert!(bucket_of(u64::MAX) < HIST_BUCKETS);
+        assert_eq!(bucket_lo(0), 0);
+        assert_eq!(bucket_lo(1), 1);
+        assert_eq!(bucket_lo(4), 8);
+        for v in [0u64, 1, 2, 5, 1023, 1024, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(bucket_lo(b) <= v, "v={v} b={b}");
+            if b < 64 {
+                assert!(v < bucket_lo(b + 1), "v={v} b={b}");
+            }
+        }
+    }
+}
+
+/// The zero-cost contract: with the feature off, handles are zero-sized
+/// and snapshots are empty. (The CI `telemetry` job runs this module in a
+/// default build; the symmetric `live_path` module runs under
+/// `--features enabled`.)
+#[cfg(all(test, not(feature = "enabled")))]
+mod no_op_path {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // constness is the point
+    fn disabled_reports_itself() {
+        assert!(!ENABLED);
+    }
+
+    #[test]
+    fn handles_are_zero_sized() {
+        // The whole probe surface must carry no data when disabled: these
+        // sizes are what the optimizer folds the call sites away to.
+        assert_eq!(std::mem::size_of::<Timer>(), 0);
+        assert_eq!(std::mem::size_of_val(&start_timer()), 0);
+    }
+
+    #[test]
+    fn probes_are_inert() {
+        count(Counter::BtreeInsertRestarts);
+        add(Counter::LockSpinIterations, 1000);
+        record(Hist::EvalDeltaTuples, 42);
+        start_timer().observe(Hist::EvalChunkNanos);
+        flight::event("label", 1, 2);
+        let snap = snapshot();
+        assert!(!snap.enabled);
+        assert!(snap.counters.is_empty());
+        assert!(snap.hists.is_empty());
+        assert_eq!(snap.counter("specbtree.insert_restarts"), 0);
+        assert!(flight::events().is_empty());
+        assert!(flight::dump("test").is_none());
+        assert_eq!(restart_budget(), u64::MAX);
+        let json = snap.to_json();
+        assert!(json.contains("\"enabled\": false"), "{json}");
+        assert!(snap.to_table().contains("disabled"));
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod live_path {
+    use super::*;
+
+    // The statics are process-global and tests run concurrently, so these
+    // tests only assert monotone/nonzero properties, never exact totals —
+    // except via deltas on counters no other test touches.
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let before = snapshot().counter("optlock.write_acquisitions");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        count(Counter::LockWriteAcquisitions);
+                    }
+                });
+            }
+        });
+        let after = snapshot().counter("optlock.write_acquisitions");
+        assert_eq!(after - before, 4000);
+    }
+
+    #[test]
+    fn histogram_records_buckets_sum_max() {
+        for v in [0u64, 1, 1, 7, 1000] {
+            record(Hist::EvalStratumNanos, v);
+        }
+        let snap = snapshot();
+        let h = snap.hist("datalog.stratum_nanos").unwrap();
+        assert!(h.count >= 5);
+        assert!(h.sum >= 1009);
+        assert!(h.max >= 1000);
+        assert!(h.buckets.iter().any(|&(b, _)| bucket_lo(b) <= 1000));
+    }
+
+    #[test]
+    fn timer_observes_elapsed() {
+        let t = start_timer();
+        std::hint::black_box(0);
+        t.observe(Hist::EvalChunkNanos);
+        let snap = snapshot();
+        assert!(snap.hist("datalog.chunk_nanos").unwrap().count >= 1);
+    }
+
+    #[test]
+    fn flight_ring_keeps_latest_events_in_order() {
+        flight::clear();
+        for i in 0..(flight::CAPACITY as u64 + 10) {
+            flight::event("step", i, 0);
+        }
+        let evs = flight::events();
+        assert_eq!(evs.len(), flight::CAPACITY);
+        assert_eq!(evs[0].a, 10, "oldest surviving event");
+        assert_eq!(evs.last().unwrap().a, flight::CAPACITY as u64 + 9);
+        assert!(evs.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        let dump = flight::dump("unit test").expect("dump available");
+        assert!(dump.contains("step"));
+        assert!(snapshot().counter("telemetry.flight_dumps") >= 1);
+        flight::clear();
+        assert!(flight::events().is_empty());
+    }
+
+    #[test]
+    fn restart_budget_is_settable() {
+        set_restart_budget(3);
+        assert_eq!(restart_budget(), 3);
+        set_restart_budget(u64::MAX); // restore env/default resolution
+        assert_eq!(restart_budget(), DEFAULT_RESTART_BUDGET);
+    }
+
+    #[test]
+    fn json_shape() {
+        count(Counter::BtreeLeafSplits);
+        record(Hist::BtreeInsertRestartsPerOp, 2);
+        let json = snapshot().to_json();
+        assert!(json.contains("\"enabled\": true"));
+        assert!(json.contains("\"specbtree.leaf_splits\""));
+        assert!(json.contains("\"specbtree.insert_restarts_per_op\""));
+        assert!(json.contains("\"buckets\""));
+    }
+}
