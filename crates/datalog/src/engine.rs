@@ -396,6 +396,14 @@ impl Engine {
                 fill(delta[&r].as_ref(), &tuples);
             }
 
+            // A cleared side-table set parked for reuse: once the loop is
+            // two iterations deep, the outgoing delta tables are cleared
+            // (an O(slabs) arena reset for the specialized B-tree, which
+            // keeps its warm slabs) and become the next iteration's `new`,
+            // instead of allocating a fresh tree per relation per
+            // iteration.
+            let mut spare: Option<HashMap<usize, Box<dyn RelationStorage>>> = None;
+
             loop {
                 self.stats.iterations += 1;
                 telemetry::count(telemetry::Counter::EvalIterations);
@@ -403,7 +411,7 @@ impl Engine {
                     let delta_size: usize = delta.values().map(|d| d.len()).sum();
                     telemetry::record(telemetry::Hist::EvalDeltaTuples, delta_size as u64);
                 }
-                let new = make_side_tables(self);
+                let new = spare.take().unwrap_or_else(|| make_side_tables(self));
                 {
                     let env = StorageEnv {
                         full: &self.rels,
@@ -428,7 +436,14 @@ impl Engine {
                 if !any {
                     break;
                 }
-                delta = new;
+                let mut old = std::mem::replace(&mut delta, new);
+                // Park the outgoing delta tables for the next iteration if
+                // every backend supports a cheap reset; otherwise drop them
+                // and let `make_side_tables` allocate fresh ones (the
+                // pre-recycling behavior).
+                if old.values_mut().all(|s| s.clear()) {
+                    spare = Some(old);
+                }
             }
             stratum_timer.observe(telemetry::Hist::EvalStratumNanos);
         }

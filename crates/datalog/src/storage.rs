@@ -152,6 +152,21 @@ pub trait RelationStorage: Send + Sync {
     fn hint_stats(&self, _ctx: &StorageCtx) -> Option<HintStats> {
         None
     }
+
+    /// Removes every tuple, retaining the backend's allocated capacity
+    /// where it can. Returns `true` when the receiver is now empty and
+    /// reusable; the default returns `false` ("not supported — allocate a
+    /// fresh storage instead"), which keeps the pre-existing behavior for
+    /// backends without a cheap reset.
+    ///
+    /// The engine uses this to recycle the per-stratum delta/new side
+    /// tables across fixpoint iterations: with the specialized B-tree's
+    /// arena (`fastpath`), a cleared tree keeps its warm slabs, so the next
+    /// iteration's inserts reuse memory instead of growing a new tree from
+    /// the global allocator.
+    fn clear(&mut self) -> bool {
+        false
+    }
 }
 
 /// Which data structure backs each relation — the engine-level analog of
@@ -371,6 +386,15 @@ impl RelationStorage for SpecBTreeStorage {
 
     fn hint_stats(&self, ctx: &StorageCtx) -> Option<HintStats> {
         ctx.downcast_ref::<BTreeHints<MAX_ARITY>>().map(|h| h.stats)
+    }
+
+    fn clear(&mut self) -> bool {
+        // O(slabs) arena reset under `fastpath` (warm slabs retained),
+        // recursive node walk otherwise. Clearing re-brands the tree, so
+        // hints cached in still-live worker contexts degrade to misses
+        // rather than dangling.
+        self.tree.clear();
+        true
     }
 }
 
@@ -642,6 +666,11 @@ impl RelationStorage for CountingStorage {
     fn hint_stats(&self, ctx: &StorageCtx) -> Option<HintStats> {
         self.inner.hint_stats(ctx)
     }
+
+    fn clear(&mut self) -> bool {
+        // Clearing is bookkeeping, not a counted tuple operation.
+        self.inner.clear()
+    }
 }
 
 #[cfg(test)]
@@ -801,6 +830,36 @@ mod tests {
         }
         let after = counters.snapshot().2;
         assert_eq!(after - before, chunks.len() as u64);
+    }
+
+    #[test]
+    fn clear_recycles_spec_btree_and_declines_elsewhere() {
+        let mut s = StorageKind::SpecBTree.create();
+        let mut ctx = s.make_ctx();
+        for i in 0..500u64 {
+            s.insert(&pad(&[i, i]), &mut ctx);
+        }
+        assert!(s.clear(), "spec btree supports cheap reset");
+        assert!(s.is_empty());
+        // The cleared storage is fully reusable (stale ctx hints included).
+        assert!(s.insert(&pad(&[7, 7]), &mut ctx));
+        assert!(s.contains(&pad(&[7, 7]), &mut ctx));
+        assert_eq!(s.len(), 1);
+
+        // The counting wrapper forwards to its inner backend.
+        let counters = Arc::new(OpCounters::default());
+        let mut c = CountingStorage::new(StorageKind::SpecBTree.create(), Arc::clone(&counters));
+        let mut cctx = RelationStorage::make_ctx(&c);
+        c.insert(&pad(&[1]), &mut cctx);
+        assert!(RelationStorage::clear(&mut c));
+        assert!(RelationStorage::is_empty(&c));
+
+        // Backends without a cheap reset decline (and keep their tuples).
+        let mut rb = StorageKind::RbTreeLocked.create();
+        let mut rctx = rb.make_ctx();
+        rb.insert(&pad(&[1]), &mut rctx);
+        assert!(!rb.clear());
+        assert_eq!(rb.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! Per-tree node arena (the `fastpath` memory layer).
+//!
+//! Every node of a [`BTreeSet`](crate::BTreeSet) is carved out of
+//! bump-allocated slabs owned by the tree. The design leans entirely on the
+//! structure's central invariant — **nodes are never freed or moved while
+//! the tree is alive** (Datalog relations only grow) — which makes arena
+//! reclamation trivial: the whole arena is released wholesale on `Drop` /
+//! `clear`, replacing the recursive `free_subtree` walk of the boxed path.
+//!
+//! Layout properties the allocator guarantees:
+//!
+//! * every node starts on a **64-byte (cache-line) boundary**, so a node
+//!   never straddles a line it does not have to and the optimistic readers'
+//!   hottest words (`lock`, `num_elements`, the first key) share one line;
+//! * leaf and inner nodes come from the **same slabs**, so the sibling
+//!   created by a split burst sits right next to the node that split —
+//!   descents and range scans touch adjacent lines instead of
+//!   allocator-scattered ones;
+//! * slabs are **2 MiB**, large enough for the transparent-hugepage regime
+//!   and small enough to keep tiny delta relations cheap.
+//!
+//! Concurrency: node allocation happens under a split's write locks, but
+//! splits of *different* leaves run concurrently, so the arena must be
+//! thread-safe. Allocation is rare (once per ~`C/2` inserts at the leaf
+//! level), so a plain mutex-guarded bump pointer is both simple and off any
+//! hot path. The mutex is deliberately a `std::sync::Mutex` and the
+//! bookkeeping never touches `chaos::sync` atomics: under the
+//! schedule-exploration harness a thread cannot be preempted inside the
+//! critical section (there is no chaos yield point in it), so the lock
+//! introduces **no new interleavings** — arena publication still happens
+//! exclusively through the existing node/root atomics.
+//!
+//! Without the `fastpath` feature this module degrades to the historical
+//! allocation scheme (individually boxed nodes, freed by the
+//! `free_subtree` walk), keeping the old layout benchmarkable.
+
+use std::alloc::Layout;
+
+/// Slab granularity of the `fastpath` arena (2 MiB).
+pub const SLAB_BYTES: usize = 2 * 1024 * 1024;
+
+/// Alignment every node allocation is rounded up to (one cache line).
+pub const NODE_ALIGN: usize = 64;
+
+/// Occupancy statistics of a tree's node arena (all zero on the boxed
+/// non-`fastpath` path, which has no arena).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Slabs currently owned by the arena.
+    pub slabs: usize,
+    /// Bytes handed out to nodes (aligned sizes) since the last reset.
+    pub bytes_used: usize,
+    /// Total bytes reserved across all slabs.
+    pub bytes_reserved: usize,
+}
+
+#[cfg(feature = "fastpath")]
+mod imp {
+    use super::{ArenaStats, Layout, NODE_ALIGN, SLAB_BYTES};
+    use std::sync::Mutex;
+
+    /// One 64-byte-aligned allocation of `cap` bytes; `used` bytes of it
+    /// are handed out (and therefore possibly non-zero).
+    struct Slab {
+        base: *mut u8,
+        cap: usize,
+        used: usize,
+    }
+
+    // SAFETY: slabs are raw memory owned by the arena; all access to the
+    // bookkeeping goes through the mutex, and the node memory handed out is
+    // synchronized by the tree's own locking protocol.
+    unsafe impl Send for Slab {}
+
+    struct Inner {
+        slabs: Vec<Slab>,
+        /// Index of the slab currently bump-allocated from.
+        cur: usize,
+    }
+
+    /// The `fastpath` bump arena: 2 MiB slabs, 64-byte-aligned zeroed
+    /// node allocations, wholesale reclamation.
+    pub(crate) struct Arena {
+        inner: Mutex<Inner>,
+    }
+
+    impl Arena {
+        pub fn new() -> Self {
+            Arena {
+                inner: Mutex::new(Inner {
+                    slabs: Vec::new(),
+                    cur: 0,
+                }),
+            }
+        }
+
+        /// Allocates zeroed, 64-byte-aligned storage for one node.
+        ///
+        /// The returned pointer stays valid until [`reset`](Self::reset) or
+        /// the arena is dropped; individual allocations are never freed.
+        pub fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            debug_assert!(
+                layout.align() <= NODE_ALIGN,
+                "node alignment above one cache line is unsupported"
+            );
+            let size = layout.size().div_ceil(NODE_ALIGN) * NODE_ALIGN;
+            let mut inner = self.inner.lock().unwrap();
+            // Fast path: the current slab has room.
+            let cur = inner.cur;
+            if let Some(slab) = inner.slabs.get_mut(cur) {
+                if slab.used + size <= slab.cap {
+                    let p = unsafe { slab.base.add(slab.used) };
+                    slab.used += size;
+                    telemetry::count(telemetry::Counter::ArenaAllocFast);
+                    telemetry::add(telemetry::Counter::ArenaBytesUsed, size as u64);
+                    return p;
+                }
+            }
+            // Slow path: advance to the next retained slab (left behind by
+            // `reset`, already zeroed) or open a fresh one.
+            telemetry::count(telemetry::Counter::ArenaAllocSlow);
+            let next = if inner.slabs.is_empty() {
+                0
+            } else {
+                inner.cur + 1
+            };
+            if next < inner.slabs.len() && size <= inner.slabs[next].cap {
+                inner.cur = next;
+                let slab = &mut inner.slabs[next];
+                let p = slab.base;
+                slab.used = size;
+                telemetry::add(telemetry::Counter::ArenaBytesUsed, size as u64);
+                return p;
+            }
+            let cap = SLAB_BYTES.max(size);
+            let slab_layout = Layout::from_size_align(cap, NODE_ALIGN).expect("slab layout");
+            // SAFETY: `cap > 0`; alloc failure is surfaced via
+            // `handle_alloc_error` like any other Rust allocation.
+            let base = unsafe { std::alloc::alloc_zeroed(slab_layout) };
+            if base.is_null() {
+                std::alloc::handle_alloc_error(slab_layout);
+            }
+            telemetry::count(telemetry::Counter::ArenaSlabAllocs);
+            telemetry::add(telemetry::Counter::ArenaBytesUsed, size as u64);
+            inner.slabs.push(Slab {
+                base,
+                cap,
+                used: size,
+            });
+            inner.cur = inner.slabs.len() - 1;
+            base
+        }
+
+        /// Forgets every allocation while **retaining** the slabs: the used
+        /// prefix of each slab is re-zeroed so subsequent allocations see
+        /// fresh memory. Requires the caller to guarantee no live node from
+        /// this arena is reachable any more (`BTreeSet::clear` nulls the
+        /// root under `&mut self`).
+        pub fn reset(&self) {
+            let mut inner = self.inner.lock().unwrap();
+            for slab in inner.slabs.iter_mut() {
+                if slab.used > 0 {
+                    // SAFETY: `..used` lies within the slab we own.
+                    unsafe { std::ptr::write_bytes(slab.base, 0, slab.used) };
+                    slab.used = 0;
+                }
+            }
+            inner.cur = 0;
+        }
+
+        /// Occupancy snapshot.
+        pub fn stats(&self) -> ArenaStats {
+            let inner = self.inner.lock().unwrap();
+            ArenaStats {
+                slabs: inner.slabs.len(),
+                bytes_used: inner.slabs.iter().map(|s| s.used).sum(),
+                bytes_reserved: inner.slabs.iter().map(|s| s.cap).sum(),
+            }
+        }
+
+        /// Index of the slab containing `p`, if any (layout tests).
+        #[cfg(test)]
+        pub fn slab_of(&self, p: *const u8) -> Option<usize> {
+            let inner = self.inner.lock().unwrap();
+            inner
+                .slabs
+                .iter()
+                .position(|s| (s.base as usize..s.base as usize + s.cap).contains(&(p as usize)))
+        }
+    }
+
+    impl Drop for Arena {
+        fn drop(&mut self) {
+            let inner = self.inner.get_mut().unwrap();
+            for slab in inner.slabs.drain(..) {
+                let layout = Layout::from_size_align(slab.cap, NODE_ALIGN).expect("slab layout");
+                // SAFETY: allocated in `alloc_zeroed` with this exact
+                // layout, freed exactly once here.
+                unsafe { std::alloc::dealloc(slab.base, layout) };
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "fastpath"))]
+mod imp {
+    use super::{ArenaStats, Layout};
+
+    /// The boxed-path stand-in: a zero-sized handle whose allocations go
+    /// straight to the global allocator (compatible with `Box::from_raw`,
+    /// which `free_subtree` relies on).
+    pub(crate) struct Arena;
+
+    impl Arena {
+        pub fn new() -> Self {
+            Arena
+        }
+
+        pub fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            // SAFETY: node layouts are never zero-sized.
+            let p = unsafe { std::alloc::alloc_zeroed(layout) };
+            if p.is_null() {
+                std::alloc::handle_alloc_error(layout);
+            }
+            p
+        }
+
+        /// Nothing to do: nodes are owned individually and freed by
+        /// `free_subtree` (which `clear`/`Drop` call instead of this).
+        #[allow(dead_code)]
+        pub fn reset(&self) {}
+
+        pub fn stats(&self) -> ArenaStats {
+            ArenaStats::default()
+        }
+    }
+}
+
+pub(crate) use imp::Arena;
+
+#[cfg(all(test, feature = "fastpath"))]
+mod tests {
+    use super::*;
+    use crate::node::{InnerNode, LeafNode};
+    use crate::tree::BTreeSet;
+    use std::sync::atomic::Ordering::Relaxed;
+
+    #[test]
+    fn allocations_are_cache_line_aligned_and_zeroed() {
+        let arena = Arena::new();
+        for _ in 0..100 {
+            let p = arena.alloc_zeroed(Layout::from_size_align(408, 8).unwrap());
+            assert_eq!(p as usize % NODE_ALIGN, 0);
+            for i in 0..408 {
+                assert_eq!(unsafe { *p.add(i) }, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_allocations_share_a_slab_and_are_adjacent() {
+        let arena = Arena::new();
+        let a = arena.alloc_zeroed(Layout::new::<LeafNode<2, 24>>());
+        let b = arena.alloc_zeroed(Layout::new::<InnerNode<2, 24>>());
+        assert_eq!(arena.slab_of(a), Some(0));
+        assert_eq!(arena.slab_of(b), Some(0));
+        let leaf_rounded = std::mem::size_of::<LeafNode<2, 24>>().div_ceil(NODE_ALIGN) * NODE_ALIGN;
+        assert_eq!(b as usize - a as usize, leaf_rounded);
+    }
+
+    #[test]
+    fn slab_rolls_over_when_full() {
+        let arena = Arena::new();
+        let size = 64 * 1024;
+        let layout = Layout::from_size_align(size, 64).unwrap();
+        for _ in 0..(SLAB_BYTES / size + 1) {
+            arena.alloc_zeroed(layout);
+        }
+        let s = arena.stats();
+        assert_eq!(s.slabs, 2);
+        assert_eq!(s.bytes_used, SLAB_BYTES + size);
+        assert_eq!(s.bytes_reserved, 2 * SLAB_BYTES);
+    }
+
+    #[test]
+    fn reset_retains_and_rezeroes_slabs() {
+        let arena = Arena::new();
+        let p = arena.alloc_zeroed(Layout::from_size_align(128, 64).unwrap());
+        unsafe { std::ptr::write_bytes(p, 0xAB, 128) };
+        arena.reset();
+        let s = arena.stats();
+        assert_eq!((s.slabs, s.bytes_used), (1, 0));
+        // The same memory comes back, zeroed again.
+        let q = arena.alloc_zeroed(Layout::from_size_align(128, 64).unwrap());
+        assert_eq!(p, q);
+        for i in 0..128 {
+            assert_eq!(unsafe { *q.add(i) }, 0);
+        }
+    }
+
+    #[test]
+    fn split_sibling_lands_in_the_same_slab_as_its_left_neighbor() {
+        // Fill a root leaf past capacity so it splits: afterwards the root
+        // is an inner node whose children are the original leaf and the
+        // split-produced sibling. Both must live in slab 0, adjacent-ish.
+        let tree: BTreeSet<1, 8> = BTreeSet::new();
+        for i in 0..9u64 {
+            tree.insert([i]);
+        }
+        let root = tree.root.load(Relaxed);
+        let rn = unsafe { &*root };
+        assert!(rn.is_inner(), "one split must have happened");
+        let left = unsafe { rn.as_inner() }.child(0);
+        let right = unsafe { rn.as_inner() }.child(1);
+        let slab_left = tree.arena.slab_of(left as *const u8);
+        let slab_right = tree.arena.slab_of(right as *const u8);
+        assert!(slab_left.is_some());
+        assert_eq!(slab_left, slab_right, "split sibling left its slab");
+        assert_eq!(tree.arena.slab_of(root as *const u8), slab_left);
+    }
+
+    #[test]
+    fn concurrent_allocation_is_consistent() {
+        let arena = Arena::new();
+        let layout = Layout::from_size_align(256, 64).unwrap();
+        let ptrs: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        (0..200)
+                            .map(|_| arena.alloc_zeroed(layout) as usize)
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut sorted = ptrs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ptrs.len(), "overlapping allocations");
+        assert_eq!(arena.stats().bytes_used, 4 * 200 * 256);
+    }
+}

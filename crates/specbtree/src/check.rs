@@ -81,11 +81,23 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
 
     /// Approximate heap footprint of the tree's nodes in bytes. Quiescent
     /// phases only.
+    ///
+    /// Under `fastpath` this reports the bytes the arena actually handed
+    /// out (64-byte-aligned node sizes, including any slack), which is the
+    /// tree's true node footprint; without `fastpath` it is derived from
+    /// the node counts and the boxed node sizes.
     pub fn memory_usage(&self) -> usize {
-        self.shape().memory_bytes(
-            std::mem::size_of::<crate::node::LeafNode<K, C>>(),
-            std::mem::size_of::<crate::node::InnerNode<K, C>>(),
-        )
+        #[cfg(feature = "fastpath")]
+        {
+            self.arena_stats().bytes_used
+        }
+        #[cfg(not(feature = "fastpath"))]
+        {
+            self.shape().memory_bytes(
+                std::mem::size_of::<crate::node::LeafNode<K, C>>(),
+                std::mem::size_of::<crate::node::InnerNode<K, C>>(),
+            )
+        }
     }
 
     /// Returns shape statistics without checking invariants. Quiescent

@@ -67,6 +67,8 @@ impl<'a, const K: usize, const C: usize> Iter<'a, K, C> {
             }
             // SAFETY: kind checked above.
             node = unsafe { n.as_inner() }.child(0);
+            // Overlap the next level's cache miss with the loop overhead.
+            crate::search::prefetch_read(node);
         }
     }
 }

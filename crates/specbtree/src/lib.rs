@@ -23,6 +23,13 @@
 //! paper's "seq btree" baseline): same geometry and algorithms, no atomics,
 //! no locks — quantifying the cost of the synchronization machinery.
 //!
+//! The default-on **`fastpath`** feature adds the cache-conscious memory
+//! and search layer (see DESIGN.md "Memory layout"): a per-tree
+//! cache-line-aligned slab arena for nodes, branch-free column-0
+//! specialized intra-node search (with an AVX2 kernel picked by runtime
+//! detection), and software prefetching on the descent. Build with
+//! `--no-default-features` to benchmark the historical boxed layout.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -51,14 +58,21 @@
 // code, each site carrying a SAFETY comment; the public API is entirely safe.
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod arena;
 mod check;
 mod hints;
 mod iter;
 mod merge;
 mod node;
+// Without `fastpath` only `prefetch_read` (a no-op there) is reached from
+// the live tree code; the rest of the module stays compiled — and its tests
+// keep running — so both configurations validate the shared search.
+#[cfg_attr(not(feature = "fastpath"), allow(dead_code))]
+mod search;
 pub mod seq;
 mod tree;
 
+pub use arena::{ArenaStats, NODE_ALIGN, SLAB_BYTES};
 pub use check::{InvariantViolation, TreeShape};
 pub use hints::{BTreeHints, HintStats};
 pub use iter::{Iter, RangeChunk, RangeIter};

@@ -12,6 +12,7 @@
 //! 2. When the target is still empty, the sorted source is **bulk-loaded**
 //!    into a fully packed tree in O(n) without any per-element descent.
 
+use crate::arena::Arena;
 use crate::node::{cmp3, InnerNode, LeafNode, NodePtr, Tuple};
 use crate::tree::BTreeSet;
 use std::cmp::Ordering;
@@ -28,9 +29,13 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             return;
         }
         // Fast path: an empty target adopts a bulk-loaded copy wholesale.
+        // The copy is built in the *target's* arena, so adopting it keeps
+        // ownership lifetimes simple (the target reclaims it like any of
+        // its own subtrees).
         if self.root.load(Relaxed).is_null() {
-            let built = build_from_sorted::<K, C>(other.iter());
+            let built = build_from_sorted::<K, C>(other.iter(), &self.arena);
             if !built.is_null() {
+                #[allow(clippy::collapsible_if)] // the arms differ by feature
                 if self.root_lock.try_start_write() {
                     if self.root.load(Relaxed).is_null() {
                         self.root.store(built, Relaxed);
@@ -42,7 +47,15 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 }
                 // Lost the race: discard the prebuilt copy, insert normally.
                 // SAFETY: `built` is a private subtree we just constructed.
-                unsafe { LeafNode::free_subtree(built) };
+                #[cfg(not(feature = "fastpath"))]
+                unsafe {
+                    LeafNode::free_subtree(built)
+                };
+                // Arena path: the unpublished subtree is simply abandoned in
+                // the target's arena and reclaimed with everything else on
+                // `clear`/`Drop` — a bounded, once-per-merge-race leak by
+                // design (freeing individual nodes is impossible by
+                // construction, and that is what makes reads safe).
             }
         }
         telemetry::count(telemetry::Counter::BtreeMergePerTuple);
@@ -59,7 +72,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
     /// In debug builds, panics if the input is not strictly ascending.
     pub fn from_sorted<I: IntoIterator<Item = Tuple<K>>>(items: I) -> Self {
         let set = Self::new();
-        let root = build_from_sorted::<K, C>(items.into_iter());
+        let root = build_from_sorted::<K, C>(items.into_iter(), &set.arena);
         if !root.is_null() {
             set.root.store(root, Relaxed);
         }
@@ -72,6 +85,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
 /// in-order insertion converges towards, taken to its limit).
 fn build_from_sorted<const K: usize, const C: usize>(
     items: impl Iterator<Item = Tuple<K>>,
+    arena: &Arena,
 ) -> NodePtr<K, C> {
     let items: Vec<Tuple<K>> = items.collect();
     if items.is_empty() {
@@ -99,7 +113,7 @@ fn build_from_sorted<const K: usize, const C: usize>(
         if n - i - take == 1 && take > 1 {
             take -= 1;
         }
-        let leaf = LeafNode::<K, C>::alloc();
+        let leaf = LeafNode::<K, C>::alloc_in(arena);
         // SAFETY: freshly allocated, private.
         let ln = unsafe { &*leaf };
         for (slot, item) in items[i..i + take].iter().enumerate() {
@@ -132,7 +146,7 @@ fn build_from_sorted<const K: usize, const C: usize>(
                 group -= 1;
             }
             debug_assert!(group >= 2 || nodes.len() == 1);
-            let inner = InnerNode::<K, C>::alloc();
+            let inner = InnerNode::<K, C>::alloc_in(arena);
             // SAFETY: freshly allocated, private.
             let pn = unsafe { &*inner };
             let pi = unsafe { pn.as_inner() };

@@ -23,15 +23,19 @@
 //!
 //! # Safety invariants
 //!
-//! * Nodes are allocated with `Box` and **never freed or moved** while the
-//!   tree is alive (Datalog relations only grow). Dereferencing any pointer
-//!   ever published inside the tree is therefore memory-safe; only the
-//!   *values* read may be stale.
+//! * Nodes are allocated from the owning tree's [`Arena`] (cache-line
+//!   aligned slabs under the `fastpath` feature, individually boxed
+//!   otherwise) and **never freed or moved** while the tree is alive
+//!   (Datalog relations only grow). Dereferencing any pointer ever
+//!   published inside the tree is therefore memory-safe; only the *values*
+//!   read may be stale.
 //! * A node's kind (leaf/inner) is fixed at allocation and never changes.
 //! * `num_elements` read optimistically is clamped to the node capacity
 //!   before being used as an index bound.
 
+use crate::arena::Arena;
 use optlock::OptimisticRwLock;
+use std::alloc::Layout;
 use std::cmp::Ordering;
 
 // Node fields go through `chaos::sync` so the schedule-exploration harness
@@ -73,7 +77,16 @@ pub(crate) type NodePtr<const K: usize, const C: usize> = *mut LeafNode<K, C>;
 ///
 /// `C` is the key capacity of a node; a node holding `C` keys is full and
 /// splits on the next insertion routed to it.
+///
+/// Under `fastpath` the node is 64-byte aligned so it starts on a cache
+/// line: the hot header (`lock`, `num_elements`) and the first keys then
+/// share one line, and a node never straddles a line it does not have to.
+/// With the default geometry (`K = 2`, `C = 24`) a leaf is 448 bytes
+/// (7 lines) and an inner node 704 bytes (11 lines, its leaf prefix
+/// padded to 448); without `fastpath` they are 408 and 608 bytes at
+/// natural (8-byte) alignment.
 #[repr(C)]
+#[cfg_attr(feature = "fastpath", repr(align(64)))]
 pub(crate) struct LeafNode<const K: usize, const C: usize> {
     /// Version lock protecting this node's keys, counters and child array.
     pub lock: OptimisticRwLock,
@@ -109,16 +122,15 @@ pub(crate) struct InnerNode<const K: usize, const C: usize> {
 }
 
 impl<const K: usize, const C: usize> LeafNode<K, C> {
-    /// Allocates a fresh leaf node. All-zero is a valid initial state
-    /// (unlocked lock, null parent, zero elements, leaf kind), so the
-    /// allocation is a single zeroed `Box`.
-    pub fn alloc() -> NodePtr<K, C> {
-        // SAFETY: every field of `LeafNode` is valid at the all-zero bit
-        // pattern: atomics of integers are plain integers, `AtomicPtr` null
-        // is the zero pattern, and `OptimisticRwLock` documents version 0 as
-        // a valid unlocked state.
-        let boxed: Box<LeafNode<K, C>> = unsafe { Box::new_zeroed().assume_init() };
-        Box::into_raw(boxed)
+    /// Allocates a fresh leaf node from `arena`. All-zero is a valid
+    /// initial state (unlocked lock, null parent, zero elements, leaf
+    /// kind), so the allocation is a single zeroed carve-out. Every field
+    /// of `LeafNode` is valid at the all-zero bit pattern: atomics of
+    /// integers are plain integers, `AtomicPtr` null is the zero pattern,
+    /// and `OptimisticRwLock` documents version 0 as a valid unlocked
+    /// state. The node lives until the arena is reset or dropped.
+    pub fn alloc_in(arena: &Arena) -> NodePtr<K, C> {
+        arena.alloc_zeroed(Layout::new::<Self>()) as NodePtr<K, C>
     }
 
     /// Whether this node is an inner node (and may be widened with
@@ -191,11 +203,19 @@ impl<const K: usize, const C: usize> LeafNode<K, C> {
         self.set_key(to, &k);
     }
 
-    /// Binary search for `t` among the first `n` keys.
+    /// Search for `t` among the first `n` keys.
     ///
     /// Returns `(idx, found)` where `idx` is the index of the first key
     /// `>= t` (i.e. the lower bound, `n` if all keys are smaller) and
     /// `found` says whether the key at `idx` equals `t`.
+    ///
+    /// This is the classic branchy binary search, deliberately kept as the
+    /// default in *every* configuration: on predictable probe sequences
+    /// (hinted leaf checks, sorted bulk loads, range positioning) its
+    /// branches let the core speculate across the whole descent, which the
+    /// branch-free variant cannot. Callers on misprediction-dominated
+    /// paths (random point descents) opt into
+    /// [`search_branchfree`](Self::search_branchfree) instead.
     ///
     /// Under optimistic reads the result may be garbage; it only becomes
     /// trustworthy after the caller validates its lease.
@@ -214,8 +234,28 @@ impl<const K: usize, const C: usize> LeafNode<K, C> {
         (lo, false)
     }
 
+    /// [`search`](Self::search) for misprediction-dominated probe
+    /// sequences: under `fastpath` this routes through the shared
+    /// branch-free implementation in [`crate::search`] (conditional-move
+    /// binary search, counting scan for short prefixes), which wins on
+    /// uniformly random probes and loses on predictable ones. Without
+    /// `fastpath` it is the classic search.
+    #[inline]
+    pub fn search_branchfree(&self, t: &Tuple<K>, n: usize) -> (usize, bool) {
+        debug_assert!(n <= C);
+        #[cfg(feature = "fastpath")]
+        {
+            crate::search::search(self, t, n)
+        }
+        #[cfg(not(feature = "fastpath"))]
+        {
+            self.search(t, n)
+        }
+    }
+
     /// Index of the first key strictly greater than `t` among the first `n`
-    /// keys (`n` if none).
+    /// keys (`n` if none). Classic branchy form, same rationale as
+    /// [`search`](Self::search).
     #[inline]
     pub fn search_upper(&self, t: &Tuple<K>, n: usize) -> usize {
         debug_assert!(n <= C);
@@ -232,19 +272,22 @@ impl<const K: usize, const C: usize> LeafNode<K, C> {
     }
 
     /// Frees this node and (recursively, via an explicit stack) all its
-    /// descendants.
+    /// descendants. Only exists on the boxed (non-`fastpath`) path; the
+    /// arena path reclaims all nodes wholesale via `Arena::reset`/`Drop`.
     ///
     /// # Safety
     /// `node` must be a valid tree node pointer, exclusively owned (the
     /// tree is being dropped or cleared: `&mut` access, no concurrent
     /// operations, no outstanding iterators).
+    #[cfg(not(feature = "fastpath"))]
     pub unsafe fn free_subtree(node: NodePtr<K, C>) {
         let mut stack = vec![node];
         while let Some(n) = stack.pop() {
             // SAFETY (for the whole body): the caller owns the subtree
-            // exclusively; every reachable pointer is a live node allocated
-            // by `LeafNode::alloc`/`InnerNode::alloc` and is freed exactly
-            // once with the matching type.
+            // exclusively; every reachable pointer is a live node that the
+            // non-`fastpath` arena carved individually out of the global
+            // allocator with the node type's exact layout, so it is freed
+            // exactly once with the matching `Box` type.
             unsafe {
                 let leaf = &*n;
                 if leaf.is_inner() {
@@ -265,13 +308,15 @@ impl<const K: usize, const C: usize> LeafNode<K, C> {
 }
 
 impl<const K: usize, const C: usize> InnerNode<K, C> {
-    /// Allocates a fresh inner node (zeroed, kind flag set).
-    pub fn alloc() -> NodePtr<K, C> {
-        // SAFETY: as in `LeafNode::alloc`; `InnerNode` adds only atomic
-        // pointers, which are valid when zeroed (null).
-        let boxed: Box<InnerNode<K, C>> = unsafe { Box::new_zeroed().assume_init() };
-        boxed.base.inner_flag.store(1, Relaxed);
-        Box::into_raw(boxed) as NodePtr<K, C>
+    /// Allocates a fresh inner node from `arena` (zeroed, kind flag set).
+    /// `InnerNode` adds only atomic pointers to the leaf prefix, which are
+    /// valid when zeroed (null), so the all-zero reasoning of
+    /// [`LeafNode::alloc_in`] carries over.
+    pub fn alloc_in(arena: &Arena) -> NodePtr<K, C> {
+        let p = arena.alloc_zeroed(Layout::new::<Self>()) as *mut Self;
+        // SAFETY: `p` is a valid, zero-initialized `InnerNode` allocation.
+        unsafe { &*p }.base.inner_flag.store(1, Relaxed);
+        p as NodePtr<K, C>
     }
 
     /// The `i`-th child pointer (`0 ..= num`). `i` must be `<= C`; the value
@@ -297,6 +342,21 @@ impl<const K: usize, const C: usize> InnerNode<K, C> {
     }
 }
 
+// The concurrent node exposes its sorted key prefix to the shared
+// branch-free search through relaxed atomic loads — same memory orders as
+// the classic search, so the optimistic-read contract is unchanged.
+impl<const K: usize, const C: usize> crate::search::KeyView<K> for LeafNode<K, C> {
+    #[inline]
+    fn col(&self, i: usize, c: usize) -> u64 {
+        self.keys[i][c].load(Relaxed)
+    }
+
+    #[inline]
+    fn cmp_key(&self, i: usize, t: &Tuple<K>) -> Ordering {
+        cmp3(&self.key(i), t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,13 +364,24 @@ mod tests {
     type Leaf = LeafNode<2, 8>;
     type Inner = InnerNode<2, 8>;
 
+    // Node tests allocate from a scratch arena. On the boxed path each
+    // node must be freed individually; on the arena path the arena's own
+    // `Drop` reclaims everything and these helpers are no-ops.
+    #[cfg(not(feature = "fastpath"))]
     fn free_leaf(p: NodePtr<2, 8>) {
         unsafe { drop(Box::from_raw(p)) }
     }
 
+    #[cfg(feature = "fastpath")]
+    fn free_leaf(_p: NodePtr<2, 8>) {}
+
+    #[cfg(not(feature = "fastpath"))]
     fn free_inner(p: NodePtr<2, 8>) {
         unsafe { drop(Box::from_raw(p as *mut Inner)) }
     }
+
+    #[cfg(feature = "fastpath")]
+    fn free_inner(_p: NodePtr<2, 8>) {}
 
     #[test]
     fn cmp3_is_lexicographic() {
@@ -333,7 +404,8 @@ mod tests {
 
     #[test]
     fn fresh_leaf_is_empty_unlocked_leaf() {
-        let p = Leaf::alloc();
+        let a = Arena::new();
+        let p = Leaf::alloc_in(&a);
         let leaf = unsafe { &*p };
         assert!(!leaf.is_inner());
         assert_eq!(leaf.num(), 0);
@@ -344,7 +416,8 @@ mod tests {
 
     #[test]
     fn fresh_inner_has_kind_flag_and_null_children() {
-        let p = Inner::alloc();
+        let a = Arena::new();
+        let p = Inner::alloc_in(&a);
         let leaf = unsafe { &*p };
         assert!(leaf.is_inner());
         let inner = unsafe { leaf.as_inner() };
@@ -356,7 +429,8 @@ mod tests {
 
     #[test]
     fn key_roundtrip() {
-        let p = Leaf::alloc();
+        let a = Arena::new();
+        let p = Leaf::alloc_in(&a);
         let leaf = unsafe { &*p };
         leaf.set_key(3, &[7, u64::MAX]);
         assert_eq!(leaf.key(3), [7, u64::MAX]);
@@ -367,9 +441,10 @@ mod tests {
 
     #[test]
     fn child_slot_seam_at_capacity() {
-        let p = Inner::alloc();
+        let a = Arena::new();
+        let p = Inner::alloc_in(&a);
         let inner = unsafe { (&*p).as_inner() };
-        let kid = Leaf::alloc();
+        let kid = Leaf::alloc_in(&a);
         inner.set_child(8, kid); // last_child slot
         assert_eq!(inner.child(8), kid);
         assert!(inner.child(7).is_null());
@@ -381,7 +456,8 @@ mod tests {
 
     #[test]
     fn num_clamped_bounds_garbage_counters() {
-        let p = Leaf::alloc();
+        let a = Arena::new();
+        let p = Leaf::alloc_in(&a);
         let leaf = unsafe { &*p };
         leaf.num_elements.store(u16::MAX, Relaxed);
         assert_eq!(leaf.num_clamped(), 8);
@@ -392,7 +468,8 @@ mod tests {
 
     #[test]
     fn search_finds_lower_bound_and_exact() {
-        let p = Leaf::alloc();
+        let a = Arena::new();
+        let p = Leaf::alloc_in(&a);
         let leaf = unsafe { &*p };
         for (i, v) in [[1u64, 0], [3, 0], [5, 0], [7, 0]].iter().enumerate() {
             leaf.set_key(i, v);
@@ -408,7 +485,8 @@ mod tests {
 
     #[test]
     fn search_upper_is_strict() {
-        let p = Leaf::alloc();
+        let a = Arena::new();
+        let p = Leaf::alloc_in(&a);
         let leaf = unsafe { &*p };
         for (i, v) in [[1u64, 0], [3, 0], [3, 5], [7, 0]].iter().enumerate() {
             leaf.set_key(i, v);
@@ -424,20 +502,25 @@ mod tests {
 
     #[test]
     fn search_on_empty_prefix() {
-        let p = Leaf::alloc();
+        let a = Arena::new();
+        let p = Leaf::alloc_in(&a);
         let leaf = unsafe { &*p };
         assert_eq!(leaf.search(&[1, 1], 0), (0, false));
         assert_eq!(leaf.search_upper(&[1, 1], 0), 0);
         free_leaf(p);
     }
 
+    // The walk only exists on the boxed path; the arena path reclaims
+    // nodes wholesale (covered by the tests in `arena.rs`).
+    #[cfg(not(feature = "fastpath"))]
     #[test]
     fn free_subtree_handles_multi_level_tree() {
         // Build a 2-level tree by hand, then free it; run under Miri/ASan to
         // catch leaks or double frees.
-        let root = Inner::alloc();
-        let l0 = Leaf::alloc();
-        let l1 = Leaf::alloc();
+        let a = Arena::new();
+        let root = Inner::alloc_in(&a);
+        let l0 = Leaf::alloc_in(&a);
+        let l1 = Leaf::alloc_in(&a);
         unsafe {
             let r = &*root;
             r.set_key(0, &[10, 0]);
@@ -446,5 +529,35 @@ mod tests {
             r.as_inner().set_child(1, l1);
             Leaf::free_subtree(root);
         }
+    }
+
+    /// Layout guarantees the `fastpath` arena relies on: 64-byte node
+    /// alignment and the documented byte sizes for the default geometry.
+    #[cfg(feature = "fastpath")]
+    #[test]
+    fn fastpath_layout_is_cache_line_aligned() {
+        use std::mem::{align_of, size_of};
+        assert_eq!(align_of::<LeafNode<2, 24>>(), 64);
+        assert_eq!(align_of::<InnerNode<2, 24>>(), 64);
+        assert_eq!(size_of::<LeafNode<2, 24>>(), 448);
+        assert_eq!(size_of::<InnerNode<2, 24>>(), 704);
+        // Alignment holds for every geometry, not just the default.
+        assert_eq!(align_of::<LeafNode<1, 8>>(), 64);
+        assert_eq!(align_of::<InnerNode<4, 48>>(), 64);
+        // An allocated node actually starts on a cache line.
+        let a = Arena::new();
+        let p = LeafNode::<2, 24>::alloc_in(&a);
+        assert_eq!(p as usize % 64, 0);
+        let q = InnerNode::<2, 24>::alloc_in(&a);
+        assert_eq!(q as usize % 64, 0);
+    }
+
+    #[cfg(not(feature = "fastpath"))]
+    #[test]
+    fn boxed_layout_has_natural_alignment() {
+        use std::mem::{align_of, size_of};
+        assert_eq!(align_of::<LeafNode<2, 24>>(), 8);
+        assert_eq!(size_of::<LeafNode<2, 24>>(), 408);
+        assert_eq!(size_of::<InnerNode<2, 24>>(), 608);
     }
 }

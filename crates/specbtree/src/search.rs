@@ -1,0 +1,504 @@
+//! Branch-free intra-node search (the `fastpath` search layer).
+//!
+//! The classic binary search in `node.rs` does a full [`cmp3`] per probe
+//! and branches three ways on the result. Those branches cut both ways:
+//!
+//! * on **predictable probe sequences** (hint-local walks, sorted bulk
+//!   loads, repeated descents down the same spine) the predictor is almost
+//!   always right, and speculation runs ahead through the data-dependent
+//!   control flow — the core issues the next probe's load, and even the
+//!   next *level's* child load, before the current compare resolves;
+//! * on **uniformly random point probes** every 50/50 branch costs a
+//!   pipeline flush about half the time, several times per node, at every
+//!   level of the descent.
+//!
+//! This module is the second half of that trade: a lower bound with **no
+//! data-dependent branches**, used by the tree for the probe patterns
+//! where mispredictions dominate — the full descents behind random point
+//! lookups and inserts (see `BTreeSet::locate_full` and the adaptive
+//! routing in `insert_hinted`). The predictable paths (hinted leaf
+//! checks, range-scan positioning, append-pattern descents) deliberately
+//! stay on the classic search: measured on the `layout` bench, replacing
+//! it there costs up to 2× on sorted single-thread inserts, precisely
+//! because a conditional move serializes the load chain that speculation
+//! would have overlapped.
+//!
+//! Three shapes, selected by key arity and prefix length, shared by the
+//! concurrent ([`LeafNode`](crate::node::LeafNode)) and sequential
+//! (`seq::SeqNode`) nodes via the [`KeyView`] trait:
+//!
+//! * prefixes up to [`LINEAR_CUTOFF`] slots use a **branch-free counting
+//!   scan**: the rank of the probe is the number of lexicographically
+//!   smaller keys, computed with flag arithmetic over independent loads;
+//! * single-column keys (`K == 1`) whose storage is contiguous take the
+//!   counting scan at every size, with an **AVX2 kernel**
+//!   (`_mm256_cmpgt_epi64`, selected by runtime feature detection)
+//!   counting four keys per step;
+//! * everything else uses a **branchless binary search** whose step is a
+//!   conditional move (`base = if less { base + half } else { base }`) and
+//!   whose probe is **specialized on the first key column**: column 0 is
+//!   compared as a plain word and the remaining columns contribute only
+//!   under a column-0 equality mask — flag arithmetic, not control flow,
+//!   so no probe outcome ever reaches the branch predictor.
+//!
+//! The shapes and constants were measured (see DESIGN.md "Memory
+//! layout"). An earlier draft gathered column 0 into a stack buffer and
+//! called an out-of-line AVX2 kernel for every node; it lost to the
+//! classic search at every node size — the 8-byte stores into the buffer
+//! stall the 32-byte vector loads (store-forwarding), and a
+//! `#[target_feature]` function cannot inline into its caller. SIMD only
+//! pays when it reads the keys in place, which takes contiguous
+//! non-atomic storage (`K == 1` in the sequential node).
+//!
+//! Everything here is also valid under optimistic reads: the inputs may
+//! be torn or stale, the outputs are bounded by `n`, and the caller's
+//! lease validation decides whether to trust them — exactly the contract
+//! of the classic search. The concurrent node deliberately does *not*
+//! expose [`KeyView::col0_words`]: its keys must be read with relaxed
+//! atomic loads, one slot at a time, to keep racing reads well-defined.
+
+use crate::node::Tuple;
+use std::cmp::Ordering;
+
+/// Largest prefix length served by the branch-free counting scan for
+/// multi-column keys; longer prefixes take the branchless binary search.
+/// Measured on a 24-slot `K = 2` node: the scan's `n` independent probes
+/// beat `log2(n)` serial ones up to about this size, past which the extra
+/// loads dominate. Single-column contiguous keys ignore the cutoff
+/// (counting wins at every size a node can hold).
+pub(crate) const LINEAR_CUTOFF: usize = 8;
+
+/// Read-only view of a node's sorted key prefix, implemented by the
+/// concurrent node (relaxed atomic loads) and the sequential node (plain
+/// loads). `K >= 1` for all real instantiations; `K == 0` is
+/// short-circuited before any column access.
+pub(crate) trait KeyView<const K: usize> {
+    /// Word `c` of the key at `i`.
+    fn col(&self, i: usize, c: usize) -> u64;
+
+    /// Full-tuple three-way comparison of the key at `i` against `t`.
+    fn cmp_key(&self, i: usize, t: &Tuple<K>) -> Ordering;
+
+    /// The node's key words as one contiguous `u64` slice (length ≥ the
+    /// element count), when the storage layout permits plain vector loads:
+    /// `K == 1` and non-atomic storage. `None` (the default) routes the
+    /// caller to per-slot [`col`](Self::col) loads.
+    fn col0_words(&self) -> Option<&[u64]> {
+        None
+    }
+}
+
+/// Branchless lower bound on `[lo, hi)`: the first index `i` with
+/// `!is_less(i)`, given that `is_less` is monotonically non-increasing.
+///
+/// Invariant: the answer stays in `[base, base + len]`; each step halves
+/// `len` with a conditional move instead of a branch.
+#[inline]
+fn lower_bound_by(lo: usize, hi: usize, mut is_less: impl FnMut(usize) -> bool) -> usize {
+    if lo == hi {
+        return lo;
+    }
+    let mut base = lo;
+    let mut len = hi - lo;
+    while len > 1 {
+        let half = len / 2;
+        // cmov-shaped: both arms are the same expression family, so LLVM
+        // lowers this to a conditional move, not a branch.
+        base = if is_less(base + half) {
+            base + half
+        } else {
+            base
+        };
+        len -= half;
+    }
+    base + is_less(base) as usize
+}
+
+/// Branch-free lexicographic flags for the key at `i` against `t`:
+/// `(less, equal)`. Column 0 decides unless it ties; later columns
+/// contribute under an all-previous-columns-equal mask. Pure flag
+/// arithmetic — `K` is a constant, so the loop unrolls.
+#[inline(always)]
+fn lex_flags<const K: usize>(v: &impl KeyView<K>, i: usize, t: &Tuple<K>) -> (bool, bool) {
+    let mut less = false;
+    let mut eq = true;
+    for (c, &tc) in t.iter().enumerate() {
+        let kc = v.col(i, c);
+        less |= eq & (kc < tc);
+        eq &= kc == tc;
+    }
+    (less, eq)
+}
+
+/// Branch-free rank counts over a short contiguous column-0 buffer:
+/// `(count of k < t0, count of k <= t0)`. The flag-arithmetic form contains
+/// no data-dependent branch and auto-vectorizes on every target.
+#[inline]
+fn bounds_col0_scalar(buf: &[u64], t0: u64) -> (usize, usize) {
+    let mut lt = 0usize;
+    let mut le = 0usize;
+    for &k in buf {
+        lt += (k < t0) as usize;
+        le += (k <= t0) as usize;
+    }
+    (lt, le)
+}
+
+/// AVX2 kernel for [`bounds_col0_scalar`]: four 64-bit lanes per step.
+///
+/// AVX2 has no unsigned 64-bit compare, so both operands are biased by
+/// `1 << 63` (XOR), turning the unsigned order into the signed order that
+/// `_mm256_cmpgt_epi64` implements.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn bounds_col0_avx2(buf: &[u64], t0: u64) -> (usize, usize) {
+    use std::arch::x86_64::*;
+    // SAFETY (whole body): reads stay within `buf` (4-lane chunks plus a
+    // scalar tail); the caller guarantees AVX2 is available.
+    let bias = _mm256_set1_epi64x(i64::MIN);
+    let pivot = _mm256_set1_epi64x((t0 ^ (1u64 << 63)) as i64);
+    let chunks = buf.len() / 4;
+    let mut lt = 0u32;
+    let mut gt = 0u32;
+    for c in 0..chunks {
+        let k = unsafe { _mm256_loadu_si256(buf.as_ptr().add(c * 4) as *const __m256i) };
+        let kb = _mm256_xor_si256(k, bias);
+        let lt_mask = _mm256_cmpgt_epi64(pivot, kb);
+        let gt_mask = _mm256_cmpgt_epi64(kb, pivot);
+        lt += (_mm256_movemask_pd(_mm256_castsi256_pd(lt_mask)) as u32).count_ones();
+        gt += (_mm256_movemask_pd(_mm256_castsi256_pd(gt_mask)) as u32).count_ones();
+    }
+    let mut lt = lt as usize;
+    let mut le = chunks * 4 - gt as usize;
+    for &k in &buf[chunks * 4..] {
+        lt += (k < t0) as usize;
+        le += (k <= t0) as usize;
+    }
+    (lt, le)
+}
+
+/// Dispatches to the AVX2 kernel when the CPU has it (detection is cached
+/// by `std`), otherwise to the scalar counting loop.
+#[inline]
+fn bounds_col0(buf: &[u64], t0: u64) -> (usize, usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if buf.len() >= 8 && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { bounds_col0_avx2(buf, t0) };
+        }
+    }
+    bounds_col0_scalar(buf, t0)
+}
+
+/// Branch-free lower-bound search: `(idx, found)` where `idx` is the index
+/// of the first key `>= t` among the first `n` keys. With duplicate keys
+/// this returns the *first* equal index (the classic search returns an
+/// arbitrary one); real trees are duplicate-free, so the results coincide.
+#[inline]
+pub(crate) fn search<const K: usize>(v: &impl KeyView<K>, t: &Tuple<K>, n: usize) -> (usize, bool) {
+    if K == 0 {
+        return (0, n > 0);
+    }
+    if n == 0 {
+        return (0, false);
+    }
+    // Single-column contiguous keys: count in place (SIMD when available).
+    if K == 1 {
+        if let Some(words) = v.col0_words() {
+            let (lt, le) = bounds_col0(&words[..n], t[0]);
+            telemetry::record(telemetry::Hist::BtreeSearchProbes, n as u64);
+            return (lt, le > lt);
+        }
+    }
+    // Short prefixes: branch-free counting scan over per-slot loads.
+    if n <= LINEAR_CUTOFF {
+        let mut lt = 0usize;
+        let mut any_eq = false;
+        for i in 0..n {
+            let (less, eq) = lex_flags(v, i, t);
+            lt += less as usize;
+            any_eq |= eq;
+        }
+        telemetry::record(telemetry::Hist::BtreeSearchProbes, n as u64);
+        return (lt, any_eq);
+    }
+    // Branchless binary search on the column-0-specialized predicate.
+    let mut probes = 0u32;
+    let lo = lower_bound_by(0, n, |i| {
+        probes += 1;
+        lex_flags(v, i, t).0
+    });
+    let found = lo < n && {
+        probes += 1;
+        v.cmp_key(lo, t) == Ordering::Equal
+    };
+    telemetry::record(telemetry::Hist::BtreeSearchProbes, probes as u64);
+    (lo, found)
+}
+
+/// Branch-free strict upper bound: index of the first key strictly greater
+/// than `t` among the first `n` keys (`n` if none).
+#[inline]
+pub(crate) fn search_upper<const K: usize>(v: &impl KeyView<K>, t: &Tuple<K>, n: usize) -> usize {
+    if K == 0 || n == 0 {
+        return n;
+    }
+    if K == 1 {
+        if let Some(words) = v.col0_words() {
+            let (_, le) = bounds_col0(&words[..n], t[0]);
+            telemetry::record(telemetry::Hist::BtreeSearchProbes, n as u64);
+            return le;
+        }
+    }
+    if n <= LINEAR_CUTOFF {
+        let mut le = 0usize;
+        for i in 0..n {
+            let (less, eq) = lex_flags(v, i, t);
+            le += (less | eq) as usize;
+        }
+        telemetry::record(telemetry::Hist::BtreeSearchProbes, n as u64);
+        return le;
+    }
+    let mut probes = 0u32;
+    let res = lower_bound_by(0, n, |i| {
+        probes += 1;
+        let (less, eq) = lex_flags(v, i, t);
+        less | eq
+    });
+    telemetry::record(telemetry::Hist::BtreeSearchProbes, probes as u64);
+    res
+}
+
+/// Best-effort prefetch of the cache line at `p` into all cache levels.
+/// Used on descent (fetch the chosen child while its parent's lease is
+/// being validated) and on hint lookup (fetch the hinted leaf before the
+/// boundary check). Compiles to nothing off x86_64 or without `fastpath`.
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(p: *const T) {
+    #[cfg(all(feature = "fastpath", target_arch = "x86_64"))]
+    if !p.is_null() {
+        // SAFETY: PREFETCHT0 is architecturally a hint; it cannot fault
+        // even on invalid addresses.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(p as *const i8, _MM_HINT_T0);
+        }
+    }
+    #[cfg(not(all(feature = "fastpath", target_arch = "x86_64")))]
+    let _ = p;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::cmp3;
+    use proptest::prelude::*;
+
+    /// Plain-slice view used to drive the shared search against reference
+    /// implementations. Exposes the contiguous fast path for `K == 1`, like
+    /// the sequential node.
+    struct VecView<const K: usize>(Vec<Tuple<K>>);
+
+    impl<const K: usize> KeyView<K> for VecView<K> {
+        fn col(&self, i: usize, c: usize) -> u64 {
+            self.0[i][c]
+        }
+        fn cmp_key(&self, i: usize, t: &Tuple<K>) -> Ordering {
+            cmp3(&self.0[i], t)
+        }
+        fn col0_words(&self) -> Option<&[u64]> {
+            if K == 1 {
+                // SAFETY: `[[u64; 1]; n]` and `[u64; n]` have identical
+                // layout.
+                Some(unsafe {
+                    std::slice::from_raw_parts(self.0.as_ptr() as *const u64, self.0.len())
+                })
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Same view with the contiguous fast path disabled, so `K == 1` also
+    /// exercises the per-slot counting and binary paths (the concurrent
+    /// node's situation).
+    struct SlotView<const K: usize>(Vec<Tuple<K>>);
+
+    impl<const K: usize> KeyView<K> for SlotView<K> {
+        fn col(&self, i: usize, c: usize) -> u64 {
+            self.0[i][c]
+        }
+        fn cmp_key(&self, i: usize, t: &Tuple<K>) -> Ordering {
+            cmp3(&self.0[i], t)
+        }
+    }
+
+    /// The classic branchy binary search from `node.rs`, kept verbatim as
+    /// the oracle for `found` flags.
+    fn classic_search<const K: usize>(keys: &[Tuple<K>], t: &Tuple<K>) -> (usize, bool) {
+        let (mut lo, mut hi) = (0usize, keys.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match cmp3(&keys[mid], t) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Equal => return (mid, true),
+                Ordering::Greater => hi = mid,
+            }
+        }
+        (lo, false)
+    }
+
+    fn classic_upper<const K: usize>(keys: &[Tuple<K>], t: &Tuple<K>) -> usize {
+        let (mut lo, mut hi) = (0usize, keys.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if cmp3(&keys[mid], t) == Ordering::Greater {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// Checks the shared search against the classics and against `cmp3`'s
+    /// total order on one (keys, probe) instance, through both views.
+    fn check_one<const K: usize>(mut keys: Vec<Tuple<K>>, t: Tuple<K>) {
+        keys.sort_unstable_by(cmp3);
+        let n = keys.len();
+        let canonical_lower = keys.partition_point(|k| cmp3(k, &t) == Ordering::Less);
+        let canonical_upper = keys.partition_point(|k| cmp3(k, &t) != Ordering::Greater);
+        let (_, classic_found) = classic_search(&keys, &t);
+        let classic_up = classic_upper(&keys, &t);
+
+        let contiguous = VecView(keys.clone());
+        let per_slot = SlotView(keys.clone());
+
+        for (idx, found, upper) in [
+            {
+                let (i, f) = search(&contiguous, &t, n);
+                (i, f, search_upper(&contiguous, &t, n))
+            },
+            {
+                let (i, f) = search(&per_slot, &t, n);
+                (i, f, search_upper(&per_slot, &t, n))
+            },
+        ] {
+            assert_eq!(found, classic_found, "found flag diverged");
+            assert_eq!(idx, canonical_lower, "lower bound diverged");
+            if found {
+                assert_eq!(cmp3(&keys[idx], &t), Ordering::Equal);
+            }
+            assert_eq!(upper, classic_up, "upper bound diverged");
+            assert_eq!(upper, canonical_upper);
+
+            // cmp3 total-order postconditions.
+            assert!(keys[..idx].iter().all(|k| cmp3(k, &t) == Ordering::Less));
+            assert!(keys[idx..].iter().all(|k| cmp3(k, &t) != Ordering::Less));
+            assert!(keys[upper..]
+                .iter()
+                .all(|k| cmp3(k, &t) == Ordering::Greater));
+        }
+    }
+
+    /// Maps a (selector, raw) pair to a key word biased toward collisions:
+    /// a tiny domain plus boundary values makes duplicates and long
+    /// column-0 tie runs common, with occasional full-range values.
+    fn word((s, r): (u64, u64)) -> u64 {
+        match s {
+            0..=4 => s,
+            5 => u64::MAX,
+            6 => 0,
+            _ => r,
+        }
+    }
+
+    /// Splits a raw word stream into keys plus one probe and checks the
+    /// shared search on both the free probe and a probe drawn from the key
+    /// set (so exact hits are always exercised).
+    fn run_case<const K: usize>(raw: &[(u64, u64)]) {
+        let words: Vec<u64> = raw.iter().copied().map(word).collect();
+        if words.len() < K {
+            return;
+        }
+        let mut probe = [0u64; K];
+        probe.copy_from_slice(&words[words.len() - K..]);
+        let keys: Vec<Tuple<K>> = words[..words.len() - K]
+            .chunks_exact(K)
+            .map(|c| {
+                let mut t = [0u64; K];
+                t.copy_from_slice(c);
+                t
+            })
+            .collect();
+        check_one(keys.clone(), probe);
+        if !keys.is_empty() {
+            let member = keys[(probe[0] as usize) % keys.len()];
+            check_one(keys, member);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn agrees_with_classic_k1(raw in prop::collection::vec((0u64..8, any::<u64>()), 0..71)) {
+            run_case::<1>(&raw);
+        }
+
+        #[test]
+        fn agrees_with_classic_k2(raw in prop::collection::vec((0u64..8, any::<u64>()), 0..141)) {
+            run_case::<2>(&raw);
+        }
+
+        #[test]
+        fn agrees_with_classic_k4(raw in prop::collection::vec((0u64..8, any::<u64>()), 0..281)) {
+            run_case::<4>(&raw);
+        }
+
+        #[test]
+        fn scalar_and_simd_rank_counts_agree(
+            raw in prop::collection::vec((0u64..8, any::<u64>()), 0..33),
+            t0 in (0u64..8, any::<u64>()),
+        ) {
+            let buf: Vec<u64> = raw.into_iter().map(word).collect();
+            let t0 = word(t0);
+            let scalar = bounds_col0_scalar(&buf, t0);
+            prop_assert_eq!(bounds_col0(&buf, t0), scalar);
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx2") {
+                prop_assert_eq!(unsafe { bounds_col0_avx2(&buf, t0) }, scalar);
+            }
+        }
+    }
+
+    #[test]
+    fn both_linear_and_binary_paths_are_exercised() {
+        // Deterministic check on either side of LINEAR_CUTOFF.
+        for n in [LINEAR_CUTOFF - 1, LINEAR_CUTOFF, LINEAR_CUTOFF + 1, 24, 64] {
+            let keys: Vec<Tuple<2>> = (0..n as u64).map(|i| [i / 3, i % 3]).collect();
+            for probe in 0..(n as u64 + 2) {
+                check_one(keys.clone(), [probe / 3, probe % 3]);
+            }
+            // K == 1 at the same sizes covers the contiguous SIMD path
+            // (VecView) and the per-slot paths (SlotView).
+            let keys: Vec<Tuple<1>> = (0..n as u64).map(|i| [i * 2]).collect();
+            for probe in 0..(2 * n as u64 + 2) {
+                check_one(keys.clone(), [probe]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_prefix() {
+        let v = VecView::<2>(Vec::new());
+        assert_eq!(search(&v, &[1, 1], 0), (0, false));
+        assert_eq!(search_upper(&v, &[1, 1], 0), 0);
+    }
+
+    #[test]
+    fn prefetch_tolerates_any_pointer() {
+        prefetch_read(std::ptr::null::<u64>());
+        prefetch_read(&42u64 as *const u64);
+        prefetch_read(usize::MAX as *const u64);
+    }
+}

@@ -26,8 +26,10 @@
 //!   **memory-safe** — every field access is an atomic and every index is
 //!   clamped — but the sequence of elements observed is unspecified.
 
+use crate::arena::{Arena, ArenaStats};
 use crate::hints::BTreeHints;
 use crate::node::{cmp3, InnerNode, LeafNode, NodePtr, Tuple};
+use crate::search::prefetch_read;
 use optlock::OptimisticRwLock;
 use std::cmp::Ordering;
 // The root pointer participates in the optimistic protocol, so it goes
@@ -40,9 +42,13 @@ use std::sync::atomic::AtomicU64;
 
 /// Default node capacity (keys per node).
 ///
-/// Chosen so that a leaf of binary tuples occupies a handful of cache
-/// lines, the regime the paper's evaluation identifies as most effective;
-/// the `ablation` bench sweeps this parameter.
+/// Chosen so a node occupies a handful of cache lines, the regime the
+/// paper's evaluation identifies as most effective. At this capacity a
+/// binary-tuple (`K = 2`) leaf is 408 bytes and an inner node 608 bytes
+/// (8-byte natural alignment); under the `fastpath` feature they are
+/// padded to 64-byte alignment — 448 bytes (7 cache lines) and 704 bytes
+/// (11 lines) — so every node starts on a line boundary. The `ablation`
+/// bench sweeps this parameter.
 pub const DEFAULT_NODE_CAPACITY: usize = 24;
 
 /// Source of unique tree identities used to brand operation hints.
@@ -105,6 +111,10 @@ pub struct BTreeSet<const K: usize, const C: usize = DEFAULT_NODE_CAPACITY> {
     pub(crate) root_lock: OptimisticRwLock,
     /// Unique identity used to brand [`BTreeHints`] (see `hints` module).
     pub(crate) id: u64,
+    /// Node storage: cache-line-aligned bump slabs under `fastpath`, a
+    /// pass-through to the global allocator otherwise. Owns every node of
+    /// this tree; reclaimed wholesale on `clear`/`Drop`.
+    pub(crate) arena: Arena,
 }
 
 // SAFETY: the tree owns its nodes; tuples are plain integers. All shared
@@ -119,6 +129,18 @@ pub(crate) struct Located<const K: usize, const C: usize> {
     /// The node where the tuple lives. May be an inner node when a
     /// duplicate was detected above leaf level.
     pub node: NodePtr<K, C>,
+}
+
+/// Outcome of probing a hinted leaf.
+enum HintProbe<T> {
+    /// The leaf covered the probe; the operation completed with this
+    /// result.
+    Hit(T),
+    /// The hint did not apply; the caller falls back to a full descent.
+    /// `forward` = the probed tuple lies beyond the leaf's last key (the
+    /// append-pattern signature the adaptive hint policy watches for);
+    /// best-effort `false` when the probe raced and learned nothing.
+    Miss { forward: bool },
 }
 
 impl<const K: usize, const C: usize> Default for BTreeSet<K, C> {
@@ -139,7 +161,14 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             root: AtomicPtr::new(std::ptr::null_mut()),
             root_lock: OptimisticRwLock::new(),
             id: TREE_IDS.fetch_add(1, Relaxed),
+            arena: Arena::new(),
         }
+    }
+
+    /// Occupancy of this tree's node arena (all zero without `fastpath`,
+    /// where nodes are individually boxed).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
     }
 
     /// Creates a hint container for this tree (the paper's "factory
@@ -171,25 +200,38 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
     /// Inserts `t`, returning `true` if it was not yet present.
     /// Thread-safe; lock-free for readers of other parts of the tree.
     pub fn insert(&self, t: Tuple<K>) -> bool {
-        self.insert_located(&t).inserted
+        self.insert_located(&t, false).inserted
     }
 
     /// Inserts `t` using (and updating) thread-local operation hints
     /// (paper §3.2). On sorted workloads this skips the root-to-leaf
     /// descent almost always.
+    ///
+    /// Under `fastpath` the hints additionally drive an adaptive policy:
+    /// after a run of consecutive misses the (near-certain futile) hinted
+    /// leaf probe is bypassed, and the fallback descent switches to the
+    /// branch-free intra-node search unless the miss pattern looks like an
+    /// append run — see the policy methods on [`BTreeHints`].
     pub fn insert_hinted(&self, t: Tuple<K>, hints: &mut BTreeHints<K, C>) -> bool {
         if hints.tree_id() == self.id {
-            let leaf = hints.insert_leaf();
-            if !leaf.is_null() {
-                if let Some(res) = self.try_hinted_insert(leaf, &t) {
-                    hints.record_insert(true, res.node);
-                    return res.inserted;
+            if !cfg!(feature = "fastpath") || hints.insert_probe_useful() {
+                let leaf = hints.insert_leaf();
+                if !leaf.is_null() {
+                    match self.try_hinted_insert(leaf, &t) {
+                        HintProbe::Hit(res) => {
+                            hints.note_insert_probe(true, false);
+                            hints.record_insert(true, res.node);
+                            return res.inserted;
+                        }
+                        HintProbe::Miss { forward } => hints.note_insert_probe(false, forward),
+                    }
                 }
             }
         } else {
             hints.rebind(self.id);
         }
-        let res = self.insert_located(&t);
+        let branchfree = cfg!(feature = "fastpath") && hints.insert_descend_branchfree();
+        let res = self.insert_located(&t, branchfree);
         hints.record_insert(false, res.node);
         res.inserted
     }
@@ -199,20 +241,29 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         self.locate(t).is_some()
     }
 
-    /// Membership test with operation hints.
+    /// Membership test with operation hints. Applies the same adaptive
+    /// probe-bypass and descent-routing policy as
+    /// [`insert_hinted`](Self::insert_hinted).
     pub fn contains_hinted(&self, t: &Tuple<K>, hints: &mut BTreeHints<K, C>) -> bool {
         if hints.tree_id() == self.id {
-            let leaf = hints.contains_leaf();
-            if !leaf.is_null() {
-                if let Some(found) = self.try_hinted_contains(leaf, t) {
-                    hints.record_contains(true, leaf);
-                    return found;
+            if !cfg!(feature = "fastpath") || hints.contains_probe_useful() {
+                let leaf = hints.contains_leaf();
+                if !leaf.is_null() {
+                    match self.try_hinted_contains(leaf, t) {
+                        HintProbe::Hit(found) => {
+                            hints.note_contains_probe(true, false);
+                            hints.record_contains(true, leaf);
+                            return found;
+                        }
+                        HintProbe::Miss { forward } => hints.note_contains_probe(false, forward),
+                    }
                 }
             }
         } else {
             hints.rebind(self.id);
         }
-        let res = self.locate_full(t);
+        let branchfree = cfg!(feature = "fastpath") && hints.contains_descend_branchfree();
+        let res = self.locate_full(t, branchfree);
         hints.record_contains(false, res.1);
         res.0.is_some()
     }
@@ -230,7 +281,8 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 continue;
             }
             if self.root.load(Relaxed).is_null() {
-                self.root.store(LeafNode::<K, C>::alloc(), Relaxed);
+                self.root
+                    .store(LeafNode::<K, C>::alloc_in(&self.arena), Relaxed);
             }
             self.root_lock.end_write();
         }
@@ -259,7 +311,12 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
     }
 
     /// Full optimistic insertion (Algorithm 1).
-    pub(crate) fn insert_located(&self, val: &Tuple<K>) -> Located<K, C> {
+    ///
+    /// `branchfree` selects the branch-free intra-node search for the
+    /// descent (misprediction-dominated random keys, `fastpath` only);
+    /// `false` keeps the classic speculative search, which wins on
+    /// predictable key sequences.
+    pub(crate) fn insert_located(&self, val: &Tuple<K>, branchfree: bool) -> Located<K, C> {
         self.ensure_root();
 
         let mut restarts = 0u64;
@@ -273,7 +330,11 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 // SAFETY: live node (nodes are never freed).
                 let node = unsafe { &*cur };
                 let n = node.num_clamped();
-                let (idx, found) = node.search(val, n);
+                let (idx, found) = if branchfree {
+                    node.search_branchfree(val, n)
+                } else {
+                    node.search(val, n)
+                };
 
                 // Line 22: value already present => done.
                 if found {
@@ -297,6 +358,10 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 if node.is_inner() {
                     // SAFETY: is_inner just checked; kind never changes.
                     let next = unsafe { node.as_inner() }.child(idx);
+                    // Overlap the child's cache miss with the validation
+                    // below: the prefetch is a hint, so issuing it for a
+                    // stale pointer (validation about to fail) is harmless.
+                    prefetch_read(next);
                     if !node.lock.validate(cur_lease) {
                         note_insert_restart(
                             telemetry::Counter::BtreeRestartDescend,
@@ -379,14 +444,15 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
     /// leaf, walking upwards only if it must split (paper §3.2 — this is
     /// precisely why write locks are acquired bottom-up).
     ///
-    /// Returns `None` when the hint does not apply (wrong leaf, lost race),
-    /// in which case the caller falls back to the full descent.
-    fn try_hinted_insert(&self, leaf: NodePtr<K, C>, val: &Tuple<K>) -> Option<Located<K, C>> {
+    /// Returns [`HintProbe::Miss`] when the hint does not apply (wrong
+    /// leaf, lost race), in which case the caller falls back to the full
+    /// descent; the `forward` flag feeds the adaptive hint policy.
+    fn try_hinted_insert(&self, leaf: NodePtr<K, C>, val: &Tuple<K>) -> HintProbe<Located<K, C>> {
         // SAFETY: hints are branded with the tree id, so `leaf` is a node of
         // *this* tree: live memory for as long as `&self` exists.
         let node = unsafe { &*leaf };
         if node.is_inner() {
-            return None; // hints only ever cache leaves; defensive
+            return HintProbe::Miss { forward: false }; // hints only ever cache leaves; defensive
         }
         // Restarts (hinted split retries) are tallied even when we end up
         // bailing to the slow path: every `BtreeInsertRestarts` increment
@@ -394,38 +460,40 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         // histogram sum and the counter stay equal (a probe invariant the
         // CI telemetry job checks).
         let mut restarts = 0u64;
-        let bail = |restarts: u64| {
+        let bail = |restarts: u64, forward: bool| {
             if restarts > 0 {
                 telemetry::record(telemetry::Hist::BtreeInsertRestartsPerOp, restarts);
             }
-            None
+            HintProbe::Miss { forward }
         };
         loop {
             let lease = node.lock.start_read();
             let n = node.num_clamped();
             if n == 0 {
-                return bail(restarts);
+                return bail(restarts, false);
             }
             // The leaf covers `val` iff first <= val <= last: every tree key
-            // in that closed interval lives in this very leaf.
-            let covered = cmp3(&node.key(0), val) != Ordering::Greater
-                && cmp3(val, &node.key(n - 1)) != Ordering::Greater;
+            // in that closed interval lives in this very leaf. `forward`
+            // (val beyond the last key) is the append signature; it is a
+            // heuristic, so using it even when validation fails is fine.
+            let forward = cmp3(val, &node.key(n - 1)) == Ordering::Greater;
+            let covered = cmp3(&node.key(0), val) != Ordering::Greater && !forward;
             let (idx, found) = node.search(val, n);
             if !node.lock.validate(lease) {
-                return bail(restarts); // lost a race; let the slow path sort it out
+                return bail(restarts, forward); // lost a race; let the slow path sort it out
             }
             if !covered {
-                return bail(restarts); // genuine hint miss
+                return bail(restarts, forward); // genuine hint miss
             }
             if found {
                 telemetry::record(telemetry::Hist::BtreeInsertRestartsPerOp, restarts);
-                return Some(Located {
+                return HintProbe::Hit(Located {
                     inserted: false,
                     node: leaf,
                 });
             }
             if !node.lock.try_upgrade_to_write(lease) {
-                return bail(restarts);
+                return bail(restarts, forward);
             }
             if n == C {
                 // Full: split bottom-up right from the leaf, then retry the
@@ -448,7 +516,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             node.set_num(n + 1);
             node.lock.end_write();
             telemetry::record(telemetry::Hist::BtreeInsertRestartsPerOp, restarts);
-            return Some(Located {
+            return HintProbe::Hit(Located {
                 inserted: true,
                 node: leaf,
             });
@@ -535,12 +603,16 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         let m = C / 2; // median index: lower half [0, m), median, upper half (m, C)
         let median = xn.key(m);
 
+        // The sibling comes from the tree's own arena: under `fastpath` it
+        // lands in the same slab as (and usually adjacent to) the most
+        // recently split nodes, keeping a split burst's output on
+        // neighboring cache lines.
         let sib = if xn.is_inner() {
             telemetry::count(telemetry::Counter::BtreeInnerSplits);
-            InnerNode::<K, C>::alloc()
+            InnerNode::<K, C>::alloc_in(&self.arena)
         } else {
             telemetry::count(telemetry::Counter::BtreeLeafSplits);
-            LeafNode::<K, C>::alloc()
+            LeafNode::<K, C>::alloc_in(&self.arena)
         };
         // SAFETY: freshly allocated, private to us until published below.
         let sn = unsafe { &*sib };
@@ -573,7 +645,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         let parent = xn.parent.load(Relaxed);
         if parent.is_null() {
             // Root split (root lock held): grow the tree by one level.
-            let new_root = InnerNode::<K, C>::alloc();
+            let new_root = InnerNode::<K, C>::alloc_in(&self.arena);
             let rn = unsafe { &*new_root };
             rn.set_key(0, &median);
             rn.set_num(1);
@@ -621,13 +693,18 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
 
     /// Locates `t`, returning its position if present.
     pub(crate) fn locate(&self, t: &Tuple<K>) -> Option<(NodePtr<K, C>, usize)> {
-        self.locate_full(t).0
+        self.locate_full(t, false).0
     }
 
     /// Like [`locate`](Self::locate), additionally reporting the last node
     /// visited (the leaf the search ended in when the tuple is absent) so
-    /// hinted lookups can cache it.
-    fn locate_full(&self, t: &Tuple<K>) -> (Option<(NodePtr<K, C>, usize)>, NodePtr<K, C>) {
+    /// hinted lookups can cache it. `branchfree` routes the intra-node
+    /// search as in [`insert_located`](Self::insert_located).
+    fn locate_full(
+        &self,
+        t: &Tuple<K>,
+        branchfree: bool,
+    ) -> (Option<(NodePtr<K, C>, usize)>, NodePtr<K, C>) {
         if self.root.load(Relaxed).is_null() {
             return (None, std::ptr::null_mut());
         }
@@ -641,7 +718,11 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             loop {
                 let node = unsafe { &*cur };
                 let n = node.num_clamped();
-                let (idx, found) = node.search(t, n);
+                let (idx, found) = if branchfree {
+                    node.search_branchfree(t, n)
+                } else {
+                    node.search(t, n)
+                };
                 if found {
                     if node.lock.validate(cur_lease) {
                         return (Some((cur, idx)), cur);
@@ -655,6 +736,8 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                     continue 'restart;
                 }
                 let next = unsafe { node.as_inner() }.child(idx);
+                // Overlap the child's cache miss with the lease validation.
+                prefetch_read(next);
                 if !node.lock.validate(cur_lease) {
                     continue 'restart;
                 }
@@ -671,27 +754,25 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         }
     }
 
-    /// Hinted membership fast path; `None` = hint not applicable.
-    fn try_hinted_contains(&self, leaf: NodePtr<K, C>, t: &Tuple<K>) -> Option<bool> {
+    /// Hinted membership fast path; [`HintProbe::Miss`] = hint not
+    /// applicable (the `forward` flag feeds the adaptive hint policy).
+    fn try_hinted_contains(&self, leaf: NodePtr<K, C>, t: &Tuple<K>) -> HintProbe<bool> {
         let node = unsafe { &*leaf };
         if node.is_inner() {
-            return None;
+            return HintProbe::Miss { forward: false };
         }
         let lease = node.lock.start_read();
         let n = node.num_clamped();
         if n == 0 {
-            return None;
+            return HintProbe::Miss { forward: false };
         }
-        let covered = cmp3(&node.key(0), t) != Ordering::Greater
-            && cmp3(t, &node.key(n - 1)) != Ordering::Greater;
+        let forward = cmp3(t, &node.key(n - 1)) == Ordering::Greater;
+        let covered = cmp3(&node.key(0), t) != Ordering::Greater && !forward;
         let (_, found) = node.search(t, n);
-        if !node.lock.validate(lease) {
-            return None;
+        if !node.lock.validate(lease) || !covered {
+            return HintProbe::Miss { forward };
         }
-        if !covered {
-            return None;
-        }
-        Some(found)
+        HintProbe::Hit(found)
     }
 
     /// Position of the first tuple `>= t` (`None` if all are smaller).
@@ -742,6 +823,8 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                     continue 'restart;
                 }
                 let next = unsafe { node.as_inner() }.child(idx);
+                // Overlap the child's cache miss with the lease validation.
+                prefetch_read(next);
                 if !node.lock.validate(cur_lease) {
                     continue 'restart;
                 }
@@ -806,19 +889,32 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
 }
 
 impl<const K: usize, const C: usize> BTreeSet<K, C> {
-    /// Removes every tuple, freeing all nodes. Requires exclusive access —
-    /// the only "shrinking" operation, and exactly as in the paper's
-    /// engine, only available between evaluation phases.
+    /// Removes every tuple, reclaiming all nodes. Requires exclusive
+    /// access — the only "shrinking" operation, and exactly as in the
+    /// paper's engine, only available between evaluation phases.
+    ///
+    /// Under `fastpath` this is where the arena design pays off: instead of
+    /// walking the whole tree to free each node (`free_subtree`), the root
+    /// is nulled and the arena's slabs are re-zeroed and kept for reuse —
+    /// O(slabs) instead of O(nodes), and a cleared-then-refilled tree (the
+    /// engine's recycled delta relations) allocates from warm memory.
     ///
     /// Clearing re-brands the tree: hints created before the `clear` are
-    /// safely treated as misses afterwards (their cached leaves were
-    /// freed), never dereferenced.
+    /// safely treated as misses afterwards (their cached leaves are gone),
+    /// never dereferenced.
     pub fn clear(&mut self) {
         let root = *self.root.get_mut();
         if !root.is_null() {
-            // SAFETY: `&mut self` gives exclusive access; see `Drop`.
-            unsafe { LeafNode::free_subtree(root) };
             *self.root.get_mut() = std::ptr::null_mut();
+            // SAFETY / boxed path: `&mut self` gives exclusive access; see
+            // `Drop`. Arena path: with the root nulled no node is reachable
+            // any more, so resetting the arena invalidates nothing live.
+            #[cfg(not(feature = "fastpath"))]
+            unsafe {
+                LeafNode::free_subtree(root)
+            };
+            #[cfg(feature = "fastpath")]
+            self.arena.reset();
         }
         self.id = TREE_IDS.fetch_add(1, Relaxed);
     }
@@ -826,12 +922,17 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
 
 impl<const K: usize, const C: usize> Drop for BTreeSet<K, C> {
     fn drop(&mut self) {
-        let root = *self.root.get_mut();
-        if !root.is_null() {
-            // SAFETY: `&mut self` guarantees exclusive access; all nodes
-            // reachable from the root were allocated by this tree and are
-            // freed exactly once.
-            unsafe { LeafNode::free_subtree(root) };
+        // Arena path: nothing to do — dropping the `arena` field releases
+        // every node in O(slabs).
+        #[cfg(not(feature = "fastpath"))]
+        {
+            let root = *self.root.get_mut();
+            if !root.is_null() {
+                // SAFETY: `&mut self` guarantees exclusive access; all
+                // nodes reachable from the root were allocated by this tree
+                // and are freed exactly once.
+                unsafe { LeafNode::free_subtree(root) };
+            }
         }
     }
 }

@@ -135,3 +135,56 @@ fn interleaved_hinted_and_unhinted_operations() {
     t.check_invariants().unwrap();
     assert_eq!(t.len(), 5_000);
 }
+
+/// Drives the hinted operations through alternating workload phases
+/// (append runs, uniform-random bursts, back to appends). Under `fastpath`
+/// this crosses every state of the adaptive hint policy — probe, bypass,
+/// periodic re-probe, append reclassification — and the tree must stay
+/// correct and keep recovering hint hits in the leaf-local phases.
+#[test]
+fn hinted_operations_survive_workload_phase_changes() {
+    let t: BTreeSet<2, 8> = BTreeSet::new();
+    let mut h = t.create_hints();
+    let mut expected = std::collections::BTreeSet::new();
+
+    // Phase 1: pure append — hint misses every insert (forward misses).
+    for i in 0..2_000u64 {
+        assert!(t.insert_hinted([0, i], &mut h));
+        expected.insert([0, i]);
+    }
+    // Phase 2: uniform-random keys (splitmix-ish) — non-forward misses.
+    let mut s = 0x9e3779b97f4a7c15u64;
+    for _ in 0..2_000 {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let k = [1 + s % 96, s % 4_096];
+        assert_eq!(t.insert_hinted(k, &mut h), expected.insert(k));
+        assert!(t.contains_hinted(&k, &mut h));
+        let probe = [1 + s % 96, (s >> 13) % 4_096];
+        assert_eq!(t.contains_hinted(&probe, &mut h), expected.contains(&probe));
+    }
+    // Phase 3: leaf-local walk — the policy must resume probing (via the
+    // periodic re-probe) and start hitting again.
+    let before = h.stats.contains_hits;
+    for i in 0..2_000u64 {
+        assert!(t.contains_hinted(&[0, i], &mut h));
+    }
+    assert!(
+        h.stats.contains_hits - before > 1_000,
+        "hint hits did not recover after the random phase: {} new hits",
+        h.stats.contains_hits - before
+    );
+    // Phase 4: append again, interleaved with membership checks.
+    for i in 2_000..4_000u64 {
+        assert!(t.insert_hinted([0, i], &mut h));
+        expected.insert([0, i]);
+        assert!(t.contains_hinted(&[0, i], &mut h));
+    }
+
+    t.check_invariants().unwrap();
+    assert_eq!(t.len(), expected.len());
+    for k in &expected {
+        assert!(t.contains(k), "{k:?} lost");
+    }
+}

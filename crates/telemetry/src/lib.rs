@@ -107,11 +107,21 @@ pub enum Counter {
     /// `telemetry`: flight-recorder dumps emitted (restart budget
     /// exceeded).
     FlightDumps,
+    /// `specbtree`: arena slabs allocated (`fastpath` node arena).
+    ArenaSlabAllocs,
+    /// `specbtree`: bytes handed out for nodes by the arena (aligned
+    /// sizes, accumulated via `add`).
+    ArenaBytesUsed,
+    /// `specbtree`: node allocations served by the bump fast path (room in
+    /// the current slab).
+    ArenaAllocFast,
+    /// `specbtree`: node allocations that had to open or reuse a slab.
+    ArenaAllocSlow,
 }
 
 impl Counter {
     /// Number of counters (array dimension).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 22;
 
     /// All counters, in declaration order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -133,6 +143,10 @@ impl Counter {
         Counter::BtreeMergePerTuple,
         Counter::EvalIterations,
         Counter::FlightDumps,
+        Counter::ArenaSlabAllocs,
+        Counter::ArenaBytesUsed,
+        Counter::ArenaAllocFast,
+        Counter::ArenaAllocSlow,
     ];
 
     /// The dotted `layer.event` name used in reports.
@@ -156,6 +170,10 @@ impl Counter {
             Counter::BtreeMergePerTuple => "specbtree.merge_per_tuple",
             Counter::EvalIterations => "datalog.iterations",
             Counter::FlightDumps => "telemetry.flight_dumps",
+            Counter::ArenaSlabAllocs => "specbtree.arena_slabs",
+            Counter::ArenaBytesUsed => "specbtree.arena_bytes",
+            Counter::ArenaAllocFast => "specbtree.arena_alloc_fast",
+            Counter::ArenaAllocSlow => "specbtree.arena_alloc_slow",
         }
     }
 }
@@ -173,11 +191,15 @@ pub enum Hist {
     EvalChunkNanos,
     /// `datalog`: wall time of one stratum's full fixpoint (nanoseconds).
     EvalStratumNanos,
+    /// `specbtree`: key-slot probes per intra-node search (`fastpath`
+    /// branch-free search: the prefix length for the linear/SIMD scan,
+    /// comparator invocations for the branchless binary path).
+    BtreeSearchProbes,
 }
 
 impl Hist {
     /// Number of histograms (array dimension).
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// All histograms, in declaration order.
     pub const ALL: [Hist; Self::COUNT] = [
@@ -185,6 +207,7 @@ impl Hist {
         Hist::EvalDeltaTuples,
         Hist::EvalChunkNanos,
         Hist::EvalStratumNanos,
+        Hist::BtreeSearchProbes,
     ];
 
     /// The dotted `layer.metric` name used in reports.
@@ -194,6 +217,7 @@ impl Hist {
             Hist::EvalDeltaTuples => "datalog.delta_tuples",
             Hist::EvalChunkNanos => "datalog.chunk_nanos",
             Hist::EvalStratumNanos => "datalog.stratum_nanos",
+            Hist::BtreeSearchProbes => "specbtree.search_probe",
         }
     }
 }
