@@ -10,6 +10,7 @@ use crate::storage::{pad, CountingStorage, OpCounters, RelationStorage, StorageK
 use crate::strat::{stratify, StratError, Stratification};
 use specbtree::HintStats;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// An error raised while building or running an engine.
@@ -377,10 +378,7 @@ impl Engine {
                     entry.0 += 1;
                     entry.1 += t0.elapsed().as_secs_f64();
                 }
-                for (&r, new_rel) in &new {
-                    let ctx = pools[0].ctx(self.rels[r].as_ref(), r, 0, usize::MAX);
-                    merge_new(self.rels[r].as_ref(), new_rel.as_ref(), ctx);
-                }
+                self.merge_stratum(&new);
             }
 
             if !stratum.recursive || rec_plans.is_empty() {
@@ -393,7 +391,7 @@ impl Engine {
             let mut delta = make_side_tables(self);
             for &r in &stratum.relations {
                 let tuples = materialize(self.rels[r].as_ref());
-                fill(delta[&r].as_ref(), &tuples);
+                fill(delta[&r].as_ref(), &tuples, self.threads);
             }
 
             // A cleared side-table set parked for reuse: once the loop is
@@ -426,13 +424,7 @@ impl Engine {
                         entry.1 += t0.elapsed().as_secs_f64();
                     }
                 }
-                let mut any = false;
-                for (&r, new_rel) in &new {
-                    let ctx = pools[0].ctx(self.rels[r].as_ref(), r, 0, usize::MAX);
-                    if merge_new(self.rels[r].as_ref(), new_rel.as_ref(), ctx) > 0 {
-                        any = true;
-                    }
-                }
+                let any = self.merge_stratum(&new) > 0;
                 if !any {
                     break;
                 }
@@ -477,6 +469,43 @@ impl Engine {
         self.stats.lower_bound_calls = lb;
         self.stats.upper_bound_calls = ub;
         Ok(())
+    }
+
+    /// Folds every `new` side table of a stratum into its full relation
+    /// (Figure 1 line 17 for the whole stratum), returning the total number
+    /// of tuples actually added.
+    ///
+    /// Relations of one stratum are independent, so their merges run
+    /// concurrently on scoped threads; each merge additionally splits the
+    /// remaining thread budget across the structure-aware parallel merge
+    /// inside the storage backend ([`RelationStorage::merge_from`]).
+    fn merge_stratum(&self, new: &HashMap<usize, Box<dyn RelationStorage>>) -> u64 {
+        let timer = telemetry::start_timer();
+        let jobs: Vec<(usize, &dyn RelationStorage)> =
+            new.iter().map(|(&r, s)| (r, s.as_ref())).collect();
+        let added = if self.threads <= 1 || jobs.len() <= 1 {
+            jobs.iter()
+                .map(|&(r, src)| merge_new(self.rels[r].as_ref(), src, self.threads))
+                .sum()
+        } else {
+            let outer = self.threads.min(jobs.len());
+            let inner = (self.threads / outer).max(1);
+            let cursor = AtomicUsize::new(0);
+            let total = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..outer {
+                    s.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(r, src)) = jobs.get(i) else { break };
+                        let added = merge_new(self.rels[r].as_ref(), src, inner);
+                        total.fetch_add(added, Ordering::Relaxed);
+                    });
+                }
+            });
+            total.into_inner()
+        };
+        timer.observe(telemetry::Hist::EvalMergeNanos);
+        added
     }
 
     /// The contents of a relation, unpadded to its declared arity, sorted.

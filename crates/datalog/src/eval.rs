@@ -766,18 +766,19 @@ impl Evaluator<'_, '_, '_> {
 
 /// Merges `new` into `full` (Figure 1 line 17), returning how many tuples
 /// were actually added.
+///
+/// Duplicate detection is fused into the merge itself: workers report how
+/// many of their inserts were genuinely new, so no second counting pass
+/// over `full` is needed. Structure-aware backends (the specialized B-tree)
+/// partition the source by the target's separators and merge chunks in
+/// parallel; everything else falls back to a sequential tuple-at-a-time
+/// merge inside [`RelationStorage::merge_from`].
 pub(crate) fn merge_new(
     full: &dyn RelationStorage,
     new: &dyn RelationStorage,
-    ctx: &mut StorageCtx,
+    workers: usize,
 ) -> u64 {
-    let mut added = 0u64;
-    new.for_each(&mut |t| {
-        if full.insert(t, ctx) {
-            added += 1;
-        }
-    });
-    added
+    full.merge_from(new, workers.max(1))
 }
 
 /// Copies every tuple of `src` into a [`TupleBuf`] vector.
@@ -787,12 +788,36 @@ pub(crate) fn materialize(src: &dyn RelationStorage) -> Vec<TupleBuf> {
     out
 }
 
+/// Below this many tuples a parallel [`fill`] is not worth the thread
+/// spawn overhead.
+const PAR_FILL_MIN: usize = 4096;
+
 /// Seeds a storage with tuples (used for delta initialization).
-pub(crate) fn fill(dst: &dyn RelationStorage, tuples: &[TupleBuf]) {
-    let mut ctx = dst.make_ctx();
-    for t in tuples {
-        dst.insert(t, &mut ctx);
+///
+/// Large inputs are split into contiguous slices and inserted from
+/// `workers` scoped threads; every [`RelationStorage`] backend is
+/// internally synchronized (insert takes `&self`), so concurrent seeding
+/// is safe for all of them.
+pub(crate) fn fill(dst: &dyn RelationStorage, tuples: &[TupleBuf], workers: usize) {
+    if workers <= 1 || tuples.len() < PAR_FILL_MIN {
+        let mut ctx = dst.make_ctx();
+        for t in tuples {
+            dst.insert(t, &mut ctx);
+        }
+        return;
     }
+    let workers = workers.min(tuples.len());
+    let per = tuples.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        for chunk in tuples.chunks(per) {
+            s.spawn(move || {
+                let mut ctx = dst.make_ctx();
+                for t in chunk {
+                    dst.insert(t, &mut ctx);
+                }
+            });
+        }
+    });
 }
 
 #[cfg(test)]

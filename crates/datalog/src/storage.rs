@@ -167,6 +167,41 @@ pub trait RelationStorage: Send + Sync {
     fn clear(&mut self) -> bool {
         false
     }
+
+    /// The specialized B-tree behind this storage, if that is what backs
+    /// it. Lets [`merge_from`](Self::merge_from) recognize tree-to-tree
+    /// merges and route them through the structure-aware parallel merge;
+    /// wrappers forward to their inner storage.
+    fn as_spec_btree(&self) -> Option<&BTreeSet<MAX_ARITY>> {
+        None
+    }
+
+    /// Merges every tuple of `src` into `self` on up to `workers` threads,
+    /// returning how many tuples were actually added — the engine's
+    /// end-of-iteration `new → full` fold, with duplicate detection fused
+    /// into the merge itself (no second counting pass).
+    ///
+    /// The default is the sequential per-tuple fallback every backend
+    /// supports; the specialized B-tree overrides it with the parallel
+    /// structure-aware merge when `src` is also a B-tree. `src` must be
+    /// quiescent.
+    fn merge_from(&self, src: &dyn RelationStorage, workers: usize) -> u64 {
+        let _ = workers;
+        merge_sequential(self, src)
+    }
+}
+
+/// The universal per-tuple merge fallback: iterate `src`, insert into
+/// `dst`, count the tuples that were new.
+fn merge_sequential(dst: &(impl RelationStorage + ?Sized), src: &dyn RelationStorage) -> u64 {
+    let mut ctx = dst.make_ctx();
+    let mut added = 0u64;
+    src.for_each(&mut |t| {
+        if dst.insert(t, &mut ctx) {
+            added += 1;
+        }
+    });
+    added
 }
 
 /// Which data structure backs each relation — the engine-level analog of
@@ -395,6 +430,19 @@ impl RelationStorage for SpecBTreeStorage {
         // rather than dangling.
         self.tree.clear();
         true
+    }
+
+    fn as_spec_btree(&self) -> Option<&BTreeSet<MAX_ARITY>> {
+        Some(&self.tree)
+    }
+
+    fn merge_from(&self, src: &dyn RelationStorage, workers: usize) -> u64 {
+        match src.as_spec_btree() {
+            // Tree-to-tree: the structure-aware parallel merge (partition
+            // by the target's separators, bulk-load/splice disjoint runs).
+            Some(tree) => self.tree.insert_all_parallel(tree, workers.max(1)),
+            None => merge_sequential(self, src),
+        }
     }
 }
 
@@ -670,6 +718,18 @@ impl RelationStorage for CountingStorage {
     fn clear(&mut self) -> bool {
         // Clearing is bookkeeping, not a counted tuple operation.
         self.inner.clear()
+    }
+
+    fn as_spec_btree(&self) -> Option<&BTreeSet<MAX_ARITY>> {
+        self.inner.as_spec_btree()
+    }
+
+    fn merge_from(&self, src: &dyn RelationStorage, workers: usize) -> u64 {
+        // A fused merge attempts one insert per source tuple, whichever
+        // path serves it — count them all, preserving the "insert calls"
+        // semantics of the per-tuple loop it replaces.
+        self.counters.inserts.fetch_add(src.len() as u64, Relaxed);
+        self.inner.merge_from(src, workers)
     }
 }
 

@@ -138,19 +138,93 @@ impl<'a, const K: usize, const C: usize> RangeIter<'a, K, C> {
     pub(crate) fn new(inner: Iter<'a, K, C>, end: Option<Tuple<K>>) -> Self {
         Self { inner, end }
     }
+
+    /// Drains the cursor into `buf`, copying whole leaf runs in bulk
+    /// instead of paying [`Iterator::next`]'s per-element cursor checks —
+    /// the shape the merge path wants when materializing a chunk. When a
+    /// leaf's last key is below the bound (the common case away from the
+    /// chunk edge), its run is copied without any per-key comparison.
+    /// Phase-concurrent like [`Iter`]: quiescent trees only.
+    pub fn collect_into(mut self, buf: &mut Vec<Tuple<K>>) {
+        loop {
+            let node = self.inner.node;
+            if node.is_null() {
+                return;
+            }
+            // SAFETY: non-null cursor nodes are live tree nodes.
+            let n = unsafe { &*node };
+            let num = n.num_clamped();
+            if self.inner.pos >= num {
+                // Defensive, as Iter::next: only reachable racing inserts.
+                return;
+            }
+            if n.is_inner() {
+                // One separator key, then descend right of it: next()
+                // already implements that step (and the bound check).
+                match self.next() {
+                    Some(t) => buf.push(t),
+                    None => return,
+                }
+                continue;
+            }
+            // Leaf: copy the remaining run.
+            let mut stop = num;
+            if let Some(end) = &self.end {
+                if cmp3(&n.key(num - 1), end) != Ordering::Less {
+                    let mut s = self.inner.pos;
+                    while s < num && cmp3(&n.key(s), end) == Ordering::Less {
+                        s += 1;
+                    }
+                    stop = s;
+                }
+            }
+            for i in self.inner.pos..stop {
+                buf.push(n.key(i));
+            }
+            if stop < num {
+                return; // bound hit inside the leaf
+            }
+            // Climb until we come up from a non-last child (Iter::next's
+            // tail), once per leaf instead of once per element.
+            let mut cur = node;
+            loop {
+                // SAFETY: live tree node.
+                let cn = unsafe { &*cur };
+                let parent = cn.parent.load(Relaxed);
+                if parent.is_null() {
+                    self.inner.node = std::ptr::null_mut();
+                    return;
+                }
+                // SAFETY: parent links reference live nodes.
+                let pn = unsafe { &*parent };
+                let pnum = pn.num_clamped();
+                let i = (cn.position.load(Relaxed) as usize).min(pnum);
+                if i < pnum {
+                    self.inner.node = parent;
+                    self.inner.pos = i;
+                    break;
+                }
+                cur = parent;
+            }
+        }
+    }
 }
 
 impl<'a, const K: usize, const C: usize> Iterator for RangeIter<'a, K, C> {
     type Item = Tuple<K>;
 
     fn next(&mut self) -> Option<Tuple<K>> {
-        let t = self.inner.peek()?;
+        // Advance first, check after: materializes each tuple once instead
+        // of peek + re-read. Reaching the bound fuses the cursor so the
+        // overshot position is never observed.
+        let t = self.inner.next()?;
         if let Some(end) = &self.end {
             if cmp3(&t, end) != Ordering::Less {
+                self.inner.node = std::ptr::null_mut();
                 return None;
             }
         }
-        self.inner.next()
+        Some(t)
     }
 }
 

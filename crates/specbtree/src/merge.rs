@@ -4,19 +4,42 @@
 //!
 //! Semi-naive evaluation merges the freshly derived `new` relation into the
 //! full relation after every iteration (`path.insert(newPath.begin(),
-//! newPath.end())` in the paper's Figure 1). Two specializations make this
-//! cheap:
+//! newPath.end())` in the paper's Figure 1). Three specializations make
+//! this cheap:
 //!
 //! 1. The source is iterated in order and inserted **with hints**, so
 //!    consecutive tuples land in the same target leaf and skip traversals.
-//! 2. When the target is still empty, the sorted source is **bulk-loaded**
-//!    into a fully packed tree in O(n) without any per-element descent.
+//! 2. Sorted runs are **bulk-loaded** into fully packed subtrees in O(n)
+//!    without any per-element descent. An empty target adopts the whole
+//!    source this way; a non-empty target still takes the bulk path for the
+//!    part of the source that sorts after its current maximum, splicing the
+//!    prebuilt subtree in under a single write-locked ancestor (the append
+//!    fast path — [`BTreeSet::insert_all_parallel`]).
+//! 3. The merge runs on **multiple workers**: the source is partitioned by
+//!    the *target's* upper-level separators (the same machinery parallel
+//!    scans use), so each worker's chunk maps onto a distinct region of the
+//!    target and per-worker hints stay hot.
 
 use crate::arena::Arena;
 use crate::node::{cmp3, InnerNode, LeafNode, NodePtr, Tuple};
 use crate::tree::BTreeSet;
 use std::cmp::Ordering;
+use std::sync::atomic::AtomicU64;
+use std::sync::atomic::AtomicUsize;
 use std::sync::atomic::Ordering::Relaxed;
+
+/// Body chunks produced per merge worker: small enough to keep partition
+/// overhead negligible, large enough that claim-order imbalance evens out.
+const MERGE_CHUNKS_PER_WORKER: usize = 4;
+
+/// Attempts to acquire the rightmost spine before the splice fast path
+/// gives up and falls back to per-tuple insertion.
+const SPLICE_ATTEMPTS: usize = 8;
+
+/// Attempts to try-lock a child leaf inside a merge group before the rest
+/// of the run falls back to a fresh descent. Bounded because a concurrent
+/// splitter holding the child may be blocked on *our* parent lock.
+const CHILD_LOCK_ATTEMPTS: usize = 8;
 
 impl<const K: usize, const C: usize> BTreeSet<K, C> {
     /// Merges every tuple of `other` into `self`.
@@ -45,23 +68,784 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                     }
                     self.root_lock.end_write();
                 }
-                // Lost the race: discard the prebuilt copy, insert normally.
-                // SAFETY: `built` is a private subtree we just constructed.
-                #[cfg(not(feature = "fastpath"))]
-                unsafe {
-                    LeafNode::free_subtree(built)
-                };
-                // Arena path: the unpublished subtree is simply abandoned in
-                // the target's arena and reclaimed with everything else on
-                // `clear`/`Drop` — a bounded, once-per-merge-race leak by
-                // design (freeing individual nodes is impossible by
-                // construction, and that is what makes reads safe).
+                // Lost the race: discard the prebuilt copy, insert normally
+                // (boxed path frees it; arena path abandons it in place and
+                // records the waste in `arena_abandoned_bytes`).
+                self.abandon_subtree(built);
             }
         }
         telemetry::count(telemetry::Counter::BtreeMergePerTuple);
         let mut hints = self.create_hints();
         for t in other.iter() {
             self.insert_hinted(t, &mut hints);
+        }
+    }
+
+    /// Merges every tuple of `other` into `self` on up to `workers`
+    /// threads, returning how many tuples were actually added (i.e. were
+    /// not already present).
+    ///
+    /// Structure-aware end to end:
+    ///
+    /// * an empty target adopts a bulk-loaded copy wholesale (as
+    ///   [`insert_all`](Self::insert_all));
+    /// * the part of the source that sorts entirely **after** the target's
+    ///   current maximum is bulk-built in the target's arena and spliced in
+    ///   under a single write-locked ancestor of the rightmost spine (the
+    ///   append fast path — `specbtree.merge_splice` counts engagements);
+    /// * the rest is partitioned by the *target's* upper-level separators
+    ///   and merged chunk-by-chunk with a batched per-leaf merge join
+    ///   ([`merge_run`](Self::merge_run) — one descent, one write lock and
+    ///   one rebuild per target leaf instead of per tuple;
+    ///   `specbtree.merge_chunks` counts chunks).
+    ///
+    /// `workers` is a request, capped to the machine's available
+    /// parallelism: oversubscribed merge threads only add scheduling
+    /// latency to a phase that is memory-bound, never throughput.
+    ///
+    /// Concurrency contract as [`insert_all`](Self::insert_all): safe on
+    /// the target under concurrent merges/inserts; the source must be
+    /// quiescent.
+    pub fn insert_all_parallel(&self, other: &BTreeSet<K, C>, workers: usize) -> u64 {
+        if other.is_empty() {
+            return 0;
+        }
+        let workers = workers
+            .min(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            )
+            .max(1);
+        // Empty target: adopt a bulk-loaded copy wholesale.
+        if self.root.load(Relaxed).is_null() {
+            let mut items: Vec<Tuple<K>> = Vec::with_capacity(other.len());
+            crate::iter::RangeIter::new(other.iter(), None).collect_into(&mut items);
+            let built = build_from_slice::<K, C>(&items, &self.arena);
+            if !built.is_null() {
+                #[allow(clippy::collapsible_if)] // the arms differ by feature
+                if self.root_lock.try_start_write() {
+                    if self.root.load(Relaxed).is_null() {
+                        self.root.store(built, Relaxed);
+                        self.root_lock.end_write();
+                        telemetry::count(telemetry::Counter::BtreeMergeBulkLoad);
+                        return items.len() as u64;
+                    }
+                    self.root_lock.end_write();
+                }
+                self.abandon_subtree(built);
+            }
+        }
+
+        // Split the source at the target's maximum: the part beyond it is
+        // an append run served by the splice fast path, the rest (the
+        // "body") overlaps existing content and merges per tuple.
+        let tmax = self.last();
+        let tail: Vec<Tuple<K>> = match &tmax {
+            Some(m) => other.upper_bound(m).collect(),
+            None => Vec::new(), // transiently empty target: per-tuple below
+        };
+        let body_upper = tail.first().copied();
+        let added = AtomicU64::new(0);
+
+        // Partition the body by the *target's* separators so every chunk
+        // maps onto a distinct target region. A single worker takes the
+        // body as one run: chunk boundaries only exist to balance claims.
+        let nchunks = if workers == 1 {
+            1
+        } else {
+            workers.saturating_mul(MERGE_CHUNKS_PER_WORKER)
+        };
+        let chunks = self.partition_range(nchunks, None, body_upper.as_ref());
+        let has_body = match (other.first(), &body_upper) {
+            (Some(f), Some(hi)) => cmp3(&f, hi) == Ordering::Less,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+
+        let merge_tail = |tail: &[Tuple<K>]| {
+            if tail.is_empty() {
+                return;
+            }
+            if tail.len() >= 2 && self.try_splice_append(tail) {
+                added.fetch_add(tail.len() as u64, Relaxed);
+                return;
+            }
+            // Splice not applicable (lost a race, full splice node, run too
+            // short/tall): batched merge fallback.
+            added.fetch_add(self.merge_run(tail), Relaxed);
+        };
+
+        let cursor = AtomicUsize::new(0);
+        let merge_chunks = || {
+            let mut buf: Vec<Tuple<K>> = Vec::with_capacity(other.len() / chunks.len().max(1) + 1);
+            let mut local = 0u64;
+            loop {
+                let i = cursor.fetch_add(1, Relaxed);
+                if i >= chunks.len() {
+                    break;
+                }
+                telemetry::count(telemetry::Counter::BtreeMergeChunks);
+                buf.clear();
+                other.chunk_range(&chunks[i]).collect_into(&mut buf);
+                local += self.merge_run(&buf);
+            }
+            added.fetch_add(local, Relaxed);
+        };
+
+        let body_workers = if has_body {
+            workers.min(chunks.len()).max(1)
+        } else {
+            0
+        };
+        if workers <= 1 || body_workers + usize::from(!tail.is_empty()) <= 1 {
+            // Inline: nothing to run concurrently (also keeps the chaos
+            // harness in control — no hidden threads at `workers == 1`).
+            if has_body {
+                merge_chunks();
+            }
+            merge_tail(&tail);
+        } else {
+            std::thread::scope(|s| {
+                if !tail.is_empty() {
+                    s.spawn(|| merge_tail(&tail));
+                }
+                // Each worker runs the same chunk-claiming loop; the borrow
+                // keeps the closure reusable across spawns.
+                #[allow(clippy::needless_borrows_for_generic_args)]
+                for _ in 0..body_workers {
+                    s.spawn(&merge_chunks);
+                }
+            });
+        }
+        added.load(Relaxed)
+    }
+
+    /// Merges a strictly ascending, duplicate-free run into the tree with a
+    /// grouped merge join: one optimistic descent locates the *parent* of
+    /// the leaf group owning the next run keys, and one write lock on that
+    /// parent then covers the whole group — every leaf merge, leaf split
+    /// and even a split of the parent itself happens under it, without
+    /// re-descending. Per-tuple insertion pays a descent, four lock
+    /// transitions and an O(leaf) shift per key; this pays one descent and
+    /// two lock transitions per parent group (up to `C + 1` leaves) plus a
+    /// bounded try-lock per leaf and one O(leaf + batch) in-place merge per
+    /// touched leaf. Returns the number of keys actually added.
+    ///
+    /// Group ownership argument: the descent tracks the tightest right-hand
+    /// separator (`upper`) strictly *above* the located parent,
+    /// hand-over-hand validated like Algorithm 1. Once the parent's write
+    /// lock is held, its key interval can only shrink by splitting the
+    /// parent itself — which the lock excludes — so every run key below
+    /// `upper` still belongs under this parent. Within the group the
+    /// parent's separators are exact (read under its write lock) and route
+    /// each sub-batch to its child leaf; duplicates of elements stored at
+    /// ancestors are caught during the descent, duplicates at the parent by
+    /// its own exact search, duplicates inside leaves by the merge pass.
+    ///
+    /// A cross-batch shortcut (restarting the next descent from the
+    /// previous parent under its old lease) measured *slower* here — the
+    /// extra per-level state bloats the hot loop for a descent that is only
+    /// 3–4 levels; the grouped lock already amortizes the descent across
+    /// dozens of leaves.
+    fn merge_run(&self, run: &[Tuple<K>]) -> u64 {
+        if run.is_empty() {
+            return 0;
+        }
+        self.ensure_root();
+        let mut added = 0u64;
+        let mut i = 0usize;
+        'run: while i < run.len() {
+            let val = &run[i];
+            // Optimistic descent (Algorithm 1's read side) to the lowest
+            // inner node — the parent of the leaf group owning `val` — or
+            // to the root itself while the tree is a single leaf.
+            let (target, upper, target_is_leaf) = 'acquire: loop {
+                chaos::checkpoint("btree::merge::descend");
+                let (mut cur, mut cur_lease) = self.read_root();
+                let mut upper: Option<Tuple<K>> = None;
+                loop {
+                    // SAFETY: live node (nodes are never freed).
+                    let node = unsafe { &*cur };
+                    if node.is_inner() {
+                        let n = node.num_clamped();
+                        let (idx, found) = node.search(val, n);
+                        if found {
+                            // `val` is an ancestor separator: a duplicate.
+                            if node.lock.validate(cur_lease) {
+                                i += 1;
+                                continue 'run;
+                            }
+                            continue 'acquire;
+                        }
+                        // SAFETY: is_inner checked; node kind never changes.
+                        let next = unsafe { node.as_inner() }.child(idx);
+                        let up = (idx < n).then(|| node.key(idx));
+                        if !node.lock.validate(cur_lease) || next.is_null() {
+                            continue 'acquire;
+                        }
+                        // SAFETY: read under a validated lease: a live
+                        // child, and a node's kind never changes.
+                        if !unsafe { &*next }.is_inner() {
+                            // `cur` is the leaf group's parent: lock *it*,
+                            // not the leaf — the whole group merges below.
+                            // (`up` stays out of `upper`: the parent's own
+                            // separators bound sub-batches, not the group.)
+                            chaos::checkpoint("btree::merge::group_upgrade");
+                            if !node.lock.try_upgrade_to_write(cur_lease) {
+                                chaos::hint::spin_loop();
+                                continue 'acquire;
+                            }
+                            break 'acquire (cur, upper, false);
+                        }
+                        if up.is_some() {
+                            upper = up;
+                        }
+                        // SAFETY: as above.
+                        let next_lease = unsafe { &*next }.lock.start_read();
+                        if !node.lock.validate(cur_lease) {
+                            continue 'acquire;
+                        }
+                        cur = next;
+                        cur_lease = next_lease;
+                        continue;
+                    }
+                    chaos::checkpoint("btree::merge::leaf_upgrade");
+                    if !node.lock.try_upgrade_to_write(cur_lease) {
+                        chaos::hint::spin_loop();
+                        continue 'acquire;
+                    }
+                    break 'acquire (cur, upper, true);
+                }
+            };
+            i = if target_is_leaf {
+                self.merge_into_root_leaf(target, run, i, &upper, &mut added)
+            } else {
+                self.merge_group(target, run, i, &upper, &mut added)
+            };
+        }
+        added
+    }
+
+    /// Merges run keys into the group of child leaves below the
+    /// write-locked inner node `parent`, whose subtree owns every run key
+    /// strictly below `upper`. Releases the lock and returns the new run
+    /// position — short of the group bound only if a child's bounded
+    /// try-lock failed, in which case the caller re-descends for the rest.
+    fn merge_group(
+        &self,
+        parent: NodePtr<K, C>,
+        run: &[Tuple<K>],
+        i: usize,
+        upper: &Option<Tuple<K>>,
+        added: &mut u64,
+    ) -> usize {
+        // SAFETY: write-locked by us; seen inner during the descent.
+        let pn = unsafe { &*parent };
+        let pi = unsafe { pn.as_inner() };
+        // The group bound: run keys strictly below it belong under this
+        // parent. Tightens to the promoted median if the parent itself
+        // splits. Checked once per sub-batch, not once per key — each key
+        // is scanned exactly once below, against a separator or the bound.
+        let mut bound: Option<Tuple<K>> = *upper;
+        let mut k = i;
+        // Routing hint: the run is ascending, so once a child is done the
+        // next key sorts at or after its separator — a short forward scan
+        // replaces a fresh binary search. Invalidated by splits (they
+        // reshuffle the separator array).
+        let mut idx_hint: Option<usize> = None;
+        'group: while k < run.len()
+            && bound
+                .as_ref()
+                .is_none_or(|u| cmp3(&run[k], u) == Ordering::Less)
+        {
+            // Route run[k] with the parent's exact separators.
+            let n = pn.num();
+            let (idx, found) = match idx_hint {
+                Some(h) => {
+                    let mut x = h;
+                    let mut f = false;
+                    while x < n {
+                        match cmp3(&run[k], &pn.key(x)) {
+                            Ordering::Less => break,
+                            Ordering::Equal => {
+                                f = true;
+                                break;
+                            }
+                            Ordering::Greater => x += 1,
+                        }
+                    }
+                    (x, f)
+                }
+                None => pn.search(&run[k], n),
+            };
+            if found {
+                k += 1; // duplicate of an element stored at the parent
+                idx_hint = Some(idx);
+                continue 'group;
+            }
+            idx_hint = Some(idx);
+            let child = pi.child(idx);
+            debug_assert!(!child.is_null());
+            // Stream the leaf's key area into cache while the sub-batch
+            // bound is computed and its lock acquired: the descent only
+            // touched inner nodes, so the merge pass would otherwise
+            // serialize one cold miss per cache line.
+            prefetch_node::<K, C>(child);
+            // Sub-batch: keys below the child's right-hand separator (its
+            // own separator for an interior child, the group bound for the
+            // rightmost child).
+            let mut j = if idx < n {
+                let sep = pn.key(idx);
+                let mut e = k + 1;
+                while e < run.len() && cmp3(&run[e], &sep) == Ordering::Less {
+                    e += 1;
+                }
+                e
+            } else {
+                let mut e = k + 1;
+                while e < run.len()
+                    && bound
+                        .as_ref()
+                        .is_none_or(|u| cmp3(&run[e], u) == Ordering::Less)
+                {
+                    e += 1;
+                }
+                e
+            };
+            // Bounded try-lock. A concurrent splitter already holding this
+            // child blocks on *our* parent lock (Algorithm 2 locks bottom-
+            // up), so waiting here unboundedly would deadlock — after a few
+            // attempts the group is abandoned and the rest of the run
+            // re-descends once the parent lock is released.
+            // SAFETY: children of a write-locked parent are live and stay
+            // its children (re-homing requires the parent's lock).
+            let cn = unsafe { &*child };
+            let mut locked = false;
+            for _ in 0..CHILD_LOCK_ATTEMPTS {
+                chaos::checkpoint("btree::merge::child_lock");
+                if cn.lock.try_start_write() {
+                    locked = true;
+                    break;
+                }
+                chaos::hint::spin_loop();
+            }
+            if !locked {
+                break 'group;
+            }
+            loop {
+                let (nk, fresh) = merge_leaf_pass(cn, run, k, j);
+                *added += fresh as u64;
+                k = nk;
+                if k >= j {
+                    break;
+                }
+                // The child is exactly full. If the parent is full too,
+                // split the parent first through the regular bottom-up path
+                // (Algorithm 2 expects the held write lock and keeps it).
+                // Its upper half of children — possibly including this very
+                // child — re-homes to a new sibling outside the held group,
+                // so the group shrinks to the promoted parent median.
+                if pn.num() == C {
+                    let pmedian = pn.key(C / 2);
+                    self.split(parent);
+                    idx_hint = None;
+                    bound = Some(pmedian);
+                    if cn.parent.load(Relaxed) != parent {
+                        // The child moved to the sibling, so its pending
+                        // keys sort at or beyond the median: outside the
+                        // tightened group bound. The group loop terminates.
+                        debug_assert!(cmp3(&run[k], &pmedian) != Ordering::Less);
+                        cn.lock.end_write();
+                        continue 'group;
+                    }
+                    // The child stayed, so its separator sorts below the
+                    // median: `j` is unaffected by the tightened bound.
+                }
+                // Both locks held and the parent has room: split the child
+                // in place. When the pending batch sorts entirely at or
+                // beyond the median, the split fuses with the merge — the
+                // leaf's upper half and the batch keys stream straight into
+                // the fresh sibling, each key written once to its final
+                // home, instead of copy-then-revisit. Otherwise the leaf
+                // retains the lower half and batch keys below the median
+                // continue merging right here; in both cases the remainder
+                // re-routes through the parent's extended separators —
+                // still under the same group lock, no re-descent.
+                let median = cn.key(C / 2);
+                if cmp3(&run[k], &median) != Ordering::Less {
+                    let (nk, fadd) = self.split_leaf_merged(parent, child, run, k, j);
+                    *added += fadd;
+                    k = nk;
+                    idx_hint = None;
+                    break; // consumed, or the rest re-routes via the parent
+                }
+                self.split_one(child);
+                idx_hint = None;
+                let mut nj = k;
+                while nj < j && cmp3(&run[nj], &median) == Ordering::Less {
+                    nj += 1;
+                }
+                j = nj;
+            }
+            cn.lock.end_write();
+        }
+        pn.lock.end_write();
+        k
+    }
+
+    /// Splits a full leaf (its own and its parent's write locks held, the
+    /// parent with room) while streaming `run[k..j)` — which sorts entirely
+    /// at or beyond the promoted median — into the new sibling: the leaf
+    /// keeps the lower half, the sibling is filled by a forward merge of
+    /// the leaf's upper half and the batch keys, each key written once to
+    /// its final position, and the median is pushed into the parent exactly
+    /// as [`split_one`](Self::split_one) would. Where `split_one` copies
+    /// the upper half and leaves the batch to re-visit the sibling through
+    /// the router, this writes the merged result directly. Returns the new
+    /// run position and the number of keys added.
+    ///
+    /// The sibling never strands upper-half keys: a batch key is only taken
+    /// while the remaining slots exceed the remaining upper-half keys
+    /// (`li > s`); once that slack is gone the rest of the batch re-routes
+    /// (the sibling comes out exactly full, so the router splits it).
+    fn split_leaf_merged(
+        &self,
+        parent: NodePtr<K, C>,
+        child: NodePtr<K, C>,
+        run: &[Tuple<K>],
+        mut k: usize,
+        j: usize,
+    ) -> (usize, u64) {
+        // SAFETY: both write-locked by the caller.
+        let cn = unsafe { &*child };
+        debug_assert!(!cn.is_inner());
+        debug_assert_eq!(cn.num(), C);
+        let m = C / 2;
+        let median = cn.key(m);
+        // A batch key equal to the median is a duplicate: its element now
+        // moves to the parent. At most one (the run is strictly ascending).
+        if k < j && cmp3(&run[k], &median) == Ordering::Equal {
+            k += 1;
+        }
+        telemetry::count(telemetry::Counter::BtreeLeafSplits);
+        let sib = LeafNode::<K, C>::alloc_in(&self.arena);
+        // SAFETY: freshly allocated, private until published below.
+        let sn = unsafe { &*sib };
+        let mut added = 0u64;
+        let mut li = m + 1;
+        let mut s = 0usize;
+        loop {
+            if k < j && li < C {
+                match cn.cmp_key(li, &run[k]) {
+                    Ordering::Less => {
+                        let t = cn.key(li);
+                        sn.set_key(s, &t);
+                        li += 1;
+                        s += 1;
+                    }
+                    Ordering::Equal => k += 1, // duplicate: the leaf copy moves
+                    Ordering::Greater => {
+                        if li <= s {
+                            break; // no slack left: the rest re-routes
+                        }
+                        sn.set_key(s, &run[k]);
+                        k += 1;
+                        s += 1;
+                        added += 1;
+                    }
+                }
+            } else if li < C {
+                let t = cn.key(li);
+                sn.set_key(s, &t);
+                li += 1;
+                s += 1;
+            } else if k < j && s < C {
+                sn.set_key(s, &run[k]);
+                k += 1;
+                s += 1;
+                added += 1;
+            } else {
+                break;
+            }
+        }
+        // Drain any upper-half keys left when the batch closed early (the
+        // slack invariant guarantees they fit).
+        while li < C {
+            let t = cn.key(li);
+            sn.set_key(s, &t);
+            li += 1;
+            s += 1;
+        }
+        sn.set_num(s);
+        cn.set_num(m);
+
+        // Promote the median into the (held) parent, as split_one does.
+        // SAFETY: write-locked by the caller; known inner.
+        let pn = unsafe { &*parent };
+        let pi = unsafe { pn.as_inner() };
+        let pnum = pn.num();
+        debug_assert!(pnum < C, "caller ensures the parent has room");
+        let pos = cn.position.load(Relaxed) as usize;
+        debug_assert_eq!(pi.child(pos), child, "position link out of date");
+        for q in (pos..pnum).rev() {
+            pn.copy_key_within(q, q + 1);
+        }
+        for q in ((pos + 1)..=pnum).rev() {
+            let ch = pi.child(q);
+            pi.set_child(q + 1, ch);
+            // SAFETY: children of the write-locked parent are live.
+            unsafe { &*ch }.position.store((q + 1) as u16, Relaxed);
+        }
+        pn.set_key(pos, &median);
+        pi.set_child(pos + 1, sib);
+        sn.parent.store(parent, Relaxed);
+        sn.position.store((pos + 1) as u16, Relaxed);
+        pn.set_num(pnum + 1);
+        (k, added)
+    }
+
+    /// Merges run keys into a write-locked leaf — the root, while the tree
+    /// is one node tall — splitting through the regular bottom-up path as
+    /// needed (after the first split the tree is two levels and subsequent
+    /// batches take the grouped path). Releases the lock and returns the
+    /// new run position.
+    fn merge_into_root_leaf(
+        &self,
+        leaf: NodePtr<K, C>,
+        run: &[Tuple<K>],
+        i: usize,
+        upper: &Option<Tuple<K>>,
+        added: &mut u64,
+    ) -> usize {
+        let mut j = i + 1;
+        while j < run.len()
+            && upper
+                .as_ref()
+                .is_none_or(|u| cmp3(&run[j], u) == Ordering::Less)
+        {
+            j += 1;
+        }
+        // SAFETY: write-locked by us.
+        let node = unsafe { &*leaf };
+        let mut k = i;
+        loop {
+            let (nk, fresh) = merge_leaf_pass(node, run, k, j);
+            *added += fresh as u64;
+            k = nk;
+            if k >= j {
+                break;
+            }
+            // Capacity cut: the leaf is exactly full. Split it (Algorithm 2
+            // expects and keeps our write lock); the leaf retains the lower
+            // half, so batch keys below the promoted median continue right
+            // here (a key *equal* to the median is caught as an
+            // ancestor-separator duplicate on re-descent).
+            let median = node.key(C / 2);
+            self.split(leaf);
+            let mut nj = k;
+            while nj < j && cmp3(&run[nj], &median) == Ordering::Less {
+                nj += 1;
+            }
+            if nj == k {
+                break; // the whole remainder sorts beyond the median
+            }
+            j = nj;
+        }
+        node.lock.end_write();
+        k
+    }
+
+    /// Splices an ascending run that sorts entirely after the target's
+    /// current maximum: `run[0]` becomes a separator in a rightmost-spine
+    /// ancestor and `run[1..]` is bulk-built as the new rightmost subtree.
+    ///
+    /// Locking: the whole rightmost spine is write-locked **bottom-up**
+    /// (leaf first, root lock last) — the same order Algorithm 2's split
+    /// uses, so the two protocols compose without deadlock. Under the
+    /// locks the spine is re-validated (still the rightmost path, target
+    /// maximum still below `run[0]`); any doubt returns `false` and the
+    /// caller falls back to per-tuple insertion.
+    fn try_splice_append(&self, run: &[Tuple<K>]) -> bool {
+        if run.len() < 2 || self.root.load(Relaxed).is_null() {
+            return false;
+        }
+        let sep = run[0];
+        // Build outside the locks: lock hold time stays O(depth).
+        let built = build_from_slice::<K, C>(&run[1..], &self.arena);
+        debug_assert!(!built.is_null());
+        let built_h = subtree_height(built);
+
+        chaos::checkpoint("btree::splice");
+        let mut attempts = 0;
+        let spine: Vec<NodePtr<K, C>> = 'acquire: loop {
+            attempts += 1;
+            if attempts > SPLICE_ATTEMPTS {
+                self.abandon_subtree(built);
+                return false;
+            }
+            // Optimistic descent along the rightmost spine (hand-over-hand
+            // validated, as Algorithm 1).
+            let (mut cur, mut cur_lease) = self.read_root();
+            loop {
+                // SAFETY: live node (nodes are never freed).
+                let node = unsafe { &*cur };
+                if !node.is_inner() {
+                    break;
+                }
+                let n = node.num_clamped();
+                // SAFETY: is_inner just checked; kind never changes.
+                let next = unsafe { node.as_inner() }.child(n);
+                if !node.lock.validate(cur_lease) || next.is_null() {
+                    continue 'acquire;
+                }
+                // SAFETY: read under a validated lease: a live child.
+                let next_lease = unsafe { &*next }.lock.start_read();
+                if !node.lock.validate(cur_lease) {
+                    continue 'acquire;
+                }
+                cur = next;
+                cur_lease = next_lease;
+            }
+            // SAFETY: live node.
+            if !unsafe { &*cur }.lock.try_upgrade_to_write(cur_lease) {
+                chaos::hint::spin_loop();
+                continue 'acquire;
+            }
+            // Climb, write-locking every ancestor with the same
+            // parent-re-check idiom as split(), ending at the root lock.
+            let mut spine = vec![cur];
+            let mut node = cur;
+            loop {
+                // SAFETY: spine nodes are live.
+                let parent = unsafe { &*node }.parent.load(Relaxed);
+                if parent.is_null() {
+                    self.root_lock.start_write();
+                    break;
+                }
+                let mut p = parent;
+                loop {
+                    // SAFETY: parent pointers always reference live nodes.
+                    unsafe { &*p }.lock.start_write();
+                    let now = unsafe { &*node }.parent.load(Relaxed);
+                    if now == p {
+                        break;
+                    }
+                    unsafe { &*p }.lock.abort_write();
+                    debug_assert!(!now.is_null(), "a node never becomes the root");
+                    p = now;
+                }
+                spine.push(p);
+                node = p;
+            }
+            // Validate under the locks: top of spine is the current root,
+            // every spine node is its parent's rightmost child, and the
+            // rightmost leaf's last key is still below the run.
+            let top_is_root = self.root.load(Relaxed) == *spine.last().unwrap();
+            let rightmost = spine.windows(2).all(|w| {
+                // SAFETY: write-locked spine nodes; parents are inner.
+                let pn = unsafe { &*w[1] };
+                unsafe { pn.as_inner() }.child(pn.num()) == w[0]
+            });
+            // SAFETY: the leaf is write-locked by us.
+            let leaf = unsafe { &*spine[0] };
+            let leaf_n = leaf.num();
+            let max_below = leaf_n > 0 && cmp3(&leaf.key(leaf_n - 1), &sep) == Ordering::Less;
+            if top_is_root && rightmost && max_below {
+                break spine;
+            }
+            // Stale path (or an empty leaf — only an empty tree has one,
+            // and that cannot be appended *after*): release and retry.
+            self.release_spine(&spine);
+            if leaf_n == 0 {
+                self.abandon_subtree(built);
+                return false;
+            }
+        };
+
+        // Attach the prebuilt subtree at the level that keeps all leaves at
+        // equal depth: its root becomes a child of the spine node
+        // `built_h` levels above the leaf, or of a brand-new root when the
+        // run is as tall as the tree itself.
+        let h = spine.len();
+        let spliced = if built_h > h {
+            false // taller than the target: per-tuple fallback handles it
+        } else if built_h == h {
+            let old_root = *spine.last().unwrap();
+            let new_root = InnerNode::<K, C>::alloc_in(&self.arena);
+            // SAFETY: freshly allocated, private until published below.
+            let rn = unsafe { &*new_root };
+            rn.set_key(0, &sep);
+            rn.set_num(1);
+            let ri = unsafe { rn.as_inner() };
+            ri.set_child(0, old_root);
+            ri.set_child(1, built);
+            // SAFETY: old root is write-locked by us; `built` is private.
+            unsafe { &*old_root }.parent.store(new_root, Relaxed);
+            unsafe { &*old_root }.position.store(0, Relaxed);
+            unsafe { &*built }.parent.store(new_root, Relaxed);
+            unsafe { &*built }.position.store(1, Relaxed);
+            telemetry::count(telemetry::Counter::BtreeRootGrowth);
+            telemetry::flight::event("btree::root_swap", new_root as u64, 0);
+            chaos::checkpoint("btree::root_swap");
+            self.root.store(new_root, Relaxed);
+            true
+        } else {
+            // SAFETY: write-locked spine node strictly above leaf level.
+            let a = spine[built_h];
+            let an = unsafe { &*a };
+            debug_assert!(an.is_inner());
+            let num = an.num();
+            if num < C {
+                an.set_key(num, &sep);
+                let ai = unsafe { an.as_inner() };
+                ai.set_child(num + 1, built);
+                // SAFETY: `built` is private until this store publishes it.
+                unsafe { &*built }.parent.store(a, Relaxed);
+                unsafe { &*built }.position.store((num + 1) as u16, Relaxed);
+                an.set_num(num + 1);
+                true
+            } else {
+                false // splice node full: fall back rather than split here
+            }
+        };
+
+        self.release_spine(&spine);
+        if spliced {
+            telemetry::count(telemetry::Counter::BtreeMergeSplice);
+        } else {
+            self.abandon_subtree(built);
+        }
+        spliced
+    }
+
+    /// Releases a write-locked rightmost spine: root lock first, then the
+    /// node locks top-down (mirror of Algorithm 2's unlock phase).
+    fn release_spine(&self, spine: &[NodePtr<K, C>]) {
+        self.root_lock.end_write();
+        for p in spine.iter().rev() {
+            // SAFETY: every spine node is write-locked by the caller.
+            unsafe { &**p }.lock.end_write();
+        }
+    }
+
+    /// Discards a prebuilt, never-published subtree. The boxed path frees
+    /// it node by node; the arena path abandons it in place (nodes are
+    /// never individually freed — that is what makes optimistic reads
+    /// safe) and records the waste in `specbtree.arena_abandoned_bytes`,
+    /// so the Observability layer sees every byte of arena slack.
+    fn abandon_subtree(&self, root: NodePtr<K, C>) {
+        if root.is_null() {
+            return;
+        }
+        #[cfg(not(feature = "fastpath"))]
+        // SAFETY: the subtree is private to the caller and never published.
+        unsafe {
+            LeafNode::free_subtree(root)
+        };
+        #[cfg(feature = "fastpath")]
+        if telemetry::ENABLED {
+            telemetry::add(telemetry::Counter::ArenaAbandonedBytes, subtree_bytes(root));
         }
     }
 
@@ -78,6 +862,145 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         }
         set
     }
+}
+
+/// One merge pass of `run[k..j)` into a write-locked leaf. Pass 1 counts
+/// the fresh (non-duplicate) run keys compare-only — with the lazy
+/// word-by-word [`cmp_key`](LeafNode::cmp_key), tuples usually decide on
+/// their leading column — cutting off the moment the leaf would overflow.
+/// Pass 2 merges them backward in place: each key moves at most once and
+/// the untouched prefix stays put. Returns the new run position and the
+/// number of keys added; a position short of `j` means the leaf was left
+/// exactly full (ready to split).
+fn merge_leaf_pass<const K: usize, const C: usize>(
+    node: &LeafNode<K, C>,
+    run: &[Tuple<K>],
+    k: usize,
+    j: usize,
+) -> (usize, usize) {
+    let n = node.num();
+    let start = k;
+    let mut k = k;
+    // Jump-start the scan: every leaf key below the first run key's lower
+    // bound compares `Less` anyway, so skip them in O(log n) up front.
+    let (mut li, _) = node.search(&run[k], n);
+    let mut fresh = 0usize;
+    while k < j {
+        let ord = if li < n {
+            node.cmp_key(li, &run[k])
+        } else {
+            Ordering::Greater
+        };
+        match ord {
+            Ordering::Less => li += 1,
+            Ordering::Equal => {
+                li += 1;
+                k += 1;
+            }
+            Ordering::Greater => {
+                if n + fresh + 1 > C {
+                    break;
+                }
+                fresh += 1;
+                k += 1;
+            }
+        }
+    }
+    if fresh > 0 {
+        let (mut a, mut b) = (n, k);
+        let mut dst = n + fresh;
+        while b > start && dst > a {
+            let ord = if a == 0 {
+                Ordering::Less
+            } else {
+                node.cmp_key(a - 1, &run[b - 1])
+            };
+            match ord {
+                Ordering::Less => {
+                    dst -= 1;
+                    node.set_key(dst, &run[b - 1]);
+                    b -= 1;
+                }
+                Ordering::Equal => b -= 1, // duplicate: the leaf copy stays
+                Ordering::Greater => {
+                    dst -= 1;
+                    node.copy_key_within(a - 1, dst);
+                    a -= 1;
+                }
+            }
+        }
+        node.set_num(n + fresh);
+    }
+    debug_assert!(k >= j || n + fresh == C);
+    (k, fresh)
+}
+
+/// Streams a node's key area into cache, beyond its first line (which the
+/// following lock acquisition touches anyway). No-op off `fastpath`.
+#[inline]
+fn prefetch_node<const K: usize, const C: usize>(node: NodePtr<K, C>) {
+    let base = node as *const u8;
+    let mut off = 64;
+    while off < std::mem::size_of::<LeafNode<K, C>>() {
+        // SAFETY: in bounds of the node's own allocation.
+        crate::search::prefetch_read(unsafe { base.add(off) });
+        off += 64;
+    }
+}
+
+/// Height of a quiescent (freshly built) subtree: 1 for a lone leaf.
+fn subtree_height<const K: usize, const C: usize>(mut node: NodePtr<K, C>) -> usize {
+    let mut h = 0;
+    while !node.is_null() {
+        h += 1;
+        // SAFETY: live subtree nodes.
+        let n = unsafe { &*node };
+        if !n.is_inner() {
+            break;
+        }
+        // SAFETY: kind checked above.
+        node = unsafe { n.as_inner() }.child(0);
+    }
+    h
+}
+
+/// Arena bytes occupied by a subtree (64-byte-rounded node sizes, matching
+/// what the `fastpath` arena hands out) — the amount abandoned when such a
+/// subtree is discarded unpublished.
+#[cfg(feature = "fastpath")]
+fn subtree_bytes<const K: usize, const C: usize>(root: NodePtr<K, C>) -> u64 {
+    let round = |s: usize| s.div_ceil(crate::arena::NODE_ALIGN) * crate::arena::NODE_ALIGN;
+    let leaf_bytes = round(std::mem::size_of::<LeafNode<K, C>>()) as u64;
+    let inner_bytes = round(std::mem::size_of::<InnerNode<K, C>>()) as u64;
+    let mut bytes = 0u64;
+    let mut stack = vec![root];
+    while let Some(p) = stack.pop() {
+        // SAFETY: live subtree nodes reachable from a private root.
+        let n = unsafe { &*p };
+        if n.is_inner() {
+            bytes += inner_bytes;
+            // SAFETY: kind checked above.
+            let inner = unsafe { n.as_inner() };
+            for i in 0..=n.num_clamped() {
+                let c = inner.child(i);
+                if !c.is_null() {
+                    stack.push(c);
+                }
+            }
+        } else {
+            bytes += leaf_bytes;
+        }
+    }
+    bytes
+}
+
+/// [`build_from_sorted`] over a slice (avoids re-collecting when the caller
+/// already materialized the run).
+fn build_from_slice<const K: usize, const C: usize>(
+    items: &[Tuple<K>],
+    arena: &Arena,
+) -> NodePtr<K, C> {
+    build_from_sorted::<K, C>(items.iter().copied(), arena)
 }
 
 /// Builds a packed subtree from a sorted stream; returns null for an empty

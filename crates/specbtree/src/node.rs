@@ -203,6 +203,23 @@ impl<const K: usize, const C: usize> LeafNode<K, C> {
         self.set_key(to, &k);
     }
 
+    /// Compares the key at `i` against `t` word by word with early exit,
+    /// loading only as many words as the comparison needs (tuples usually
+    /// differ in their leading column). Same trust model as
+    /// [`key`](Self::key): garbage under optimistic reads until the caller
+    /// validates its lease, exact under the write lock.
+    #[inline]
+    pub fn cmp_key(&self, i: usize, t: &Tuple<K>) -> Ordering {
+        debug_assert!(i < C);
+        for (slot, w) in self.keys[i].iter().zip(t.iter()) {
+            match slot.load(Relaxed).cmp(w) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
     /// Search for `t` among the first `n` keys.
     ///
     /// Returns `(idx, found)` where `idx` is the index of the first key

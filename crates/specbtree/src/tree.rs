@@ -273,7 +273,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
     // ------------------------------------------------------------------
 
     /// Ensures the tree has a root node (Algorithm 1, lines 2–9).
-    fn ensure_root(&self) {
+    pub(crate) fn ensure_root(&self) {
         chaos::checkpoint("btree::ensure_root");
         while self.root.load(Relaxed).is_null() {
             if !self.root_lock.try_start_write() {
@@ -291,7 +291,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
     /// Obtains the current root together with a read lease on it
     /// (Algorithm 1, lines 13–17). The root must exist.
     #[inline]
-    fn read_root(&self) -> (NodePtr<K, C>, optlock::Lease) {
+    pub(crate) fn read_root(&self) -> (NodePtr<K, C>, optlock::Lease) {
         loop {
             let root_lease = self.root_lock.start_read();
             let root = self.root.load(Relaxed);
@@ -596,7 +596,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
     /// parent's write lock — or the root lock — are held. Creates the
     /// sibling, moves the upper half across, and pushes the median key into
     /// the parent (growing the tree by one level for a root split).
-    fn split_one(&self, x: NodePtr<K, C>) {
+    pub(crate) fn split_one(&self, x: NodePtr<K, C>) {
         let xn = unsafe { &*x };
         let n = xn.num();
         debug_assert_eq!(n, C, "only full nodes split");

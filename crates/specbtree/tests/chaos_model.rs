@@ -125,3 +125,80 @@ fn contains_during_inserts_has_no_false_negatives() {
         assert_eq!(set.len(), 6);
     });
 }
+
+/// Two threads race `insert_all` merges of *disjoint* sources into one
+/// target, both sorting after the target's maximum: every schedule makes
+/// both merges try the splice fast path on the same rightmost spine
+/// (`btree::splice` checkpoint), and whichever loses the validation must
+/// fall back to per-tuple inserts without losing or duplicating keys.
+#[test]
+fn racing_disjoint_merges_keep_invariants() {
+    chaos::model(chaos::seeds_from_env(0..48), || {
+        let set: Arc<BTreeSet<1, 4>> = Arc::new(BTreeSet::new());
+        for k in 0..6u64 {
+            set.insert([k]);
+        }
+        let handles: Vec<_> = (0..2u64)
+            .map(|t| {
+                let set = set.clone();
+                chaos::thread::spawn(move || {
+                    let src: BTreeSet<1, 4> = BTreeSet::new();
+                    for k in 10 * (t + 1)..10 * (t + 1) + 5 {
+                        src.insert([k]);
+                    }
+                    let added = set.insert_all_parallel(&src, 1);
+                    assert_eq!(added, 5, "disjoint source must add every tuple");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        let shape = set.check_invariants().unwrap();
+        assert_eq!(shape.keys, 16);
+        let got: Vec<u64> = set.iter().map(|t| t[0]).collect();
+        let expect: Vec<u64> = (0..6).chain(10..15).chain(20..25).collect();
+        assert_eq!(got, expect, "merged contents wrong");
+    });
+}
+
+/// Two threads race `insert_all` merges of *overlapping* sources: contested
+/// keys must be claimed by exactly one merge (the fused added counts sum to
+/// the true growth) and the union must be exact in every schedule.
+#[test]
+fn racing_overlapping_merges_count_exactly_once() {
+    chaos::model(chaos::seeds_from_env(0..48), || {
+        let set: Arc<BTreeSet<1, 4>> = Arc::new(BTreeSet::new());
+        for k in [0u64, 2, 4] {
+            set.insert([k]);
+        }
+        let srcs: [&[u64]; 2] = [&[1, 3, 5, 6], &[3, 5, 6, 7]];
+        let added = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let handles: Vec<_> = (0..2usize)
+            .map(|t| {
+                let (set, added) = (set.clone(), added.clone());
+                let keys = srcs[t];
+                chaos::thread::spawn(move || {
+                    let src: BTreeSet<1, 4> = BTreeSet::new();
+                    for &k in keys {
+                        src.insert([k]);
+                    }
+                    let n = set.insert_all_parallel(&src, 1);
+                    added.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        let shape = set.check_invariants().unwrap();
+        assert_eq!(shape.keys, 8, "union of {{0,2,4}} with both sources");
+        assert_eq!(
+            added.load(std::sync::atomic::Ordering::Relaxed),
+            5,
+            "keys 1,3,5,6,7 are new and each must be counted exactly once"
+        );
+        let got: Vec<u64> = set.iter().map(|t| t[0]).collect();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    });
+}

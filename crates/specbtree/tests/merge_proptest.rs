@@ -113,6 +113,82 @@ proptest! {
         );
     }
 
+    /// The parallel merge at 1/2/4/8 workers must be indistinguishable from
+    /// the sequential `insert_all` and the `std` model on duplicate-heavy
+    /// inputs, and the fused `added` count must equal the true growth.
+    #[test]
+    fn parallel_merge_matches_sequential_and_model(
+        a in prop::collection::vec(dup_heavy_key(), 0..200),
+        b in prop::collection::vec(dup_heavy_key(), 0..200),
+    ) {
+        let expect: Model<[u64; 2]> = a.iter().chain(b.iter()).copied().collect();
+        let pre = model(&a);
+        for workers in [1usize, 2, 4, 8] {
+            let dst: BTreeSet<2, 4> = build(&a);
+            let src: BTreeSet<2, 4> = build(&b);
+            let added = dst.insert_all_parallel(&src, workers);
+            let shape = dst.check_invariants().unwrap();
+            prop_assert_eq!(added as usize, expect.len() - pre.len());
+            prop_assert_eq!(shape.keys, expect.len());
+            prop_assert_eq!(
+                dst.iter().collect::<Vec<_>>(),
+                expect.iter().copied().collect::<Vec<_>>()
+            );
+            // The source must be untouched by the merge.
+            prop_assert_eq!(
+                src.iter().collect::<Vec<_>>(),
+                model(&b).into_iter().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// Fully-disjoint interleaved ranges (target even keys, source odd):
+    /// every source tuple is new, so the fused count must equal the source
+    /// cardinality exactly, at every worker count.
+    #[test]
+    fn parallel_merge_fully_disjoint_counts_everything(
+        n in 0usize..300,
+        m in 0usize..300,
+        workers in 1usize..9,
+    ) {
+        let a: Vec<[u64; 2]> = (0..n as u64).map(|i| [2 * i, i]).collect();
+        let b: Vec<[u64; 2]> = (0..m as u64).map(|i| [2 * i + 1, i]).collect();
+        let dst: BTreeSet<2, 4> = build(&a);
+        let src: BTreeSet<2, 4> = build(&b);
+        let added = dst.insert_all_parallel(&src, workers);
+        dst.check_invariants().unwrap();
+        prop_assert_eq!(added, m as u64);
+        let expect: Model<[u64; 2]> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(
+            dst.iter().collect::<Vec<_>>(),
+            expect.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// Append-only deltas (everything sorts after the target's maximum) are
+    /// the splice fast path's home turf; whether or not the splice engages
+    /// on a given shape (it bails on full spine nodes), the result must be
+    /// exact.
+    #[test]
+    fn parallel_merge_append_only_is_exact(
+        n in 1u64..300,
+        m in 0u64..300,
+        workers in 1usize..9,
+    ) {
+        let a: Vec<[u64; 2]> = (0..n).map(|i| [i, 7]).collect();
+        let b: Vec<[u64; 2]> = (n..n + m).map(|i| [i, 7]).collect();
+        let dst: BTreeSet<2, 4> = build(&a);
+        let src: BTreeSet<2, 4> = build(&b);
+        let added = dst.insert_all_parallel(&src, workers);
+        dst.check_invariants().unwrap();
+        prop_assert_eq!(added, m);
+        prop_assert_eq!(dst.len(), (n + m) as usize);
+        prop_assert_eq!(
+            dst.iter().collect::<Vec<_>>(),
+            (0..n + m).map(|i| [i, 7]).collect::<Vec<_>>()
+        );
+    }
+
     /// A chain of merges from many small deltas — the semi-naive evaluation
     /// pattern — must equal one big union, at a capacity that forces deep
     /// trees so splits happen mid-merge.
@@ -132,6 +208,44 @@ proptest! {
         prop_assert_eq!(
             acc.iter().collect::<Vec<_>>(),
             expect.into_iter().collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Deterministic coverage for the splice fast path: across a sweep of
+/// append-shaped merges at several target sizes, the rightmost spine must
+/// accept at least one spliced subtree (the path legitimately bails when a
+/// spine node is full, but it cannot bail on *every* shape), and every
+/// merge must still be exact. The counter assertion is keyed on the
+/// `telemetry` feature; correctness is asserted unconditionally.
+#[test]
+fn append_only_delta_engages_splice_fast_path() {
+    let before = telemetry::snapshot().counter("specbtree.merge_splice");
+    for n in [40u64, 64, 97, 150, 221, 300] {
+        for m in [8u64, 16, 31] {
+            let dst: BTreeSet<2, 4> = BTreeSet::new();
+            for i in 0..n {
+                dst.insert([i, 1]);
+            }
+            let src: BTreeSet<2, 4> = BTreeSet::new();
+            for i in n..n + m {
+                src.insert([i, 1]);
+            }
+            let added = dst.insert_all_parallel(&src, 1);
+            assert_eq!(added, m, "append merge added count (n={n}, m={m})");
+            let shape = dst.check_invariants().unwrap();
+            assert_eq!(shape.keys, (n + m) as usize);
+            assert_eq!(
+                dst.iter().collect::<Vec<_>>(),
+                (0..n + m).map(|i| [i, 1]).collect::<Vec<_>>()
+            );
+        }
+    }
+    let after = telemetry::snapshot().counter("specbtree.merge_splice");
+    if telemetry::ENABLED {
+        assert!(
+            after > before,
+            "no append merge took the splice fast path (before={before}, after={after})"
         );
     }
 }

@@ -117,11 +117,24 @@ pub enum Counter {
     ArenaAllocFast,
     /// `specbtree`: node allocations that had to open or reuse a slab.
     ArenaAllocSlow,
+    /// `specbtree`: parallel `insert_all` merges served by the subtree
+    /// splice fast path (a prebuilt run attached under one write-locked
+    /// ancestor instead of per-tuple insertion).
+    BtreeMergeSplice,
+    /// `specbtree`: source chunks processed by parallel `insert_all`
+    /// workers (target-separator-aligned partitions).
+    BtreeMergeChunks,
+    /// `specbtree`: arena bytes abandoned by merge fast paths that built a
+    /// subtree and then lost a publication race or failed validation
+    /// (`fastpath` only — the boxed path frees the subtree instead).
+    /// Accumulated via `add`; the bounded, by-design leak DESIGN.md's
+    /// memory-layout section describes.
+    ArenaAbandonedBytes,
 }
 
 impl Counter {
     /// Number of counters (array dimension).
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 25;
 
     /// All counters, in declaration order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -147,6 +160,9 @@ impl Counter {
         Counter::ArenaBytesUsed,
         Counter::ArenaAllocFast,
         Counter::ArenaAllocSlow,
+        Counter::BtreeMergeSplice,
+        Counter::BtreeMergeChunks,
+        Counter::ArenaAbandonedBytes,
     ];
 
     /// The dotted `layer.event` name used in reports.
@@ -174,6 +190,9 @@ impl Counter {
             Counter::ArenaBytesUsed => "specbtree.arena_bytes",
             Counter::ArenaAllocFast => "specbtree.arena_alloc_fast",
             Counter::ArenaAllocSlow => "specbtree.arena_alloc_slow",
+            Counter::BtreeMergeSplice => "specbtree.merge_splice",
+            Counter::BtreeMergeChunks => "specbtree.merge_chunks",
+            Counter::ArenaAbandonedBytes => "specbtree.arena_abandoned_bytes",
         }
     }
 }
@@ -195,11 +214,14 @@ pub enum Hist {
     /// branch-free search: the prefix length for the linear/SIMD scan,
     /// comparator invocations for the branchless binary path).
     BtreeSearchProbes,
+    /// `datalog`: wall time of one merge phase — folding every `new`
+    /// relation of a stratum into its full relation (nanoseconds).
+    EvalMergeNanos,
 }
 
 impl Hist {
     /// Number of histograms (array dimension).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     /// All histograms, in declaration order.
     pub const ALL: [Hist; Self::COUNT] = [
@@ -208,6 +230,7 @@ impl Hist {
         Hist::EvalChunkNanos,
         Hist::EvalStratumNanos,
         Hist::BtreeSearchProbes,
+        Hist::EvalMergeNanos,
     ];
 
     /// The dotted `layer.metric` name used in reports.
@@ -218,6 +241,7 @@ impl Hist {
             Hist::EvalChunkNanos => "datalog.chunk_nanos",
             Hist::EvalStratumNanos => "datalog.stratum_nanos",
             Hist::BtreeSearchProbes => "specbtree.search_probe",
+            Hist::EvalMergeNanos => "datalog.merge_nanos",
         }
     }
 }
