@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Shape-check a merged BENCH_layout.json (bench-suite/src/bin/layout.rs).
+
+Usage: validate_layout.py [path] [--quick|--full]
+
+--quick expects the CI smoke run (any n); --full expects the committed
+1M-tuple report. Both modes require all three layout variants (gapped,
+fastpath, boxed), per-op speedup rows including the full-scan case, and
+internally consistent speedup arithmetic.
+"""
+import json
+import sys
+
+path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_layout.json"
+mode = sys.argv[2] if len(sys.argv) > 2 else "--quick"
+assert mode in ("--quick", "--full"), mode
+
+doc = json.load(open(path))
+assert doc["bench"] == "layout"
+for side in ("gapped", "fastpath", "boxed"):
+    sub = doc[side]
+    assert sub["variant"] == side, (side, sub["variant"])
+    assert sub["quick"] is (mode == "--quick"), (side, sub["quick"])
+    if mode == "--full":
+        assert sub["n"] >= 1_000_000, (side, sub["n"])
+    assert sub["n"] > 0 and len(sub["results"]) > 0, side
+
+ops = {(r["op"], r["threads"]) for r in doc["speedups"]}
+for op in ("insert_sorted", "insert_random", "lookup_sorted", "lookup_random"):
+    assert (op, 1) in ops, f"missing {op}/1 speedup row"
+assert ("scan", 1) in ops, "missing scan speedup row"
+
+for r in doc["speedups"]:
+    for field in ("gapped_seconds", "fastpath_seconds", "boxed_seconds"):
+        assert r[field] > 0, (r["op"], field)
+    assert abs(r["speedup_vs_fastpath"] - r["fastpath_seconds"] / r["gapped_seconds"]) < 1e-3
+    assert abs(r["speedup_vs_boxed"] - r["boxed_seconds"] / r["gapped_seconds"]) < 1e-3
+
+for side in ("gapped", "fastpath"):
+    assert doc[side]["arena"]["slabs"] > 0, f"{side} side did not use the arena"
+assert doc["boxed"]["arena"]["slabs"] == 0, "boxed side unexpectedly used the arena"
+
+print(f"{path} OK: {len(doc['speedups'])} speedup rows, n = {doc['gapped']['n']}")

@@ -1,21 +1,23 @@
-//! Memory-layout study: the `fastpath` cache-conscious layer (arena
-//! allocation, branch-free column-0 search, software prefetch) against the
-//! historical boxed layout.
+//! Memory-layout study: the `gapped` leaf layout + latch-free interior
+//! descent against the packed `fastpath` layer it builds on, and against
+//! the historical boxed layout.
 //!
-//! The comparison needs two builds of the same binary, because the layer
-//! is a compile-time feature:
+//! The comparison needs three builds of the same binary, because the
+//! layers are compile-time features:
 //!
 //! ```text
-//! cargo run --release --bin layout              # fastpath side
-//! cargo run --release --bin layout --no-default-features   # boxed side
+//! cargo run --release --bin layout                      # gapped (default)
+//! cargo run --release --bin layout \
+//!     --no-default-features --features fastpath         # packed fastpath
+//! cargo run --release --bin layout --no-default-features  # boxed
 //! ```
 //!
 //! Each run measures point inserts (sorted and random order), point
 //! lookups and a full ordered scan on the concurrent B-tree across thread
-//! counts, and writes its side to `BENCH_layout.<variant>.json`. When the
-//! sibling variant's file already exists, the two are merged into
-//! `BENCH_layout.json` with boxed-over-fastpath speedups — so running both
-//! commands (in either order) produces the final report.
+//! counts, and writes its side to `BENCH_layout.<variant>.json`. Once all
+//! three variants' files exist, they are merged into `BENCH_layout.json`
+//! with the gapped layout's speedup over each baseline — so running the
+//! three commands (in any order) produces the final report.
 //!
 //! Flags: `--scale N` (tuples = N × 1M, default 1), `--threads 1,4,8`,
 //! `--seed N`, `--csv`, `--quick` (CI smoke: 50k tuples, one repetition).
@@ -26,11 +28,22 @@ use specbtree::BTreeSet;
 use std::time::Instant;
 use workloads::rng::splitmix;
 
-/// Which side of the feature this binary was compiled on.
-const VARIANT: &str = if cfg!(feature = "fastpath") {
+/// Which layout this binary was compiled on.
+const VARIANT: &str = if cfg!(feature = "gapped") {
+    "gapped"
+} else if cfg!(feature = "fastpath") {
     "fastpath"
 } else {
     "boxed"
+};
+
+/// The other two variants, for sibling-file discovery.
+const SIBLINGS: [&str; 2] = if cfg!(feature = "gapped") {
+    ["fastpath", "boxed"]
+} else if cfg!(feature = "fastpath") {
+    ["gapped", "boxed"]
+} else {
+    ["gapped", "fastpath"]
 };
 
 /// One measured configuration.
@@ -159,15 +172,11 @@ fn rows(doc: &str) -> Vec<(String, u64, f64)> {
     out
 }
 
-/// Merges this run's document with the sibling variant's into
-/// `BENCH_layout.json`, reporting boxed/fastpath speedups per
-/// configuration.
-fn merge(mine: &str, sibling: &str) {
-    let (fast_doc, boxed_doc) = if VARIANT == "fastpath" {
-        (mine, sibling)
-    } else {
-        (sibling, mine)
-    };
+/// Merges the three variants' documents into `BENCH_layout.json`,
+/// reporting the gapped layout's speedup over each baseline per
+/// configuration (>1 means gapped is faster).
+fn merge(gapped_doc: &str, fast_doc: &str, boxed_doc: &str) {
+    let gapped = rows(gapped_doc);
     let fast = rows(fast_doc);
     let boxed = rows(boxed_doc);
 
@@ -175,26 +184,35 @@ fn merge(mine: &str, sibling: &str) {
     json.begin_object();
     json.field_str("bench", "layout");
     json.begin_array_field("speedups");
-    println!("-- fastpath vs boxed --");
-    for (op, threads, fs) in &fast {
-        let Some((_, _, bs)) = boxed
-            .iter()
-            .find(|(o, t, _)| o == op && t == threads)
-            .filter(|(_, _, bs)| *bs > 0.0 && *fs > 0.0)
-        else {
+    println!("-- gapped vs fastpath | boxed --");
+    for (op, threads, gs) in &gapped {
+        let find = |side: &[(String, u64, f64)]| {
+            side.iter()
+                .find(|(o, t, _)| o == op && *t == *threads)
+                .map(|(_, _, s)| *s)
+                .filter(|s| *s > 0.0)
+        };
+        let (Some(fs), Some(bs)) = (find(&fast), find(&boxed)) else {
             continue;
         };
-        let speedup = bs / fs;
-        println!("{op}/{threads}t: {speedup:.2}x");
+        if *gs <= 0.0 {
+            continue;
+        }
+        let vs_fast = fs / gs;
+        let vs_boxed = bs / gs;
+        println!("{op}/{threads}t: {vs_fast:.2}x | {vs_boxed:.2}x");
         json.begin_object();
         json.field_str("op", op);
         json.field_u64("threads", *threads);
-        json.field_f64("fastpath_seconds", *fs, 6);
-        json.field_f64("boxed_seconds", *bs, 6);
-        json.field_f64("speedup", speedup, 4);
+        json.field_f64("gapped_seconds", *gs, 6);
+        json.field_f64("fastpath_seconds", fs, 6);
+        json.field_f64("boxed_seconds", bs, 6);
+        json.field_f64("speedup_vs_fastpath", vs_fast, 4);
+        json.field_f64("speedup_vs_boxed", vs_boxed, 4);
         json.end_object();
     }
     json.end_array();
+    json.field_raw("gapped", gapped_doc.trim_end());
     json.field_raw("fastpath", fast_doc.trim_end());
     json.field_raw("boxed", boxed_doc.trim_end());
     json.end_object();
@@ -214,7 +232,10 @@ fn main() {
     // tuples a single run's wall time is dominated by scheduler noise,
     // and the best-of filter is what makes the emitted speedups stable
     // enough for CI shape checks and for the headline comparison.
-    let reps = if args.quick { 5 } else { 3 };
+    // Full runs take best-of-5: single-core containers schedule the
+    // harness alongside the bench, and 3 reps leave +-10% scheduling
+    // noise in the 1-thread rows that the speedup ratios key off.
+    let reps = 5;
     let threads = if args.threads.is_empty() {
         vec![1, 4, 8]
     } else {
@@ -296,18 +317,25 @@ fn main() {
     std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!("wrote {out}");
 
-    let sibling = format!(
-        "BENCH_layout.{}.json",
-        if VARIANT == "fastpath" {
-            "boxed"
+    let read = |variant: &str| {
+        if variant == VARIANT {
+            Some(doc.clone())
         } else {
-            "fastpath"
+            std::fs::read_to_string(format!("BENCH_layout.{variant}.json")).ok()
         }
-    );
-    match std::fs::read_to_string(&sibling) {
-        Ok(other) => merge(&doc, &other),
-        Err(_) => {
-            println!("(no {sibling} yet — run the other variant to produce the merged report)")
+    };
+    match (read("gapped"), read("fastpath"), read("boxed")) {
+        (Some(g), Some(f), Some(b)) => merge(&g, &f, &b),
+        _ => {
+            let missing: Vec<&str> = SIBLINGS
+                .iter()
+                .copied()
+                .filter(|v| !std::path::Path::new(&format!("BENCH_layout.{v}.json")).exists())
+                .collect();
+            println!(
+                "(missing {} — run the other variant(s) to produce the merged report)",
+                missing.join(", ")
+            );
         }
     }
 

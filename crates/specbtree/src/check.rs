@@ -160,6 +160,76 @@ fn check_node<const K: usize, const C: usize>(
     shape.nodes += 1;
     shape.keys += num;
 
+    // Gapped layout: `num` counts *occupied* slots; the scan region
+    // [0, scan_len()) additionally holds gap slots whose sentinel value
+    // must duplicate the nearest occupied key to their right. Checked
+    // here: occupancy/count agreement, packed inner occupancy, no gap at
+    // slot 0, strict ascent among occupied slots, sentinel agreement, and
+    // separator intervals over every scanned slot (sentinels included —
+    // they duplicate in-node keys, so the same bounds apply).
+    #[cfg(feature = "gapped")]
+    {
+        let occ = node.occupied_mask();
+        let top = node.scan_len();
+        if occ.count_ones() as usize != num {
+            return Err(InvariantViolation(format!(
+                "node {p:?}: occupancy popcount {} disagrees with num {num}",
+                occ.count_ones()
+            )));
+        }
+        if node.is_inner() && occ != crate::node::packed_mask(num) {
+            return Err(InvariantViolation(format!(
+                "inner node {p:?}: occupancy {occ:#x} not packed for {num} keys"
+            )));
+        }
+        if occ != 0 && occ & 1 == 0 {
+            return Err(InvariantViolation(format!(
+                "node {p:?}: slot 0 is a gap (the minimum must be real)"
+            )));
+        }
+        let mut prev: Option<Tuple<K>> = None;
+        for i in 0..top {
+            let k = node.key(i);
+            if (occ >> i) & 1 == 1 {
+                if let Some(pk) = &prev {
+                    if cmp3(pk, &k) != Ordering::Less {
+                        return Err(InvariantViolation(format!(
+                            "node {p:?}: occupied keys not strictly ascending at slot {i}"
+                        )));
+                    }
+                }
+                prev = Some(k);
+            } else {
+                let j = node.next_occupied(i + 1);
+                if j >= top {
+                    return Err(InvariantViolation(format!(
+                        "node {p:?}: trailing gap at slot {i} (no occupied slot above)"
+                    )));
+                }
+                if cmp3(&k, &node.key(j)) != Ordering::Equal {
+                    return Err(InvariantViolation(format!(
+                        "node {p:?}: gap slot {i} sentinel disagrees with occupied slot {j}"
+                    )));
+                }
+            }
+            if let Some(lo) = &lower {
+                if cmp3(&k, lo) != Ordering::Greater {
+                    return Err(InvariantViolation(format!(
+                        "node {p:?}: key {k:?} not above separator {lo:?}"
+                    )));
+                }
+            }
+            if let Some(hi) = &upper {
+                if cmp3(&k, hi) != Ordering::Less {
+                    return Err(InvariantViolation(format!(
+                        "node {p:?}: key {k:?} not below separator {hi:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    #[cfg(not(feature = "gapped"))]
     for i in 0..num {
         let k = node.key(i);
         if i > 0 && cmp3(&node.key(i - 1), &k) != Ordering::Less {

@@ -46,9 +46,16 @@ pub(crate) const APPEND_STREAK: u8 = 4;
 pub(crate) const ROUTE_STREAK: u8 = 4;
 
 /// While bypassing, the hinted leaf is re-probed whenever the operation's
-/// miss counter lands on this mask (every 32nd miss) — the recovery clock
-/// for workload phase changes.
-const REPROBE_MASK: u64 = 31;
+/// miss counter is a multiple of this period — the recovery clock for
+/// workload phase changes. The period is **prime** on purpose: the gapped
+/// layout's redistribution pass packs append regions into perfectly
+/// regular leaves (e.g. 7 keys per leaf plus 1 separator, period 8), and a
+/// power-of-two reprobe period resonates with such geometry — every
+/// reprobe lands on the same offset within a leaf, and if that offset is
+/// the boundary, recovery never happens. A prime period is coprime to
+/// every small leaf period, so the reprobe offset drifts across the leaf
+/// and a leaf-local phase is re-detected within a few reprobes.
+const REPROBE_PERIOD: u64 = 29;
 
 /// Updates one (miss, forward) streak pair with a probe outcome.
 #[inline]
@@ -217,13 +224,14 @@ impl<const K: usize, const C: usize> BTreeHints<K, C> {
 
     /// Should the hinted-insert leaf be probed at all? `false` once the
     /// miss streak shows the probe is near-certain wasted work, except on
-    /// the periodic re-probe tick (every 32nd miss) that detects workload
-    /// phase changes. The streaks freeze while bypassing — only actual
-    /// probe outcomes (see [`note_insert_probe`](Self::note_insert_probe))
-    /// move them.
+    /// the periodic re-probe tick (every [`REPROBE_PERIOD`]th miss) that
+    /// detects workload phase changes. The streaks freeze while bypassing —
+    /// only actual probe outcomes (see
+    /// [`note_insert_probe`](Self::note_insert_probe)) move them.
     #[inline]
     pub(crate) fn insert_probe_useful(&self) -> bool {
-        self.insert_miss_streak < BYPASS_STREAK || self.stats.insert_misses & REPROBE_MASK == 0
+        self.insert_miss_streak < BYPASS_STREAK
+            || self.stats.insert_misses.is_multiple_of(REPROBE_PERIOD)
     }
 
     /// Should the fallback insert descent use the branch-free search?
@@ -250,7 +258,8 @@ impl<const K: usize, const C: usize> BTreeHints<K, C> {
     /// [`insert_probe_useful`](Self::insert_probe_useful) for contains.
     #[inline]
     pub(crate) fn contains_probe_useful(&self) -> bool {
-        self.contains_miss_streak < BYPASS_STREAK || self.stats.contains_misses & REPROBE_MASK == 0
+        self.contains_miss_streak < BYPASS_STREAK
+            || self.stats.contains_misses.is_multiple_of(REPROBE_PERIOD)
     }
 
     /// [`insert_descend_branchfree`](Self::insert_descend_branchfree) for
@@ -437,13 +446,13 @@ mod tests {
         }
         // Streak reached: bypass, except when the miss counter hits the
         // re-probe tick.
-        h.stats.insert_misses = 33;
+        h.stats.insert_misses = REPROBE_PERIOD + 1;
         assert!(!h.insert_probe_useful());
-        h.stats.insert_misses = 32;
+        h.stats.insert_misses = 2 * REPROBE_PERIOD;
         assert!(h.insert_probe_useful());
         // A single hit resets the streak: probing resumes unconditionally.
         h.note_insert_probe(true, false);
-        h.stats.insert_misses = 33;
+        h.stats.insert_misses = REPROBE_PERIOD + 1;
         assert!(h.insert_probe_useful());
     }
 

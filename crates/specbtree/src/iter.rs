@@ -29,6 +29,18 @@ pub struct Iter<'a, const K: usize, const C: usize> {
 
 impl<'a, const K: usize, const C: usize> Iter<'a, K, C> {
     pub(crate) fn new(node: NodePtr<K, C>, pos: usize) -> Self {
+        // Under the gapped layout a position produced by a search can land
+        // on a gap slot (whose sentinel duplicates the key to its right);
+        // normalize to the occupied slot carrying that key so the cursor
+        // invariant — `pos` is real or exhausted — holds from the start.
+        // Identity on inner nodes (always packed) and non-gapped builds.
+        #[cfg(feature = "gapped")]
+        let pos = if node.is_null() {
+            pos
+        } else {
+            // SAFETY: non-null cursor nodes are live tree nodes.
+            unsafe { &*node }.next_occupied(pos)
+        };
         Self {
             node,
             pos,
@@ -47,7 +59,7 @@ impl<'a, const K: usize, const C: usize> Iter<'a, K, C> {
         }
         // SAFETY: non-null cursor nodes are live tree nodes.
         let n = unsafe { &*self.node };
-        if self.pos < n.num_clamped() {
+        if self.pos < n.scan_len() {
             Some(n.key(self.pos))
         } else {
             None
@@ -82,7 +94,7 @@ impl<'a, const K: usize, const C: usize> Iterator for Iter<'a, K, C> {
         }
         // SAFETY: live tree node.
         let n = unsafe { &*self.node };
-        let num = n.num_clamped();
+        let num = n.scan_len();
         if self.pos >= num {
             // Defensive: only reachable when racing inserts (clamped
             // counters) — treat as exhausted rather than index out of range.
@@ -98,7 +110,10 @@ impl<'a, const K: usize, const C: usize> Iterator for Iter<'a, K, C> {
             self.node = Iter::<K, C>::leftmost(child);
             self.pos = 0;
         } else {
-            self.pos += 1;
+            // Skip gap slots: `next_occupied` is identity when non-gapped,
+            // and returns its argument when no occupied slot remains (which
+            // then fails the bound check below and triggers the climb).
+            self.pos = n.next_occupied(self.pos + 1);
             if self.pos >= num {
                 // Climb until we come up from a non-last child.
                 let mut cur = self.node;
@@ -124,6 +139,75 @@ impl<'a, const K: usize, const C: usize> Iterator for Iter<'a, K, C> {
             }
         }
         Some(item)
+    }
+
+    /// Bulk traversal: `count`, `sum`, `for_each` and friends all funnel
+    /// through `fold`, so full scans stream each leaf as one occupancy-mask
+    /// walk instead of paying [`Iterator::next`]'s per-element cursor
+    /// checks and per-element gap skips. The climb target (the parent) is
+    /// prefetched before the leaf's keys are consumed, overlapping the
+    /// pointer-chase miss with useful work — this is what restores
+    /// sequential-scan throughput on the gapped layout.
+    fn fold<B, F>(mut self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, Self::Item) -> B,
+    {
+        let mut acc = init;
+        while !self.node.is_null() {
+            // SAFETY: non-null cursor nodes are live tree nodes.
+            let n = unsafe { &*self.node };
+            if n.is_inner() {
+                // One separator key, then descend right of it: next()
+                // already implements that step.
+                match self.next() {
+                    Some(t) => acc = f(acc, t),
+                    None => break,
+                }
+                continue;
+            }
+            let num = n.scan_len();
+            if self.pos >= num {
+                // Defensive, as in next(): only reachable racing inserts.
+                break;
+            }
+            // Overlap the climb's pointer-chase miss with the key walk.
+            crate::search::prefetch_read(n.parent.load(Relaxed));
+            #[cfg(feature = "gapped")]
+            {
+                let mut rem = n.occupied_mask() & !((1u64 << self.pos) - 1);
+                while rem != 0 {
+                    let i = rem.trailing_zeros() as usize;
+                    acc = f(acc, n.key(i));
+                    rem &= rem - 1;
+                }
+            }
+            #[cfg(not(feature = "gapped"))]
+            for i in self.pos..num {
+                acc = f(acc, n.key(i));
+            }
+            // Climb until we come up from a non-last child, once per leaf.
+            let mut cur = self.node;
+            loop {
+                // SAFETY: live tree node.
+                let cn = unsafe { &*cur };
+                let parent = cn.parent.load(Relaxed);
+                if parent.is_null() {
+                    self.node = std::ptr::null_mut();
+                    break;
+                }
+                // SAFETY: parent links reference live nodes.
+                let pn = unsafe { &*parent };
+                let pnum = pn.num_clamped();
+                let i = (cn.position.load(Relaxed) as usize).min(pnum);
+                if i < pnum {
+                    self.node = parent;
+                    self.pos = i;
+                    break;
+                }
+                cur = parent;
+            }
+        }
+        acc
     }
 }
 
@@ -153,7 +237,7 @@ impl<'a, const K: usize, const C: usize> RangeIter<'a, K, C> {
             }
             // SAFETY: non-null cursor nodes are live tree nodes.
             let n = unsafe { &*node };
-            let num = n.num_clamped();
+            let num = n.scan_len();
             if self.inner.pos >= num {
                 // Defensive, as Iter::next: only reachable racing inserts.
                 return;
@@ -167,22 +251,44 @@ impl<'a, const K: usize, const C: usize> RangeIter<'a, K, C> {
                 }
                 continue;
             }
-            // Leaf: copy the remaining run.
-            let mut stop = num;
-            if let Some(end) = &self.end {
-                if cmp3(&n.key(num - 1), end) != Ordering::Less {
-                    let mut s = self.inner.pos;
-                    while s < num && cmp3(&n.key(s), end) == Ordering::Less {
-                        s += 1;
+            // Leaf: copy the remaining run of occupied slots. Per-key bound
+            // compares only happen when the leaf's last (real) key reaches
+            // the bound — the common interior leaf copies compare-free.
+            #[cfg(feature = "gapped")]
+            {
+                let check = match &self.end {
+                    Some(end) => cmp3(&n.key(num - 1), end) != Ordering::Less,
+                    None => false,
+                };
+                let mut rem = n.occupied_mask() & !((1u64 << self.inner.pos) - 1);
+                while rem != 0 {
+                    let i = rem.trailing_zeros() as usize;
+                    let k = n.key(i);
+                    if check && cmp3(&k, self.end.as_ref().unwrap()) != Ordering::Less {
+                        return; // bound hit inside the leaf
                     }
-                    stop = s;
+                    buf.push(k);
+                    rem &= rem - 1;
                 }
             }
-            for i in self.inner.pos..stop {
-                buf.push(n.key(i));
-            }
-            if stop < num {
-                return; // bound hit inside the leaf
+            #[cfg(not(feature = "gapped"))]
+            {
+                let mut stop = num;
+                if let Some(end) = &self.end {
+                    if cmp3(&n.key(num - 1), end) != Ordering::Less {
+                        let mut s = self.inner.pos;
+                        while s < num && cmp3(&n.key(s), end) == Ordering::Less {
+                            s += 1;
+                        }
+                        stop = s;
+                    }
+                }
+                for i in self.inner.pos..stop {
+                    buf.push(n.key(i));
+                }
+                if stop < num {
+                    return; // bound hit inside the leaf
+                }
             }
             // Climb until we come up from a non-last child (Iter::next's
             // tail), once per leaf instead of once per element.
@@ -254,12 +360,18 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         loop {
             // SAFETY: live tree node.
             let n = unsafe { &*node };
+            if !n.is_inner() {
+                // The leaf maximum sits at scan_len() - 1 (the topmost
+                // occupied slot), not num - 1, under the gapped layout.
+                let top = n.scan_len();
+                if top == 0 {
+                    return None; // empty root leaf
+                }
+                return Some(n.key(top - 1));
+            }
             let num = n.num_clamped();
             if num == 0 {
-                return None; // empty root leaf
-            }
-            if !n.is_inner() {
-                return Some(n.key(num - 1));
+                return None; // defensive: inner nodes are never empty
             }
             // SAFETY: kind checked.
             let child = unsafe { n.as_inner() }.child(num);
@@ -466,11 +578,30 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             for &p in &level {
                 // SAFETY: live tree nodes collected below.
                 let node = unsafe { &*p };
-                let num = node.num_clamped();
-                for i in 0..num {
-                    let k = node.key(i);
-                    if in_range(&k) {
-                        seps.push(k);
+                // The level may be the leaf level (shallow trees): walk only
+                // occupied slots so gap sentinels never become separators.
+                // Inner occupancy is always packed, so this degenerates to
+                // 0..num there.
+                #[cfg(feature = "gapped")]
+                {
+                    let mut rem = node.occupied_mask();
+                    while rem != 0 {
+                        let i = rem.trailing_zeros() as usize;
+                        let k = node.key(i);
+                        if in_range(&k) {
+                            seps.push(k);
+                        }
+                        rem &= rem - 1;
+                    }
+                }
+                #[cfg(not(feature = "gapped"))]
+                {
+                    let num = node.num_clamped();
+                    for i in 0..num {
+                        let k = node.key(i);
+                        if in_range(&k) {
+                            seps.push(k);
+                        }
                     }
                 }
             }

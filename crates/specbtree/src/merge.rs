@@ -391,7 +391,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             // bound is computed and its lock acquired: the descent only
             // touched inner nodes, so the merge pass would otherwise
             // serialize one cold miss per cache line.
-            prefetch_node::<K, C>(child);
+            crate::node::prefetch_node::<K, C>(child);
             // Sub-batch: keys below the child's right-hand separator (its
             // own separator for an interior child, the group bound for the
             // rightmost child).
@@ -749,7 +749,9 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             });
             // SAFETY: the leaf is write-locked by us.
             let leaf = unsafe { &*spine[0] };
-            let leaf_n = leaf.num();
+            // scan_len: the leaf maximum sits at the topmost *occupied*
+            // slot under the gapped layout (== num when packed).
+            let leaf_n = leaf.scan_len();
             let max_below = leaf_n > 0 && cmp3(&leaf.key(leaf_n - 1), &sep) == Ordering::Less;
             if top_is_root && rightmost && max_below {
                 break spine;
@@ -872,6 +874,58 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
 /// the untouched prefix stays put. Returns the new run position and the
 /// number of keys added; a position short of `j` means the leaf was left
 /// exactly full (ready to split).
+/// Gapped variant of [`merge_leaf_pass`]: instead of the two-pass
+/// count-then-backward-merge (which assumes a packed leaf and shifts the
+/// whole suffix), each fresh run key drops into the leaf through
+/// [`gap_insert`](LeafNode::gap_insert) — usually an in-place store into a
+/// hole, or a shift bounded by the nearest gap. The scan pointer `li` is
+/// a forward lower-bound cursor seeded by one binary search: because the
+/// run is ascending, after an insert the next key's lower bound can only
+/// sit at or beyond `li` (an insert never places anything *greater* below
+/// `li`), so the cursor is never rewound. Same contract as the packed
+/// variant: a returned position short of `j` means the leaf was left
+/// exactly full (and a full gapped leaf is packed — ready to split).
+#[cfg(feature = "gapped")]
+fn merge_leaf_pass<const K: usize, const C: usize>(
+    node: &LeafNode<K, C>,
+    run: &[Tuple<K>],
+    k: usize,
+    j: usize,
+) -> (usize, usize) {
+    let mut k = k;
+    let mut fresh = 0usize;
+    // Jump-start the cursor once; afterwards it only walks forward.
+    let (mut li, _) = node.search(&run[k], node.scan_len());
+    while k < j {
+        let top = node.scan_len();
+        let ord = if li < top {
+            node.cmp_key(li, &run[k])
+        } else {
+            Ordering::Greater
+        };
+        match ord {
+            Ordering::Less => li += 1,
+            Ordering::Equal => k += 1, // duplicate: the leaf copy stays
+            Ordering::Greater => {
+                if node.num() == C {
+                    break;
+                }
+                // `li` is the exact lower bound of run[k]: every slot
+                // below it compares Less (loop invariant), slot `li`
+                // compares Greater. After the insert the new key sits at
+                // `li` or `li - 1`; the cursor stays put and the next
+                // iteration's Less-advance walks over it.
+                node.gap_insert(li, &run[k]);
+                fresh += 1;
+                k += 1;
+            }
+        }
+    }
+    debug_assert!(k >= j || node.num() == C);
+    (k, fresh)
+}
+
+#[cfg(not(feature = "gapped"))]
 fn merge_leaf_pass<const K: usize, const C: usize>(
     node: &LeafNode<K, C>,
     run: &[Tuple<K>],
@@ -933,19 +987,6 @@ fn merge_leaf_pass<const K: usize, const C: usize>(
     }
     debug_assert!(k >= j || n + fresh == C);
     (k, fresh)
-}
-
-/// Streams a node's key area into cache, beyond its first line (which the
-/// following lock acquisition touches anyway). No-op off `fastpath`.
-#[inline]
-fn prefetch_node<const K: usize, const C: usize>(node: NodePtr<K, C>) {
-    let base = node as *const u8;
-    let mut off = 64;
-    while off < std::mem::size_of::<LeafNode<K, C>>() {
-        // SAFETY: in bounds of the node's own allocation.
-        crate::search::prefetch_read(unsafe { base.add(off) });
-        off += 64;
-    }
 }
 
 /// Height of a quiescent (freshly built) subtree: 1 for a lone leaf.

@@ -103,9 +103,28 @@ pub(crate) struct LeafNode<const K: usize, const C: usize> {
     /// `0` = leaf, `1` = inner. Written once before publication; atomic so
     /// optimistic readers racing with node publication stay well-defined.
     pub inner_flag: AtomicU16,
+    /// Occupancy bitmask: bit `i` set means slot `i` holds a *real* key.
+    /// Clear bits below the highest set bit are gaps; a gap slot duplicates
+    /// the nearest real key to its right (sentinel scheme), so the key array
+    /// is non-decreasing over `[0, scan_len())` and every ordered search
+    /// works unchanged. `num_elements` always equals `popcount(occ)`. Inner
+    /// nodes are always packed (`occ == (1 << num) - 1`); only leaves grow
+    /// gaps. Covered by the node's lock like `keys`.
+    #[cfg(feature = "gapped")]
+    pub occ: AtomicU64,
     /// The keys, each a `K`-word tuple, sorted ascending. Slots `>= num`
-    /// are stale garbage.
+    /// are stale garbage (under `gapped`: slots `>= scan_len()`, and gap
+    /// slots below that duplicate their right neighbour's real key).
     pub keys: [KeySlot<K>; C],
+}
+
+/// Packed occupancy mask: the low `n` bits set. Requires `n < 64`, which
+/// the tree's geometry assertion (`C <= 63` under `gapped`) guarantees.
+#[cfg(feature = "gapped")]
+#[inline]
+pub(crate) fn packed_mask(n: usize) -> u64 {
+    debug_assert!(n < 64);
+    (1u64 << n) - 1
 }
 
 /// An inner node: a leaf prefix plus `C + 1` child pointers.
@@ -169,10 +188,188 @@ impl<const K: usize, const C: usize> LeafNode<K, C> {
         self.num_elements.load(Relaxed) as usize
     }
 
+    /// Sets the element count, declaring the node *packed*: real keys in
+    /// slots `[0, n)`, no gaps. Every bulk rewrite in the tree (splits,
+    /// builders, redistribution, splice attach) produces packed nodes and
+    /// goes through here; the only sites that create gapped layouts —
+    /// [`gap_insert`](Self::gap_insert) and
+    /// [`interleave_left`](Self::interleave_left) — store `occ` and
+    /// `num_elements` directly instead.
     #[inline]
     pub fn set_num(&self, n: usize) {
         debug_assert!(n <= C);
         self.num_elements.store(n as u16, Relaxed);
+        #[cfg(feature = "gapped")]
+        self.occ.store(packed_mask(n), Relaxed);
+    }
+
+    /// Number of key slots a reader must scan to see every real key: one
+    /// past the highest occupied slot under `gapped` (clamped to `C`
+    /// against torn masks), the clamped element count otherwise. The key
+    /// array is non-decreasing over `[0, scan_len())` — gaps duplicate the
+    /// next real key to their right — so ordered search and iteration over
+    /// this prefix behave exactly like a packed node. Inner nodes are
+    /// always packed, so for them this equals [`num_clamped`](Self::num_clamped).
+    #[inline]
+    pub fn scan_len(&self) -> usize {
+        #[cfg(feature = "gapped")]
+        {
+            (64 - self.occ.load(Relaxed).leading_zeros() as usize).min(C)
+        }
+        #[cfg(not(feature = "gapped"))]
+        {
+            self.num_clamped()
+        }
+    }
+
+    /// Bitmask of the slots holding real keys, clamped to the capacity.
+    /// Only meaningful on leaves (inner nodes are packed; use the element
+    /// count). Exists only under `gapped`, where `C <= 63` keeps the mask
+    /// in one word.
+    #[cfg(feature = "gapped")]
+    #[inline]
+    pub fn occupied_mask(&self) -> u64 {
+        self.occ.load(Relaxed) & packed_mask(C)
+    }
+
+    /// Smallest occupied slot index `>= pos`; when none exists the returned
+    /// index is `>= scan_len()`, which every caller treats as exhaustion.
+    /// Identity without `gapped` (all slots below `num` are occupied).
+    #[inline]
+    pub fn next_occupied(&self, pos: usize) -> usize {
+        #[cfg(feature = "gapped")]
+        {
+            if pos >= 64 {
+                return pos;
+            }
+            let rem = self.occ.load(Relaxed) & (!0u64 << pos);
+            if rem == 0 {
+                // No occupied slot at or above `pos`: the highest set bit is
+                // below `pos`, so `pos >= scan_len()` already.
+                pos
+            } else {
+                rem.trailing_zeros() as usize
+            }
+        }
+        #[cfg(not(feature = "gapped"))]
+        {
+            pos
+        }
+    }
+
+    /// Inserts `t` at lower-bound position `idx` (as returned by a search
+    /// over `[0, scan_len())` that did not find `t`), filling the nearest
+    /// gap instead of shifting the whole suffix. Caller must hold the write
+    /// lock and guarantee `num() < C`.
+    ///
+    /// Three cases, by distance to the nearest gap:
+    /// * the landing slot is itself a gap (or the fresh slot one past the
+    ///   top) — write in place, zero shifts;
+    /// * a gap exists at `g > idx` — shift the occupied run `[idx, g)` right
+    ///   by one and write at `idx`;
+    /// * all gaps are below `idx` — shift the run `(g, idx)` left into the
+    ///   highest gap `g < idx` and write at `idx - 1`.
+    ///
+    /// In every case the occupied run adjacent to the landing position is
+    /// solid (the gap is the first clear bit in the scan direction), so the
+    /// new occupancy is simply `occ | (1 << filled_gap)`. Sortedness and the
+    /// sentinel invariant are preserved: the lower-bound property makes slot
+    /// `idx - 1` (when it exists) either real with key `< t` or a gap whose
+    /// sentinel run is rewritten by the left shift.
+    #[cfg(feature = "gapped")]
+    pub fn gap_insert(&self, idx: usize, t: &Tuple<K>) {
+        let n = self.num();
+        debug_assert!(n < C);
+        debug_assert!(idx <= self.scan_len());
+        let occ = self.occ.load(Relaxed);
+        let filled: usize;
+        if idx < C && occ & (1u64 << idx) == 0 {
+            // In-place: safe unconditionally — slot idx-1 is always real (a
+            // gap there would duplicate a key >= t, contradicting
+            // key[idx-1] < t), so no sentinel to the left reaches past idx.
+            self.set_key(idx, t);
+            filled = idx;
+        } else {
+            let g = idx + ((!occ >> idx).trailing_zeros() as usize);
+            if g < C {
+                // Right-shift the solid run [idx, g) into the gap at g.
+                for p in (idx..g).rev() {
+                    self.copy_key_within(p, p + 1);
+                }
+                self.set_key(idx, t);
+                filled = g;
+            } else {
+                // Left-shift: highest gap below idx (exists since n < C).
+                let below = !occ & packed_mask(idx);
+                debug_assert!(below != 0);
+                let gl = 63 - below.leading_zeros() as usize;
+                for p in gl..idx - 1 {
+                    self.copy_key_within(p + 1, p);
+                }
+                self.set_key(idx - 1, t);
+                filled = gl;
+            }
+        }
+        self.occ.store(occ | (1u64 << filled), Relaxed);
+        self.num_elements.store((n + 1) as u16, Relaxed);
+    }
+
+    /// After a median split keeps the lower half `[0, m)` of a full
+    /// (packed) leaf, spreads those keys across the even slots
+    /// `0, 2, .., 2(m-1)` with sentinel gaps between them, so subsequent
+    /// inserts into this half land in gaps instead of shifting. The split's
+    /// right sibling stays packed — ascending appends keep their no-shift
+    /// path. Caller must hold the write lock. Requires `2m - 1 <= C`
+    /// (holds for every median split: `m = C/2`).
+    #[cfg(feature = "gapped")]
+    pub fn interleave_left(&self, m: usize) {
+        debug_assert!(m >= 1 && 2 * m - 1 <= C);
+        // Descending spread: target slot 2i for i > j never clobbers an
+        // unread source slot j.
+        for i in (1..m).rev() {
+            self.copy_key_within(i, 2 * i);
+        }
+        // Fill each gap with its right neighbour's real key (sentinel).
+        for i in 0..m - 1 {
+            self.copy_key_within(2 * i + 2, 2 * i + 1);
+        }
+        // Even bits 0, 2, .., 2(m-1): top slot 2m-2 is real, no trailing gap.
+        let occ = 0x5555_5555_5555_5555u64 & packed_mask(2 * m - 1);
+        self.occ.store(occ, Relaxed);
+        self.num_elements.store(m as u16, Relaxed);
+    }
+
+    /// Ranks `t` among the first `n` key slots with one contiguous pass,
+    /// assuming the node is quiescent: the caller probed the version word
+    /// ([`OptimisticRwLock::probe_quiescent`]) before calling and validates
+    /// its lease after. On x86-64 outside chaos builds the key words are
+    /// read as one plain slice so the AVX2 counting kernels in
+    /// [`crate::search`] apply; that read is formally racy, which is exactly
+    /// why the result is only used when the post-rank validation passes.
+    /// Under `--cfg chaos` (and on other targets) it degrades to the
+    /// per-slot atomic search, so the schedule explorer exercises the
+    /// probe/rank/validate/fallback *protocol* rather than the SIMD.
+    #[cfg(feature = "fastpath")]
+    #[inline]
+    pub fn search_fenced(&self, t: &Tuple<K>, n: usize) -> (usize, bool) {
+        debug_assert!(n <= C);
+        #[cfg(all(target_arch = "x86_64", not(chaos)))]
+        {
+            // SAFETY: `[KeySlot<K>; C]` is `C * K` consecutive atomic u64
+            // words with the same size and bit validity as `u64`, and the
+            // node is arena-allocated and never freed while the tree is
+            // alive, so the slice views live memory of the right length. A
+            // concurrent writer makes the plain loads a data race in the
+            // formal model; the surrounding protocol (quiescence probe
+            // before, lease validation after) discards any affected result.
+            let words =
+                unsafe { std::slice::from_raw_parts(self.keys.as_ptr() as *const u64, n * K) };
+            crate::search::rank_contiguous::<K>(words, t)
+        }
+        #[cfg(not(all(target_arch = "x86_64", not(chaos))))]
+        {
+            crate::search::search(self, t, n)
+        }
     }
 
     /// Loads the key at `i` word by word (relaxed).
@@ -374,6 +571,27 @@ impl<const K: usize, const C: usize> crate::search::KeyView<K> for LeafNode<K, C
     }
 }
 
+/// Prefetches every cache line of `node` — header plus the key slots
+/// (for an inner node the trailing child-pointer array is left alone; the
+/// descent reads exactly one slot of it and cannot know which). The lines
+/// fill in parallel, so a descent that issues this while the parent's
+/// lease validates pays one memory round-trip per level instead of one
+/// per binary-search probe. See `tree::prefetch_child` and the merge
+/// pass, which share it.
+#[inline]
+pub(crate) fn prefetch_node<const K: usize, const C: usize>(node: NodePtr<K, C>) {
+    if node.is_null() {
+        return;
+    }
+    let base = node as *const u8;
+    let mut off = 0;
+    while off < std::mem::size_of::<LeafNode<K, C>>() {
+        // SAFETY: in bounds of the node's own allocation.
+        crate::search::prefetch_read(unsafe { base.add(off) });
+        off += 64;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,6 +742,174 @@ mod tests {
         let leaf = unsafe { &*p };
         assert_eq!(leaf.search(&[1, 1], 0), (0, false));
         assert_eq!(leaf.search_upper(&[1, 1], 0), 0);
+        free_leaf(p);
+    }
+
+    /// Model-checks one `gap_insert` against a packed reference: same real
+    /// keys, sorted-among-occupied, sentinel agreement, popcount == num.
+    #[cfg(feature = "gapped")]
+    fn assert_gapped_well_formed(leaf: &Leaf, expect: &[[u64; 2]]) {
+        let occ = leaf.occupied_mask();
+        assert_eq!(occ.count_ones() as usize, leaf.num(), "popcount != num");
+        assert_eq!(leaf.num(), expect.len());
+        let top = leaf.scan_len();
+        assert!(top <= 8);
+        if occ != 0 {
+            assert!(occ & 1 != 0, "slot 0 must be real when non-empty");
+        }
+        let mut reals = Vec::new();
+        for i in 0..top {
+            if occ & (1 << i) != 0 {
+                reals.push(leaf.key(i));
+            } else {
+                // Sentinel: gap duplicates the next real key to its right.
+                let nxt = leaf.next_occupied(i + 1);
+                assert!(nxt < top, "trailing gap at {i}");
+                assert_eq!(leaf.key(i), leaf.key(nxt), "sentinel mismatch at {i}");
+            }
+            if i > 0 {
+                assert!(leaf.key(i - 1) <= leaf.key(i), "not non-decreasing at {i}");
+            }
+        }
+        assert_eq!(reals, expect);
+    }
+
+    #[cfg(feature = "gapped")]
+    #[test]
+    fn gap_insert_matches_sorted_model_from_any_interleaving() {
+        // Drive gap_insert through search-provided lower bounds in many
+        // orders; the node must always hold exactly the sorted reals.
+        let orders: [&[u64]; 4] = [
+            &[4, 2, 6, 1, 7, 3, 5, 0],
+            &[0, 1, 2, 3, 4, 5, 6, 7],
+            &[7, 6, 5, 4, 3, 2, 1, 0],
+            &[3, 3, 1, 5, 1, 7, 0, 2, 6, 4],
+        ];
+        for order in orders {
+            let a = Arena::new();
+            let p = Leaf::alloc_in(&a);
+            let leaf = unsafe { &*p };
+            let mut model: Vec<[u64; 2]> = Vec::new();
+            for &v in order {
+                let t = [v, v * 10];
+                let (idx, found) = leaf.search(&t, leaf.scan_len());
+                if found {
+                    assert!(model.contains(&t));
+                    continue;
+                }
+                leaf.gap_insert(idx, &t);
+                model.push(t);
+                model.sort_unstable();
+                assert_gapped_well_formed(leaf, &model);
+            }
+            free_leaf(p);
+        }
+    }
+
+    #[cfg(feature = "gapped")]
+    #[test]
+    fn gap_insert_left_shift_case() {
+        // Force case C: gaps only below the landing index.
+        let a = Arena::new();
+        let p = Leaf::alloc_in(&a);
+        let leaf = unsafe { &*p };
+        // Occupy slots 0, 2..=7 with a gap at 1 (sentinel dups slot 2).
+        let vals = [
+            [0u64, 0],
+            [20, 0],
+            [30, 0],
+            [40, 0],
+            [50, 0],
+            [60, 0],
+            [70, 0],
+        ];
+        leaf.set_key(0, &vals[0]);
+        for (i, v) in vals[1..].iter().enumerate() {
+            leaf.set_key(i + 2, v);
+        }
+        leaf.set_key(1, &vals[1]); // sentinel
+        leaf.occ.store(0b1111_1101, Relaxed);
+        leaf.num_elements.store(7, Relaxed);
+        // Insert 65: lower bound is 7 (slot of 70); only gap is at 1.
+        let (idx, found) = leaf.search(&[65, 0], leaf.scan_len());
+        assert!(!found);
+        assert_eq!(idx, 7);
+        leaf.gap_insert(idx, &[65, 0]);
+        let expect = [
+            [0u64, 0],
+            [20, 0],
+            [30, 0],
+            [40, 0],
+            [50, 0],
+            [60, 0],
+            [65, 0],
+            [70, 0],
+        ];
+        assert_gapped_well_formed(leaf, &expect);
+        assert_eq!(leaf.occupied_mask(), 0xFF);
+        free_leaf(p);
+    }
+
+    #[cfg(feature = "gapped")]
+    #[test]
+    fn interleave_left_spreads_lower_half() {
+        let a = Arena::new();
+        let p = Leaf::alloc_in(&a);
+        let leaf = unsafe { &*p };
+        for i in 0..8u64 {
+            leaf.set_key(i as usize, &[i, i]);
+        }
+        leaf.set_num(8);
+        leaf.interleave_left(4);
+        assert_eq!(leaf.num(), 4);
+        assert_eq!(leaf.occupied_mask(), 0b0101_0101);
+        assert_eq!(leaf.scan_len(), 7);
+        assert_gapped_well_formed(leaf, &[[0, 0], [1, 1], [2, 2], [3, 3]]);
+        // A later insert between spread keys lands in a gap, in place.
+        let (idx, found) = leaf.search(&[1, 0], leaf.scan_len());
+        assert!(!found);
+        leaf.gap_insert(idx, &[1, 0]);
+        assert_gapped_well_formed(leaf, &[[0, 0], [1, 0], [1, 1], [2, 2], [3, 3]]);
+        free_leaf(p);
+    }
+
+    #[cfg(feature = "gapped")]
+    #[test]
+    fn set_num_packs_occupancy() {
+        let a = Arena::new();
+        let p = Leaf::alloc_in(&a);
+        let leaf = unsafe { &*p };
+        for i in 0..5u64 {
+            leaf.set_key(i as usize, &[i, 0]);
+        }
+        leaf.set_num(5);
+        assert_eq!(leaf.occupied_mask(), 0b1_1111);
+        assert_eq!(leaf.scan_len(), 5);
+        assert_eq!(leaf.next_occupied(0), 0);
+        assert_eq!(leaf.next_occupied(5), 5);
+        free_leaf(p);
+    }
+
+    #[cfg(all(feature = "fastpath", target_arch = "x86_64", not(chaos)))]
+    #[test]
+    fn search_fenced_agrees_with_classic_search() {
+        let a = Arena::new();
+        let p = Leaf::alloc_in(&a);
+        let leaf = unsafe { &*p };
+        for (i, v) in [[1u64, 5], [3, 0], [3, 7], [7, 2], [9, 9]]
+            .iter()
+            .enumerate()
+        {
+            leaf.set_key(i, v);
+        }
+        leaf.set_num(5);
+        for probe in [[0u64, 0], [1, 5], [3, 1], [3, 7], [8, 0], [9, 9], [10, 0]] {
+            assert_eq!(
+                leaf.search_fenced(&probe, 5),
+                leaf.search(&probe, 5),
+                "{probe:?}"
+            );
+        }
         free_leaf(p);
     }
 

@@ -191,6 +191,123 @@ fn bounds_col0(buf: &[u64], t0: u64) -> (usize, usize) {
     bounds_col0_scalar(buf, t0)
 }
 
+/// Branch-free rank over *contiguous* key storage: `(lower bound, exact
+/// hit?)` of `t` among the `words.len() / K` keys laid out as consecutive
+/// `K`-word tuples. This is the fenced-descent kernel: the caller
+/// ([`LeafNode::search_fenced`](crate::node::LeafNode::search_fenced)) has
+/// already read the node's key words as one plain slice after probing the
+/// version word for quiescence, so — unlike [`search`] — every shape here
+/// may use vector loads:
+///
+/// * `K == 1`: the existing AVX2/scalar column-0 counting kernel;
+/// * `K == 2`: an AVX2 kernel over the *interleaved* `(c0, c1)` layout —
+///   one 256-bit load covers two whole tuples, and the lexicographic
+///   `less`/`equal` flags are assembled from the two compare movemasks
+///   with bit arithmetic (no gather, no shuffle);
+/// * other arities: a branch-free scalar counting scan.
+///
+/// An earlier fastpath draft instead gathered column 0 into a stack buffer
+/// and ran the `K == 1` kernel; it lost to the classic search at every
+/// node size (store-forwarding stalls, see the module doc). Reading the
+/// interleaved words in place is what makes SIMD pay here.
+///
+/// With duplicate keys the rank is the *first* equal index. The input may
+/// be torn (concurrent writer); outputs stay bounded by the slice length
+/// and the caller's lease validation decides whether to trust them.
+#[inline]
+pub(crate) fn rank_contiguous<const K: usize>(words: &[u64], t: &Tuple<K>) -> (usize, bool) {
+    if K == 0 {
+        return (0, false);
+    }
+    let n = words.len() / K;
+    if n == 0 {
+        return (0, false);
+    }
+    if K == 1 {
+        let (lt, le) = bounds_col0(words, t[0]);
+        telemetry::record(telemetry::Hist::BtreeSearchProbes, n as u64);
+        return (lt, le > lt);
+    }
+    #[cfg(target_arch = "x86_64")]
+    if K == 2 && n >= 8 && std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        let (lt, any_eq) = unsafe { rank_k2_avx2(words, t[0], t[1]) };
+        telemetry::record(telemetry::Hist::BtreeSearchProbes, n as u64);
+        return (lt, any_eq);
+    }
+    rank_contiguous_scalar::<K>(words, t)
+}
+
+/// Scalar form of [`rank_contiguous`]: flag-arithmetic lexicographic
+/// counting over the interleaved words — no data-dependent branches, and
+/// `K` is a constant so the inner loop unrolls.
+#[inline]
+fn rank_contiguous_scalar<const K: usize>(words: &[u64], t: &Tuple<K>) -> (usize, bool) {
+    let n = words.len() / K;
+    let mut lt = 0usize;
+    let mut any_eq = false;
+    for i in 0..n {
+        let mut less = false;
+        let mut eq = true;
+        for (c, &tc) in t.iter().enumerate() {
+            let kc = words[i * K + c];
+            less |= eq & (kc < tc);
+            eq &= kc == tc;
+        }
+        lt += less as usize;
+        any_eq |= eq;
+    }
+    telemetry::record(telemetry::Hist::BtreeSearchProbes, n as u64);
+    (lt, any_eq)
+}
+
+/// AVX2 kernel for `K == 2` interleaved tuples: each 256-bit load holds
+/// two `(c0, c1)` pairs; the pivot vector repeats `(t0, t1)` in the same
+/// lane order, both sides biased by `1 << 63` to turn unsigned order into
+/// the signed order `_mm256_cmpgt_epi64` implements. Per load, the
+/// less-than and equality movemasks yield per-lane flags from which the
+/// two tuples' lexicographic `less` / `equal` bits are assembled:
+/// `less = lt(c0) | (eq(c0) & lt(c1))`, `equal = eq(c0) & eq(c1)`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn rank_k2_avx2(words: &[u64], t0: u64, t1: u64) -> (usize, bool) {
+    use std::arch::x86_64::*;
+    let bias = 1u64 << 63;
+    let biasv = _mm256_set1_epi64x(i64::MIN);
+    // Lane order of a load at tuple 2i: (k_{2i}.c0, k_{2i}.c1,
+    // k_{2i+1}.c0, k_{2i+1}.c1); `set_epi64x` takes lanes high-to-low.
+    let pivot = _mm256_set_epi64x(
+        (t1 ^ bias) as i64,
+        (t0 ^ bias) as i64,
+        (t1 ^ bias) as i64,
+        (t0 ^ bias) as i64,
+    );
+    let n = words.len() / 2;
+    let pairs = n / 2;
+    let mut lt = 0usize;
+    let mut any_eq = false;
+    for i in 0..pairs {
+        // SAFETY: reads 4 words at offset 4*i; 4*pairs <= words.len().
+        let k = unsafe { _mm256_loadu_si256(words.as_ptr().add(i * 4) as *const __m256i) };
+        let kb = _mm256_xor_si256(k, biasv);
+        let m_lt = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(pivot, kb))) as u32;
+        let m_eq = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(kb, pivot))) as u32;
+        let less_a = (m_lt & 1) | ((m_eq & 1) & ((m_lt >> 1) & 1));
+        let eq_a = (m_eq & 1) & ((m_eq >> 1) & 1);
+        let less_b = ((m_lt >> 2) & 1) | (((m_eq >> 2) & 1) & ((m_lt >> 3) & 1));
+        let eq_b = ((m_eq >> 2) & 1) & ((m_eq >> 3) & 1);
+        lt += (less_a + less_b) as usize;
+        any_eq |= (eq_a | eq_b) != 0;
+    }
+    // Scalar tail: at most one trailing tuple.
+    for i in pairs * 2..n {
+        let (k0, k1) = (words[i * 2], words[i * 2 + 1]);
+        lt += (k0 < t0 || (k0 == t0 && k1 < t1)) as usize;
+        any_eq |= k0 == t0 && k1 == t1;
+    }
+    (lt, any_eq)
+}
+
 /// Branch-free lower-bound search: `(idx, found)` where `idx` is the index
 /// of the first key `>= t` among the first `n` keys. With duplicate keys
 /// this returns the *first* equal index (the classic search returns an
@@ -453,6 +570,54 @@ mod tests {
         #[test]
         fn agrees_with_classic_k4(raw in prop::collection::vec((0u64..8, any::<u64>()), 0..281)) {
             run_case::<4>(&raw);
+        }
+
+        /// The fenced-descent kernel (`rank_contiguous`, all arities) must
+        /// agree with the canonical partition point — and on x86-64 the
+        /// interleaved K = 2 AVX2 kernel must agree with its scalar twin
+        /// bit for bit (the satellite scalar-vs-AVX2 requirement).
+        #[test]
+        fn contiguous_rank_agrees_with_canonical(
+            raw in prop::collection::vec((0u64..8, any::<u64>()), 2..141),
+        ) {
+            let words: Vec<u64> = raw.iter().copied().map(word).collect();
+            let mut probe2 = [0u64; 2];
+            probe2.copy_from_slice(&words[words.len() - 2..]);
+            let mut keys: Vec<Tuple<2>> = words[..words.len() - 2]
+                .chunks_exact(2)
+                .map(|c| [c[0], c[1]])
+                .collect();
+            keys.sort_unstable_by(cmp3);
+            let flat: Vec<u64> = keys.iter().flatten().copied().collect();
+            for t in [probe2, keys.first().copied().unwrap_or([0, 0])] {
+                let lower = keys.partition_point(|k| cmp3(k, &t) == Ordering::Less);
+                let found = keys.get(lower).is_some_and(|k| *k == t);
+                let scalar = rank_contiguous_scalar::<2>(&flat, &t);
+                prop_assert_eq!(scalar, (lower, found));
+                prop_assert_eq!(rank_contiguous::<2>(&flat, &t), (lower, found));
+                #[cfg(target_arch = "x86_64")]
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    prop_assert_eq!(unsafe { rank_k2_avx2(&flat, t[0], t[1]) }, scalar);
+                }
+            }
+            // K = 1 routes through the column-0 kernel; K = 3 through the
+            // generic scalar scan.
+            let mut k1: Vec<u64> = words.clone();
+            k1.sort_unstable();
+            let t1 = [probe2[0]];
+            let lower = k1.partition_point(|&k| k < t1[0]);
+            let found = k1.get(lower).is_some_and(|&k| k == t1[0]);
+            prop_assert_eq!(rank_contiguous::<1>(&k1, &t1), (lower, found));
+            let mut keys3: Vec<Tuple<3>> = words
+                .chunks_exact(3)
+                .map(|c| [c[0], c[1], c[2]])
+                .collect();
+            keys3.sort_unstable_by(cmp3);
+            let flat3: Vec<u64> = keys3.iter().flatten().copied().collect();
+            let t3 = [probe2[0], probe2[1], probe2[0]];
+            let lower = keys3.partition_point(|k| cmp3(k, &t3) == Ordering::Less);
+            let found = keys3.get(lower).is_some_and(|k| *k == t3);
+            prop_assert_eq!(rank_contiguous::<3>(&flat3, &t3), (lower, found));
         }
 
         #[test]

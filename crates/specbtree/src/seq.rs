@@ -79,6 +79,13 @@ struct SeqNode<const K: usize, const C: usize> {
     parent: u32,
     position: u16,
     num: u16,
+    /// Occupancy bitmask, mirroring `LeafNode::occ`: bit `i` set means
+    /// slot `i` holds a real key; clear slots within the scan region are
+    /// gaps duplicating the nearest real key to their right. Inner nodes
+    /// are always packed. Kept in lockstep with the concurrent layout so
+    /// the twin produces byte-for-byte the same shape.
+    #[cfg(feature = "gapped")]
+    occ: u64,
     inner: bool,
 }
 
@@ -91,7 +98,58 @@ impl<const K: usize, const C: usize> SeqNode<K, C> {
             parent: NONE,
             position: 0,
             num: 0,
+            #[cfg(feature = "gapped")]
+            occ: 0,
             inner,
+        }
+    }
+
+    /// Sets the key count *and* marks slots `[0, n)` occupied — the twin
+    /// of `LeafNode::set_num`'s packed-occupancy rule. Every writer goes
+    /// through this except the gap-insert and interleave paths.
+    #[inline]
+    fn set_num_packed(&mut self, n: usize) {
+        self.num = n as u16;
+        #[cfg(feature = "gapped")]
+        {
+            debug_assert!(n < 64);
+            self.occ = (1u64 << n) - 1;
+        }
+    }
+
+    /// One past the topmost occupied slot (== `num` when packed; gaps
+    /// inflate it). The scan bound for every intra-node search.
+    #[inline]
+    fn scan_len(&self) -> usize {
+        #[cfg(feature = "gapped")]
+        {
+            (64 - self.occ.leading_zeros() as usize).min(C)
+        }
+        #[cfg(not(feature = "gapped"))]
+        {
+            self.num as usize
+        }
+    }
+
+    /// Smallest occupied slot `>= pos`, or `pos` itself when none exists
+    /// (then `pos >= scan_len()`). Identity on non-gapped builds.
+    #[inline]
+    fn next_occupied(&self, pos: usize) -> usize {
+        #[cfg(feature = "gapped")]
+        {
+            if pos >= 64 {
+                return pos;
+            }
+            let above = self.occ & (!0u64 << pos);
+            if above == 0 {
+                pos
+            } else {
+                above.trailing_zeros() as usize
+            }
+        }
+        #[cfg(not(feature = "gapped"))]
+        {
+            pos
         }
     }
 
@@ -124,9 +182,9 @@ impl<const K: usize, const C: usize> SeqNode<K, C> {
     fn search(&self, t: &Tuple<K>) -> (usize, bool) {
         #[cfg(feature = "fastpath")]
         if K == 1 {
-            return crate::search::search(self, t, self.num as usize);
+            return crate::search::search(self, t, self.scan_len());
         }
-        let (mut lo, mut hi) = (0usize, self.num as usize);
+        let (mut lo, mut hi) = (0usize, self.scan_len());
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             match cmp3(&self.keys[mid], t) {
@@ -144,9 +202,9 @@ impl<const K: usize, const C: usize> SeqNode<K, C> {
     fn search_upper(&self, t: &Tuple<K>) -> usize {
         #[cfg(feature = "fastpath")]
         if K == 1 {
-            return crate::search::search_upper(self, t, self.num as usize);
+            return crate::search::search_upper(self, t, self.scan_len());
         }
-        let (mut lo, mut hi) = (0usize, self.num as usize);
+        let (mut lo, mut hi) = (0usize, self.scan_len());
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             if cmp3(&self.keys[mid], t) == Ordering::Greater {
@@ -218,6 +276,8 @@ impl<const K: usize, const C: usize> Default for SeqBTreeSet<K, C> {
 impl<const K: usize, const C: usize> SeqBTreeSet<K, C> {
     /// Creates an empty set.
     pub fn new() -> Self {
+        #[cfg(feature = "gapped")]
+        assert!(C <= 63, "the gapped layout caps node capacity at 63");
         Self {
             nodes: Vec::new(),
             root: NONE,
@@ -263,7 +323,16 @@ impl<const K: usize, const C: usize> SeqBTreeSet<K, C> {
                     continue;
                 }
                 if node.num as usize == C {
-                    self.split(cur);
+                    // Mirror the concurrent tree: rotate into the left
+                    // sibling only on the append signature (`idx == C`),
+                    // else split.
+                    #[cfg(feature = "gapped")]
+                    let split_needed = idx < C || !self.redistribute(cur);
+                    #[cfg(not(feature = "gapped"))]
+                    let split_needed = true;
+                    if split_needed {
+                        self.split(cur);
+                    }
                     continue 'restart;
                 }
                 self.leaf_insert_at(cur, idx, &t);
@@ -287,8 +356,11 @@ impl<const K: usize, const C: usize> SeqBTreeSet<K, C> {
                         return false;
                     }
                     if node.num as usize == C {
+                        // Covered implies a mid-leaf insert, never the
+                        // append signature, so split directly — mirroring
+                        // the concurrent hinted path.
                         self.split(leaf);
-                        // The leaf kept its lower half; re-check coverage.
+                        // The leaf kept a lower slice; re-check coverage.
                         if !self.leaf_covers(leaf, &t) {
                             break;
                         }
@@ -318,20 +390,121 @@ impl<const K: usize, const C: usize> SeqBTreeSet<K, C> {
         if node.inner || node.num == 0 {
             return false;
         }
+        // The real min/max sit at slots 0 and scan_len()-1 (gap-safe).
         cmp3(&node.keys[0], t) != Ordering::Greater
-            && cmp3(t, &node.keys[node.num as usize - 1]) != Ordering::Greater
+            && cmp3(t, &node.keys[node.scan_len() - 1]) != Ordering::Greater
     }
 
     fn leaf_insert_at(&mut self, leaf: u32, idx: usize, t: &Tuple<K>) {
         let node = &mut self.nodes[leaf as usize];
         let n = node.num as usize;
         debug_assert!(n < C);
-        for j in (idx..n).rev() {
-            node.keys[j + 1] = node.keys[j];
+        // Mirror of `LeafNode::gap_insert`: fill the lower-bound slot in
+        // place when it is a gap, else shift the solid run into the
+        // nearest gap (rightward preferred, leftward as fallback).
+        #[cfg(feature = "gapped")]
+        {
+            let occ = node.occ;
+            let filled: usize;
+            if idx < C && occ & (1u64 << idx) == 0 {
+                node.keys[idx] = *t;
+                filled = idx;
+            } else {
+                let g = idx + ((!occ >> idx).trailing_zeros() as usize);
+                if g < C {
+                    for p in (idx..g).rev() {
+                        node.keys[p + 1] = node.keys[p];
+                    }
+                    node.keys[idx] = *t;
+                    filled = g;
+                } else {
+                    let below = !occ & ((1u64 << idx) - 1);
+                    debug_assert!(below != 0);
+                    let gl = 63 - below.leading_zeros() as usize;
+                    for p in gl..idx - 1 {
+                        node.keys[p] = node.keys[p + 1];
+                    }
+                    node.keys[idx - 1] = *t;
+                    filled = gl;
+                }
+            }
+            node.occ = occ | (1u64 << filled);
+            node.num = (n + 1) as u16;
         }
-        node.keys[idx] = *t;
-        node.num = (n + 1) as u16;
+        #[cfg(not(feature = "gapped"))]
+        {
+            for j in (idx..n).rev() {
+                node.keys[j + 1] = node.keys[j];
+            }
+            node.keys[idx] = *t;
+            node.num = (n + 1) as u16;
+        }
         self.len += 1;
+    }
+
+    /// Mirror of the concurrent tree's `try_redistribute` (single-threaded,
+    /// so the bounded sibling try-lock always "succeeds"): rotates
+    /// `free / 2` keys from the full `leaf` through the parent separator
+    /// into the left sibling when that sibling has at least
+    /// `max(C / 4, 2)` free slots. Identical policy, identical resulting
+    /// shape — required for twin shape parity.
+    #[cfg(feature = "gapped")]
+    fn redistribute(&mut self, leaf: u32) -> bool {
+        let (parent, pos) = {
+            let node = &self.nodes[leaf as usize];
+            debug_assert_eq!(node.num as usize, C);
+            if node.inner || node.parent == NONE {
+                return false;
+            }
+            (node.parent, node.position as usize)
+        };
+        if pos == 0 {
+            return false;
+        }
+        let left = self.nodes[parent as usize].child(pos - 1);
+        let lnum = self.nodes[left as usize].num as usize;
+        let free = C - lnum;
+        if free < (C / 4).max(2) {
+            return false;
+        }
+        let q = free / 2;
+        debug_assert!(q >= 1);
+        // Materialize the left sibling's occupied keys, append the old
+        // separator and the leaf's first q-1 keys, rewrite it packed.
+        let mut lkeys: Vec<Tuple<K>> = Vec::with_capacity(lnum + q);
+        {
+            let ln = &self.nodes[left as usize];
+            let mut rem = ln.occ;
+            while rem != 0 {
+                let i = rem.trailing_zeros() as usize;
+                lkeys.push(ln.keys[i]);
+                rem &= rem - 1;
+            }
+        }
+        debug_assert_eq!(lkeys.len(), lnum);
+        lkeys.push(self.nodes[parent as usize].keys[pos - 1]);
+        for i in 0..q - 1 {
+            lkeys.push(self.nodes[leaf as usize].keys[i]);
+        }
+        {
+            let ln = &mut self.nodes[left as usize];
+            for (i, k) in lkeys.iter().enumerate() {
+                ln.keys[i] = *k;
+            }
+            ln.set_num_packed(lnum + q);
+        }
+        // The leaf's q-th key becomes the new separator; survivors compact
+        // to a packed prefix.
+        let sep = self.nodes[leaf as usize].keys[q - 1];
+        self.nodes[parent as usize].keys[pos - 1] = sep;
+        {
+            let node = &mut self.nodes[leaf as usize];
+            for (j, i) in (q..C).enumerate() {
+                node.keys[j] = node.keys[i];
+            }
+            node.set_num_packed(C - q);
+        }
+        true
     }
 
     /// Splits the full node `x`, making room in its parent chain first.
@@ -353,7 +526,7 @@ impl<const K: usize, const C: usize> SeqBTreeSet<K, C> {
         for (j, i) in (m + 1..C).enumerate() {
             self.nodes[sib as usize].keys[j] = self.nodes[x as usize].keys[i];
         }
-        self.nodes[sib as usize].num = (C - m - 1) as u16;
+        self.nodes[sib as usize].set_num_packed(C - m - 1);
         if is_inner {
             for (j, i) in (m + 1..=C).enumerate() {
                 let ch = self.nodes[x as usize].child(i);
@@ -362,13 +535,35 @@ impl<const K: usize, const C: usize> SeqBTreeSet<K, C> {
                 self.nodes[ch as usize].position = j as u16;
             }
         }
-        self.nodes[x as usize].num = m as u16;
+        // Mirror of `LeafNode::interleave_left`: the retained lower half
+        // of a leaf spreads across even slots with sentinel gaps between;
+        // inner nodes (and the right sibling) stay packed.
+        #[cfg(feature = "gapped")]
+        {
+            let xn = &mut self.nodes[x as usize];
+            if is_inner {
+                xn.set_num_packed(m);
+            } else {
+                for i in (1..m).rev() {
+                    xn.keys[2 * i] = xn.keys[i];
+                }
+                for i in 0..m - 1 {
+                    xn.keys[2 * i + 1] = xn.keys[2 * i + 2];
+                }
+                xn.occ = 0x5555_5555_5555_5555u64 & ((1u64 << (2 * m - 1)) - 1);
+                xn.num = m as u16;
+            }
+        }
+        #[cfg(not(feature = "gapped"))]
+        {
+            self.nodes[x as usize].num = m as u16;
+        }
 
         if parent == NONE {
             let new_root = self.alloc(true);
             let r = &mut self.nodes[new_root as usize];
             r.keys[0] = median;
-            r.num = 1;
+            r.set_num_packed(1);
             r.set_child(0, x);
             r.set_child(1, sib);
             self.nodes[x as usize].parent = new_root;
@@ -392,7 +587,7 @@ impl<const K: usize, const C: usize> SeqBTreeSet<K, C> {
             let p = &mut self.nodes[parent as usize];
             p.keys[pos] = median;
             p.set_child(pos + 1, sib);
-            p.num = (pnum + 1) as u16;
+            p.set_num_packed(pnum + 1);
             self.nodes[sib as usize].parent = parent;
             self.nodes[sib as usize].position = (pos + 1) as u16;
         }
@@ -455,12 +650,16 @@ impl<const K: usize, const C: usize> SeqBTreeSet<K, C> {
             } else {
                 let (idx, found) = node.search(t);
                 if found {
-                    return Some((cur, idx));
+                    // A gap-slot hit duplicates the occupied key to its
+                    // right; normalize so the cursor starts on a real slot
+                    // (identity on inner nodes and non-gapped builds).
+                    return Some((cur, node.next_occupied(idx)));
                 }
                 idx
             };
             if !node.inner {
-                return if idx < node.num as usize {
+                let idx = node.next_occupied(idx);
+                return if idx < node.scan_len() {
                     Some((cur, idx))
                 } else {
                     candidate
@@ -509,11 +708,12 @@ impl<const K: usize, const C: usize> SeqBTreeSet<K, C> {
     pub fn lower_bound_hinted(&self, t: &Tuple<K>, hints: &mut SeqHints) -> SeqIter<'_, K, C> {
         if hints.lower_leaf != NONE && self.leaf_covers(hints.lower_leaf, t) {
             hints.stats.hits += 1;
-            let (idx, _) = self.nodes[hints.lower_leaf as usize].search(t);
+            let node = &self.nodes[hints.lower_leaf as usize];
+            let (idx, _) = node.search(t);
             return SeqIter {
                 set: self,
                 node: hints.lower_leaf,
-                pos: idx,
+                pos: node.next_occupied(idx),
             };
         }
         hints.stats.misses += 1;
@@ -533,14 +733,14 @@ impl<const K: usize, const C: usize> SeqBTreeSet<K, C> {
             if !node.inner
                 && node.num > 0
                 && cmp3(&node.keys[0], t) != Ordering::Greater
-                && cmp3(t, &node.keys[node.num as usize - 1]) == Ordering::Less
+                && cmp3(t, &node.keys[node.scan_len() - 1]) == Ordering::Less
             {
                 hints.stats.hits += 1;
                 let idx = node.search_upper(t);
                 return SeqIter {
                     set: self,
                     node: leaf,
-                    pos: idx,
+                    pos: node.next_occupied(idx),
                 };
             }
         }
@@ -660,6 +860,72 @@ impl<const K: usize, const C: usize> SeqBTreeSet<K, C> {
         }
         shape.nodes += 1;
         shape.keys += n;
+        // Gapped layout: same occupancy invariants as the concurrent
+        // checker — popcount agreement, packed inner occupancy, no gap at
+        // slot 0, strict ascent among occupied slots, sentinel agreement,
+        // and separator intervals over every scanned slot.
+        #[cfg(feature = "gapped")]
+        {
+            let occ = node.occ;
+            let top = node.scan_len();
+            if occ.count_ones() as usize != n {
+                return Err(InvariantViolation(format!(
+                    "node {id}: occupancy popcount {} disagrees with num {n}",
+                    occ.count_ones()
+                )));
+            }
+            if node.inner && occ != (1u64 << n) - 1 {
+                return Err(InvariantViolation(format!(
+                    "inner node {id}: occupancy {occ:#x} not packed for {n} keys"
+                )));
+            }
+            if occ != 0 && occ & 1 == 0 {
+                return Err(InvariantViolation(format!(
+                    "node {id}: slot 0 is a gap (the minimum must be real)"
+                )));
+            }
+            let mut prev: Option<Tuple<K>> = None;
+            for i in 0..top {
+                let k = &node.keys[i];
+                if (occ >> i) & 1 == 1 {
+                    if let Some(pk) = &prev {
+                        if cmp3(pk, k) != Ordering::Less {
+                            return Err(InvariantViolation(format!(
+                                "node {id}: occupied keys not strictly ascending at slot {i}"
+                            )));
+                        }
+                    }
+                    prev = Some(*k);
+                } else {
+                    let j = node.next_occupied(i + 1);
+                    if j >= top {
+                        return Err(InvariantViolation(format!(
+                            "node {id}: trailing gap at slot {i}"
+                        )));
+                    }
+                    if cmp3(k, &node.keys[j]) != Ordering::Equal {
+                        return Err(InvariantViolation(format!(
+                            "node {id}: gap slot {i} sentinel disagrees with occupied slot {j}"
+                        )));
+                    }
+                }
+                if let Some(lo) = &lower {
+                    if cmp3(k, lo) != Ordering::Greater {
+                        return Err(InvariantViolation(format!(
+                            "node {id}: key {i} below its separator interval"
+                        )));
+                    }
+                }
+                if let Some(hi) = &upper {
+                    if cmp3(k, hi) != Ordering::Less {
+                        return Err(InvariantViolation(format!(
+                            "node {id}: key {i} above its separator interval"
+                        )));
+                    }
+                }
+            }
+        }
+        #[cfg(not(feature = "gapped"))]
         for i in 0..n {
             let k = &node.keys[i];
             if i > 0 && cmp3(&node.keys[i - 1], k) != Ordering::Less {
@@ -752,7 +1018,7 @@ impl<'a, const K: usize, const C: usize> Iterator for SeqIter<'a, K, C> {
             return None;
         }
         let node = &self.set.nodes[self.node as usize];
-        if self.pos >= node.num as usize {
+        if self.pos >= node.scan_len() {
             self.node = NONE;
             return None;
         }
@@ -766,8 +1032,9 @@ impl<'a, const K: usize, const C: usize> Iterator for SeqIter<'a, K, C> {
             self.node = cur;
             self.pos = 0;
         } else {
-            self.pos += 1;
-            if self.pos >= node.num as usize {
+            // Skip gap slots (identity on non-gapped builds).
+            self.pos = node.next_occupied(self.pos + 1);
+            if self.pos >= node.scan_len() {
                 // Climb until coming up from a non-last child.
                 let mut cur = self.node;
                 loop {

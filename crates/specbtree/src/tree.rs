@@ -29,6 +29,7 @@
 use crate::arena::{Arena, ArenaStats};
 use crate::hints::BTreeHints;
 use crate::node::{cmp3, InnerNode, LeafNode, NodePtr, Tuple};
+#[cfg(not(feature = "gapped"))]
 use crate::search::prefetch_read;
 use optlock::OptimisticRwLock;
 use std::cmp::Ordering;
@@ -53,6 +54,68 @@ pub const DEFAULT_NODE_CAPACITY: usize = 24;
 
 /// Source of unique tree identities used to brand operation hints.
 static TREE_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Bounded attempts to write-lock the left sibling during gap
+/// redistribution. The sibling is locked *after* the parent (top-down at
+/// the leaf level), the opposite of the split protocol's bottom-up order,
+/// so an unbounded acquire could deadlock against a splitter that holds
+/// the sibling and waits for our parent; a bounded try-lock simply falls
+/// back to the eager split instead. Mirrors `CHILD_LOCK_ATTEMPTS` in
+/// `merge.rs`, which faces the same ordering inversion.
+#[cfg(feature = "gapped")]
+const REDIST_LOCK_ATTEMPTS: usize = 8;
+
+/// Ranks `val` within an interior node during a descent. Under `fastpath`
+/// this is the latch-free fenced read: one non-spinning probe of the
+/// node's version word (the *fence word*); when it shows quiescence the
+/// keys are ranked with the contiguous SIMD kernel
+/// ([`LeafNode::search_fenced`]), per-slot atomic validation work dropping
+/// to a single probe per node. When the fence shows an active writer the
+/// rank falls back to per-slot atomic loads (routed by `branchfree` like
+/// any other rank). Returns `(idx, found, fenced)`; the result is only
+/// trustworthy after the caller validates its lease — the fence probe
+/// narrows the race window, the validation closes it.
+#[inline]
+fn rank_interior<const K: usize, const C: usize>(
+    node: &LeafNode<K, C>,
+    val: &Tuple<K>,
+    n: usize,
+    branchfree: bool,
+) -> (usize, bool, bool) {
+    #[cfg(feature = "fastpath")]
+    if node.lock.probe_quiescent() {
+        telemetry::count(telemetry::Counter::BtreeFencedRank);
+        chaos::checkpoint("btree::descend::fence_read");
+        let (idx, found) = node.search_fenced(val, n);
+        return (idx, found, true);
+    }
+    #[cfg(feature = "fastpath")]
+    {
+        telemetry::count(telemetry::Counter::BtreeFencedFallback);
+        chaos::checkpoint("btree::descend::fence_fallback");
+    }
+    let (idx, found) = if branchfree {
+        node.search_branchfree(val, n)
+    } else {
+        node.search(val, n)
+    };
+    (idx, found, false)
+}
+
+/// Child prefetch on descent, issued while the parent's lease validates.
+/// Under the gapped layout the *whole* child node is prefetched: its key
+/// lines all fill in parallel, so the intra-node binary search that would
+/// otherwise take its ~log2(C) probe misses serially costs one memory
+/// round-trip — the lever that moves DRAM-resident random descents. The
+/// packed fastpath keeps its measured baseline behaviour (first line
+/// only).
+#[inline(always)]
+fn prefetch_child<const K: usize, const C: usize>(next: NodePtr<K, C>) {
+    #[cfg(feature = "gapped")]
+    crate::node::prefetch_node(next);
+    #[cfg(not(feature = "gapped"))]
+    prefetch_read(next);
+}
 
 /// Records one Algorithm 1 restart: the aggregate and per-cause counters,
 /// a flight-recorder event naming the node we restarted from, and — when
@@ -150,8 +213,12 @@ impl<const K: usize, const C: usize> Default for BTreeSet<K, C> {
 }
 
 impl<const K: usize, const C: usize> BTreeSet<K, C> {
-    /// Compile-time sanity of the geometry parameters.
-    const GEOMETRY_OK: () = assert!(K >= 1 && C >= 4, "BTreeSet requires K >= 1 and C >= 4");
+    /// Compile-time sanity of the geometry parameters. The gapped layout
+    /// additionally needs the per-leaf occupancy to fit one `u64` word.
+    const GEOMETRY_OK: () = assert!(
+        K >= 1 && C >= 4 && (!cfg!(feature = "gapped") || C <= 63),
+        "BTreeSet requires K >= 1, C >= 4 (and C <= 63 under `gapped`)"
+    );
 
     /// Creates an empty set. No nodes are allocated until the first insert.
     pub fn new() -> Self {
@@ -329,12 +396,26 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             loop {
                 // SAFETY: live node (nodes are never freed).
                 let node = unsafe { &*cur };
-                let n = node.num_clamped();
-                let (idx, found) = if branchfree {
-                    node.search_branchfree(val, n)
+                let is_inner = node.is_inner();
+                // Search bound: under `gapped` a leaf's real keys live in
+                // `[0, scan_len())` with order-preserving sentinel gaps, so
+                // every rank below works unchanged; inner nodes are always
+                // packed (scan_len == num there).
+                let n = node.scan_len();
+                let (idx, found, fenced) = if is_inner {
+                    rank_interior(node, val, n, branchfree)
                 } else {
-                    node.search(val, n)
+                    let (idx, found) = if branchfree {
+                        node.search_branchfree(val, n)
+                    } else {
+                        node.search(val, n)
+                    };
+                    (idx, found, false)
                 };
+                // Planted bug for the chaos self-test: trusting a fenced
+                // interior rank without re-validating the lease lets a torn
+                // rank pick the wrong child.
+                let skip_validate = cfg!(all(chaos, feature = "chaos-inject-bug")) && fenced;
 
                 // Line 22: value already present => done.
                 if found {
@@ -355,14 +436,14 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 }
 
                 // Lines 25–33: inner node — move down.
-                if node.is_inner() {
+                if is_inner {
                     // SAFETY: is_inner just checked; kind never changes.
                     let next = unsafe { node.as_inner() }.child(idx);
                     // Overlap the child's cache miss with the validation
                     // below: the prefetch is a hint, so issuing it for a
                     // stale pointer (validation about to fail) is harmless.
-                    prefetch_read(next);
-                    if !node.lock.validate(cur_lease) {
+                    prefetch_child(next);
+                    if !skip_validate && !node.lock.validate(cur_lease) {
                         note_insert_restart(
                             telemetry::Counter::BtreeRestartDescend,
                             "btree::insert::restart::descend_validate",
@@ -385,7 +466,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                     // SAFETY: `next` was read under a validated lease, so it
                     // was a genuine child: a live, never-freed node.
                     let next_lease = unsafe { &*next }.lock.start_read(); // line 28
-                    if !node.lock.validate(cur_lease) {
+                    if !skip_validate && !node.lock.validate(cur_lease) {
                         note_insert_restart(
                             telemetry::Counter::BtreeRestartDescend,
                             "btree::insert::restart::child_validate",
@@ -411,9 +492,50 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                     continue 'restart;
                 }
 
-                // Lines 39–43: make space if necessary.
-                if n == C {
-                    self.split(cur); // Algorithm 2
+                // Lines 39–43: make space if necessary. The write upgrade
+                // succeeded, so the pre-upgrade reads are current and the
+                // exact count is trustworthy.
+                let num = node.num();
+                if num == C {
+                    // Gapped layout, append signature only (`idx == C`:
+                    // `val` sorts past every key of this full, packed
+                    // leaf): rotate keys into free slots of the left
+                    // sibling instead of splitting — an append front
+                    // leaves its left neighbourhood cold, so packing it
+                    // buys occupancy for free. Mid-leaf (uniform) pressure
+                    // splits eagerly instead: there the rotation is
+                    // parent-lock churn that invalidates concurrent
+                    // descents and restarts this insert, only for the
+                    // neighbourhood to fill straight back up (measured on
+                    // the layout bench's random-order insert).
+                    #[cfg(feature = "gapped")]
+                    let split_needed = idx < num || !self.try_redistribute(cur);
+                    #[cfg(not(feature = "gapped"))]
+                    let split_needed = true;
+                    if split_needed {
+                        let sep = self.split(cur); // Algorithm 2
+                                                   // Gapped descent protocol: the median moved up but
+                                                   // everything strictly below it still lives in this
+                                                   // leaf, which we still hold write-locked — when
+                                                   // `val` sorts below the median, finish in place
+                                                   // instead of paying a full re-descent (half of all
+                                                   // splits, each a multi-level DRAM round-trip).
+                        #[cfg(feature = "gapped")]
+                        if cmp3(val, &sep) == Ordering::Less {
+                            let n = node.scan_len();
+                            let (idx, _found) = node.search(val, n);
+                            debug_assert!(!_found, "val was absent under the validated lease");
+                            node.gap_insert(idx, val);
+                            node.lock.end_write();
+                            telemetry::record(telemetry::Hist::BtreeInsertRestartsPerOp, restarts);
+                            return Located {
+                                inserted: true,
+                                node: cur,
+                            };
+                        }
+                        #[cfg(not(feature = "gapped"))]
+                        let _ = sep;
+                    }
                     node.lock.end_write();
                     note_insert_restart(
                         telemetry::Counter::BtreeRestartSplitRetry,
@@ -424,12 +546,18 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                     continue 'restart;
                 }
 
-                // Lines 45–48: insert into this leaf.
-                for j in (idx..n).rev() {
-                    node.copy_key_within(j, j + 1);
+                // Lines 45–48: insert into this leaf — into the nearest gap
+                // under the gapped layout, by suffix shift otherwise.
+                #[cfg(feature = "gapped")]
+                node.gap_insert(idx, val);
+                #[cfg(not(feature = "gapped"))]
+                {
+                    for j in (idx..num).rev() {
+                        node.copy_key_within(j, j + 1);
+                    }
+                    node.set_key(idx, val);
+                    node.set_num(num + 1);
                 }
-                node.set_key(idx, val);
-                node.set_num(n + 1);
                 node.lock.end_write();
                 telemetry::record(telemetry::Hist::BtreeInsertRestartsPerOp, restarts);
                 return Located {
@@ -454,21 +582,23 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         if node.is_inner() {
             return HintProbe::Miss { forward: false }; // hints only ever cache leaves; defensive
         }
-        // Restarts (hinted split retries) are tallied even when we end up
-        // bailing to the slow path: every `BtreeInsertRestarts` increment
-        // must land in some `BtreeInsertRestartsPerOp` record so the
-        // histogram sum and the counter stay equal (a probe invariant the
-        // CI telemetry job checks).
-        let mut restarts = 0u64;
+        // The hinted path never restarts in place (a full leaf splits with
+        // the insert finished in place, below), so `restarts` stays zero;
+        // completed operations still record it so the telemetry CI
+        // invariant (restart counter == per-op histogram sum) holds.
+        let restarts = 0u64;
         let bail = |restarts: u64, forward: bool| {
             if restarts > 0 {
                 telemetry::record(telemetry::Hist::BtreeInsertRestartsPerOp, restarts);
             }
             HintProbe::Miss { forward }
         };
-        loop {
+        {
             let lease = node.lock.start_read();
-            let n = node.num_clamped();
+            // Scan bound: real keys live in [0, scan_len()); slot 0 is the
+            // real minimum and slot scan_len()-1 the real maximum even when
+            // the leaf is gapped (gaps duplicate rightward).
+            let n = node.scan_len();
             if n == 0 {
                 return bail(restarts, false);
             }
@@ -495,32 +625,194 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             if !node.lock.try_upgrade_to_write(lease) {
                 return bail(restarts, forward);
             }
-            if n == C {
-                // Full: split bottom-up right from the leaf, then retry the
-                // hint (the leaf kept the lower half of its keys, so `val`
-                // may still be covered).
-                self.split(leaf);
+            let num = node.num();
+            if num == C {
+                // Full: split, never redistribute — the hinted probe only
+                // proceeds when `val` is strictly covered by this leaf, so
+                // this is never the append signature, and redistribution
+                // off the append path is parent-lock churn that buys
+                // nothing (see `insert_located`).
+                //
+                // Split bottom-up right from the leaf (§3.2). The upgrade
+                // came from the validated lease, so `val` is covered by
+                // this leaf and absent from it; after the split it sorts
+                // either strictly below the median that moved up — i.e.
+                // into this very leaf, still write-locked and now
+                // half-empty: finish the insert in place — or above it,
+                // into the fresh sibling: bail to the slow path (the
+                // append signature, rare for the leaf-local patterns
+                // hints serve).
+                let sep = self.split(leaf);
+                if cmp3(val, &sep) == Ordering::Less {
+                    let n = node.scan_len();
+                    let (idx, _found) = node.search(val, n);
+                    debug_assert!(!_found, "val was absent under the validated lease");
+                    #[cfg(feature = "gapped")]
+                    node.gap_insert(idx, val);
+                    #[cfg(not(feature = "gapped"))]
+                    {
+                        let num = node.num();
+                        for j in (idx..num).rev() {
+                            node.copy_key_within(j, j + 1);
+                        }
+                        node.set_key(idx, val);
+                        node.set_num(num + 1);
+                    }
+                    node.lock.end_write();
+                    telemetry::record(telemetry::Hist::BtreeInsertRestartsPerOp, restarts);
+                    return HintProbe::Hit(Located {
+                        inserted: true,
+                        node: leaf,
+                    });
+                }
                 node.lock.end_write();
-                note_insert_restart(
-                    telemetry::Counter::BtreeRestartSplitRetry,
-                    "btree::insert::hinted_split_retry",
-                    leaf as usize,
-                    &mut restarts,
-                );
-                continue;
+                return bail(restarts, true);
             }
-            for j in (idx..n).rev() {
-                node.copy_key_within(j, j + 1);
+            #[cfg(feature = "gapped")]
+            node.gap_insert(idx, val);
+            #[cfg(not(feature = "gapped"))]
+            {
+                for j in (idx..num).rev() {
+                    node.copy_key_within(j, j + 1);
+                }
+                node.set_key(idx, val);
+                node.set_num(num + 1);
             }
-            node.set_key(idx, val);
-            node.set_num(n + 1);
             node.lock.end_write();
             telemetry::record(telemetry::Hist::BtreeInsertRestartsPerOp, restarts);
-            return HintProbe::Hit(Located {
+            HintProbe::Hit(Located {
                 inserted: true,
                 node: leaf,
-            });
+            })
         }
+    }
+
+    /// Gapped layout: tries to resolve a full leaf by rotating keys into
+    /// free slots of its **left sibling** through the parent separator,
+    /// instead of splitting eagerly. Called with the leaf's write lock
+    /// held; returns `true` when the leaf now has room (the caller restarts
+    /// its insert — the tuple may now belong in the left sibling).
+    ///
+    /// The rotation moves `q = free / 2` keys: the old separator drops into
+    /// the left sibling, the leaf's first `q - 1` keys follow, and the
+    /// leaf's `q`-th key becomes the new separator. Both siblings are
+    /// rewritten packed (the left gains fresh trailing slots; the leaf's
+    /// survivors compact to a prefix, and being full it was packed
+    /// already). Engages only when the sibling has at least
+    /// `max(C / 4, 2)` free slots — below that the rotation would buy just
+    /// an insert or two before the neighbourhood is full anyway, and the
+    /// split is better amortized.
+    ///
+    /// Locking: the parent is acquired with the split path's re-check
+    /// idiom (child lock already held → bottom-up, deadlock-free); the
+    /// left sibling is then acquired top-down with a *bounded* try-lock
+    /// (see [`REDIST_LOCK_ATTEMPTS`]) — on failure the caller falls back
+    /// to the eager split. Single-threaded the try-lock always succeeds,
+    /// so the decision is deterministic and the sequential twin mirrors it
+    /// exactly (shape parity).
+    #[cfg(feature = "gapped")]
+    fn try_redistribute(&self, leaf: NodePtr<K, C>) -> bool {
+        let node = unsafe { &*leaf };
+        debug_assert_eq!(node.num(), C, "only full leaves redistribute");
+        if node.is_inner() {
+            return false;
+        }
+        let parent = node.parent.load(Relaxed);
+        if parent.is_null() {
+            return false; // root leaf: no sibling exists
+        }
+        // Lock the (current) parent, re-checking the link as in `split`.
+        let mut p = parent;
+        loop {
+            // SAFETY: parent pointers always reference live nodes.
+            unsafe { &*p }.lock.start_write();
+            let now = node.parent.load(Relaxed);
+            if now == p {
+                break;
+            }
+            unsafe { &*p }.lock.abort_write();
+            debug_assert!(!now.is_null(), "a node never becomes the root");
+            p = now;
+        }
+        let pn = unsafe { &*p };
+        let pi = unsafe { pn.as_inner() };
+        let pos = node.position.load(Relaxed) as usize;
+        debug_assert_eq!(pi.child(pos), leaf, "position link out of date");
+        if pos == 0 {
+            pn.lock.abort_write();
+            return false; // leftmost child: no left sibling
+        }
+        let left = pi.child(pos - 1);
+        debug_assert!(!left.is_null());
+        // SAFETY: a child read under the parent's write lock is current.
+        let ln = unsafe { &*left };
+        let mut locked = false;
+        for _ in 0..REDIST_LOCK_ATTEMPTS {
+            chaos::checkpoint("btree::redistribute::sibling_lock");
+            if ln.lock.try_start_write() {
+                locked = true;
+                break;
+            }
+            chaos::hint::spin_loop();
+        }
+        if !locked {
+            pn.lock.abort_write();
+            return false;
+        }
+        let lnum = ln.num();
+        debug_assert!(!ln.is_inner(), "siblings share a level");
+        let free = C - lnum;
+        if free < (C / 4).max(2) {
+            ln.lock.abort_write();
+            pn.lock.abort_write();
+            return false;
+        }
+        let q = free / 2;
+        debug_assert!(q >= 1);
+
+        // Materialize the left sibling's real keys (it may be gapped),
+        // append the old separator and the leaf's first q-1 keys, and
+        // rewrite it packed. The leaf is full, hence packed: key(i) is
+        // real for every i.
+        // Stack buffer, not a Vec: this runs inside the insert hot path
+        // with the parent write-locked, and `lnum + q <= C` always fits.
+        let mut lkeys = [[0u64; K]; C];
+        let mut cnt = 0usize;
+        let mut rem = ln.occupied_mask();
+        while rem != 0 {
+            let i = rem.trailing_zeros() as usize;
+            lkeys[cnt] = ln.key(i);
+            cnt += 1;
+            rem &= rem - 1;
+        }
+        debug_assert_eq!(cnt, lnum);
+        lkeys[cnt] = pn.key(pos - 1); // old separator drops left
+        cnt += 1;
+        for i in 0..q - 1 {
+            lkeys[cnt] = node.key(i);
+            cnt += 1;
+        }
+        debug_assert_eq!(cnt, lnum + q);
+        for (i, k) in lkeys[..cnt].iter().enumerate() {
+            ln.set_key(i, k);
+        }
+        ln.set_num(lnum + q);
+
+        // The leaf's q-th key becomes the new separator; survivors compact
+        // to a packed prefix.
+        let sep = node.key(q - 1);
+        pn.set_key(pos - 1, &sep);
+        for (j, i) in (q..C).enumerate() {
+            node.copy_key_within(i, j);
+        }
+        node.set_num(C - q);
+
+        telemetry::count(telemetry::Counter::BtreeRedistributions);
+        telemetry::flight::event("btree::redistribute", leaf as u64, q as u64);
+        chaos::checkpoint("btree::redistribute");
+        ln.lock.end_write();
+        pn.lock.end_write();
+        true
     }
 
     // ------------------------------------------------------------------
@@ -531,7 +823,13 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
     /// as required. On return `node` is still write-locked by the caller
     /// (its lock is *not* released here); all path locks acquired inside
     /// are released.
-    pub(crate) fn split(&self, node: NodePtr<K, C>) {
+    ///
+    /// Returns the median that was pushed out of `node` into its parent:
+    /// everything strictly below it still lives in `node`, so a caller that
+    /// knows its tuple was covered pre-split can finish the insert into the
+    /// still-locked node without re-probing (see
+    /// [`try_hinted_insert`](Self::try_hinted_insert)).
+    pub(crate) fn split(&self, node: NodePtr<K, C>) -> Tuple<K> {
         chaos::checkpoint("btree::split");
         // Phase 1 (lines 2–23): write-lock the path bottom-up, stopping at
         // the first non-full ancestor or at the root lock.
@@ -581,7 +879,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         for i in (0..full_ancestors).rev() {
             self.split_one(path[i]);
         }
-        self.split_one(node);
+        let median = self.split_one(node);
 
         // Phase 3 (lines 28–35): release the path locks top-down.
         if holds_root_lock {
@@ -590,13 +888,15 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         for p in path.iter().rev() {
             unsafe { &**p }.lock.end_write();
         }
+        median
     }
 
     /// Splits a single full node whose own write lock and whose (current)
     /// parent's write lock — or the root lock — are held. Creates the
     /// sibling, moves the upper half across, and pushes the median key into
     /// the parent (growing the tree by one level for a root split).
-    pub(crate) fn split_one(&self, x: NodePtr<K, C>) {
+    /// Returns that median.
+    pub(crate) fn split_one(&self, x: NodePtr<K, C>) -> Tuple<K> {
         let xn = unsafe { &*x };
         let n = xn.num();
         debug_assert_eq!(n, C, "only full nodes split");
@@ -640,6 +940,21 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 chn.position.store(j as u16, Relaxed);
             }
         }
+        // Under the gapped layout the retained lower half of a *leaf* is
+        // spread across its slots with interleaved gaps, so the next m-1
+        // inserts land in free slots without shifting. The right sibling
+        // stays packed: splits are triggered overwhelmingly by ascending
+        // runs, which append to the sibling's tail and never shift anyway.
+        // Inner nodes are always packed.
+        #[cfg(feature = "gapped")]
+        {
+            if xn.is_inner() {
+                xn.set_num(m);
+            } else {
+                xn.interleave_left(m);
+            }
+        }
+        #[cfg(not(feature = "gapped"))]
         xn.set_num(m);
 
         let parent = xn.parent.load(Relaxed);
@@ -685,6 +1000,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             sn.position.store((pos + 1) as u16, Relaxed);
             pn.set_num(pnum + 1);
         }
+        median
     }
 
     // ------------------------------------------------------------------
@@ -717,19 +1033,28 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             let (mut cur, mut cur_lease) = self.read_root();
             loop {
                 let node = unsafe { &*cur };
-                let n = node.num_clamped();
-                let (idx, found) = if branchfree {
+                let is_inner = node.is_inner();
+                let n = node.scan_len();
+                let (idx, found) = if is_inner {
+                    let (idx, found, _fenced) = rank_interior(node, t, n, branchfree);
+                    (idx, found)
+                } else if branchfree {
                     node.search_branchfree(t, n)
                 } else {
                     node.search(t, n)
                 };
                 if found {
+                    // A hit on a leaf gap slot is a genuine membership (the
+                    // sentinel duplicates the real key to its right);
+                    // normalize to the occupied slot, under the lease, so
+                    // callers can treat the position as a cursor.
+                    let idx = node.next_occupied(idx);
                     if node.lock.validate(cur_lease) {
                         return (Some((cur, idx)), cur);
                     }
                     continue 'restart;
                 }
-                if !node.is_inner() {
+                if !is_inner {
                     if node.lock.validate(cur_lease) {
                         return (None, cur);
                     }
@@ -737,7 +1062,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 }
                 let next = unsafe { node.as_inner() }.child(idx);
                 // Overlap the child's cache miss with the lease validation.
-                prefetch_read(next);
+                prefetch_child(next);
                 if !node.lock.validate(cur_lease) {
                     continue 'restart;
                 }
@@ -762,10 +1087,11 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             return HintProbe::Miss { forward: false };
         }
         let lease = node.lock.start_read();
-        let n = node.num_clamped();
+        let n = node.scan_len();
         if n == 0 {
             return HintProbe::Miss { forward: false };
         }
+        // key(0) / key(n - 1) are the real min/max even on a gapped leaf.
         let forward = cmp3(t, &node.key(n - 1)) == Ordering::Greater;
         let covered = cmp3(&node.key(0), t) != Ordering::Greater && !forward;
         let (_, found) = node.search(t, n);
@@ -802,12 +1128,15 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             let mut candidate: Option<(NodePtr<K, C>, usize)> = None;
             loop {
                 let node = unsafe { &*cur };
-                let n = node.num_clamped();
+                let n = node.scan_len();
                 let idx = if strict {
                     node.search_upper(t, n)
                 } else {
                     let (idx, found) = node.search(t, n);
                     if found {
+                        // Normalize a gap-slot hit to the occupied slot
+                        // holding the same key (identity on inner nodes).
+                        let idx = node.next_occupied(idx);
                         if node.lock.validate(cur_lease) {
                             return Some((cur, idx));
                         }
@@ -816,6 +1145,10 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                     idx
                 };
                 if !node.is_inner() {
+                    // A bound landing on a gap slot points at the same key
+                    // value as the occupied slot to its right; normalize so
+                    // the cursor starts on a real element.
+                    let idx = node.next_occupied(idx);
                     let res = if idx < n { Some((cur, idx)) } else { candidate };
                     if node.lock.validate(cur_lease) {
                         return res;
@@ -824,7 +1157,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                 }
                 let next = unsafe { node.as_inner() }.child(idx);
                 // Overlap the child's cache miss with the lease validation.
-                prefetch_read(next);
+                prefetch_child(next);
                 if !node.lock.validate(cur_lease) {
                     continue 'restart;
                 }
@@ -857,10 +1190,11 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             return None;
         }
         let lease = node.lock.start_read();
-        let n = node.num_clamped();
+        let n = node.scan_len();
         if n == 0 {
             return None;
         }
+        // Real min/max of the leaf, also under the gapped layout.
         let first = node.key(0);
         let last = node.key(n - 1);
         // For a non-strict bound the answer lies in this leaf when
@@ -877,6 +1211,9 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         } else {
             node.search(t, n).0
         };
+        // Normalize a gap-slot landing to the occupied slot carrying the
+        // same key; must happen under the lease (reads the occupancy word).
+        let idx = node.next_occupied(idx);
         if !node.lock.validate(lease) {
             return None;
         }

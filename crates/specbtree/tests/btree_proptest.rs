@@ -193,6 +193,100 @@ proptest! {
         }
     }
 
+    /// Ascending runs are the gapped layout's hot path: appends trigger
+    /// interleaved splits and left-sibling redistribution, so every
+    /// occupancy transition (packed -> interleaved -> repacked) is crossed
+    /// while the model checks contents and the checker checks occupancy.
+    #[test]
+    fn ascending_runs_match_model(
+        start in 0u64..1_000,
+        runs in prop::collection::vec((0u64..8, 1usize..120), 1..8),
+    ) {
+        let tree: BTreeSet<2, 4> = BTreeSet::new();
+        let mut hints = tree.create_hints();
+        let mut model = Model::new();
+        let mut k = start;
+        for (gap, len) in &runs {
+            k += gap; // occasional overlap between runs re-inserts duplicates
+            for _ in 0..*len {
+                let key = [k / 64, k % 64];
+                prop_assert_eq!(tree.insert_hinted(key, &mut hints), model.insert(key));
+                k += 1;
+            }
+            k = k.saturating_sub(*len as u64 / 2); // rewind: duplicate-heavy tail
+            for _ in 0..*len / 2 {
+                let key = [k / 64, k % 64];
+                prop_assert_eq!(tree.insert_hinted(key, &mut hints), model.insert(key));
+                k += 1;
+            }
+        }
+        tree.check_invariants().unwrap();
+        prop_assert_eq!(tree.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+    }
+
+    /// Duplicate-heavy merges drive `merge_leaf_pass`'s gap-aware cursor:
+    /// overlapping sources re-encounter existing keys between gap inserts.
+    /// Every worker count must produce exactly the model union.
+    #[test]
+    fn duplicate_heavy_merge_matches_model(
+        base in prop::collection::vec(key_strategy(), 0..300),
+        delta in prop::collection::vec(key_strategy(), 0..300),
+        workers in 1usize..5,
+    ) {
+        let target: BTreeSet<2, 4> = BTreeSet::new();
+        let mut model = Model::new();
+        for k in &base {
+            target.insert(*k);
+            model.insert(*k);
+        }
+        let src: BTreeSet<2, 4> = BTreeSet::new();
+        let mut expected_added = 0u64;
+        for k in &delta {
+            src.insert(*k);
+            if model.insert(*k) {
+                expected_added += 1;
+            }
+        }
+        let added = target.insert_all_parallel(&src, workers);
+        prop_assert_eq!(added, expected_added);
+        target.check_invariants().unwrap();
+        prop_assert_eq!(target.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+    }
+
+    /// Iterator paths over gapped leaves: `fold` (the bitmask-walking scan
+    /// used by `count`/`sum`), `last`, and bounded range collection must all
+    /// agree with the model on mixed ascending/random contents.
+    #[test]
+    fn gapped_iteration_matches_model(
+        keys in prop::collection::vec(key_strategy(), 1..500),
+        ascending in 0u64..200,
+        probes in prop::collection::vec(key_strategy(), 1..20),
+    ) {
+        let tree: BTreeSet<2, 4> = BTreeSet::new();
+        let mut model = Model::new();
+        for k in &keys {
+            tree.insert(*k);
+            model.insert(*k);
+        }
+        for i in 0..ascending {
+            let key = [7, i];
+            tree.insert(key);
+            model.insert(key);
+        }
+        tree.check_invariants().unwrap();
+        prop_assert_eq!(tree.iter().count(), model.len());
+        prop_assert_eq!(tree.iter().last(), model.iter().next_back().copied());
+        prop_assert_eq!(
+            tree.iter().fold(0u64, |acc, k| acc ^ (k[0] << 8 | k[1])),
+            model.iter().fold(0u64, |acc, k| acc ^ (k[0] << 8 | k[1]))
+        );
+        for p in &probes {
+            let ours: Vec<_> = tree.lower_bound(p).take(5).collect();
+            let theirs: Vec<_> = model.range(*p..).take(5).copied().collect();
+            prop_assert_eq!(ours, theirs, "lower_bound({:?}) scan", p);
+        }
+    }
+
     #[test]
     fn seq_and_concurrent_trees_agree(keys in prop::collection::vec(key_strategy(), 0..500)) {
         let conc: BTreeSet<2, 6> = BTreeSet::new();

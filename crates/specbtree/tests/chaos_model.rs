@@ -10,14 +10,21 @@
 //! suite (`tests/concurrency_stress.rs`) covers scale; this file covers
 //! schedules.
 
+// With `chaos-inject-bug` on but without `--cfg chaos`, every test in this
+// file is compiled out (the unmutated tests refuse the mutation, the
+// planted self-test needs the instrumentation), so gate imports accordingly.
+#[cfg(any(not(feature = "chaos-inject-bug"), chaos))]
 use std::sync::Arc;
 
+#[cfg(not(feature = "chaos-inject-bug"))]
 use chaos::linearize::{check_set_history, Op, Recorder};
+#[cfg(any(not(feature = "chaos-inject-bug"), chaos))]
 use specbtree::BTreeSet;
 
 /// Two threads insert overlapping key sets; every schedule must count each
 /// distinct key exactly once and leave the tree structurally sound, and the
 /// recorded insert/contains history must be linearizable.
+#[cfg(not(feature = "chaos-inject-bug"))]
 #[test]
 fn duplicate_insert_race_is_linearizable() {
     chaos::model(chaos::seeds_from_env(0..48), || {
@@ -56,6 +63,7 @@ fn duplicate_insert_race_is_linearizable() {
 /// Split storm: with capacity 4, nine keys force repeated splits including
 /// a root split; two threads interleave arbitrarily. Algorithm 2's
 /// bottom-up locking must keep the tree consistent in every schedule.
+#[cfg(not(feature = "chaos-inject-bug"))]
 #[test]
 fn concurrent_splits_keep_invariants() {
     chaos::model(chaos::seeds_from_env(0..48), || {
@@ -91,6 +99,7 @@ fn concurrent_splits_keep_invariants() {
 /// A reader racing inserts must never miss a key whose insert completed
 /// before the lookup began (no false negatives through splits), and every
 /// `contains` it performs must fit a linearizable history.
+#[cfg(not(feature = "chaos-inject-bug"))]
 #[test]
 fn contains_during_inserts_has_no_false_negatives() {
     chaos::model(chaos::seeds_from_env(0..48), || {
@@ -131,6 +140,7 @@ fn contains_during_inserts_has_no_false_negatives() {
 /// both merges try the splice fast path on the same rightmost spine
 /// (`btree::splice` checkpoint), and whichever loses the validation must
 /// fall back to per-tuple inserts without losing or duplicating keys.
+#[cfg(not(feature = "chaos-inject-bug"))]
 #[test]
 fn racing_disjoint_merges_keep_invariants() {
     chaos::model(chaos::seeds_from_env(0..48), || {
@@ -165,6 +175,7 @@ fn racing_disjoint_merges_keep_invariants() {
 /// Two threads race `insert_all` merges of *overlapping* sources: contested
 /// keys must be claimed by exactly one merge (the fused added counts sum to
 /// the true growth) and the union must be exact in every schedule.
+#[cfg(not(feature = "chaos-inject-bug"))]
 #[test]
 fn racing_overlapping_merges_count_exactly_once() {
     chaos::model(chaos::seeds_from_env(0..48), || {
@@ -201,4 +212,121 @@ fn racing_overlapping_merges_count_exactly_once() {
         let got: Vec<u64> = set.iter().map(|t| t[0]).collect();
         assert_eq!(got, (0..8).collect::<Vec<_>>());
     });
+}
+
+/// Fence-word interior descent (the gapped-layout fast path): descents
+/// probe an interior node's version word once (`btree::descend::fence_read`
+/// when quiescent, `btree::descend::fence_fallback` when a writer holds it)
+/// and must stay correct in every interleaving with concurrent splits that
+/// rewrite the interior — separator shifts, child shifts, redistribution
+/// through the parent, and a full root swap all occur under this workload.
+/// The writer's dense low-key run drives the root from one separator to a
+/// root split (depth growth), so a reader parked at the fence probe across
+/// the entire excursion resumes on a stale lease over a *halved* old root —
+/// exactly the state the per-node validation must reject. Explored under
+/// both random and PCT scheduling; PCT's depth-1 priority change point is
+/// what produces the long writer excursions.
+#[cfg(not(feature = "chaos-inject-bug"))]
+#[test]
+fn fenced_interior_descent_survives_interior_rewrites() {
+    let scenario = || {
+        let set: Arc<BTreeSet<1, 4>> = Arc::new(BTreeSet::new());
+        // Depth 2 up front: a root interior node over two leaves, so every
+        // insert crosses the fence-word protocol.
+        for k in [0u64, 10, 20, 30, 40] {
+            set.insert([k]);
+        }
+        // Low thread: 1..=16 forces repeated leaf splits, left-sibling
+        // redistribution, and finally a root split (root swap). High
+        // thread: keys routed through the root's last child — the slot a
+        // torn interior read would misroute.
+        let low = {
+            let set = set.clone();
+            chaos::thread::spawn(move || {
+                for k in 1u64..=16 {
+                    set.insert([k]);
+                }
+            })
+        };
+        let high = {
+            let set = set.clone();
+            chaos::thread::spawn(move || {
+                for k in [50u64, 60, 70] {
+                    set.insert([k]);
+                }
+            })
+        };
+        low.join();
+        high.join();
+        let shape = set.check_invariants().unwrap();
+        assert_eq!(
+            shape.keys, 23,
+            "5 seeded + 15 new low (10 is a duplicate) + 3 high"
+        );
+        for k in (0u64..=16).chain([20, 30, 40, 50, 60, 70]) {
+            assert!(set.contains(&[k]), "key {k} lost in a fenced descent");
+        }
+        let got: Vec<u64> = set.iter().map(|t| t[0]).collect();
+        let expect: Vec<u64> = (0u64..=16).chain([20, 30, 40, 50, 60, 70]).collect();
+        assert_eq!(got, expect, "iteration order broken");
+    };
+    chaos::model(chaos::seeds_from_env(0..32), scenario);
+    chaos::model_with(
+        &chaos::Config::pct(1),
+        chaos::seeds_from_env(0..32),
+        scenario,
+    );
+}
+
+/// Mutation self-test for the fence-word protocol: with the planted
+/// `chaos-inject-bug` defect compiled in (a fenced interior rank skips the
+/// per-node lease validation in the insert descent), a reader that probes
+/// the root's fence word, gets parked, and resumes after the writer's run
+/// has *root-split* that node proceeds on a stale lease over the halved old
+/// root and routes its key into a subtree that no longer covers it. The
+/// harness must surface the misplaced key (an invariant violation or a
+/// failed membership check) within a bounded seed budget — proving the
+/// chaos checkpoints around the fence protocol (`optlock::probe`,
+/// `btree::descend::fence_read`) give the scheduler the preemption points
+/// it needs. PCT depth 1 supplies the single demotion that opens the
+/// probe-to-rank window.
+#[cfg(all(chaos, feature = "chaos-inject-bug"))]
+#[test]
+fn planted_fence_bug_is_caught() {
+    let out = chaos::find_failure(&chaos::Config::pct(1), 0..256, || {
+        let set: Arc<BTreeSet<1, 4>> = Arc::new(BTreeSet::new());
+        for k in [0u64, 10, 20, 30, 40] {
+            set.insert([k]);
+        }
+        let low = {
+            let set = set.clone();
+            chaos::thread::spawn(move || {
+                for k in 1u64..=16 {
+                    set.insert([k]);
+                }
+            })
+        };
+        let high = {
+            let set = set.clone();
+            chaos::thread::spawn(move || {
+                for k in [50u64, 60, 70] {
+                    set.insert([k]);
+                }
+            })
+        };
+        low.join();
+        high.join();
+        set.check_invariants().expect("structure corrupted");
+        for k in (0u64..=16).chain([20, 30, 40, 50, 60, 70]) {
+            assert!(set.contains(&[k]), "key {k} lost");
+        }
+    });
+    let out = out.expect(
+        "the planted fenced-descent bug must be caught within 256 seeds; \
+         if this fails the harness has lost its bug-finding power",
+    );
+    println!(
+        "planted fence bug caught at seed {} after {} steps (trace {:#018x})",
+        out.seed, out.steps, out.trace_hash
+    );
 }

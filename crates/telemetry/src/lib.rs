@@ -130,11 +130,20 @@ pub enum Counter {
     /// Accumulated via `add`; the bounded, by-design leak DESIGN.md's
     /// memory-layout section describes.
     ArenaAbandonedBytes,
+    /// `specbtree`: interior descent steps ranked through the latch-free
+    /// fenced path (quiescence probe succeeded, contiguous SIMD rank).
+    BtreeFencedRank,
+    /// `specbtree`: interior descent steps that saw a concurrent writer at
+    /// the fence probe and fell back to per-slot atomic search.
+    BtreeFencedFallback,
+    /// `specbtree`: gap redistributions into a left sibling performed
+    /// instead of an eager leaf split (`gapped` layout).
+    BtreeRedistributions,
 }
 
 impl Counter {
     /// Number of counters (array dimension).
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 28;
 
     /// All counters, in declaration order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -163,6 +172,9 @@ impl Counter {
         Counter::BtreeMergeSplice,
         Counter::BtreeMergeChunks,
         Counter::ArenaAbandonedBytes,
+        Counter::BtreeFencedRank,
+        Counter::BtreeFencedFallback,
+        Counter::BtreeRedistributions,
     ];
 
     /// The dotted `layer.event` name used in reports.
@@ -193,6 +205,9 @@ impl Counter {
             Counter::BtreeMergeSplice => "specbtree.merge_splice",
             Counter::BtreeMergeChunks => "specbtree.merge_chunks",
             Counter::ArenaAbandonedBytes => "specbtree.arena_abandoned_bytes",
+            Counter::BtreeFencedRank => "specbtree.fenced_rank",
+            Counter::BtreeFencedFallback => "specbtree.fenced_fallback",
+            Counter::BtreeRedistributions => "specbtree.redistributions",
         }
     }
 }
