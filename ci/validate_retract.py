@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Shape-check a BENCH_retract.json (bench-suite/src/bin/retract.rs).
+
+Usage: validate_retract.py [path] [--quick|--full]
+
+--quick expects the CI smoke run: shape-identical JSON over small graphs,
+where the incremental-vs-scratch ratio is meaningless (fixed costs dwarf
+the tiny closures), so only structure and accounting are checked. --full
+additionally enforces the acceptance criterion: the headline chain
+scenario's retraction must complete within `target_ratio` of from-scratch
+recomputation at the top thread count.
+"""
+import json
+import sys
+
+path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_retract.json"
+mode = sys.argv[2] if len(sys.argv) > 2 else "--quick"
+assert mode in ("--quick", "--full"), mode
+
+doc = json.load(open(path))
+assert doc["bench"] == "retract"
+assert doc["quick"] is (mode == "--quick")
+assert 0 < doc["target_ratio"] <= 1, doc["target_ratio"]
+
+names = [sc["name"] for sc in doc["scenarios"]]
+assert "chain_tail_1pct" in names, names
+assert "grid_rederive" in names, names
+
+for sc in doc["scenarios"]:
+    assert sc["edges"] > 0 and sc["retracted_edges"] > 0, sc["name"]
+    assert sc["retracted_edges"] < sc["edges"], sc["name"]
+    # Every withdrawn EDB fact must actually have been present.
+    assert sc["retracted_inputs"] == sc["retracted_edges"], sc["name"]
+    # Overdeletion is a superset of what stays deleted; rederivation gives
+    # back at most what overdeletion took.
+    assert sc["overdeleted"] >= sc["rederived"], sc["name"]
+    assert sc["net_removed"] > 0, sc["name"]
+    assert sc["top_threads"] >= 1, sc["name"]
+    assert len(sc["results"]) > 0, sc["name"]
+    for r in sc["results"]:
+        assert r["threads"] >= 1, sc["name"]
+        assert r["retract_seconds"] > 0 and r["scratch_run_seconds"] > 0, sc["name"]
+        # Relative tolerance: quick-mode runs have sub-millisecond sides,
+        # where the 6-decimal rounding of the stored seconds shifts the
+        # recomputed ratio past any absolute epsilon.
+        recomputed = r["retract_seconds"] / r["scratch_run_seconds"]
+        assert abs(r["ratio"] - recomputed) < 1e-3 + 0.01 * recomputed, (
+            sc["name"],
+            r["threads"],
+        )
+        # Phase breakdown must be non-negative and within the total (the
+        # total also covers plan compilation and bookkeeping outside the
+        # four phases, so the sum is a lower bound on it).
+        phases = (
+            r["overdelete_seconds"]
+            + r["delete_seconds"]
+            + r["rederive_seconds"]
+            + r["fallback_seconds"]
+        )
+        for f in ("overdelete", "delete", "rederive", "fallback"):
+            assert r[f + "_seconds"] >= 0, (sc["name"], f)
+        assert phases <= r["retract_seconds"] * 1.05, (sc["name"], r["threads"])
+    top = [r for r in sc["results"] if r["threads"] == sc["top_threads"]]
+    assert len(top) == 1, (sc["name"], sc["top_threads"])
+    assert abs(sc["ratio_at_top"] - top[0]["ratio"]) < 1e-3, sc["name"]
+    assert sc["pass"] is (sc["ratio_at_top"] <= doc["target_ratio"]), sc["name"]
+
+chain = next(sc for sc in doc["scenarios"] if sc["name"] == "chain_tail_1pct")
+assert doc["headline_pass"] is chain["pass"]
+if mode == "--full":
+    # Acceptance: 1% tail retraction of the ≥1M-tuple chain closure within
+    # target_ratio of recomputation at the top thread count.
+    assert chain["edges"] >= 1000, chain["edges"]
+    assert chain["pass"], (
+        f"headline ratio {chain['ratio_at_top']} exceeds target "
+        f"{doc['target_ratio']}"
+    )
+
+print(
+    f"{path} OK: {len(doc['scenarios'])} scenarios, headline ratio "
+    f"{chain['ratio_at_top']} (target {doc['target_ratio']}, "
+    f"pass={chain['pass']})"
+)

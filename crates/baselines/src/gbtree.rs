@@ -186,6 +186,121 @@ impl<T: Ord + Copy> GBTreeSet<T> {
         }
     }
 
+    /// Removes `key`, returning `true` if it was present.
+    ///
+    /// Underflow-tolerant deletion: leaf keys are removed in place; an
+    /// inner key is replaced by its in-order predecessor (or successor when
+    /// the left subtree has drained). Nodes may underflow — even to empty —
+    /// rather than rebalancing; ordering and uniform leaf depth are
+    /// preserved, minimum fill deliberately is not. This matches the
+    /// tree's role as a sequential baseline under the Datalog workload,
+    /// where deletion bursts are followed by re-insertion (rederivation)
+    /// that refills the slack.
+    pub fn remove(&mut self, key: &T) -> bool {
+        let Some(root) = &mut self.root else {
+            return false;
+        };
+        if !Self::remove_rec(root, key) {
+            return false;
+        }
+        self.len -= 1;
+        if self.len == 0 {
+            self.root = None;
+            return true;
+        }
+        // Collapse keyless single-child roots (height reduction).
+        while let Some(r) = &mut self.root {
+            match r.as_mut() {
+                Node::Inner { keys, children } if keys.is_empty() && children.len() == 1 => {
+                    let child = children.pop().expect("single child");
+                    self.root = Some(child);
+                }
+                _ => break,
+            }
+        }
+        true
+    }
+
+    fn remove_rec(node: &mut Node<T>, key: &T) -> bool {
+        let (idx, found) = node.search(key);
+        match node {
+            Node::Leaf { keys } => {
+                if found {
+                    keys.remove(idx);
+                    true
+                } else {
+                    false
+                }
+            }
+            Node::Inner { keys, children } => {
+                if found {
+                    if let Some(pred) = Self::remove_max(&mut children[idx]) {
+                        keys[idx] = pred;
+                    } else if let Some(succ) = Self::remove_min(&mut children[idx + 1]) {
+                        keys[idx] = succ;
+                    } else {
+                        // Both adjacent subtrees are empty: drop the key and
+                        // one empty child to keep children = keys + 1.
+                        keys.remove(idx);
+                        children.remove(idx + 1);
+                    }
+                    true
+                } else {
+                    Self::remove_rec(&mut children[idx], key)
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the largest element of `node`'s subtree, or
+    /// `None` if the subtree has fully drained.
+    fn remove_max(node: &mut Node<T>) -> Option<T> {
+        match node {
+            Node::Leaf { keys } => keys.pop(),
+            Node::Inner { keys, children } => {
+                if let Some(k) = Self::remove_max(children.last_mut().expect("inner has children"))
+                {
+                    return Some(k);
+                }
+                // Rightmost subtree is empty: the subtree max is the last
+                // inner key; take it along with the drained child.
+                match keys.pop() {
+                    Some(k) => {
+                        children.pop();
+                        Some(k)
+                    }
+                    None => None,
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the smallest element of `node`'s subtree, or
+    /// `None` if the subtree has fully drained.
+    fn remove_min(node: &mut Node<T>) -> Option<T> {
+        match node {
+            Node::Leaf { keys } => {
+                if keys.is_empty() {
+                    None
+                } else {
+                    Some(keys.remove(0))
+                }
+            }
+            Node::Inner { keys, children } => {
+                if let Some(k) = Self::remove_min(&mut children[0]) {
+                    return Some(k);
+                }
+                if keys.is_empty() {
+                    None
+                } else {
+                    let k = keys.remove(0);
+                    children.remove(0);
+                    Some(k)
+                }
+            }
+        }
+    }
+
     /// Membership test.
     pub fn contains(&self, key: &T) -> bool {
         let mut node = match &self.root {
@@ -499,6 +614,67 @@ mod tests {
         a.merge_from(&b);
         assert_eq!(a.len(), 150);
         a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_matches_model_with_invariants() {
+        let mut s = GBTreeSet::with_max_keys(4);
+        let mut model = Model::new();
+        let mut rng = 41u64;
+        for step in 0..30_000 {
+            let k = splitmix(&mut rng) % 1_500;
+            if splitmix(&mut rng).is_multiple_of(3) {
+                assert_eq!(s.remove(&k), model.remove(&k), "remove({k})");
+            } else {
+                assert_eq!(s.insert(k), model.insert(k), "insert({k})");
+            }
+            if step % 4_999 == 0 {
+                s.check_invariants().unwrap();
+            }
+        }
+        s.check_invariants().unwrap();
+        assert_eq!(s.len(), model.len());
+        let ours: Vec<_> = s.iter().collect();
+        let theirs: Vec<_> = model.iter().copied().collect();
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn drain_to_empty_and_reuse() {
+        let mut s: GBTreeSet<u64> = GBTreeSet::with_max_keys(4);
+        for i in 0..3_000u64 {
+            s.insert(i);
+        }
+        // Drain in an order that hits inner keys and forces subtrees to
+        // empty out (ascending drains the leftmost subtree completely).
+        for i in 0..3_000u64 {
+            assert!(s.remove(&i), "{i}");
+        }
+        assert!(s.is_empty());
+        assert!(!s.remove(&7));
+        s.check_invariants().unwrap();
+        for i in (0..1_000u64).rev() {
+            assert!(s.insert(i));
+        }
+        s.check_invariants().unwrap();
+        assert_eq!(s.iter().count(), 1_000);
+    }
+
+    #[test]
+    fn remove_inner_keys_keeps_bounds_correct() {
+        let mut s = GBTreeSet::with_max_keys(4);
+        for i in 0..1_000u64 {
+            s.insert(i);
+        }
+        // Remove a band in the middle (mostly inner separators at fanout 4)
+        // and check bounds skip over the hole.
+        for k in 400..600u64 {
+            assert!(s.remove(&k));
+        }
+        s.check_invariants().unwrap();
+        assert_eq!(s.lower_bound(&400).next(), Some(600));
+        assert_eq!(s.upper_bound(&399).next(), Some(600));
+        assert_eq!(s.len(), 800);
     }
 
     #[test]

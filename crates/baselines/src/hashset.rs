@@ -69,6 +69,10 @@ struct Node<T> {
     hash: u64,
     /// Next node in the **global** list.
     next: u32,
+    /// Tombstone flag: `false` after removal. The node stays spliced into
+    /// its bucket run (no chain surgery) and is revived in place by a
+    /// later insert of the same key.
+    live: bool,
 }
 
 /// An unordered set with `std::unordered_set`'s node-based layout.
@@ -92,6 +96,8 @@ pub struct HashSet<T> {
     /// First node of the global list.
     head: u32,
     mask: usize,
+    /// Live-element count (`nodes` also holds tombstones).
+    len: usize,
 }
 
 impl<T: HashKey> Default for HashSet<T> {
@@ -110,6 +116,7 @@ impl<T: HashKey> HashSet<T> {
             nodes: Vec::new(),
             head: NONE,
             mask: Self::INITIAL_BUCKETS - 1,
+            len: 0,
         }
     }
 
@@ -122,19 +129,20 @@ impl<T: HashKey> HashSet<T> {
             nodes: Vec::with_capacity(cap),
             head: NONE,
             mask: size - 1,
+            len: 0,
         }
     }
 
     /// Number of stored elements.
     #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.len
     }
 
     /// Whether the set is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len == 0
     }
 
     /// Number of buckets (diagnostic; mirrors `bucket_count()`).
@@ -173,7 +181,13 @@ impl<T: HashKey> HashSet<T> {
                 break; // left this bucket's run
             }
             if n.key == key {
-                return false;
+                if self.nodes[cur as usize].live {
+                    return false;
+                }
+                // Revive the tombstoned node in place.
+                self.nodes[cur as usize].live = true;
+                self.len += 1;
+                return true;
             }
             cur = n.next;
         }
@@ -188,6 +202,7 @@ impl<T: HashKey> HashSet<T> {
                 key,
                 hash,
                 next: old_head,
+                live: true,
             }));
             self.head = id;
             self.buckets[b] = BEFORE_BEGIN;
@@ -205,14 +220,50 @@ impl<T: HashKey> HashSet<T> {
             } else {
                 (before, self.node(before).next)
             };
-            self.nodes.push(Box::new(Node { key, hash, next }));
+            self.nodes.push(Box::new(Node {
+                key,
+                hash,
+                next,
+                live: true,
+            }));
             if pos == NONE {
                 self.head = id;
             } else {
                 self.nodes[pos as usize].next = id;
             }
         }
+        self.len += 1;
         true
+    }
+
+    /// Removes `key`, returning `true` if it was present.
+    ///
+    /// Tombstone deletion: the node's `live` flag is cleared but the node
+    /// stays spliced into its bucket run, so the O(1) before-pointer
+    /// structure needs no surgery and bucket runs remain contiguous. A
+    /// later insert of the same key revives the node; the arena is not
+    /// reclaimed (the profile a Datalog retraction pass produces — bursts
+    /// of deletes followed by rederivation re-inserts).
+    pub fn remove(&mut self, key: &T) -> bool {
+        let hash = finalize(key.fold());
+        let b = (hash as usize) & self.mask;
+        let mut cur = self.bucket_first(b);
+        while cur != NONE {
+            let n = self.node(cur);
+            if (n.hash as usize) & self.mask != b {
+                return false;
+            }
+            if n.key == *key {
+                if !n.live {
+                    return false;
+                }
+                self.nodes[cur as usize].live = false;
+                self.len -= 1;
+                return true;
+            }
+            cur = n.next;
+        }
+        false
     }
 
     /// Membership test: hash, then chase the bucket chain.
@@ -226,7 +277,7 @@ impl<T: HashKey> HashSet<T> {
                 return false;
             }
             if n.key == *key {
-                return true;
+                return n.live;
             }
             cur = n.next;
         }
@@ -307,12 +358,14 @@ impl<'a, T: HashKey> Iterator for HashIter<'a, T> {
     type Item = T;
 
     fn next(&mut self) -> Option<T> {
-        if self.cur == NONE {
-            return None;
+        while self.cur != NONE {
+            let n = self.set.node(self.cur);
+            self.cur = n.next;
+            if n.live {
+                return Some(n.key);
+            }
         }
-        let n = self.set.node(self.cur);
-        self.cur = n.next;
-        Some(n.key)
+        None
     }
 }
 
@@ -389,6 +442,47 @@ mod tests {
         assert_eq!(s.len(), 10_000);
         assert!(s.contains(&[57, 93]));
         assert!(!s.contains(&[57, 100]));
+    }
+
+    #[test]
+    fn remove_tombstones_and_revival() {
+        let mut s = HashSet::new();
+        let mut model = Model::new();
+        let mut rng = 17u64;
+        for _ in 0..40_000 {
+            let k = splitmix(&mut rng) % 3_000;
+            if splitmix(&mut rng).is_multiple_of(3) {
+                assert_eq!(s.remove(&k), model.remove(&k), "remove({k})");
+            } else {
+                assert_eq!(s.insert(k), model.insert(k), "insert({k})");
+            }
+        }
+        assert_eq!(s.len(), model.len());
+        let mut ours: Vec<_> = s.iter().collect();
+        let mut theirs: Vec<_> = model.into_iter().collect();
+        ours.sort_unstable();
+        theirs.sort_unstable();
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn remove_then_reinsert_does_not_grow_arena() {
+        let mut s: HashSet<u64> = HashSet::new();
+        for i in 0..100u64 {
+            s.insert(i);
+        }
+        let arena = s.nodes.len();
+        for i in 0..100u64 {
+            assert!(s.remove(&i));
+            assert!(!s.contains(&i));
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        for i in 0..100u64 {
+            assert!(s.insert(i), "revival of {i}");
+        }
+        assert_eq!(s.nodes.len(), arena, "revival allocated fresh nodes");
+        assert_eq!(s.len(), 100);
     }
 
     #[test]

@@ -106,6 +106,160 @@ impl<T: Ord + Copy> RbTreeSet<T> {
         true
     }
 
+    /// Removes `key`, returning `true` if it was present.
+    ///
+    /// Classic CLRS RB-DELETE with the full recoloring/rotation fixup, as
+    /// `std::set::erase` performs. The removed node's arena slot is merely
+    /// unlinked, not recycled — indices stay stable and the arena grows
+    /// monotonically, mirroring the allocator-churn profile of node-based
+    /// containers without a free list.
+    pub fn remove(&mut self, key: &T) -> bool {
+        let mut z = self.root;
+        while z != NONE {
+            match key.cmp(&self.nodes[z as usize].key) {
+                Ordering::Less => z = self.nodes[z as usize].left,
+                Ordering::Greater => z = self.nodes[z as usize].right,
+                Ordering::Equal => break,
+            }
+        }
+        if z == NONE {
+            return false;
+        }
+        // `x` is the node moving into the vacated position (possibly NONE);
+        // `xp` its parent after the splice — tracked explicitly because an
+        // absent child has no node to hang a parent pointer on.
+        let mut y_was_black = !self.nodes[z as usize].red;
+        let x;
+        let xp;
+        if self.nodes[z as usize].left == NONE {
+            x = self.nodes[z as usize].right;
+            xp = self.nodes[z as usize].parent;
+            self.transplant(z, x);
+        } else if self.nodes[z as usize].right == NONE {
+            x = self.nodes[z as usize].left;
+            xp = self.nodes[z as usize].parent;
+            self.transplant(z, x);
+        } else {
+            // Two children: splice out the in-order successor instead.
+            let mut y = self.nodes[z as usize].right;
+            while self.nodes[y as usize].left != NONE {
+                y = self.nodes[y as usize].left;
+            }
+            y_was_black = !self.nodes[y as usize].red;
+            x = self.nodes[y as usize].right;
+            if self.nodes[y as usize].parent == z {
+                xp = y;
+            } else {
+                xp = self.nodes[y as usize].parent;
+                self.transplant(y, x);
+                let zr = self.nodes[z as usize].right;
+                self.nodes[y as usize].right = zr;
+                self.nodes[zr as usize].parent = y;
+            }
+            self.transplant(z, y);
+            let zl = self.nodes[z as usize].left;
+            self.nodes[y as usize].left = zl;
+            self.nodes[zl as usize].parent = y;
+            let z_red = self.nodes[z as usize].red;
+            self.nodes[y as usize].red = z_red;
+        }
+        self.len -= 1;
+        if y_was_black {
+            self.delete_fixup(x, xp);
+        }
+        true
+    }
+
+    /// Replaces the subtree rooted at `u` with the one rooted at `v`
+    /// (CLRS RB-TRANSPLANT); `v` may be NONE.
+    fn transplant(&mut self, u: u32, v: u32) {
+        let p = self.nodes[u as usize].parent;
+        if p == NONE {
+            self.root = v;
+        } else if self.nodes[p as usize].left == u {
+            self.nodes[p as usize].left = v;
+        } else {
+            self.nodes[p as usize].right = v;
+        }
+        if v != NONE {
+            self.nodes[v as usize].parent = p;
+        }
+    }
+
+    /// CLRS RB-DELETE-FIXUP, with `x` possibly NONE (an absent child is
+    /// black), so the current parent is threaded alongside.
+    fn delete_fixup(&mut self, mut x: u32, mut xp: u32) {
+        while x != self.root && !self.is_red(x) {
+            if xp == NONE {
+                break; // x is the (possibly empty) root
+            }
+            if x == self.nodes[xp as usize].left {
+                let mut w = self.nodes[xp as usize].right;
+                if self.is_red(w) {
+                    self.nodes[w as usize].red = false;
+                    self.nodes[xp as usize].red = true;
+                    self.rotate_left(xp);
+                    w = self.nodes[xp as usize].right;
+                }
+                let wl = self.nodes[w as usize].left;
+                let wr = self.nodes[w as usize].right;
+                if !self.is_red(wl) && !self.is_red(wr) {
+                    self.nodes[w as usize].red = true;
+                    x = xp;
+                    xp = self.nodes[x as usize].parent;
+                } else {
+                    if !self.is_red(wr) {
+                        self.nodes[wl as usize].red = false;
+                        self.nodes[w as usize].red = true;
+                        self.rotate_right(w);
+                        w = self.nodes[xp as usize].right;
+                    }
+                    let xp_red = self.nodes[xp as usize].red;
+                    self.nodes[w as usize].red = xp_red;
+                    self.nodes[xp as usize].red = false;
+                    let wr = self.nodes[w as usize].right;
+                    self.nodes[wr as usize].red = false;
+                    self.rotate_left(xp);
+                    x = self.root;
+                    break;
+                }
+            } else {
+                let mut w = self.nodes[xp as usize].left;
+                if self.is_red(w) {
+                    self.nodes[w as usize].red = false;
+                    self.nodes[xp as usize].red = true;
+                    self.rotate_right(xp);
+                    w = self.nodes[xp as usize].left;
+                }
+                let wl = self.nodes[w as usize].left;
+                let wr = self.nodes[w as usize].right;
+                if !self.is_red(wl) && !self.is_red(wr) {
+                    self.nodes[w as usize].red = true;
+                    x = xp;
+                    xp = self.nodes[x as usize].parent;
+                } else {
+                    if !self.is_red(wl) {
+                        self.nodes[wr as usize].red = false;
+                        self.nodes[w as usize].red = true;
+                        self.rotate_left(w);
+                        w = self.nodes[xp as usize].left;
+                    }
+                    let xp_red = self.nodes[xp as usize].red;
+                    self.nodes[w as usize].red = xp_red;
+                    self.nodes[xp as usize].red = false;
+                    let wl = self.nodes[w as usize].left;
+                    self.nodes[wl as usize].red = false;
+                    self.rotate_right(xp);
+                    x = self.root;
+                    break;
+                }
+            }
+        }
+        if x != NONE {
+            self.nodes[x as usize].red = false;
+        }
+    }
+
     /// Membership test.
     pub fn contains(&self, key: &T) -> bool {
         let mut cur = self.root;
@@ -451,6 +605,59 @@ mod tests {
         let r: Vec<_> = s.range(&[5, 0], &[6, 0]).collect();
         assert!(r.iter().all(|t| t[0] == 5));
         assert_eq!(r.len(), 1_000 / 97 + usize::from(5 < 1_000 % 97));
+    }
+
+    #[test]
+    fn remove_matches_model_with_invariants() {
+        let mut s = RbTreeSet::new();
+        let mut model = Model::new();
+        let mut rng = 33u64;
+        for _ in 0..30_000 {
+            let k = splitmix(&mut rng) % 2_000;
+            if splitmix(&mut rng).is_multiple_of(3) {
+                assert_eq!(s.remove(&k), model.remove(&k), "remove({k})");
+            } else {
+                assert_eq!(s.insert(k), model.insert(k), "insert({k})");
+            }
+        }
+        s.check_invariants().unwrap();
+        assert_eq!(s.len(), model.len());
+        let ours: Vec<_> = s.iter().collect();
+        let theirs: Vec<_> = model.iter().copied().collect();
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn drain_to_empty_and_reuse() {
+        let mut s: RbTreeSet<u64> = (0..2_000).collect();
+        for i in 0..2_000u64 {
+            assert!(s.remove(&i), "{i}");
+            if i % 257 == 0 {
+                s.check_invariants()
+                    .unwrap_or_else(|e| panic!("after removing {i}: {e}"));
+            }
+        }
+        assert!(s.is_empty());
+        assert!(!s.remove(&0));
+        for i in 0..500u64 {
+            assert!(s.insert(i * 2));
+        }
+        s.check_invariants().unwrap();
+        assert_eq!(s.iter().count(), 500);
+    }
+
+    #[test]
+    fn remove_interior_and_root_keys() {
+        // Exercise the two-children successor splice: remove keys that sit
+        // high in the tree while bounds still answer correctly.
+        let mut s: RbTreeSet<u64> = (0..1_000).collect();
+        for k in [500u64, 250, 750, 0, 999, 123] {
+            assert!(s.remove(&k));
+            assert!(!s.contains(&k));
+            s.check_invariants().unwrap();
+        }
+        assert_eq!(s.lower_bound(&500).next(), Some(501));
+        assert_eq!(s.len(), 994);
     }
 
     #[test]

@@ -13,14 +13,17 @@
 //! scan chases list pointers.
 //!
 //! Simplifications relative to the full algorithm, justified by the
-//! Datalog setting: **no deletion** (relations only grow), which removes
-//! node reclamation and marked pointers entirely — an unreachable-free
-//! list needs no hazard pointers — and makes the CAS insert ABA-free.
+//! Datalog setting: **no physical deletion**. Retraction support uses
+//! per-node logical-deletion flags (a single CAS flips a node dead; a
+//! later insert of the same key revives it in place) rather than the
+//! marked-pointer unlink of the full algorithm — nodes are never
+//! unlinked or freed while the set is shared, so reclamation and hazard
+//! pointers stay unnecessary and the CAS insert remains ABA-free.
 
 #![allow(unsafe_code)]
 
 use crate::hashset::HashKey;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 
 /// Maximum number of bucket segments (caps the table at 2^32 buckets).
 const SEGMENTS: usize = 32;
@@ -54,6 +57,9 @@ struct Node<T> {
     skey: u64,
     /// The element; `None` for dummies.
     key: Option<T>,
+    /// Logical-deletion flag (regular nodes only; dummies ignore it).
+    /// `remove` CASes it `true → false`, a re-insert CASes it back.
+    live: AtomicBool,
     next: AtomicPtr<Node<T>>,
 }
 
@@ -62,6 +68,7 @@ impl<T> Node<T> {
         Box::into_raw(Box::new(Node {
             skey,
             key,
+            live: AtomicBool::new(true),
             next: AtomicPtr::new(std::ptr::null_mut()),
         }))
     }
@@ -286,12 +293,58 @@ impl<T: HashKey + Ord> SplitOrderedSet<T> {
                 }
                 true
             }
-            Err(_) => {
+            Err(existing) => {
                 // SAFETY: our node never became reachable.
                 unsafe { drop(Box::from_raw(node)) };
-                false
+                // SAFETY: published nodes are live for the set's lifetime.
+                let existing = unsafe { &*existing };
+                // Revive a logically deleted node in place; the CAS decides
+                // the winner among racing re-inserts.
+                if existing
+                    .live
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    self.count.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
             }
         }
+    }
+
+    /// Removes `key`, returning `true` if this call logically deleted it.
+    /// Lock-free: deletion is one CAS on the node's live flag. The node is
+    /// never unlinked (preserving the no-reclamation contract that keeps
+    /// inserts ABA-free); a later insert of the same key revives it.
+    pub fn remove(&self, key: &T) -> bool {
+        let h = hash64(key.fold());
+        let size = self.size.load(Ordering::Relaxed);
+        let bucket = (h as usize) & (size - 1);
+        let start = self.get_bucket(bucket);
+        let skey = regular_key(h);
+        let probe = Some(*key);
+        // SAFETY: list nodes are live for the lifetime of the set.
+        let mut curr = unsafe { (*start).next.load(Ordering::Acquire) };
+        while !curr.is_null() {
+            let c = unsafe { &*curr };
+            match Self::node_less(skey, &probe, c) {
+                std::cmp::Ordering::Greater => curr = c.next.load(Ordering::Acquire),
+                std::cmp::Ordering::Equal => {
+                    if c.live
+                        .compare_exchange(true, false, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.count.fetch_sub(1, Ordering::Relaxed);
+                        return true;
+                    }
+                    return false;
+                }
+                std::cmp::Ordering::Less => return false,
+            }
+        }
+        false
     }
 
     /// Membership test. Lock-free.
@@ -308,7 +361,7 @@ impl<T: HashKey + Ord> SplitOrderedSet<T> {
             let c = unsafe { &*curr };
             match Self::node_less(skey, &probe, c) {
                 std::cmp::Ordering::Greater => curr = c.next.load(Ordering::Acquire),
-                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Equal => return c.live.load(Ordering::Acquire),
                 std::cmp::Ordering::Less => return false,
             }
         }
@@ -323,7 +376,9 @@ impl<T: HashKey + Ord> SplitOrderedSet<T> {
             // SAFETY: list nodes are live.
             let c = unsafe { &*curr };
             if let Some(k) = &c.key {
-                f(k);
+                if c.live.load(Ordering::Acquire) {
+                    f(k);
+                }
             }
             curr = c.next.load(Ordering::Acquire);
         }
@@ -490,6 +545,98 @@ mod tests {
                 }
             });
         });
+    }
+
+    #[test]
+    fn remove_matches_model() {
+        let s = SplitOrderedSet::new();
+        let mut m = Model::new();
+        let mut rng = 55u64;
+        for _ in 0..30_000 {
+            let k = splitmix(&mut rng) % 2_000;
+            if splitmix(&mut rng).is_multiple_of(3) {
+                assert_eq!(s.remove(&k), m.remove(&k), "remove({k})");
+            } else {
+                assert_eq!(s.insert(k), m.insert(k), "insert({k})");
+            }
+        }
+        assert_eq!(s.len(), m.len());
+        let mut snap = s.snapshot();
+        snap.sort_unstable();
+        let expect: Vec<u64> = m.into_iter().collect();
+        assert_eq!(snap, expect);
+    }
+
+    #[test]
+    fn remove_then_reinsert_revives_in_place() {
+        let s = SplitOrderedSet::new();
+        for i in 0..1_000u64 {
+            s.insert(i);
+        }
+        for i in 0..1_000u64 {
+            assert!(s.remove(&i));
+            assert!(!s.contains(&i));
+            assert!(!s.remove(&i), "double remove of {i} won twice");
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.snapshot().len(), 0);
+        for i in 0..1_000u64 {
+            assert!(s.insert(i), "revival of {i}");
+        }
+        assert_eq!(s.len(), 1_000);
+    }
+
+    #[test]
+    fn concurrent_racing_removers_claim_each_key_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+        let s = SplitOrderedSet::new();
+        for i in 0..5_000u64 {
+            s.insert(i);
+        }
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = &s;
+                let wins = &wins;
+                scope.spawn(move || {
+                    for i in 0..5_000u64 {
+                        if s.remove(&i) {
+                            wins.fetch_add(1, Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Relaxed), 5_000);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_remove_insert_churn_converges() {
+        // Threads fight over the same small key space with inserts and
+        // removes; afterwards every key must be in a definite state and
+        // len must equal the surviving count.
+        let s = SplitOrderedSet::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let s = &s;
+                scope.spawn(move || {
+                    for round in 0..2_000u64 {
+                        let k = (round * 7 + t) % 64;
+                        if (round + t) % 2 == 0 {
+                            s.insert(k);
+                        } else {
+                            s.remove(&k);
+                        }
+                    }
+                });
+            }
+        });
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), s.len());
+        for k in snap {
+            assert!(s.contains(&k));
+        }
     }
 
     #[test]

@@ -39,6 +39,8 @@ pub enum Op {
     Insert(Vec<u64>),
     /// `contains(key)`.
     Contains(Vec<u64>),
+    /// `remove(key)` returning "was present".
+    Remove(Vec<u64>),
 }
 
 /// The current logical time for history timestamps: the schedule step count
@@ -101,7 +103,7 @@ pub fn check_set_history(history: &[Event]) -> Result<(), String> {
     }
     let all: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
     let mut contents: BTreeSet<Vec<u64>> = BTreeSet::new();
-    let mut dead: HashSet<u32> = HashSet::new();
+    let mut dead: HashSet<(u32, BTreeSet<Vec<u64>>)> = HashSet::new();
     if dfs(history, 0, all, &mut contents, &mut dead) {
         Ok(())
     } else {
@@ -110,6 +112,7 @@ pub fn check_set_history(history: &[Event]) -> Result<(), String> {
             let (name, key) = match &e.op {
                 Op::Insert(k) => ("insert", k),
                 Op::Contains(k) => ("contains", k),
+                Op::Remove(k) => ("remove", k),
             };
             msg.push_str(&format!(
                 "  thread {} {} {:?} -> {} [{}..{}]\n",
@@ -125,12 +128,16 @@ fn dfs(
     done: u32,
     all: u32,
     contents: &mut BTreeSet<Vec<u64>>,
-    dead: &mut HashSet<u32>,
+    dead: &mut HashSet<(u32, BTreeSet<Vec<u64>>)>,
 ) -> bool {
     if done == all {
         return true;
     }
-    if dead.contains(&done) {
+    // Memoized on (linearized-set, state): with removes in the history the
+    // state is no longer a function of *which* operations linearized (an
+    // insert/remove pair commutes to different contents), so the state is
+    // part of the key. Histories are tiny; the clone is cheap.
+    if dead.contains(&(done, contents.clone())) {
         return false;
     }
     // The earliest response among pending operations bounds which of them
@@ -150,12 +157,18 @@ fn dfs(
         if e.invoke > min_pending_ret {
             continue; // strictly after some pending op completed
         }
-        let (expected, inserted) = match &e.op {
+        // `inserted`/`removed`: the key this linearization step adds to /
+        // drops from the state, undone on backtrack.
+        let (expected, inserted, removed) = match &e.op {
             Op::Insert(k) => {
                 let absent = !contents.contains(k);
-                (absent, absent.then(|| k.clone()))
+                (absent, absent.then(|| k.clone()), None)
             }
-            Op::Contains(k) => (contents.contains(k), None),
+            Op::Contains(k) => (contents.contains(k), None, None),
+            Op::Remove(k) => {
+                let present = contents.contains(k);
+                (present, None, present.then(|| k.clone()))
+            }
         };
         if expected != e.returned {
             continue;
@@ -163,14 +176,20 @@ fn dfs(
         if let Some(k) = &inserted {
             contents.insert(k.clone());
         }
+        if let Some(k) = &removed {
+            contents.remove(k);
+        }
         if dfs(history, done | (1 << i), all, contents, dead) {
             return true;
         }
         if let Some(k) = &inserted {
             contents.remove(k);
         }
+        if let Some(k) = &removed {
+            contents.insert(k.clone());
+        }
     }
-    dead.insert(done);
+    dead.insert((done, contents.clone()));
     false
 }
 
@@ -258,5 +277,71 @@ mod tests {
         // Both inserts claim to have inserted, sequentially: impossible.
         let h = vec![ins(0, 5, true, 0, 1), ins(1, 5, true, 2, 3)];
         assert!(check_set_history(&h).is_err());
+    }
+
+    fn rem(thread: usize, k: u64, returned: bool, invoke: u64, ret: u64) -> Event {
+        Event {
+            thread,
+            op: Op::Remove(vec![k]),
+            returned,
+            invoke,
+            ret,
+        }
+    }
+
+    #[test]
+    fn duplicate_remove_race_one_winner_is_linearizable() {
+        let h = vec![
+            ins(0, 7, true, 0, 1),
+            rem(0, 7, true, 2, 10),
+            rem(1, 7, false, 3, 9),
+        ];
+        assert!(check_set_history(&h).is_ok());
+    }
+
+    #[test]
+    fn duplicate_remove_race_two_winners_is_not() {
+        let h = vec![
+            ins(0, 7, true, 0, 1),
+            rem(0, 7, true, 2, 10),
+            rem(1, 7, true, 3, 9),
+        ];
+        assert!(check_set_history(&h).is_err());
+    }
+
+    #[test]
+    fn contains_must_observe_preceding_remove() {
+        // remove completed strictly before contains was invoked, yet
+        // contains still found the key: a real-time violation.
+        let h = vec![
+            ins(0, 3, true, 0, 1),
+            rem(0, 3, true, 2, 3),
+            has(1, 3, true, 5, 6),
+        ];
+        assert!(check_set_history(&h).is_err());
+    }
+
+    #[test]
+    fn concurrent_contains_may_miss_overlapping_remove() {
+        let h = vec![
+            ins(0, 3, true, 0, 1),
+            rem(0, 3, true, 2, 10),
+            has(1, 3, false, 4, 6),
+        ];
+        assert!(check_set_history(&h).is_ok());
+    }
+
+    #[test]
+    fn remove_reinsert_interleaving_tracks_state() {
+        // insert -> remove -> insert of the same key: the second insert must
+        // report "was absent" again, and order matters for the state (this
+        // is what forces memoization on (done, contents), not done alone).
+        let h = vec![
+            ins(0, 4, true, 0, 1),
+            rem(1, 4, true, 2, 3),
+            ins(0, 4, true, 4, 5),
+            has(1, 4, true, 6, 7),
+        ];
+        assert!(check_set_history(&h).is_ok());
     }
 }

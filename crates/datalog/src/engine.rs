@@ -1,15 +1,16 @@
 //! The top-level engine: program loading, fact insertion, stratified
 //! semi-naive evaluation, and result/statistics extraction.
 
-use crate::ast::Program;
+use crate::ast::{Atom, Literal, Program, Rule, Term};
 use crate::eval::{
-    compile_versions, eval_plan, fill, materialize, merge_new, CtxSet, ParallelStrategy, Plan,
-    StorageEnv, WorkerStats,
+    compile_one, compile_one_at, compile_versions, eval_plan, fill, has_unprefixed_inner_scan,
+    materialize, merge_new, plan_delta_rel, CtxSet, ParallelStrategy, Plan, StorageEnv,
+    WorkerStats,
 };
-use crate::storage::{pad, CountingStorage, OpCounters, RelationStorage, StorageKind};
-use crate::strat::{stratify, StratError, Stratification};
+use crate::storage::{pad, CountingStorage, OpCounters, RelationStorage, StorageKind, TupleBuf};
+use crate::strat::{stratify, StratError, Stratification, Stratum};
 use specbtree::HintStats;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -91,6 +92,17 @@ pub struct EvalStats {
     /// Scheduler imbalance: max over workers of tuples scanned, divided
     /// by the mean (1.0 = perfectly balanced; meaningful with ≥2 threads).
     pub sched_imbalance: f64,
+    /// Total `remove`/`retract_from` tuple-removal attempts on relation
+    /// storages (retraction passes only; zero for insert-only workloads).
+    pub removes: u64,
+    /// EDB facts withdrawn through [`Engine::retract_facts`].
+    pub retracted_inputs: u64,
+    /// Tuples overdeleted by delete–rederive passes (seed facts plus
+    /// everything transitively derivable from them).
+    pub overdeleted_tuples: u64,
+    /// Tuples put back by rederivation (alternative derivations plus
+    /// overdeleted EDB facts that were not themselves retracted).
+    pub rederived_tuples: u64,
     /// Aggregated operation-hint statistics (specialized B-tree only).
     pub hints: HintStats,
 }
@@ -107,7 +119,9 @@ impl EvalStats {
                 "\"input_tuples\": {}, \"produced_tuples\": {}, ",
                 "\"iterations\": {}, \"chunks_claimed\": {}, ",
                 "\"tuples_scanned\": {}, \"tuples_emitted\": {}, ",
-                "\"sched_imbalance\": {:.6}, \"hints\": {}}}"
+                "\"sched_imbalance\": {:.6}, \"removes\": {}, ",
+                "\"retracted_inputs\": {}, \"overdeleted_tuples\": {}, ",
+                "\"rederived_tuples\": {}, \"hints\": {}}}"
             ),
             self.inserts,
             self.membership_tests,
@@ -120,9 +134,42 @@ impl EvalStats {
             self.tuples_scanned,
             self.tuples_emitted,
             self.sched_imbalance,
+            self.removes,
+            self.retracted_inputs,
+            self.overdeleted_tuples,
+            self.rederived_tuples,
             self.hints.to_json()
         )
     }
+}
+
+/// What a delete–rederive pass did, returned by
+/// [`Engine::retract_facts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetractOutcome {
+    /// EDB facts actually withdrawn (facts never asserted are ignored).
+    pub retracted_inputs: u64,
+    /// Distinct tuples overdeleted: the retracted facts plus every tuple
+    /// with a derivation passing through one of them.
+    pub overdeleted: u64,
+    /// Tuples the rederivation phase put back (alternative derivations,
+    /// plus overdeleted EDB facts that were not themselves retracted).
+    pub rederived: u64,
+    /// Strata recomputed from scratch because a rule negated a relation
+    /// whose contents shrank (DRed's overdelete/rederive split is unsound
+    /// through negation, so those strata fall back to full re-evaluation).
+    pub recomputed_strata: u64,
+    /// Net change in total database size (before − after). Negative when
+    /// retraction *grows* the database through stratified negation.
+    pub net_removed: i64,
+    /// Wall-clock seconds in the overdeletion fixpoint (phase 1).
+    pub overdelete_seconds: f64,
+    /// Wall-clock seconds physically removing tuples (phase 2).
+    pub delete_seconds: f64,
+    /// Wall-clock seconds re-proving overdeleted tuples (phase 3).
+    pub rederive_seconds: f64,
+    /// Wall-clock seconds recomputing negation strata (phase 4).
+    pub fallback_seconds: f64,
 }
 
 /// Per-rule evaluation profile (one entry per rule, summed over its
@@ -147,6 +194,37 @@ impl RuleProfile {
             self.seconds
         )
     }
+}
+
+///// Prints one per-plan timing line when `DATALOG_RETRACT_TRACE` is set —
+/// retraction plans are synthesized on the fly, so they are invisible to
+/// `explain`/`profile`; this is the equivalent escape hatch.
+fn trace_plan(phase: &str, plan: &Plan, t0: std::time::Instant) {
+    if std::env::var_os("DATALOG_RETRACT_TRACE").is_some() {
+        eprintln!(
+            "{phase} plan {} ({:?} outer): {:.1}ms",
+            plan.id,
+            plan.steps.first(),
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+    }
+}
+
+/// Builds the extended `full` view retraction plans evaluate against:
+/// positions `0..nrels` are the real relations, `nrels..2*nrels` the
+/// deletion accumulators (an empty placeholder where a relation has none).
+fn extended_full<'a>(
+    rels: &'a [Box<dyn RelationStorage>],
+    del_acc: &'a HashMap<usize, Box<dyn RelationStorage>>,
+    empty: &'a dyn RelationStorage,
+) -> Vec<&'a dyn RelationStorage> {
+    let nrels = rels.len();
+    let mut full: Vec<&'a dyn RelationStorage> = Vec::with_capacity(nrels * 2);
+    full.extend(rels.iter().map(|b| b.as_ref()));
+    for r in 0..nrels {
+        full.push(del_acc.get(&r).map(|b| b.as_ref()).unwrap_or(empty));
+    }
+    full
 }
 
 /// Escapes a string for embedding in a JSON literal.
@@ -190,6 +268,11 @@ pub struct Engine {
     kind: StorageKind,
     threads: usize,
     rels: Vec<Box<dyn RelationStorage>>,
+    /// The extensional database: per relation, exactly the facts asserted
+    /// through [`add_fact`](Self::add_fact) (and program facts), kept apart
+    /// from derived tuples so retraction knows what rederivation may put
+    /// back and what a from-scratch recompute starts from.
+    edb: Vec<HashSet<TupleBuf>>,
     counters: Arc<OpCounters>,
     stats: EvalStats,
     strategy: ParallelStrategy,
@@ -214,12 +297,14 @@ impl Engine {
                     as Box<dyn RelationStorage>
             })
             .collect();
+        let nrels = program.decls.len();
         let mut engine = Self {
             program: program.clone(),
             strat,
             kind,
             threads: threads.max(1),
             rels,
+            edb: vec![HashSet::new(); nrels],
             counters,
             stats: EvalStats::default(),
             strategy: ParallelStrategy::default(),
@@ -269,11 +354,13 @@ impl Engine {
                 got: tuple.len(),
             });
         }
+        let t = pad(tuple);
         let storage = self.rels[rel].as_ref();
         let mut ctx = storage.make_ctx();
-        if storage.insert(&pad(tuple), &mut ctx) {
+        if storage.insert(&t, &mut ctx) {
             self.stats.input_tuples += 1;
         }
+        self.edb[rel].insert(t);
         Ok(())
     }
 
@@ -299,11 +386,23 @@ impl Engine {
                     got: tuple.len(),
                 });
             }
-            if storage.insert(&pad(&tuple), &mut ctx) {
+            let t = pad(&tuple);
+            if storage.insert(&t, &mut ctx) {
                 self.stats.input_tuples += 1;
             }
+            self.edb[rel].insert(t);
         }
         Ok(())
+    }
+
+    /// Number of extensional (asserted, not derived) facts of a relation.
+    pub fn edb_len(&self, relation: &str) -> Result<usize, EngineError> {
+        let &rel = self
+            .strat
+            .rel_ids
+            .get(relation)
+            .ok_or_else(|| EngineError::UnknownRelation(relation.to_string()))?;
+        Ok(self.edb[rel].len())
     }
 
     /// Runs the stratified semi-naive evaluation to fixpoint.
@@ -319,125 +418,7 @@ impl Engine {
         let mut next_plan_id = 0usize;
 
         for stratum in self.strat.strata.clone() {
-            let stratum_timer = telemetry::start_timer();
-            // Split the stratum's rules into non-recursive and recursive,
-            // remembering each plan's source rule for profiling.
-            let mut base_plans: Vec<(usize, Plan)> = Vec::new();
-            let mut rec_plans: Vec<(usize, Plan)> = Vec::new();
-            for &ri in &stratum.rules {
-                let rule = &self.program.rules[ri];
-                let is_recursive = rule.body.iter().any(|l| {
-                    !l.negated
-                        && stratum
-                            .relations
-                            .contains(&self.strat.rel_ids[&l.atom.relation])
-                });
-                let mut plans = compile_versions(rule, &self.strat.rel_ids, &stratum.relations);
-                for plan in &mut plans {
-                    plan.id = next_plan_id;
-                    next_plan_id += 1;
-                }
-                if is_recursive {
-                    rec_plans.extend(plans.into_iter().map(|p| (ri, p)));
-                } else {
-                    base_plans.extend(plans.into_iter().map(|p| (ri, p)));
-                }
-            }
-
-            // Fresh delta/new relations for this stratum.
-            let make_side_tables = |engine: &Engine| -> HashMap<usize, Box<dyn RelationStorage>> {
-                stratum
-                    .relations
-                    .iter()
-                    .map(|&r| {
-                        (
-                            r,
-                            Box::new(CountingStorage::new(
-                                engine.kind.create(),
-                                Arc::clone(&engine.counters),
-                            )) as Box<dyn RelationStorage>,
-                        )
-                    })
-                    .collect()
-            };
-
-            // Phase 1: non-recursive rules derive directly into `new`, then
-            // merge.
-            {
-                let delta = make_side_tables(self);
-                let new = make_side_tables(self);
-                let env = StorageEnv {
-                    full: &self.rels,
-                    delta: &delta,
-                    new: &new,
-                };
-                for (ri, plan) in &base_plans {
-                    let t0 = std::time::Instant::now();
-                    eval_plan(plan, &env, &mut pools, &mut wstats, self.strategy);
-                    let entry = self.profile.entry(*ri).or_insert((0, 0.0));
-                    entry.0 += 1;
-                    entry.1 += t0.elapsed().as_secs_f64();
-                }
-                self.merge_stratum(&new);
-            }
-
-            if !stratum.recursive || rec_plans.is_empty() {
-                stratum_timer.observe(telemetry::Hist::EvalStratumNanos);
-                continue;
-            }
-
-            // Phase 2: the semi-naive fixpoint. Delta starts as the full
-            // current contents of the stratum's relations.
-            let mut delta = make_side_tables(self);
-            for &r in &stratum.relations {
-                let tuples = materialize(self.rels[r].as_ref());
-                fill(delta[&r].as_ref(), &tuples, self.threads);
-            }
-
-            // A cleared side-table set parked for reuse: once the loop is
-            // two iterations deep, the outgoing delta tables are cleared
-            // (an O(slabs) arena reset for the specialized B-tree, which
-            // keeps its warm slabs) and become the next iteration's `new`,
-            // instead of allocating a fresh tree per relation per
-            // iteration.
-            let mut spare: Option<HashMap<usize, Box<dyn RelationStorage>>> = None;
-
-            loop {
-                self.stats.iterations += 1;
-                telemetry::count(telemetry::Counter::EvalIterations);
-                if telemetry::ENABLED {
-                    let delta_size: usize = delta.values().map(|d| d.len()).sum();
-                    telemetry::record(telemetry::Hist::EvalDeltaTuples, delta_size as u64);
-                }
-                let new = spare.take().unwrap_or_else(|| make_side_tables(self));
-                {
-                    let env = StorageEnv {
-                        full: &self.rels,
-                        delta: &delta,
-                        new: &new,
-                    };
-                    for (ri, plan) in &rec_plans {
-                        let t0 = std::time::Instant::now();
-                        eval_plan(plan, &env, &mut pools, &mut wstats, self.strategy);
-                        let entry = self.profile.entry(*ri).or_insert((0, 0.0));
-                        entry.0 += 1;
-                        entry.1 += t0.elapsed().as_secs_f64();
-                    }
-                }
-                let any = self.merge_stratum(&new) > 0;
-                if !any {
-                    break;
-                }
-                let mut old = std::mem::replace(&mut delta, new);
-                // Park the outgoing delta tables for the next iteration if
-                // every backend supports a cheap reset; otherwise drop them
-                // and let `make_side_tables` allocate fresh ones (the
-                // pre-recycling behavior).
-                if old.values_mut().all(|s| s.clear()) {
-                    spare = Some(old);
-                }
-            }
-            stratum_timer.observe(telemetry::Hist::EvalStratumNanos);
+            self.eval_stratum(&stratum, &mut pools, &mut wstats, &mut next_plan_id);
         }
 
         for pool in &pools {
@@ -468,7 +449,743 @@ impl Engine {
         self.stats.membership_tests = mem;
         self.stats.lower_bound_calls = lb;
         self.stats.upper_bound_calls = ub;
+        self.stats.removes = self.counters.removes_count();
         Ok(())
+    }
+
+    /// Evaluates one stratum to fixpoint over the current contents of
+    /// `self.rels`: non-recursive rules once, then the semi-naive loop.
+    /// Shared by [`run`](Self::run) and the negation-fallback recompute
+    /// inside [`retract_facts`](Self::retract_facts).
+    fn eval_stratum(
+        &mut self,
+        stratum: &Stratum,
+        pools: &mut [CtxSet],
+        wstats: &mut [WorkerStats],
+        next_plan_id: &mut usize,
+    ) {
+        let stratum_timer = telemetry::start_timer();
+        // Split the stratum's rules into non-recursive and recursive,
+        // remembering each plan's source rule for profiling.
+        let mut base_plans: Vec<(usize, Plan)> = Vec::new();
+        let mut rec_plans: Vec<(usize, Plan)> = Vec::new();
+        for &ri in &stratum.rules {
+            let rule = &self.program.rules[ri];
+            let is_recursive = rule.body.iter().any(|l| {
+                !l.negated
+                    && stratum
+                        .relations
+                        .contains(&self.strat.rel_ids[&l.atom.relation])
+            });
+            let mut plans = compile_versions(rule, &self.strat.rel_ids, &stratum.relations);
+            for plan in &mut plans {
+                plan.id = *next_plan_id;
+                *next_plan_id += 1;
+            }
+            if is_recursive {
+                rec_plans.extend(plans.into_iter().map(|p| (ri, p)));
+            } else {
+                base_plans.extend(plans.into_iter().map(|p| (ri, p)));
+            }
+        }
+
+        // Borrowed view of the full relations for the storage env.
+        let full: Vec<&dyn RelationStorage> = self.rels.iter().map(|b| b.as_ref()).collect();
+
+        // Fresh delta/new relations for this stratum.
+        let make_side_tables = |engine: &Engine| -> HashMap<usize, Box<dyn RelationStorage>> {
+            stratum
+                .relations
+                .iter()
+                .map(|&r| {
+                    (
+                        r,
+                        Box::new(CountingStorage::new(
+                            engine.kind.create(),
+                            Arc::clone(&engine.counters),
+                        )) as Box<dyn RelationStorage>,
+                    )
+                })
+                .collect()
+        };
+
+        // Phase 1: non-recursive rules derive directly into `new`, then
+        // merge.
+        {
+            let delta = make_side_tables(self);
+            let new = make_side_tables(self);
+            let env = StorageEnv {
+                full: &full,
+                delta: &delta,
+                new: &new,
+            };
+            for (ri, plan) in &base_plans {
+                let t0 = std::time::Instant::now();
+                eval_plan(plan, &env, pools, wstats, self.strategy);
+                let entry = self.profile.entry(*ri).or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 += t0.elapsed().as_secs_f64();
+            }
+            self.merge_stratum(&new);
+        }
+
+        if !stratum.recursive || rec_plans.is_empty() {
+            stratum_timer.observe(telemetry::Hist::EvalStratumNanos);
+            return;
+        }
+
+        // Phase 2: the semi-naive fixpoint. Delta starts as the full
+        // current contents of the stratum's relations.
+        let mut delta = make_side_tables(self);
+        for &r in &stratum.relations {
+            let tuples = materialize(self.rels[r].as_ref());
+            fill(delta[&r].as_ref(), &tuples, self.threads);
+        }
+
+        // A cleared side-table set parked for reuse: once the loop is
+        // two iterations deep, the outgoing delta tables are cleared
+        // (an O(slabs) arena reset for the specialized B-tree, which
+        // keeps its warm slabs) and become the next iteration's `new`,
+        // instead of allocating a fresh tree per relation per
+        // iteration.
+        let mut spare: Option<HashMap<usize, Box<dyn RelationStorage>>> = None;
+
+        loop {
+            self.stats.iterations += 1;
+            telemetry::count(telemetry::Counter::EvalIterations);
+            if telemetry::ENABLED {
+                let delta_size: usize = delta.values().map(|d| d.len()).sum();
+                telemetry::record(telemetry::Hist::EvalDeltaTuples, delta_size as u64);
+            }
+            let new = spare.take().unwrap_or_else(|| make_side_tables(self));
+            {
+                let env = StorageEnv {
+                    full: &full,
+                    delta: &delta,
+                    new: &new,
+                };
+                for (ri, plan) in &rec_plans {
+                    let t0 = std::time::Instant::now();
+                    eval_plan(plan, &env, pools, wstats, self.strategy);
+                    let entry = self.profile.entry(*ri).or_insert((0, 0.0));
+                    entry.0 += 1;
+                    entry.1 += t0.elapsed().as_secs_f64();
+                }
+            }
+            let any = self.merge_stratum(&new) > 0;
+            if !any {
+                break;
+            }
+            let mut old = std::mem::replace(&mut delta, new);
+            // Park the outgoing delta tables for the next iteration if
+            // every backend supports a cheap reset; otherwise drop them
+            // and let `make_side_tables` allocate fresh ones (the
+            // pre-recycling behavior).
+            if old.values_mut().all(|s| s.clear()) {
+                spare = Some(old);
+            }
+        }
+        stratum_timer.observe(telemetry::Hist::EvalStratumNanos);
+    }
+
+    /// Withdraws one EDB fact — see [`retract_facts`](Self::retract_facts).
+    pub fn retract_fact(
+        &mut self,
+        relation: &str,
+        tuple: &[u64],
+    ) -> Result<RetractOutcome, EngineError> {
+        self.retract_facts([(relation.to_string(), tuple.to_vec())])
+    }
+
+    /// Withdraws a batch of EDB facts and incrementally repairs every
+    /// derived relation (delete–rederive, DRed):
+    ///
+    /// 1. **Overdelete.** Before anything is physically removed, deletion
+    ///    sets grow to a fixpoint: for every rule `h :- b1, …, bn` and
+    ///    every positive `bi` over a shrinking relation, the tuples of `h`
+    ///    derivable with `bi` drawn from the deletion delta (and the other
+    ///    literals from the *old* database) join `h`'s deletion set. This
+    ///    runs as ordinary semi-naive evaluation over synthetic rules whose
+    ///    heads are pseudo relations (id `nrels + r`) backed by the
+    ///    deletion accumulators.
+    /// 2. **Delete.** Each accumulator is bulk-retracted from its relation
+    ///    via [`RelationStorage::retract_from`] (structure-aware and
+    ///    parallel on the specialized B-tree).
+    /// 3. **Rederive.** Stratum by stratum: overdeleted EDB facts that
+    ///    were not themselves retracted are reinserted, then every rule
+    ///    with an overdeleted head is replayed as `h :- Δ⁻h, b1, …, bn` to
+    ///    re-prove deleted tuples from what survived, iterated semi-naively
+    ///    within the stratum.
+    /// 4. **Negation fallback.** DRed's overdelete/rederive split is
+    ///    unsound through negation (losing a tuple can *create*
+    ///    derivations), so the first stratum negating a shrinking relation
+    ///    — and everything after it — is recomputed from scratch from the
+    ///    surviving EDB.
+    ///
+    /// Facts that were never asserted are skipped, not errors; unknown
+    /// relations and arity mismatches are errors. The database afterwards
+    /// is identical to evaluating the program without the withdrawn facts
+    /// from scratch.
+    pub fn retract_facts(
+        &mut self,
+        facts: impl IntoIterator<Item = (String, Vec<u64>)>,
+    ) -> Result<RetractOutcome, EngineError> {
+        let nrels = self.program.decls.len();
+        let size_before: i64 = self.rels.iter().map(|r| r.len() as i64).sum();
+        let mut outcome = RetractOutcome::default();
+
+        // Seed the deletion sets with the withdrawn facts.
+        let mut seeds: HashMap<usize, Vec<TupleBuf>> = HashMap::new();
+        for (name, tuple) in facts {
+            let &rel = self
+                .strat
+                .rel_ids
+                .get(&name)
+                .ok_or_else(|| EngineError::UnknownRelation(name.clone()))?;
+            let expected = self.program.decls[rel].arity;
+            if tuple.len() != expected {
+                return Err(EngineError::ArityMismatch {
+                    relation: name,
+                    expected,
+                    got: tuple.len(),
+                });
+            }
+            let t = pad(&tuple);
+            if self.edb[rel].remove(&t) {
+                outcome.retracted_inputs += 1;
+                seeds.entry(rel).or_default().push(t);
+            }
+        }
+        if seeds.is_empty() {
+            return Ok(outcome);
+        }
+        self.stats.retracted_inputs += outcome.retracted_inputs;
+
+        // Dirty-relation fixpoint in stratum order. The first stratum with
+        // a rule negating an already-dirty relation becomes the fallback
+        // point: it and everything after it are recomputed, so dirtiness
+        // past it is irrelevant (negated relations always live in strictly
+        // earlier strata, hence their dirtiness is settled here).
+        let strata = self.strat.strata.clone();
+        let mut dirty: HashSet<usize> = seeds.keys().copied().collect();
+        let mut fallback_from = strata.len();
+        'strata: for (si, stratum) in strata.iter().enumerate() {
+            for &ri in &stratum.rules {
+                if self.program.rules[ri]
+                    .body
+                    .iter()
+                    .any(|l| l.negated && dirty.contains(&self.strat.rel_ids[&l.atom.relation]))
+                {
+                    fallback_from = si;
+                    break 'strata;
+                }
+            }
+            loop {
+                let mut changed = false;
+                for &ri in &stratum.rules {
+                    let rule = &self.program.rules[ri];
+                    let head = self.strat.rel_ids[&rule.head.relation];
+                    if !dirty.contains(&head)
+                        && rule.body.iter().any(|l| {
+                            !l.negated && dirty.contains(&self.strat.rel_ids[&l.atom.relation])
+                        })
+                    {
+                        dirty.insert(head);
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
+        // Stratum index per relation; pure EDB relations belong to none
+        // (usize::MAX) and are always handled by DRed, never by recompute.
+        let mut rel_stratum = vec![usize::MAX; nrels];
+        for (si, st) in strata.iter().enumerate() {
+            for &r in &st.relations {
+                rel_stratum[r] = si;
+            }
+        }
+        let dred_covers = |r: usize| rel_stratum[r] == usize::MAX || rel_stratum[r] < fallback_from;
+        let mut dred_dirty: Vec<usize> =
+            dirty.iter().copied().filter(|&r| dred_covers(r)).collect();
+        dred_dirty.sort_unstable();
+
+        // Extended relation-id space: `~del~r` at id `nrels + r` names the
+        // deletion accumulator of relation r (`~` is outside the parser's
+        // grammar, so the names can never collide with user relations).
+        let mut ext_ids = self.strat.rel_ids.clone();
+        let del_name: HashMap<usize, String> = dred_dirty
+            .iter()
+            .map(|&r| (r, format!("~del~{}", self.program.decls[r].name)))
+            .collect();
+        for (&r, n) in &del_name {
+            ext_ids.insert(n.clone(), nrels + r);
+        }
+
+        // Compile the overdeletion rules: Δ⁻h(args) :- b1, …, bn, h(args),
+        // one plan version per dirty positive body literal (which reads the
+        // deletion delta). The appended head literal restricts derivations
+        // to tuples actually present and is never a delta candidate, which
+        // is why versions are picked by hand instead of `compile_versions`.
+        let mut next_plan_id = 0usize;
+        let mut over_plans: Vec<Plan> = Vec::new();
+        for stratum in strata.iter().take(fallback_from) {
+            for &ri in &stratum.rules {
+                let rule = &self.program.rules[ri];
+                let head_rel = self.strat.rel_ids[&rule.head.relation];
+                let dirty_positions: Vec<usize> = rule
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| {
+                        !l.negated
+                            && dred_dirty
+                                .binary_search(&self.strat.rel_ids[&l.atom.relation])
+                                .is_ok()
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if dirty_positions.is_empty() {
+                    continue;
+                }
+                let mut body = rule.body.clone();
+                body.push(Literal {
+                    atom: rule.head.clone(),
+                    negated: false,
+                });
+                let syn = Rule {
+                    head: Atom {
+                        relation: del_name[&head_rel].clone(),
+                        terms: rule.head.terms.clone(),
+                    },
+                    body,
+                    constraints: rule.constraints.clone(),
+                };
+                for p in dirty_positions {
+                    // Hoisting the deletion delta outermost is right when
+                    // the remaining literals stay index-supported; when it
+                    // strands one without a bound prefix (a full scan per
+                    // delta tuple), evaluate in source order instead and
+                    // probe the delta where it sits — the full scan then
+                    // runs once, chunked across workers.
+                    let mut plan = compile_one(&syn, &ext_ids, Some(p));
+                    if has_unprefixed_inner_scan(&plan) {
+                        let flat = compile_one_at(&syn, &ext_ids, Some(p), false);
+                        if !has_unprefixed_inner_scan(&flat) {
+                            plan = flat;
+                        }
+                    }
+                    plan.id = next_plan_id;
+                    next_plan_id += 1;
+                    over_plans.push(plan);
+                }
+            }
+        }
+
+        // Phase 1 — overdelete to fixpoint. Nothing is physically removed
+        // yet, so non-delta positions still read the old database.
+        let mut pools: Vec<CtxSet> = (0..self.threads).map(|_| CtxSet::new()).collect();
+        let mut wstats: Vec<WorkerStats> = vec![WorkerStats::default(); self.threads];
+        let empty = self.kind.create();
+
+        let mut del_acc: HashMap<usize, Box<dyn RelationStorage>> = HashMap::new();
+        let mut del_round: HashMap<usize, Box<dyn RelationStorage>> = HashMap::new();
+        for &r in &dred_dirty {
+            let acc = self.kind.create();
+            let rnd = self.kind.create();
+            if let Some(ts) = seeds.get(&r) {
+                fill(acc.as_ref(), ts, self.threads);
+                fill(rnd.as_ref(), ts, self.threads);
+            }
+            outcome.overdeleted += acc.len() as u64;
+            del_acc.insert(r, acc);
+            del_round.insert(r, rnd);
+        }
+
+        let t_phase = std::time::Instant::now();
+        if !over_plans.is_empty() {
+            loop {
+                let mut del_new: HashMap<usize, Box<dyn RelationStorage>> = dred_dirty
+                    .iter()
+                    .map(|&r| (nrels + r, self.kind.create()))
+                    .collect();
+                {
+                    let full = extended_full(&self.rels, &del_acc, empty.as_ref());
+                    let env = StorageEnv {
+                        full: &full,
+                        delta: &del_round,
+                        new: &del_new,
+                    };
+                    for plan in &over_plans {
+                        // A plan whose deletion delta is empty this round
+                        // derives nothing; skipping it matters for the
+                        // source-order versions, whose outer scan is a
+                        // full relation.
+                        let idle = plan_delta_rel(plan)
+                            .is_some_and(|r| del_round.get(&r).is_none_or(|s| s.is_empty()));
+                        if idle {
+                            continue;
+                        }
+                        let t0 = std::time::Instant::now();
+                        eval_plan(plan, &env, &mut pools, &mut wstats, self.strategy);
+                        trace_plan("overdelete", plan, t0);
+                    }
+                }
+                let mut grew = false;
+                for &r in &dred_dirty {
+                    let newly = del_new.remove(&(nrels + r)).expect("allocated above");
+                    let added = del_acc[&r].merge_from(newly.as_ref(), self.threads);
+                    outcome.overdeleted += added;
+                    grew |= added > 0;
+                    del_round.insert(r, newly);
+                }
+                if !grew {
+                    break;
+                }
+            }
+        }
+
+        outcome.overdelete_seconds = t_phase.elapsed().as_secs_f64();
+
+        // Phase 2 — physically remove every overdeleted tuple.
+        let t_phase = std::time::Instant::now();
+        for &r in &dred_dirty {
+            if !del_acc[&r].is_empty() {
+                self.rels[r].retract_from(del_acc[&r].as_ref(), self.threads);
+            }
+        }
+        outcome.delete_seconds = t_phase.elapsed().as_secs_f64();
+
+        // Phase 3 — rederive, stratum by stratum.
+        let t_phase = std::time::Instant::now();
+        for stratum in strata.iter().take(fallback_from) {
+            let ds: Vec<usize> = stratum
+                .relations
+                .iter()
+                .copied()
+                .filter(|r| del_acc.get(r).map(|a| !a.is_empty()).unwrap_or(false))
+                .collect();
+            if ds.is_empty() {
+                continue;
+            }
+
+            // Overdeleted EDB facts that were not retracted survive by
+            // definition; putting them back seeds the rederivation delta.
+            // The full deletion sets are materialized on the side for the
+            // seed pass's batching below.
+            let mut round: HashMap<usize, Box<dyn RelationStorage>> =
+                ds.iter().map(|&r| (r, self.kind.create())).collect();
+            let mut del_tuples: HashMap<usize, Vec<TupleBuf>> = HashMap::new();
+            for &r in &ds {
+                let mut all: Vec<TupleBuf> = Vec::with_capacity(del_acc[&r].len());
+                let mut keep: Vec<TupleBuf> = Vec::new();
+                let edb = &self.edb[r];
+                del_acc[&r].for_each(&mut |t| {
+                    all.push(*t);
+                    if edb.contains(t) {
+                        keep.push(*t);
+                    }
+                });
+                if !keep.is_empty() {
+                    fill(self.rels[r].as_ref(), &keep, self.threads);
+                    fill(round[&r].as_ref(), &keep, self.threads);
+                    outcome.rederived += keep.len() as u64;
+                }
+                del_tuples.insert(r, all);
+            }
+
+            // One seed job per rule whose head rederives here. Each job
+            // carries up to three weapons, picked at runtime:
+            //
+            // * a support filter — a deleted tuple can only come back via
+            //   rule R if, for every head variable shared with a positive
+            //   body literal, its value occurs in that literal's relation.
+            //   Projecting the smallest such relation onto the shared
+            //   columns and filtering Δ⁻ against it prunes unrederivable
+            //   tuples for the cost of one small scan (Gupta–Mumick-style
+            //   rederivation pruning);
+            // * a deletion-first plan — h(args) :- Δ⁻h(args), b1, …, bn —
+            //   whose cost is |Δ⁻| × join fanout;
+            // * a body-first plan — h(args) :- b1, …, bn, Δ⁻h(args) — one
+            //   parallel sweep of the surviving body regardless of |Δ⁻|.
+            //
+            // Neither join shape dominates, so execution starts
+            // deletion-first in growing batches and switches to body-first
+            // when the projected total overtakes the sweep estimate. Delta
+            // versions (semi-naive follow-up rounds) reuse the overdelete
+            // hoisting heuristic instead.
+            struct SeedJob {
+                head_rel: usize,
+                del_plan: Plan,
+                alt_plan: Option<Plan>,
+                alt_outer: u64,
+                /// `(relation, [(body column, head column), …])` of the
+                /// support filter's projection.
+                filter: Option<(usize, Vec<(usize, usize)>)>,
+            }
+            let mut jobs: Vec<SeedJob> = Vec::new();
+            let mut delta_plans: Vec<Plan> = Vec::new();
+            for &ri in &stratum.rules {
+                let rule = &self.program.rules[ri];
+                let head_rel = self.strat.rel_ids[&rule.head.relation];
+                if !ds.contains(&head_rel) {
+                    continue;
+                }
+                let del_lit = Literal {
+                    atom: Atom {
+                        relation: del_name[&head_rel].clone(),
+                        terms: rule.head.terms.clone(),
+                    },
+                    negated: false,
+                };
+                let mut body = vec![del_lit.clone()];
+                body.extend(rule.body.iter().cloned());
+                let syn = Rule {
+                    head: rule.head.clone(),
+                    body,
+                    constraints: rule.constraints.clone(),
+                };
+                let mut del_plan = compile_one(&syn, &ext_ids, None);
+                del_plan.id = next_plan_id;
+                next_plan_id += 1;
+                for (bi, lit) in syn.body.iter().enumerate().skip(1) {
+                    if !lit.negated && ds.contains(&ext_ids[&lit.atom.relation]) {
+                        let mut plan = compile_one(&syn, &ext_ids, Some(bi));
+                        if has_unprefixed_inner_scan(&plan) {
+                            let flat = compile_one_at(&syn, &ext_ids, Some(bi), false);
+                            if !has_unprefixed_inner_scan(&flat) {
+                                plan = flat;
+                            }
+                        }
+                        plan.id = next_plan_id;
+                        next_plan_id += 1;
+                        delta_plans.push(plan);
+                    }
+                }
+                // Body-first alternative: head vars are body-bound (range
+                // restriction), so the trailing Δ⁻ literal is a pure check.
+                let (alt_plan, alt_outer) = match rule.body.first() {
+                    Some(first) if !first.negated => {
+                        let mut body = rule.body.clone();
+                        body.push(del_lit);
+                        let syn = Rule {
+                            head: rule.head.clone(),
+                            body,
+                            constraints: rule.constraints.clone(),
+                        };
+                        let mut plan = compile_one(&syn, &ext_ids, None);
+                        plan.id = next_plan_id;
+                        next_plan_id += 1;
+                        let outer = self.strat.rel_ids[&first.atom.relation];
+                        (Some(plan), self.rels[outer].len() as u64)
+                    }
+                    _ => (None, u64::MAX),
+                };
+                // Support filter: the smallest positive body literal
+                // sharing variables with the head, worth a projection scan
+                // only when clearly cheaper than the deletion-first join.
+                let filter = rule
+                    .body
+                    .iter()
+                    .filter(|l| !l.negated)
+                    .filter_map(|lit| {
+                        let rel = self.strat.rel_ids[&lit.atom.relation];
+                        let pairs: Vec<(usize, usize)> = lit
+                            .atom
+                            .terms
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(cl, t)| match t {
+                                Term::Var(v) => rule
+                                    .head
+                                    .terms
+                                    .iter()
+                                    .position(|h| matches!(h, Term::Var(hv) if hv == v))
+                                    .map(|ch| (cl, ch)),
+                                _ => None,
+                            })
+                            .collect();
+                        if pairs.is_empty() {
+                            None
+                        } else {
+                            Some((rel, pairs))
+                        }
+                    })
+                    .min_by_key(|(rel, _)| self.rels[*rel].len())
+                    .filter(|(rel, _)| {
+                        self.rels[*rel].len() < del_tuples[&head_rel].len().saturating_mul(32)
+                    });
+                jobs.push(SeedJob {
+                    head_rel,
+                    del_plan,
+                    alt_plan,
+                    alt_outer,
+                    filter,
+                });
+            }
+
+            // Seed pass: re-prove deletions from the repaired database,
+            // one job at a time. Emission dedupes against the database and
+            // the side tables, so overlap between jobs (or between the
+            // batched prefix and a body-first sweep) is harmless.
+            const SEED_BATCH: usize = 256;
+            let no_delta: HashMap<usize, Box<dyn RelationStorage>> = HashMap::new();
+            let new_tabs: HashMap<usize, Box<dyn RelationStorage>> =
+                ds.iter().map(|&r| (r, self.kind.create())).collect();
+            let mut projections: HashMap<(usize, usize), HashSet<u64>> = HashMap::new();
+            for job in &jobs {
+                let r = job.head_rel;
+                let dels: Vec<TupleBuf> = match &job.filter {
+                    Some((frel, pairs)) => {
+                        for &(cl, _) in pairs {
+                            projections.entry((*frel, cl)).or_insert_with(|| {
+                                let mut set = HashSet::new();
+                                self.rels[*frel].for_each(&mut |t| {
+                                    set.insert(t[cl]);
+                                });
+                                set
+                            });
+                        }
+                        del_tuples[&r]
+                            .iter()
+                            .filter(|t| {
+                                pairs
+                                    .iter()
+                                    .all(|&(cl, ch)| projections[&(*frel, cl)].contains(&t[ch]))
+                            })
+                            .copied()
+                            .collect()
+                    }
+                    None => del_tuples[&r].clone(),
+                };
+                if dels.is_empty() {
+                    continue; // nothing this rule could rederive
+                }
+
+                // Deletion-first in geometrically growing batches; bail to
+                // the body-first sweep once the projected total cost
+                // overtakes it.
+                let mut switch_to_alt = false;
+                let scanned0: u64 = wstats.iter().map(|w| w.tuples_scanned).sum();
+                let mut idx = 0usize;
+                let mut batch = if job.alt_plan.is_some() {
+                    SEED_BATCH
+                } else {
+                    dels.len()
+                };
+                while idx < dels.len() {
+                    let end = (idx + batch).min(dels.len());
+                    let part = self.kind.create();
+                    fill(part.as_ref(), &dels[idx..end], self.threads);
+                    let saved = del_acc.insert(r, part).expect("r is dirty");
+                    {
+                        let full = extended_full(&self.rels, &del_acc, empty.as_ref());
+                        let env = StorageEnv {
+                            full: &full,
+                            delta: &no_delta,
+                            new: &new_tabs,
+                        };
+                        let t0 = std::time::Instant::now();
+                        eval_plan(&job.del_plan, &env, &mut pools, &mut wstats, self.strategy);
+                        trace_plan("rederive-seed", &job.del_plan, t0);
+                    }
+                    del_acc.insert(r, saved);
+                    idx = end;
+                    batch = batch.saturating_mul(4);
+                    if idx < dels.len() {
+                        let scanned =
+                            wstats.iter().map(|w| w.tuples_scanned).sum::<u64>() - scanned0;
+                        let projected = (scanned as f64) * (dels.len() as f64) / (idx as f64);
+                        if projected > job.alt_outer as f64 {
+                            switch_to_alt = true;
+                            break;
+                        }
+                    }
+                }
+                if switch_to_alt {
+                    let full = extended_full(&self.rels, &del_acc, empty.as_ref());
+                    let env = StorageEnv {
+                        full: &full,
+                        delta: &no_delta,
+                        new: &new_tabs,
+                    };
+                    let plan = job.alt_plan.as_ref().expect("switch requires alt");
+                    let t0 = std::time::Instant::now();
+                    eval_plan(plan, &env, &mut pools, &mut wstats, self.strategy);
+                    trace_plan("rederive-alt", plan, t0);
+                }
+            }
+            for &r in &ds {
+                let added = self.rels[r].merge_from(new_tabs[&r].as_ref(), self.threads);
+                outcome.rederived += added;
+                round[&r].merge_from(new_tabs[&r].as_ref(), self.threads);
+            }
+
+            // Semi-naive rounds: rederived tuples may re-prove more.
+            while !delta_plans.is_empty() && round.values().any(|s| !s.is_empty()) {
+                let new_tabs: HashMap<usize, Box<dyn RelationStorage>> =
+                    ds.iter().map(|&r| (r, self.kind.create())).collect();
+                {
+                    let full = extended_full(&self.rels, &del_acc, empty.as_ref());
+                    let env = StorageEnv {
+                        full: &full,
+                        delta: &round,
+                        new: &new_tabs,
+                    };
+                    for plan in &delta_plans {
+                        let idle = plan_delta_rel(plan)
+                            .is_some_and(|dr| round.get(&dr).is_none_or(|s| s.is_empty()));
+                        if idle {
+                            continue;
+                        }
+                        eval_plan(plan, &env, &mut pools, &mut wstats, self.strategy);
+                    }
+                }
+                let mut grew = false;
+                for &r in &ds {
+                    let added = self.rels[r].merge_from(new_tabs[&r].as_ref(), self.threads);
+                    outcome.rederived += added;
+                    grew |= added > 0;
+                }
+                round = new_tabs;
+                if !grew {
+                    break;
+                }
+            }
+        }
+
+        outcome.rederive_seconds = t_phase.elapsed().as_secs_f64();
+
+        // Phase 4 — negation fallback: recompute the remaining strata from
+        // the surviving EDB.
+        let t_phase = std::time::Instant::now();
+        if fallback_from < strata.len() {
+            for stratum in &strata[fallback_from..] {
+                for &r in &stratum.relations {
+                    self.rels[r] = Box::new(CountingStorage::new(
+                        self.kind.create(),
+                        Arc::clone(&self.counters),
+                    ));
+                    let tuples: Vec<TupleBuf> = self.edb[r].iter().copied().collect();
+                    if !tuples.is_empty() {
+                        fill(self.rels[r].as_ref(), &tuples, self.threads);
+                    }
+                }
+                self.eval_stratum(stratum, &mut pools, &mut wstats, &mut next_plan_id);
+                outcome.recomputed_strata += 1;
+            }
+        }
+        outcome.fallback_seconds = t_phase.elapsed().as_secs_f64();
+
+        self.stats.overdeleted_tuples += outcome.overdeleted;
+        self.stats.rederived_tuples += outcome.rederived;
+        self.stats.removes = self.counters.removes_count();
+        let size_after: i64 = self.rels.iter().map(|r| r.len() as i64).sum();
+        outcome.net_removed = size_before - size_after;
+        Ok(outcome)
     }
 
     /// Folds every `new` side table of a stratum into its full relation
@@ -700,5 +1417,226 @@ impl Engine {
             }
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const TC: &str = r#"
+        .decl edge(x: number, y: number)
+        .decl path(x: number, y: number)
+        .output path
+        path(x, y) :- edge(x, y).
+        path(x, z) :- path(x, y), edge(y, z).
+    "#;
+
+    /// Evaluates `src` with `facts`, retracts `gone`, and checks the
+    /// database equals a from-scratch evaluation without `gone`.
+    fn check_equiv(src: &str, facts: &[(&str, Vec<u64>)], gone: &[(&str, Vec<u64>)]) {
+        let program = parse(src).unwrap();
+        let mut eng = Engine::new(&program, StorageKind::SpecBTree, 2).unwrap();
+        for (r, t) in facts {
+            eng.add_fact(r, t).unwrap();
+        }
+        eng.run().unwrap();
+        eng.retract_facts(
+            gone.iter()
+                .map(|(r, t)| (r.to_string(), t.clone()))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+
+        let mut oracle = Engine::new(&program, StorageKind::SpecBTree, 2).unwrap();
+        for (r, t) in facts {
+            if !gone.contains(&(*r, t.clone())) {
+                oracle.add_fact(r, t).unwrap();
+            }
+        }
+        oracle.run().unwrap();
+
+        for decl in &parse(src).unwrap().decls {
+            assert_eq!(
+                eng.relation(&decl.name).unwrap(),
+                oracle.relation(&decl.name).unwrap(),
+                "relation {} diverged after retraction",
+                decl.name
+            );
+        }
+    }
+
+    #[test]
+    fn retract_chain_edge_cuts_reachability() {
+        let facts: Vec<(&str, Vec<u64>)> = (1..6).map(|i| ("edge", vec![i, i + 1])).collect();
+        check_equiv(TC, &facts, &[("edge", vec![3, 4])]);
+    }
+
+    #[test]
+    fn retract_keeps_multi_derivation_paths() {
+        // Diamond: 1→2→4 and 1→3→4; removing one branch keeps path(1,4).
+        let facts: Vec<(&str, Vec<u64>)> = vec![
+            ("edge", vec![1, 2]),
+            ("edge", vec![2, 4]),
+            ("edge", vec![1, 3]),
+            ("edge", vec![3, 4]),
+            ("edge", vec![4, 5]),
+        ];
+        let program = parse(TC).unwrap();
+        let mut eng = Engine::new(&program, StorageKind::SpecBTree, 2).unwrap();
+        for (r, t) in &facts {
+            eng.add_fact(r, t).unwrap();
+        }
+        eng.run().unwrap();
+        let out = eng.retract_fact("edge", &[2, 4]).unwrap();
+        assert!(out.rederived > 0, "path(1,4) must be rederived via 1→3→4");
+        assert!(eng.query("path", &[1, 4]).unwrap().contains(&vec![1, 4]));
+        check_equiv(TC, &facts, &[("edge", vec![2, 4])]);
+    }
+
+    #[test]
+    fn retract_batch_multiple_edges() {
+        let facts: Vec<(&str, Vec<u64>)> = (1..10).map(|i| ("edge", vec![i, i + 1])).collect();
+        check_equiv(TC, &facts, &[("edge", vec![2, 3]), ("edge", vec![7, 8])]);
+    }
+
+    #[test]
+    fn retract_through_negation_recomputes_later_strata() {
+        let src = r#"
+            .decl edge(x: number, y: number)
+            .decl node(x: number)
+            .decl path(x: number, y: number)
+            .decl unreach(x: number, y: number)
+            .output unreach
+            path(x, y) :- edge(x, y).
+            path(x, z) :- path(x, y), edge(y, z).
+            unreach(x, y) :- node(x), node(y), !path(x, y).
+        "#;
+        let mut facts: Vec<(&str, Vec<u64>)> = (1..5).map(|i| ("node", vec![i])).collect();
+        facts.extend((1..4).map(|i| ("edge", vec![i, i + 1])));
+        let program = parse(src).unwrap();
+        let mut eng = Engine::new(&program, StorageKind::SpecBTree, 2).unwrap();
+        for (r, t) in &facts {
+            eng.add_fact(r, t).unwrap();
+        }
+        eng.run().unwrap();
+        let out = eng.retract_fact("edge", &[2, 3]).unwrap();
+        assert!(out.recomputed_strata > 0, "negation stratum must recompute");
+        // Losing edge(2,3) makes 2↛3, 2↛4, 1↛3, 1↛4 newly unreachable: the
+        // database can grow net.
+        assert!(eng.query("unreach", &[2, 3]).unwrap().contains(&vec![2, 3]));
+        check_equiv(src, &facts, &[("edge", vec![2, 3])]);
+    }
+
+    #[test]
+    fn retract_unknown_fact_is_noop_and_unknown_relation_errors() {
+        let program = parse(TC).unwrap();
+        let mut eng = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+        eng.add_fact("edge", &[1, 2]).unwrap();
+        eng.run().unwrap();
+        let out = eng.retract_fact("edge", &[8, 9]).unwrap();
+        assert_eq!(out.retracted_inputs, 0);
+        assert_eq!(out.net_removed, 0);
+        assert!(matches!(
+            eng.retract_fact("ghost", &[1]),
+            Err(EngineError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            eng.retract_fact("edge", &[1]),
+            Err(EngineError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn retract_then_reassert_round_trips() {
+        let program = parse(TC).unwrap();
+        let mut eng = Engine::new(&program, StorageKind::SpecBTree, 2).unwrap();
+        for i in 1..6 {
+            eng.add_fact("edge", &[i, i + 1]).unwrap();
+        }
+        eng.run().unwrap();
+        let before = eng.relation("path").unwrap();
+        eng.retract_fact("edge", &[3, 4]).unwrap();
+        eng.add_fact("edge", &[3, 4]).unwrap();
+        eng.run().unwrap();
+        assert_eq!(eng.relation("path").unwrap(), before);
+    }
+
+    #[test]
+    fn retract_edb_fact_that_is_also_derivable() {
+        // path(1,3) asserted directly AND derivable from edges; retracting
+        // the assertion must keep the derived tuple.
+        let facts: Vec<(&str, Vec<u64>)> = vec![
+            ("edge", vec![1, 2]),
+            ("edge", vec![2, 3]),
+            ("path", vec![1, 3]),
+        ];
+        check_equiv(TC, &facts, &[("path", vec![1, 3])]);
+    }
+
+    #[test]
+    fn retract_before_any_run_just_removes_input() {
+        let program = parse(TC).unwrap();
+        let mut eng = Engine::new(&program, StorageKind::SpecBTree, 1).unwrap();
+        eng.add_fact("edge", &[1, 2]).unwrap();
+        eng.add_fact("edge", &[2, 3]).unwrap();
+        let out = eng.retract_fact("edge", &[1, 2]).unwrap();
+        assert_eq!(out.retracted_inputs, 1);
+        assert_eq!(eng.relation_len("edge").unwrap(), 1);
+        assert_eq!(eng.edb_len("edge").unwrap(), 1);
+        eng.run().unwrap();
+        assert_eq!(eng.relation_len("path").unwrap(), 1);
+    }
+
+    #[test]
+    fn retract_stats_and_json_fields() {
+        let program = parse(TC).unwrap();
+        let mut eng = Engine::new(&program, StorageKind::SpecBTree, 2).unwrap();
+        for i in 1..6 {
+            eng.add_fact("edge", &[i, i + 1]).unwrap();
+        }
+        eng.run().unwrap();
+        let out = eng.retract_fact("edge", &[3, 4]).unwrap();
+        assert!(out.overdeleted > 0 && out.net_removed > 0);
+        let s = eng.stats();
+        assert_eq!(s.retracted_inputs, 1);
+        assert!(s.overdeleted_tuples >= out.overdeleted);
+        assert!(s.removes > 0);
+        let js = s.to_json();
+        for key in [
+            "\"removes\"",
+            "\"retracted_inputs\"",
+            "\"overdeleted_tuples\"",
+            "\"rederived_tuples\"",
+        ] {
+            assert!(js.contains(key), "missing {key} in {js}");
+        }
+    }
+
+    #[test]
+    fn retract_on_every_storage_kind() {
+        let facts: Vec<(&str, Vec<u64>)> = (1..8).map(|i| ("edge", vec![i, i + 1])).collect();
+        let program = parse(TC).unwrap();
+        for kind in StorageKind::ALL {
+            let mut eng = Engine::new(&program, kind, 2).unwrap();
+            for (r, t) in &facts {
+                eng.add_fact(r, t).unwrap();
+            }
+            eng.run().unwrap();
+            eng.retract_fact("edge", &[4, 5]).unwrap();
+            let mut oracle = Engine::new(&program, kind, 2).unwrap();
+            for (r, t) in &facts {
+                if *t != vec![4, 5] {
+                    oracle.add_fact(r, t).unwrap();
+                }
+            }
+            oracle.run().unwrap();
+            assert_eq!(
+                eng.relation("path").unwrap(),
+                oracle.relation("path").unwrap(),
+                "kind {kind:?} diverged"
+            );
+        }
     }
 }

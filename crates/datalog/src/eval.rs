@@ -150,11 +150,32 @@ pub(crate) fn compile_versions(
 }
 
 /// Compiles one version; `delta_pos` marks the body literal that reads the
-/// delta relation and is hoisted to the front.
-fn compile_one(rule: &Rule, rel_ids: &HashMap<String, usize>, delta_pos: Option<usize>) -> Plan {
+/// delta relation and is hoisted to the front. Exposed to the engine so the
+/// retraction machinery can pick delta positions itself (its synthetic
+/// rules carry appended/prepended literals that must never drive a delta).
+pub(crate) fn compile_one(
+    rule: &Rule,
+    rel_ids: &HashMap<String, usize>,
+    delta_pos: Option<usize>,
+) -> Plan {
+    compile_one_at(rule, rel_ids, delta_pos, true)
+}
+
+/// [`compile_one`] with an explicit hoisting choice. `hoist: false` leaves
+/// the delta literal at its source position: when hoisting would strand a
+/// later literal without any bound prefix (an unindexed full scan *per
+/// outer tuple*), evaluating the body in source order and probing the
+/// delta where it sits is asymptotically cheaper — the full scan becomes
+/// the outermost loop and runs once, chunked across workers.
+pub(crate) fn compile_one_at(
+    rule: &Rule,
+    rel_ids: &HashMap<String, usize>,
+    delta_pos: Option<usize>,
+    hoist: bool,
+) -> Plan {
     // Literal evaluation order: delta literal first, others in source order.
     let mut order: Vec<usize> = (0..rule.body.len()).collect();
-    if let Some(p) = delta_pos {
+    if let (Some(p), true) = (delta_pos, hoist) {
         order.retain(|&i| i != p);
         order.insert(0, p);
     }
@@ -309,6 +330,33 @@ fn compile_one(rule: &Rule, rel_ids: &HashMap<String, usize>, delta_pos: Option<
     }
 }
 
+/// Whether any non-outermost step is a scan with no bound prefix — an
+/// unindexed full scan re-run once per outer tuple. Such plans are only
+/// worth keeping when the outer loop is known to be tiny; the retraction
+/// planner uses this to decide between delta-hoisted and source-order
+/// versions of its synthetic rules.
+pub(crate) fn has_unprefixed_inner_scan(plan: &Plan) -> bool {
+    plan.steps
+        .iter()
+        .skip(1)
+        .any(|s| matches!(s, Step::Scan { prefix, .. } if prefix.is_empty()))
+}
+
+/// The relation id whose delta the plan reads, if any. Evaluating a plan
+/// whose delta source is empty is a no-op; callers skip it outright, which
+/// matters for non-hoisted versions whose *outer* scan is a full relation.
+pub(crate) fn plan_delta_rel(plan: &Plan) -> Option<usize> {
+    plan.steps.iter().find_map(|s| match s {
+        Step::Scan {
+            rel, delta: true, ..
+        }
+        | Step::Check {
+            rel, delta: true, ..
+        } => Some(*rel),
+        _ => None,
+    })
+}
+
 impl Plan {
     /// Renders the plan as a one-line pipeline description for `EXPLAIN`
     /// output; `names` maps relation ids to names.
@@ -398,9 +446,14 @@ impl Plan {
 }
 
 /// Resolves `delta` flags to concrete storages for one evaluation round.
+///
+/// `full` is a slice of borrowed storages (not owned boxes) so callers can
+/// splice extra *pseudo relations* past the declared ids — the retraction
+/// engine maps relation id `nrels + r` to the deletion accumulator of
+/// relation `r` and compiles plans against the extended id space.
 pub(crate) struct StorageEnv<'a> {
     /// Full contents of every relation (indexed by relation id).
-    pub full: &'a [Box<dyn RelationStorage>],
+    pub full: &'a [&'a dyn RelationStorage],
     /// Delta relations of the current stratum (relation id → storage).
     pub delta: &'a HashMap<usize, Box<dyn RelationStorage>>,
     /// The `new` relations tuples are derived into.
@@ -408,11 +461,11 @@ pub(crate) struct StorageEnv<'a> {
 }
 
 impl<'a> StorageEnv<'a> {
-    fn source(&self, rel: usize, delta: bool) -> &dyn RelationStorage {
+    fn source(&self, rel: usize, delta: bool) -> &'a dyn RelationStorage {
         if delta {
             self.delta[&rel].as_ref()
         } else {
-            self.full[rel].as_ref()
+            self.full[rel]
         }
     }
 }
@@ -749,7 +802,7 @@ impl Evaluator<'_, '_, '_> {
             t[i] = slot.value(vars);
         }
         let site = (self.plan.id << 8) | 0xFF;
-        let full = self.env.full[self.plan.head_rel].as_ref();
+        let full = self.env.full[self.plan.head_rel];
         let known = {
             let ctx = self.ctxs.ctx(full, self.plan.head_rel, 0, site);
             full.contains(&t, ctx)

@@ -50,7 +50,7 @@ pub mod storage;
 mod strat;
 
 pub use ast::{Program, MAX_ARITY};
-pub use engine::{Engine, EngineError, EvalStats, RuleProfile};
+pub use engine::{Engine, EngineError, EvalStats, RetractOutcome, RuleProfile};
 pub use eval::{ParallelStrategy, WorkerStats, CHUNKS_PER_WORKER};
 pub use io::IoError;
 pub use parser::{parse, ParseError};

@@ -19,7 +19,7 @@ use baselines::rbtree::RbTreeSet;
 use baselines::splitorder::SplitOrderedSet;
 use specbtree::{BTreeHints, BTreeSet, HintStats};
 use std::any::Any;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::Arc;
 
 /// A tuple padded to the maximum arity.
@@ -74,6 +74,12 @@ pub trait RelationStorage: Send + Sync {
     /// Inserts `t`, returning `true` if newly inserted. Safe to call
     /// concurrently from many threads (each with its own context).
     fn insert(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool;
+
+    /// Removes `t`, returning `true` if it was present (this call deleted
+    /// it). Same concurrency contract as [`insert`](Self::insert): safe
+    /// from many threads, each with its own context; racing removers of
+    /// one tuple see exactly one `true`.
+    fn remove(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool;
 
     /// Membership test. Safe under concurrency for tuples not being
     /// concurrently inserted.
@@ -189,6 +195,16 @@ pub trait RelationStorage: Send + Sync {
         let _ = workers;
         merge_sequential(self, src)
     }
+
+    /// Removes every tuple of `src` from `self` on up to `workers` threads,
+    /// returning how many were actually present — the deletion dual of
+    /// [`merge_from`](Self::merge_from), used by the engine's retraction
+    /// pass to subtract an over-deletion set from a full relation. `src`
+    /// must be quiescent.
+    fn retract_from(&self, src: &dyn RelationStorage, workers: usize) -> u64 {
+        let _ = workers;
+        retract_sequential(self, src)
+    }
 }
 
 /// The universal per-tuple merge fallback: iterate `src`, insert into
@@ -202,6 +218,19 @@ fn merge_sequential(dst: &(impl RelationStorage + ?Sized), src: &dyn RelationSto
         }
     });
     added
+}
+
+/// The universal per-tuple retraction fallback: iterate `src`, remove from
+/// `dst`, count the tuples that were present.
+fn retract_sequential(dst: &(impl RelationStorage + ?Sized), src: &dyn RelationStorage) -> u64 {
+    let mut ctx = dst.make_ctx();
+    let mut removed = 0u64;
+    src.for_each(&mut |t| {
+        if dst.remove(t, &mut ctx) {
+            removed += 1;
+        }
+    });
+    removed
 }
 
 /// Which data structure backs each relation — the engine-level analog of
@@ -307,6 +336,13 @@ impl RelationStorage for SpecBTreeStorage {
         } else {
             self.tree.insert(*t)
         }
+    }
+
+    fn remove(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
+        // No hinted variant: the removal protocol's restart-on-conflict
+        // descent re-validates from the root, so a cached leaf lease buys
+        // nothing and may be mid-unlink.
+        self.tree.remove(t)
     }
 
     fn contains(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool {
@@ -444,6 +480,15 @@ impl RelationStorage for SpecBTreeStorage {
             None => merge_sequential(self, src),
         }
     }
+
+    fn retract_from(&self, src: &dyn RelationStorage, workers: usize) -> u64 {
+        match src.as_spec_btree() {
+            // Tree-to-tree: chunk the victim set along the target's
+            // separators and remove each run on its own worker.
+            Some(tree) => self.tree.remove_all_parallel(tree, workers.max(1)),
+            None => retract_sequential(self, src),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -459,6 +504,10 @@ impl RelationStorage for RbTreeStorage {
 
     fn insert(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
         self.0.with(|s| s.insert(*t))
+    }
+
+    fn remove(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
+        self.0.with(|s| s.remove(t))
     }
 
     fn contains(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
@@ -504,6 +553,10 @@ impl RelationStorage for GBTreeStorage {
         self.0.with(|s| s.insert(*t))
     }
 
+    fn remove(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
+        self.0.with(|s| s.remove(t))
+    }
+
     fn contains(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
         self.0.with(|s| s.contains(t))
     }
@@ -547,6 +600,10 @@ impl RelationStorage for HashSetStorage {
         self.0.with(|s| s.insert(*t))
     }
 
+    fn remove(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
+        self.0.with(|s| s.remove(t))
+    }
+
     fn contains(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
         self.0.with(|s| s.contains(t))
     }
@@ -588,6 +645,10 @@ impl RelationStorage for ConcHashStorage {
         self.0.insert(*t)
     }
 
+    fn remove(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
+        self.0.remove(t)
+    }
+
     fn contains(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
         self.0.contains(t)
     }
@@ -615,37 +676,129 @@ impl RelationStorage for ConcHashStorage {
 // Operation counting (Table 2's "Evaluation Statistics")
 // ---------------------------------------------------------------------
 
-/// Shared operation counters, aggregated across all relations of an engine.
+/// Stripe count for [`OpCounters`]. Scoped workers are handed consecutive
+/// stripe indices, so any ≤16 concurrent workers land on distinct stripes.
+const COUNTER_STRIPES: usize = 16;
+
+/// One cache-line-isolated set of operation counters. The alignment keeps
+/// neighbouring stripes off each other's (prefetch-paired) cache lines so
+/// per-operation `fetch_add`s from different workers never ping-pong.
+#[repr(align(128))]
 #[derive(Debug, Default)]
+struct CounterStripe {
+    inserts: AtomicU64,
+    removes: AtomicU64,
+    membership: AtomicU64,
+    lower_bound: AtomicU64,
+    upper_bound: AtomicU64,
+}
+
+/// Returns this thread's stripe index, assigned round-robin on first use.
+/// Consecutive assignment (not hashing) guarantees a scope of ≤16 workers
+/// gets pairwise-distinct stripes.
+fn counter_stripe() -> usize {
+    use std::cell::Cell;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    STRIPE.with(|s| {
+        let mut v = s.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Relaxed) % COUNTER_STRIPES;
+            s.set(v);
+        }
+        v
+    })
+}
+
+/// Shared operation counters, aggregated across all relations of an engine.
+///
+/// Internally striped per thread: inner scans issue one `lower_bound`
+/// count per outer tuple, and with a single counter word those relaxed
+/// `fetch_add`s from every worker serialize the whole join on one
+/// contended cache line (measured: a 1M-tuple parallel scan ran no faster
+/// at 8 threads than at 1). Each worker increments its own stripe;
+/// readers sum across stripes.
+#[derive(Debug)]
 pub struct OpCounters {
-    /// `insert` calls.
-    pub inserts: AtomicU64,
-    /// `contains` calls (membership tests).
-    pub membership: AtomicU64,
-    /// `lower_bound` calls (one per prefix scan).
-    pub lower_bound: AtomicU64,
-    /// `upper_bound` calls (one per prefix scan).
-    pub upper_bound: AtomicU64,
+    stripes: [CounterStripe; COUNTER_STRIPES],
+}
+
+impl Default for OpCounters {
+    fn default() -> Self {
+        Self {
+            stripes: std::array::from_fn(|_| CounterStripe::default()),
+        }
+    }
 }
 
 impl OpCounters {
+    #[inline]
+    fn stripe(&self) -> &CounterStripe {
+        &self.stripes[counter_stripe()]
+    }
+
+    /// Counts `n` `insert` calls against the calling thread's stripe.
+    #[inline]
+    pub fn add_inserts(&self, n: u64) {
+        self.stripe().inserts.fetch_add(n, Relaxed);
+    }
+
+    /// Counts `n` `remove` calls against the calling thread's stripe.
+    #[inline]
+    pub fn add_removes(&self, n: u64) {
+        self.stripe().removes.fetch_add(n, Relaxed);
+    }
+
+    /// Counts `n` `contains` calls against the calling thread's stripe.
+    #[inline]
+    pub fn add_membership(&self, n: u64) {
+        self.stripe().membership.fetch_add(n, Relaxed);
+    }
+
+    /// Counts `n` `lower_bound` probes against the calling thread's stripe.
+    #[inline]
+    pub fn add_lower_bound(&self, n: u64) {
+        self.stripe().lower_bound.fetch_add(n, Relaxed);
+    }
+
+    /// Counts `n` `upper_bound` probes against the calling thread's stripe.
+    #[inline]
+    pub fn add_upper_bound(&self, n: u64) {
+        self.stripe().upper_bound.fetch_add(n, Relaxed);
+    }
+
     /// Snapshot as plain numbers: `(inserts, membership, lower, upper)`.
     pub fn snapshot(&self) -> (u64, u64, u64, u64) {
-        (
-            self.inserts.load(Relaxed),
-            self.membership.load(Relaxed),
-            self.lower_bound.load(Relaxed),
-            self.upper_bound.load(Relaxed),
-        )
+        self.stripes.iter().fold((0, 0, 0, 0), |acc, s| {
+            (
+                acc.0 + s.inserts.load(Relaxed),
+                acc.1 + s.membership.load(Relaxed),
+                acc.2 + s.lower_bound.load(Relaxed),
+                acc.3 + s.upper_bound.load(Relaxed),
+            )
+        })
+    }
+
+    /// `remove` calls as a plain number (kept out of [`snapshot`]'s
+    /// 4-tuple, whose shape Table 2 consumers rely on).
+    ///
+    /// [`snapshot`]: Self::snapshot
+    pub fn removes_count(&self) -> u64 {
+        self.stripes.iter().map(|s| s.removes.load(Relaxed)).sum()
     }
 
     /// Zeroes every counter. Quiescent callers only (no evaluation in
     /// flight); used by `Engine::reset_stats`.
     pub fn reset(&self) {
-        self.inserts.store(0, Relaxed);
-        self.membership.store(0, Relaxed);
-        self.lower_bound.store(0, Relaxed);
-        self.upper_bound.store(0, Relaxed);
+        for s in &self.stripes {
+            s.inserts.store(0, Relaxed);
+            s.removes.store(0, Relaxed);
+            s.membership.store(0, Relaxed);
+            s.lower_bound.store(0, Relaxed);
+            s.upper_bound.store(0, Relaxed);
+        }
     }
 }
 
@@ -669,21 +822,26 @@ impl RelationStorage for CountingStorage {
     }
 
     fn insert(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool {
-        self.counters.inserts.fetch_add(1, Relaxed);
+        self.counters.add_inserts(1);
         self.inner.insert(t, ctx)
     }
 
+    fn remove(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool {
+        self.counters.add_removes(1);
+        self.inner.remove(t, ctx)
+    }
+
     fn contains(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool {
-        self.counters.membership.fetch_add(1, Relaxed);
+        self.counters.add_membership(1);
         self.inner.contains(t, ctx)
     }
 
     fn scan_prefix(&self, prefix: &[u64], ctx: &mut StorageCtx, f: &mut dyn FnMut(&TupleBuf)) {
-        self.counters.lower_bound.fetch_add(1, Relaxed);
+        self.counters.add_lower_bound(1);
         // Bounded prefixes issue an explicit upper_bound probe (Figure 1);
         // empty prefixes are plain full iterations.
         if !prefix.is_empty() {
-            self.counters.upper_bound.fetch_add(1, Relaxed);
+            self.counters.add_upper_bound(1);
         }
         self.inner.scan_prefix(prefix, ctx, f)
     }
@@ -698,7 +856,7 @@ impl RelationStorage for CountingStorage {
         // Each ordered chunk scan starts with one lower_bound descent
         // (hinted or not); snapshot chunks touch no index structure.
         if matches!(chunk, StorageChunk::Range { .. }) {
-            self.counters.lower_bound.fetch_add(1, Relaxed);
+            self.counters.add_lower_bound(1);
         }
         self.inner.scan_chunk(chunk, ctx, f)
     }
@@ -728,8 +886,15 @@ impl RelationStorage for CountingStorage {
         // A fused merge attempts one insert per source tuple, whichever
         // path serves it — count them all, preserving the "insert calls"
         // semantics of the per-tuple loop it replaces.
-        self.counters.inserts.fetch_add(src.len() as u64, Relaxed);
+        self.counters.add_inserts(src.len() as u64);
         self.inner.merge_from(src, workers)
+    }
+
+    fn retract_from(&self, src: &dyn RelationStorage, workers: usize) -> u64 {
+        // A fused retraction attempts one remove per source tuple — count
+        // them all, mirroring `merge_from`'s insert accounting.
+        self.counters.add_removes(src.len() as u64);
+        self.inner.retract_from(src, workers)
     }
 }
 
@@ -758,6 +923,18 @@ mod tests {
         let mut all = Vec::new();
         s.for_each(&mut |t| all.push(*t));
         assert_eq!(all.len(), 3);
+
+        // Removal: present, absent, removed-then-gone, reinsert.
+        assert!(s.remove(&pad(&[1, 2]), &mut ctx), "{}", kind.label());
+        assert!(!s.remove(&pad(&[1, 2]), &mut ctx));
+        assert!(!s.remove(&pad(&[9, 9]), &mut ctx));
+        assert!(!s.contains(&pad(&[1, 2]), &mut ctx));
+        assert_eq!(s.len(), 2);
+        let mut after = Vec::new();
+        s.scan_prefix(&[1], &mut ctx, &mut |t| after.push(*t));
+        assert_eq!(after, vec![pad(&[1, 3])], "{}", kind.label());
+        assert!(s.insert(&pad(&[1, 2]), &mut ctx), "reinsert after remove");
+        assert_eq!(s.len(), 3);
     }
 
     #[test]
@@ -789,6 +966,54 @@ mod tests {
         s.scan_prefix(&[1], &mut ctx, &mut |_| {});
         let (ins, mem, lb, ub) = counters.snapshot();
         assert_eq!((ins, mem, lb, ub), (2, 1, 1, 1));
+        s.remove(&pad(&[1]), &mut ctx);
+        s.remove(&pad(&[1]), &mut ctx); // absent: still counted as a call
+        assert_eq!(counters.removes_count(), 2);
+        counters.reset();
+        assert_eq!(counters.removes_count(), 0);
+        assert_eq!(counters.snapshot(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn retract_from_subtracts_on_all_backend_pairs() {
+        // Victim sets arrive either as a spec B-tree (the engine's Del
+        // accumulator) or as any other backend; both must subtract exactly.
+        for dst_kind in StorageKind::ALL {
+            for src_kind in [StorageKind::SpecBTree, StorageKind::GBTreeLocked] {
+                let dst = dst_kind.create();
+                let mut ctx = dst.make_ctx();
+                for i in 0..500u64 {
+                    dst.insert(&pad(&[i, i % 7]), &mut ctx);
+                }
+                let src = src_kind.create();
+                let mut sctx = src.make_ctx();
+                // Overlap 0..300 plus 100 tuples absent from dst.
+                for i in 0..300u64 {
+                    src.insert(&pad(&[i, i % 7]), &mut sctx);
+                }
+                for i in 1_000..1_100u64 {
+                    src.insert(&pad(&[i, 0]), &mut sctx);
+                }
+                for workers in [1usize, 4] {
+                    let dst2 = dst_kind.create();
+                    let mut c2 = dst2.make_ctx();
+                    dst.for_each(&mut |t| {
+                        dst2.insert(t, &mut c2);
+                    });
+                    let removed = dst2.retract_from(src.as_ref(), workers);
+                    assert_eq!(
+                        removed,
+                        300,
+                        "{} -= {} workers={workers}",
+                        dst_kind.label(),
+                        src_kind.label()
+                    );
+                    assert_eq!(dst2.len(), 200);
+                    assert!(!dst2.contains(&pad(&[0, 0]), &mut c2));
+                    assert!(dst2.contains(&pad(&[300, 300 % 7]), &mut c2));
+                }
+            }
+        }
     }
 
     #[test]

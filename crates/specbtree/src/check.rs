@@ -163,10 +163,10 @@ fn check_node<const K: usize, const C: usize>(
     // Gapped layout: `num` counts *occupied* slots; the scan region
     // [0, scan_len()) additionally holds gap slots whose sentinel value
     // must duplicate the nearest occupied key to their right. Checked
-    // here: occupancy/count agreement, packed inner occupancy, no gap at
-    // slot 0, strict ascent among occupied slots, sentinel agreement, and
-    // separator intervals over every scanned slot (sentinels included —
-    // they duplicate in-node keys, so the same bounds apply).
+    // here: occupancy/count agreement, packed inner occupancy, strict
+    // ascent among occupied slots, sentinel agreement, and separator
+    // intervals over every scanned slot (sentinels included — they
+    // duplicate in-node keys, so the same bounds apply).
     #[cfg(feature = "gapped")]
     {
         let occ = node.occupied_mask();
@@ -182,11 +182,8 @@ fn check_node<const K: usize, const C: usize>(
                 "inner node {p:?}: occupancy {occ:#x} not packed for {num} keys"
             )));
         }
-        if occ != 0 && occ & 1 == 0 {
-            return Err(InvariantViolation(format!(
-                "node {p:?}: slot 0 is a gap (the minimum must be real)"
-            )));
-        }
+        // Slot 0 may be a gap after removals: its sentinel duplicates the
+        // real minimum (checked below), so bounds and searches still hold.
         let mut prev: Option<Tuple<K>> = None;
         for i in 0..top {
             let k = node.key(i);
@@ -254,9 +251,10 @@ fn check_node<const K: usize, const C: usize>(
     }
 
     if node.is_inner() {
-        if num == 0 {
-            return Err(InvariantViolation(format!("inner node {p:?} has no keys")));
-        }
+        // A unary inner node (0 keys, exactly 1 child) is legal after
+        // removals: the underflow policy never rebalances across the root
+        // region, so key-exhausted inners simply pass descent through.
+        // The `0..=num` child walk below covers it (one child, no keys).
         let inner = unsafe { node.as_inner() };
         for i in 0..=num {
             let c = inner.child(i);

@@ -41,11 +41,13 @@ impl<'a, const K: usize, const C: usize> Iter<'a, K, C> {
             // SAFETY: non-null cursor nodes are live tree nodes.
             unsafe { &*node }.next_occupied(pos)
         };
-        Self {
+        let mut it = Self {
             node,
             pos,
             _tree: PhantomData,
-        }
+        };
+        it.normalize();
+        it
     }
 
     pub(crate) fn exhausted() -> Self {
@@ -63,6 +65,49 @@ impl<'a, const K: usize, const C: usize> Iter<'a, K, C> {
             Some(n.key(self.pos))
         } else {
             None
+        }
+    }
+
+    /// Climbs until the cursor comes up from a non-last child, leaving it
+    /// on that parent's separator key, or exhausts it at the root. This is
+    /// the in-order-successor step shared by [`Iterator::next`], `fold` and
+    /// `collect_into`.
+    fn climb(&mut self) {
+        let mut cur = self.node;
+        loop {
+            // SAFETY: live tree node.
+            let cn = unsafe { &*cur };
+            let parent = cn.parent.load(Relaxed);
+            if parent.is_null() {
+                self.node = std::ptr::null_mut();
+                return;
+            }
+            // SAFETY: parent links reference live nodes.
+            let pn = unsafe { &*parent };
+            let pnum = pn.num_clamped();
+            let i = (cn.position.load(Relaxed) as usize).min(pnum);
+            if i < pnum {
+                self.node = parent;
+                self.pos = i;
+                return;
+            }
+            cur = parent;
+        }
+    }
+
+    /// Restores the cursor invariant — `pos` names a real key or the
+    /// cursor is exhausted — by climbing past any node whose scan region
+    /// ends at or before `pos`. Removals make empty leaves and trailing
+    /// positions legal mid-tree, so this can climb more than one level
+    /// (an empty leaf under a unary inner chain).
+    fn normalize(&mut self) {
+        while !self.node.is_null() {
+            // SAFETY: non-null cursor nodes are live tree nodes.
+            let n = unsafe { &*self.node };
+            if self.pos < n.scan_len() {
+                return;
+            }
+            self.climb();
         }
     }
 
@@ -89,18 +134,21 @@ impl<'a, const K: usize, const C: usize> Iterator for Iter<'a, K, C> {
     type Item = Tuple<K>;
 
     fn next(&mut self) -> Option<Tuple<K>> {
-        if self.node.is_null() {
-            return None;
-        }
-        // SAFETY: live tree node.
-        let n = unsafe { &*self.node };
-        let num = n.scan_len();
-        if self.pos >= num {
-            // Defensive: only reachable when racing inserts (clamped
-            // counters) — treat as exhausted rather than index out of range.
-            self.node = std::ptr::null_mut();
-            return None;
-        }
+        // Empty leaves and unary inners are legal after removals, so a
+        // descent may land on a keyless node: climb past it rather than
+        // treating it as exhaustion. The cursor only exhausts at the root.
+        let (n, num) = loop {
+            if self.node.is_null() {
+                return None;
+            }
+            // SAFETY: live tree node.
+            let n = unsafe { &*self.node };
+            let num = n.scan_len();
+            if self.pos < num {
+                break (n, num);
+            }
+            self.climb();
+        };
         let item = n.key(self.pos);
 
         // Advance to the in-order successor.
@@ -108,7 +156,15 @@ impl<'a, const K: usize, const C: usize> Iterator for Iter<'a, K, C> {
             // SAFETY: kind checked.
             let child = unsafe { n.as_inner() }.child(self.pos + 1);
             self.node = Iter::<K, C>::leftmost(child);
-            self.pos = 0;
+            // Slot 0 of the landing leaf may be a gap after removals, whose
+            // sentinel duplicates the first real key: snap to that key's
+            // occupied slot so it is yielded exactly once.
+            self.pos = if self.node.is_null() {
+                0
+            } else {
+                // SAFETY: non-null cursor nodes are live tree nodes.
+                unsafe { &*self.node }.next_occupied(0)
+            };
         } else {
             // Skip gap slots: `next_occupied` is identity when non-gapped,
             // and returns its argument when no occupied slot remains (which
@@ -116,26 +172,7 @@ impl<'a, const K: usize, const C: usize> Iterator for Iter<'a, K, C> {
             self.pos = n.next_occupied(self.pos + 1);
             if self.pos >= num {
                 // Climb until we come up from a non-last child.
-                let mut cur = self.node;
-                loop {
-                    // SAFETY: live tree node.
-                    let cn = unsafe { &*cur };
-                    let parent = cn.parent.load(Relaxed);
-                    if parent.is_null() {
-                        self.node = std::ptr::null_mut();
-                        break;
-                    }
-                    // SAFETY: parent links reference live nodes.
-                    let pn = unsafe { &*parent };
-                    let pnum = pn.num_clamped();
-                    let i = (cn.position.load(Relaxed) as usize).min(pnum);
-                    if i < pnum {
-                        self.node = parent;
-                        self.pos = i;
-                        break;
-                    }
-                    cur = parent;
-                }
+                self.climb();
             }
         }
         Some(item)
@@ -167,8 +204,9 @@ impl<'a, const K: usize, const C: usize> Iterator for Iter<'a, K, C> {
             }
             let num = n.scan_len();
             if self.pos >= num {
-                // Defensive, as in next(): only reachable racing inserts.
-                break;
+                // Empty leaf (legal after removals): climb past it.
+                self.climb();
+                continue;
             }
             // Overlap the climb's pointer-chase miss with the key walk.
             crate::search::prefetch_read(n.parent.load(Relaxed));
@@ -186,26 +224,7 @@ impl<'a, const K: usize, const C: usize> Iterator for Iter<'a, K, C> {
                 acc = f(acc, n.key(i));
             }
             // Climb until we come up from a non-last child, once per leaf.
-            let mut cur = self.node;
-            loop {
-                // SAFETY: live tree node.
-                let cn = unsafe { &*cur };
-                let parent = cn.parent.load(Relaxed);
-                if parent.is_null() {
-                    self.node = std::ptr::null_mut();
-                    break;
-                }
-                // SAFETY: parent links reference live nodes.
-                let pn = unsafe { &*parent };
-                let pnum = pn.num_clamped();
-                let i = (cn.position.load(Relaxed) as usize).min(pnum);
-                if i < pnum {
-                    self.node = parent;
-                    self.pos = i;
-                    break;
-                }
-                cur = parent;
-            }
+            self.climb();
         }
         acc
     }
@@ -239,8 +258,9 @@ impl<'a, const K: usize, const C: usize> RangeIter<'a, K, C> {
             let n = unsafe { &*node };
             let num = n.scan_len();
             if self.inner.pos >= num {
-                // Defensive, as Iter::next: only reachable racing inserts.
-                return;
+                // Empty leaf (legal after removals): climb past it.
+                self.inner.climb();
+                continue;
             }
             if n.is_inner() {
                 // One separator key, then descend right of it: next()
@@ -292,26 +312,7 @@ impl<'a, const K: usize, const C: usize> RangeIter<'a, K, C> {
             }
             // Climb until we come up from a non-last child (Iter::next's
             // tail), once per leaf instead of once per element.
-            let mut cur = node;
-            loop {
-                // SAFETY: live tree node.
-                let cn = unsafe { &*cur };
-                let parent = cn.parent.load(Relaxed);
-                if parent.is_null() {
-                    self.inner.node = std::ptr::null_mut();
-                    return;
-                }
-                // SAFETY: parent links reference live nodes.
-                let pn = unsafe { &*parent };
-                let pnum = pn.num_clamped();
-                let i = (cn.position.load(Relaxed) as usize).min(pnum);
-                if i < pnum {
-                    self.inner.node = parent;
-                    self.inner.pos = i;
-                    break;
-                }
-                cur = parent;
-            }
+            self.inner.climb();
         }
     }
 }
@@ -354,32 +355,32 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
     /// rightmost spine).
     pub fn last(&self) -> Option<Tuple<K>> {
         let mut node = self.root.load(Relaxed);
-        if node.is_null() {
-            return None;
-        }
-        loop {
+        // Deepest key seen on the rightmost spine: separator bounds make
+        // every key below it larger, so each keyed level overwrites it.
+        // It is the answer when the rightmost leaf itself is empty (legal
+        // after removals), and unary inners (num == 0) pass straight
+        // through via child(num) == child(0).
+        let mut best: Option<Tuple<K>> = None;
+        while !node.is_null() {
             // SAFETY: live tree node.
             let n = unsafe { &*node };
             if !n.is_inner() {
                 // The leaf maximum sits at scan_len() - 1 (the topmost
                 // occupied slot), not num - 1, under the gapped layout.
                 let top = n.scan_len();
-                if top == 0 {
-                    return None; // empty root leaf
+                if top > 0 {
+                    return Some(n.key(top - 1));
                 }
-                return Some(n.key(top - 1));
+                return best;
             }
             let num = n.num_clamped();
-            if num == 0 {
-                return None; // defensive: inner nodes are never empty
+            if num > 0 {
+                best = Some(n.key(num - 1));
             }
             // SAFETY: kind checked.
-            let child = unsafe { n.as_inner() }.child(num);
-            if child.is_null() {
-                return None; // only under racing writers; defensive
-            }
-            node = child;
+            node = unsafe { n.as_inner() }.child(num);
         }
+        best
     }
 
     /// An iterator over all tuples in ascending lexicographic order.
@@ -389,11 +390,9 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         if root.is_null() {
             return Iter::exhausted();
         }
-        let leaf = Iter::<K, C>::leftmost(root);
-        if leaf.is_null() || unsafe { &*leaf }.num_clamped() == 0 {
-            return Iter::exhausted();
-        }
-        Iter::new(leaf, 0)
+        // An empty leftmost leaf is legal after removals; Iter::new's
+        // normalization climbs to the first real element (or exhausts).
+        Iter::new(Iter::<K, C>::leftmost(root), 0)
     }
 
     /// Cursor at the first tuple `>= t` (C++ `lower_bound` semantics); the

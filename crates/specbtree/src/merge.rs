@@ -221,6 +221,78 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         added.load(Relaxed)
     }
 
+    /// Removes every tuple of `other` from `self` on up to `workers`
+    /// threads, returning how many tuples were actually removed (i.e. were
+    /// present).
+    ///
+    /// The bulk-retraction mirror of
+    /// [`insert_all_parallel`](Self::insert_all_parallel): the source is
+    /// partitioned by the *target's* upper-level separators, so each
+    /// worker's chunk maps onto a distinct target region and the logical
+    /// deletions it performs ([`remove`](Self::remove)) stay cache-local.
+    /// There is no bulk fast path — retraction only ever clears occupancy
+    /// bits and occasionally unlinks a drained leaf, both of which are
+    /// per-tuple O(1)-ish under the gapped layout, so chunked per-tuple
+    /// removal *is* the structure-aware strategy.
+    ///
+    /// Concurrency contract as the merge: safe on the target under
+    /// concurrent inserts/merges/removes; the source must be quiescent.
+    pub fn remove_all_parallel(&self, other: &BTreeSet<K, C>, workers: usize) -> u64 {
+        if other.is_empty() || self.root.load(Relaxed).is_null() {
+            return 0;
+        }
+        let workers = workers
+            .min(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            )
+            .max(1);
+        let nchunks = if workers == 1 {
+            1
+        } else {
+            workers.saturating_mul(MERGE_CHUNKS_PER_WORKER)
+        };
+        // Partition by the *target's* separators: every chunk of the source
+        // lands in a distinct region of the target tree.
+        let chunks = self.partition_range(nchunks, None, None);
+        let removed = AtomicU64::new(0);
+        let cursor = AtomicUsize::new(0);
+        let remove_chunks = || {
+            let mut buf: Vec<Tuple<K>> = Vec::with_capacity(other.len() / chunks.len().max(1) + 1);
+            let mut local = 0u64;
+            loop {
+                let i = cursor.fetch_add(1, Relaxed);
+                if i >= chunks.len() {
+                    break;
+                }
+                telemetry::count(telemetry::Counter::BtreeMergeChunks);
+                buf.clear();
+                other.chunk_range(&chunks[i]).collect_into(&mut buf);
+                for t in &buf {
+                    if self.remove(t) {
+                        local += 1;
+                    }
+                }
+            }
+            removed.fetch_add(local, Relaxed);
+        };
+        let body_workers = workers.min(chunks.len()).max(1);
+        if body_workers <= 1 {
+            // Inline: keeps the chaos harness in control — no hidden
+            // threads at `workers == 1`.
+            remove_chunks();
+        } else {
+            std::thread::scope(|s| {
+                #[allow(clippy::needless_borrows_for_generic_args)]
+                for _ in 0..body_workers {
+                    s.spawn(&remove_chunks);
+                }
+            });
+        }
+        removed.load(Relaxed)
+    }
+
     /// Merges a strictly ascending, duplicate-free run into the tree with a
     /// grouped merge join: one optimistic descent locates the *parent* of
     /// the leaf group owning the next run keys, and one write lock on that

@@ -314,6 +314,61 @@ impl<const K: usize, const C: usize> LeafNode<K, C> {
         self.num_elements.store((n + 1) as u16, Relaxed);
     }
 
+    /// Removes the real key in slot `i`, the inverse of
+    /// [`gap_insert`](Self::gap_insert). Caller must hold the write lock;
+    /// `i` must be occupied.
+    ///
+    /// Logical deletion: the occupancy bit is cleared and the slot is
+    /// rewritten as a *sentinel* copy of the nearest real key to its right
+    /// — together with the contiguous gap run immediately below `i`, whose
+    /// sentinels were copies of the removed key. That keeps the key array
+    /// non-decreasing over `[0, scan_len())`, so racing optimistic readers
+    /// (including the contiguous fenced/AVX2 rank) keep ranking over
+    /// sorted, well-defined data and the lease validation remains the only
+    /// correctness gate. When no real key exists to the right, the slot
+    /// (and any gap run below it) falls above the shrunken `scan_len()`
+    /// and needs no rewrite — readers never look at it.
+    #[cfg(feature = "gapped")]
+    pub fn gap_clear(&self, i: usize) {
+        let n = self.num();
+        debug_assert!(n >= 1 && i < C);
+        let occ = self.occ.load(Relaxed);
+        debug_assert!(occ & (1u64 << i) != 0, "gap_clear of an unoccupied slot");
+        let new_occ = occ & !(1u64 << i);
+        // Planted-bug hook for the chaos tier: skipping the sentinel
+        // rewrite leaves stale duplicates of the removed key in the scan
+        // prefix, breaking the gap/sentinel agreement invariant.
+        let skip_sentinel = cfg!(all(chaos, feature = "chaos-inject-bug"));
+        let above = new_occ & (!0u64 << i);
+        if above != 0 && !skip_sentinel {
+            let r = above.trailing_zeros() as usize;
+            let v = self.key(r);
+            let mut j = i;
+            loop {
+                self.set_key(j, &v);
+                if j == 0 || new_occ & (1u64 << (j - 1)) != 0 {
+                    break;
+                }
+                j -= 1;
+            }
+        }
+        self.occ.store(new_occ, Relaxed);
+        self.num_elements.store((n - 1) as u16, Relaxed);
+    }
+
+    /// Removes the key in slot `i` by shifting the packed suffix left —
+    /// the packed-layout counterpart of the gapped logical delete. Caller
+    /// must hold the write lock.
+    #[cfg(not(feature = "gapped"))]
+    pub fn gap_clear(&self, i: usize) {
+        let n = self.num();
+        debug_assert!(i < n);
+        for p in i..n - 1 {
+            self.copy_key_within(p + 1, p);
+        }
+        self.num_elements.store((n - 1) as u16, Relaxed);
+    }
+
     /// After a median split keeps the lower half `[0, m)` of a full
     /// (packed) leaf, spreads those keys across the even slots
     /// `0, 2, .., 2(m-1)` with sentinel gaps between them, so subsequent
@@ -754,9 +809,8 @@ mod tests {
         assert_eq!(leaf.num(), expect.len());
         let top = leaf.scan_len();
         assert!(top <= 8);
-        if occ != 0 {
-            assert!(occ & 1 != 0, "slot 0 must be real when non-empty");
-        }
+        // Slot 0 may be a gap after removals — its sentinel (checked
+        // below) equals the real minimum, so searches stay correct.
         let mut reals = Vec::new();
         for i in 0..top {
             if occ & (1 << i) != 0 {
@@ -804,6 +858,129 @@ mod tests {
             }
             free_leaf(p);
         }
+    }
+
+    #[cfg(feature = "gapped")]
+    #[test]
+    fn gap_clear_matches_model_under_interleaved_ops() {
+        // Interleave inserts and removes in several orders; after every
+        // operation the node must hold exactly the sorted survivors with
+        // well-formed occupancy and sentinels (including gap-at-slot-0 and
+        // shrunken-scan-prefix states gap_insert alone never produces).
+        let scripts: [&[(bool, u64)]; 3] = [
+            &[
+                (true, 4),
+                (true, 2),
+                (true, 6),
+                (false, 2),
+                (true, 1),
+                (false, 4),
+                (true, 5),
+                (false, 1),
+                (false, 6),
+                (false, 5),
+            ],
+            &[
+                (true, 0),
+                (true, 1),
+                (true, 2),
+                (true, 3),
+                (false, 0),
+                (false, 3),
+                (true, 0),
+                (true, 7),
+                (false, 1),
+                (false, 2),
+            ],
+            &[
+                (true, 7),
+                (true, 5),
+                (true, 3),
+                (false, 7),
+                (true, 6),
+                (false, 3),
+                (false, 5),
+                (false, 6),
+                (true, 2),
+            ],
+        ];
+        for script in scripts {
+            let a = Arena::new();
+            let p = Leaf::alloc_in(&a);
+            let leaf = unsafe { &*p };
+            let mut model: Vec<[u64; 2]> = Vec::new();
+            for &(insert, v) in script {
+                let t = [v, v * 10];
+                let (idx, found) = leaf.search(&t, leaf.scan_len());
+                if insert {
+                    if found {
+                        continue;
+                    }
+                    leaf.gap_insert(idx, &t);
+                    model.push(t);
+                    model.sort_unstable();
+                } else {
+                    assert!(found, "script removes only present keys");
+                    // Normalize a sentinel hit to the real occupied slot.
+                    let slot = if leaf.occupied_mask() & (1 << idx) != 0 {
+                        idx
+                    } else {
+                        leaf.next_occupied(idx + 1)
+                    };
+                    leaf.gap_clear(slot);
+                    model.retain(|m| m != &t);
+                }
+                assert_gapped_well_formed(leaf, &model);
+            }
+            free_leaf(p);
+        }
+    }
+
+    #[cfg(feature = "gapped")]
+    #[test]
+    fn gap_clear_rewrites_sentinel_run_below() {
+        // Clearing a key that a gap run sentinels must rewrite the whole
+        // run to the new right neighbour, not just the cleared slot.
+        let a = Arena::new();
+        let p = Leaf::alloc_in(&a);
+        let leaf = unsafe { &*p };
+        for i in 0..6u64 {
+            leaf.set_key(i as usize, &[i * 10, 0]);
+        }
+        leaf.set_num(6);
+        // Clear 10 and 20 to open a gap run sentineling 30 at slot 3.
+        leaf.gap_clear(1);
+        leaf.gap_clear(2);
+        assert_eq!(leaf.key(1), [30, 0]);
+        assert_eq!(leaf.key(2), [30, 0]);
+        // Now clear 30 itself: slots 1..=3 must all re-sentinel to 40.
+        leaf.gap_clear(3);
+        for i in 1..=3 {
+            assert_eq!(leaf.key(i), [40, 0], "stale sentinel at {i}");
+        }
+        assert_gapped_well_formed(leaf, &[[0, 0], [40, 0], [50, 0]]);
+        free_leaf(p);
+    }
+
+    #[cfg(not(feature = "gapped"))]
+    #[test]
+    fn gap_clear_shifts_packed_suffix() {
+        let a = Arena::new();
+        let p = Leaf::alloc_in(&a);
+        let leaf = unsafe { &*p };
+        for i in 0..6u64 {
+            leaf.set_key(i as usize, &[i * 10, 0]);
+        }
+        leaf.set_num(6);
+        leaf.gap_clear(2);
+        assert_eq!(leaf.num(), 5);
+        let got: Vec<[u64; 2]> = (0..5).map(|i| leaf.key(i)).collect();
+        assert_eq!(got, vec![[0, 0], [10, 0], [30, 0], [40, 0], [50, 0]]);
+        leaf.gap_clear(4);
+        leaf.gap_clear(0);
+        let got: Vec<[u64; 2]> = (0..3).map(|i| leaf.key(i)).collect();
+        assert_eq!(got, vec![[10, 0], [30, 0], [40, 0]]);
+        free_leaf(p);
     }
 
     #[cfg(feature = "gapped")]

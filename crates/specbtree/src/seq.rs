@@ -153,6 +153,47 @@ impl<const K: usize, const C: usize> SeqNode<K, C> {
         }
     }
 
+    /// Mirror of `LeafNode::gap_clear`: clears the occupied slot `i`,
+    /// rewriting it — and the contiguous gap run directly below it — as
+    /// sentinel copies of the nearest remaining key to the right. When
+    /// nothing real remains above, the scan region simply shrinks.
+    #[cfg(feature = "gapped")]
+    fn gap_clear(&mut self, i: usize) {
+        let n = self.num as usize;
+        debug_assert!(n >= 1 && i < C);
+        debug_assert!(
+            self.occ & (1u64 << i) != 0,
+            "gap_clear of an unoccupied slot"
+        );
+        let new_occ = self.occ & !(1u64 << i);
+        let above = new_occ & (!0u64 << i);
+        if above != 0 {
+            let r = above.trailing_zeros() as usize;
+            let v = self.keys[r];
+            let mut j = i;
+            loop {
+                self.keys[j] = v;
+                if j == 0 || new_occ & (1u64 << (j - 1)) != 0 {
+                    break;
+                }
+                j -= 1;
+            }
+        }
+        self.occ = new_occ;
+        self.num = (n - 1) as u16;
+    }
+
+    /// Packed layout: shift the suffix left over the removed slot.
+    #[cfg(not(feature = "gapped"))]
+    fn gap_clear(&mut self, i: usize) {
+        let n = self.num as usize;
+        debug_assert!(i < n);
+        for p in i..n - 1 {
+            self.keys[p] = self.keys[p + 1];
+        }
+        self.num = (n - 1) as u16;
+    }
+
     #[inline]
     fn child(&self, i: usize) -> u32 {
         if i < C {
@@ -383,6 +424,136 @@ impl<const K: usize, const C: usize> SeqBTreeSet<K, C> {
             }
         }
         inserted
+    }
+
+    /// Removes `t`, returning `true` if it was present — the sequential
+    /// twin of [`BTreeSet::remove`](crate::BTreeSet::remove), making the
+    /// identical structural decisions (single-threaded, every bounded
+    /// try-lock of the concurrent protocol succeeds), so interleaved
+    /// insert/remove sequences keep the twins in shape parity.
+    pub fn remove(&mut self, t: &Tuple<K>) -> bool {
+        if self.root == NONE {
+            return false;
+        }
+        let mut cur = self.root;
+        loop {
+            let node = &self.nodes[cur as usize];
+            let (idx, found) = node.search(t);
+            if found {
+                // Normalize a gap-slot hit to the occupied slot carrying
+                // the same key (identity on inner nodes).
+                let idx = node.next_occupied(idx);
+                if node.inner {
+                    self.remove_inner_key(cur, idx);
+                } else {
+                    self.nodes[cur as usize].gap_clear(idx);
+                    if self.nodes[cur as usize].num == 0 {
+                        self.try_unlink_empty_leaf(cur);
+                    }
+                }
+                self.len -= 1;
+                return true;
+            }
+            if !node.inner {
+                return false;
+            }
+            cur = node.child(idx);
+        }
+    }
+
+    /// Twin of the concurrent `remove_inner_key`: swap in the in-order
+    /// predecessor from the rightmost spine of the left subtree (the
+    /// deepest spine node still holding keys donates its maximum), or drop
+    /// the key together with an entirely drained left subtree.
+    fn remove_inner_key(&mut self, n: u32, idx: usize) {
+        let mut spine: Vec<u32> = Vec::new();
+        let mut cur = self.nodes[n as usize].child(idx);
+        loop {
+            let cn = &self.nodes[cur as usize];
+            spine.push(cur);
+            if !cn.inner {
+                break;
+            }
+            cur = cn.child(cn.num as usize);
+        }
+        let holder = spine.iter().rposition(|&s| self.nodes[s as usize].num > 0);
+        match holder {
+            Some(h) => {
+                let hid = spine[h] as usize;
+                let hnum = self.nodes[hid].num as usize;
+                let pred;
+                if self.nodes[hid].inner {
+                    // The donated key's right subtree is the drained chain
+                    // below; dropping the key orphans it (arena nodes are
+                    // simply left unreferenced, like the graveyard).
+                    pred = self.nodes[hid].keys[hnum - 1];
+                    self.nodes[hid].set_num_packed(hnum - 1);
+                } else {
+                    let top = self.nodes[hid].scan_len() - 1;
+                    pred = self.nodes[hid].keys[top];
+                    self.nodes[hid].gap_clear(top);
+                }
+                self.nodes[n as usize].keys[idx] = pred;
+            }
+            None => {
+                // Entirely empty left subtree: drop key and subtree.
+                let num = self.nodes[n as usize].num as usize;
+                for j in idx..num - 1 {
+                    self.nodes[n as usize].keys[j] = self.nodes[n as usize].keys[j + 1];
+                }
+                for j in idx..num {
+                    let ch = self.nodes[n as usize].child(j + 1);
+                    self.nodes[n as usize].set_child(j, ch);
+                    self.nodes[ch as usize].position = j as u16;
+                }
+                self.nodes[n as usize].set_num_packed(num - 1);
+            }
+        }
+    }
+
+    /// Twin of the concurrent `try_unlink_empty_leaf`: same obstacles
+    /// (root leaf, unary parent, full sibling) leave the empty leaf in
+    /// place; otherwise the adjacent separator moves into the sibling leaf
+    /// and the empty leaf is spliced out of its parent.
+    fn try_unlink_empty_leaf(&mut self, leaf: u32) {
+        let parent = self.nodes[leaf as usize].parent;
+        if parent == NONE {
+            return; // empty root leaf stays: the tree may refill
+        }
+        let p = parent as usize;
+        let pnum = self.nodes[p].num as usize;
+        let pos = self.nodes[leaf as usize].position as usize;
+        debug_assert_eq!(self.nodes[p].child(pos), leaf);
+        if pnum == 0 {
+            return; // unary parent: nowhere to re-home the separator
+        }
+        let (sep_idx, sib, at_front) = if pos > 0 {
+            (pos - 1, self.nodes[p].child(pos - 1), false)
+        } else {
+            (0, self.nodes[p].child(1), true)
+        };
+        let s = sib as usize;
+        if self.nodes[s].inner || self.nodes[s].num as usize == C {
+            return;
+        }
+        let sep = self.nodes[p].keys[sep_idx];
+        let at = if at_front {
+            0 // the separator precedes everything in the right sibling
+        } else {
+            self.nodes[s].scan_len() // one past the left sibling's maximum
+        };
+        self.leaf_insert_at(sib, at, &sep);
+        self.len -= 1; // the separator moved, it was not added
+        let drop_child = if at_front { 0 } else { pos };
+        for j in sep_idx..pnum - 1 {
+            self.nodes[p].keys[j] = self.nodes[p].keys[j + 1];
+        }
+        for j in drop_child..pnum {
+            let ch = self.nodes[p].child(j + 1);
+            self.nodes[p].set_child(j, ch);
+            self.nodes[ch as usize].position = j as u16;
+        }
+        self.nodes[p].set_num_packed(pnum - 1);
     }
 
     fn leaf_covers(&self, leaf: u32, t: &Tuple<K>) -> bool {
@@ -765,10 +936,13 @@ impl<const K: usize, const C: usize> SeqBTreeSet<K, C> {
         while self.nodes[cur as usize].inner {
             cur = self.nodes[cur as usize].child(0);
         }
+        // The leftmost leaf's slot 0 may be a gap (or the leaf empty) after
+        // removals: snap to the first occupied slot; `next()`'s climb loop
+        // handles the empty-leaf case.
         SeqIter {
             set: self,
             node: cur,
-            pos: 0,
+            pos: self.nodes[cur as usize].next_occupied(0),
         }
     }
 
@@ -861,9 +1035,9 @@ impl<const K: usize, const C: usize> SeqBTreeSet<K, C> {
         shape.nodes += 1;
         shape.keys += n;
         // Gapped layout: same occupancy invariants as the concurrent
-        // checker — popcount agreement, packed inner occupancy, no gap at
-        // slot 0, strict ascent among occupied slots, sentinel agreement,
-        // and separator intervals over every scanned slot.
+        // checker — popcount agreement, packed inner occupancy, strict
+        // ascent among occupied slots, sentinel agreement, and separator
+        // intervals over every scanned slot.
         #[cfg(feature = "gapped")]
         {
             let occ = node.occ;
@@ -879,11 +1053,8 @@ impl<const K: usize, const C: usize> SeqBTreeSet<K, C> {
                     "inner node {id}: occupancy {occ:#x} not packed for {n} keys"
                 )));
             }
-            if occ != 0 && occ & 1 == 0 {
-                return Err(InvariantViolation(format!(
-                    "node {id}: slot 0 is a gap (the minimum must be real)"
-                )));
-            }
+            // Slot 0 may be a gap after removals: its sentinel duplicates
+            // the real minimum (checked below), so searches still hold.
             let mut prev: Option<Tuple<K>> = None;
             for i in 0..top {
                 let k = &node.keys[i];
@@ -1010,18 +1181,45 @@ pub struct SeqIter<'a, const K: usize, const C: usize> {
     pos: usize,
 }
 
+impl<'a, const K: usize, const C: usize> SeqIter<'a, K, C> {
+    /// Climbs until the cursor comes up from a non-last child (the
+    /// in-order-successor step), or exhausts it at the root.
+    fn climb(&mut self) {
+        let mut cur = self.node;
+        loop {
+            let cn = &self.set.nodes[cur as usize];
+            if cn.parent == NONE {
+                self.node = NONE;
+                return;
+            }
+            let p = cn.parent;
+            let i = cn.position as usize;
+            if i < self.set.nodes[p as usize].num as usize {
+                self.node = p;
+                self.pos = i;
+                return;
+            }
+            cur = p;
+        }
+    }
+}
+
 impl<'a, const K: usize, const C: usize> Iterator for SeqIter<'a, K, C> {
     type Item = Tuple<K>;
 
     fn next(&mut self) -> Option<Tuple<K>> {
-        if self.node == NONE {
-            return None;
+        // Empty leaves and unary inners are legal after removals: climb
+        // past keyless nodes instead of treating them as exhaustion.
+        loop {
+            if self.node == NONE {
+                return None;
+            }
+            if self.pos < self.set.nodes[self.node as usize].scan_len() {
+                break;
+            }
+            self.climb();
         }
         let node = &self.set.nodes[self.node as usize];
-        if self.pos >= node.scan_len() {
-            self.node = NONE;
-            return None;
-        }
         let item = node.keys[self.pos];
         if node.inner {
             // Descend to the leftmost leaf of the right subtree.
@@ -1030,28 +1228,16 @@ impl<'a, const K: usize, const C: usize> Iterator for SeqIter<'a, K, C> {
                 cur = self.set.nodes[cur as usize].child(0);
             }
             self.node = cur;
-            self.pos = 0;
+            // Slot 0 of the landing leaf may be a gap after removals (its
+            // sentinel duplicates the first real key): snap to the occupied
+            // slot so the key is yielded exactly once.
+            self.pos = self.set.nodes[cur as usize].next_occupied(0);
         } else {
             // Skip gap slots (identity on non-gapped builds).
             self.pos = node.next_occupied(self.pos + 1);
             if self.pos >= node.scan_len() {
                 // Climb until coming up from a non-last child.
-                let mut cur = self.node;
-                loop {
-                    let cn = &self.set.nodes[cur as usize];
-                    if cn.parent == NONE {
-                        self.node = NONE;
-                        break;
-                    }
-                    let p = cn.parent;
-                    let i = cn.position as usize;
-                    if i < self.set.nodes[p as usize].num as usize {
-                        self.node = p;
-                        self.pos = i;
-                        break;
-                    }
-                    cur = p;
-                }
+                self.climb();
             }
         }
         Some(item)

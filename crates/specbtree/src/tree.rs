@@ -4,10 +4,19 @@
 //! lexicographic order and supports exactly the operations parallel
 //! semi-naive Datalog evaluation needs (paper §2): concurrent duplicate-free
 //! `insert`, `contains`, `lower_bound` / `upper_bound` range queries and
-//! ordered iteration. There is **no delete** — Datalog relations only grow —
-//! and that restriction is what makes the optimistic protocol simple: nodes
-//! are never freed or moved while the tree is alive, so stale pointers
-//! always reference live memory and operation hints can never dangle.
+//! ordered iteration. The paper's structure has **no delete** — Datalog
+//! relations only grow during a fixpoint — but incremental maintenance
+//! (delete-rederive) needs retraction between fixpoints, so this
+//! implementation adds [`remove`](BTreeSet::remove): a *logical* deletion
+//! that clears the key's occupancy bit and rewrites the slot as a sentinel
+//! copy of its right neighbor, keeping the scan region sorted for racing
+//! optimistic readers. The memory contract is unchanged: nodes are never
+//! freed or moved while the tree is alive (spliced-out nodes go to a
+//! graveyard reclaimed on `clear`/`Drop`), so stale pointers always
+//! reference live memory and operation hints can never dangle. Underflow
+//! is tolerated rather than rebalanced — sparse and even empty leaves are
+//! legal — and a fully drained leaf is opportunistically spliced out under
+//! its parent's lock.
 //!
 //! * `insert` is a direct port of the paper's **Algorithm 1** (optimistic
 //!   root acquisition, validated hand-over-hand descent, lease upgrade at
@@ -64,6 +73,16 @@ static TREE_IDS: AtomicU64 = AtomicU64::new(1);
 /// `merge.rs`, which faces the same ordering inversion.
 #[cfg(feature = "gapped")]
 const REDIST_LOCK_ATTEMPTS: usize = 8;
+
+/// Bounded attempts to write-lock each node of the predecessor spine
+/// during an inner-key remove, and the sibling leaf during empty-leaf
+/// reclamation. Both acquisitions run top-down while a parent-side write
+/// lock is already held — the inverse of the split protocol's bottom-up
+/// order — so an unbounded acquire could deadlock against a splitter
+/// holding the lower node and waiting for ours. On failure the remove
+/// restarts (spine) or the empty leaf is simply left in place
+/// (reclamation is an optimization; empty leaves are legal).
+const REMOVE_LOCK_ATTEMPTS: usize = 8;
 
 /// Ranks `val` within an interior node during a descent. Under `fastpath`
 /// this is the latch-free fenced read: one non-spinning probe of the
@@ -178,6 +197,13 @@ pub struct BTreeSet<const K: usize, const C: usize = DEFAULT_NODE_CAPACITY> {
     /// pass-through to the global allocator otherwise. Owns every node of
     /// this tree; reclaimed wholesale on `clear`/`Drop`.
     pub(crate) arena: Arena,
+    /// Subtrees spliced out by `remove` (empty leaves, drained predecessor
+    /// chains). They stay allocated until `clear`/`Drop` — racing
+    /// optimistic readers may still hold pointers into them — and are
+    /// individually freed then. Only needed on the boxed path; the
+    /// `fastpath` arena reclaims unlinked nodes wholesale.
+    #[cfg(not(feature = "fastpath"))]
+    pub(crate) graveyard: std::sync::Mutex<Vec<NodePtr<K, C>>>,
 }
 
 // SAFETY: the tree owns its nodes; tuples are plain integers. All shared
@@ -229,6 +255,8 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             root_lock: OptimisticRwLock::new(),
             id: TREE_IDS.fetch_add(1, Relaxed),
             arena: Arena::new(),
+            #[cfg(not(feature = "fastpath"))]
+            graveyard: std::sync::Mutex::new(Vec::new()),
         }
     }
 
@@ -244,17 +272,12 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         BTreeHints::new(self.id)
     }
 
-    /// Whether the set contains no tuples. O(1); safe under concurrency
-    /// (may race with in-flight inserts, like any size query).
+    /// Whether the set contains no tuples. O(depth): removals can leave an
+    /// inner root sitting over nothing but drained leaves, so the check
+    /// walks to the first real element. Safe under concurrency (may race
+    /// with in-flight inserts/removes, like any size query).
     pub fn is_empty(&self) -> bool {
-        let root = self.root.load(Relaxed);
-        if root.is_null() {
-            return true;
-        }
-        // A root that is an inner node always has elements beneath it; a
-        // root leaf may still be empty right after creation.
-        let node = unsafe { &*root };
-        !node.is_inner() && node.num_clamped() == 0
+        self.iter().next().is_none()
     }
 
     /// Number of stored tuples. O(n) — the structure deliberately maintains
@@ -1223,6 +1246,341 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
         debug_assert!(idx < n);
         Some(Some((leaf, idx)))
     }
+
+    // ------------------------------------------------------------------
+    // Removal (logical deletion + tolerated underflow)
+    // ------------------------------------------------------------------
+
+    /// Removes `t`, returning `true` if it was present. Thread-safe under
+    /// the same optimistic protocol as [`insert`](Self::insert): an
+    /// optimistic descent locates the key, then the holding node is
+    /// write-locked and the slot is cleared *logically* — its occupancy
+    /// bit drops and the slot is rewritten as a sentinel copy of its right
+    /// neighbor, so racing readers keep seeing sorted, well-defined data.
+    ///
+    /// Underflow is tolerated, never rebalanced: leaves may go sparse or
+    /// empty (searches, bounds and iteration all handle that), and a fully
+    /// drained leaf is opportunistically spliced out of its parent. A key
+    /// found in an *inner* node is replaced by its in-order predecessor,
+    /// pulled from the rightmost spine of the left subtree under a
+    /// top-down chain of bounded try-write-locks.
+    pub fn remove(&self, t: &Tuple<K>) -> bool {
+        if self.root.load(Relaxed).is_null() {
+            return false;
+        }
+        let mut restarts = 0u64;
+        'restart: loop {
+            if restarts > 0 {
+                telemetry::count(telemetry::Counter::BtreeRemoveRestarts);
+                chaos::hint::spin_loop();
+            }
+            restarts += 1;
+            chaos::checkpoint("btree::remove::descend");
+            let (mut cur, mut cur_lease) = self.read_root();
+            loop {
+                // SAFETY: live node (nodes are never freed while the tree
+                // is alive; spliced-out nodes go to the graveyard).
+                let node = unsafe { &*cur };
+                let is_inner = node.is_inner();
+                let n = node.scan_len();
+                let (idx, found) = node.search(t, n);
+                if found {
+                    // A hit on a leaf gap slot is a sentinel duplicate of
+                    // the real key to its right; normalize to the occupied
+                    // slot (identity on packed inner nodes).
+                    let idx = node.next_occupied(idx);
+                    // The upgrade doubles as the lease validation: success
+                    // means the pre-upgrade search result is current.
+                    if !node.lock.try_upgrade_to_write(cur_lease) {
+                        continue 'restart;
+                    }
+                    if is_inner {
+                        if !self.remove_inner_key(cur, idx) {
+                            continue 'restart;
+                        }
+                    } else {
+                        chaos::checkpoint("btree::remove::gap_clear");
+                        node.gap_clear(idx);
+                        if node.num() == 0 {
+                            self.try_unlink_empty_leaf(cur);
+                        } else {
+                            node.lock.end_write();
+                        }
+                    }
+                    telemetry::count(telemetry::Counter::BtreeRemoves);
+                    return true;
+                }
+                if !is_inner {
+                    if node.lock.validate(cur_lease) {
+                        return false;
+                    }
+                    continue 'restart;
+                }
+                // SAFETY: is_inner just checked; kind never changes.
+                let next = unsafe { node.as_inner() }.child(idx);
+                prefetch_child(next);
+                if !node.lock.validate(cur_lease) {
+                    continue 'restart;
+                }
+                if next.is_null() {
+                    continue 'restart;
+                }
+                // SAFETY: read under a validated lease: a live child.
+                let next_lease = unsafe { &*next }.lock.start_read();
+                if !node.lock.validate(cur_lease) {
+                    continue 'restart;
+                }
+                cur = next;
+                cur_lease = next_lease;
+            }
+        }
+    }
+
+    /// Removes key `idx` of the write-locked inner node `n` by swapping in
+    /// its in-order predecessor: the rightmost spine of `child(idx)` is
+    /// write-locked top-down with bounded try-locks (see
+    /// [`REMOVE_LOCK_ATTEMPTS`]), the deepest spine node still holding
+    /// keys donates its maximum, and any drained chain below the donor is
+    /// spliced off into the graveyard. When the whole left subtree is
+    /// empty the key and that subtree are dropped from `n` together.
+    ///
+    /// On success all locks are released and `true` is returned; on spine
+    /// contention everything (including `n`'s lock) is released untouched
+    /// and `false` tells the caller to restart.
+    fn remove_inner_key(&self, n: NodePtr<K, C>, idx: usize) -> bool {
+        // SAFETY: `n` is write-locked by the caller; nodes stay live.
+        let nn = unsafe { &*n };
+        let ni = unsafe { nn.as_inner() };
+        let mut spine: Vec<NodePtr<K, C>> = Vec::new();
+        let mut cur = ni.child(idx);
+        loop {
+            // SAFETY: children read under held write locks are current.
+            let cn = unsafe { &*cur };
+            let mut locked = false;
+            for _ in 0..REMOVE_LOCK_ATTEMPTS {
+                chaos::checkpoint("btree::remove::spine_lock");
+                if cn.lock.try_start_write() {
+                    locked = true;
+                    break;
+                }
+                chaos::hint::spin_loop();
+            }
+            if !locked {
+                // A splitter below may hold this node while waiting
+                // bottom-up for one of ours: back out entirely.
+                for s in spine.iter().rev() {
+                    // SAFETY: locked above, unmodified.
+                    unsafe { &**s }.lock.abort_write();
+                }
+                nn.lock.abort_write();
+                return false;
+            }
+            spine.push(cur);
+            if !cn.is_inner() {
+                break;
+            }
+            // SAFETY: kind checked.
+            cur = unsafe { cn.as_inner() }.child(cn.num());
+        }
+
+        // The deepest spine node still holding keys donates the
+        // predecessor; everything below it on the spine is empty.
+        let holder = spine.iter().rposition(|&s| unsafe { &*s }.num() > 0);
+        let mut buried: NodePtr<K, C> = std::ptr::null_mut();
+        match holder {
+            Some(h) => {
+                // SAFETY: spine nodes are write-locked above.
+                let hn = unsafe { &*spine[h] };
+                let hnum = hn.num();
+                let pred;
+                if hn.is_inner() {
+                    // The donated key's right subtree is exactly the
+                    // drained chain below: drop key and chain together.
+                    pred = hn.key(hnum - 1);
+                    debug_assert_eq!(unsafe { hn.as_inner() }.child(hnum), spine[h + 1]);
+                    hn.set_num(hnum - 1);
+                    buried = spine[h + 1];
+                } else {
+                    // Leaf maximum: the topmost occupied slot (no trailing
+                    // gaps, so scan_len() - 1 is always real).
+                    let top = hn.scan_len() - 1;
+                    pred = hn.key(top);
+                    chaos::checkpoint("btree::remove::gap_clear");
+                    hn.gap_clear(top);
+                }
+                nn.set_key(idx, &pred);
+            }
+            None => {
+                // The whole left subtree holds no keys: drop the key and
+                // the subtree from `n` (the right neighbor subtree's
+                // separator interval widens over the removed key's range).
+                let num = nn.num();
+                buried = ni.child(idx);
+                for j in idx..num - 1 {
+                    nn.copy_key_within(j + 1, j);
+                }
+                for j in idx..num {
+                    let ch = ni.child(j + 1);
+                    ni.set_child(j, ch);
+                    // SAFETY: child links under `n`'s write lock.
+                    unsafe { &*ch }.position.store(j as u16, Relaxed);
+                }
+                nn.set_num(num - 1);
+            }
+        }
+
+        // Unlock bottom-up. Spine nodes below (and including) a drained
+        // chain were not modified — abort restores their versions so
+        // optimistic readers holding stale pointers into them need not
+        // restart — but they *must* be unlocked: readers spin on
+        // write-locked nodes even unreachable ones.
+        for (i, s) in spine.iter().enumerate().rev() {
+            // SAFETY: write-locked above.
+            let sn = unsafe { &**s };
+            if Some(i) == holder {
+                sn.lock.end_write();
+            } else {
+                sn.lock.abort_write();
+            }
+        }
+        nn.lock.end_write();
+        if !buried.is_null() {
+            self.bury(buried);
+        }
+        true
+    }
+
+    /// Best-effort reclamation of a write-locked, fully drained leaf:
+    /// re-homes the adjacent parent separator (a real element!) into a
+    /// sibling leaf and splices the empty leaf out of its parent. Any
+    /// obstacle — root leaf, unary parent, inner/full sibling, contended
+    /// sibling lock — leaves the empty leaf in place: empty leaves are
+    /// legal, reclamation is an optimization, and the policy never
+    /// rebalances across the root region. Releases the leaf's lock.
+    fn try_unlink_empty_leaf(&self, leaf: NodePtr<K, C>) {
+        // SAFETY: write-locked by the caller; nodes stay live.
+        let node = unsafe { &*leaf };
+        debug_assert_eq!(node.num(), 0);
+        chaos::checkpoint("btree::remove::leaf_unlink");
+        let parent = node.parent.load(Relaxed);
+        if parent.is_null() {
+            node.lock.end_write();
+            return; // empty root leaf stays: the tree may refill
+        }
+        // Lock the (current) parent with the split path's re-check idiom
+        // (bottom-up, deadlock-free).
+        let mut p = parent;
+        loop {
+            // SAFETY: parent pointers always reference live nodes.
+            unsafe { &*p }.lock.start_write();
+            let now = node.parent.load(Relaxed);
+            if now == p {
+                break;
+            }
+            unsafe { &*p }.lock.abort_write();
+            debug_assert!(!now.is_null(), "a node never becomes the root");
+            p = now;
+        }
+        let pn = unsafe { &*p };
+        let pi = unsafe { pn.as_inner() };
+        let pnum = pn.num();
+        let pos = node.position.load(Relaxed) as usize;
+        debug_assert_eq!(pi.child(pos), leaf, "position link out of date");
+        if pnum == 0 {
+            // Unary parent: no separator to dispose of, no sibling to
+            // take it. The empty leaf stays.
+            pn.lock.abort_write();
+            node.lock.end_write();
+            return;
+        }
+        // The separator adjacent to the leaf moves into the neighboring
+        // sibling: left of the leaf it becomes the left sibling's new
+        // maximum; for the leftmost leaf, key 0 becomes the right
+        // sibling's new minimum.
+        let (sep_idx, sib, at_front) = if pos > 0 {
+            (pos - 1, pi.child(pos - 1), false)
+        } else {
+            (0, pi.child(1), true)
+        };
+        // SAFETY: a child read under the parent's write lock is current.
+        let sn = unsafe { &*sib };
+        let mut locked = false;
+        for _ in 0..REMOVE_LOCK_ATTEMPTS {
+            chaos::checkpoint("btree::remove::sibling_lock");
+            if sn.lock.try_start_write() {
+                locked = true;
+                break;
+            }
+            chaos::hint::spin_loop();
+        }
+        if !locked {
+            pn.lock.abort_write();
+            node.lock.end_write();
+            return;
+        }
+        if sn.is_inner() || sn.num() == C {
+            // An inner sibling (the leaf's level was already spliced
+            // around elsewhere — impossible today, defensive) or one with
+            // no room: keep the empty leaf.
+            sn.lock.abort_write();
+            pn.lock.abort_write();
+            node.lock.end_write();
+            return;
+        }
+        let sep = pn.key(sep_idx);
+        #[cfg(feature = "gapped")]
+        {
+            // Front: lands in slot 0 (or its gap). Back: one past the
+            // scan region; gap_insert left-shifts into an interior gap
+            // when the region is full-width.
+            let at = if at_front { 0 } else { sn.scan_len() };
+            sn.gap_insert(at, &sep);
+        }
+        #[cfg(not(feature = "gapped"))]
+        {
+            let snum = sn.num();
+            if at_front {
+                for j in (0..snum).rev() {
+                    sn.copy_key_within(j, j + 1);
+                }
+                sn.set_key(0, &sep);
+            } else {
+                sn.set_key(snum, &sep);
+            }
+            sn.set_num(snum + 1);
+        }
+        // Splice the separator and the empty leaf out of the parent
+        // (split_one's insertion shift, inverted).
+        let drop_child = if at_front { 0 } else { pos };
+        for j in sep_idx..pnum - 1 {
+            pn.copy_key_within(j + 1, j);
+        }
+        for j in drop_child..pnum {
+            let ch = pi.child(j + 1);
+            pi.set_child(j, ch);
+            // SAFETY: child links under the parent's write lock.
+            unsafe { &*ch }.position.store(j as u16, Relaxed);
+        }
+        pn.set_num(pnum - 1);
+        telemetry::count(telemetry::Counter::BtreeLeafUnlinks);
+        telemetry::flight::event("btree::leaf_unlink", leaf as u64, 0);
+        sn.lock.end_write();
+        pn.lock.end_write();
+        node.lock.end_write();
+        self.bury(leaf);
+    }
+
+    /// Parks an unlinked subtree until `clear`/`Drop`. Nodes are never
+    /// freed while the tree is alive — racing optimistic readers may still
+    /// hold pointers into them, and the memory-safety of stale descents
+    /// depends on it — so the boxed path keeps spliced-out subtrees in a
+    /// graveyard; the `fastpath` arena reclaims them wholesale anyway.
+    fn bury(&self, node: NodePtr<K, C>) {
+        #[cfg(not(feature = "fastpath"))]
+        self.graveyard.lock().unwrap().push(node);
+        #[cfg(feature = "fastpath")]
+        let _ = node;
+    }
 }
 
 impl<const K: usize, const C: usize> BTreeSet<K, C> {
@@ -1253,6 +1611,14 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             #[cfg(feature = "fastpath")]
             self.arena.reset();
         }
+        // Subtrees spliced out by `remove` became unreachable from the
+        // root but stayed allocated for racing readers; `&mut self` means
+        // no reader is left, so they can finally go.
+        #[cfg(not(feature = "fastpath"))]
+        for dead in self.graveyard.get_mut().unwrap().drain(..) {
+            // SAFETY: exclusively owned, unreachable, freed exactly once.
+            unsafe { LeafNode::free_subtree(dead) };
+        }
         self.id = TREE_IDS.fetch_add(1, Relaxed);
     }
 }
@@ -1269,6 +1635,11 @@ impl<const K: usize, const C: usize> Drop for BTreeSet<K, C> {
                 // nodes reachable from the root were allocated by this tree
                 // and are freed exactly once.
                 unsafe { LeafNode::free_subtree(root) };
+            }
+            for dead in self.graveyard.get_mut().unwrap().drain(..) {
+                // SAFETY: spliced-out subtrees are unreachable from the
+                // root, so each is freed exactly once.
+                unsafe { LeafNode::free_subtree(dead) };
             }
         }
     }

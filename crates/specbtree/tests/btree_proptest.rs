@@ -287,6 +287,137 @@ proptest! {
         }
     }
 
+    /// Retraction tier: arbitrary interleavings of inserts and removes must
+    /// track `std::collections::BTreeSet` exactly — return values, final
+    /// contents, bound queries — and the structural invariants (occupancy /
+    /// sentinel agreement, tolerated underflow, equal leaf depth) must hold
+    /// after the mixed sequence. Runs under all three layouts via the CI
+    /// feature matrix.
+    #[test]
+    fn interleaved_insert_remove_matches_model(
+        ops in prop::collection::vec((key_strategy(), any::<bool>()), 0..800),
+    ) {
+        let tree: BTreeSet<2, 4> = BTreeSet::new();
+        let mut model = Model::new();
+        for (k, is_insert) in &ops {
+            if *is_insert {
+                prop_assert_eq!(tree.insert(*k), model.insert(*k));
+            } else {
+                prop_assert_eq!(tree.remove(k), model.remove(k));
+            }
+        }
+        tree.check_invariants().unwrap();
+        prop_assert_eq!(tree.len(), model.len());
+        prop_assert_eq!(tree.is_empty(), model.is_empty());
+        let ours: Vec<_> = tree.iter().collect();
+        let theirs: Vec<_> = model.iter().copied().collect();
+        prop_assert_eq!(ours, theirs);
+        for (p, _) in ops.iter().take(30) {
+            prop_assert_eq!(tree.contains(p), model.contains(p));
+            prop_assert_eq!(tree.lower_bound(p).next(), model.range(*p..).next().copied());
+        }
+        prop_assert_eq!(tree.iter().last(), model.iter().next_back().copied());
+    }
+
+    /// Remove-heavy sequences drain the tree entirely, crossing the
+    /// empty-leaf unlink path and the predecessor-swap inner deletion many
+    /// times; reinsertion into the hollowed shape must still agree with a
+    /// fresh model.
+    #[test]
+    fn drain_and_reinsert_matches_model(keys in prop::collection::vec(key_strategy(), 1..400)) {
+        let tree: BTreeSet<2, 4> = BTreeSet::new();
+        let mut model = Model::new();
+        for k in &keys {
+            tree.insert(*k);
+            model.insert(*k);
+        }
+        // Remove everything, in a different (sorted) order than insertion.
+        for k in model.iter() {
+            prop_assert!(tree.remove(k));
+        }
+        tree.check_invariants().unwrap();
+        prop_assert!(tree.is_empty());
+        prop_assert_eq!(tree.iter().next(), None);
+        // The hollow tree accepts the same keys back.
+        for k in &keys {
+            tree.insert(*k);
+        }
+        tree.check_invariants().unwrap();
+        prop_assert_eq!(tree.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+    }
+
+    /// The sequential tree's remove must mirror both the model and the
+    /// concurrent tree (shape-parity: both take the same single-threaded
+    /// decisions), and its own invariant checker must accept the result.
+    #[test]
+    fn seq_remove_matches_model_and_concurrent(
+        ops in prop::collection::vec((key_strategy(), any::<bool>()), 0..600),
+    ) {
+        let conc: BTreeSet<2, 6> = BTreeSet::new();
+        let mut seq: SeqBTreeSet<2, 6> = SeqBTreeSet::new();
+        let mut model = Model::new();
+        for (k, is_insert) in &ops {
+            if *is_insert {
+                let expect = model.insert(*k);
+                prop_assert_eq!(conc.insert(*k), expect);
+                prop_assert_eq!(seq.insert(*k), expect);
+            } else {
+                let expect = model.remove(k);
+                prop_assert_eq!(conc.remove(k), expect);
+                prop_assert_eq!(seq.remove(k), expect);
+            }
+        }
+        conc.check_invariants().unwrap();
+        seq.check_invariants().unwrap();
+        prop_assert_eq!(seq.len(), model.len());
+        prop_assert_eq!(conc.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(seq.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+        for (p, _) in ops.iter().take(20) {
+            prop_assert_eq!(seq.contains(p), model.contains(p));
+        }
+    }
+
+    /// `remove_all_parallel` must equal per-tuple sequential removal and the
+    /// model set difference at every worker count (1 inline, 2/4/8
+    /// threaded), with exact removed-count accounting.
+    #[test]
+    fn remove_all_parallel_matches_sequential_and_model(
+        base in prop::collection::vec(key_strategy(), 0..300),
+        delta in prop::collection::vec(key_strategy(), 0..300),
+        workers in (0usize..4).prop_map(|i| 1usize << i),
+    ) {
+        let mut model = Model::new();
+        let parallel: BTreeSet<2, 4> = BTreeSet::new();
+        let sequential: BTreeSet<2, 4> = BTreeSet::new();
+        for k in &base {
+            parallel.insert(*k);
+            sequential.insert(*k);
+            model.insert(*k);
+        }
+        let src: BTreeSet<2, 4> = BTreeSet::new();
+        for k in &delta {
+            src.insert(*k);
+        }
+        let mut expected_removed = 0u64;
+        let mut seq_removed = 0u64;
+        for k in src.iter() {
+            if model.remove(&k) {
+                expected_removed += 1;
+            }
+            if sequential.remove(&k) {
+                seq_removed += 1;
+            }
+        }
+        let removed = parallel.remove_all_parallel(&src, workers);
+        prop_assert_eq!(removed, expected_removed);
+        prop_assert_eq!(seq_removed, expected_removed);
+        parallel.check_invariants().unwrap();
+        sequential.check_invariants().unwrap();
+        let expect: Vec<_> = model.iter().copied().collect();
+        prop_assert_eq!(parallel.iter().collect::<Vec<_>>(), expect.clone());
+        prop_assert_eq!(sequential.iter().collect::<Vec<_>>(), expect);
+    }
+
     #[test]
     fn seq_and_concurrent_trees_agree(keys in prop::collection::vec(key_strategy(), 0..500)) {
         let conc: BTreeSet<2, 6> = BTreeSet::new();

@@ -278,6 +278,199 @@ fn fenced_interior_descent_survives_interior_rewrites() {
     );
 }
 
+/// Remove racing insert of the *same* key: every schedule must resolve the
+/// contention to a linearizable history (insert-then-remove leaves the key
+/// absent, remove-then-insert leaves it present — both legal, two removes
+/// winning or both orders losing is not), and the predecessor-swap inner
+/// deletion racing leaf splits must keep the tree structurally sound.
+#[cfg(not(feature = "chaos-inject-bug"))]
+#[test]
+fn remove_insert_race_is_linearizable() {
+    chaos::model(chaos::seeds_from_env(0..48), || {
+        let set: Arc<BTreeSet<1, 4>> = Arc::new(BTreeSet::new());
+        let rec = Arc::new(Recorder::new());
+        // Depth 2 at capacity 4: key 3 typically lands in an inner node, so
+        // its removal exercises the write-locked-spine predecessor swap.
+        // The seeds the racing history touches are recorded, so the checker
+        // knows they start present.
+        for k in 0..8u64 {
+            if k == 3 || k == 7 {
+                rec.run(0, Op::Insert(vec![k]), || set.insert([k]));
+            } else {
+                set.insert([k]);
+            }
+        }
+        let remover = {
+            let (set, rec) = (set.clone(), rec.clone());
+            chaos::thread::spawn(move || {
+                rec.run(0, Op::Remove(vec![3]), || set.remove(&[3]));
+                rec.run(0, Op::Remove(vec![7]), || set.remove(&[7]));
+            })
+        };
+        let inserter = {
+            let (set, rec) = (set.clone(), rec.clone());
+            chaos::thread::spawn(move || {
+                rec.run(1, Op::Insert(vec![3]), || set.insert([3]));
+                rec.run(1, Op::Insert(vec![9]), || set.insert([9]));
+            })
+        };
+        remover.join();
+        inserter.join();
+        // Close the history with ground-truth observations so the final
+        // state itself is linearized against the racing operations.
+        rec.run(0, Op::Contains(vec![3]), || set.contains(&[3]));
+        rec.run(0, Op::Contains(vec![7]), || set.contains(&[7]));
+        let history = Arc::try_unwrap(rec)
+            .expect("all threads joined")
+            .into_history();
+        check_set_history(&history).unwrap();
+        set.check_invariants().unwrap();
+        // Keys untouched by the race are exactly preserved.
+        for k in [0u64, 1, 2, 4, 5, 6, 9] {
+            assert!(set.contains(&[k]), "uncontended key {k} lost");
+        }
+        assert!(!set.contains(&[7]), "removed key 7 resurfaced");
+    });
+}
+
+/// A reader racing removals must never observe a half-deleted key: a key
+/// never removed is always found, a key whose removal completed before the
+/// lookup began is never found, and the gap-clear sentinel rewrite keeps
+/// concurrent descents routed correctly (`btree::remove::gap_clear` is the
+/// preemption point that exposes a torn rewrite).
+#[cfg(not(feature = "chaos-inject-bug"))]
+#[test]
+fn contains_during_removes_is_linearizable() {
+    chaos::model(chaos::seeds_from_env(0..48), || {
+        let set: Arc<BTreeSet<1, 4>> = Arc::new(BTreeSet::new());
+        let rec = Arc::new(Recorder::new());
+        // Record the seeds the history touches (2, 3, 5, 6): the checker
+        // must see them enter the set before the race begins.
+        for k in 0..8u64 {
+            if matches!(k, 2 | 3 | 5 | 6) {
+                rec.run(0, Op::Insert(vec![k]), || set.insert([k]));
+            } else {
+                set.insert([k]);
+            }
+        }
+        let remover = {
+            let (set, rec) = (set.clone(), rec.clone());
+            chaos::thread::spawn(move || {
+                for k in [2u64, 3, 5] {
+                    let removed = rec.run(0, Op::Remove(vec![k]), || set.remove(&[k]));
+                    assert!(removed, "pre-inserted key {k} must be removable");
+                }
+            })
+        };
+        let reader = {
+            let (set, rec) = (set.clone(), rec.clone());
+            chaos::thread::spawn(move || {
+                let found = rec.run(1, Op::Contains(vec![6]), || set.contains(&[6]));
+                assert!(found, "key 6 is never removed; false negative");
+                rec.run(1, Op::Contains(vec![3]), || set.contains(&[3]));
+                rec.run(1, Op::Contains(vec![5]), || set.contains(&[5]));
+            })
+        };
+        remover.join();
+        reader.join();
+        let history = Arc::try_unwrap(rec)
+            .expect("all threads joined")
+            .into_history();
+        check_set_history(&history).unwrap();
+        set.check_invariants().unwrap();
+        let got: Vec<u64> = set.iter().map(|t| t[0]).collect();
+        assert_eq!(got, vec![0, 1, 4, 6, 7], "final contents wrong");
+    });
+}
+
+/// Bulk retraction racing a bulk merge on the same target: a
+/// `remove_all_parallel` of the even half runs against an
+/// `insert_all_parallel` of a disjoint high run. The removal's logical
+/// deletes and possible leaf unlinks interleave with the merge's grouped
+/// leaf locking and splice fast path; every schedule must end with exactly
+/// the odd half plus the merged run, with both counts exact.
+#[cfg(not(feature = "chaos-inject-bug"))]
+#[test]
+fn remove_all_racing_merge_keeps_invariants() {
+    chaos::model(chaos::seeds_from_env(0..48), || {
+        let set: Arc<BTreeSet<1, 4>> = Arc::new(BTreeSet::new());
+        for k in 0..10u64 {
+            set.insert([k]);
+        }
+        let remover = {
+            let set = set.clone();
+            chaos::thread::spawn(move || {
+                let victims: BTreeSet<1, 4> = BTreeSet::new();
+                for k in [0u64, 2, 4, 6, 8] {
+                    victims.insert([k]);
+                }
+                let removed = set.remove_all_parallel(&victims, 1);
+                assert_eq!(removed, 5, "every even key was present");
+            })
+        };
+        let merger = {
+            let set = set.clone();
+            chaos::thread::spawn(move || {
+                let src: BTreeSet<1, 4> = BTreeSet::new();
+                for k in 20..25u64 {
+                    src.insert([k]);
+                }
+                let added = set.insert_all_parallel(&src, 1);
+                assert_eq!(added, 5, "disjoint source must add every tuple");
+            })
+        };
+        remover.join();
+        merger.join();
+        set.check_invariants().unwrap();
+        let got: Vec<u64> = set.iter().map(|t| t[0]).collect();
+        let expect: Vec<u64> = [1u64, 3, 5, 7, 9].into_iter().chain(20..25).collect();
+        assert_eq!(got, expect, "retraction ∪ merge contents wrong");
+    });
+}
+
+/// Two threads race removals over overlapping victim sets: each contended
+/// key must be won by exactly one remover (true returns partition the
+/// victims), empty leaves left behind must be tolerated or unlinked
+/// cleanly, and draining an entire subtree must not strand the iterator.
+#[cfg(not(feature = "chaos-inject-bug"))]
+#[test]
+fn racing_removers_claim_each_key_once() {
+    chaos::model(chaos::seeds_from_env(0..48), || {
+        let set: Arc<BTreeSet<1, 4>> = Arc::new(BTreeSet::new());
+        for k in 0..8u64 {
+            set.insert([k]);
+        }
+        let wins = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (set, wins) = (set.clone(), wins.clone());
+                chaos::thread::spawn(move || {
+                    let mut local = 0u64;
+                    // Both threads attack the same six keys, draining two
+                    // full leaves' worth: leaf-unlink races leaf-unlink.
+                    for k in [0u64, 1, 2, 3, 4, 5] {
+                        if set.remove(&[k]) {
+                            local += 1;
+                        }
+                    }
+                    wins.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(
+            wins.load(std::sync::atomic::Ordering::Relaxed),
+            6,
+            "each key must be removed exactly once across both threads"
+        );
+        set.check_invariants().unwrap();
+        let got: Vec<u64> = set.iter().map(|t| t[0]).collect();
+        assert_eq!(got, vec![6, 7], "survivors wrong after racing removals");
+    });
+}
+
 /// Mutation self-test for the fence-word protocol: with the planted
 /// `chaos-inject-bug` defect compiled in (a fenced interior rank skips the
 /// per-node lease validation in the insert descent), a reader that probes
@@ -327,6 +520,59 @@ fn planted_fence_bug_is_caught() {
     );
     println!(
         "planted fence bug caught at seed {} after {} steps (trace {:#018x})",
+        out.seed, out.steps, out.trace_hash
+    );
+}
+
+/// Mutation self-test for the gap-clear protocol: with the planted
+/// `chaos-inject-bug` defect compiled in, `gap_clear` skips the sentinel
+/// rewrite — the cleared slot keeps the *removed* key as its "sentinel"
+/// instead of a copy of its right neighbor. The removed key then remains
+/// visible to searches (a resurrected tuple) and the occupancy checker's
+/// sentinel-agreement invariant is violated. The harness must surface one
+/// of the two within a bounded seed budget, proving the retraction tier's
+/// checkpoints (`btree::remove::descend`, `btree::remove::gap_clear`,
+/// `btree::remove::leaf_unlink`) and the generalized invariants give the
+/// scheduler and checker the purchase they need on the remove path.
+/// First caught at seed 0 (the defect corrupts even sequential schedules;
+/// the budget covers scheduler drift).
+#[cfg(all(chaos, feature = "chaos-inject-bug"))]
+#[test]
+fn planted_gap_clear_bug_is_caught() {
+    let out = chaos::find_failure(&chaos::Config::pct(1), 0..256, || {
+        let set: Arc<BTreeSet<1, 4>> = Arc::new(BTreeSet::new());
+        for k in 0..8u64 {
+            set.insert([k]);
+        }
+        let remover = {
+            let set = set.clone();
+            chaos::thread::spawn(move || {
+                for k in [2u64, 3, 5] {
+                    set.remove(&[k]);
+                }
+            })
+        };
+        let reader = {
+            let set = set.clone();
+            chaos::thread::spawn(move || {
+                assert!(set.contains(&[6]), "key 6 is never removed");
+            })
+        };
+        remover.join();
+        reader.join();
+        set.check_invariants().expect("structure corrupted");
+        for k in [2u64, 3, 5] {
+            assert!(!set.contains(&[k]), "removed key {k} resurfaced");
+        }
+        let got: Vec<u64> = set.iter().map(|t| t[0]).collect();
+        assert_eq!(got, vec![0, 1, 4, 6, 7], "contents wrong after removals");
+    });
+    let out = out.expect(
+        "the planted gap-clear sentinel bug must be caught within 256 seeds; \
+         if this fails the retraction tier has lost its bug-finding power",
+    );
+    println!(
+        "planted gap-clear bug caught at seed {} after {} steps (trace {:#018x})",
         out.seed, out.steps, out.trace_hash
     );
 }

@@ -139,11 +139,19 @@ pub enum Counter {
     /// `specbtree`: gap redistributions into a left sibling performed
     /// instead of an eager leaf split (`gapped` layout).
     BtreeRedistributions,
+    /// `specbtree`: successful `remove` operations (tuple was present).
+    BtreeRemoves,
+    /// `specbtree`: remove operations restarted (failed validation or
+    /// contended spine/sibling locks).
+    BtreeRemoveRestarts,
+    /// `specbtree`: empty leaves spliced out of their parent after a
+    /// remove drained them.
+    BtreeLeafUnlinks,
 }
 
 impl Counter {
     /// Number of counters (array dimension).
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 31;
 
     /// All counters, in declaration order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -175,6 +183,9 @@ impl Counter {
         Counter::BtreeFencedRank,
         Counter::BtreeFencedFallback,
         Counter::BtreeRedistributions,
+        Counter::BtreeRemoves,
+        Counter::BtreeRemoveRestarts,
+        Counter::BtreeLeafUnlinks,
     ];
 
     /// The dotted `layer.event` name used in reports.
@@ -208,6 +219,9 @@ impl Counter {
             Counter::BtreeFencedRank => "specbtree.fenced_rank",
             Counter::BtreeFencedFallback => "specbtree.fenced_fallback",
             Counter::BtreeRedistributions => "specbtree.redistributions",
+            Counter::BtreeRemoves => "specbtree.removes",
+            Counter::BtreeRemoveRestarts => "specbtree.remove_restarts",
+            Counter::BtreeLeafUnlinks => "specbtree.leaf_unlinks",
         }
     }
 }
