@@ -1,0 +1,48 @@
+"""Shared helpers for the ci/validate_*.py shape-checkers.
+
+Every bench binary emits a JSON document with a `"bench"` name and (for
+the mode-sensitive ones) a `"quick"` flag; the validators all start the
+same way — parse argv, load the document, check the banner fields — and
+share one numeric idiom: a relative-tolerance ratio check that survives
+the 6-decimal rounding of stored seconds in sub-millisecond quick runs.
+This module is that common prologue, so each validator only holds the
+assertions specific to its bench.
+"""
+
+import json
+import sys
+
+
+def parse_cli(default_path, argv=None):
+    """`validate_x.py [path] [--quick|--full]` -> (path, mode)."""
+    argv = sys.argv[1:] if argv is None else argv
+    path = argv[0] if len(argv) > 0 else default_path
+    mode = argv[1] if len(argv) > 1 else "--quick"
+    assert mode in ("--quick", "--full"), mode
+    return path, mode
+
+
+def load_bench(path, bench, mode=None):
+    """Load a bench JSON document and check its banner fields.
+
+    Asserts `doc["bench"] == bench`; when `mode` is given, also asserts
+    the document's `quick` flag matches `--quick`/`--full`.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["bench"] == bench, (path, doc.get("bench"))
+    if mode is not None:
+        assert doc["quick"] is (mode == "--quick"), (path, doc.get("quick"))
+    return doc
+
+
+def assert_ratio(stored, num, den, ctx):
+    """Assert `stored ≈ num / den` with relative tolerance.
+
+    Quick-mode runs have sub-millisecond sides, where the 6-decimal
+    rounding of the stored seconds shifts the recomputed ratio past any
+    absolute epsilon — so the tolerance scales with the ratio itself.
+    """
+    assert den > 0, (ctx, "zero denominator")
+    recomputed = num / den
+    assert abs(stored - recomputed) < 1e-3 + 0.01 * recomputed, (ctx, stored, recomputed)

@@ -8,15 +8,10 @@ Usage: validate_layout.py [path] [--quick|--full]
 fastpath, boxed), per-op speedup rows including the full-scan case, and
 internally consistent speedup arithmetic.
 """
-import json
-import sys
+from benchlib import assert_ratio, load_bench, parse_cli
 
-path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_layout.json"
-mode = sys.argv[2] if len(sys.argv) > 2 else "--quick"
-assert mode in ("--quick", "--full"), mode
-
-doc = json.load(open(path))
-assert doc["bench"] == "layout"
+path, mode = parse_cli("BENCH_layout.json")
+doc = load_bench(path, "layout")
 for side in ("gapped", "fastpath", "boxed"):
     sub = doc[side]
     assert sub["variant"] == side, (side, sub["variant"])
@@ -33,8 +28,8 @@ assert ("scan", 1) in ops, "missing scan speedup row"
 for r in doc["speedups"]:
     for field in ("gapped_seconds", "fastpath_seconds", "boxed_seconds"):
         assert r[field] > 0, (r["op"], field)
-    assert abs(r["speedup_vs_fastpath"] - r["fastpath_seconds"] / r["gapped_seconds"]) < 1e-3
-    assert abs(r["speedup_vs_boxed"] - r["boxed_seconds"] / r["gapped_seconds"]) < 1e-3
+    assert_ratio(r["speedup_vs_fastpath"], r["fastpath_seconds"], r["gapped_seconds"], r["op"])
+    assert_ratio(r["speedup_vs_boxed"], r["boxed_seconds"], r["gapped_seconds"], r["op"])
 
 for side in ("gapped", "fastpath"):
     assert doc[side]["arena"]["slabs"] > 0, f"{side} side did not use the arena"

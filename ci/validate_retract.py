@@ -10,16 +10,10 @@ additionally enforces the acceptance criterion: the headline chain
 scenario's retraction must complete within `target_ratio` of from-scratch
 recomputation at the top thread count.
 """
-import json
-import sys
+from benchlib import assert_ratio, load_bench, parse_cli
 
-path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_retract.json"
-mode = sys.argv[2] if len(sys.argv) > 2 else "--quick"
-assert mode in ("--quick", "--full"), mode
-
-doc = json.load(open(path))
-assert doc["bench"] == "retract"
-assert doc["quick"] is (mode == "--quick")
+path, mode = parse_cli("BENCH_retract.json")
+doc = load_bench(path, "retract", mode)
 assert 0 < doc["target_ratio"] <= 1, doc["target_ratio"]
 
 names = [sc["name"] for sc in doc["scenarios"]]
@@ -40,13 +34,11 @@ for sc in doc["scenarios"]:
     for r in sc["results"]:
         assert r["threads"] >= 1, sc["name"]
         assert r["retract_seconds"] > 0 and r["scratch_run_seconds"] > 0, sc["name"]
-        # Relative tolerance: quick-mode runs have sub-millisecond sides,
-        # where the 6-decimal rounding of the stored seconds shifts the
-        # recomputed ratio past any absolute epsilon.
-        recomputed = r["retract_seconds"] / r["scratch_run_seconds"]
-        assert abs(r["ratio"] - recomputed) < 1e-3 + 0.01 * recomputed, (
-            sc["name"],
-            r["threads"],
+        assert_ratio(
+            r["ratio"],
+            r["retract_seconds"],
+            r["scratch_run_seconds"],
+            (sc["name"], r["threads"]),
         )
         # Phase breakdown must be non-negative and within the total (the
         # total also covers plan compilation and bookkeeping outside the

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Shape-check a Chrome trace-event file written by `--trace-out`
+(crates/telemetry/src/trace_export.rs).
+
+Usage: validate_trace.py [path] [--min-labels N] [--min-tids N]
+
+Checks the structural contract the exporter promises:
+
+  * the document has `displayTimeUnit` and a `traceEvents` array;
+  * every event is a well-formed B or E duration event (name, ph, pid,
+    tid, numeric ts; B events carry `args.arg`);
+  * per-thread timestamps are monotonically non-decreasing in file
+    order (the exporter sorts per-tid pre-order);
+  * B/E events balance per thread — every B has a matching E, names
+    pair up LIFO, and no E closes an empty stack.
+
+`--min-labels` / `--min-tids` enforce the diversity floor the CI
+trace-smoke job needs (a trace from a parallel fixpoint should show at
+least several distinct span labels across at least two worker threads).
+"""
+
+import json
+import sys
+
+
+def parse_cli(argv):
+    path, min_labels, min_tids = "trace.json", 0, 0
+    args = list(argv)
+    pos = []
+    while args:
+        a = args.pop(0)
+        if a == "--min-labels":
+            min_labels = int(args.pop(0))
+        elif a == "--min-tids":
+            min_tids = int(args.pop(0))
+        else:
+            pos.append(a)
+    assert len(pos) <= 1, f"unexpected arguments: {pos[1:]}"
+    if pos:
+        path = pos[0]
+    return path, min_labels, min_tids
+
+
+def validate(doc, min_labels, min_tids):
+    assert doc["displayTimeUnit"] == "ns", doc.get("displayTimeUnit")
+    events = doc["traceEvents"]
+    assert isinstance(events, list), type(events)
+
+    last_ts = {}  # tid -> last seen ts
+    stacks = {}  # tid -> [name, ...] of open B events
+    labels = set()
+    for i, ev in enumerate(events):
+        for field in ("name", "ph", "pid", "tid", "ts"):
+            assert field in ev, (i, field, ev)
+        assert ev["ph"] in ("B", "E"), (i, ev["ph"])
+        ts = float(ev["ts"])
+        tid = ev["tid"]
+        assert ts >= last_ts.get(tid, 0.0), (i, "ts went backwards", tid, ts)
+        last_ts[tid] = ts
+        stack = stacks.setdefault(tid, [])
+        if ev["ph"] == "B":
+            assert "args" in ev and "arg" in ev["args"], (i, "B without args.arg")
+            stack.append(ev["name"])
+            labels.add(ev["name"])
+        else:
+            assert stack, (i, "E with no open B", tid, ev["name"])
+            opened = stack.pop()
+            assert opened == ev["name"], (i, "mismatched close", opened, ev["name"])
+    for tid, stack in stacks.items():
+        assert not stack, ("unclosed spans", tid, stack)
+
+    assert len(labels) >= min_labels, (sorted(labels), f"need >= {min_labels}")
+    assert len(last_ts) >= min_tids, (sorted(last_ts), f"need >= {min_tids}")
+    return events, labels, last_ts
+
+
+if __name__ == "__main__":
+    path, min_labels, min_tids = parse_cli(sys.argv[1:])
+    with open(path) as f:
+        doc = json.load(f)
+    events, labels, tids = validate(doc, min_labels, min_tids)
+    print(
+        f"{path} OK: {len(events)} events, {len(labels)} labels, "
+        f"{len(tids)} threads"
+    )

@@ -12,6 +12,7 @@
 //! more to approach it). Sides sweep `S/8, S/4, S/2, S` mirroring the
 //! paper's four sizes.
 
+use bench_suite::obs::ObsSession;
 use bench_suite::{emit_telemetry, fmt_mops, print_row, Args, Contestant};
 use workloads::points::{points_2d, query_sequence};
 use workloads::Stopwatch;
@@ -23,6 +24,7 @@ fn sides(scale: usize) -> Vec<u64> {
 
 fn main() {
     let args = Args::parse();
+    let obs = ObsSession::start("fig3", &args);
     let sides = sides(args.scale);
 
     for (part, ordered, what) in [
@@ -129,6 +131,7 @@ fn main() {
     }
 
     emit_telemetry("fig3");
+    obs.finish();
 }
 
 fn header(args: &Args, part: &str, what: &str, sides: &[u64]) {

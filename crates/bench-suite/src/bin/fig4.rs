@@ -22,6 +22,7 @@ use baselines::global_lock::GlobalLock;
 use baselines::lockcoupling::LockCouplingBTree;
 use baselines::reduction::reduce_insert;
 use baselines::splitorder::SplitOrderedSet;
+use bench_suite::obs::ObsSession;
 use bench_suite::{emit_telemetry, fmt_mops, print_row, Args};
 use specbtree::BTreeSet;
 use workloads::points::{partition_batches, points_2d};
@@ -125,6 +126,7 @@ fn run_one(name: &str, batches: &[Vec<[u64; 2]>], expected: usize) -> f64 {
 
 fn main() {
     let args = Args::parse();
+    let obs = ObsSession::start("fig4", &args);
     let total = if args.scale == 0 {
         1_000_000
     } else {
@@ -175,4 +177,5 @@ fn main() {
     }
 
     emit_telemetry("fig4");
+    obs.finish();
 }

@@ -9,6 +9,7 @@
 //! `--scale N` scales the generated fact bases (default 6). `--threads`
 //! overrides the sweep (default 1,2,4,8).
 
+use bench_suite::obs::ObsSession;
 use bench_suite::{emit_telemetry, print_row, Args};
 use datalog::{Engine, StorageKind};
 use workloads::network::{self, NetworkConfig};
@@ -17,6 +18,7 @@ use workloads::Stopwatch;
 
 fn main() {
     let args = Args::parse();
+    let obs = ObsSession::start("fig5", &args);
     let scale = if args.scale == 0 { 6 } else { args.scale };
     let threads = if args.threads.is_empty() {
         vec![1, 2, 4, 8]
@@ -96,4 +98,5 @@ fn main() {
     }
 
     emit_telemetry("fig5");
+    obs.finish();
 }

@@ -23,6 +23,7 @@
 //! `--seed N`, `--csv`, `--quick` (CI smoke: 50k tuples, one repetition).
 
 use bench_suite::json::JsonWriter;
+use bench_suite::obs::ObsSession;
 use bench_suite::{emit_telemetry, fmt_mops, print_row, Args};
 use specbtree::BTreeSet;
 use std::time::Instant;
@@ -222,6 +223,7 @@ fn merge(gapped_doc: &str, fast_doc: &str, boxed_doc: &str) {
 
 fn main() {
     let args = Args::parse();
+    let obs = ObsSession::start("layout", &args);
     let scale = if args.scale == 0 { 1 } else { args.scale };
     let n = if args.quick {
         50_000
@@ -340,4 +342,5 @@ fn main() {
     }
 
     emit_telemetry("layout");
+    obs.finish();
 }

@@ -14,6 +14,7 @@
 //! repetition).
 
 use bench_suite::json::JsonWriter;
+use bench_suite::obs::ObsSession;
 use bench_suite::{emit_telemetry, print_row, Args};
 use specbtree::BTreeSet;
 use std::time::Instant;
@@ -142,6 +143,7 @@ fn measure_all(configs: &[(&Scenario, &'static str, usize)], reps: usize) -> Vec
 
 fn main() {
     let args = Args::parse();
+    let obs = ObsSession::start("merge", &args);
     let scale = if args.scale == 0 { 1 } else { args.scale };
     let threads = if args.threads.is_empty() {
         vec![1, 2, 4, 8]
@@ -267,4 +269,5 @@ fn main() {
     std::fs::write(out, json.finish()).expect("write BENCH_merge.json");
     println!("wrote {out}");
     emit_telemetry("merge");
+    obs.finish();
 }

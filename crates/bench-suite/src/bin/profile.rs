@@ -25,7 +25,8 @@
 //! `TELEMETRY_profile.json`. Flags: `--quick`, `--threads 8`, `--scale N`,
 //! `--seed N`.
 
-use bench_suite::Args;
+use bench_suite::obs::ObsSession;
+use bench_suite::{emit_telemetry, Args};
 use datalog::{parse, Engine, ParallelStrategy, StorageKind};
 use specbtree::BTreeSet;
 use workloads::graphs;
@@ -38,7 +39,7 @@ const TC_PROGRAM: &str = r#"
     path(x, z) :- path(x, y), edge(y, z).
 "#;
 
-fn run_chain_tc(nodes: u64, threads: usize) {
+fn run_chain_tc(nodes: u64, threads: usize) -> Engine {
     let edges = graphs::chain(nodes);
     let program = parse(TC_PROGRAM).unwrap();
     let mut engine = Engine::new(&program, StorageKind::SpecBTree, threads).unwrap();
@@ -55,6 +56,7 @@ fn run_chain_tc(nodes: u64, threads: usize) {
         println!("  {}", entry.to_json());
     }
     println!("  stats: {}", engine.stats().to_json());
+    engine
 }
 
 /// All threads insert interleaved keys into the same narrow range (every
@@ -92,6 +94,7 @@ fn run_contended_inserts(per_thread: u64, writers: usize) {
 
 fn main() {
     let args = Args::parse();
+    let obs = ObsSession::start("profile", &args);
     if !telemetry::ENABLED {
         println!(
             "telemetry is disabled in this build; rebuild with\n\
@@ -101,6 +104,7 @@ fn main() {
         std::fs::write("TELEMETRY_profile.json", telemetry::snapshot().to_json())
             .expect("write TELEMETRY_profile.json");
         println!("wrote TELEMETRY_profile.json (enabled: false)");
+        obs.finish(); // no-op: never writes trace/sample files when off
         return;
     }
 
@@ -108,9 +112,18 @@ fn main() {
     let scale = if args.scale == 0 { 1 } else { args.scale } as u64;
     telemetry::reset();
 
-    // Phase 1: engine workload.
+    // Phase 1: engine workload, then a retraction so the storage report
+    // has scars to show (buried leaves, gapped-leaf sentinels).
     let nodes = if args.quick { 64 } else { 256 * scale };
-    run_chain_tc(nodes, threads);
+    let mut engine = run_chain_tc(nodes, threads);
+    engine
+        .retract_fact("edge", &[nodes / 4, nodes / 4 + 1])
+        .expect("retract mid-chain edge");
+    let report = engine.storage_report();
+    println!("-- storage report (after retraction) --");
+    print!("{}", report.to_table());
+    obs.annotate("chain_tc.storage_report", &report.to_json());
+    drop(engine);
 
     // Phase 2: contended raw inserts, with the restart budget floored so
     // budget overruns demonstrably dump the flight recorder (budget 0 =
@@ -129,6 +142,6 @@ fn main() {
     for (name, v) in snap.top(8) {
         println!("  {name:<40} {v:>12}");
     }
-    std::fs::write("TELEMETRY_profile.json", snap.to_json()).expect("write TELEMETRY_profile.json");
-    println!("wrote TELEMETRY_profile.json");
+    emit_telemetry("profile");
+    obs.finish();
 }

@@ -19,6 +19,7 @@
 //! small graphs, shape-identical JSON).
 
 use bench_suite::json::JsonWriter;
+use bench_suite::obs::ObsSession;
 use bench_suite::{emit_telemetry, print_row, Args};
 use datalog::{parse, Engine, RetractOutcome, StorageKind};
 use std::time::Instant;
@@ -165,6 +166,7 @@ fn measure_once(sc: &Scenario, threads: usize) -> Sample {
 
 fn main() {
     let args = Args::parse();
+    let obs = ObsSession::start("retract", &args);
     let scale = if args.scale == 0 { 1 } else { args.scale };
     let threads = if !args.threads.is_empty() {
         args.threads.clone()
@@ -285,4 +287,5 @@ fn main() {
     std::fs::write(out, json.finish()).expect("write BENCH_retract.json");
     println!("wrote {out}");
     emit_telemetry("retract");
+    obs.finish();
 }

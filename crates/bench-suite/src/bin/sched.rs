@@ -11,6 +11,7 @@
 //! repetition).
 
 use bench_suite::json::JsonWriter;
+use bench_suite::obs::ObsSession;
 use bench_suite::{emit_telemetry, print_row, Args};
 use datalog::{parse, Engine, ParallelStrategy, StorageKind};
 use std::time::Instant;
@@ -93,6 +94,7 @@ fn measure(
 
 fn main() {
     let args = Args::parse();
+    let obs = ObsSession::start("sched", &args);
     let scale = if args.scale == 0 { 1 } else { args.scale };
     let threads = if args.threads.is_empty() {
         vec![1, 2, 4, 8]
@@ -229,4 +231,5 @@ fn main() {
     std::fs::write(out, json.finish()).expect("write BENCH_sched.json");
     println!("wrote {out}");
     emit_telemetry("sched");
+    obs.finish();
 }

@@ -6,6 +6,7 @@
 //! (single value; default 1) selects the worker count whose hint rates are
 //! reported — the paper quotes both the 1-thread and 16-thread rates.
 
+use bench_suite::obs::ObsSession;
 use bench_suite::{emit_telemetry, print_row, Args};
 use datalog::{Engine, EvalStats, StorageKind};
 use workloads::network::{self, NetworkConfig};
@@ -69,6 +70,7 @@ fn sci(v: u64) -> String {
 
 fn main() {
     let args = Args::parse();
+    let obs = ObsSession::start("table2", &args);
     let scale = if args.scale == 0 { 6 } else { args.scale };
     let threads = args.threads.first().copied().unwrap_or(1);
 
@@ -149,4 +151,5 @@ fn main() {
     println!("  EC2:         2.1e7 inserts, 4.2e9 membership, 2.5e9 lower/upper, 3.5e3 in, 1.6e7 out, 77% hints");
 
     emit_telemetry("table2");
+    obs.finish();
 }

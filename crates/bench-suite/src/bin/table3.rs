@@ -10,6 +10,7 @@
 use baselines::bslack::BSlackTree;
 use baselines::masstree::MasstreeAnalog;
 use baselines::palm::PalmTree;
+use bench_suite::obs::ObsSession;
 use bench_suite::{emit_telemetry, fmt_mops, print_row, Args};
 use specbtree::BTreeSet;
 use workloads::points::{keys_u32, partition_batches};
@@ -91,6 +92,7 @@ fn bench_bslack(batches: &[Vec<u32>], expected: usize) -> f64 {
 
 fn main() {
     let args = Args::parse();
+    let obs = ObsSession::start("table3", &args);
     let n = if args.scale == 0 {
         1_000_000
     } else {
@@ -131,4 +133,5 @@ fn main() {
     }
 
     emit_telemetry("table3");
+    obs.finish();
 }

@@ -417,8 +417,9 @@ impl Engine {
         let mut wstats: Vec<WorkerStats> = vec![WorkerStats::default(); self.threads];
         let mut next_plan_id = 0usize;
 
-        for stratum in self.strat.strata.clone() {
-            self.eval_stratum(&stratum, &mut pools, &mut wstats, &mut next_plan_id);
+        for (si, stratum) in self.strat.strata.clone().iter().enumerate() {
+            let _span = telemetry::span("eval.stratum", si as u64);
+            self.eval_stratum(stratum, &mut pools, &mut wstats, &mut next_plan_id);
         }
 
         for pool in &pools {
@@ -521,6 +522,7 @@ impl Engine {
             };
             for (ri, plan) in &base_plans {
                 let t0 = std::time::Instant::now();
+                let _span = telemetry::span("eval.plan", plan.id as u64);
                 eval_plan(plan, &env, pools, wstats, self.strategy);
                 let entry = self.profile.entry(*ri).or_insert((0, 0.0));
                 entry.0 += 1;
@@ -553,6 +555,7 @@ impl Engine {
         loop {
             self.stats.iterations += 1;
             telemetry::count(telemetry::Counter::EvalIterations);
+            let _iter_span = telemetry::span("eval.iteration", self.stats.iterations);
             if telemetry::ENABLED {
                 let delta_size: usize = delta.values().map(|d| d.len()).sum();
                 telemetry::record(telemetry::Hist::EvalDeltaTuples, delta_size as u64);
@@ -566,6 +569,7 @@ impl Engine {
                 };
                 for (ri, plan) in &rec_plans {
                     let t0 = std::time::Instant::now();
+                    let _span = telemetry::span("eval.plan", plan.id as u64);
                     eval_plan(plan, &env, pools, wstats, self.strategy);
                     let entry = self.profile.entry(*ri).or_insert((0, 0.0));
                     entry.0 += 1;
@@ -806,6 +810,7 @@ impl Engine {
         }
 
         let t_phase = std::time::Instant::now();
+        let phase_span = telemetry::span("dred.overdelete", dred_dirty.len() as u64);
         if !over_plans.is_empty() {
             loop {
                 let mut del_new: HashMap<usize, Box<dyn RelationStorage>> = dred_dirty
@@ -848,19 +853,23 @@ impl Engine {
             }
         }
 
+        drop(phase_span);
         outcome.overdelete_seconds = t_phase.elapsed().as_secs_f64();
 
         // Phase 2 — physically remove every overdeleted tuple.
         let t_phase = std::time::Instant::now();
+        let phase_span = telemetry::span("dred.delete", outcome.overdeleted);
         for &r in &dred_dirty {
             if !del_acc[&r].is_empty() {
                 self.rels[r].retract_from(del_acc[&r].as_ref(), self.threads);
             }
         }
+        drop(phase_span);
         outcome.delete_seconds = t_phase.elapsed().as_secs_f64();
 
         // Phase 3 — rederive, stratum by stratum.
         let t_phase = std::time::Instant::now();
+        let phase_span = telemetry::span("dred.rederive", 0);
         for stratum in strata.iter().take(fallback_from) {
             let ds: Vec<usize> = stratum
                 .relations
@@ -1157,11 +1166,13 @@ impl Engine {
             }
         }
 
+        drop(phase_span);
         outcome.rederive_seconds = t_phase.elapsed().as_secs_f64();
 
         // Phase 4 — negation fallback: recompute the remaining strata from
         // the surviving EDB.
         let t_phase = std::time::Instant::now();
+        let phase_span = telemetry::span("dred.fallback", (strata.len() - fallback_from) as u64);
         if fallback_from < strata.len() {
             for stratum in &strata[fallback_from..] {
                 for &r in &stratum.relations {
@@ -1178,6 +1189,7 @@ impl Engine {
                 outcome.recomputed_strata += 1;
             }
         }
+        drop(phase_span);
         outcome.fallback_seconds = t_phase.elapsed().as_secs_f64();
 
         self.stats.overdeleted_tuples += outcome.overdeleted;
@@ -1202,7 +1214,10 @@ impl Engine {
             new.iter().map(|(&r, s)| (r, s.as_ref())).collect();
         let added = if self.threads <= 1 || jobs.len() <= 1 {
             jobs.iter()
-                .map(|&(r, src)| merge_new(self.rels[r].as_ref(), src, self.threads))
+                .map(|&(r, src)| {
+                    let _span = telemetry::span("eval.merge", r as u64);
+                    merge_new(self.rels[r].as_ref(), src, self.threads)
+                })
                 .sum()
         } else {
             let outer = self.threads.min(jobs.len());
@@ -1214,6 +1229,7 @@ impl Engine {
                     s.spawn(|| loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&(r, src)) = jobs.get(i) else { break };
+                        let _span = telemetry::span("eval.merge", r as u64);
                         let added = merge_new(self.rels[r].as_ref(), src, inner);
                         total.fetch_add(added, Ordering::Relaxed);
                     });
@@ -1366,6 +1382,27 @@ impl Engine {
             .collect();
         sizes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         sizes
+    }
+
+    /// Takes a storage-health census of every relation (see
+    /// [`StorageReport`](crate::StorageReport)): tuple counts, and for
+    /// B-tree-backed relations the full structural stats — depth,
+    /// occupancy histogram, gap fill, graveyard/arena bytes. Quiescent
+    /// phases only (between runs), like `BTreeSet::stats` itself.
+    pub fn storage_report(&self) -> crate::StorageReport {
+        crate::StorageReport {
+            relations: self
+                .program
+                .decls
+                .iter()
+                .enumerate()
+                .map(|(i, d)| crate::RelationReport {
+                    name: d.name.clone(),
+                    len: self.rels[i].len(),
+                    tree: self.rels[i].as_spec_btree().map(|t| t.stats()),
+                })
+                .collect(),
+        }
     }
 
     /// Names of the relations declared `.input`.

@@ -689,6 +689,7 @@ fn run_worker(
         }
         evaluator.stats.chunks_claimed += 1;
         let chunk_timer = telemetry::start_timer();
+        let _span = telemetry::span("eval.chunk", i as u64);
         storage.scan_chunk(&chunks[i], &mut outer_ctx, &mut |t| {
             evaluator.stats.tuples_scanned += 1;
             evaluator.seed_and_run(t, &mut vars);

@@ -46,6 +46,7 @@ mod engine;
 mod eval;
 pub mod io;
 mod parser;
+mod report;
 pub mod storage;
 mod strat;
 
@@ -54,5 +55,6 @@ pub use engine::{Engine, EngineError, EvalStats, RetractOutcome, RuleProfile};
 pub use eval::{ParallelStrategy, WorkerStats, CHUNKS_PER_WORKER};
 pub use io::IoError;
 pub use parser::{parse, ParseError};
+pub use report::{RelationReport, StorageReport};
 pub use storage::StorageKind;
 pub use strat::{stratify, StratError, Stratification};

@@ -341,3 +341,57 @@ fn retraction_stats_accumulate() {
     );
     assert!(stats.removes >= stats.overdeleted_tuples);
 }
+
+#[test]
+fn storage_report_shows_retraction_scars() {
+    // A retraction-heavy workload leaves visible structural scars on the
+    // specialized B-tree: drained-and-buried leaves (graveyard) and, under
+    // the gapped layout, sentinel-filled gaps in surviving leaves. The
+    // storage report is how those become observable.
+    let edges = graphs::chain(400);
+    let program = parse(TC_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 4).unwrap();
+    engine.add_facts("edge", edge_facts(&edges)).unwrap();
+    engine.run().unwrap();
+
+    let before = engine.storage_report();
+    assert_eq!(before.relations.len(), 2, "edge and path");
+    let path_before = before
+        .relations
+        .iter()
+        .find(|r| r.name == "path")
+        .expect("path relation reported");
+    let tree_before = path_before.tree.as_ref().expect("B-tree backed");
+    assert_eq!(tree_before.keys as usize, path_before.len);
+    assert_eq!(tree_before.graveyard_len, 0, "no removals yet");
+
+    // Cut the chain near the head: most of `path` disappears.
+    engine.retract_fact("edge", &[10, 11]).unwrap();
+    let after = engine.storage_report();
+    let path_after = after
+        .relations
+        .iter()
+        .find(|r| r.name == "path")
+        .expect("path relation reported");
+    let tree = path_after.tree.as_ref().expect("B-tree backed");
+    assert_eq!(tree.keys as usize, path_after.len);
+    assert!(path_after.len < path_before.len, "retraction shrank path");
+    assert!(
+        tree.graveyard_len > 0,
+        "mass removal buries drained leaves: {tree:?}"
+    );
+    assert!(tree.abandoned_bytes > 0);
+    if cfg!(feature = "gapped") {
+        assert!(
+            tree.sentinels > 0,
+            "gapped removals leave sentinel-filled gaps: {tree:?}"
+        );
+        assert!(tree.gap_fill() < 1.0);
+    }
+    let (_, _, buried, abandoned) = after.totals();
+    assert!(buried >= tree.graveyard_len && abandoned >= tree.abandoned_bytes);
+    // Both renderings stay consistent with the numbers.
+    assert!(after.to_table().contains("path"));
+    let json = after.to_json();
+    assert!(json.contains("\"name\": \"path\"") && json.contains("\"graveyard_len\""));
+}

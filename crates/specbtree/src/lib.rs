@@ -70,6 +70,7 @@ mod node;
 #[cfg_attr(not(feature = "fastpath"), allow(dead_code))]
 mod search;
 pub mod seq;
+mod stats;
 mod tree;
 
 pub use arena::{ArenaStats, NODE_ALIGN, SLAB_BYTES};
@@ -77,6 +78,7 @@ pub use check::{InvariantViolation, TreeShape};
 pub use hints::{BTreeHints, HintStats};
 pub use iter::{Iter, RangeChunk, RangeIter};
 pub use node::{cmp3, Tuple};
+pub use stats::{TreeStats, OCCUPANCY_BUCKETS};
 pub use tree::{BTreeSet, DEFAULT_NODE_CAPACITY};
 
 /// Packs a pair of 32-bit values into a single word, preserving

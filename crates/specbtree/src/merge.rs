@@ -167,6 +167,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             if tail.is_empty() {
                 return;
             }
+            let _span = telemetry::span("btree.splice", tail.len() as u64);
             if tail.len() >= 2 && self.try_splice_append(tail) {
                 added.fetch_add(tail.len() as u64, Relaxed);
                 return;
@@ -186,6 +187,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                     break;
                 }
                 telemetry::count(telemetry::Counter::BtreeMergeChunks);
+                let _span = telemetry::span("btree.merge_chunk", i as u64);
                 buf.clear();
                 other.chunk_range(&chunks[i]).collect_into(&mut buf);
                 local += self.merge_run(&buf);
@@ -267,6 +269,7 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
                     break;
                 }
                 telemetry::count(telemetry::Counter::BtreeMergeChunks);
+                let _span = telemetry::span("btree.remove_chunk", i as u64);
                 buf.clear();
                 other.chunk_range(&chunks[i]).collect_into(&mut buf);
                 for t in &buf {

@@ -1,0 +1,329 @@
+//! Tree-health introspection — [`BTreeSet::stats`] and [`TreeStats`].
+//!
+//! PR 7's gapped leaves and removal graveyard changed what "the tree"
+//! physically is: leaves carry sentinel-filled gaps, removals park whole
+//! subtrees as unreachable-but-allocated structure, and the arena keeps
+//! every byte until `clear`. None of that was observable. This module
+//! adds the missing read-only census: a single traversal producing node
+//! and key counts, a per-leaf occupancy histogram (log2-bucketed), gap
+//! fill under the `gapped` layout, burial/graveyard accounting, and the
+//! arena's byte-level occupancy — the numbers FB+-tree and BS-tree use
+//! to motivate their layout choices, computed for our own tree.
+//!
+//! Like [`BTreeSet::shape`](crate::BTreeSet::shape) and the invariant
+//! checker, the traversal is for quiescent phases (between evaluation
+//! phases): it tolerates no concurrent structural modification.
+
+use crate::arena::ArenaStats;
+use crate::node::{InnerNode, LeafNode};
+use crate::tree::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering::Relaxed;
+
+/// Number of log2 occupancy buckets in [`TreeStats::occupancy_hist`]:
+/// bucket 0 holds empty leaves, bucket `b >= 1` holds leaves with
+/// `2^(b-1) <= keys < 2^b` (the last bucket absorbs everything above).
+pub const OCCUPANCY_BUCKETS: usize = 8;
+
+/// A point-in-time structural census of one [`BTreeSet`], produced by
+/// [`BTreeSet::stats`]. All counts are exact for a quiescent tree.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TreeStats {
+    /// Number of levels (0 for an empty tree, 1 for a lone root leaf).
+    pub depth: usize,
+    /// Inner node count.
+    pub inner_nodes: u64,
+    /// Leaf node count.
+    pub leaf_nodes: u64,
+    /// Total keys stored (inner separators are real elements in this
+    /// B-tree, so this equals `len()`).
+    pub keys: u64,
+    /// Keys stored in leaves only.
+    pub leaf_keys: u64,
+    /// Per-leaf key capacity (the `C` const parameter).
+    pub capacity: usize,
+    /// Leaves bucketed by occupied-key count, log2: bucket 0 = empty,
+    /// bucket b = `[2^(b-1), 2^b)` keys, last bucket open-ended.
+    pub occupancy_hist: [u64; OCCUPANCY_BUCKETS],
+    /// Sum over leaves of the scan region length (`scan_len()`): the
+    /// slots a reader must look at, occupied or gap. Equals `leaf_keys`
+    /// on packed layouts.
+    pub leaf_scan_slots: u64,
+    /// Gap slots holding sentinel copies inside leaf scan regions
+    /// (`leaf_scan_slots - leaf_keys`); 0 on packed layouts.
+    pub sentinels: u64,
+    /// Subtrees parked by removals since the last `clear` (the boxed
+    /// path's graveyard length; the same count is kept under `fastpath`
+    /// where the arena reclaims wholesale).
+    pub graveyard_len: u64,
+    /// Total nodes across all buried subtrees.
+    pub buried_nodes: u64,
+    /// Leaves across all buried subtrees.
+    pub buried_leaves: u64,
+    /// Bytes of unreachable-but-allocated buried structure.
+    pub abandoned_bytes: u64,
+    /// Bytes of reachable node structure.
+    pub live_bytes: u64,
+    /// Node arena occupancy (all zero on the boxed path).
+    pub arena: ArenaStats,
+}
+
+impl TreeStats {
+    /// Fraction of leaf scan slots holding real keys, in `[0, 1]`
+    /// (1.0 for an empty tree: no slots, no gaps). Under `gapped` this
+    /// is the figure of merit the layout trades search width for.
+    pub fn gap_fill(&self) -> f64 {
+        if self.leaf_scan_slots == 0 {
+            return 1.0;
+        }
+        self.leaf_keys as f64 / self.leaf_scan_slots as f64
+    }
+
+    /// Fraction of total leaf capacity holding real keys, in `[0, 1]`.
+    pub fn leaf_fill(&self) -> f64 {
+        if self.leaf_nodes == 0 {
+            return 0.0;
+        }
+        self.leaf_keys as f64 / (self.leaf_nodes * self.capacity as u64) as f64
+    }
+
+    /// Renders an aligned human-readable table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let mut row = |k: &str, v: String| {
+            let _ = writeln!(out, "  {k:<18} {v}");
+        };
+        row("depth", self.depth.to_string());
+        row(
+            "nodes",
+            format!("{} inner + {} leaf", self.inner_nodes, self.leaf_nodes),
+        );
+        row(
+            "keys",
+            format!("{} ({} in leaves)", self.keys, self.leaf_keys),
+        );
+        row(
+            "leaf fill",
+            format!(
+                "{:.1}% of {} slots/leaf",
+                100.0 * self.leaf_fill(),
+                self.capacity
+            ),
+        );
+        row(
+            "gap fill",
+            format!(
+                "{:.1}% ({} sentinels over {} scan slots)",
+                100.0 * self.gap_fill(),
+                self.sentinels,
+                self.leaf_scan_slots
+            ),
+        );
+        row(
+            "occupancy hist",
+            self.occupancy_hist
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| **n > 0)
+                .map(|(b, n)| format!("{}:{n}", bucket_label(b)))
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+        row(
+            "graveyard",
+            format!(
+                "{} subtrees / {} nodes ({} leaves) / {} B abandoned",
+                self.graveyard_len, self.buried_nodes, self.buried_leaves, self.abandoned_bytes
+            ),
+        );
+        row(
+            "bytes",
+            format!(
+                "{} live / arena {} slabs, {} used of {} reserved",
+                self.live_bytes, self.arena.slabs, self.arena.bytes_used, self.arena.bytes_reserved
+            ),
+        );
+        out
+    }
+
+    /// Renders the census as a JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let hist: Vec<String> = self.occupancy_hist.iter().map(u64::to_string).collect();
+        format!(
+            concat!(
+                "{{\"depth\": {}, \"inner_nodes\": {}, \"leaf_nodes\": {}, ",
+                "\"keys\": {}, \"leaf_keys\": {}, \"capacity\": {}, ",
+                "\"occupancy_hist\": [{}], \"leaf_scan_slots\": {}, ",
+                "\"sentinels\": {}, \"gap_fill\": {:.4}, \"leaf_fill\": {:.4}, ",
+                "\"graveyard_len\": {}, \"buried_nodes\": {}, ",
+                "\"buried_leaves\": {}, \"abandoned_bytes\": {}, ",
+                "\"live_bytes\": {}, \"arena\": {{\"slabs\": {}, ",
+                "\"bytes_used\": {}, \"bytes_reserved\": {}}}}}"
+            ),
+            self.depth,
+            self.inner_nodes,
+            self.leaf_nodes,
+            self.keys,
+            self.leaf_keys,
+            self.capacity,
+            hist.join(", "),
+            self.leaf_scan_slots,
+            self.sentinels,
+            self.gap_fill(),
+            self.leaf_fill(),
+            self.graveyard_len,
+            self.buried_nodes,
+            self.buried_leaves,
+            self.abandoned_bytes,
+            self.live_bytes,
+            self.arena.slabs,
+            self.arena.bytes_used,
+            self.arena.bytes_reserved,
+        )
+    }
+}
+
+/// Log2 bucket index for an occupied-key count.
+fn bucket_of(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        (usize::BITS as usize - n.leading_zeros() as usize).min(OCCUPANCY_BUCKETS - 1)
+    }
+}
+
+/// Human label for a bucket: the inclusive key-count range it covers.
+fn bucket_label(b: usize) -> String {
+    match b {
+        0 => "0".into(),
+        1 => "1".into(),
+        b if b == OCCUPANCY_BUCKETS - 1 => format!("{}+", 1usize << (b - 1)),
+        b => format!("{}-{}", 1usize << (b - 1), (1usize << b) - 1),
+    }
+}
+
+impl<const K: usize, const C: usize> BTreeSet<K, C> {
+    /// Takes a structural census of the tree (see [`TreeStats`]) with a
+    /// single read-only traversal. Quiescent phases only — run it
+    /// between evaluation phases, never against in-flight writers.
+    pub fn stats(&self) -> TreeStats {
+        let mut s = TreeStats {
+            capacity: C,
+            graveyard_len: self.buried_subtrees.load(Relaxed),
+            buried_nodes: self.buried_nodes.load(Relaxed),
+            buried_leaves: self.buried_leaves.load(Relaxed),
+            arena: self.arena.stats(),
+            ..TreeStats::default()
+        };
+        let leaf_size = std::mem::size_of::<LeafNode<K, C>>() as u64;
+        let inner_size = std::mem::size_of::<InnerNode<K, C>>() as u64;
+        let buried_inners = s.buried_nodes - s.buried_leaves;
+        s.abandoned_bytes = s.buried_leaves * leaf_size + buried_inners * inner_size;
+
+        let root = self.root.load(Relaxed);
+        if root.is_null() {
+            return s;
+        }
+        let mut stack = vec![(root, 1usize)];
+        while let Some((p, d)) = stack.pop() {
+            // SAFETY: quiescent tree; every reachable node is live.
+            let node = unsafe { &*p };
+            let num = node.num_clamped();
+            s.keys += num as u64;
+            if node.is_inner() {
+                s.inner_nodes += 1;
+                // SAFETY: kind checked.
+                let inner = unsafe { node.as_inner() };
+                for i in 0..=num {
+                    let c = inner.child(i);
+                    if !c.is_null() {
+                        stack.push((c, d + 1));
+                    }
+                }
+            } else {
+                s.leaf_nodes += 1;
+                s.leaf_keys += num as u64;
+                s.leaf_scan_slots += node.scan_len() as u64;
+                s.occupancy_hist[bucket_of(num)] += 1;
+                s.depth = s.depth.max(d);
+            }
+        }
+        s.sentinels = s.leaf_scan_slots - s.leaf_keys;
+        s.live_bytes = s.leaf_nodes * leaf_size + s.inner_nodes * inner_size;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(63), 6);
+        assert_eq!(bucket_of(1 << 20), OCCUPANCY_BUCKETS - 1);
+        assert_eq!(bucket_label(0), "0");
+        assert_eq!(bucket_label(2), "2-3");
+        assert_eq!(bucket_label(OCCUPANCY_BUCKETS - 1), "64+");
+    }
+
+    #[test]
+    fn empty_tree_census_is_zero() {
+        let set: BTreeSet<2> = BTreeSet::new();
+        let s = set.stats();
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.keys, 0);
+        assert_eq!(s.leaf_nodes, 0);
+        assert_eq!(s.gap_fill(), 1.0);
+        assert_eq!(s.leaf_fill(), 0.0);
+        assert!(s.to_json().contains("\"depth\": 0"));
+    }
+
+    #[test]
+    fn census_agrees_with_shape_and_len() {
+        let set: BTreeSet<2> = (0..5_000u64).map(|i| [i * 7 % 5_000, i]).collect();
+        let s = set.stats();
+        let shape = set.shape();
+        assert_eq!(s.depth, shape.depth);
+        assert_eq!(s.keys as usize, set.len());
+        assert_eq!(s.keys as usize, shape.keys);
+        assert_eq!((s.inner_nodes + s.leaf_nodes) as usize, shape.nodes);
+        assert_eq!(s.leaf_nodes as usize, shape.leaves);
+        assert_eq!(s.occupancy_hist.iter().sum::<u64>(), s.leaf_nodes);
+        assert!(s.leaf_scan_slots >= s.leaf_keys);
+        assert_eq!(s.sentinels, s.leaf_scan_slots - s.leaf_keys);
+        assert!(s.gap_fill() > 0.0 && s.gap_fill() <= 1.0);
+        assert!(s.live_bytes > 0);
+        let table = s.to_table();
+        assert!(table.contains("depth") && table.contains("graveyard"));
+    }
+
+    #[test]
+    fn burial_accounting_tracks_removals_and_resets_on_clear() {
+        let mut set: BTreeSet<1> = (0..4_096u64).map(|i| [i]).collect();
+        let before = set.stats();
+        assert_eq!(before.graveyard_len, 0);
+        for i in 0..4_096u64 {
+            set.remove(&[i]);
+        }
+        let after = set.stats();
+        assert_eq!(after.keys, 0);
+        // Heavy removal drains leaves; every drained leaf the unlinker
+        // managed to splice out is accounted as buried.
+        assert_eq!(
+            before.leaf_nodes,
+            after.leaf_nodes + (after.buried_leaves - before.buried_leaves)
+        );
+        assert!(after.abandoned_bytes >= after.buried_nodes);
+        set.clear();
+        let cleared = set.stats();
+        assert_eq!(cleared.graveyard_len, 0);
+        assert_eq!(cleared.buried_nodes, 0);
+        assert_eq!(cleared.abandoned_bytes, 0);
+    }
+}

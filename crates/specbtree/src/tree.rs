@@ -204,6 +204,15 @@ pub struct BTreeSet<const K: usize, const C: usize = DEFAULT_NODE_CAPACITY> {
     /// `fastpath` arena reclaims unlinked nodes wholesale.
     #[cfg(not(feature = "fastpath"))]
     pub(crate) graveyard: std::sync::Mutex<Vec<NodePtr<K, C>>>,
+    /// Cumulative accounting of what `bury` has parked since the last
+    /// `clear`. Kept on *both* allocation paths (the graveyard `Vec`
+    /// exists only on the boxed one) so [`BTreeSet::stats`] can report
+    /// how much unreachable-but-allocated structure removals have
+    /// produced: subtrees buried, total nodes in them, and how many of
+    /// those were leaves.
+    pub(crate) buried_subtrees: AtomicU64,
+    pub(crate) buried_nodes: AtomicU64,
+    pub(crate) buried_leaves: AtomicU64,
 }
 
 // SAFETY: the tree owns its nodes; tuples are plain integers. All shared
@@ -257,6 +266,9 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             arena: Arena::new(),
             #[cfg(not(feature = "fastpath"))]
             graveyard: std::sync::Mutex::new(Vec::new()),
+            buried_subtrees: AtomicU64::new(0),
+            buried_nodes: AtomicU64::new(0),
+            buried_leaves: AtomicU64::new(0),
         }
     }
 
@@ -1576,6 +1588,32 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
     /// depends on it — so the boxed path keeps spliced-out subtrees in a
     /// graveyard; the `fastpath` arena reclaims them wholesale anyway.
     fn bury(&self, node: NodePtr<K, C>) {
+        // Account for what is being parked before parking it. The buried
+        // subtree is unreachable from the root and no writer holds a path
+        // to it any more, so this read-only walk races only with stale
+        // optimistic readers — which never modify structure.
+        let (mut nodes, mut leaves) = (0u64, 0u64);
+        let mut stack = vec![node];
+        while let Some(p) = stack.pop() {
+            // SAFETY: buried nodes stay allocated until `clear`/`Drop`.
+            let n = unsafe { &*p };
+            nodes += 1;
+            if n.is_inner() {
+                // SAFETY: kind checked.
+                let inner = unsafe { n.as_inner() };
+                for i in 0..=n.num_clamped() {
+                    let c = inner.child(i);
+                    if !c.is_null() {
+                        stack.push(c);
+                    }
+                }
+            } else {
+                leaves += 1;
+            }
+        }
+        self.buried_subtrees.fetch_add(1, Relaxed);
+        self.buried_nodes.fetch_add(nodes, Relaxed);
+        self.buried_leaves.fetch_add(leaves, Relaxed);
         #[cfg(not(feature = "fastpath"))]
         self.graveyard.lock().unwrap().push(node);
         #[cfg(feature = "fastpath")]
@@ -1619,6 +1657,11 @@ impl<const K: usize, const C: usize> BTreeSet<K, C> {
             // SAFETY: exclusively owned, unreachable, freed exactly once.
             unsafe { LeafNode::free_subtree(dead) };
         }
+        // Buried structure is gone (freed above / reclaimed with the
+        // arena), so the burial accounting restarts from zero.
+        *self.buried_subtrees.get_mut() = 0;
+        *self.buried_nodes.get_mut() = 0;
+        *self.buried_leaves.get_mut() = 0;
         self.id = TREE_IDS.fetch_add(1, Relaxed);
     }
 }

@@ -1,0 +1,217 @@
+//! # spans — the timeline tier of the telemetry substrate
+//!
+//! Counters say *how often* and histograms say *how much*; spans say
+//! *when* and *on which thread*. A [`Span`] is an RAII handle created by
+//! [`span`]: construction stamps a begin time, drop stamps the end time
+//! and appends a [`SpanRecord`] to the calling thread's ring buffer.
+//! [`drain_all`] collects every thread's records (including threads that
+//! have since exited) for export as a Chrome trace
+//! ([`crate::trace_export::write_chrome_trace`]).
+//!
+//! The tier obeys the same zero-cost contract as [`Timer`](crate::Timer):
+//! with the `enabled` feature off, [`Span`] is a zero-sized type, [`span`]
+//! reads no clock, drop does nothing, and no static storage exists — the
+//! `no_op_path` test module asserts all of it.
+//!
+//! # Granularity policy
+//!
+//! Spans are *phase-grained*, never per-tuple: the finest sites in the
+//! workspace are one scheduler chunk claim and one merge chunk
+//! (microseconds to milliseconds). A span costs two `Instant` reads plus
+//! one push under the thread's own (uncontended) buffer lock, which is
+//! noise at that granularity but would not be at per-operation scale.
+//!
+//! # Ring buffering
+//!
+//! Each thread keeps at most [`CAPACITY`] records; beyond that the oldest
+//! are overwritten and counted in [`dropped`], so a runaway fixpoint
+//! cannot exhaust memory — the trace keeps the most recent window, and
+//! the drop count makes the truncation visible instead of silent.
+
+/// One completed span: a labelled `[begin, end)` wall-clock interval on
+/// one thread. Times are nanoseconds since the process-wide span epoch
+/// (the first span or drain of the process), so records from different
+/// threads share one timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The phase this span covers (`"eval.chunk"`, `"dred.overdelete"`,
+    /// ...). Dotted `layer.phase`, same convention as counter names.
+    pub label: &'static str,
+    /// One operand of the span — by convention an index that identifies
+    /// *which* stratum/iteration/plan/chunk this was.
+    pub arg: u64,
+    /// Begin time, nanoseconds since the span epoch.
+    pub begin_ns: u64,
+    /// End time, nanoseconds since the span epoch (`>= begin_ns`).
+    pub end_ns: u64,
+    /// Small dense thread id assigned on the thread's first span (not the
+    /// OS id): stable within a process, compact in trace viewers.
+    pub tid: u64,
+}
+
+/// Per-thread ring capacity: records kept before the oldest are
+/// overwritten (see [`dropped`]).
+pub const CAPACITY: usize = 1 << 14;
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{SpanRecord, CAPACITY};
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+    use std::sync::{Arc, Mutex, OnceLock};
+    use std::time::Instant;
+
+    /// One thread's span storage. The mutex is effectively uncontended:
+    /// only the owning thread pushes, and [`super::drain_all`] takes it
+    /// briefly when collecting.
+    struct Buf {
+        records: Vec<SpanRecord>,
+        /// Overwrite cursor once `records` reached [`CAPACITY`].
+        next: usize,
+    }
+
+    struct Shared {
+        buf: Mutex<Buf>,
+        tid: u64,
+    }
+
+    /// Every thread's buffer, registered on first use and kept after the
+    /// thread exits so late drains still see its spans.
+    static REGISTRY: Mutex<Vec<Arc<Shared>>> = Mutex::new(Vec::new());
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    static DROPPED: AtomicU64 = AtomicU64::new(0);
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+    thread_local! {
+        static MY_BUF: RefCell<Option<Arc<Shared>>> = const { RefCell::new(None) };
+    }
+
+    pub fn now_ns() -> u64 {
+        EPOCH
+            .get_or_init(Instant::now)
+            .elapsed()
+            .as_nanos()
+            .min(u64::MAX as u128) as u64
+    }
+
+    fn with_buf(f: impl FnOnce(&Shared)) {
+        MY_BUF.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let shared = slot.get_or_insert_with(|| {
+                let shared = Arc::new(Shared {
+                    buf: Mutex::new(Buf {
+                        records: Vec::new(),
+                        next: 0,
+                    }),
+                    tid: NEXT_TID.fetch_add(1, Relaxed),
+                });
+                REGISTRY.lock().unwrap().push(Arc::clone(&shared));
+                shared
+            });
+            f(shared);
+        });
+    }
+
+    pub fn push(label: &'static str, arg: u64, begin_ns: u64, end_ns: u64) {
+        with_buf(|shared| {
+            let rec = SpanRecord {
+                label,
+                arg,
+                begin_ns,
+                end_ns,
+                tid: shared.tid,
+            };
+            let mut buf = shared.buf.lock().unwrap();
+            if buf.records.len() < CAPACITY {
+                buf.records.push(rec);
+            } else {
+                let slot = buf.next;
+                buf.records[slot] = rec;
+                buf.next = (buf.next + 1) % CAPACITY;
+                DROPPED.fetch_add(1, Relaxed);
+            }
+        });
+    }
+
+    pub fn drain_all() -> Vec<SpanRecord> {
+        let registry = REGISTRY.lock().unwrap();
+        let mut out = Vec::new();
+        for shared in registry.iter() {
+            let mut buf = shared.buf.lock().unwrap();
+            out.append(&mut buf.records);
+            buf.next = 0;
+        }
+        drop(registry);
+        out.sort_by_key(|r| (r.begin_ns, r.tid));
+        out
+    }
+
+    pub fn dropped() -> u64 {
+        DROPPED.load(Relaxed)
+    }
+}
+
+/// An in-flight span: created by [`span`], recorded on drop. Zero-sized
+/// (and clock-free, storage-free) when telemetry is disabled.
+#[derive(Debug)]
+#[must_use = "a span records the interval until it is dropped; binding it to _ ends it immediately"]
+pub struct Span {
+    #[cfg(feature = "enabled")]
+    label: &'static str,
+    #[cfg(feature = "enabled")]
+    arg: u64,
+    #[cfg(feature = "enabled")]
+    begin_ns: u64,
+}
+
+/// Begins a span labelled `label` with operand `arg`; the returned handle
+/// records the interval when dropped. Bind it to a named `_guard`-style
+/// local — binding to `_` drops immediately and records an empty span.
+#[inline(always)]
+pub fn span(label: &'static str, arg: u64) -> Span {
+    #[cfg(not(feature = "enabled"))]
+    let _ = (label, arg);
+    Span {
+        #[cfg(feature = "enabled")]
+        label,
+        #[cfg(feature = "enabled")]
+        arg,
+        #[cfg(feature = "enabled")]
+        begin_ns: imp::now_ns(),
+    }
+}
+
+#[cfg(feature = "enabled")]
+impl Drop for Span {
+    fn drop(&mut self) {
+        imp::push(self.label, self.arg, self.begin_ns, imp::now_ns());
+    }
+}
+
+/// Collects (and removes) every thread's recorded spans, sorted by begin
+/// time. Includes spans of threads that have already exited. Returns an
+/// empty vector when telemetry is disabled.
+///
+/// Draining is destructive by design: a bench binary drains once at the
+/// end of a phase and writes the trace; the next phase starts clean.
+pub fn drain_all() -> Vec<SpanRecord> {
+    #[cfg(feature = "enabled")]
+    {
+        imp::drain_all()
+    }
+    #[cfg(not(feature = "enabled"))]
+    Vec::new()
+}
+
+/// How many spans have been overwritten by ring wrap-around since process
+/// start (0 when disabled). Nonzero means [`drain_all`] returned a
+/// truncated window — report it next to the trace instead of pretending
+/// the trace is complete.
+pub fn dropped() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        imp::dropped()
+    }
+    #[cfg(not(feature = "enabled"))]
+    0
+}
