@@ -85,6 +85,9 @@ pub struct EvalStats {
     /// Chunks claimed by workers off the shared cursor (chunk-driven
     /// scheduling only; one per plan under materialize-then-split).
     pub chunks_claimed: u64,
+    /// Chunks claimed outside the claiming worker's home shard (sharded
+    /// storage only — zero whenever relations have a single shard).
+    pub chunks_stolen: u64,
     /// Tuples scanned by outer and inner scans across all workers.
     pub tuples_scanned: u64,
     /// Tuples emitted into `new` relations across all workers.
@@ -118,6 +121,7 @@ impl EvalStats {
                 "\"lower_bound_calls\": {}, \"upper_bound_calls\": {}, ",
                 "\"input_tuples\": {}, \"produced_tuples\": {}, ",
                 "\"iterations\": {}, \"chunks_claimed\": {}, ",
+                "\"chunks_stolen\": {}, ",
                 "\"tuples_scanned\": {}, \"tuples_emitted\": {}, ",
                 "\"sched_imbalance\": {:.6}, \"removes\": {}, ",
                 "\"retracted_inputs\": {}, \"overdeleted_tuples\": {}, ",
@@ -131,6 +135,7 @@ impl EvalStats {
             self.produced_tuples,
             self.iterations,
             self.chunks_claimed,
+            self.chunks_stolen,
             self.tuples_scanned,
             self.tuples_emitted,
             self.sched_imbalance,
@@ -288,6 +293,14 @@ impl Engine {
     /// loaded immediately.
     pub fn new(program: &Program, kind: StorageKind, threads: usize) -> Result<Self, EngineError> {
         let strat = stratify(program)?;
+        // Resolve the sharded backend's *auto* shard count up front, so
+        // every relation and every side table created through `self.kind`
+        // for the engine's lifetime agrees on the shard map (shard-aligned
+        // tables are what make merges and retractions zero-cross-shard-lock).
+        let kind = match kind {
+            StorageKind::ShardedBTree(0) => StorageKind::ShardedBTree(threads.max(1)),
+            other => other,
+        };
         let counters = Arc::new(OpCounters::default());
         let rels: Vec<Box<dyn RelationStorage>> = program
             .decls
@@ -430,6 +443,7 @@ impl Engine {
         // figure (max/mean of tuples scanned across workers).
         for w in &wstats {
             self.stats.chunks_claimed += w.chunks_claimed;
+            self.stats.chunks_stolen += w.chunks_stolen;
             self.stats.tuples_scanned += w.tuples_scanned;
             self.stats.tuples_emitted += w.tuples_emitted;
         }
@@ -1396,10 +1410,26 @@ impl Engine {
                 .decls
                 .iter()
                 .enumerate()
-                .map(|(i, d)| crate::RelationReport {
-                    name: d.name.clone(),
-                    len: self.rels[i].len(),
-                    tree: self.rels[i].as_spec_btree().map(|t| t.stats()),
+                .map(|(i, d)| {
+                    // Sharded relations report one aggregated census (per-
+                    // shard censuses folded with `TreeStats::absorb`) plus
+                    // the raw per-shard tuple counts for balance checks.
+                    let (tree, shard_lens) = match self.rels[i].as_sharded() {
+                        Some(sharded) => {
+                            let mut agg = specbtree::TreeStats::default();
+                            for shard in sharded.shards() {
+                                agg.absorb(&shard.stats());
+                            }
+                            (Some(agg), sharded.shard_lens())
+                        }
+                        None => (self.rels[i].as_spec_btree().map(|t| t.stats()), Vec::new()),
+                    };
+                    crate::RelationReport {
+                        name: d.name.clone(),
+                        len: self.rels[i].len(),
+                        tree,
+                        shard_lens,
+                    }
                 })
                 .collect(),
         }

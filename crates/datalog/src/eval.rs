@@ -22,9 +22,12 @@
 //! the B-tree's synchronization is specialized for.
 
 use crate::ast::{CmpOp, Rule, Term, MAX_ARITY};
-use crate::storage::{RelationStorage, StorageChunk, StorageCtx, TupleBuf};
+use crate::storage::{
+    pin_counter_stripe, shard_of, RelationStorage, StorageChunk, StorageCtx, TupleBuf,
+};
 use specbtree::HintStats;
 use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 
 /// Oversplit factor: each plan's outer scan is partitioned into
@@ -51,6 +54,10 @@ pub enum ParallelStrategy {
 pub struct WorkerStats {
     /// Outer-loop chunks this worker claimed.
     pub chunks_claimed: u64,
+    /// Chunks claimed outside the worker's home shard (sharded storage
+    /// only: work stealing crossed a shard boundary; 0 when the backend
+    /// has a single shard).
+    pub chunks_stolen: u64,
     /// Tuples the worker's scans produced (outer chunks plus inner range
     /// scans).
     pub tuples_scanned: u64,
@@ -62,6 +69,7 @@ impl WorkerStats {
     /// Accumulates `other` into `self`.
     pub fn merge(&mut self, other: &WorkerStats) {
         self.chunks_claimed += other.chunks_claimed;
+        self.chunks_stolen += other.chunks_stolen;
         self.tuples_scanned += other.tuples_scanned;
         self.tuples_emitted += other.tuples_emitted;
     }
@@ -587,7 +595,14 @@ pub(crate) fn eval_plan(
             if chunks.is_empty() {
                 return;
             }
-            let cursor = AtomicUsize::new(0);
+            // Chunks arrive grouped by shard id (one group for unsharded
+            // backends). Each group gets its own claim cursor; a worker
+            // drains its home group first and only then steals from the
+            // others, so under sharded storage a worker's scans stay
+            // inside the shard whose tree (and arena) it owns.
+            let groups = shard_groups(&chunks);
+            let cursors: Vec<AtomicUsize> =
+                groups.iter().map(|g| AtomicUsize::new(g.start)).collect();
             if workers == 1 || chunks.len() == 1 {
                 // Nothing to distribute: run inline, skipping the spawn
                 // cost (it recurs once per plan per fixpoint iteration).
@@ -598,7 +613,9 @@ pub(crate) fn eval_plan(
                     rel,
                     delta,
                     &chunks,
-                    &cursor,
+                    &groups,
+                    &cursors,
+                    0,
                     &mut pools[0],
                     &mut stats[0],
                 );
@@ -608,10 +625,18 @@ pub(crate) fn eval_plan(
             // surplus workers would only pay the spawn cost and exit.
             let active = workers.min(chunks.len());
             std::thread::scope(|s| {
-                for (ctxs, wstats) in pools.iter_mut().zip(stats.iter_mut()).take(active) {
-                    let (cursor, chunks) = (&cursor, &chunks);
+                for (w, (ctxs, wstats)) in pools
+                    .iter_mut()
+                    .zip(stats.iter_mut())
+                    .take(active)
+                    .enumerate()
+                {
+                    let (cursors, chunks, groups) = (&cursors, &chunks, &groups);
                     s.spawn(move || {
-                        run_worker(plan, env, storage, rel, delta, chunks, cursor, ctxs, wstats);
+                        run_worker(
+                            plan, env, storage, rel, delta, chunks, groups, cursors, w, ctxs,
+                            wstats,
+                        );
                     });
                 }
             });
@@ -655,11 +680,28 @@ pub(crate) fn eval_plan(
     }
 }
 
-/// One worker's claim loop: grab the next unclaimed chunk off the shared
-/// cursor, stream it straight out of the storage, repeat until none left.
-/// The outer scan's context is taken out of the `CtxSet` for the whole
-/// loop (deeper steps borrow the set for their own contexts) and restored
-/// afterwards so its hints stay warm across plans and iterations.
+/// Splits a shard-grouped chunk vector into per-shard index ranges.
+/// `partition` contracts to emit chunks grouped shard-by-shard, so one
+/// boundary scan suffices; unsharded backends yield a single group.
+fn shard_groups(chunks: &[StorageChunk]) -> Vec<Range<usize>> {
+    let mut groups: Vec<Range<usize>> = Vec::new();
+    let mut start = 0usize;
+    for (i, c) in chunks.iter().enumerate().skip(1) {
+        if c.shard != chunks[start].shard {
+            groups.push(start..i);
+            start = i;
+        }
+    }
+    groups.push(start..chunks.len());
+    groups
+}
+
+/// One worker's claim loop: drain the home shard's chunk group off its
+/// shared cursor, then steal from the other groups in rotation (home+1,
+/// home+2, …) until every group is exhausted. The outer scan's context is
+/// taken out of the `CtxSet` for the whole loop (deeper steps borrow the
+/// set for their own contexts) and restored afterwards so its hints stay
+/// warm across plans and iterations.
 #[allow(clippy::too_many_arguments)]
 fn run_worker(
     plan: &Plan,
@@ -668,10 +710,24 @@ fn run_worker(
     rel: usize,
     delta: bool,
     chunks: &[StorageChunk],
-    cursor: &AtomicUsize,
+    groups: &[Range<usize>],
+    cursors: &[AtomicUsize],
+    widx: usize,
     ctxs: &mut CtxSet,
     stats: &mut WorkerStats,
 ) {
+    let ngroups = groups.len();
+    let home = widx % ngroups;
+    // Counter stripes follow the home shard under sharded evaluation
+    // (stripe = the shard whose tree this worker's operations hit), and
+    // the worker index otherwise (pairwise distinct for ≤16 workers,
+    // like the old round-robin but stable across plans).
+    if ngroups > 1 {
+        pin_counter_stripe(chunks[groups[home].start].shard);
+    } else {
+        pin_counter_stripe(widx);
+    }
+    let sharded = ngroups > 1;
     let role = u8::from(delta);
     let outer_site = plan.id << 8; // step index 0
     let mut outer_ctx = ctxs.take_ctx(storage, rel, role, outer_site);
@@ -682,19 +738,29 @@ fn run_worker(
         stats,
     };
     let mut vars = vec![0u64; plan.nvars];
-    loop {
-        let i = cursor.fetch_add(1, Relaxed);
-        if i >= chunks.len() {
-            break;
+    for offset in 0..ngroups {
+        let g = (home + offset) % ngroups;
+        let stolen = offset > 0;
+        loop {
+            let i = cursors[g].fetch_add(1, Relaxed);
+            if i >= groups[g].end {
+                break;
+            }
+            evaluator.stats.chunks_claimed += 1;
+            if stolen {
+                evaluator.stats.chunks_stolen += 1;
+                telemetry::count(telemetry::Counter::EvalShardSteals);
+            }
+            let chunk = &chunks[i];
+            let chunk_timer = telemetry::start_timer();
+            let _shard_span = sharded.then(|| telemetry::span("eval.shard", chunk.shard as u64));
+            let _span = telemetry::span("eval.chunk", i as u64);
+            storage.scan_chunk(chunk, &mut outer_ctx, &mut |t| {
+                evaluator.stats.tuples_scanned += 1;
+                evaluator.seed_and_run(t, &mut vars);
+            });
+            chunk_timer.observe(telemetry::Hist::EvalChunkNanos);
         }
-        evaluator.stats.chunks_claimed += 1;
-        let chunk_timer = telemetry::start_timer();
-        let _span = telemetry::span("eval.chunk", i as u64);
-        storage.scan_chunk(&chunks[i], &mut outer_ctx, &mut |t| {
-            evaluator.stats.tuples_scanned += 1;
-            evaluator.seed_and_run(t, &mut vars);
-        });
-        chunk_timer.observe(telemetry::Hist::EvalChunkNanos);
     }
     evaluator.ctxs.put_ctx(rel, role, outer_site, outer_ctx);
 }
@@ -848,16 +914,49 @@ const PAR_FILL_MIN: usize = 4096;
 
 /// Seeds a storage with tuples (used for delta initialization).
 ///
-/// Large inputs are split into contiguous slices and inserted from
-/// `workers` scoped threads; every [`RelationStorage`] backend is
-/// internally synchronized (insert takes `&self`), so concurrent seeding
-/// is safe for all of them.
+/// Large inputs are split and inserted from `workers` scoped threads;
+/// every [`RelationStorage`] backend is internally synchronized (insert
+/// takes `&self`), so concurrent seeding is safe for all of them.
+///
+/// A sharded destination gets the split *by the shard map* instead of by
+/// contiguous slices: tuples are pre-bucketed with [`shard_of`] and each
+/// worker inserts whole buckets, so no two workers ever write the same
+/// shard's tree — the fill becomes contention-free by construction, like
+/// the shard-parallel merge.
 pub(crate) fn fill(dst: &dyn RelationStorage, tuples: &[TupleBuf], workers: usize) {
     if workers <= 1 || tuples.len() < PAR_FILL_MIN {
         let mut ctx = dst.make_ctx();
         for t in tuples {
             dst.insert(t, &mut ctx);
         }
+        return;
+    }
+    let nshards = dst.shard_count();
+    if nshards > 1 {
+        let mut buckets: Vec<Vec<TupleBuf>> = vec![Vec::new(); nshards];
+        for t in tuples {
+            buckets[shard_of(t[0], nshards)].push(*t);
+        }
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers.min(nshards) {
+                let (cursor, buckets) = (&cursor, &buckets);
+                s.spawn(move || loop {
+                    let b = cursor.fetch_add(1, Relaxed);
+                    if b >= nshards {
+                        break;
+                    }
+                    if buckets[b].is_empty() {
+                        continue;
+                    }
+                    pin_counter_stripe(b);
+                    let mut ctx = dst.make_ctx();
+                    for t in &buckets[b] {
+                        dst.insert(t, &mut ctx);
+                    }
+                });
+            }
+        });
         return;
     }
     let workers = workers.min(tuples.len());

@@ -56,5 +56,5 @@ pub use eval::{ParallelStrategy, WorkerStats, CHUNKS_PER_WORKER};
 pub use io::IoError;
 pub use parser::{parse, ParseError};
 pub use report::{RelationReport, StorageReport};
-pub use storage::StorageKind;
+pub use storage::{shard_of, ShardedStorage, StorageKind};
 pub use strat::{stratify, StratError, Stratification};

@@ -24,8 +24,14 @@ pub struct RelationReport {
     pub len: usize,
     /// Structural census when the relation is backed by the specialized
     /// B-tree; `None` for baseline storages (hash set, red-black tree,
-    /// ...), which expose no comparable introspection.
+    /// ...), which expose no comparable introspection. For a *sharded*
+    /// relation this is the per-shard censuses folded into one via
+    /// [`TreeStats::absorb`].
     pub tree: Option<TreeStats>,
+    /// Per-shard tuple counts, in shard-index order; empty for unsharded
+    /// backends. `max / mean` of this vector is the relation's balance
+    /// figure.
+    pub shard_lens: Vec<usize>,
 }
 
 /// Point-in-time storage health of every relation of an engine, from
@@ -62,6 +68,16 @@ impl StorageReport {
                     let _ = writeln!(out, "{}: {} tuples (no tree census)", rel.name, rel.len);
                 }
             }
+            if !rel.shard_lens.is_empty() {
+                let max = rel.shard_lens.iter().max().copied().unwrap_or(0);
+                let mean = rel.len as f64 / rel.shard_lens.len() as f64;
+                let balance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+                let _ = writeln!(
+                    out,
+                    "  {:<18} {:?} (balance {:.2})",
+                    "shards", rel.shard_lens, balance
+                );
+            }
         }
         out
     }
@@ -83,6 +99,8 @@ impl StorageReport {
                 Some(t) => out.push_str(&t.to_json()),
                 None => out.push_str("null"),
             }
+            let lens: Vec<String> = rel.shard_lens.iter().map(usize::to_string).collect();
+            let _ = write!(out, ", \"shard_lens\": [{}]", lens.join(", "));
             out.push('}');
         }
         out.push_str("]}");

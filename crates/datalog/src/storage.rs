@@ -40,7 +40,19 @@ pub type StorageCtx = Box<dyn Any + Send>;
 /// [`RelationStorage::partition`] and consumed by
 /// [`RelationStorage::scan_chunk`].
 #[derive(Clone, Debug)]
-pub enum StorageChunk {
+pub struct StorageChunk {
+    /// The shard that produced this chunk — `0` for every unsharded
+    /// backend. [`RelationStorage::partition`] emits chunks grouped by
+    /// this id, and the work-stealing scheduler uses it to drain a
+    /// worker's home shard before stealing across shard boundaries.
+    pub shard: usize,
+    /// What the chunk actually covers.
+    pub span: ChunkSpan,
+}
+
+/// The scan interval of one [`StorageChunk`].
+#[derive(Clone, Debug)]
+pub enum ChunkSpan {
     /// A half-open tuple interval `[lower, upper)` walked directly in an
     /// ordered backend (`None` bounds are unbounded). Produced natively by
     /// the specialized B-tree from its separator keys — no tuples are
@@ -108,12 +120,15 @@ pub trait RelationStorage: Send + Sync {
         let tuples = Arc::new(all);
         let per = tuples.len().div_ceil(n);
         (0..n)
-            .map(|i| StorageChunk::Materialized {
-                tuples: Arc::clone(&tuples),
-                start: i * per,
-                end: ((i + 1) * per).min(tuples.len()),
+            .map(|i| StorageChunk {
+                shard: 0,
+                span: ChunkSpan::Materialized {
+                    tuples: Arc::clone(&tuples),
+                    start: i * per,
+                    end: ((i + 1) * per).min(tuples.len()),
+                },
             })
-            .filter(|c| matches!(c, StorageChunk::Materialized { start, end, .. } if start < end))
+            .filter(|c| matches!(c.span, ChunkSpan::Materialized { start, end, .. } if start < end))
             .collect()
     }
 
@@ -126,15 +141,15 @@ pub trait RelationStorage: Send + Sync {
         _ctx: &mut StorageCtx,
         f: &mut dyn FnMut(&TupleBuf),
     ) {
-        match chunk {
-            StorageChunk::Materialized { tuples, start, end } => {
+        match &chunk.span {
+            ChunkSpan::Materialized { tuples, start, end } => {
                 for t in &tuples[*start..*end] {
                     f(t);
                 }
             }
             // Generic backends never produce `Range` chunks, but honor one
             // robustly: full scan filtered to the interval.
-            StorageChunk::Range { lower, upper } => self.for_each(&mut |t| {
+            ChunkSpan::Range { lower, upper } => self.for_each(&mut |t| {
                 if lower.as_ref().is_none_or(|lo| t >= lo) && upper.as_ref().is_none_or(|hi| t < hi)
                 {
                     f(t);
@@ -180,6 +195,23 @@ pub trait RelationStorage: Send + Sync {
     /// wrappers forward to their inner storage.
     fn as_spec_btree(&self) -> Option<&BTreeSet<MAX_ARITY>> {
         None
+    }
+
+    /// The sharded B-tree backend behind this storage, if that is what
+    /// backs it — the sharded analog of
+    /// [`as_spec_btree`](Self::as_spec_btree). Lets
+    /// [`merge_from`](Self::merge_from)/[`retract_from`](Self::retract_from)
+    /// recognize shard-aligned pairs and run shard-parallel with zero
+    /// cross-shard locks; wrappers forward to their inner storage.
+    fn as_sharded(&self) -> Option<&ShardedStorage> {
+        None
+    }
+
+    /// Number of independent shards backing this storage (1 for every
+    /// unsharded backend). The evaluator routes bulk fills and the
+    /// scheduler's home-shard assignment through this.
+    fn shard_count(&self) -> usize {
+        1
     }
 
     /// Merges every tuple of `src` into `self` on up to `workers` threads,
@@ -249,6 +281,11 @@ pub enum StorageKind {
     GBTreeLocked,
     /// The lock-free split-ordered hash set (`TBB hashset`).
     ConcurrentHashSet,
+    /// The specialized B-tree hash-partitioned across N independent
+    /// per-shard trees, each with its own arena (`btree (sharded)`).
+    /// The payload is the shard count; `0` means *auto* — resolved to
+    /// the worker-thread count by `Engine::new`.
+    ShardedBTree(usize),
 }
 
 impl StorageKind {
@@ -271,6 +308,7 @@ impl StorageKind {
             StorageKind::HashSetLocked => "STL hashset",
             StorageKind::GBTreeLocked => "google btree",
             StorageKind::ConcurrentHashSet => "TBB hashset",
+            StorageKind::ShardedBTree(_) => "btree (sharded)",
         }
     }
 
@@ -291,6 +329,7 @@ impl StorageKind {
             }
             StorageKind::GBTreeLocked => Box::new(GBTreeStorage(GlobalLock::new(GBTreeSet::new()))),
             StorageKind::ConcurrentHashSet => Box::new(ConcHashStorage(SplitOrderedSet::new())),
+            StorageKind::ShardedBTree(n) => Box::new(ShardedStorage::new((*n).max(1))),
         }
     }
 }
@@ -403,17 +442,20 @@ impl RelationStorage for SpecBTreeStorage {
         };
         chunks
             .into_iter()
-            .map(|c| StorageChunk::Range {
-                lower: c.lower,
-                upper: c.upper,
+            .map(|c| StorageChunk {
+                shard: 0,
+                span: ChunkSpan::Range {
+                    lower: c.lower,
+                    upper: c.upper,
+                },
             })
             .collect()
     }
 
     fn scan_chunk(&self, chunk: &StorageChunk, ctx: &mut StorageCtx, f: &mut dyn FnMut(&TupleBuf)) {
-        let StorageChunk::Range { lower, upper } = chunk else {
+        let ChunkSpan::Range { lower, upper } = &chunk.span else {
             // Snapshot chunks carry their own tuples; no tree access needed.
-            if let StorageChunk::Materialized { tuples, start, end } = chunk {
+            if let ChunkSpan::Materialized { tuples, start, end } = &chunk.span {
                 for t in &tuples[*start..*end] {
                     f(t);
                 }
@@ -487,6 +529,296 @@ impl RelationStorage for SpecBTreeStorage {
             // separators and remove each run on its own worker.
             Some(tree) => self.tree.remove_all_parallel(tree, workers.max(1)),
             None => retract_sequential(self, src),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded specialized-B-tree backend
+// ---------------------------------------------------------------------
+
+/// Routes a tuple to its shard by the **leading column only**, so every
+/// tuple sharing a first column — and therefore every bounded prefix scan,
+/// which fixes at least that column — lands in exactly one shard. The
+/// multiplier is the 64-bit golden-ratio (Fibonacci) mixing constant; the
+/// high bits it spreads dense small keys into are what the modulus sees.
+pub fn shard_of(t0: u64, nshards: usize) -> usize {
+    if nshards <= 1 {
+        return 0;
+    }
+    (t0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % nshards
+}
+
+/// The specialized B-tree hash-partitioned across N independent trees.
+///
+/// Each shard is a complete [`BTreeSet`] with its own arena, so slabs are
+/// allocated by whichever thread populates the shard and no two shards
+/// ever share a root, a lock word, or an allocator. [`shard_of`] routes by
+/// the leading tuple column: point operations and bounded prefix scans
+/// touch exactly one shard, full scans visit shards in index order (tuple
+/// order *across* shards is not globally sorted — every engine-level
+/// consumer sorts or is order-insensitive).
+///
+/// `merge_from`/`retract_from` against another equally-sharded storage run
+/// one worker per shard with **zero cross-shard locks**: worker *i* only
+/// ever touches shard *i* of both trees, so the only synchronization left
+/// is the shard-index cursor. This is strictly stronger than the
+/// single-tree parallel merge, whose separator-aligned chunks still
+/// contend on shared parents and the shared arena.
+pub struct ShardedStorage {
+    shards: Vec<BTreeSet<MAX_ARITY>>,
+}
+
+impl ShardedStorage {
+    /// Creates an empty storage with `nshards` shards (min 1).
+    pub fn new(nshards: usize) -> Self {
+        Self {
+            shards: (0..nshards.max(1)).map(|_| BTreeSet::new()).collect(),
+        }
+    }
+
+    /// Per-shard tuple counts, in shard-index order — the raw balance
+    /// figure `Engine::storage_report` and the shard bench expose.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|t| t.len()).collect()
+    }
+
+    /// The shards themselves (read-only; used for per-shard censuses).
+    pub fn shards(&self) -> &[BTreeSet<MAX_ARITY>] {
+        &self.shards
+    }
+
+    #[inline]
+    fn route(&self, t0: u64) -> usize {
+        shard_of(t0, self.shards.len())
+    }
+
+    #[inline]
+    fn hints(ctx: &mut StorageCtx) -> &mut Vec<BTreeHints<MAX_ARITY>> {
+        ctx.downcast_mut().expect("sharded btree ctx")
+    }
+
+    /// Runs `op(i)` for every shard index on up to `workers` scoped
+    /// threads, summing the results. Zero cross-shard locks by
+    /// construction: the shard-index cursor is the only shared state, so
+    /// no two workers ever process the same shard.
+    fn shard_parallel(&self, workers: usize, op: &(dyn Fn(usize) -> u64 + Sync)) -> u64 {
+        let n = self.shards.len();
+        let run_one = |i: usize| -> u64 {
+            let timer = telemetry::start_timer();
+            let _span = telemetry::span("eval.shard", i as u64);
+            let r = op(i);
+            timer.observe(telemetry::Hist::EvalShardMergeNanos);
+            telemetry::count(telemetry::Counter::EvalShardMerges);
+            // Balance = per-shard tuples this operation moved. NOT the
+            // absolute shard size: `BTreeSet::len` is a deliberate O(n)
+            // full iteration, far too hot for a per-merge probe (absolute
+            // sizes are in `shard_lens`, sampled at quiescent points).
+            telemetry::record(telemetry::Hist::EvalShardBalance, r);
+            r
+        };
+        let workers = workers.max(1).min(n);
+        if workers == 1 {
+            return (0..n).map(run_one).sum();
+        }
+        let cursor = AtomicUsize::new(0);
+        let total = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    total.fetch_add(run_one(i), Relaxed);
+                });
+            }
+        });
+        total.into_inner()
+    }
+}
+
+impl RelationStorage for ShardedStorage {
+    fn make_ctx(&self) -> StorageCtx {
+        // One hint set per shard: a worker's context follows it across
+        // whichever shards it ends up scanning or probing.
+        let hints: Vec<BTreeHints<MAX_ARITY>> =
+            self.shards.iter().map(|t| t.create_hints()).collect();
+        Box::new(hints)
+    }
+
+    fn insert(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool {
+        let s = self.route(t[0]);
+        self.shards[s].insert_hinted(*t, &mut Self::hints(ctx)[s])
+    }
+
+    fn remove(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
+        // Unhinted, matching the single-tree backend: the removal
+        // protocol restarts from the root anyway.
+        self.shards[self.route(t[0])].remove(t)
+    }
+
+    fn contains(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool {
+        let s = self.route(t[0]);
+        self.shards[s].contains_hinted(t, &mut Self::hints(ctx)[s])
+    }
+
+    fn scan_prefix(&self, prefix: &[u64], ctx: &mut StorageCtx, f: &mut dyn FnMut(&TupleBuf)) {
+        if prefix.is_empty() {
+            // Full scan: shards in index order (not globally sorted).
+            for tree in &self.shards {
+                for t in tree.iter() {
+                    f(&t);
+                }
+            }
+            return;
+        }
+        // A bounded prefix fixes the leading column, so exactly one shard
+        // can hold matches — the same single-tree scan as before, minus
+        // (nshards - 1) trees of irrelevant structure.
+        let s = self.route(prefix[0]);
+        let lo = pad(prefix);
+        let hi = prefix_upper(prefix);
+        let hints = &mut Self::hints(ctx)[s];
+        let it = self.shards[s].lower_bound_hinted(&lo, hints);
+        // Explicit upper-bound probe, mirroring Figure 1 (see the
+        // single-tree backend).
+        if let Some(hi) = &hi {
+            let _ = self.shards[s].upper_bound_hinted(hi, hints);
+        }
+        for t in it {
+            if let Some(hi) = &hi {
+                if specbtree::cmp3(&t, hi) != std::cmp::Ordering::Less {
+                    break;
+                }
+            }
+            f(&t);
+        }
+    }
+
+    fn partition(&self, n: usize, prefix: &[u64]) -> Vec<StorageChunk> {
+        let to_chunk = |s: usize| {
+            move |c: specbtree::RangeChunk<MAX_ARITY>| StorageChunk {
+                shard: s,
+                span: ChunkSpan::Range {
+                    lower: c.lower,
+                    upper: c.upper,
+                },
+            }
+        };
+        if !prefix.is_empty() {
+            // One shard holds every match; split inside it.
+            let s = self.route(prefix[0]);
+            let lo = pad(prefix);
+            let hi = prefix_upper(prefix);
+            return self.shards[s]
+                .partition_range(n, Some(&lo), hi.as_ref())
+                .into_iter()
+                .map(to_chunk(s))
+                .collect();
+        }
+        // Full-scan split: every shard contributes its share of chunks,
+        // emitted grouped shard-by-shard so the scheduler can hand each
+        // worker a contiguous home-shard run.
+        let per = (n / self.shards.len()).max(1);
+        let mut out = Vec::new();
+        for (s, tree) in self.shards.iter().enumerate() {
+            if tree.is_empty() {
+                continue;
+            }
+            out.extend(tree.partition(per).into_iter().map(to_chunk(s)));
+        }
+        out
+    }
+
+    fn scan_chunk(&self, chunk: &StorageChunk, ctx: &mut StorageCtx, f: &mut dyn FnMut(&TupleBuf)) {
+        let ChunkSpan::Range { lower, upper } = &chunk.span else {
+            if let ChunkSpan::Materialized { tuples, start, end } = &chunk.span {
+                for t in &tuples[*start..*end] {
+                    f(t);
+                }
+            }
+            return;
+        };
+        let tree = &self.shards[chunk.shard];
+        let it = match lower {
+            Some(lo) => tree.lower_bound_hinted(lo, &mut Self::hints(ctx)[chunk.shard]),
+            None => tree.iter(),
+        };
+        for t in it {
+            if let Some(hi) = upper {
+                if specbtree::cmp3(&t, hi) != std::cmp::Ordering::Less {
+                    break;
+                }
+            }
+            f(&t);
+        }
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&TupleBuf)) {
+        for tree in &self.shards {
+            for t in tree.iter() {
+                f(&t);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|t| t.len()).sum()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.shards.iter().all(|t| t.is_empty())
+    }
+
+    fn hint_stats(&self, ctx: &StorageCtx) -> Option<HintStats> {
+        ctx.downcast_ref::<Vec<BTreeHints<MAX_ARITY>>>().map(|hs| {
+            let mut agg = HintStats::default();
+            for h in hs {
+                agg.merge(&h.stats);
+            }
+            agg
+        })
+    }
+
+    fn clear(&mut self) -> bool {
+        for tree in &mut self.shards {
+            tree.clear();
+        }
+        true
+    }
+
+    fn as_sharded(&self) -> Option<&ShardedStorage> {
+        Some(self)
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn merge_from(&self, src: &dyn RelationStorage, workers: usize) -> u64 {
+        match src.as_sharded() {
+            // Shard-aligned: one worker per shard, each merging its
+            // shard's delta into its shard's tree. No cross-shard locks —
+            // the per-shard merge runs single-threaded against a tree no
+            // other worker touches.
+            Some(other) if other.shards.len() == self.shards.len() => self
+                .shard_parallel(workers, &|i| {
+                    self.shards[i].insert_all_parallel(&other.shards[i], 1)
+                }),
+            // Mismatched shard counts or a foreign backend: route every
+            // tuple through the shard map individually.
+            _ => merge_sequential(self, src),
+        }
+    }
+
+    fn retract_from(&self, src: &dyn RelationStorage, workers: usize) -> u64 {
+        match src.as_sharded() {
+            Some(other) if other.shards.len() == self.shards.len() => self
+                .shard_parallel(workers, &|i| {
+                    self.shards[i].remove_all_parallel(&other.shards[i], 1)
+                }),
+            _ => retract_sequential(self, src),
         }
     }
 }
@@ -693,23 +1025,37 @@ struct CounterStripe {
     upper_bound: AtomicU64,
 }
 
+/// Next round-robin stripe for threads that never pinned one.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's stripe index; `usize::MAX` = not yet assigned.
+    static STRIPE: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
 /// Returns this thread's stripe index, assigned round-robin on first use.
 /// Consecutive assignment (not hashing) guarantees a scope of ≤16 workers
 /// gets pairwise-distinct stripes.
 fn counter_stripe() -> usize {
-    use std::cell::Cell;
-    static NEXT: AtomicUsize = AtomicUsize::new(0);
-    thread_local! {
-        static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
-    }
     STRIPE.with(|s| {
         let mut v = s.get();
         if v == usize::MAX {
-            v = NEXT.fetch_add(1, Relaxed) % COUNTER_STRIPES;
+            v = NEXT_STRIPE.fetch_add(1, Relaxed) % COUNTER_STRIPES;
             s.set(v);
         }
         v
     })
+}
+
+/// Pins the calling thread's [`OpCounters`] stripe to `idx % 16`,
+/// overriding (or preempting) the round-robin assignment.
+///
+/// Under sharded evaluation the scheduler pins each worker to its *home
+/// shard's* index instead of a spawn-order slot: a worker's per-operation
+/// `fetch_add`s then land on the stripe associated with the shard whose
+/// tuples it is scanning, so stripes stay core-local when shards do.
+pub fn pin_counter_stripe(idx: usize) {
+    STRIPE.with(|s| s.set(idx % COUNTER_STRIPES));
 }
 
 /// Shared operation counters, aggregated across all relations of an engine.
@@ -855,7 +1201,7 @@ impl RelationStorage for CountingStorage {
     fn scan_chunk(&self, chunk: &StorageChunk, ctx: &mut StorageCtx, f: &mut dyn FnMut(&TupleBuf)) {
         // Each ordered chunk scan starts with one lower_bound descent
         // (hinted or not); snapshot chunks touch no index structure.
-        if matches!(chunk, StorageChunk::Range { .. }) {
+        if matches!(chunk.span, ChunkSpan::Range { .. }) {
             self.counters.add_lower_bound(1);
         }
         self.inner.scan_chunk(chunk, ctx, f)
@@ -880,6 +1226,14 @@ impl RelationStorage for CountingStorage {
 
     fn as_spec_btree(&self) -> Option<&BTreeSet<MAX_ARITY>> {
         self.inner.as_spec_btree()
+    }
+
+    fn as_sharded(&self) -> Option<&ShardedStorage> {
+        self.inner.as_sharded()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.inner.shard_count()
     }
 
     fn merge_from(&self, src: &dyn RelationStorage, workers: usize) -> u64 {
@@ -941,6 +1295,9 @@ mod tests {
     fn all_backends_conform() {
         for kind in StorageKind::ALL {
             exercise(kind);
+        }
+        for shards in [1usize, 2, 8] {
+            exercise(StorageKind::ShardedBTree(shards));
         }
     }
 
@@ -1058,7 +1415,8 @@ mod tests {
 
     #[test]
     fn partition_scan_equals_prefix_scan_on_all_backends() {
-        for kind in StorageKind::ALL {
+        let sharded = [1usize, 2, 8].map(StorageKind::ShardedBTree);
+        for kind in StorageKind::ALL.iter().chain(&sharded).copied() {
             chunk_scan_matches_prefix_scan(kind, &[]);
             chunk_scan_matches_prefix_scan(kind, &[3]);
             chunk_scan_matches_prefix_scan(kind, &[9]); // matches nothing
@@ -1076,7 +1434,7 @@ mod tests {
         assert!(chunks.len() > 1, "a deep tree should split");
         assert!(chunks
             .iter()
-            .all(|c| matches!(c, StorageChunk::Range { .. })));
+            .all(|c| c.shard == 0 && matches!(c.span, ChunkSpan::Range { .. })));
         // Empty relations partition to no chunks at all.
         assert!(StorageKind::SpecBTree.create().partition(8, &[]).is_empty());
     }
@@ -1092,12 +1450,120 @@ mod tests {
         assert!(!chunks.is_empty());
         let total: usize = chunks
             .iter()
-            .map(|c| match c {
-                StorageChunk::Materialized { start, end, .. } => end - start,
-                StorageChunk::Range { .. } => panic!("hash backend cannot emit ranges"),
+            .map(|c| match &c.span {
+                ChunkSpan::Materialized { start, end, .. } => end - start,
+                ChunkSpan::Range { .. } => panic!("hash backend cannot emit ranges"),
             })
             .sum();
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn sharded_partition_tags_and_groups_chunks_by_shard() {
+        let s = StorageKind::ShardedBTree(4).create();
+        let mut ctx = s.make_ctx();
+        for i in 0..8_000u64 {
+            s.insert(&pad(&[i / 100, i % 100]), &mut ctx);
+        }
+        assert_eq!(s.shard_count(), 4);
+        let chunks = s.partition(32, &[]);
+        assert!(chunks.len() > 4, "every populated shard should oversplit");
+        // Chunks arrive grouped: the shard id never decreases along the
+        // vector (the scheduler's home-shard runs rely on contiguity).
+        let shards: Vec<usize> = chunks.iter().map(|c| c.shard).collect();
+        let mut sorted = shards.clone();
+        sorted.sort_unstable();
+        assert_eq!(shards, sorted, "chunks must be grouped shard-by-shard");
+        assert!(shards.iter().any(|&s| s > 0), "multiple shards populated");
+        // A bounded prefix routes to exactly one shard.
+        let bounded = s.partition(8, &[3]);
+        assert!(!bounded.is_empty());
+        let first = bounded[0].shard;
+        assert!(bounded.iter().all(|c| c.shard == first));
+        // Scanning all chunks reproduces the full contents exactly once.
+        let mut got = Vec::new();
+        for c in &chunks {
+            s.scan_chunk(c, &mut ctx, &mut |t| got.push(*t));
+        }
+        assert_eq!(got.len(), 8_000);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 8_000, "no tuple may appear in two shards");
+    }
+
+    #[test]
+    fn sharded_merge_and_retract_run_shardwise() {
+        for (nshards, workers) in [(4usize, 1usize), (4, 4), (8, 3)] {
+            let dst = StorageKind::ShardedBTree(nshards).create();
+            let src = StorageKind::ShardedBTree(nshards).create();
+            let mut dctx = dst.make_ctx();
+            let mut sctx = src.make_ctx();
+            for i in 0..2_000u64 {
+                dst.insert(&pad(&[i, 1]), &mut dctx);
+            }
+            // Overlap 1000..2000, fresh 2000..3000.
+            for i in 1_000..3_000u64 {
+                src.insert(&pad(&[i, 1]), &mut sctx);
+            }
+            let added = dst.merge_from(src.as_ref(), workers);
+            assert_eq!(added, 1_000, "shards={nshards} workers={workers}");
+            assert_eq!(dst.len(), 3_000);
+            assert_eq!(src.len(), 2_000, "source untouched");
+
+            let removed = dst.retract_from(src.as_ref(), workers);
+            assert_eq!(removed, 2_000, "shards={nshards} workers={workers}");
+            assert_eq!(dst.len(), 1_000);
+            assert!(dst.contains(&pad(&[0, 1]), &mut dctx));
+            assert!(!dst.contains(&pad(&[1_500, 1]), &mut dctx));
+        }
+        // Mismatched shard counts fall back to the routed per-tuple path.
+        let dst = StorageKind::ShardedBTree(2).create();
+        let src = StorageKind::ShardedBTree(8).create();
+        let mut dctx = dst.make_ctx();
+        let mut sctx = src.make_ctx();
+        dst.insert(&pad(&[1]), &mut dctx);
+        for i in 0..100u64 {
+            src.insert(&pad(&[i]), &mut sctx);
+        }
+        assert_eq!(dst.merge_from(src.as_ref(), 4), 99);
+        assert_eq!(dst.len(), 100);
+    }
+
+    #[test]
+    fn sharded_skew_concentrates_in_one_shard() {
+        // Every tuple shares the leading column, so the shard map sends
+        // all of them to a single shard — the worst case the balance
+        // telemetry exists to expose. Correctness must be unaffected.
+        let s = StorageKind::ShardedBTree(8).create();
+        let mut ctx = s.make_ctx();
+        for i in 0..1_000u64 {
+            s.insert(&pad(&[7, i]), &mut ctx);
+        }
+        let sharded = s.as_sharded().expect("sharded backend");
+        let lens = sharded.shard_lens();
+        assert_eq!(lens.iter().sum::<usize>(), 1_000);
+        assert_eq!(lens.iter().max().copied().unwrap(), 1_000, "{lens:?}");
+        let mut got = Vec::new();
+        s.scan_prefix(&[7], &mut ctx, &mut |t| got.push(*t));
+        assert_eq!(got.len(), 1_000);
+    }
+
+    #[test]
+    fn pinned_counter_stripes_follow_home_shard() {
+        let counters = Arc::new(OpCounters::default());
+        let c = Arc::clone(&counters);
+        std::thread::spawn(move || {
+            pin_counter_stripe(3);
+            c.add_inserts(5);
+            // Re-pinning moves subsequent counts to the new stripe.
+            pin_counter_stripe(7);
+            c.add_inserts(2);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(counters.snapshot().0, 7, "both stripes aggregate");
+        assert_eq!(counters.stripes[3].inserts.load(Relaxed), 5);
+        assert_eq!(counters.stripes[7].inserts.load(Relaxed), 2);
     }
 
     #[test]

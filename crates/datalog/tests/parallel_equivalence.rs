@@ -51,7 +51,10 @@ fn check_workload(name: &str, edges: Vec<(u64, u64)>) {
         .map(|(a, b)| vec![a, b])
         .collect();
 
-    for kind in StorageKind::ALL {
+    // The figure-legend kinds plus the sharded backend at several shard
+    // counts (1 = degenerate single shard, 8 > typical test thread count).
+    let sharded = [1, 2, 8].map(StorageKind::ShardedBTree);
+    for kind in StorageKind::ALL.into_iter().chain(sharded) {
         // Sequential baseline on this backend (legacy scheduler, 1 thread).
         let sequential = run_tc(&edges, kind, 1, ParallelStrategy::MaterializeSplit);
         assert_eq!(
@@ -107,6 +110,44 @@ fn materialize_split_matches_at_all_thread_counts() {
             );
         }
     }
+}
+
+/// Skewed-hash corner: a star graph whose tuples all share leading column
+/// 0 routes >90% of `path` into one shard. The closure must still match
+/// the reference, and the storage report must expose the imbalance.
+#[test]
+fn skewed_hash_concentrates_in_one_shard_and_stays_correct() {
+    let mut edges: Vec<(u64, u64)> = (1..=60).map(|i| (0, i)).collect();
+    // One stray edge keeps a second shard non-empty (0 and 1 hash apart).
+    edges.push((1, 2));
+    let expect: Vec<Vec<u64>> = graphs::reference_tc(&edges)
+        .into_iter()
+        .map(|(a, b)| vec![a, b])
+        .collect();
+
+    let program = parse(TC_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::ShardedBTree(8), 4).unwrap();
+    engine.set_parallel_strategy(ParallelStrategy::ChunkStealing);
+    engine
+        .add_facts("edge", edges.iter().map(|&(a, b)| vec![a, b]))
+        .unwrap();
+    engine.run().unwrap();
+    assert_eq!(engine.relation("path").unwrap(), expect);
+
+    let report = engine.storage_report();
+    let rel = report
+        .relations
+        .iter()
+        .find(|r| r.name == "path")
+        .expect("path relation in report");
+    assert_eq!(rel.shard_lens.len(), 8, "one census entry per shard");
+    assert_eq!(rel.shard_lens.iter().sum::<usize>(), rel.len);
+    let max = *rel.shard_lens.iter().max().unwrap();
+    assert!(
+        max as f64 >= 0.9 * rel.len as f64,
+        "star graph should concentrate >90% in one shard, got {:?}",
+        rel.shard_lens
+    );
 }
 
 /// Scheduler observability: a multi-threaded chunk-driven run reports

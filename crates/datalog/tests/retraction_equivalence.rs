@@ -78,7 +78,8 @@ fn surviving_tc(edges: &[(u64, u64)], gone: &[(u64, u64)]) -> Vec<Vec<u64>> {
 /// Runs one workload/retraction pair over the full backend × thread matrix.
 fn check_matrix(name: &str, edges: Vec<(u64, u64)>, gone: Vec<(u64, u64)>) {
     let expect = surviving_tc(&edges, &gone);
-    for kind in StorageKind::ALL {
+    let sharded = [1, 2, 8].map(StorageKind::ShardedBTree);
+    for kind in StorageKind::ALL.into_iter().chain(sharded) {
         for threads in thread_counts() {
             let got = tc_retract(&edges, &gone, kind, threads);
             assert_eq!(

@@ -157,11 +157,18 @@ pub enum Counter {
     /// `specbtree`: empty leaves spliced out of their parent after a
     /// remove drained them.
     BtreeLeafUnlinks,
+    /// `datalog`: per-shard delta merges performed by the sharded storage
+    /// backend (one per shard per merge pass; each runs against its own
+    /// tree with no cross-shard locks).
+    EvalShardMerges,
+    /// `datalog`: outer-scan chunks a worker claimed outside its home
+    /// shard (work stealing crossed a shard boundary).
+    EvalShardSteals,
 }
 
 impl Counter {
     /// Number of counters (array dimension).
-    pub const COUNT: usize = 31;
+    pub const COUNT: usize = 33;
 
     /// All counters, in declaration order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -196,6 +203,8 @@ impl Counter {
         Counter::BtreeRemoves,
         Counter::BtreeRemoveRestarts,
         Counter::BtreeLeafUnlinks,
+        Counter::EvalShardMerges,
+        Counter::EvalShardSteals,
     ];
 
     /// The dotted `layer.event` name used in reports.
@@ -232,6 +241,8 @@ impl Counter {
             Counter::BtreeRemoves => "specbtree.removes",
             Counter::BtreeRemoveRestarts => "specbtree.remove_restarts",
             Counter::BtreeLeafUnlinks => "specbtree.leaf_unlinks",
+            Counter::EvalShardMerges => "datalog.shard_merges",
+            Counter::EvalShardSteals => "datalog.shard_steals",
         }
     }
 }
@@ -256,11 +267,18 @@ pub enum Hist {
     /// `datalog`: wall time of one merge phase — folding every `new`
     /// relation of a stratum into its full relation (nanoseconds).
     EvalMergeNanos,
+    /// `datalog`: per-shard tuple counts sampled after each sharded merge
+    /// pass — the spread of this histogram *is* the shard balance (a
+    /// single hot bucket means one shard soaks up the relation).
+    EvalShardBalance,
+    /// `datalog`: wall time of one shard's delta merge within a sharded
+    /// merge pass (nanoseconds).
+    EvalShardMergeNanos,
 }
 
 impl Hist {
     /// Number of histograms (array dimension).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 8;
 
     /// All histograms, in declaration order.
     pub const ALL: [Hist; Self::COUNT] = [
@@ -270,6 +288,8 @@ impl Hist {
         Hist::EvalStratumNanos,
         Hist::BtreeSearchProbes,
         Hist::EvalMergeNanos,
+        Hist::EvalShardBalance,
+        Hist::EvalShardMergeNanos,
     ];
 
     /// The dotted `layer.metric` name used in reports.
@@ -281,6 +301,8 @@ impl Hist {
             Hist::EvalStratumNanos => "datalog.stratum_nanos",
             Hist::BtreeSearchProbes => "specbtree.search_probe",
             Hist::EvalMergeNanos => "datalog.merge_nanos",
+            Hist::EvalShardBalance => "datalog.shard_balance",
+            Hist::EvalShardMergeNanos => "datalog.shard_merge_nanos",
         }
     }
 }
