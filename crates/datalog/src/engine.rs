@@ -7,6 +7,7 @@ use crate::eval::{
     materialize, merge_new, plan_delta_rel, CtxSet, ParallelStrategy, Plan, StorageEnv,
     WorkerStats,
 };
+use crate::planner::{self, IndexCatalog};
 use crate::storage::{pad, CountingStorage, OpCounters, RelationStorage, StorageKind, TupleBuf};
 use crate::strat::{stratify, StratError, Stratification, Stratum};
 use specbtree::HintStats;
@@ -106,6 +107,17 @@ pub struct EvalStats {
     /// Tuples put back by rederivation (alternative derivations plus
     /// overdeleted EDB facts that were not themselves retracted).
     pub rederived_tuples: u64,
+    /// Secondary-index permutations registered on relation storages by
+    /// the planner (each registration backfills one permuted tree, or one
+    /// tree per shard under sharded storage). Zero with the planner off.
+    pub index_builds: u64,
+    /// Inner (non-outermost) scans served by a bound primary prefix or a
+    /// secondary index — range queries instead of full sweeps.
+    pub inner_scans_indexed: u64,
+    /// Inner scans that fell through to an unindexed full sweep (no bound
+    /// prefix, no secondary index) — each one re-reads a whole relation
+    /// per outer tuple.
+    pub inner_scans_full: u64,
     /// Aggregated operation-hint statistics (specialized B-tree only).
     pub hints: HintStats,
 }
@@ -125,7 +137,9 @@ impl EvalStats {
                 "\"tuples_scanned\": {}, \"tuples_emitted\": {}, ",
                 "\"sched_imbalance\": {:.6}, \"removes\": {}, ",
                 "\"retracted_inputs\": {}, \"overdeleted_tuples\": {}, ",
-                "\"rederived_tuples\": {}, \"hints\": {}}}"
+                "\"rederived_tuples\": {}, \"index_builds\": {}, ",
+                "\"inner_scans_indexed\": {}, \"inner_scans_full\": {}, ",
+                "\"index_hit_ratio\": {:.6}, \"hints\": {}}}"
             ),
             self.inserts,
             self.membership_tests,
@@ -143,8 +157,23 @@ impl EvalStats {
             self.retracted_inputs,
             self.overdeleted_tuples,
             self.rederived_tuples,
+            self.index_builds,
+            self.inner_scans_indexed,
+            self.inner_scans_full,
+            self.index_hit_ratio(),
             self.hints.to_json()
         )
+    }
+
+    /// Fraction of inner scans served by a bound prefix or secondary
+    /// index (1.0 when no inner scans ran — nothing needed rescuing).
+    pub fn index_hit_ratio(&self) -> f64 {
+        let total = self.inner_scans_indexed + self.inner_scans_full;
+        if total == 0 {
+            1.0
+        } else {
+            self.inner_scans_indexed as f64 / total as f64
+        }
     }
 }
 
@@ -285,6 +314,13 @@ pub struct Engine {
     worker_stats: Vec<WorkerStats>,
     /// Per-rule (by rule index) evaluation counts and time.
     profile: HashMap<usize, (u64, f64)>,
+    /// Cost-based join ordering + automatic secondary indexes (default
+    /// on; [`set_planner_enabled`](Self::set_planner_enabled)).
+    planner_enabled: bool,
+    /// Secondary-index permutations registered so far, per relation. The
+    /// catalog only ever grows — storage-level index ids are positions in
+    /// it, so compiled plans stay valid across incremental runs.
+    catalog: IndexCatalog,
 }
 
 impl Engine {
@@ -311,6 +347,7 @@ impl Engine {
             })
             .collect();
         let nrels = program.decls.len();
+        let arities: Vec<usize> = program.decls.iter().map(|d| d.arity).collect();
         let mut engine = Self {
             program: program.clone(),
             strat,
@@ -323,6 +360,8 @@ impl Engine {
             strategy: ParallelStrategy::default(),
             worker_stats: Vec::new(),
             profile: HashMap::new(),
+            planner_enabled: true,
+            catalog: IndexCatalog::new(&arities),
         };
         for (name, tuple) in &engine.program.facts.clone() {
             engine.add_fact(name, tuple)?;
@@ -344,6 +383,140 @@ impl Engine {
     /// The parallel scheduling strategy in effect.
     pub fn parallel_strategy(&self) -> ParallelStrategy {
         self.strategy
+    }
+
+    /// Enables or disables the cost-based planner (default: enabled).
+    /// When off, rules compile in source order with delta hoisting and no
+    /// secondary indexes — the pre-planner behavior, kept as an A/B
+    /// baseline for the bench suite. Indexes registered while the planner
+    /// was on stay maintained (the catalog never shrinks) but no new plan
+    /// will route through them.
+    pub fn set_planner_enabled(&mut self, on: bool) {
+        self.planner_enabled = on;
+    }
+
+    /// Whether cost-based planning + secondary indexes are in effect.
+    pub fn planner_enabled(&self) -> bool {
+        self.planner_enabled
+    }
+
+    /// Derives the index catalog the program's plans need: compile every
+    /// rule with cost-based ordering (indexes don't influence the greedy
+    /// order, so no fixpoint is needed), collect the bound-column
+    /// signatures of inner scans, and chain-cover them per relation. With
+    /// `include_dred`, the DRed machinery's synthetic Δ⁻ shapes —
+    /// overdeletion, rederivation seed, and rederivation delta rules for
+    /// *every* rule, as if all relations were dirty — contribute their
+    /// signatures too; that is how overdelete's reverse joins get their
+    /// `{2,1}`-style indexes.
+    fn derive_needed_catalog(&self, include_dred: bool, card: &dyn Fn(usize) -> f64) -> IndexCatalog {
+        let arities: Vec<usize> = self.program.decls.iter().map(|d| d.arity).collect();
+        let empty = IndexCatalog::new(&arities);
+        let mut plans: Vec<Plan> = Vec::new();
+        for stratum in &self.strat.strata {
+            for &ri in &stratum.rules {
+                plans.extend(planner::plan_versions(
+                    &self.program.rules[ri],
+                    &self.strat.rel_ids,
+                    &stratum.relations,
+                    card,
+                    &empty,
+                ));
+            }
+        }
+        if include_dred {
+            plans.extend(self.dred_shape_plans(card, &empty));
+        }
+        planner::derive_catalog(&plans, &arities)
+    }
+
+    /// The plan shapes [`retract_facts`](Self::retract_facts) synthesizes,
+    /// compiled for signature collection only (all relations treated as
+    /// dirty — a catalog is a superset commitment, and an index nothing
+    /// ends up scanning costs only its maintenance).
+    fn dred_shape_plans(&self, card: &dyn Fn(usize) -> f64, empty: &IndexCatalog) -> Vec<Plan> {
+        let nrels = self.program.decls.len();
+        let mut ext_ids = self.strat.rel_ids.clone();
+        let del_name: Vec<String> = self
+            .program
+            .decls
+            .iter()
+            .map(|d| format!("~del~{}", d.name))
+            .collect();
+        for (r, n) in del_name.iter().enumerate() {
+            ext_ids.insert(n.clone(), nrels + r);
+        }
+        let mut plans = Vec::new();
+        for rule in &self.program.rules {
+            let head_rel = self.strat.rel_ids[&rule.head.relation];
+            let del_lit = Literal {
+                atom: Atom {
+                    relation: del_name[head_rel].clone(),
+                    terms: rule.head.terms.clone(),
+                },
+                negated: false,
+            };
+            // Overdeletion: Δ⁻h :- b1, …, bn, h — one version per
+            // positive body literal, which reads the deletion delta.
+            let mut body = rule.body.clone();
+            body.push(Literal {
+                atom: rule.head.clone(),
+                negated: false,
+            });
+            let over = Rule {
+                head: del_lit.atom.clone(),
+                body,
+                constraints: rule.constraints.clone(),
+            };
+            for (p, lit) in rule.body.iter().enumerate() {
+                if !lit.negated {
+                    plans.push(planner::plan_rule(&over, &ext_ids, Some(p), true, card, empty));
+                }
+            }
+            // Rederivation seed (h :- Δ⁻h, b1, …, bn) and its semi-naive
+            // delta versions.
+            let mut body = vec![del_lit];
+            body.extend(rule.body.iter().cloned());
+            let red = Rule {
+                head: rule.head.clone(),
+                body,
+                constraints: rule.constraints.clone(),
+            };
+            plans.push(planner::plan_rule(&red, &ext_ids, None, true, card, empty));
+            for (bi, lit) in red.body.iter().enumerate().skip(1) {
+                if !lit.negated {
+                    plans.push(planner::plan_rule(&red, &ext_ids, Some(bi), true, card, empty));
+                }
+            }
+        }
+        plans
+    }
+
+    /// Makes sure every index the current plans need exists: merges the
+    /// freshly derived catalog into the engine's (ids never move) and
+    /// registers each permutation on the backing storage, which backfills
+    /// the permuted tree from the primary in bulk. Idempotent; no-op with
+    /// the planner off. `card` is the caller's cardinality snapshot —
+    /// relation `len()` is a full O(n) walk, so callers that already
+    /// counted for other reasons share the count instead of re-walking.
+    fn ensure_indexes(&mut self, include_dred: bool, card: &dyn Fn(usize) -> f64) {
+        if !self.planner_enabled {
+            return;
+        }
+        let derived = self.derive_needed_catalog(include_dred, card);
+        for rel in 0..self.rels.len() {
+            for perm in derived.perms(rel) {
+                let before = self.catalog.perms(rel).len();
+                self.catalog.add(rel, perm.clone());
+                if self.catalog.perms(rel).len() > before {
+                    self.stats.index_builds += 1;
+                }
+                // Registering an already-known permutation is a cheap
+                // storage-side no-op (deduped by perm), which re-syncs
+                // after the negation fallback replaces a storage.
+                self.rels[rel].add_index(perm, self.threads);
+            }
+        }
     }
 
     /// Per-worker scheduler counters from the last [`run`](Self::run)
@@ -421,7 +594,15 @@ impl Engine {
     /// Runs the stratified semi-naive evaluation to fixpoint.
     pub fn run(&mut self) -> Result<(), EngineError> {
         self.profile.clear();
-        let size_before: usize = self.rels.iter().map(|r| r.len()).sum();
+        // One O(n) cardinality walk serves both the produced-tuples
+        // baseline and the index-derivation cost model below.
+        let lens: Vec<usize> = self.rels.iter().map(|r| r.len()).collect();
+        let size_before: usize = lens.iter().sum();
+        // Build the secondary indexes the program's plans call for
+        // (DRed's synthetic shapes are deferred to the first retraction,
+        // so insert-only runs never pay for indexes only deletion needs).
+        let card = |r: usize| lens.get(r).map_or(1.0, |&n| n as f64);
+        self.ensure_indexes(false, &card);
 
         // Persistent per-worker operation-hint contexts (paper §3.2:
         // thread-local hints, kept across rules and fixpoint iterations)
@@ -446,6 +627,8 @@ impl Engine {
             self.stats.chunks_stolen += w.chunks_stolen;
             self.stats.tuples_scanned += w.tuples_scanned;
             self.stats.tuples_emitted += w.tuples_emitted;
+            self.stats.inner_scans_indexed += w.inner_scans_indexed;
+            self.stats.inner_scans_full += w.inner_scans_full;
         }
         let active = wstats.iter().filter(|w| w.chunks_claimed > 0).count();
         self.stats.sched_imbalance = if active > 0 && self.stats.tuples_scanned > 0 {
@@ -480,6 +663,12 @@ impl Engine {
         next_plan_id: &mut usize,
     ) {
         let stratum_timer = telemetry::start_timer();
+        // Relation sizes as of this stratum's start drive the greedy join
+        // order: earlier strata have already materialized, so the
+        // cardinalities the cost model sees are the ones the joins will
+        // actually run against.
+        let card_vec: Vec<f64> = self.rels.iter().map(|r| r.len() as f64).collect();
+        let card = |r: usize| card_vec.get(r).copied().unwrap_or(1.0);
         // Split the stratum's rules into non-recursive and recursive,
         // remembering each plan's source rule for profiling.
         let mut base_plans: Vec<(usize, Plan)> = Vec::new();
@@ -492,7 +681,17 @@ impl Engine {
                         .relations
                         .contains(&self.strat.rel_ids[&l.atom.relation])
             });
-            let mut plans = compile_versions(rule, &self.strat.rel_ids, &stratum.relations);
+            let mut plans = if self.planner_enabled {
+                planner::plan_versions(
+                    rule,
+                    &self.strat.rel_ids,
+                    &stratum.relations,
+                    &card,
+                    &self.catalog,
+                )
+            } else {
+                compile_versions(rule, &self.strat.rel_ids, &stratum.relations)
+            };
             for plan in &mut plans {
                 plan.id = *next_plan_id;
                 *next_plan_id += 1;
@@ -649,7 +848,13 @@ impl Engine {
         facts: impl IntoIterator<Item = (String, Vec<u64>)>,
     ) -> Result<RetractOutcome, EngineError> {
         let nrels = self.program.decls.len();
-        let size_before: i64 = self.rels.iter().map(|r| r.len() as i64).sum();
+        // Pre-retraction sizes: one O(n) walk shared by the net-change
+        // accounting and the cost model for every synthetic plan below.
+        // Pseudo relations (deletion accumulators) default to cardinality
+        // 1, which keeps Δ⁻ literals outermost-or-early.
+        let card_vec: Vec<f64> = self.rels.iter().map(|r| r.len() as f64).collect();
+        let card = |r: usize| card_vec.get(r).copied().unwrap_or(1.0);
+        let size_before: i64 = card_vec.iter().map(|&n| n as i64).sum();
         let mut outcome = RetractOutcome::default();
 
         // Seed the deletion sets with the withdrawn facts.
@@ -678,6 +883,12 @@ impl Engine {
             return Ok(outcome);
         }
         self.stats.retracted_inputs += outcome.retracted_inputs;
+
+        // First retraction on this engine registers the indexes DRed's
+        // synthetic shapes need (notably the reverse-join permutations of
+        // the overdelete phase); the one-time backfill replaces the full
+        // relation scan every overdelete round used to pay.
+        self.ensure_indexes(true, &card);
 
         // Dirty-relation fixpoint in stratum order. The first stratum with
         // a rule negating an already-dirty relation becomes the fallback
@@ -784,14 +995,26 @@ impl Engine {
                 };
                 for p in dirty_positions {
                     // Hoisting the deletion delta outermost is right when
-                    // the remaining literals stay index-supported; when it
-                    // strands one without a bound prefix (a full scan per
-                    // delta tuple), evaluate in source order instead and
-                    // probe the delta where it sits — the full scan then
-                    // runs once, chunked across workers.
-                    let mut plan = compile_one(&syn, &ext_ids, Some(p));
+                    // the remaining literals stay index-supported; with
+                    // the planner on, the reverse joins this strands are
+                    // rescued by the secondary indexes registered above,
+                    // so the source-order fallback below almost never
+                    // fires. When it still would strand a scan (planner
+                    // off, or a shape no index covers), evaluate in
+                    // source order instead and probe the delta where it
+                    // sits — the full scan then runs once, chunked across
+                    // workers.
+                    let mut plan = if self.planner_enabled {
+                        planner::plan_rule(&syn, &ext_ids, Some(p), true, &card, &self.catalog)
+                    } else {
+                        compile_one(&syn, &ext_ids, Some(p))
+                    };
                     if has_unprefixed_inner_scan(&plan) {
-                        let flat = compile_one_at(&syn, &ext_ids, Some(p), false);
+                        let flat = if self.planner_enabled {
+                            planner::plan_rule(&syn, &ext_ids, Some(p), false, &card, &self.catalog)
+                        } else {
+                            compile_one_at(&syn, &ext_ids, Some(p), false)
+                        };
                         if !has_unprefixed_inner_scan(&flat) {
                             plan = flat;
                         }
@@ -971,14 +1194,33 @@ impl Engine {
                     body,
                     constraints: rule.constraints.clone(),
                 };
-                let mut del_plan = compile_one(&syn, &ext_ids, None);
+                let mut del_plan = if self.planner_enabled {
+                    planner::plan_rule(&syn, &ext_ids, None, true, &card, &self.catalog)
+                } else {
+                    compile_one(&syn, &ext_ids, None)
+                };
                 del_plan.id = next_plan_id;
                 next_plan_id += 1;
                 for (bi, lit) in syn.body.iter().enumerate().skip(1) {
                     if !lit.negated && ds.contains(&ext_ids[&lit.atom.relation]) {
-                        let mut plan = compile_one(&syn, &ext_ids, Some(bi));
+                        let mut plan = if self.planner_enabled {
+                            planner::plan_rule(&syn, &ext_ids, Some(bi), true, &card, &self.catalog)
+                        } else {
+                            compile_one(&syn, &ext_ids, Some(bi))
+                        };
                         if has_unprefixed_inner_scan(&plan) {
-                            let flat = compile_one_at(&syn, &ext_ids, Some(bi), false);
+                            let flat = if self.planner_enabled {
+                                planner::plan_rule(
+                                    &syn,
+                                    &ext_ids,
+                                    Some(bi),
+                                    false,
+                                    &card,
+                                    &self.catalog,
+                                )
+                            } else {
+                                compile_one_at(&syn, &ext_ids, Some(bi), false)
+                            };
                             if !has_unprefixed_inner_scan(&flat) {
                                 plan = flat;
                             }
@@ -999,7 +1241,15 @@ impl Engine {
                             body,
                             constraints: rule.constraints.clone(),
                         };
+                        // Deliberately body-first — the whole point of
+                        // this alternative is one sweep of the surviving
+                        // body — so only index assignment applies, never
+                        // the greedy reorder (which would put the small
+                        // Δ⁻ literal back in front).
                         let mut plan = compile_one(&syn, &ext_ids, None);
+                        if self.planner_enabled {
+                            plan = planner::assign_indexes(plan, &self.catalog);
+                        }
                         plan.id = next_plan_id;
                         next_plan_id += 1;
                         let outer = self.strat.rel_ids[&first.atom.relation];
@@ -1198,6 +1448,14 @@ impl Engine {
                     if !tuples.is_empty() {
                         fill(self.rels[r].as_ref(), &tuples, self.threads);
                     }
+                    // The replacement storage lost the relation's index
+                    // trees; re-register the catalog's permutations (the
+                    // compiled plans still reference their ids) before
+                    // the recompute scans run.
+                    for pi in 0..self.catalog.perms(r).len() {
+                        let perm = self.catalog.perms(r)[pi].clone();
+                        self.rels[r].add_index(&perm, self.threads);
+                    }
                 }
                 self.eval_stratum(stratum, &mut pools, &mut wstats, &mut next_plan_id);
                 outcome.recomputed_strata += 1;
@@ -1208,6 +1466,10 @@ impl Engine {
 
         self.stats.overdeleted_tuples += outcome.overdeleted;
         self.stats.rederived_tuples += outcome.rederived;
+        for w in &wstats {
+            self.stats.inner_scans_indexed += w.inner_scans_indexed;
+            self.stats.inner_scans_full += w.inner_scans_full;
+        }
         self.stats.removes = self.counters.removes_count();
         let size_after: i64 = self.rels.iter().map(|r| r.len() as i64).sum();
         outcome.net_removed = size_before - size_after;
@@ -1429,6 +1691,7 @@ impl Engine {
                         len: self.rels[i].len(),
                         tree,
                         shard_lens,
+                        index_perms: self.rels[i].index_perms(),
                     }
                 })
                 .collect(),
@@ -1458,10 +1721,24 @@ impl Engine {
     /// Renders the evaluation strategy: strata in execution order and, for
     /// every rule, each compiled semi-naive plan version — the engine's
     /// `EXPLAIN` facility.
+    ///
+    /// With the planner enabled, plans show the cost-chosen literal order
+    /// and the secondary index each scan routes through (`index=[perm]`),
+    /// and any rule the cost model reordered away from source order gets
+    /// a `cardinalities:` line with the relation sizes that justified the
+    /// choice. The catalog is derived locally from the current database —
+    /// `explain` never mutates the engine or builds real indexes.
     pub fn explain(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let names: Vec<&str> = self.program.decls.iter().map(|d| d.name.as_str()).collect();
+        let card_vec: Vec<f64> = self.rels.iter().map(|r| r.len() as f64).collect();
+        let card = |r: usize| card_vec.get(r).copied().unwrap_or(1.0);
+        let local_catalog = self.planner_enabled.then(|| {
+            let mut c = self.catalog.clone();
+            c.merge(&self.derive_needed_catalog(false, &card));
+            c
+        });
         for (si, stratum) in self.strat.strata.iter().enumerate() {
             let rels: Vec<&str> = stratum.relations.iter().map(|&r| names[r]).collect();
             let _ = writeln!(
@@ -1477,13 +1754,67 @@ impl Engine {
             for &ri in &stratum.rules {
                 let rule = &self.program.rules[ri];
                 let _ = writeln!(out, "  rule {ri}: {rule}");
-                let plans = compile_versions(rule, &self.strat.rel_ids, &stratum.relations);
+                let plans = match &local_catalog {
+                    Some(catalog) => planner::plan_versions(
+                        rule,
+                        &self.strat.rel_ids,
+                        &stratum.relations,
+                        &card,
+                        catalog,
+                    ),
+                    None => compile_versions(rule, &self.strat.rel_ids, &stratum.relations),
+                };
+                if local_catalog.is_some() && self.rule_reordered(rule, &stratum.relations, &card) {
+                    let mut parts = Vec::new();
+                    let mut seen = HashSet::new();
+                    for lit in &rule.body {
+                        let r = self.strat.rel_ids[&lit.atom.relation];
+                        if seen.insert(r) {
+                            parts.push(format!("{}={}", names[r], self.rels[r].len()));
+                        }
+                    }
+                    let _ = writeln!(out, "    cardinalities: {}", parts.join(", "));
+                }
                 for (vi, plan) in plans.iter().enumerate() {
                     let _ = writeln!(out, "    version {vi}: {}", plan.describe(&names));
                 }
             }
         }
         out
+    }
+
+    /// Whether the greedy cost order of any semi-naive version of `rule`
+    /// differs from the legacy delta-hoisted source order (drives the
+    /// `cardinalities:` justification line in [`explain`](Self::explain)).
+    fn rule_reordered(
+        &self,
+        rule: &Rule,
+        stratum_rels: &[usize],
+        card: &dyn Fn(usize) -> f64,
+    ) -> bool {
+        let recursive_positions: Vec<usize> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                !l.negated && stratum_rels.contains(&self.strat.rel_ids[&l.atom.relation])
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let versions: Vec<Option<usize>> = if recursive_positions.is_empty() {
+            vec![None]
+        } else {
+            recursive_positions.iter().map(|&p| Some(p)).collect()
+        };
+        versions.into_iter().any(|dp| {
+            let greedy = planner::greedy_order(rule, &self.strat.rel_ids, dp, card);
+            let mut source: Vec<usize> = (0..rule.body.len()).collect();
+            if let Some(p) = dp {
+                source.retain(|&i| i != p);
+                source.insert(0, p);
+            }
+            greedy != source
+        })
     }
 }
 

@@ -63,6 +63,12 @@ pub struct WorkerStats {
     pub tuples_scanned: u64,
     /// Tuples the worker inserted into `new` relations.
     pub tuples_emitted: u64,
+    /// Inner (non-outermost) scans served by a bound prefix or a
+    /// secondary index — a range query rather than a full sweep.
+    pub inner_scans_indexed: u64,
+    /// Inner scans that fell through to an unindexed full sweep of the
+    /// relation (no bound prefix, no secondary index).
+    pub inner_scans_full: u64,
 }
 
 impl WorkerStats {
@@ -72,6 +78,8 @@ impl WorkerStats {
         self.chunks_stolen += other.chunks_stolen;
         self.tuples_scanned += other.tuples_scanned;
         self.tuples_emitted += other.tuples_emitted;
+        self.inner_scans_indexed += other.inner_scans_indexed;
+        self.inner_scans_full += other.inner_scans_full;
     }
 }
 
@@ -92,18 +100,32 @@ impl Slot {
     }
 }
 
+/// A secondary index chosen for a scan step: the registered index id on
+/// the scanned relation plus the column permutation it is keyed by. The
+/// permutation is carried in the plan (rather than looked up at run time)
+/// so workers can translate prefix values and result tuples without
+/// touching shared catalog state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct IndexSel {
+    pub id: usize,
+    pub perm: Vec<usize>,
+}
+
 /// One step of a compiled plan.
 #[derive(Clone, Debug)]
 pub(crate) enum Step {
     /// Scan a relation with the leading `prefix` bound; `checks` are
     /// equality constraints on later columns; `binds` assign columns to
-    /// fresh variables.
+    /// fresh variables. When `index` is set, the prefix is in the index's
+    /// *permuted* column order and the scan routes through
+    /// [`RelationStorage::scan_index`].
     Scan {
         rel: usize,
         delta: bool,
         prefix: Vec<Slot>,
         checks: Vec<(usize, Slot)>,
         binds: Vec<(usize, usize)>,
+        index: Option<IndexSel>,
     },
     /// Membership test of a fully bound tuple (possibly negated).
     Check {
@@ -171,10 +193,13 @@ pub(crate) fn compile_one(
 
 /// [`compile_one`] with an explicit hoisting choice. `hoist: false` leaves
 /// the delta literal at its source position: when hoisting would strand a
-/// later literal without any bound prefix (an unindexed full scan *per
-/// outer tuple*), evaluating the body in source order and probing the
-/// delta where it sits is asymptotically cheaper — the full scan becomes
-/// the outermost loop and runs once, chunked across workers.
+/// later literal without any bound prefix, evaluating the body in source
+/// order and probing the delta where it sits can be cheaper — the full
+/// scan becomes the outermost loop and runs once, chunked across workers.
+/// With the planner enabled this fallback rarely fires: stranded scans are
+/// usually rescued first by cost-based reordering and then by a secondary
+/// index covering the bound columns ([`crate::planner::assign_indexes`]),
+/// and [`has_unprefixed_inner_scan`] only reports scans neither could fix.
 pub(crate) fn compile_one_at(
     rule: &Rule,
     rel_ids: &HashMap<String, usize>,
@@ -187,7 +212,20 @@ pub(crate) fn compile_one_at(
         order.retain(|&i| i != p);
         order.insert(0, p);
     }
+    compile_ordered(rule, rel_ids, delta_pos, &order)
+}
 
+/// Compiles one version with a fully explicit literal evaluation order
+/// (`order[0]` becomes the outermost loop). The cost-based planner
+/// computes orders from relation cardinalities and calls this directly;
+/// [`compile_one_at`] is the legacy source-order wrapper.
+pub(crate) fn compile_ordered(
+    rule: &Rule,
+    rel_ids: &HashMap<String, usize>,
+    delta_pos: Option<usize>,
+    order: &[usize],
+) -> Plan {
+    debug_assert_eq!(order.len(), rule.body.len());
     let mut var_ids: HashMap<String, usize> = HashMap::new();
     let mut bound: Vec<bool> = Vec::new();
     fn var_of(var_ids: &mut HashMap<String, usize>, bound: &mut Vec<bool>, name: &str) -> usize {
@@ -202,7 +240,7 @@ pub(crate) fn compile_one_at(
     }
 
     let mut steps = Vec::with_capacity(rule.body.len());
-    for &li in &order {
+    for &li in order {
         let lit = &rule.body[li];
         let rel = rel_ids[&lit.atom.relation];
         let delta = delta_pos == Some(li);
@@ -277,6 +315,7 @@ pub(crate) fn compile_one_at(
             prefix,
             checks,
             binds,
+            index: None,
         });
     }
 
@@ -338,16 +377,17 @@ pub(crate) fn compile_one_at(
     }
 }
 
-/// Whether any non-outermost step is a scan with no bound prefix — an
-/// unindexed full scan re-run once per outer tuple. Such plans are only
-/// worth keeping when the outer loop is known to be tiny; the retraction
-/// planner uses this to decide between delta-hoisted and source-order
-/// versions of its synthetic rules.
+/// Whether any non-outermost step is a scan with no bound prefix *and* no
+/// secondary index — an unindexed full scan re-run once per outer tuple.
+/// Such plans are only worth keeping when the outer loop is known to be
+/// tiny; the retraction planner uses this to decide between delta-hoisted
+/// and source-order versions of its synthetic rules (checked *after*
+/// index assignment, so an index-served reverse join no longer triggers
+/// the fallback).
 pub(crate) fn has_unprefixed_inner_scan(plan: &Plan) -> bool {
-    plan.steps
-        .iter()
-        .skip(1)
-        .any(|s| matches!(s, Step::Scan { prefix, .. } if prefix.is_empty()))
+    plan.steps.iter().skip(1).any(
+        |s| matches!(s, Step::Scan { prefix, index, .. } if prefix.is_empty() && index.is_none()),
+    )
 }
 
 /// The relation id whose delta the plan reads, if any. Evaluating a plan
@@ -382,6 +422,7 @@ impl Plan {
                     prefix,
                     checks,
                     binds,
+                    index,
                 } => {
                     let src = if *delta {
                         format!("Δ{}", names[*rel])
@@ -389,6 +430,16 @@ impl Plan {
                         names[*rel].to_string()
                     };
                     let mut detail = Vec::new();
+                    if let Some(sel) = index {
+                        detail.push(format!(
+                            "index=[{}]",
+                            sel.perm
+                                .iter()
+                                .map(|c| c.to_string())
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        ));
+                    }
                     if !prefix.is_empty() {
                         detail.push(format!(
                             "prefix=({})",
@@ -415,7 +466,11 @@ impl Plan {
                                 .join(",")
                         ));
                     }
-                    let kind = if prefix.is_empty() { "scan" } else { "range" };
+                    let kind = if prefix.is_empty() && index.is_none() {
+                        "scan"
+                    } else {
+                        "range"
+                    };
                     parts.push(format!("{kind} {src} {}", detail.join(" ")));
                 }
                 Step::Check {
@@ -830,19 +885,34 @@ impl Evaluator<'_, '_, '_> {
                 prefix,
                 checks,
                 binds,
+                index,
             } => {
                 let consts: Vec<u64> = prefix.iter().map(|s| s.value(vars)).collect();
                 let storage = self.env.source(*rel, *delta);
                 let role = u8::from(*delta);
+                if index.is_some() || !prefix.is_empty() {
+                    self.stats.inner_scans_indexed += 1;
+                } else {
+                    self.stats.inner_scans_full += 1;
+                }
                 // Materialize matches first: the scan holds the storage
                 // context mutably, and deeper steps need other contexts.
                 let mut matches: Vec<TupleBuf> = Vec::new();
                 {
                     let site = (self.plan.id << 8) | si;
                     let ctx = self.ctxs.ctx(storage, *rel, role, site);
-                    storage.scan_prefix(&consts, ctx, &mut |t| {
-                        matches.push(*t);
-                    });
+                    match index {
+                        Some(sel) => {
+                            storage.scan_index(sel.id, &sel.perm, &consts, ctx, &mut |t| {
+                                matches.push(*t);
+                            });
+                        }
+                        None => {
+                            storage.scan_prefix(&consts, ctx, &mut |t| {
+                                matches.push(*t);
+                            });
+                        }
+                    }
                 }
                 self.stats.tuples_scanned += matches.len() as u64;
                 'tuples: for t in &matches {

@@ -46,6 +46,7 @@ mod engine;
 mod eval;
 pub mod io;
 mod parser;
+mod planner;
 mod report;
 pub mod storage;
 mod strat;

@@ -1,0 +1,683 @@
+//! Cost-based join ordering and automatic secondary index selection.
+//!
+//! Souffl-style evaluation only indexes joins on a *leading-column*
+//! prefix of the primary tree; any literal binding a non-leading column
+//! degrades to a full scan per outer tuple. This module closes that gap
+//! with the companion optimization from the Soufflé ecosystem (auto-index
+//! selection, "MinIndex") plus a small cardinality-greedy join orderer:
+//!
+//! 1. **Signature collection** ([`scan_signatures`]): every non-outermost
+//!    scan of a compiled plan contributes the *set* of columns that are
+//!    bound when it runs — a bitmask point in the subset lattice of the
+//!    relation's columns.
+//! 2. **Minimum chain cover** ([`cover_masks`]): by Dilworth's theorem
+//!    the minimum number of indexes covering all signatures equals the
+//!    number of chains in a minimum chain partition of that lattice,
+//!    computed via maximum bipartite matching on strict-subset pairs
+//!    (Kuhn's augmenting paths). Each chain S₁ ⊂ S₂ ⊂ … ⊂ Sₖ yields one
+//!    column permutation — S₁'s columns, then S₂∖S₁, …, then the
+//!    unconstrained remainder — so a single extra B-tree serves every
+//!    search in the chain as a leading-prefix range query.
+//! 3. **Cost-based ordering** ([`greedy_order`]): literals are picked
+//!    greedily by estimated result size `n^((a-b)/a)` (relation
+//!    cardinality `n`, arity `a`, bound columns `b` — the textbook
+//!    bound-fraction heuristic), with negations probed as soon as they
+//!    are fully bound and cross products pushed to the back.
+//! 4. **Index assignment** ([`assign_indexes`]): a second pass over the
+//!    compiled plan rewrites every scan whose bound-column set is served
+//!    by a registered index: the bound columns move from `checks` into a
+//!    *permuted* prefix and the step carries an [`IndexSel`] the workers
+//!    route through [`crate::storage::RelationStorage::scan_index`].
+//!
+//! The catalog ([`IndexCatalog`]) is derived by the engine from the scan
+//! signatures of *all* plans it will run — program rules (every
+//! semi-naive version) and, once retraction is exercised, the DRed
+//! machinery's synthesized Δ⁻ rules, which is how the reverse joins of
+//! the overdelete phase pick up their `{2,1}`-style indexes
+//! automatically.
+
+use crate::ast::{Rule, Term};
+use crate::eval::{compile_one_at, compile_ordered, IndexSel, Plan, Slot, Step};
+use std::collections::{HashMap, HashSet};
+
+/// The set of secondary-index permutations registered per relation.
+///
+/// A permutation's position in its relation's list is the storage-level
+/// index id ([`crate::storage::RelationStorage::add_index`] dedupes by
+/// permutation, so engine-side and storage-side ids stay aligned as long
+/// as both register in the same order — which [`add`](Self::add)'s
+/// dedupe-by-perm guarantees).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct IndexCatalog {
+    /// Declared arity per relation id. Permutations cover exactly the
+    /// declared columns; trailing [`crate::ast::MAX_ARITY`] padding is
+    /// zero on both sides of the permutation and never affects order.
+    arities: Vec<usize>,
+    /// Registered permutations per relation, in registration order.
+    perms: Vec<Vec<Vec<usize>>>,
+}
+
+impl IndexCatalog {
+    pub(crate) fn new(arities: &[usize]) -> Self {
+        Self {
+            arities: arities.to_vec(),
+            perms: vec![Vec::new(); arities.len()],
+        }
+    }
+
+    pub(crate) fn nrels(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// Registers `perm` on `rel`, returning its index id; re-registering
+    /// an existing permutation returns the original id.
+    pub(crate) fn add(&mut self, rel: usize, perm: Vec<usize>) -> usize {
+        debug_assert_eq!(
+            perm.len(),
+            self.arities[rel],
+            "index permutation must cover exactly the declared columns"
+        );
+        if let Some(i) = self.perms[rel].iter().position(|p| *p == perm) {
+            return i;
+        }
+        self.perms[rel].push(perm);
+        self.perms[rel].len() - 1
+    }
+
+    /// The registered permutations of `rel`, id-ordered.
+    pub(crate) fn perms(&self, rel: usize) -> &[Vec<usize>] {
+        &self.perms[rel]
+    }
+
+    /// Finds an index on `rel` whose leading columns are exactly the
+    /// bound-column set `mask`, returning `(id, perm)`.
+    pub(crate) fn find(&self, rel: usize, mask: u32) -> Option<(usize, &[usize])> {
+        if rel >= self.perms.len() {
+            return None;
+        }
+        let k = mask.count_ones() as usize;
+        self.perms[rel].iter().enumerate().find_map(|(i, perm)| {
+            if perm.len() < k {
+                return None;
+            }
+            let lead: u32 = perm[..k].iter().map(|&c| 1u32 << c).sum();
+            (lead == mask).then_some((i, perm.as_slice()))
+        })
+    }
+
+    /// Merges `other`'s permutations into `self` (existing ids keep their
+    /// positions; genuinely new permutations are appended).
+    pub(crate) fn merge(&mut self, other: &IndexCatalog) {
+        for rel in 0..other.perms.len().min(self.perms.len()) {
+            for perm in &other.perms[rel] {
+                self.add(rel, perm.clone());
+            }
+        }
+    }
+}
+
+/// A mask is a *prefix run* (`{0, 1, …, k-1}`) iff `mask + 1` is a power
+/// of two — those searches are served by the primary tree for free.
+fn is_prefix_run(mask: u32) -> bool {
+    mask & (mask + 1) == 0
+}
+
+/// The first step index after which each variable is bound (`usize::MAX`
+/// when never bound — head-only or constraint-only variables).
+fn bound_at_steps(plan: &Plan) -> Vec<usize> {
+    let mut bound_at = vec![usize::MAX; plan.nvars];
+    for (si, step) in plan.steps.iter().enumerate() {
+        if let Step::Scan { binds, .. } = step {
+            for (_, v) in binds {
+                if bound_at[*v] == usize::MAX {
+                    bound_at[*v] = si;
+                }
+            }
+        }
+    }
+    bound_at
+}
+
+/// Columns of the scan at step `si` whose values are fixed *before* the
+/// step runs: the bound prefix plus every check against a constant or a
+/// variable bound by an earlier step. A repeated variable bound by this
+/// scan's own binds (e.g. `e(X, X)`) is excluded — it must stay a
+/// post-scan check.
+fn eligible_columns(step: &Step, si: usize, bound_at: &[usize]) -> (u32, Vec<(usize, Slot)>) {
+    let Step::Scan { prefix, checks, .. } = step else {
+        return (0, Vec::new());
+    };
+    let mut mask = 0u32;
+    let mut cols = Vec::new();
+    for (c, slot) in prefix.iter().enumerate() {
+        mask |= 1 << c;
+        cols.push((c, *slot));
+    }
+    for (c, slot) in checks {
+        let eligible = match slot {
+            Slot::Const(_) => true,
+            Slot::Var(v) => bound_at[*v] < si,
+        };
+        if eligible {
+            mask |= 1 << *c;
+            cols.push((*c, *slot));
+        }
+    }
+    (mask, cols)
+}
+
+/// The bound-column signature of every non-outermost scan in `plan`, as
+/// `(rel, mask)` pairs. Skipped: delta scans (side tables are rebuilt
+/// every iteration — indexing them would never amortize), pseudo
+/// relations at ids `≥ nrels` (the retraction engine's per-call deletion
+/// accumulators), empty masks, and prefix runs the primary tree already
+/// serves.
+pub(crate) fn scan_signatures(plan: &Plan, nrels: usize) -> Vec<(usize, u32)> {
+    let bound_at = bound_at_steps(plan);
+    let mut out = Vec::new();
+    for (si, step) in plan.steps.iter().enumerate().skip(1) {
+        let Step::Scan { rel, delta, .. } = step else {
+            continue;
+        };
+        if *delta || *rel >= nrels {
+            continue;
+        }
+        let (mask, _) = eligible_columns(step, si, &bound_at);
+        if mask != 0 && !is_prefix_run(mask) {
+            out.push((*rel, mask));
+        }
+    }
+    out
+}
+
+/// Minimum chain cover of a set of search signatures (Soufflé's
+/// "MinIndex" construction): returns the smallest set of column
+/// permutations such that every mask is the leading-column set of some
+/// permutation. Masks that are empty or prefix runs are dropped first
+/// (the primary tree serves them); `arity` pads each permutation out to
+/// a full column bijection so the index tree stores whole tuples.
+pub(crate) fn cover_masks(masks: &[u32], arity: usize) -> Vec<Vec<usize>> {
+    let full = (1u32 << arity) - 1;
+    let mut uniq: Vec<u32> = masks
+        .iter()
+        .map(|&m| m & full)
+        .filter(|&m| m != 0 && !is_prefix_run(m))
+        .collect();
+    uniq.sort_unstable();
+    uniq.dedup();
+    if uniq.is_empty() {
+        return Vec::new();
+    }
+    let n = uniq.len();
+    // Maximum bipartite matching over strict-subset pairs (Kuhn's
+    // augmenting paths): left side = chain predecessors, right side =
+    // chain successors. Dilworth: #chains = n − |matching|.
+    let adj: Vec<Vec<usize>> = uniq
+        .iter()
+        .map(|&a| {
+            uniq.iter()
+                .enumerate()
+                .filter(|&(_, &b)| a != b && a & b == a)
+                .map(|(j, _)| j)
+                .collect()
+        })
+        .collect();
+    fn augment(
+        i: usize,
+        adj: &[Vec<usize>],
+        seen: &mut [bool],
+        succ_of: &mut [usize],
+        pred_of: &mut [usize],
+    ) -> bool {
+        for &j in &adj[i] {
+            if seen[j] {
+                continue;
+            }
+            seen[j] = true;
+            if pred_of[j] == usize::MAX || augment(pred_of[j], adj, seen, succ_of, pred_of) {
+                succ_of[i] = j;
+                pred_of[j] = i;
+                return true;
+            }
+        }
+        false
+    }
+    let mut succ_of = vec![usize::MAX; n];
+    let mut pred_of = vec![usize::MAX; n];
+    for i in 0..n {
+        let mut seen = vec![false; n];
+        augment(i, &adj, &mut seen, &mut succ_of, &mut pred_of);
+    }
+    // Each chain starts at a mask with no matched predecessor; walking
+    // successor links visits S₁ ⊂ S₂ ⊂ … ⊂ Sₖ in order.
+    let mut perms = Vec::new();
+    for start in 0..n {
+        if pred_of[start] != usize::MAX {
+            continue;
+        }
+        let mut perm: Vec<usize> = Vec::with_capacity(arity);
+        let mut covered = 0u32;
+        let mut cur = start;
+        loop {
+            push_cols(uniq[cur] & !covered, &mut perm);
+            covered |= uniq[cur];
+            if succ_of[cur] == usize::MAX {
+                break;
+            }
+            cur = succ_of[cur];
+        }
+        push_cols(full & !covered, &mut perm);
+        perms.push(perm);
+    }
+    perms
+}
+
+/// Appends the column indices of `mask` in ascending order.
+fn push_cols(mask: u32, out: &mut Vec<usize>) {
+    for c in 0..32 {
+        if mask & (1 << c) != 0 {
+            out.push(c);
+        }
+    }
+}
+
+/// Derives the index catalog a set of plans needs: collect every scan
+/// signature, then per relation compute the minimum chain cover.
+pub(crate) fn derive_catalog(plans: &[Plan], arities: &[usize]) -> IndexCatalog {
+    let mut per_rel: Vec<Vec<u32>> = vec![Vec::new(); arities.len()];
+    for plan in plans {
+        for (rel, mask) in scan_signatures(plan, arities.len()) {
+            per_rel[rel].push(mask);
+        }
+    }
+    let mut catalog = IndexCatalog::new(arities);
+    for (rel, masks) in per_rel.iter().enumerate() {
+        for perm in cover_masks(masks, arities[rel]) {
+            catalog.add(rel, perm);
+        }
+    }
+    catalog
+}
+
+/// Greedy cardinality-driven literal ordering. The delta literal (if
+/// any) is forced outermost — semi-naive evaluation depends on it — and
+/// the rest are picked smallest-estimated-cost first:
+///
+/// * positive literal: `n^((a−b)/a)` with `n` the relation's cardinality,
+///   `a` its arity and `b` its bound columns (constants + variables bound
+///   by already-picked literals) — the estimated number of matching
+///   tuples per outer binding;
+/// * a literal with *no* bound column that would not be outermost is a
+///   cross product and is penalized `×10⁹`;
+/// * a fully bound negation costs `−1` so it prunes as early as its
+///   variables allow (unbound negations are ineligible until then).
+///
+/// Ties resolve to source order, which keeps plans — and `EXPLAIN`
+/// output — deterministic across runs and thread counts.
+pub(crate) fn greedy_order(
+    rule: &Rule,
+    rel_ids: &HashMap<String, usize>,
+    delta_pos: Option<usize>,
+    card: &dyn Fn(usize) -> f64,
+) -> Vec<usize> {
+    let nlits = rule.body.len();
+    let mut order: Vec<usize> = Vec::with_capacity(nlits);
+    let mut used = vec![false; nlits];
+    let mut bound: HashSet<&str> = HashSet::new();
+    if let Some(p) = delta_pos {
+        order.push(p);
+        used[p] = true;
+        for t in &rule.body[p].atom.terms {
+            if let Term::Var(v) = t {
+                bound.insert(v.as_str());
+            }
+        }
+    }
+    while order.len() < nlits {
+        let mut best: Option<(f64, usize)> = None;
+        for li in 0..nlits {
+            if used[li] {
+                continue;
+            }
+            let lit = &rule.body[li];
+            let a = lit.atom.terms.len().max(1);
+            let mut b = 0usize;
+            let mut unbound_vars = 0usize;
+            for t in &lit.atom.terms {
+                match t {
+                    Term::Const(_) => b += 1,
+                    Term::Var(v) => {
+                        if bound.contains(v.as_str()) {
+                            b += 1;
+                        } else {
+                            unbound_vars += 1;
+                        }
+                    }
+                    Term::Wildcard => {}
+                }
+            }
+            let cost = if lit.negated {
+                if unbound_vars > 0 {
+                    continue; // not yet safe to probe
+                }
+                -1.0
+            } else {
+                let n = card(rel_ids[&lit.atom.relation]).max(1.0);
+                let frac = (a - b) as f64 / a as f64;
+                let mut c = n.powf(frac);
+                if b == 0 && !order.is_empty() {
+                    c *= 1e9;
+                }
+                c
+            };
+            if best.is_none_or(|(bc, _)| cost < bc) {
+                best = Some((cost, li));
+            }
+        }
+        let Some((_, li)) = best else {
+            break; // only not-yet-bound negations remain
+        };
+        order.push(li);
+        used[li] = true;
+        for t in &rule.body[li].atom.terms {
+            if let Term::Var(v) = t {
+                bound.insert(v.as_str());
+            }
+        }
+    }
+    // Safety net — stratification rejects rules that strand a negation,
+    // so this only fires on internally synthesized shapes.
+    for li in 0..nlits {
+        if !used[li] {
+            order.push(li);
+        }
+    }
+    order
+}
+
+/// Second compilation pass: rewrites every inner scan whose bound-column
+/// set is served by a catalog index. The bound columns (prefix slots and
+/// eligible checks) become a prefix *in the index's permuted order* and
+/// the step carries the [`IndexSel`] workers route through
+/// [`crate::storage::RelationStorage::scan_index`]. Outermost scans,
+/// delta scans and pseudo relations are left untouched.
+pub(crate) fn assign_indexes(mut plan: Plan, catalog: &IndexCatalog) -> Plan {
+    let bound_at = bound_at_steps(&plan);
+    for si in 1..plan.steps.len() {
+        let (rel, mask, cols) = match &plan.steps[si] {
+            Step::Scan {
+                rel, delta: false, ..
+            } if *rel < catalog.nrels() => {
+                let (mask, cols) = eligible_columns(&plan.steps[si], si, &bound_at);
+                (*rel, mask, cols)
+            }
+            _ => continue,
+        };
+        if mask == 0 || is_prefix_run(mask) {
+            continue;
+        }
+        let Some((id, perm)) = catalog.find(rel, mask) else {
+            continue;
+        };
+        let sel = IndexSel {
+            id,
+            perm: perm.to_vec(),
+        };
+        let k = mask.count_ones() as usize;
+        let col_slot: HashMap<usize, Slot> = cols.into_iter().collect();
+        let new_prefix: Vec<Slot> = sel.perm[..k].iter().map(|c| col_slot[c]).collect();
+        let Step::Scan {
+            prefix,
+            checks,
+            index,
+            ..
+        } = &mut plan.steps[si]
+        else {
+            unreachable!("matched a scan above")
+        };
+        *prefix = new_prefix;
+        checks.retain(|(c, _)| mask & (1 << *c) == 0);
+        *index = Some(sel);
+    }
+    plan
+}
+
+/// Compiles one version of `rule` with cost-based literal ordering, then
+/// assigns indexes. `hoist: false` compiles in pure source order instead
+/// (the retraction engine's escape hatch for plans where even an indexed
+/// hoist loses to a source-order sweep); indexes are still assigned.
+pub(crate) fn plan_rule(
+    rule: &Rule,
+    rel_ids: &HashMap<String, usize>,
+    delta_pos: Option<usize>,
+    hoist: bool,
+    card: &dyn Fn(usize) -> f64,
+    catalog: &IndexCatalog,
+) -> Plan {
+    let plan = if hoist {
+        let order = greedy_order(rule, rel_ids, delta_pos, card);
+        compile_ordered(rule, rel_ids, delta_pos, &order)
+    } else {
+        compile_one_at(rule, rel_ids, delta_pos, false)
+    };
+    assign_indexes(plan, catalog)
+}
+
+/// Planner twin of [`crate::eval::compile_versions`]: one cost-ordered,
+/// index-assigned plan per semi-naive version of `rule`.
+pub(crate) fn plan_versions(
+    rule: &Rule,
+    rel_ids: &HashMap<String, usize>,
+    stratum_rels: &[usize],
+    card: &dyn Fn(usize) -> f64,
+    catalog: &IndexCatalog,
+) -> Vec<Plan> {
+    let recursive_positions: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.negated && stratum_rels.contains(&rel_ids[&l.atom.relation]))
+        .map(|(i, _)| i)
+        .collect();
+    if recursive_positions.is_empty() {
+        return vec![plan_rule(rule, rel_ids, None, true, card, catalog)];
+    }
+    recursive_positions
+        .iter()
+        .map(|&p| plan_rule(rule, rel_ids, Some(p), true, card, catalog))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn rel_ids(names: &[&str]) -> HashMap<String, usize> {
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.to_string(), i))
+            .collect()
+    }
+
+    #[test]
+    fn prefix_runs_are_dropped() {
+        // {0} and {0,1} are leading prefixes — the primary tree serves them.
+        assert!(cover_masks(&[0b1, 0b11], 3).is_empty());
+    }
+
+    #[test]
+    fn single_mask_single_perm() {
+        // {1} on a binary relation → index keyed column 1 then column 0.
+        assert_eq!(cover_masks(&[0b10], 2), vec![vec![1, 0]]);
+    }
+
+    #[test]
+    fn chain_collapses_to_one_perm() {
+        // {2} ⊂ {1,2} ⊂ {1,2,3}: one chain, one index.
+        assert_eq!(
+            cover_masks(&[0b100, 0b110, 0b1110], 4),
+            vec![vec![2, 1, 3, 0]]
+        );
+    }
+
+    #[test]
+    fn incomparable_masks_need_two_perms() {
+        // {1,2} and {0,2} are incomparable — no single leading-column
+        // order serves both.
+        let perms = cover_masks(&[0b110, 0b101], 3);
+        assert_eq!(perms.len(), 2);
+        for p in &perms {
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2], "each perm is a full bijection");
+        }
+    }
+
+    #[test]
+    fn diamond_takes_two_chains() {
+        // {1}, {2} ⊂ {1,2}: maximum matching has size 1 → two chains.
+        let perms = cover_masks(&[0b10, 0b100, 0b110], 3);
+        assert_eq!(perms.len(), 2);
+        // One of the chains runs {1} ⊂ {1,2} or {2} ⊂ {1,2}; both masks
+        // must be served by *some* perm's leading columns.
+        let serves = |mask: u32| {
+            perms.iter().any(|p| {
+                let k = mask.count_ones() as usize;
+                p[..k].iter().map(|&c| 1u32 << c).sum::<u32>() == mask
+            })
+        };
+        assert!(serves(0b10) && serves(0b100) && serves(0b110));
+    }
+
+    #[test]
+    fn greedy_puts_small_relation_first() {
+        let p = parse(
+            ".decl big(x:n, y:n)\n.decl small(y:n, z:n)\n.decl out(x:n, z:n)\n\
+             out(X,Z) :- big(X,Y), small(Y,Z).",
+        )
+        .unwrap();
+        let ids = rel_ids(&["big", "small", "out"]);
+        let card = |r: usize| if r == 0 { 1_000_000.0 } else { 10.0 };
+        assert_eq!(greedy_order(&p.rules[0], &ids, None, &card), vec![1, 0]);
+    }
+
+    #[test]
+    fn greedy_keeps_delta_outermost() {
+        let p = parse(
+            ".decl edge(x:n, y:n)\n.decl path(x:n, y:n)\n\
+             path(X,Z) :- path(X,Y), edge(Y,Z).",
+        )
+        .unwrap();
+        let ids = rel_ids(&["edge", "path"]);
+        let card = |_: usize| 1000.0;
+        assert_eq!(greedy_order(&p.rules[0], &ids, Some(0), &card), vec![0, 1]);
+    }
+
+    #[test]
+    fn greedy_probes_negation_as_soon_as_bound() {
+        let p = parse(
+            ".decl a(x:n)\n.decl b(x:n)\n.decl c(x:n, y:n)\n.decl out(x:n, y:n)\n\
+             out(X,Y) :- a(X), c(X,Y), !b(X).",
+        )
+        .unwrap();
+        let ids = rel_ids(&["a", "b", "c", "out"]);
+        let card = |_: usize| 100.0;
+        // !b(X) is eligible right after a(X) binds X — before c's scan.
+        assert_eq!(greedy_order(&p.rules[0], &ids, None, &card), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn signatures_skip_outermost_and_prefix_served() {
+        let p = parse(
+            ".decl probe(x:n)\n.decl fact(y:n, x:n)\n.decl out(x:n)\n\
+             out(X) :- probe(X), fact(Y, X).",
+        )
+        .unwrap();
+        let ids = rel_ids(&["probe", "fact", "out"]);
+        let plan = compile_one_at(&p.rules[0], &ids, None, true);
+        // fact's column 1 is bound when its scan runs → signature {1}.
+        assert_eq!(scan_signatures(&plan, 3), vec![(1, 0b10)]);
+    }
+
+    #[test]
+    fn assign_rewrites_scan_to_permuted_prefix() {
+        let p = parse(
+            ".decl probe(x:n)\n.decl fact(y:n, x:n)\n.decl out(x:n)\n\
+             out(X) :- probe(X), fact(Y, X).",
+        )
+        .unwrap();
+        let ids = rel_ids(&["probe", "fact", "out"]);
+        let mut catalog = IndexCatalog::new(&[1, 2, 1]);
+        catalog.add(1, vec![1, 0]);
+        let plan = assign_indexes(compile_one_at(&p.rules[0], &ids, None, true), &catalog);
+        match &plan.steps[1] {
+            Step::Scan {
+                prefix,
+                checks,
+                index,
+                ..
+            } => {
+                assert_eq!(prefix.len(), 1, "bound column moved into the prefix");
+                assert!(checks.is_empty(), "covered check folded away");
+                let sel = index.as_ref().expect("index assigned");
+                assert_eq!((sel.id, sel.perm.as_slice()), (0, &[1usize, 0][..]));
+            }
+            other => panic!("unexpected step {other:?}"),
+        }
+        assert!(!crate::eval::has_unprefixed_inner_scan(&plan));
+    }
+
+    #[test]
+    fn repeated_variable_check_survives_assignment() {
+        // fact(Y, Y): the second Y is bound by the scan's own bind — it
+        // must stay a check even when an index exists.
+        let p = parse(
+            ".decl probe(x:n)\n.decl fact(y:n, x:n)\n.decl out(x:n)\n\
+             out(X) :- probe(X), fact(Y, Y).",
+        )
+        .unwrap();
+        let ids = rel_ids(&["probe", "fact", "out"]);
+        let mut catalog = IndexCatalog::new(&[1, 2, 1]);
+        catalog.add(1, vec![1, 0]);
+        let plan = assign_indexes(compile_one_at(&p.rules[0], &ids, None, true), &catalog);
+        match &plan.steps[1] {
+            Step::Scan { checks, index, .. } => {
+                assert_eq!(checks.len(), 1, "intra-tuple equality stays a check");
+                assert!(index.is_none(), "no eligible bound column → no index");
+            }
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+
+    #[test]
+    fn catalog_find_and_dedupe() {
+        let mut c = IndexCatalog::new(&[2, 3]);
+        assert_eq!(c.add(1, vec![2, 0, 1]), 0);
+        assert_eq!(c.add(1, vec![2, 0, 1]), 0, "dedupe keeps the id");
+        assert_eq!(c.add(1, vec![1, 2, 0]), 1);
+        assert_eq!(c.find(1, 0b100).map(|(i, _)| i), Some(0));
+        assert_eq!(c.find(1, 0b110).map(|(i, _)| i), Some(1));
+        assert_eq!(c.find(1, 0b011), None);
+        assert_eq!(c.find(0, 0b10), None);
+    }
+
+    #[test]
+    fn derive_catalog_from_reverse_join() {
+        // The DRed overdelete shape: Δedge outer, path scanned with its
+        // second column bound → path needs a [1,0] index.
+        let p = parse(
+            ".decl edge(x:n, y:n)\n.decl path(x:n, y:n)\n\
+             path(X,Z) :- path(X,Y), edge(Y,Z).",
+        )
+        .unwrap();
+        let ids = rel_ids(&["edge", "path"]);
+        // Delta on edge (position 1): hoisting strands path(X,Y)... with
+        // Y bound, exactly the reverse join.
+        let plan = compile_one_at(&p.rules[0], &ids, Some(1), true);
+        let catalog = derive_catalog(&[plan], &[2, 2]);
+        assert_eq!(catalog.perms(1), &[vec![1, 0]]);
+        assert!(catalog.perms(0).is_empty());
+    }
+}

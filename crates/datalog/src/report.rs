@@ -32,6 +32,10 @@ pub struct RelationReport {
     /// backends. `max / mean` of this vector is the relation's balance
     /// figure.
     pub shard_lens: Vec<usize>,
+    /// Column permutations of the secondary indexes maintained on this
+    /// relation (chosen by the query planner), in index-id order; empty
+    /// when the relation has none or the backend does not support them.
+    pub index_perms: Vec<Vec<usize>>,
 }
 
 /// Point-in-time storage health of every relation of an engine, from
@@ -68,6 +72,14 @@ impl StorageReport {
                     let _ = writeln!(out, "{}: {} tuples (no tree census)", rel.name, rel.len);
                 }
             }
+            if !rel.index_perms.is_empty() {
+                let perms: Vec<String> = rel
+                    .index_perms
+                    .iter()
+                    .map(|p| format!("{p:?}"))
+                    .collect();
+                let _ = writeln!(out, "  {:<18} {}", "indexes", perms.join(" "));
+            }
             if !rel.shard_lens.is_empty() {
                 let max = rel.shard_lens.iter().max().copied().unwrap_or(0);
                 let mean = rel.len as f64 / rel.shard_lens.len() as f64;
@@ -101,6 +113,15 @@ impl StorageReport {
             }
             let lens: Vec<String> = rel.shard_lens.iter().map(usize::to_string).collect();
             let _ = write!(out, ", \"shard_lens\": [{}]", lens.join(", "));
+            let perms: Vec<String> = rel
+                .index_perms
+                .iter()
+                .map(|p| {
+                    let cols: Vec<String> = p.iter().map(usize::to_string).collect();
+                    format!("[{}]", cols.join(", "))
+                })
+                .collect();
+            let _ = write!(out, ", \"index_perms\": [{}]", perms.join(", "));
             out.push('}');
         }
         out.push_str("]}");

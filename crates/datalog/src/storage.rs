@@ -237,6 +237,50 @@ pub trait RelationStorage: Send + Sync {
         let _ = workers;
         retract_sequential(self, src)
     }
+
+    /// Registers a secondary index keyed by the column permutation `perm`
+    /// (which must cover the relation's full declared arity), backfilling
+    /// it from the current contents on up to `workers` threads. Returns
+    /// the index id — stable for the life of the storage, and idempotent:
+    /// re-registering an existing permutation returns its id without
+    /// rebuilding. The default returns `None` ("not supported"): backends
+    /// without ordered secondary structures serve
+    /// [`scan_index`](Self::scan_index) by filtering instead. Quiescent
+    /// phases only.
+    fn add_index(&mut self, perm: &[usize], workers: usize) -> Option<usize> {
+        let _ = (perm, workers);
+        None
+    }
+
+    /// The column permutations of every registered secondary index, in
+    /// index-id order. Empty for backends without index support.
+    fn index_perms(&self) -> Vec<Vec<usize>> {
+        Vec::new()
+    }
+
+    /// Calls `f` for every tuple `t` with `t[perm[i]] == prefix[i]` for
+    /// all `i < prefix.len()` — a prefix scan *in the permuted column
+    /// order*, yielding tuples in their **original** column order.
+    /// Backends with a registered index `index` serve this as a range scan
+    /// of the permuted tree; the default filters a full scan, which is
+    /// behaviorally identical to the unindexed scan-plus-equality-checks
+    /// it replaces (so the planner may route through `scan_index` on any
+    /// backend). Quiescent phases only.
+    fn scan_index(
+        &self,
+        index: usize,
+        perm: &[usize],
+        prefix: &[u64],
+        ctx: &mut StorageCtx,
+        f: &mut dyn FnMut(&TupleBuf),
+    ) {
+        let _ = (index, ctx);
+        self.for_each(&mut |t| {
+            if prefix.iter().enumerate().all(|(i, &v)| t[perm[i]] == v) {
+                f(t);
+            }
+        });
+    }
 }
 
 /// The universal per-tuple merge fallback: iterate `src`, insert into
@@ -317,10 +361,12 @@ impl StorageKind {
         match self {
             StorageKind::SpecBTree => Box::new(SpecBTreeStorage {
                 tree: BTreeSet::new(),
+                indexes: Vec::new(),
                 hints: true,
             }),
             StorageKind::SpecBTreeNoHints => Box::new(SpecBTreeStorage {
                 tree: BTreeSet::new(),
+                indexes: Vec::new(),
                 hints: false,
             }),
             StorageKind::RbTreeLocked => Box::new(RbTreeStorage(GlobalLock::new(RbTreeSet::new()))),
@@ -355,39 +401,284 @@ fn prefix_upper(prefix: &[u64]) -> Option<TupleBuf> {
 }
 
 // ---------------------------------------------------------------------
+// Secondary index trees (column-permuted copies of the primary)
+// ---------------------------------------------------------------------
+
+/// One secondary index: a B-tree over column-permuted copies of the
+/// primary tuples, so a search binding the permutation's leading columns
+/// becomes an ordinary prefix range scan. `perm` covers the relation's
+/// full declared arity — storing *whole* permuted tuples (not projections)
+/// keeps the index a faithful bijection of the primary, which is what the
+/// sync proptests pin.
+struct IndexTree {
+    perm: Vec<usize>,
+    tree: BTreeSet<MAX_ARITY>,
+}
+
+/// Reorders `t` into index-key order: `out[i] = t[perm[i]]`.
+#[inline]
+fn permute_tuple(perm: &[usize], t: &TupleBuf) -> TupleBuf {
+    let mut out = [0u64; MAX_ARITY];
+    for (i, &c) in perm.iter().enumerate() {
+        out[i] = t[c];
+    }
+    out
+}
+
+/// Inverts [`permute_tuple`]: `out[perm[i]] = p[i]`. Columns beyond the
+/// declared arity are zero in every stored tuple, so this reconstructs
+/// the original buffer exactly.
+#[inline]
+fn unpermute_tuple(perm: &[usize], p: &TupleBuf) -> TupleBuf {
+    let mut out = [0u64; MAX_ARITY];
+    for (i, &c) in perm.iter().enumerate() {
+        out[c] = p[i];
+    }
+    out
+}
+
+impl IndexTree {
+    #[inline]
+    fn permute(&self, t: &TupleBuf) -> TupleBuf {
+        permute_tuple(&self.perm, t)
+    }
+
+    #[inline]
+    fn unpermute(&self, p: &TupleBuf) -> TupleBuf {
+        unpermute_tuple(&self.perm, p)
+    }
+}
+
+/// Sorts `tuples` and inserts them into `tree` on up to `workers` scoped
+/// threads — the backfill path of `add_index`. Sorted, disjoint per-worker
+/// runs make the hinted inserts near-sequential leaf appends.
+/// Sorts ascending on up to `workers` threads: parallel chunk sorts
+/// followed by parallel pairwise merges. Index backfill sorts millions of
+/// permuted tuples in one shot, where a single-threaded `sort_unstable`
+/// is the dominant cost of `add_index` on a populated relation.
+fn par_sort_tuples(tuples: Vec<TupleBuf>, workers: usize) -> Vec<TupleBuf> {
+    let n = tuples.len();
+    let workers = workers.max(1).min(n.max(1));
+    if workers == 1 || n < (1 << 15) {
+        let mut t = tuples;
+        t.sort_unstable();
+        return t;
+    }
+    let per = n.div_ceil(workers);
+    let mut runs: Vec<Vec<TupleBuf>> = tuples.chunks(per).map(<[TupleBuf]>::to_vec).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = runs
+            .drain(..)
+            .map(|mut run| {
+                s.spawn(move || {
+                    run.sort_unstable();
+                    run
+                })
+            })
+            .collect();
+        runs = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    });
+    while runs.len() > 1 {
+        let odd = (runs.len() % 2 == 1).then(|| runs.pop().unwrap());
+        let mut pairs = Vec::with_capacity(runs.len() / 2);
+        while let (Some(b), Some(a)) = (runs.pop(), runs.pop()) {
+            pairs.push((a, b));
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = pairs
+                .into_iter()
+                .map(|(a, b)| s.spawn(move || merge_two_sorted(a, b)))
+                .collect();
+            runs = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        });
+        runs.extend(odd);
+    }
+    runs.pop().unwrap_or_default()
+}
+
+fn merge_two_sorted(a: Vec<TupleBuf>, b: Vec<TupleBuf>) -> Vec<TupleBuf> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Sorts, dedupes, and bulk-builds a packed tree from `tuples` in O(n)
+/// — the backfill path for registering an index on a populated relation.
+fn build_index_tree(tuples: Vec<TupleBuf>, workers: usize) -> BTreeSet<MAX_ARITY> {
+    let mut sorted = par_sort_tuples(tuples, workers);
+    sorted.dedup();
+    BTreeSet::from_sorted(sorted)
+}
+
+fn bulk_insert_sorted(tree: &BTreeSet<MAX_ARITY>, mut tuples: Vec<TupleBuf>, workers: usize) {
+    tuples.sort_unstable();
+    tuples.dedup();
+    let workers = workers.max(1).min(tuples.len().max(1));
+    if workers == 1 {
+        let mut hints = tree.create_hints();
+        for t in &tuples {
+            tree.insert_hinted(*t, &mut hints);
+        }
+        return;
+    }
+    let per = tuples.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        for chunk in tuples.chunks(per) {
+            s.spawn(move || {
+                let mut hints = tree.create_hints();
+                for t in chunk {
+                    tree.insert_hinted(*t, &mut hints);
+                }
+            });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
 // Specialized B-tree backend
 // ---------------------------------------------------------------------
 
 struct SpecBTreeStorage {
     tree: BTreeSet<MAX_ARITY>,
+    indexes: Vec<IndexTree>,
     hints: bool,
+}
+
+/// Per-thread context for [`SpecBTreeStorage`]: hints for the primary
+/// tree plus one hint set per secondary index. `idx` is extended lazily —
+/// contexts created before an index registration grow the missing slots
+/// on first use.
+struct SpecCtx {
+    main: BTreeHints<MAX_ARITY>,
+    idx: Vec<BTreeHints<MAX_ARITY>>,
+}
+
+impl SpecBTreeStorage {
+    #[inline]
+    fn ctx_of(ctx: &mut StorageCtx) -> &mut SpecCtx {
+        ctx.downcast_mut().expect("spec btree ctx")
+    }
+
+    /// The hint set for index `i`, growing the context if it predates the
+    /// index registration.
+    fn idx_hints<'c>(&self, ctx: &'c mut SpecCtx, i: usize) -> &'c mut BTreeHints<MAX_ARITY> {
+        while ctx.idx.len() <= i {
+            ctx.idx.push(self.indexes[ctx.idx.len()].tree.create_hints());
+        }
+        &mut ctx.idx[i]
+    }
+
+    /// Replays every tuple of `src` against all secondary indexes —
+    /// insertion or removal mirroring the primary bulk op that bypassed
+    /// the per-tuple [`RelationStorage::insert`] path. Parallel over
+    /// source chunks; every worker touches every index tree (the trees
+    /// are concurrent, so this contends instead of locking out).
+    fn maintain_indexes(&self, src: &dyn RelationStorage, workers: usize, remove: bool) {
+        if self.indexes.is_empty() || src.is_empty() {
+            return;
+        }
+        let timer = telemetry::start_timer();
+        let chunks = src.partition(workers.max(1) * 2, &[]);
+        let work = |chunk: &StorageChunk, sctx: &mut StorageCtx, hints: &mut Vec<BTreeHints<MAX_ARITY>>| {
+            src.scan_chunk(chunk, sctx, &mut |t| {
+                for (ix, h) in self.indexes.iter().zip(hints.iter_mut()) {
+                    let p = ix.permute(t);
+                    if remove {
+                        ix.tree.remove(&p);
+                    } else {
+                        ix.tree.insert_hinted(p, h);
+                    }
+                }
+            });
+        };
+        let fresh_hints = || -> Vec<BTreeHints<MAX_ARITY>> {
+            self.indexes.iter().map(|ix| ix.tree.create_hints()).collect()
+        };
+        if workers <= 1 || chunks.len() <= 1 {
+            let mut sctx = src.make_ctx();
+            let mut hints = fresh_hints();
+            for c in &chunks {
+                work(c, &mut sctx, &mut hints);
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..workers.min(chunks.len()) {
+                    s.spawn(|| {
+                        let mut sctx = src.make_ctx();
+                        let mut hints = fresh_hints();
+                        loop {
+                            let i = cursor.fetch_add(1, Relaxed);
+                            if i >= chunks.len() {
+                                break;
+                            }
+                            work(&chunks[i], &mut sctx, &mut hints);
+                        }
+                    });
+                }
+            });
+        }
+        timer.observe(telemetry::Hist::EvalIndexMaintainNanos);
+    }
 }
 
 impl RelationStorage for SpecBTreeStorage {
     fn make_ctx(&self) -> StorageCtx {
-        Box::new(self.tree.create_hints())
+        Box::new(SpecCtx {
+            main: self.tree.create_hints(),
+            idx: self.indexes.iter().map(|ix| ix.tree.create_hints()).collect(),
+        })
     }
 
     fn insert(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool {
-        if self.hints {
-            let hints: &mut BTreeHints<MAX_ARITY> = ctx.downcast_mut().expect("spec btree ctx");
-            self.tree.insert_hinted(*t, hints)
+        let ctx = Self::ctx_of(ctx);
+        let added = if self.hints {
+            self.tree.insert_hinted(*t, &mut ctx.main)
         } else {
             self.tree.insert(*t)
+        };
+        if added {
+            for i in 0..self.indexes.len() {
+                let p = self.indexes[i].permute(t);
+                if self.hints {
+                    let h = self.idx_hints(ctx, i);
+                    self.indexes[i].tree.insert_hinted(p, h);
+                } else {
+                    self.indexes[i].tree.insert(p);
+                }
+            }
         }
+        added
     }
 
     fn remove(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
         // No hinted variant: the removal protocol's restart-on-conflict
         // descent re-validates from the root, so a cached leaf lease buys
         // nothing and may be mid-unlink.
-        self.tree.remove(t)
+        let removed = self.tree.remove(t);
+        if removed {
+            for ix in &self.indexes {
+                ix.tree.remove(&ix.permute(t));
+            }
+        }
+        removed
     }
 
     fn contains(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool {
+        let ctx = Self::ctx_of(ctx);
         if self.hints {
-            let hints: &mut BTreeHints<MAX_ARITY> = ctx.downcast_mut().expect("spec btree ctx");
-            self.tree.contains_hinted(t, hints)
+            self.tree.contains_hinted(t, &mut ctx.main)
         } else {
             self.tree.contains(t)
         }
@@ -397,7 +688,7 @@ impl RelationStorage for SpecBTreeStorage {
         let lo = pad(prefix);
         let hi = prefix_upper(prefix);
         if self.hints {
-            let hints: &mut BTreeHints<MAX_ARITY> = ctx.downcast_mut().expect("spec btree ctx");
+            let hints = &mut Self::ctx_of(ctx).main;
             let it = self.tree.lower_bound_hinted(&lo, hints);
             // The explicit upper-bound probe mirrors Figure 1's synthesized
             // code (`upper_bound({t1[1]+1, 0})`) and keeps the Table 2
@@ -463,10 +754,7 @@ impl RelationStorage for SpecBTreeStorage {
             return;
         };
         let it = match (lower, self.hints) {
-            (Some(lo), true) => {
-                let hints: &mut BTreeHints<MAX_ARITY> = ctx.downcast_mut().expect("spec btree ctx");
-                self.tree.lower_bound_hinted(lo, hints)
-            }
+            (Some(lo), true) => self.tree.lower_bound_hinted(lo, &mut Self::ctx_of(ctx).main),
             (Some(lo), false) => self.tree.lower_bound(lo),
             (None, _) => self.tree.iter(),
         };
@@ -498,15 +786,25 @@ impl RelationStorage for SpecBTreeStorage {
     }
 
     fn hint_stats(&self, ctx: &StorageCtx) -> Option<HintStats> {
-        ctx.downcast_ref::<BTreeHints<MAX_ARITY>>().map(|h| h.stats)
+        ctx.downcast_ref::<SpecCtx>().map(|c| {
+            let mut agg = c.main.stats;
+            for h in &c.idx {
+                agg.merge(&h.stats);
+            }
+            agg
+        })
     }
 
     fn clear(&mut self) -> bool {
         // O(slabs) arena reset under `fastpath` (warm slabs retained),
         // recursive node walk otherwise. Clearing re-brands the tree, so
         // hints cached in still-live worker contexts degrade to misses
-        // rather than dangling.
+        // rather than dangling. Index trees clear alongside the primary
+        // but keep their registered permutations.
         self.tree.clear();
+        for ix in &mut self.indexes {
+            ix.tree.clear();
+        }
         true
     }
 
@@ -518,7 +816,15 @@ impl RelationStorage for SpecBTreeStorage {
         match src.as_spec_btree() {
             // Tree-to-tree: the structure-aware parallel merge (partition
             // by the target's separators, bulk-load/splice disjoint runs).
-            Some(tree) => self.tree.insert_all_parallel(tree, workers.max(1)),
+            // The bulk path bypasses per-tuple `insert`, so secondary
+            // indexes are replayed explicitly afterwards.
+            Some(tree) => {
+                let added = self.tree.insert_all_parallel(tree, workers.max(1));
+                self.maintain_indexes(src, workers, false);
+                added
+            }
+            // The per-tuple fallback routes through `insert`, which
+            // maintains indexes inline.
             None => merge_sequential(self, src),
         }
     }
@@ -527,8 +833,90 @@ impl RelationStorage for SpecBTreeStorage {
         match src.as_spec_btree() {
             // Tree-to-tree: chunk the victim set along the target's
             // separators and remove each run on its own worker.
-            Some(tree) => self.tree.remove_all_parallel(tree, workers.max(1)),
+            Some(tree) => {
+                let removed = self.tree.remove_all_parallel(tree, workers.max(1));
+                self.maintain_indexes(src, workers, true);
+                removed
+            }
             None => retract_sequential(self, src),
+        }
+    }
+
+    fn add_index(&mut self, perm: &[usize], workers: usize) -> Option<usize> {
+        if let Some(i) = self.indexes.iter().position(|ix| ix.perm == perm) {
+            return Some(i);
+        }
+        let timer = telemetry::start_timer();
+        let mut ix = IndexTree {
+            perm: perm.to_vec(),
+            tree: BTreeSet::new(),
+        };
+        if !self.tree.is_empty() {
+            let permuted: Vec<TupleBuf> = self.tree.iter().map(|t| ix.permute(&t)).collect();
+            ix.tree = build_index_tree(permuted, workers);
+        }
+        self.indexes.push(ix);
+        timer.observe(telemetry::Hist::EvalIndexMaintainNanos);
+        telemetry::count(telemetry::Counter::EvalIndexBuilds);
+        Some(self.indexes.len() - 1)
+    }
+
+    fn index_perms(&self) -> Vec<Vec<usize>> {
+        self.indexes.iter().map(|ix| ix.perm.clone()).collect()
+    }
+
+    fn scan_index(
+        &self,
+        index: usize,
+        perm: &[usize],
+        prefix: &[u64],
+        ctx: &mut StorageCtx,
+        f: &mut dyn FnMut(&TupleBuf),
+    ) {
+        let Some(ix) = self.indexes.get(index) else {
+            // No such index (e.g. a storage rebuilt mid-retraction before
+            // re-registration): the filtered-full-scan fallback is always
+            // correct.
+            self.for_each(&mut |t| {
+                if prefix.iter().enumerate().all(|(i, &v)| t[perm[i]] == v) {
+                    f(t);
+                }
+            });
+            return;
+        };
+        debug_assert_eq!(ix.perm, perm, "index id / permutation mismatch");
+        let lo = pad(prefix);
+        let hi = prefix_upper(prefix);
+        if self.hints {
+            let ctx = Self::ctx_of(ctx);
+            let h = self.idx_hints(ctx, index);
+            let it = ix.tree.lower_bound_hinted(&lo, h);
+            // Explicit upper-bound probe, mirroring the primary prefix
+            // scan (Figure 1) so Table 2 operation counts stay comparable.
+            if let Some(hi) = &hi {
+                let _ = ix.tree.upper_bound_hinted(hi, h);
+            }
+            for t in it {
+                if let Some(hi) = &hi {
+                    if specbtree::cmp3(&t, hi) != std::cmp::Ordering::Less {
+                        break;
+                    }
+                }
+                f(&ix.unpermute(&t));
+            }
+        } else {
+            let it = ix.tree.lower_bound(&lo);
+            if let Some(hi) = &hi {
+                let _ = ix.tree.upper_bound(hi);
+            }
+            for t in it {
+                if let Some(hi) = &hi {
+                    if specbtree::cmp3(&t, hi) != std::cmp::Ordering::Less {
+                        break;
+                    }
+                }
+                f(&ix.unpermute(&t));
+            }
         }
     }
 }
@@ -567,6 +955,75 @@ pub fn shard_of(t0: u64, nshards: usize) -> usize {
 /// contend on shared parents and the shared arena.
 pub struct ShardedStorage {
     shards: Vec<BTreeSet<MAX_ARITY>>,
+    indexes: Vec<ShardedIndex>,
+}
+
+/// One secondary index of a sharded relation: per-shard permuted trees
+/// routed by the **permuted** leading column, so an index scan (which by
+/// construction binds that column) stays single-shard exactly like a
+/// primary prefix scan.
+struct ShardedIndex {
+    perm: Vec<usize>,
+    shards: Vec<BTreeSet<MAX_ARITY>>,
+}
+
+impl ShardedIndex {
+    #[inline]
+    fn permute_one(&self, t: &TupleBuf) -> TupleBuf {
+        permute_tuple(&self.perm, t)
+    }
+
+    /// Permutes `t` and appends it to the destination-shard bucket.
+    #[inline]
+    fn bucket(&self, t: &TupleBuf, buckets: &mut [Vec<TupleBuf>]) {
+        let p = permute_tuple(&self.perm, t);
+        buckets[shard_of(p[0], buckets.len())].push(p);
+    }
+
+    /// Applies a bucketed batch — sorted hinted inserts or removes — with
+    /// each destination shard owned by exactly one worker: the same
+    /// zero-cross-shard-lock discipline as the primary sharded merge.
+    fn apply_buckets(&self, buckets: Vec<Vec<TupleBuf>>, workers: usize, remove: bool) {
+        let w = workers.max(1).min(buckets.len().max(1));
+        let mut per_worker: Vec<Vec<(usize, Vec<TupleBuf>)>> = (0..w).map(|_| Vec::new()).collect();
+        for (b, bucket) in buckets.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                per_worker[b % w].push((b, bucket));
+            }
+        }
+        let shards = &self.shards;
+        let run = |mine: Vec<(usize, Vec<TupleBuf>)>| {
+            for (b, bucket) in mine {
+                if remove {
+                    for p in &bucket {
+                        shards[b].remove(p);
+                    }
+                } else {
+                    bulk_insert_sorted(&shards[b], bucket, 1);
+                }
+            }
+        };
+        if w == 1 {
+            for mine in per_worker {
+                run(mine);
+            }
+        } else {
+            let run = &run;
+            std::thread::scope(|s| {
+                for mine in per_worker {
+                    s.spawn(move || run(mine));
+                }
+            });
+        }
+    }
+}
+
+/// Per-thread context for [`ShardedStorage`]: one hint set per primary
+/// shard, plus one per shard per secondary index (extended lazily for
+/// contexts that predate an index registration).
+struct ShardedCtx {
+    main: Vec<BTreeHints<MAX_ARITY>>,
+    idx: Vec<Vec<BTreeHints<MAX_ARITY>>>,
 }
 
 impl ShardedStorage {
@@ -574,6 +1031,7 @@ impl ShardedStorage {
     pub fn new(nshards: usize) -> Self {
         Self {
             shards: (0..nshards.max(1)).map(|_| BTreeSet::new()).collect(),
+            indexes: Vec::new(),
         }
     }
 
@@ -595,7 +1053,48 @@ impl ShardedStorage {
 
     #[inline]
     fn hints(ctx: &mut StorageCtx) -> &mut Vec<BTreeHints<MAX_ARITY>> {
-        ctx.downcast_mut().expect("sharded btree ctx")
+        &mut ctx
+            .downcast_mut::<ShardedCtx>()
+            .expect("sharded btree ctx")
+            .main
+    }
+
+    /// The hint set for shard `s` of index `i`, growing the context if it
+    /// predates the index registration.
+    fn idx_hints<'c>(
+        &self,
+        ctx: &'c mut StorageCtx,
+        i: usize,
+        s: usize,
+    ) -> &'c mut BTreeHints<MAX_ARITY> {
+        let ctx = ctx.downcast_mut::<ShardedCtx>().expect("sharded btree ctx");
+        while ctx.idx.len() <= i {
+            let ix = &self.indexes[ctx.idx.len()];
+            ctx.idx.push(ix.shards.iter().map(|t| t.create_hints()).collect());
+        }
+        &mut ctx.idx[i][s]
+    }
+
+    /// Replays every tuple of `src` against all secondary indexes after a
+    /// bulk primary merge/retract that bypassed per-tuple `insert`.
+    /// Materializes the moved set once, buckets it per index by
+    /// *destination index shard*, and applies each bucket on its owning
+    /// worker — zero cross-shard locks, like the primary sharded merge.
+    fn maintain_indexes(&self, src: &dyn RelationStorage, workers: usize, remove: bool) {
+        if self.indexes.is_empty() || src.is_empty() {
+            return;
+        }
+        let timer = telemetry::start_timer();
+        let mut moved = Vec::with_capacity(src.len());
+        src.for_each(&mut |t| moved.push(*t));
+        for ix in &self.indexes {
+            let mut buckets: Vec<Vec<TupleBuf>> = vec![Vec::new(); ix.shards.len()];
+            for t in &moved {
+                ix.bucket(t, &mut buckets);
+            }
+            ix.apply_buckets(buckets, workers, remove);
+        }
+        timer.observe(telemetry::Hist::EvalIndexMaintainNanos);
     }
 
     /// Runs `op(i)` for every shard index on up to `workers` scoped
@@ -642,20 +1141,42 @@ impl RelationStorage for ShardedStorage {
     fn make_ctx(&self) -> StorageCtx {
         // One hint set per shard: a worker's context follows it across
         // whichever shards it ends up scanning or probing.
-        let hints: Vec<BTreeHints<MAX_ARITY>> =
-            self.shards.iter().map(|t| t.create_hints()).collect();
-        Box::new(hints)
+        Box::new(ShardedCtx {
+            main: self.shards.iter().map(|t| t.create_hints()).collect(),
+            idx: self
+                .indexes
+                .iter()
+                .map(|ix| ix.shards.iter().map(|t| t.create_hints()).collect())
+                .collect(),
+        })
     }
 
     fn insert(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool {
         let s = self.route(t[0]);
-        self.shards[s].insert_hinted(*t, &mut Self::hints(ctx)[s])
+        let added = self.shards[s].insert_hinted(*t, &mut Self::hints(ctx)[s]);
+        if added {
+            for i in 0..self.indexes.len() {
+                let ix = &self.indexes[i];
+                let p = ix.permute_one(t);
+                let d = shard_of(p[0], ix.shards.len());
+                let h = self.idx_hints(ctx, i, d);
+                ix.shards[d].insert_hinted(p, h);
+            }
+        }
+        added
     }
 
     fn remove(&self, t: &TupleBuf, _ctx: &mut StorageCtx) -> bool {
         // Unhinted, matching the single-tree backend: the removal
         // protocol restarts from the root anyway.
-        self.shards[self.route(t[0])].remove(t)
+        let removed = self.shards[self.route(t[0])].remove(t);
+        if removed {
+            for ix in &self.indexes {
+                let p = ix.permute_one(t);
+                ix.shards[shard_of(p[0], ix.shards.len())].remove(&p);
+            }
+        }
+        removed
     }
 
     fn contains(&self, t: &TupleBuf, ctx: &mut StorageCtx) -> bool {
@@ -772,9 +1293,9 @@ impl RelationStorage for ShardedStorage {
     }
 
     fn hint_stats(&self, ctx: &StorageCtx) -> Option<HintStats> {
-        ctx.downcast_ref::<Vec<BTreeHints<MAX_ARITY>>>().map(|hs| {
+        ctx.downcast_ref::<ShardedCtx>().map(|c| {
             let mut agg = HintStats::default();
-            for h in hs {
+            for h in c.main.iter().chain(c.idx.iter().flatten()) {
                 agg.merge(&h.stats);
             }
             agg
@@ -784,6 +1305,11 @@ impl RelationStorage for ShardedStorage {
     fn clear(&mut self) -> bool {
         for tree in &mut self.shards {
             tree.clear();
+        }
+        for ix in &mut self.indexes {
+            for tree in &mut ix.shards {
+                tree.clear();
+            }
         }
         true
     }
@@ -801,24 +1327,113 @@ impl RelationStorage for ShardedStorage {
             // Shard-aligned: one worker per shard, each merging its
             // shard's delta into its shard's tree. No cross-shard locks —
             // the per-shard merge runs single-threaded against a tree no
-            // other worker touches.
-            Some(other) if other.shards.len() == self.shards.len() => self
-                .shard_parallel(workers, &|i| {
+            // other worker touches. The bulk path bypasses per-tuple
+            // `insert`, so secondary indexes are replayed afterwards.
+            Some(other) if other.shards.len() == self.shards.len() => {
+                let added = self.shard_parallel(workers, &|i| {
                     self.shards[i].insert_all_parallel(&other.shards[i], 1)
-                }),
+                });
+                self.maintain_indexes(src, workers, false);
+                added
+            }
             // Mismatched shard counts or a foreign backend: route every
-            // tuple through the shard map individually.
+            // tuple through the shard map individually (`insert` maintains
+            // indexes inline).
             _ => merge_sequential(self, src),
         }
     }
 
     fn retract_from(&self, src: &dyn RelationStorage, workers: usize) -> u64 {
         match src.as_sharded() {
-            Some(other) if other.shards.len() == self.shards.len() => self
-                .shard_parallel(workers, &|i| {
+            Some(other) if other.shards.len() == self.shards.len() => {
+                let removed = self.shard_parallel(workers, &|i| {
                     self.shards[i].remove_all_parallel(&other.shards[i], 1)
-                }),
+                });
+                self.maintain_indexes(src, workers, true);
+                removed
+            }
             _ => retract_sequential(self, src),
+        }
+    }
+
+    fn add_index(&mut self, perm: &[usize], workers: usize) -> Option<usize> {
+        if let Some(i) = self.indexes.iter().position(|ix| ix.perm == perm) {
+            return Some(i);
+        }
+        let timer = telemetry::start_timer();
+        let mut ix = ShardedIndex {
+            perm: perm.to_vec(),
+            shards: (0..self.shards.len()).map(|_| BTreeSet::new()).collect(),
+        };
+        if !self.is_empty() {
+            let mut buckets: Vec<Vec<TupleBuf>> = vec![Vec::new(); ix.shards.len()];
+            for tree in &self.shards {
+                for t in tree.iter() {
+                    ix.bucket(&t, &mut buckets);
+                }
+            }
+            // One packed O(n) build per shard beats routing every tuple
+            // through the insert path of an initially empty tree; leftover
+            // workers parallelize the per-shard sorts.
+            let per_shard = (workers / ix.shards.len()).max(1);
+            let mut built = Vec::with_capacity(buckets.len());
+            std::thread::scope(|s| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|b| s.spawn(move || build_index_tree(b, per_shard)))
+                    .collect();
+                built = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            });
+            ix.shards = built;
+        }
+        self.indexes.push(ix);
+        timer.observe(telemetry::Hist::EvalIndexMaintainNanos);
+        telemetry::count(telemetry::Counter::EvalIndexBuilds);
+        Some(self.indexes.len() - 1)
+    }
+
+    fn index_perms(&self) -> Vec<Vec<usize>> {
+        self.indexes.iter().map(|ix| ix.perm.clone()).collect()
+    }
+
+    fn scan_index(
+        &self,
+        index: usize,
+        perm: &[usize],
+        prefix: &[u64],
+        ctx: &mut StorageCtx,
+        f: &mut dyn FnMut(&TupleBuf),
+    ) {
+        let Some(ix) = self.indexes.get(index) else {
+            self.for_each(&mut |t| {
+                if prefix.iter().enumerate().all(|(i, &v)| t[perm[i]] == v) {
+                    f(t);
+                }
+            });
+            return;
+        };
+        debug_assert_eq!(ix.perm, perm, "index id / permutation mismatch");
+        if prefix.is_empty() {
+            self.for_each(f);
+            return;
+        }
+        // The permuted prefix binds the permuted leading column, so the
+        // scan stays single-shard — same locality as a primary prefix scan.
+        let s = shard_of(prefix[0], ix.shards.len());
+        let lo = pad(prefix);
+        let hi = prefix_upper(prefix);
+        let h = self.idx_hints(ctx, index, s);
+        let it = ix.shards[s].lower_bound_hinted(&lo, h);
+        if let Some(hi) = &hi {
+            let _ = ix.shards[s].upper_bound_hinted(hi, h);
+        }
+        for t in it {
+            if let Some(hi) = &hi {
+                if specbtree::cmp3(&t, hi) != std::cmp::Ordering::Less {
+                    break;
+                }
+            }
+            f(&unpermute_tuple(&ix.perm, &t));
         }
     }
 }
@@ -1249,6 +1864,32 @@ impl RelationStorage for CountingStorage {
         // them all, mirroring `merge_from`'s insert accounting.
         self.counters.add_removes(src.len() as u64);
         self.inner.retract_from(src, workers)
+    }
+
+    fn add_index(&mut self, perm: &[usize], workers: usize) -> Option<usize> {
+        // Registration/backfill is bookkeeping, not a counted tuple op.
+        self.inner.add_index(perm, workers)
+    }
+
+    fn index_perms(&self) -> Vec<Vec<usize>> {
+        self.inner.index_perms()
+    }
+
+    fn scan_index(
+        &self,
+        index: usize,
+        perm: &[usize],
+        prefix: &[u64],
+        ctx: &mut StorageCtx,
+        f: &mut dyn FnMut(&TupleBuf),
+    ) {
+        // An index scan costs the same probes as a bounded prefix scan:
+        // one lower_bound descent plus one explicit upper_bound.
+        self.counters.add_lower_bound(1);
+        if !prefix.is_empty() {
+            self.counters.add_upper_bound(1);
+        }
+        self.inner.scan_index(index, perm, prefix, ctx, f)
     }
 }
 

@@ -1,0 +1,321 @@
+//! Planner equivalence tier: cost-based literal reordering and automatic
+//! secondary indexes are **pure optimizations** — the fixpoint must be
+//! bit-identical with the planner on, with the planner off (legacy
+//! source-order compilation), and against an independent reference closure
+//! computed over std sets, on every storage backend at every thread count,
+//! including under DRed retraction.
+//!
+//! Also pins the observable planner surface: `EvalStats` index counters and
+//! the `EXPLAIN` rendering of chosen permutations and justifying
+//! cardinalities.
+
+use datalog::{parse, Engine, StorageKind};
+use std::collections::BTreeSet;
+use workloads::graphs;
+
+const TC_PROGRAM: &str = r#"
+    .decl edge(x: number, y: number)
+    .decl path(x: number, y: number)
+    .output path
+    path(x, y) :- edge(x, y).
+    path(x, z) :- path(x, y), edge(y, z).
+"#;
+
+/// Reverse reachability: the recursive rule binds `y` from Δback and scans
+/// `edge` on its **second** column — unservable by the primary order, so
+/// the planner must derive a `[1, 0]` secondary index on `edge`.
+const REVERSE_PROGRAM: &str = r#"
+    .decl edge(x: number, y: number)
+    .decl seed(x: number)
+    .decl back(x: number)
+    .output back
+    back(x) :- seed(x).
+    back(x) :- back(y), edge(x, y).
+"#;
+
+/// Adversarial source order: `fact` first (big, nothing bound), `probe`
+/// last (tiny). The cost model must rotate `probe` to the front, after
+/// which `fact` is entered through its second column (`[1, 0]` index).
+const PROBE_PROGRAM: &str = r#"
+    .decl probe(x: number)
+    .decl fact(y: number, x: number)
+    .decl link(y: number, z: number)
+    .decl out(x: number, z: number)
+    .output out
+    out(x, z) :- fact(y, x), link(y, z), probe(x).
+"#;
+
+/// Thread counts to exercise. `DATALOG_TEST_THREADS` (used by the CI smoke
+/// matrix) appends an extra count.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4, 8];
+    if let Ok(extra) = std::env::var("DATALOG_TEST_THREADS") {
+        if let Ok(n) = extra.trim().parse::<usize>() {
+            if !counts.contains(&n) {
+                counts.push(n);
+            }
+        }
+    }
+    counts
+}
+
+/// Every backend, including the sharded tree at several shard counts.
+fn all_kinds() -> impl Iterator<Item = StorageKind> {
+    StorageKind::ALL
+        .into_iter()
+        .chain([1, 2, 8].map(StorageKind::ShardedBTree))
+}
+
+/// Parses `src`, loads `facts`, runs to fixpoint with the planner toggled
+/// per `planner`, and returns relation `out`.
+fn eval_rel(
+    src: &str,
+    facts: &[(&str, Vec<Vec<u64>>)],
+    out: &str,
+    kind: StorageKind,
+    threads: usize,
+    planner: bool,
+) -> Vec<Vec<u64>> {
+    let program = parse(src).unwrap();
+    let mut engine = Engine::new(&program, kind, threads).unwrap();
+    engine.set_planner_enabled(planner);
+    for (name, rows) in facts {
+        engine.add_facts(name, rows.iter().cloned()).unwrap();
+    }
+    engine.run().unwrap();
+    engine.relation(out).unwrap()
+}
+
+/// Planner-on ≡ planner-off ≡ `expect` across the full backend × thread
+/// matrix.
+fn check_matrix(name: &str, src: &str, facts: &[(&str, Vec<Vec<u64>>)], out: &str, expect: &[Vec<u64>]) {
+    for kind in all_kinds() {
+        for threads in thread_counts() {
+            let on = eval_rel(src, facts, out, kind, threads, true);
+            assert_eq!(
+                on, expect,
+                "{name}: planner-on on {kind:?} with {threads} threads \
+                 disagrees with the reference closure"
+            );
+            let off = eval_rel(src, facts, out, kind, threads, false);
+            assert_eq!(
+                off, expect,
+                "{name}: planner-off on {kind:?} with {threads} threads \
+                 disagrees with the reference closure"
+            );
+        }
+    }
+}
+
+fn pairs(edges: &[(u64, u64)]) -> Vec<Vec<u64>> {
+    edges.iter().map(|&(a, b)| vec![a, b]).collect()
+}
+
+#[test]
+fn transitive_closure_matrix() {
+    let edges = graphs::random_graph(30, 3, 0xBEEF);
+    let expect: Vec<Vec<u64>> = graphs::reference_tc(&edges)
+        .into_iter()
+        .map(|(a, b)| vec![a, b])
+        .collect();
+    check_matrix(
+        "tc",
+        TC_PROGRAM,
+        &[("edge", pairs(&edges))],
+        "path",
+        &expect,
+    );
+}
+
+/// Reference reverse reachability over std sets (no engine).
+fn reference_back(edges: &[(u64, u64)], seeds: &[u64]) -> Vec<Vec<u64>> {
+    let mut back: BTreeSet<u64> = seeds.iter().copied().collect();
+    loop {
+        let before = back.len();
+        let next: Vec<u64> = edges
+            .iter()
+            .filter(|&&(_, y)| back.contains(&y))
+            .map(|&(x, _)| x)
+            .collect();
+        back.extend(next);
+        if back.len() == before {
+            break;
+        }
+    }
+    back.into_iter().map(|x| vec![x]).collect()
+}
+
+#[test]
+fn reverse_reachability_matrix() {
+    let edges = graphs::random_graph(40, 3, 0xFACADE);
+    let seeds = [3u64, 17, 29];
+    let expect = reference_back(&edges, &seeds);
+    let facts = [
+        ("edge", pairs(&edges)),
+        ("seed", seeds.iter().map(|&s| vec![s]).collect()),
+    ];
+    check_matrix("reverse", REVERSE_PROGRAM, &facts, "back", &expect);
+}
+
+#[test]
+fn reverse_join_builds_and_uses_secondary_index() {
+    let edges = graphs::chain(200);
+    let program = parse(REVERSE_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 4).unwrap();
+    engine.add_facts("edge", pairs(&edges).into_iter()).unwrap();
+    engine.add_facts("seed", [vec![200u64]].into_iter()).unwrap();
+    engine.run().unwrap();
+    let stats = engine.stats();
+    assert!(
+        stats.index_builds >= 1,
+        "the reverse join needs a [1,0] index on edge: {stats:?}"
+    );
+    assert!(
+        stats.inner_scans_indexed > 0,
+        "inner edge probes must route through the secondary index: {stats:?}"
+    );
+    assert_eq!(
+        stats.inner_scans_full, 0,
+        "no inner scan should fall back to a full scan here: {stats:?}"
+    );
+    assert!(stats.index_hit_ratio() > 0.99, "{stats:?}");
+    // The chosen permutation is observable on the storage itself.
+    let report = engine.storage_report();
+    let edge = report.relations.iter().find(|r| r.name == "edge").unwrap();
+    assert_eq!(edge.index_perms, vec![vec![1, 0]], "catalog chose [1,0]");
+}
+
+#[test]
+fn probe_join_matrix() {
+    // fact(y, x) over a bipartite fan; link(y, z); probe selects few x.
+    let fact: Vec<(u64, u64)> = (0..60u64).flat_map(|y| (0..4u64).map(move |k| (y, y % 10 + 100 * k))).collect();
+    let link: Vec<(u64, u64)> = (0..60u64).map(|y| (y, y + 1000)).collect();
+    let probe: Vec<u64> = vec![3, 7, 103];
+    let probe_set: BTreeSet<u64> = probe.iter().copied().collect();
+    let mut expect: BTreeSet<Vec<u64>> = BTreeSet::new();
+    for &(y, x) in &fact {
+        if !probe_set.contains(&x) {
+            continue;
+        }
+        for &(ly, z) in &link {
+            if ly == y {
+                expect.insert(vec![x, z]);
+            }
+        }
+    }
+    let expect: Vec<Vec<u64>> = expect.into_iter().collect();
+    let facts = [
+        ("probe", probe.iter().map(|&x| vec![x]).collect()),
+        ("fact", pairs(&fact)),
+        ("link", pairs(&link)),
+    ];
+    check_matrix("probe-join", PROBE_PROGRAM, &facts, "out", &expect);
+}
+
+#[test]
+fn retraction_matrix_with_planner_on_and_off() {
+    let edges = graphs::grid(6);
+    let gone = vec![edges[4], edges[17]];
+    let gone_set: BTreeSet<(u64, u64)> = gone.iter().copied().collect();
+    let kept: Vec<(u64, u64)> = edges.iter().copied().filter(|e| !gone_set.contains(e)).collect();
+    let expect: Vec<Vec<u64>> = graphs::reference_tc(&kept)
+        .into_iter()
+        .map(|(a, b)| vec![a, b])
+        .collect();
+    let program = parse(TC_PROGRAM).unwrap();
+    for kind in all_kinds() {
+        for threads in [1, 4] {
+            for planner in [true, false] {
+                let mut engine = Engine::new(&program, kind, threads).unwrap();
+                engine.set_planner_enabled(planner);
+                engine.add_facts("edge", pairs(&edges).into_iter()).unwrap();
+                engine.run().unwrap();
+                engine
+                    .retract_facts(
+                        gone.iter()
+                            .map(|&(a, b)| ("edge".to_string(), vec![a, b]))
+                            .collect::<Vec<_>>(),
+                    )
+                    .unwrap();
+                assert_eq!(
+                    engine.relation("path").unwrap(),
+                    expect,
+                    "retraction on {kind:?} × {threads}t with planner={planner} \
+                     disagrees with from-scratch reference"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn negation_matrix_with_planner() {
+    // Stratified negation: the planner may hoist the negated probe earlier
+    // once its variables are bound, but never changes the result.
+    let src = r#"
+        .decl edge(x: number, y: number)
+        .decl node(x: number)
+        .decl path(x: number, y: number)
+        .decl unreach(x: number, y: number)
+        .output unreach
+        path(x, y) :- edge(x, y).
+        path(x, z) :- path(x, y), edge(y, z).
+        unreach(x, y) :- node(x), node(y), !path(x, y).
+    "#;
+    let n = 9u64;
+    let edges = graphs::chain(n);
+    let tc: BTreeSet<(u64, u64)> = graphs::reference_tc(&edges).into_iter().collect();
+    let mut expect = Vec::new();
+    for x in 1..=n {
+        for y in 1..=n {
+            if !tc.contains(&(x, y)) {
+                expect.push(vec![x, y]);
+            }
+        }
+    }
+    let facts = [
+        ("edge", pairs(&edges)),
+        ("node", (1..=n).map(|i| vec![i]).collect()),
+    ];
+    for kind in StorageKind::ALL {
+        for threads in [1, 4] {
+            for planner in [true, false] {
+                let got = eval_rel(src, &facts, "unreach", kind, threads, planner);
+                assert_eq!(
+                    got, expect,
+                    "negation on {kind:?} × {threads}t planner={planner}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn explain_shows_index_choice_and_cardinalities() {
+    let fact: Vec<(u64, u64)> = (0..50u64).map(|y| (y, y % 5)).collect();
+    let link: Vec<(u64, u64)> = (0..50u64).map(|y| (y, y + 1)).collect();
+    let program = parse(PROBE_PROGRAM).unwrap();
+    let mut engine = Engine::new(&program, StorageKind::SpecBTree, 2).unwrap();
+    engine.add_facts("probe", [vec![2u64]].into_iter()).unwrap();
+    engine.add_facts("fact", pairs(&fact).into_iter()).unwrap();
+    engine.add_facts("link", pairs(&link).into_iter()).unwrap();
+    let explain = engine.explain();
+    assert!(
+        explain.contains("index=[1,0]"),
+        "explain must show the chosen permutation on fact:\n{explain}"
+    );
+    assert!(
+        explain.contains("cardinalities:"),
+        "a reordered rule must print the justifying cardinalities:\n{explain}"
+    );
+    assert!(
+        explain.contains("probe=1") && explain.contains("fact=50") && explain.contains("link=50"),
+        "cardinality line lists body relation sizes:\n{explain}"
+    );
+    // Planner off: legacy source-order plans, no planner annotations.
+    engine.set_planner_enabled(false);
+    let legacy = engine.explain();
+    assert!(!legacy.contains("index=") && !legacy.contains("cardinalities:"));
+    // Explain never mutates: no indexes were built by either rendering.
+    assert_eq!(engine.stats().index_builds, 0);
+}

@@ -164,11 +164,14 @@ pub enum Counter {
     /// `datalog`: outer-scan chunks a worker claimed outside its home
     /// shard (work stealing crossed a shard boundary).
     EvalShardSteals,
+    /// `datalog`: secondary index trees built (one per column permutation
+    /// registered on a relation, backfill included).
+    EvalIndexBuilds,
 }
 
 impl Counter {
     /// Number of counters (array dimension).
-    pub const COUNT: usize = 33;
+    pub const COUNT: usize = 34;
 
     /// All counters, in declaration order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -205,6 +208,7 @@ impl Counter {
         Counter::BtreeLeafUnlinks,
         Counter::EvalShardMerges,
         Counter::EvalShardSteals,
+        Counter::EvalIndexBuilds,
     ];
 
     /// The dotted `layer.event` name used in reports.
@@ -243,6 +247,7 @@ impl Counter {
             Counter::BtreeLeafUnlinks => "specbtree.leaf_unlinks",
             Counter::EvalShardMerges => "datalog.shard_merges",
             Counter::EvalShardSteals => "datalog.shard_steals",
+            Counter::EvalIndexBuilds => "datalog.index_builds",
         }
     }
 }
@@ -274,11 +279,15 @@ pub enum Hist {
     /// `datalog`: wall time of one shard's delta merge within a sharded
     /// merge pass (nanoseconds).
     EvalShardMergeNanos,
+    /// `datalog`: wall time spent keeping secondary index trees in sync
+    /// with their primary during bulk `merge_from`/`retract_from` passes
+    /// and index backfill builds (nanoseconds).
+    EvalIndexMaintainNanos,
 }
 
 impl Hist {
     /// Number of histograms (array dimension).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// All histograms, in declaration order.
     pub const ALL: [Hist; Self::COUNT] = [
@@ -290,6 +299,7 @@ impl Hist {
         Hist::EvalMergeNanos,
         Hist::EvalShardBalance,
         Hist::EvalShardMergeNanos,
+        Hist::EvalIndexMaintainNanos,
     ];
 
     /// The dotted `layer.metric` name used in reports.
@@ -303,6 +313,7 @@ impl Hist {
             Hist::EvalMergeNanos => "datalog.merge_nanos",
             Hist::EvalShardBalance => "datalog.shard_balance",
             Hist::EvalShardMergeNanos => "datalog.shard_merge_nanos",
+            Hist::EvalIndexMaintainNanos => "datalog.index_maintain_nanos",
         }
     }
 }
